@@ -1,0 +1,125 @@
+// Ablations of Liger's design choices beyond the paper's figures
+// (DESIGN.md "quality" extensions):
+//
+//  (1) Contention factor: none (1.0), profiled, and aggressive (1.3) —
+//      §3.5 argues an unscaled scheduler lets the secondary subset
+//      outlive the primary and hurt its latency.
+//  (2) NCCL footprint: stock channel allocation vs Liger's tuned
+//      NCCL_MAX_NCHANNELS=3 (§3.5's contention mitigation).
+//  (3) Arrival process: constant (paper) vs Poisson (extension) — the
+//      interleaving window survives bursty arrivals.
+//
+// Flags: --requests N (default 150)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace liger;
+using serving::Method;
+
+serving::ExperimentConfig base_config(int requests, double rate) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b();
+  cfg.method = Method::kLiger;
+  cfg.rate = rate;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int requests = static_cast<int>(flags.get_int("requests", 150));
+
+  const auto node = gpu::NodeSpec::v100_nvlink(4);
+  const auto model = model::ModelZoo::opt_30b();
+  const double base_rate = 1.0 / sim::to_seconds(serving::isolated_intra_batch_time(
+                                     node, model, 2, 72, model::Phase::kPrefill));
+
+  bench::print_header("Ablation 1: contention factor (OPT-30B, V100, batch 2)");
+  std::printf("%12s |", "rate b/s");
+  for (const char* label : {"cf=1.0(off)", "cf=profiled", "cf=1.30"}) {
+    std::printf(" %-12s lat/thr |", label);
+  }
+  std::printf("\n");
+  for (double mult : {0.9, 1.05, 1.2}) {
+    std::printf("%12.3f |", base_rate * mult);
+    for (int variant = 0; variant < 3; ++variant) {
+      auto cfg = base_config(requests, base_rate * mult);
+      if (variant == 0) {
+        cfg.profile_contention = false;
+        cfg.liger.contention_factor = 1.0;
+      } else if (variant == 2) {
+        cfg.profile_contention = false;
+        cfg.liger.contention_factor = 1.30;
+      }
+      const auto rep = serving::run_experiment(cfg);
+      std::printf("  %10.2f/%-8.3f%s |", rep.avg_latency_ms, rep.throughput_bps,
+                  rep.saturated() ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+
+  bench::print_header("Ablation 2: NCCL footprint (stock channels vs tuned)");
+  std::printf("%12s | %-14s lat/thr | %-14s lat/thr\n", "rate b/s", "stock(16ch)",
+              "tuned(3ch)");
+  for (double mult : {0.9, 1.05, 1.2}) {
+    std::printf("%12.3f |", base_rate * mult);
+    for (bool tuned : {false, true}) {
+      auto cfg = base_config(requests, base_rate * mult);
+      cfg.liger.comm = tuned ? collective::CommConfig::liger_tuned()
+                             : collective::CommConfig::nccl_default();
+      const auto rep = serving::run_experiment(cfg);
+      std::printf("   %12.2f/%-8.3f%s |", rep.avg_latency_ms, rep.throughput_bps,
+                  rep.saturated() ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+
+  bench::print_header(
+      "Ablation 2b: sequence parallelism (Megatron-SP extension; 2x finer comm ops)");
+  std::printf("%12s | %-14s lat/thr | %-14s lat/thr\n", "rate b/s", "standard TP",
+              "sequence-par");
+  for (double mult : {0.9, 1.05, 1.2}) {
+    std::printf("%12.3f |", base_rate * mult);
+    for (bool sp : {false, true}) {
+      auto cfg = base_config(requests, base_rate * mult);
+      cfg.liger.sequence_parallel = sp;
+      const auto rep = serving::run_experiment(cfg);
+      std::printf("   %12.2f/%-8.3f%s |", rep.avg_latency_ms, rep.throughput_bps,
+                  rep.saturated() ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+
+  bench::print_header("Ablation 3: constant vs Poisson arrivals");
+  std::printf("%12s | %-14s lat/thr | %-14s lat/thr\n", "rate b/s", "constant",
+              "poisson");
+  for (double mult : {0.6, 0.9, 1.05}) {
+    std::printf("%12.3f |", base_rate * mult);
+    for (bool poisson : {false, true}) {
+      auto cfg = base_config(requests, base_rate * mult);
+      cfg.poisson = poisson;
+      const auto rep = serving::run_experiment(cfg);
+      std::printf("   %12.2f/%-8.3f%s |", rep.avg_latency_ms, rep.throughput_bps,
+                  rep.saturated() ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nFindings: the tuned NCCL footprint frees SMs for overlap; an aggressive\n"
+              "contention factor costs throughput while none at all mildly risks\n"
+              "Principle 1; sequence parallelism does NOT help Liger here — runtime\n"
+              "decomposition already provides granularity, so SP's extra per-op\n"
+              "latencies (4 collectives/layer instead of 2) dominate; Poisson arrivals\n"
+              "raise queueing latency but preserve the interleaving gains.\n");
+  return 0;
+}

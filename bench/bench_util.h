@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction harnesses: table
+// formatting and rate-sweep construction.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace liger::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Arrival-rate sweep anchored on the intra-op saturation rate: the
+// paper raises the rate until it exceeds Liger's throughput, so the
+// interesting region spans from well below intra-op saturation to a
+// bit beyond it.
+inline std::vector<double> rate_sweep(const gpu::NodeSpec& node, const model::ModelSpec& model,
+                                      int batch_size, int mean_seq, model::Phase phase,
+                                      std::initializer_list<double> multipliers = {
+                                          0.3, 0.6, 0.9, 1.05, 1.2, 1.4, 1.6}) {
+  const sim::SimTime t =
+      serving::isolated_intra_batch_time(node, model, batch_size, mean_seq, phase);
+  const double base = 1.0 / sim::to_seconds(t);
+  std::vector<double> rates;
+  for (double m : multipliers) rates.push_back(base * m);
+  return rates;
+}
+
+// One row of a latency/throughput panel.
+inline void print_panel_header(const std::vector<serving::Method>& methods) {
+  std::printf("%10s |", "rate b/s");
+  for (auto m : methods) std::printf(" %13s lat(ms) thr(b/s) |", serving::method_name(m));
+  std::printf("\n");
+}
+
+struct PanelCell {
+  double latency_ms = 0;
+  double throughput = 0;
+  bool saturated = false;
+};
+
+inline void print_panel_row(double rate, const std::vector<PanelCell>& cells) {
+  std::printf("%10.3f |", rate);
+  for (const auto& c : cells) {
+    std::printf("        %10.2f %8.3f%s |", c.latency_ms, c.throughput,
+                c.saturated ? "*" : " ");
+  }
+  std::printf("\n");
+}
+
+}  // namespace liger::bench

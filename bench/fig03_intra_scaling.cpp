@@ -1,0 +1,90 @@
+// Fig 3 reproduction: strong scaling of the intra-operator approach.
+//
+// Paper case study (§2.2.1): OPT-30B on the 4xV100/NVLink node scales
+// 2.58x from 1 to 4 devices with communication taking 20.7% of the
+// total time; GLM-130B on the 4xA100/PCIe node scales 1.91x with 47.1%
+// communication. One batch is executed in isolation per device count;
+// computation/communication busy times come from the kernel trace.
+//
+// Flags: --batch N (default 2), --seq N (default 64)
+
+#include <cstdio>
+
+#include "baselines/intra_op_runtime.h"
+#include "bench_util.h"
+#include "model/model_spec.h"
+#include "trace/chrome_trace.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace liger;
+
+struct ScalingRow {
+  int devices;
+  double total_ms;
+  double comm_frac;
+};
+
+ScalingRow run_point(gpu::NodeSpec node_spec, const model::ModelSpec& model, int devices,
+                     int batch, int seq) {
+  node_spec.num_devices = devices;
+  sim::Engine engine;
+  gpu::Node node(engine, node_spec);
+  trace::ChromeTraceSink sink;
+  node.set_trace_sink(&sink);
+
+  baselines::IntraOpRuntime runtime(node, model);
+  sim::SimTime done = 0;
+  runtime.set_completion_hook(
+      [&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+
+  model::BatchRequest req;
+  req.id = 0;
+  req.batch_size = batch;
+  req.seq = seq;
+  runtime.submit(req);
+  engine.run();
+
+  sim::SimTime comm = 0, any = 0;
+  for (int d = 0; d < devices; ++d) {
+    comm += sink.busy_time(d, gpu::KernelKind::kComm);
+    any += sink.busy_time(d, gpu::KernelKind::kCompute) +
+           sink.busy_time(d, gpu::KernelKind::kComm) - sink.overlap_time(d);
+  }
+  ScalingRow row;
+  row.devices = devices;
+  row.total_ms = sim::to_ms(done);
+  row.comm_frac = any > 0 ? static_cast<double>(comm) / static_cast<double>(any) : 0.0;
+  return row;
+}
+
+void run_case(const char* label, const gpu::NodeSpec& node, const model::ModelSpec& model,
+              int batch, int seq, double paper_speedup, double paper_comm) {
+  bench::print_subheader(label);
+  std::printf("%8s %12s %10s %10s\n", "devices", "latency(ms)", "speedup", "comm%");
+  double t1 = 0;
+  for (int devices : {1, 2, 4}) {
+    const ScalingRow row = run_point(node, model, devices, batch, seq);
+    if (devices == 1) t1 = row.total_ms;
+    std::printf("%8d %12.2f %9.2fx %9.1f%%\n", row.devices, row.total_ms,
+                t1 / row.total_ms, 100.0 * row.comm_frac);
+  }
+  std::printf("paper: %.2fx speedup at 4 devices, %.1f%% communication\n", paper_speedup,
+              paper_comm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int batch = static_cast<int>(flags.get_int("batch", 2));
+  const int seq = static_cast<int>(flags.get_int("seq", 64));
+
+  bench::print_header("Fig 3: strong scaling of the intra-operator approach");
+  run_case("OPT-30B on V100/NVLink", gpu::NodeSpec::v100_nvlink(), model::ModelZoo::opt_30b(),
+           batch, seq, 2.58, 20.7);
+  run_case("GLM-130B on A100/PCIe", gpu::NodeSpec::a100_pcie(), model::ModelZoo::glm_130b(),
+           batch, seq, 1.91, 47.1);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig 9 reproduction: GEMM decomposition strategies.
+//
+// Splitting a transformer GEMM horizontally (rows of the skinny
+// activation matrix A) re-reads the large weight matrix B in every
+// piece and lowers compute intensity — the accumulated duration of the
+// pieces far exceeds the original kernel. The vertical split (columns
+// of B) stays near the original. Liger therefore decomposes GEMMs
+// vertically (§3.6).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/cost_model.h"
+#include "model/decompose.h"
+#include "model/layer_builder.h"
+#include "model/model_spec.h"
+
+namespace {
+
+using namespace liger;
+
+double pieces_total_ms(const model::OpTemplate& op, int pieces, model::GemmSplit split,
+                       const model::CostModel& cost) {
+  double total = 0;
+  for (const auto& piece : model::decompose_gemm(op, pieces, split, cost)) {
+    total += sim::to_ms(piece.kernel.solo_duration);
+  }
+  return total;
+}
+
+void run_shape(const model::OpTemplate& op, const model::CostModel& cost) {
+  const double orig = sim::to_ms(op.kernel.solo_duration);
+  std::printf("  GEMM %s: M=%lld N=%lld K=%lld, original %.3f ms\n", op.kernel.name.c_str(),
+              static_cast<long long>(op.gemm.m), static_cast<long long>(op.gemm.n),
+              static_cast<long long>(op.gemm.k), orig);
+  std::printf("  %8s %18s %18s\n", "pieces", "vertical (x orig)", "horizontal (x orig)");
+  for (int pieces : {2, 4, 8, 16}) {
+    const double v = pieces_total_ms(op, pieces, model::GemmSplit::kVertical, cost);
+    const double h = pieces_total_ms(op, pieces, model::GemmSplit::kHorizontal, cost);
+    std::printf("  %8d %10.3f (%.2fx) %10.3f (%.2fx)\n", pieces, v, v / orig, h, h / orig);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 9: vertical vs horizontal GEMM decomposition (OPT-30B, V100)");
+  const model::CostModel cost(gpu::GpuSpec::v100());
+  const model::LayerBuilder builder(model::ModelZoo::opt_30b(), cost);
+
+  for (int batch : {2, 8}) {
+    for (int seq : {16, 64}) {
+      model::ExecConfig cfg;
+      cfg.batch = batch;
+      cfg.seq = seq;
+      cfg.tp = 4;
+      bench::print_subheader("batch " + std::to_string(batch) + ", seq " +
+                             std::to_string(seq) + ", tp 4");
+      for (const auto& op : builder.layer_ops(cfg)) {
+        if (op.cls == model::OpClass::kFfn1Gemm || op.cls == model::OpClass::kQkvGemm) {
+          run_shape(op, cost);
+        }
+      }
+    }
+  }
+  std::printf("\nPaper: the horizontal approach suffers a notable reduction in computation\n"
+              "intensity (A is already skinny) and re-reads the larger matrix B; vertical\n"
+              "decomposition performs much better and is what Liger uses.\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Fig 10 reproduction: latency and throughput vs. arrival rate with
+// randomly generated traces (seq 16-128), across models, nodes and
+// batch sizes, for Liger and the Intra-Op / Inter-Op / Inter-Th
+// baselines.
+//
+// Panels (paper layout):
+//   (a,b,c)  OPT-30B  on 4xV100-NVLink, batch 2/4/8
+//   (d,e,f)  OPT-30B  on 4xA100-PCIe,  batch 2/4/8
+//   (g,h,i)  OPT-66B  on 4xA100-PCIe,  batch 2/4/8
+//   (j,k,l)  GLM-130B on 4xA100-PCIe,  batch 2/4/8
+//
+// A '*' marks saturated points (achieved throughput < offered rate).
+// Paper headline (4 devices): Liger reduces average latency by 36.0%
+// vs Inter-Op at equal throughput and reaches 1.34x the throughput of
+// Intra-Op with better latency.
+//
+// Flags: --requests N (default 300; paper uses 2000), --panels a,b,...
+//        --rates r1,r2,... (override the sweep, batches/s)
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace liger;
+using serving::Method;
+
+struct Panel {
+  char tag;
+  gpu::NodeSpec node;
+  model::ModelSpec model;
+  int batch;
+};
+
+struct PanelResult {
+  // rate -> method -> report
+  std::vector<double> rates;
+  std::map<Method, std::vector<serving::Report>> reports;
+};
+
+PanelResult run_panel(const Panel& panel, int requests, std::vector<double> rates) {
+  PanelResult result;
+  if (rates.empty()) {
+    rates = bench::rate_sweep(panel.node, panel.model, panel.batch, /*mean_seq=*/72,
+                              model::Phase::kPrefill);
+  }
+  result.rates = rates;
+  for (Method m : serving::all_methods()) {
+    for (double rate : rates) {
+      serving::ExperimentConfig cfg;
+      cfg.node = panel.node;
+      cfg.model = panel.model;
+      cfg.method = m;
+      cfg.rate = rate;
+      cfg.workload.num_requests = requests;
+      cfg.workload.batch_size = panel.batch;
+      result.reports[m].push_back(serving::run_experiment(cfg));
+    }
+  }
+  return result;
+}
+
+void print_panel(const Panel& panel, const PanelResult& r) {
+  std::ostringstream title;
+  title << "(" << panel.tag << ") " << panel.model.name << " on " << panel.node.name
+        << ", batch " << panel.batch;
+  bench::print_subheader(title.str());
+  const auto methods = serving::all_methods();
+  bench::print_panel_header(methods);
+  for (std::size_t i = 0; i < r.rates.size(); ++i) {
+    std::vector<bench::PanelCell> cells;
+    for (Method m : methods) {
+      const auto& rep = r.reports.at(m)[i];
+      cells.push_back({rep.avg_latency_ms, rep.throughput_bps, rep.saturated()});
+    }
+    bench::print_panel_row(r.rates[i], cells);
+  }
+}
+
+// Headline aggregates in the paper's terms.
+void print_summary(const std::vector<std::pair<Panel, PanelResult>>& panels) {
+  bench::print_subheader("Summary vs paper headline");
+  double thr_gain_sum = 0, lat_red_inter_sum = 0, lat_red_interth_sum = 0;
+  int thr_n = 0, lat_n = 0;
+  for (const auto& [panel, r] : panels) {
+    // Max unsaturated throughput per method.
+    auto max_thr = [&](Method m) {
+      double best = 0;
+      for (const auto& rep : r.reports.at(m)) best = std::max(best, rep.throughput_bps);
+      return best;
+    };
+    const double liger_thr = max_thr(Method::kLiger);
+    const double intra_thr = max_thr(Method::kIntraOp);
+    if (intra_thr > 0) {
+      thr_gain_sum += liger_thr / intra_thr;
+      ++thr_n;
+    }
+    // Latency reduction vs Inter-Op / Inter-Th at rates below Liger
+    // saturation.
+    double sum_inter = 0, sum_interth = 0;
+    int n = 0;
+    for (std::size_t i = 0; i < r.rates.size(); ++i) {
+      const auto& liger = r.reports.at(Method::kLiger)[i];
+      if (liger.saturated()) continue;
+      const auto& inter = r.reports.at(Method::kInterOp)[i];
+      const auto& interth = r.reports.at(Method::kInterTh)[i];
+      sum_inter += 1.0 - liger.avg_latency_ms / inter.avg_latency_ms;
+      sum_interth += 1.0 - liger.avg_latency_ms / interth.avg_latency_ms;
+      ++n;
+    }
+    if (n > 0) {
+      lat_red_inter_sum += sum_inter / n;
+      lat_red_interth_sum += sum_interth / n;
+      ++lat_n;
+    }
+  }
+  if (thr_n > 0) {
+    std::printf("Avg throughput gain vs Intra-Op : %.2fx  (paper: 1.15x V100, 1.52x A100; "
+                "headline 1.34x)\n",
+                thr_gain_sum / thr_n);
+  }
+  if (lat_n > 0) {
+    std::printf("Avg latency reduction vs Inter-Op : %.1f%%  (paper: 45.4%% V100, 35.8%% "
+                "A100; headline 36.0%%)\n",
+                100.0 * lat_red_inter_sum / lat_n);
+    std::printf("Avg latency reduction vs Inter-Th : %.1f%%  (paper: 59.1%% V100, 42.2%% "
+                "A100)\n",
+                100.0 * lat_red_interth_sum / lat_n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int requests = static_cast<int>(flags.get_int("requests", 200));
+  const std::string panel_filter = flags.get_string("panels", "");
+  const std::string rates_flag = flags.get_string("rates", "");
+
+  std::vector<double> rates_override;
+  if (!rates_flag.empty()) {
+    std::stringstream ss(rates_flag);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) rates_override.push_back(std::stod(tok));
+  }
+
+  const auto v100 = gpu::NodeSpec::v100_nvlink(4);
+  const auto a100 = gpu::NodeSpec::a100_pcie(4);
+  std::vector<Panel> panels;
+  char tag = 'a';
+  for (int batch : {2, 4, 8}) panels.push_back({tag++, v100, model::ModelZoo::opt_30b(), batch});
+  for (int batch : {2, 4, 8}) panels.push_back({tag++, a100, model::ModelZoo::opt_30b(), batch});
+  for (int batch : {2, 4, 8}) panels.push_back({tag++, a100, model::ModelZoo::opt_66b(), batch});
+  for (int batch : {2, 4, 8}) panels.push_back({tag++, a100, model::ModelZoo::glm_130b(), batch});
+
+  bench::print_header("Fig 10: general serving performance (" + std::to_string(requests) +
+                      " requests/point; paper uses 2000)");
+  std::printf("Table 1 models: ");
+  for (const auto& name : {"opt-30b", "opt-66b", "glm-130b"}) {
+    const auto spec = model::ModelZoo::by_name(name);
+    std::printf("%s[%dL,%dH,%d] %.0fGB  ", spec.name.c_str(), spec.layers, spec.heads,
+                spec.hidden, static_cast<double>(spec.param_bytes()) / 1e9);
+  }
+  std::printf("\n");
+
+  std::vector<std::pair<Panel, PanelResult>> results;
+  for (const auto& panel : panels) {
+    if (!panel_filter.empty() && panel_filter.find(panel.tag) == std::string::npos) continue;
+    PanelResult r = run_panel(panel, requests, rates_override);
+    print_panel(panel, r);
+    results.emplace_back(panel, std::move(r));
+  }
+  print_summary(results);
+  return 0;
+}

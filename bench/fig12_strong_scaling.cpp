@@ -1,0 +1,64 @@
+// Fig 12 reproduction: strong scaling of Liger serving OPT-30B on 1, 2
+// and 4 A100 GPUs (§4.4).
+//
+// For each device count we sweep the arrival rate and report the
+// low-rate latency and the peak sustained throughput per method. The
+// paper's findings: Liger improves both latency and throughput with
+// more GPUs, beats Intra-Op throughput and Inter-Op latency, and the
+// 2-GPU effect is weaker (lower communication ratio).
+//
+// Flags: --requests N (default 200)
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace liger;
+using serving::Method;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int requests = static_cast<int>(flags.get_int("requests", 200));
+  const auto model = model::ModelZoo::opt_30b();
+
+  bench::print_header("Fig 12: strong scaling, OPT-30B on 1/2/4 A100 GPUs");
+  std::printf("%8s | %13s | %16s | %18s\n", "devices", "method", "low-rate lat(ms)",
+              "peak thr (batch/s)");
+
+  for (int devices : {1, 2, 4}) {
+    const auto node = gpu::NodeSpec::a100_pcie(devices);
+    const auto rates =
+        bench::rate_sweep(node, model, 2, 72, model::Phase::kPrefill,
+                          {0.3, 0.8, 1.05, 1.3, 1.6});
+    for (Method m : serving::all_methods()) {
+      double low_rate_latency = 0;
+      double peak_thr = 0;
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        serving::ExperimentConfig cfg;
+        cfg.node = node;
+        cfg.model = model;
+        cfg.method = m;
+        cfg.rate = rates[i];
+        cfg.workload.num_requests = requests;
+        cfg.workload.batch_size = 2;
+        const auto rep = serving::run_experiment(cfg);
+        if (i == 0) low_rate_latency = rep.avg_latency_ms;
+        peak_thr = std::max(peak_thr, rep.throughput_bps);
+      }
+      std::printf("%8d | %13s | %16.2f | %18.3f\n", devices, serving::method_name(m),
+                  low_rate_latency, peak_thr);
+    }
+  }
+  std::printf("\nPaper: Liger's latency and throughput improve with GPU count; the 2-GPU\n"
+              "configuration benefits less (lower communication ratio).\n");
+  return 0;
+}

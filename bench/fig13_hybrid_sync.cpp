@@ -1,0 +1,58 @@
+// Fig 13 reproduction: benefits of hybrid synchronization (§4.5).
+//
+// Liger with the hybrid approach (pre-launch + inter-stream events) vs
+// Liger driven purely by CPU-GPU synchronization, serving OPT-30B on
+// the V100 node with batch size 2. The CPU-GPU variant pays the full
+// multi-GPU launch gap between rounds — the paper measures ~5 us for a
+// single-GPU null kernel but >20 us once all communication kernels on
+// 4 GPUs must complete before relaunch.
+//
+// Flags: --requests N (default 200)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace {
+using namespace liger;
+using serving::Method;
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int requests = static_cast<int>(flags.get_int("requests", 200));
+
+  const auto node = gpu::NodeSpec::v100_nvlink(4);
+  const auto model = model::ModelZoo::opt_30b();
+  const auto rates = bench::rate_sweep(node, model, 2, 72, model::Phase::kPrefill,
+                                       {0.3, 0.6, 0.9, 1.05, 1.2, 1.4});
+
+  bench::print_header("Fig 13: hybrid vs CPU-GPU-only synchronization "
+                      "(OPT-30B, V100 node, batch 2)");
+  const std::vector<Method> methods{Method::kLiger, Method::kLigerCpuSync};
+  std::printf("%10s | %-12s lat(ms) thr(b/s) | %-14s lat(ms) thr(b/s)\n", "rate b/s",
+              "hybrid", "cpu-gpu-only");
+  for (double rate : rates) {
+    std::printf("%10.3f |", rate);
+    for (Method m : methods) {
+      serving::ExperimentConfig cfg;
+      cfg.node = node;
+      cfg.model = model;
+      cfg.method = m;
+      cfg.rate = rate;
+      cfg.workload.num_requests = requests;
+      cfg.workload.batch_size = 2;
+      const auto rep = serving::run_experiment(cfg);
+      std::printf("     %17.2f %8.3f%s |", rep.avg_latency_ms, rep.throughput_bps,
+                  rep.saturated() ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper: the CPU-GPU-only variant shows an obvious drop in both latency and\n"
+              "throughput; multi-GPU launch gaps exceed 20 us vs ~5 us on one GPU.\n");
+  return 0;
+}

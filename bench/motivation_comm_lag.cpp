@@ -1,0 +1,84 @@
+// §2.3.1 micro-experiment: communication kernel execution lag.
+//
+// A cooperative NCCL-style kernel launched while compute kernels flood
+// the SMs cannot start until blocks free up — even from a high-priority
+// stream (priorities cannot preempt). Launching the communication
+// kernel first (Liger's ordering, §3.4) removes the lag.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collective/collective.h"
+#include "gpu/node.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace liger;
+
+void submit(gpu::Stream& s, gpu::KernelDesc k, std::function<void()> done = {}) {
+  gpu::StreamOp op;
+  op.kind = gpu::StreamOp::Kind::kKernel;
+  op.kernel = std::move(k);
+  op.on_complete = std::move(done);
+  op.stream_seq = s.note_issued();
+  s.device().deliver(s, std::move(op));
+}
+
+// Returns the delay between the comm kernels' launch and the collective
+// becoming active.
+double measure_lag_us(bool comm_first, bool high_priority_comm) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(2));
+  collective::Communicator comm(engine, node.topology(), node.spec().gpu,
+                                collective::CommConfig::liger_tuned());
+
+  gpu::KernelDesc flood;
+  flood.name = "gemm_flood";
+  flood.solo_duration = sim::microseconds(400);
+  flood.blocks = node.device(0).total_blocks();
+  flood.mem_bw_demand = 0.4;
+
+  auto ar = comm.all_reduce(4 << 20, {0, 1}, "ar");
+  // The second launch happens 5us after the first — by then the first
+  // kernel is already executing and cannot be preempted.
+  const sim::SimTime stagger = sim::microseconds(5);
+  for (int d = 0; d < 2; ++d) {
+    auto& comp_stream = node.device(d).create_stream();
+    auto& comm_stream = node.device(d).create_stream(
+        high_priority_comm ? gpu::StreamPriority::kHigh : gpu::StreamPriority::kNormal);
+    auto ar_kernel = ar.kernels[static_cast<std::size_t>(d)];
+    if (comm_first) {
+      submit(comm_stream, ar_kernel);
+      engine.schedule_at(stagger, [&comp_stream, flood] { submit(comp_stream, flood); });
+    } else {
+      submit(comp_stream, flood);
+      engine.schedule_at(stagger, [&comm_stream, ar_kernel] { submit(comm_stream, ar_kernel); });
+    }
+  }
+  // Lag = time until the collective's rendezvous completes (all member
+  // kernels resident).
+  while (!ar.collective->active() && !engine.empty()) {
+    engine.step();
+  }
+  const sim::SimTime active_at = engine.now();
+  engine.run();
+  return sim::to_us(active_at);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Motivation (paper 2.3.1): communication kernel execution lag");
+  std::printf("%-44s %14s\n", "scenario", "comm start(us)");
+  std::printf("%-44s %14.1f\n", "compute launched first, normal-priority comm",
+              measure_lag_us(false, false));
+  std::printf("%-44s %14.1f\n", "compute launched first, HIGH-priority comm",
+              measure_lag_us(false, true));
+  std::printf("%-44s %14.1f\n", "comm launched first (Liger ordering)",
+              measure_lag_us(true, false));
+  std::printf("\nPaper: high-priority streams do not fix the lag (no preemption once the\n"
+              "compute kernel holds the SMs); only controlling the launch/execution order\n"
+              "does — which is what the hybrid synchronization approach provides.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Parallelism advisor: given a model, node and expected request rate,
+// recommend the parallelism strategy — quantifying the paper's central
+// observation that intra-op wins at low rates, inter-op at very high
+// rates, and interleaved parallelism dominates the window in between.
+//
+//   $ ./parallelism_advisor [--model opt-30b] [--node v100|a100]
+//                           [--batch-size 2] [--requests 150]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace liger;
+  using serving::Method;
+
+  util::Flags flags(argc, argv);
+  const auto model = model::ModelZoo::by_name(flags.get_string("model", "opt-30b"));
+  const std::string node_name = flags.get_string("node", "v100");
+  const int batch_size = static_cast<int>(flags.get_int("batch-size", 2));
+  const int requests = static_cast<int>(flags.get_int("requests", 150));
+
+  const auto node =
+      node_name == "a100" ? gpu::NodeSpec::a100_pcie(4) : gpu::NodeSpec::v100_nvlink(4);
+
+  // Feasibility first (the paper's memory cut: e.g. only OPT-30B fits
+  // the 16GB V100s).
+  std::printf("Advisor: %s on %s, batch %d\n", model.name.c_str(), node.name.c_str(),
+              batch_size);
+  for (Method m : serving::all_methods()) {
+    if (!serving::model_fits(node, model, m)) {
+      std::printf("  %s does NOT fit in device memory under %s\n", model.name.c_str(),
+                  serving::method_name(m));
+    }
+  }
+
+  const sim::SimTime unit =
+      serving::isolated_intra_batch_time(node, model, batch_size, 72, model::Phase::kPrefill);
+  const double base_rate = 1.0 / sim::to_seconds(unit);
+
+  std::printf("\n%10s | %-10s | %12s | %12s\n", "rate b/s", "winner", "latency(ms)",
+              "runner-up lat");
+  for (double mult : {0.3, 0.7, 1.0, 1.15, 1.3, 1.6, 2.0}) {
+    const double rate = base_rate * mult;
+    std::vector<std::pair<double, Method>> ranking;
+    for (Method m : serving::all_methods()) {
+      serving::ExperimentConfig cfg;
+      cfg.node = node;
+      cfg.model = model;
+      cfg.method = m;
+      cfg.rate = rate;
+      cfg.workload.num_requests = requests;
+      cfg.workload.batch_size = batch_size;
+      const auto rep = serving::run_experiment(cfg);
+      // A saturated method is disqualified: its latency diverges with
+      // trace length.
+      if (!rep.saturated()) ranking.emplace_back(rep.avg_latency_ms, m);
+    }
+    std::sort(ranking.begin(), ranking.end());
+    if (ranking.empty()) {
+      std::printf("%10.2f | %-10s | %12s | %12s\n", rate, "none", "saturated", "-");
+    } else if (ranking.size() == 1) {
+      std::printf("%10.2f | %-10s | %12.2f | %12s\n", rate,
+                  serving::method_name(ranking[0].second), ranking[0].first, "-");
+    } else {
+      std::printf("%10.2f | %-10s | %12.2f | %12.2f\n", rate,
+                  serving::method_name(ranking[0].second), ranking[0].first,
+                  ranking[1].first);
+    }
+  }
+  std::printf("\nRates are multiples of the intra-op saturation rate (%.2f batch/s here).\n",
+              base_rate);
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "baselines/inter_op_runtime.h"
+
+#include <cassert>
+
+namespace liger::baselines {
+
+InterOpRuntime::InterOpRuntime(gpu::Node& node, model::ModelSpec model,
+                               InterOpOptions options)
+    : node_(node),
+      model_(std::move(model)),
+      cost_(node.spec().gpu),
+      builder_(model_, cost_),
+      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
+      options_(options) {
+  assert(model_.layers >= node_.num_devices() && "fewer layers than stages");
+  const int n = node_.num_devices();
+  for (int s = 0; s < n; ++s) {
+    streams_.push_back(&node_.device(s).create_stream());
+    queues_.push_back(std::make_unique<sim::Channel<StageJob>>(node_.engine()));
+    tokens_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+    for (int t = 0; t < options_.max_inflight; ++t) tokens_.back()->push(t);
+  }
+  for (int s = 0; s < n; ++s) stage_actor(s);
+}
+
+std::pair<int, int> InterOpRuntime::stage_layers(int stage) const {
+  const int n = node_.num_devices();
+  const int base = model_.layers / n;
+  const int extra = model_.layers % n;
+  const int lo = stage * base + std::min(stage, extra);
+  const int hi = lo + base + (stage < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+model::OpList InterOpRuntime::stage_ops(const model::ExecConfig& cfg, int stage) const {
+  const auto [lo, hi] = stage_layers(stage);
+  if (!options_.theoretical) {
+    model::ExecConfig stage_cfg = cfg;
+    stage_cfg.tp = 1;  // unpartitioned kernels
+    return builder_.range_ops(stage_cfg, lo, hi);
+  }
+
+  // Inter-Th: the intra-op partitioned kernels, executed sequentially on
+  // one device. Sharded ops repeat tp times; replicated ops (layernorm)
+  // run once; all-reduces vanish (no cross-device dependency inside a
+  // pipeline stage).
+  model::ExecConfig part_cfg = cfg;
+  part_cfg.tp = node_.num_devices();
+  model::OpList sharded = builder_.range_ops(part_cfg, lo, hi);
+
+  model::OpList out;
+  out.reserve(sharded.size() * static_cast<std::size_t>(part_cfg.tp));
+  for (auto& op : sharded) {
+    switch (op.cls) {
+      case model::OpClass::kAllReduce:
+      case model::OpClass::kP2p:
+        break;  // dropped
+      case model::OpClass::kLayerNorm:
+        out.push_back(op);
+        break;
+      default:
+        for (int i = 0; i < part_cfg.tp; ++i) out.push_back(op);
+        break;
+    }
+  }
+  return out;
+}
+
+void InterOpRuntime::submit(model::BatchRequest request) {
+  queues_.front()->push(StageJob{request, nullptr});
+}
+
+sim::Task InterOpRuntime::stage_actor(int stage) {
+  auto& host = node_.host(stage);
+  gpu::Stream& stream = *streams_[static_cast<std::size_t>(stage)];
+  auto& queue = *queues_[static_cast<std::size_t>(stage)];
+  auto& tokens = *tokens_[static_cast<std::size_t>(stage)];
+  const int last_stage = node_.num_devices() - 1;
+
+  while (true) {
+    StageJob job = co_await queue.pop();
+    (void)co_await tokens.pop();
+
+    model::ExecConfig cfg;
+    cfg.batch = job.request.batch_size;
+    cfg.seq = job.request.seq;
+    cfg.phase = job.request.phase;
+
+    // Receive the activations from the previous stage first: every
+    // subsequent kernel in this stream is data-dependent on them.
+    if (job.recv_kernel) {
+      co_await host.launch_kernel(stream, *job.recv_kernel);
+    }
+
+    model::OpList ops = stage_ops(cfg, stage);
+    assert(!ops.empty());
+    const bool completes_here = (stage == last_stage);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::function<void()> cb;
+      const bool is_last_op = (i + 1 == ops.size());
+      if (is_last_op) {
+        const model::BatchRequest request = job.request;
+        cb = [this, stage, request, completes_here] {
+          tokens_[static_cast<std::size_t>(stage)]->push(0);
+          if (completes_here) notify_complete(request, node_.engine().now());
+        };
+      }
+      gpu::KernelDesc desc = ops[i].kernel;
+      desc.batch_id = job.request.id;
+      co_await host.launch_kernel(stream, desc, std::move(cb));
+    }
+
+    if (stage < last_stage) {
+      // Ship the boundary activations to the next stage. The send
+      // kernel queues behind this stage's compute; the recv kernel is
+      // handed to the next stage's actor.
+      auto p2p = comm_.p2p(builder_.boundary_bytes(cfg), stage, stage + 1,
+                           "p2p.b" + std::to_string(job.request.id) + ".s" +
+                               std::to_string(stage));
+      p2p.kernels[0].batch_id = job.request.id;
+      p2p.kernels[1].batch_id = job.request.id;
+      auto recv = std::make_shared<gpu::KernelDesc>(p2p.kernels[1]);
+      co_await host.launch_kernel(stream, p2p.kernels[0]);
+      queues_[static_cast<std::size_t>(stage + 1)]->push(
+          StageJob{job.request, std::move(recv)});
+    }
+  }
+}
+
+}  // namespace liger::baselines

@@ -1,0 +1,68 @@
+// Baselines: inter-operator (pipeline) parallelism (§4.1 "Inter-Op"
+// and "Inter-Th").
+//
+// The model splits into equal consecutive stages, one per device;
+// batches flow through the pipeline with one point-to-point transfer
+// per stage boundary. "Inter-Op" runs unpartitioned (tp=1) kernels per
+// stage. "Inter-Th" (theoretical) instead executes the tp=N partitioned
+// kernels of the intra-op approach sequentially — the accumulated
+// duration of partitioned kernels can differ from the original kernel
+// (the paper's Fig 10(j)(k) anomaly), which this variant isolates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collective/collective.h"
+#include "core/runtime.h"
+#include "gpu/node.h"
+#include "model/cost_model.h"
+#include "model/layer_builder.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace liger::baselines {
+
+struct InterOpOptions {
+  // Inter-Th: stage kernels are the intra-op partitioned kernels.
+  bool theoretical = false;
+  collective::CommConfig comm = collective::CommConfig::nccl_default();
+  // Batches a stage may have enqueued at once (pipeline depth control).
+  int max_inflight = 2;
+};
+
+class InterOpRuntime : public core::InferenceRuntime {
+ public:
+  InterOpRuntime(gpu::Node& node, model::ModelSpec model, InterOpOptions options = {});
+
+  void submit(model::BatchRequest request) override;
+  std::string name() const override { return options_.theoretical ? "inter-th" : "inter-op"; }
+
+  // Layer range of a stage (equal split with remainder spread left).
+  std::pair<int, int> stage_layers(int stage) const;
+
+ private:
+  struct StageJob {
+    model::BatchRequest request;
+    // Receive-side kernel of the p2p from the previous stage (empty for
+    // stage 0).
+    std::shared_ptr<gpu::KernelDesc> recv_kernel;
+  };
+
+  sim::Task stage_actor(int stage);
+  // Ops executed by `stage` for one batch config.
+  model::OpList stage_ops(const model::ExecConfig& cfg, int stage) const;
+
+  gpu::Node& node_;
+  model::ModelSpec model_;
+  model::CostModel cost_;
+  model::LayerBuilder builder_;
+  collective::Communicator comm_;
+  InterOpOptions options_;
+
+  std::vector<gpu::Stream*> streams_;
+  std::vector<std::unique_ptr<sim::Channel<StageJob>>> queues_;
+  std::vector<std::unique_ptr<sim::Channel<int>>> tokens_;
+};
+
+}  // namespace liger::baselines

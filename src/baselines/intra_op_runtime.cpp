@@ -1,0 +1,122 @@
+#include "baselines/intra_op_runtime.h"
+
+#include <cassert>
+
+namespace liger::baselines {
+
+IntraOpRuntime::IntraOpRuntime(gpu::Node& node, model::ModelSpec model,
+                               IntraOpOptions options)
+    : node_(node),
+      model_(std::move(model)),
+      cost_(node.spec().gpu),
+      builder_(model_, cost_),
+      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
+      options_(options) {
+  assert(options_.max_inflight >= 1);
+  const int n = node_.num_devices();
+  for (int r = 0; r < n; ++r) {
+    streams_.push_back(&node_.device(r).create_stream());
+    queues_.push_back(
+        std::make_unique<sim::Channel<std::shared_ptr<BatchPlan>>>(node_.engine()));
+    tokens_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+    for (int t = 0; t < options_.max_inflight; ++t) tokens_.back()->push(t);
+  }
+  for (int r = 0; r < n; ++r) rank_actor(r);
+}
+
+std::shared_ptr<IntraOpRuntime::BatchPlan> IntraOpRuntime::make_plan(
+    const model::BatchRequest& request) {
+  model::ExecConfig cfg;
+  cfg.batch = request.batch_size;
+  cfg.seq = request.seq;
+  cfg.tp = node_.num_devices();
+  cfg.phase = request.phase;
+  cfg.sequence_parallel = options_.sequence_parallel;
+
+  const int n = node_.num_devices();
+  std::vector<int> devices(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) devices[static_cast<std::size_t>(d)] = d;
+
+  auto plan = std::make_shared<BatchPlan>();
+  plan->request = request;
+  model::OpList ops = builder_.model_ops(cfg);
+  plan->items.reserve(ops.size());
+  for (auto& op : ops) {
+    ExecItem item;
+    if (op.is_comm()) {
+      collective::Communicator::Op coll;
+      switch (op.cls) {
+        case model::OpClass::kReduceScatter:
+          coll = comm_.reduce_scatter(op.comm_bytes, devices, op.kernel.name);
+          break;
+        case model::OpClass::kAllGather:
+          coll = comm_.all_gather(op.comm_bytes, devices, op.kernel.name);
+          break;
+        default:
+          coll = comm_.all_reduce(op.comm_bytes, devices, op.kernel.name);
+          break;
+      }
+      item.per_rank = std::move(coll.kernels);
+      for (auto& k : item.per_rank) k.batch_id = request.id;
+    } else {
+      gpu::KernelDesc desc = op.kernel;
+      desc.batch_id = request.id;
+      item.per_rank.assign(static_cast<std::size_t>(n), desc);
+    }
+    plan->items.push_back(std::move(item));
+  }
+  assert(!plan->items.empty());
+  plan->items.back().completes_batch = true;
+  return plan;
+}
+
+void IntraOpRuntime::submit(model::BatchRequest request) {
+  auto plan = make_plan(request);
+  completion_remaining_.emplace(request.id, node_.num_devices());
+  for (auto& q : queues_) q->push(plan);
+}
+
+sim::Task IntraOpRuntime::rank_actor(int rank) {
+  auto& host = node_.host(rank);
+  gpu::Stream& stream = *streams_[static_cast<std::size_t>(rank)];
+  auto& queue = *queues_[static_cast<std::size_t>(rank)];
+  auto& tokens = *tokens_[static_cast<std::size_t>(rank)];
+  const auto r = static_cast<std::size_t>(rank);
+
+  while (true) {
+    std::shared_ptr<BatchPlan> plan = co_await queue.pop();
+    (void)co_await tokens.pop();  // bound enqueued batches per device
+
+    for (std::size_t i = 0; i < plan->items.size(); ++i) {
+      ExecItem& item = plan->items[i];
+      std::function<void()> cb;
+      if (item.completes_batch) {
+        cb = [this, rank, plan] {
+          tokens_[static_cast<std::size_t>(rank)]->push(0);
+          auto it = completion_remaining_.find(plan->request.id);
+          assert(it != completion_remaining_.end());
+          if (--it->second == 0) {
+            completion_remaining_.erase(it);
+            notify_complete(plan->request, node_.engine().now());
+          }
+        };
+      }
+      co_await host.launch_kernel(stream, item.per_rank[r], std::move(cb));
+    }
+  }
+}
+
+sim::SimTime IntraOpRuntime::isolated_batch_time(const model::BatchRequest& request) {
+  model::ExecConfig cfg;
+  cfg.batch = request.batch_size;
+  cfg.seq = request.seq;
+  cfg.tp = node_.num_devices();
+  cfg.phase = request.phase;
+  profile::ProfileTable table(comm_, node_.num_devices());
+  model::OpList ops = builder_.model_ops(cfg);
+  sim::SimTime total = 0;
+  for (const auto& op : ops) total += table.op_duration(op);
+  return total;
+}
+
+}  // namespace liger::baselines

@@ -1,0 +1,72 @@
+// Baseline: intra-operator (tensor) parallelism, Megatron-LM style
+// (§4.1 "Intra-Op").
+//
+// Every operator is sharded across all devices; two all-reduces per
+// transformer layer restore the activations. Batches execute strictly
+// FIFO on one stream per device; the next batch's kernels are enqueued
+// while the current one runs (bounded depth), so launch overhead hides
+// behind execution — this baseline needs no cross-stream
+// synchronization at all.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "collective/collective.h"
+#include "core/runtime.h"
+#include "gpu/node.h"
+#include "model/cost_model.h"
+#include "model/layer_builder.h"
+#include "profile/profile_table.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace liger::baselines {
+
+struct IntraOpOptions {
+  collective::CommConfig comm = collective::CommConfig::nccl_default();
+  // Batches whose kernels may be enqueued concurrently per device.
+  int max_inflight = 2;
+  // Megatron-SP sequence parallelism (extension).
+  bool sequence_parallel = false;
+};
+
+class IntraOpRuntime : public core::InferenceRuntime {
+ public:
+  IntraOpRuntime(gpu::Node& node, model::ModelSpec model, IntraOpOptions options = {});
+
+  void submit(model::BatchRequest request) override;
+  std::string name() const override { return "intra-op"; }
+
+  // CUDA execution time of one batch at this configuration with an idle
+  // node (used by analysis harnesses).
+  sim::SimTime isolated_batch_time(const model::BatchRequest& request);
+
+ private:
+  struct ExecItem {
+    std::vector<gpu::KernelDesc> per_rank;
+    bool completes_batch = false;
+  };
+  struct BatchPlan {
+    model::BatchRequest request;
+    std::vector<ExecItem> items;
+  };
+
+  sim::Task rank_actor(int rank);
+  std::shared_ptr<BatchPlan> make_plan(const model::BatchRequest& request);
+
+  gpu::Node& node_;
+  model::ModelSpec model_;
+  model::CostModel cost_;
+  model::LayerBuilder builder_;
+  collective::Communicator comm_;
+  IntraOpOptions options_;
+
+  std::vector<gpu::Stream*> streams_;
+  std::vector<std::unique_ptr<sim::Channel<std::shared_ptr<BatchPlan>>>> queues_;
+  std::vector<std::unique_ptr<sim::Channel<int>>> tokens_;  // inflight bound
+  std::unordered_map<int, int> completion_remaining_;
+};
+
+}  // namespace liger::baselines

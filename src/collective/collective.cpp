@@ -1,0 +1,240 @@
+#include "collective/collective.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace liger::collective {
+
+Collective::Collective(sim::Engine& engine, interconnect::Topology& topology, Kind kind,
+                       std::string name, std::vector<int> device_ids,
+                       sim::SimTime solo_duration, Registry* registry)
+    : engine_(engine),
+      topology_(topology),
+      kind_(kind),
+      name_(std::move(name)),
+      device_ids_(std::move(device_ids)),
+      remaining_(static_cast<double>(solo_duration)),
+      registry_(registry),
+      done_(engine) {
+  assert(device_ids_.size() >= 2);
+  assert(solo_duration > 0);
+}
+
+Collective::~Collective() = default;
+
+void Collective::member_started(gpu::Device& dev, gpu::KernelId id) {
+  assert(!completed_);
+  assert(members_.size() < device_ids_.size() && "more members than participants");
+  members_.push_back(Member{&dev, id});
+  if (members_.size() == device_ids_.size()) activate();
+}
+
+void Collective::member_rate(gpu::Device& dev, gpu::KernelId id, double local_rate) {
+  if (completed_) return;
+  for (auto& m : members_) {
+    if (m.dev == &dev && m.id == id) {
+      m.local_rate = local_rate;
+      break;
+    }
+  }
+  if (active_) update_rate();
+}
+
+void Collective::activate() {
+  assert(!active_);
+  active_ = true;
+  last_update_ = engine_.now();
+  if (registry_ != nullptr) registry_->push_back(weak_from_this());
+  // The transfer is now live: member kernels begin driving memory and
+  // the interconnect. Flow registration lets a PCIe switch arbitrate.
+  flow_ = topology_.begin_flow(device_ids_);
+  for (auto& m : members_) {
+    m.dev->set_kernel_mem_active(m.id, true);
+  }
+  update_rate();
+}
+
+void Collective::update_rate() {
+  if (!active_ || completed_) return;
+  const sim::SimTime now = engine_.now();
+
+  // Integrate at the joint rate that held since the last update.
+  remaining_ -= joint_rate_ * static_cast<double>(now - last_update_);
+  if (remaining_ < 0.0) remaining_ = 0.0;
+  last_update_ = now;
+
+  double rate = members_.empty() ? 0.0 : members_.front().local_rate;
+  for (const auto& m : members_) rate = std::min(rate, m.local_rate);
+  rate *= topology_.flow_share();
+  joint_rate_ = rate;
+
+  engine_.cancel(completion_);
+  if (remaining_ <= 0.0) {
+    completion_ = engine_.schedule_after(0, [self = shared_from_this()] { self->complete(); });
+  } else if (rate > 0.0) {
+    const auto dt = static_cast<sim::SimTime>(std::ceil(remaining_ / rate));
+    completion_ = engine_.schedule_after(std::max<sim::SimTime>(dt, 0),
+                                         [self = shared_from_this()] { self->complete(); });
+  }
+}
+
+void Collective::complete() {
+  if (completed_) return;
+  completed_ = true;
+  topology_.end_flow(flow_);
+  for (auto& m : members_) {
+    m.dev->finish_kernel_external(m.id);
+  }
+  done_.fire();
+}
+
+Communicator::Communicator(sim::Engine& engine, interconnect::Topology& topology,
+                           const gpu::GpuSpec& gpu, CommConfig config)
+    : engine_(engine), topology_(topology), gpu_(gpu), config_(config) {
+  // When the flow set changes (another collective starts/ends), every
+  // active collective's share of a PCIe switch changes; re-rate them.
+  topology_.add_listener([this] {
+    std::size_t live = 0;
+    for (auto& weak : active_) {
+      if (auto coll = weak.lock(); coll && !coll->completed()) {
+        coll->update_rate();
+        active_[live++] = std::move(weak);
+      }
+    }
+    active_.resize(live);
+  });
+}
+
+double Communicator::comm_mem_bw_demand() const {
+  const double busbw = topology_.allreduce_busbw(config_.max_nchannels);
+  const double demand = config_.mem_traffic_factor * busbw / gpu_.mem_bandwidth;
+  return std::min(1.0, demand);
+}
+
+interconnect::Topology::CollectiveAlgo Communicator::chosen_algo(std::uint64_t bytes,
+                                                                 int num_devices) const {
+  using Algo = interconnect::Topology::CollectiveAlgo;
+  switch (config_.allreduce_algo) {
+    case AllReduceAlgo::kRing: return Algo::kRing;
+    case AllReduceAlgo::kTree: return Algo::kTree;
+    case AllReduceAlgo::kAuto: break;
+  }
+  const auto ring =
+      topology_.allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kRing);
+  const auto tree =
+      topology_.allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kTree);
+  return tree < ring ? Algo::kTree : Algo::kRing;
+}
+
+sim::SimTime Communicator::all_reduce_solo_time(std::uint64_t bytes, int num_devices) const {
+  return topology_.allreduce_time(bytes, num_devices, config_.max_nchannels,
+                                  chosen_algo(bytes, num_devices));
+}
+
+sim::SimTime Communicator::reduce_scatter_solo_time(std::uint64_t bytes,
+                                                    int num_devices) const {
+  return topology_.reduce_scatter_time(bytes, num_devices, config_.max_nchannels);
+}
+
+sim::SimTime Communicator::all_gather_solo_time(std::uint64_t bytes, int num_devices) const {
+  return topology_.all_gather_time(bytes, num_devices, config_.max_nchannels);
+}
+
+sim::SimTime Communicator::broadcast_solo_time(std::uint64_t bytes, int num_devices) const {
+  return topology_.broadcast_time(bytes, num_devices, config_.max_nchannels);
+}
+
+sim::SimTime Communicator::p2p_solo_time(std::uint64_t bytes) const {
+  return topology_.p2p_time(bytes);
+}
+
+Communicator::Op Communicator::make_collective(Collective::Kind kind, sim::SimTime solo,
+                                               std::uint64_t bytes,
+                                               const std::vector<int>& devices,
+                                               const std::string& name) {
+  assert(devices.size() >= 2);
+  std::shared_ptr<Collective> coll(
+      new Collective(engine_, topology_, kind, name, devices, solo, &active_));
+
+  Op op;
+  op.collective = coll;
+  op.kernels.reserve(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    gpu::KernelDesc k;
+    k.name = name;
+    k.kind = gpu::KernelKind::kComm;
+    k.solo_duration = solo;
+    k.blocks = comm_kernel_blocks();
+    k.cooperative = true;
+    k.mem_bw_demand = comm_mem_bw_demand();
+    k.bytes = bytes;
+    k.coupler = coll;
+    op.kernels.push_back(std::move(k));
+  }
+  return op;
+}
+
+Communicator::Op Communicator::all_reduce(std::uint64_t bytes,
+                                          const std::vector<int>& devices,
+                                          const std::string& name) {
+  return make_collective(Collective::Kind::kAllReduce,
+                         all_reduce_solo_time(bytes, static_cast<int>(devices.size())),
+                         bytes, devices, name);
+}
+
+Communicator::Op Communicator::reduce_scatter(std::uint64_t bytes,
+                                              const std::vector<int>& devices,
+                                              const std::string& name) {
+  return make_collective(Collective::Kind::kReduceScatter,
+                         reduce_scatter_solo_time(bytes, static_cast<int>(devices.size())),
+                         bytes, devices, name);
+}
+
+Communicator::Op Communicator::all_gather(std::uint64_t bytes,
+                                          const std::vector<int>& devices,
+                                          const std::string& name) {
+  return make_collective(Collective::Kind::kAllGather,
+                         all_gather_solo_time(bytes, static_cast<int>(devices.size())),
+                         bytes, devices, name);
+}
+
+Communicator::Op Communicator::broadcast(std::uint64_t bytes, const std::vector<int>& devices,
+                                         const std::string& name) {
+  return make_collective(Collective::Kind::kBroadcast,
+                         broadcast_solo_time(bytes, static_cast<int>(devices.size())),
+                         bytes, devices, name);
+}
+
+Communicator::Op Communicator::p2p(std::uint64_t bytes, int src, int dst,
+                                   const std::string& name) {
+  assert(src != dst);
+  const sim::SimTime solo = p2p_solo_time(bytes);
+  std::vector<int> devices{src, dst};
+  std::shared_ptr<Collective> coll(new Collective(
+      engine_, topology_, Collective::Kind::kP2P, name, devices, solo, &active_));
+
+  Op op;
+  op.collective = coll;
+  // p2p uses a small fixed footprint (up to 2 channels).
+  const int blocks = std::min(2, config_.kernel_blocks());
+  const double demand =
+      std::min(1.0, 2.0 * topology_.spec().p2p_bandwidth / gpu_.mem_bandwidth);
+  for (int i = 0; i < 2; ++i) {
+    gpu::KernelDesc k;
+    k.name = name + (i == 0 ? ":send" : ":recv");
+    k.kind = gpu::KernelKind::kComm;
+    k.solo_duration = solo;
+    k.blocks = blocks;
+    k.cooperative = true;
+    k.mem_bw_demand = demand;
+    k.bytes = bytes;
+    k.coupler = coll;
+    op.kernels.push_back(std::move(k));
+  }
+  return op;
+}
+
+}  // namespace liger::collective

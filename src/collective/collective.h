@@ -1,0 +1,154 @@
+// Collective communication over the simulated interconnect.
+//
+// A Collective couples one communication kernel per participating
+// device into a single logical operation:
+//   * Rendezvous start: progress begins only once every member kernel
+//     has its blocks resident (NCCL kernels spin until peers arrive) —
+//     the root cause of the launch-skew cost measured in §4.5.
+//   * Lock-step progress: the joint rate is the minimum member local
+//     rate (each device's occupancy x bandwidth share) times the
+//     topology flow share (PCIe switch sharing).
+//   * Joint completion: all member kernels finish at the same instant.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collective/comm_config.h"
+#include "gpu/device.h"
+#include "gpu/kernel.h"
+#include "interconnect/topology.h"
+#include "sim/condition.h"
+#include "sim/engine.h"
+
+namespace liger::collective {
+
+class Communicator;
+
+class Collective : public gpu::ExecutionCoupler,
+                   public std::enable_shared_from_this<Collective> {
+ public:
+  enum class Kind { kAllReduce, kReduceScatter, kAllGather, kBroadcast, kP2P };
+
+  ~Collective() override;
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  bool completed() const { return completed_; }
+  bool active() const { return active_; }
+
+  // Fires when the collective (all member kernels) completes.
+  sim::Condition& done() { return done_; }
+
+  // gpu::ExecutionCoupler -----------------------------------------------
+  void member_started(gpu::Device& dev, gpu::KernelId id) override;
+  void member_rate(gpu::Device& dev, gpu::KernelId id, double local_rate) override;
+
+ private:
+  friend class Communicator;
+
+  using Registry = std::vector<std::weak_ptr<Collective>>;
+
+  Collective(sim::Engine& engine, interconnect::Topology& topology, Kind kind,
+             std::string name, std::vector<int> device_ids, sim::SimTime solo_duration,
+             Registry* registry);
+
+  void activate();
+  void update_rate();
+  void complete();
+
+  struct Member {
+    gpu::Device* dev;
+    gpu::KernelId id;
+    double local_rate = 0.0;
+  };
+
+  sim::Engine& engine_;
+  interconnect::Topology& topology_;
+  Kind kind_;
+  std::string name_;
+  std::vector<int> device_ids_;
+
+  std::vector<Member> members_;
+  double remaining_;             // full-speed nanoseconds left
+  double joint_rate_ = 0.0;
+  sim::SimTime last_update_ = 0;
+  bool active_ = false;
+  bool completed_ = false;
+  sim::Engine::EventId completion_;
+  interconnect::Topology::FlowId flow_ = 0;
+  Registry* registry_ = nullptr;  // owned by the Communicator, which outlives us
+  sim::Condition done_;
+};
+
+// Factory for collectives and their per-device kernel descriptors.
+class Communicator {
+ public:
+  Communicator(sim::Engine& engine, interconnect::Topology& topology,
+               const gpu::GpuSpec& gpu, CommConfig config = CommConfig::liger_tuned());
+
+  const CommConfig& config() const { return config_; }
+  interconnect::Topology& topology() { return topology_; }
+
+  struct Op {
+    std::shared_ptr<Collective> collective;
+    // kernels[i] belongs to devices[i] of the request.
+    std::vector<gpu::KernelDesc> kernels;
+  };
+
+  // All-reduce of `bytes` (per device) across `devices` (>= 2); the
+  // algorithm follows config().allreduce_algo (kAuto picks the faster
+  // of ring and tree for the payload).
+  Op all_reduce(std::uint64_t bytes, const std::vector<int>& devices,
+                const std::string& name);
+
+  // Ring reduce-scatter / all-gather over `bytes` of full activations
+  // (the sequence-parallel building blocks).
+  Op reduce_scatter(std::uint64_t bytes, const std::vector<int>& devices,
+                    const std::string& name);
+  Op all_gather(std::uint64_t bytes, const std::vector<int>& devices,
+                const std::string& name);
+
+  // Binomial-tree broadcast from devices.front().
+  Op broadcast(std::uint64_t bytes, const std::vector<int>& devices,
+               const std::string& name);
+
+  // Point-to-point transfer src -> dst (send kernel + recv kernel).
+  Op p2p(std::uint64_t bytes, int src, int dst, const std::string& name);
+
+  // Full-bandwidth durations — what offline profiling records (§3.5).
+  sim::SimTime all_reduce_solo_time(std::uint64_t bytes, int num_devices) const;
+  sim::SimTime reduce_scatter_solo_time(std::uint64_t bytes, int num_devices) const;
+  sim::SimTime all_gather_solo_time(std::uint64_t bytes, int num_devices) const;
+  sim::SimTime broadcast_solo_time(std::uint64_t bytes, int num_devices) const;
+  sim::SimTime p2p_solo_time(std::uint64_t bytes) const;
+
+  // The algorithm kAuto resolves to for a payload.
+  interconnect::Topology::CollectiveAlgo chosen_algo(std::uint64_t bytes,
+                                                     int num_devices) const;
+
+  // SM blocks a communication kernel occupies under this config
+  // (clamped to the device: NCCL never allocates more channels than the
+  // GPU can host).
+  int comm_kernel_blocks() const { return std::min(config_.kernel_blocks(), gpu_.sm_count); }
+
+  // Local HBM demand fraction of a comm kernel while transferring.
+  double comm_mem_bw_demand() const;
+
+ private:
+  Op make_collective(Collective::Kind kind, sim::SimTime solo, std::uint64_t bytes,
+                     const std::vector<int>& devices, const std::string& name);
+
+  sim::Engine& engine_;
+  interconnect::Topology& topology_;
+  gpu::GpuSpec gpu_;
+  CommConfig config_;
+  // Active collectives that must re-derive rates when the topology's
+  // flow set changes (PCIe switch sharing). Pruned lazily.
+  Collective::Registry active_;
+};
+
+}  // namespace liger::collective

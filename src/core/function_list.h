@@ -1,0 +1,50 @@
+// Function assembly (§3.2): the list of kernel-launch descriptors for
+// one batch's inference, consumed front-to-back by the scheduler.
+#pragma once
+
+#include <cassert>
+#include <deque>
+
+#include "model/batch.h"
+#include "model/op_template.h"
+
+namespace liger::core {
+
+class FunctionList {
+ public:
+  FunctionList(model::BatchRequest request, model::OpList ops)
+      : request_(request), ops_(ops.begin(), ops.end()) {}
+
+  const model::BatchRequest& request() const { return request_; }
+  bool empty() const { return ops_.empty(); }
+  std::size_t remaining() const { return ops_.size(); }
+
+  const model::OpTemplate& front() const {
+    assert(!empty());
+    return ops_.front();
+  }
+
+  model::OpTemplate pop() {
+    assert(!empty());
+    model::OpTemplate op = std::move(ops_.front());
+    ops_.pop_front();
+    return op;
+  }
+
+  // Re-inserts the unscheduled remainder of a decomposed op.
+  void push_front(model::OpTemplate op) { ops_.push_front(std::move(op)); }
+
+  // Algorithm 1's switch() test: true when the op after front() has a
+  // different kernel kind, or front() is the last op.
+  bool switches_after_front() const {
+    assert(!empty());
+    if (ops_.size() == 1) return true;
+    return ops_[0].kind != ops_[1].kind;
+  }
+
+ private:
+  model::BatchRequest request_;
+  std::deque<model::OpTemplate> ops_;
+};
+
+}  // namespace liger::core

@@ -1,0 +1,199 @@
+#include "core/liger_runtime.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace liger::core {
+
+LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options)
+    : node_(node),
+      model_(std::move(model)),
+      cost_(node.spec().gpu),
+      builder_(model_, cost_),
+      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
+      table_(comm_, node.num_devices()),
+      planner_(cost_, table_, options.decomposition_factor),
+      scheduler_(planner_, Scheduler::Options{options.contention_factor,
+                                              options.enable_decomposition,
+                                              options.processing_slots}),
+      options_(options) {
+  const int n = node_.num_devices();
+  stream0_.reserve(static_cast<std::size_t>(n));
+  stream1_.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    stream0_.push_back(&node_.device(r).create_stream());
+    stream1_.push_back(&node_.device(r).create_stream());
+    wakeups_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+  }
+  for (int r = 0; r < n; ++r) rank_actor(r);
+}
+
+void LigerRuntime::submit(model::BatchRequest request) {
+  model::ExecConfig cfg;
+  cfg.batch = request.batch_size;
+  cfg.seq = request.seq;
+  cfg.tp = node_.num_devices();
+  cfg.phase = request.phase;
+  cfg.sequence_parallel = options_.sequence_parallel;
+
+  model::OpList ops = builder_.model_ops(cfg);
+  table_.annotate(ops);
+  inflight_.emplace(request.id, request);
+  completion_remaining_.emplace(request.id, node_.num_devices());
+  activation_bytes_.emplace(request.id, builder_.activation_bytes(cfg));
+  stats_.current_activation_bytes += activation_bytes_.at(request.id);
+  stats_.peak_activation_bytes =
+      std::max(stats_.peak_activation_bytes, stats_.current_activation_bytes);
+  scheduler_.enqueue(FunctionList(request, std::move(ops)));
+  for (auto& ch : wakeups_) ch->push(request.id);
+}
+
+LigerRuntime::ExecItem LigerRuntime::materialize(LaunchItem item) {
+  ExecItem exec;
+  exec.batch_id = item.batch_id;
+  exec.completes_batch = item.completes_batch;
+  const int n = node_.num_devices();
+
+  if (item.op.is_comm()) {
+    std::vector<int> devices(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) devices[static_cast<std::size_t>(d)] = d;
+    collective::Communicator::Op op;
+    switch (item.op.cls) {
+      case model::OpClass::kAllReduce:
+        op = comm_.all_reduce(item.op.comm_bytes, devices, item.op.kernel.name);
+        break;
+      case model::OpClass::kReduceScatter:
+        op = comm_.reduce_scatter(item.op.comm_bytes, devices, item.op.kernel.name);
+        break;
+      case model::OpClass::kAllGather:
+        op = comm_.all_gather(item.op.comm_bytes, devices, item.op.kernel.name);
+        break;
+      default:
+        assert(false && "unexpected comm op in a tensor-parallel plan");
+    }
+    exec.per_rank = std::move(op.kernels);
+    for (auto& k : exec.per_rank) k.batch_id = item.batch_id;
+  } else {
+    gpu::KernelDesc desc = item.op.kernel;
+    desc.batch_id = item.batch_id;
+    exec.per_rank.assign(static_cast<std::size_t>(n), desc);
+  }
+  return exec;
+}
+
+LigerRuntime::ExecPlan& LigerRuntime::plan(std::size_t round) {
+  if (round < plans_.size()) return plans_[round];
+  assert(round == plans_.size() && "ranks must consume plans in order");
+  assert(scheduler_.has_work());
+
+  RoundPlan rp = scheduler_.next_round();
+  ExecPlan exec;
+  exec.primary_kind = rp.primary_kind;
+  exec.primary.reserve(rp.primary.size());
+  exec.secondary.reserve(rp.secondary.size());
+  for (auto& item : rp.primary) exec.primary.push_back(materialize(std::move(item)));
+  for (auto& item : rp.secondary) exec.secondary.push_back(materialize(std::move(item)));
+
+  ++stats_.rounds;
+  stats_.kernels_launched += exec.primary.size() + exec.secondary.size();
+  stats_.secondary_kernels += exec.secondary.size();
+  stats_.decompositions = scheduler_.decompositions();
+
+  plans_.push_back(std::move(exec));
+  return plans_.back();
+}
+
+std::function<void()> LigerRuntime::completion_cb(const ExecItem& item) {
+  if (!item.completes_batch) return {};
+  const int batch_id = item.batch_id;
+  return [this, batch_id] {
+    auto it = completion_remaining_.find(batch_id);
+    assert(it != completion_remaining_.end());
+    if (--it->second == 0) {
+      completion_remaining_.erase(it);
+      auto req = inflight_.find(batch_id);
+      assert(req != inflight_.end());
+      const model::BatchRequest request = req->second;
+      inflight_.erase(req);
+      auto act = activation_bytes_.find(batch_id);
+      assert(act != activation_bytes_.end());
+      stats_.current_activation_bytes -= act->second;
+      activation_bytes_.erase(act);
+      notify_complete(request, node_.engine().now());
+    }
+  };
+}
+
+sim::Task LigerRuntime::rank_actor(int rank) {
+  auto& host = node_.host(rank);
+  gpu::Stream& s0 = *stream0_[static_cast<std::size_t>(rank)];
+  gpu::Stream& s1 = *stream1_[static_cast<std::size_t>(rank)];
+  auto& wakeup = *wakeups_[static_cast<std::size_t>(rank)];
+
+  std::shared_ptr<gpu::Event> prev_pre;
+  std::shared_ptr<gpu::Event> prev_post;
+
+  for (std::size_t round = 0;; ++round) {
+    while (round >= plans_.size() && !scheduler_.has_work()) {
+      (void)co_await wakeup.pop();
+    }
+    ExecPlan& p = plan(round);
+    const auto r = static_cast<std::size_t>(rank);
+
+    // --- Synchronize with the previous round -----------------------------
+    if (options_.sync == SyncMode::kHybrid) {
+      // Wake while the last primary kernel of the previous round still
+      // runs; the launches below hide behind its execution.
+      if (prev_pre) co_await host.sync_event(*prev_pre);
+    } else {
+      // Fig 13 baseline: full CPU-GPU synchronization between rounds.
+      co_await host.sync_stream(s0);
+      co_await host.sync_stream(s1);
+    }
+
+    // --- Launch the two subsets, communication subset first (§3.4).
+    // Launch order decides who wins same-instant SM-block races on the
+    // device, so the small cooperative comm kernels must be enqueued
+    // ahead of the compute flood.
+    assert(!p.primary.empty());
+    std::shared_ptr<gpu::Event> pre;
+    std::shared_ptr<gpu::Event> post;
+    const bool comm_primary = (p.primary_kind == gpu::KernelKind::kComm);
+    for (int phase = 0; phase < 2; ++phase) {
+      const bool launch_primary = (phase == 0) == comm_primary;
+      if (launch_primary) {
+        // Primary subset on stream 0, pre/post events around its last
+        // kernel (the hybrid-synchronization anchor).
+        for (std::size_t i = 0; i + 1 < p.primary.size(); ++i) {
+          co_await host.launch_kernel(s0, p.primary[i].per_rank[r],
+                                      completion_cb(p.primary[i]));
+        }
+        if (options_.sync == SyncMode::kHybrid) {
+          pre = host.create_event();
+          co_await host.record_event(s0, pre);
+        }
+        auto& last = p.primary.back();
+        co_await host.launch_kernel(s0, last.per_rank[r], completion_cb(last));
+        if (options_.sync == SyncMode::kHybrid) {
+          post = host.create_event();
+          co_await host.record_event(s0, post);
+        }
+      } else if (!p.secondary.empty()) {
+        // Secondary subset on stream 1, gated GPU-side on the previous
+        // round's post-event so it cannot contend with the previous
+        // (same-kind) primary subset.
+        if (options_.sync == SyncMode::kHybrid && prev_post) {
+          co_await host.stream_wait_event(s1, prev_post);
+        }
+        for (auto& item : p.secondary) {
+          co_await host.launch_kernel(s1, item.per_rank[r], completion_cb(item));
+        }
+      }
+    }
+    prev_pre = std::move(pre);
+    prev_post = std::move(post);
+  }
+}
+
+}  // namespace liger::core

@@ -1,0 +1,117 @@
+// Liger: the interleaved-parallelism runtime (the paper's system).
+//
+// Architecture (mirrors Fig 5/Fig 7):
+//  * submit() assembles the batch's function list (§3.2: model ops with
+//    profiled durations) and appends it to the waiting queue.
+//  * A shared Scheduler computes RoundPlans with Algorithm 1 +
+//    contention factors + runtime decomposition.
+//  * One rank actor per device executes the common plan sequence on its
+//    GPU: primary subset on stream 0, secondary subset on stream 1,
+//    coordinated with the hybrid synchronization of §3.4 — the host
+//    wakes on a pre-event recorded before the last primary kernel,
+//    pre-launches the next round while that kernel still runs, and
+//    gates the secondary stream on a post-event recorded after it
+//    (inter-stream sync, no CPU involvement).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collective/collective.h"
+#include "core/runtime.h"
+#include "core/scheduler.h"
+#include "gpu/node.h"
+#include "model/cost_model.h"
+#include "model/layer_builder.h"
+#include "profile/decomposition_planner.h"
+#include "profile/profile_table.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace liger::core {
+
+enum class SyncMode {
+  kHybrid,      // pre-launch + inter-stream events (§3.4)
+  kCpuGpuOnly,  // cudaStreamSynchronize between rounds (Fig 13 baseline)
+};
+
+struct LigerOptions {
+  SyncMode sync = SyncMode::kHybrid;
+  int decomposition_factor = 8;       // §4.2 default
+  bool enable_decomposition = true;
+  // Contention factor for secondary durations; the paper uses 1.1
+  // (V100) / 1.15 (A100). profile::profile_contention() measures it.
+  double contention_factor = 1.1;
+  int processing_slots = 4;
+  collective::CommConfig comm = collective::CommConfig::liger_tuned();
+  // Megatron-SP sequence parallelism (extension): 2x finer comm ops for
+  // the interleaver to place.
+  bool sequence_parallel = false;
+};
+
+struct LigerStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t kernels_launched = 0;       // per rank 0
+  std::uint64_t secondary_kernels = 0;      // overlapped ops (rank 0)
+  std::uint64_t decompositions = 0;
+  // Function-assembler memory accounting (§3.2): per-device activation
+  // bytes of currently in-flight batches, and the high-water mark.
+  std::uint64_t current_activation_bytes = 0;
+  std::uint64_t peak_activation_bytes = 0;
+};
+
+class LigerRuntime : public InferenceRuntime {
+ public:
+  LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options = {});
+
+  void submit(model::BatchRequest request) override;
+  std::string name() const override { return "liger"; }
+
+  const LigerStats& stats() const { return stats_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  // One plan entry per round, shared by all ranks. Comm ops are
+  // materialized once (one collective per comm item).
+  struct ExecItem {
+    std::vector<gpu::KernelDesc> per_rank;  // index = device id
+    int batch_id = -1;
+    bool completes_batch = false;
+  };
+  struct ExecPlan {
+    std::vector<ExecItem> primary;
+    std::vector<ExecItem> secondary;
+    gpu::KernelKind primary_kind = gpu::KernelKind::kCompute;
+  };
+
+  sim::Task rank_actor(int rank);
+  ExecPlan& plan(std::size_t round);
+  ExecItem materialize(LaunchItem item);
+  std::function<void()> completion_cb(const ExecItem& item);
+
+  gpu::Node& node_;
+  model::ModelSpec model_;
+  model::CostModel cost_;
+  model::LayerBuilder builder_;
+  collective::Communicator comm_;
+  profile::ProfileTable table_;
+  profile::DecompositionPlanner planner_;
+  Scheduler scheduler_;
+  LigerOptions options_;
+
+  // Deque: rank actors hold ExecPlan references across co_awaits while
+  // other ranks append plans; deque push_back keeps references stable.
+  std::deque<ExecPlan> plans_;
+  std::vector<gpu::Stream*> stream0_;
+  std::vector<gpu::Stream*> stream1_;
+  std::vector<std::unique_ptr<sim::Channel<int>>> wakeups_;
+  std::unordered_map<int, int> completion_remaining_;   // batch -> ranks left
+  std::unordered_map<int, model::BatchRequest> inflight_;
+  std::unordered_map<int, std::uint64_t> activation_bytes_;
+  LigerStats stats_;
+};
+
+}  // namespace liger::core

@@ -1,0 +1,38 @@
+// The runtime-backend interface every parallelism implementation
+// (Liger, Intra-Op, Inter-Op, Inter-Th) exposes to the serving system.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "model/batch.h"
+#include "sim/time.h"
+
+namespace liger::core {
+
+class InferenceRuntime {
+ public:
+  // Called once per completed batch with the completion time.
+  using CompletionHook =
+      std::function<void(const model::BatchRequest& request, sim::SimTime completion)>;
+
+  virtual ~InferenceRuntime() = default;
+
+  // Hands a batch to the runtime. Must be called at simulated time
+  // >= request.arrival (typically == from the serving frontend).
+  virtual void submit(model::BatchRequest request) = 0;
+
+  virtual std::string name() const = 0;
+
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+ protected:
+  void notify_complete(const model::BatchRequest& request, sim::SimTime completion) {
+    if (hook_) hook_(request, completion);
+  }
+
+ private:
+  CompletionHook hook_;
+};
+
+}  // namespace liger::core

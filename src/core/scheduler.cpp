@@ -1,0 +1,92 @@
+#include "core/scheduler.h"
+
+#include <cassert>
+
+namespace liger::core {
+
+Scheduler::Scheduler(const profile::DecompositionPlanner& planner, Options options)
+    : planner_(planner), options_(options) {
+  assert(options_.processing_slots >= 1);
+  assert(options_.contention_factor >= 1.0);
+}
+
+void Scheduler::enqueue(FunctionList list) {
+  assert(!list.empty());
+  waiting_.push_back(std::move(list));
+}
+
+void Scheduler::refill() {
+  // Remove fully scheduled lists anywhere in the processing list, then
+  // pull waiting tasks into the freed slots (arrival order).
+  std::erase_if(processing_, [](const FunctionList& l) { return l.empty(); });
+  while (static_cast<int>(processing_.size()) < options_.processing_slots &&
+         !waiting_.empty()) {
+    processing_.push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+  }
+}
+
+bool Scheduler::has_work() const {
+  if (!waiting_.empty()) return true;
+  for (const auto& l : processing_) {
+    if (!l.empty()) return true;
+  }
+  return false;
+}
+
+RoundPlan Scheduler::next_round() {
+  refill();
+  assert(!processing_.empty() && "next_round() without work");
+
+  RoundPlan plan;
+  FunctionList& primary = processing_.front();
+  plan.primary_kind = primary.front().kind;
+
+  // --- SubSet0: collect from the primary batch until the type switch.
+  while (!primary.empty()) {
+    const bool switches = primary.switches_after_front();
+    plan.primary_duration += primary.front().profiled_duration;
+    model::OpTemplate op = primary.pop();
+    plan.primary.push_back(LaunchItem{std::move(op), primary.request().id, primary.empty()});
+    if (switches) break;
+  }
+
+  // --- SubSet1: opposite-kind ops from subsequent batches, scaled by
+  // the contention factor so the secondary subset cannot outlive the
+  // primary one (Principle 1).
+  double time = static_cast<double>(plan.primary_duration);
+  const double cf = options_.contention_factor;
+  for (std::size_t i = 1; i < processing_.size() && time > 0.0; ++i) {
+    FunctionList& v = processing_[i];
+    while (time > 0.0 && !v.empty()) {
+      const model::OpTemplate& head = v.front();
+      if (head.kind == plan.primary_kind) break;  // same type: leave for a later round
+
+      const double scaled = static_cast<double>(head.profiled_duration) * cf;
+      if (scaled <= time) {
+        time -= scaled;
+        plan.secondary_duration += scaled;
+        model::OpTemplate op = v.pop();
+        plan.secondary.push_back(LaunchItem{std::move(op), v.request().id, v.empty()});
+        continue;
+      }
+
+      // Too long for the open window: decompose at runtime (§3.6).
+      if (options_.enable_decomposition) {
+        const int num = planner_.max_fitting(head, static_cast<sim::SimTime>(time), cf);
+        if (num > 0) {
+          auto [piece, rest] = planner_.split(head, num);
+          v.pop();
+          v.push_front(std::move(rest));
+          ++decompositions_;
+          plan.secondary_duration += static_cast<double>(piece.profiled_duration) * cf;
+          plan.secondary.push_back(LaunchItem{std::move(piece), v.request().id, false});
+        }
+      }
+      time = 0.0;  // window consumed (or unusable remainder)
+    }
+  }
+  return plan;
+}
+
+}  // namespace liger::core

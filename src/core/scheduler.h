@@ -1,0 +1,77 @@
+// The basic scheduling algorithm (paper Algorithm 1) with contention
+// anticipation (§3.5) and runtime kernel decomposition (§3.6).
+//
+// The Scheduler is pure policy: it owns the waiting queue and the
+// processing list and produces one RoundPlan per call. Execution
+// (streams, events, collectives) is the LigerRuntime's job, which keeps
+// this class deterministic and directly unit-testable.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/function_list.h"
+#include "profile/decomposition_planner.h"
+
+namespace liger::core {
+
+struct LaunchItem {
+  model::OpTemplate op;
+  int batch_id = -1;
+  // True when this op is the batch's last: its completion (on every
+  // device) completes the batch.
+  bool completes_batch = false;
+};
+
+struct RoundPlan {
+  // SubSet0 — a maximal same-kind run from the primary batch,
+  // including the kernel at the type-switch point.
+  std::vector<LaunchItem> primary;
+  // SubSet1 — opposite-kind ops from subsequent batches whose scaled
+  // durations fit within the primary subset's duration (Principle 1).
+  std::vector<LaunchItem> secondary;
+  gpu::KernelKind primary_kind = gpu::KernelKind::kCompute;
+  sim::SimTime primary_duration = 0;    // sum of profiled durations
+  double secondary_duration = 0.0;      // sum of contention-scaled durations
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    // Secondary durations are multiplied by this before the fit test.
+    double contention_factor = 1.1;
+    // Runtime kernel decomposition on/off + the division factor k.
+    bool enable_decomposition = true;
+    // Size of the processing list (tasks considered concurrently).
+    int processing_slots = 4;
+  };
+
+  Scheduler(const profile::DecompositionPlanner& planner, Options options);
+
+  // Adds a batch's function list to the waiting queue.
+  void enqueue(FunctionList list);
+
+  // True when any unscheduled op remains.
+  bool has_work() const;
+
+  // Computes the next round (requires has_work()).
+  RoundPlan next_round();
+
+  std::size_t waiting_count() const { return waiting_.size(); }
+  std::size_t processing_count() const { return processing_.size(); }
+
+  // Number of ops split by runtime decomposition so far.
+  std::uint64_t decompositions() const { return decompositions_; }
+
+ private:
+  // Drops drained lists, promotes waiting batches into free slots.
+  void refill();
+
+  const profile::DecompositionPlanner& planner_;
+  Options options_;
+  std::deque<FunctionList> waiting_;
+  std::deque<FunctionList> processing_;
+  std::uint64_t decompositions_ = 0;
+};
+
+}  // namespace liger::core

@@ -1,0 +1,323 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace liger::gpu {
+
+Device::Device(sim::Engine& engine, int id, GpuSpec spec, DeviceConfig config)
+    : engine_(engine),
+      id_(id),
+      spec_(std::move(spec)),
+      config_(config),
+      free_blocks_(spec_.sm_count) {
+  assert(config_.max_connections >= 1);
+  hw_queues_.resize(static_cast<std::size_t>(config_.max_connections));
+}
+
+Stream& Device::create_stream(StreamPriority priority) {
+  const int index = static_cast<int>(streams_.size());
+  const int hw_queue = index % config_.max_connections;
+  streams_.push_back(std::make_unique<Stream>(*this, index, priority, hw_queue));
+  return *streams_.back();
+}
+
+std::size_t Device::queued_ops() const {
+  std::size_t n = 0;
+  for (const auto& q : hw_queues_) n += q.size();
+  return n;
+}
+
+void Device::deliver(Stream& stream, StreamOp op) {
+  assert(&stream.device() == this);
+  if (op.kind == StreamOp::Kind::kKernel) {
+    assert(op.kernel.blocks >= 1);
+    assert(!op.kernel.cooperative || op.kernel.blocks <= total_blocks());
+    assert(op.kernel.solo_duration >= 0);
+  }
+  hw_queues_[static_cast<std::size_t>(stream.hw_queue())].push_back(
+      QueuedOp{&stream, std::move(op), next_delivery_seq_++});
+  request_dispatch();
+}
+
+void Device::request_dispatch() {
+  if (dispatch_pending_) return;
+  dispatch_pending_ = true;
+  engine_.schedule_after(0, [this] {
+    dispatch_pending_ = false;
+    run_dispatch();
+  });
+}
+
+bool Device::op_stream_ready(const QueuedOp& qo) const {
+  return qo.op.stream_seq == qo.stream->completed();
+}
+
+void Device::run_dispatch() {
+  if (in_dispatch_) return;
+  in_dispatch_ = true;
+
+  // Freed blocks first top up running (earlier-launched) kernels whose
+  // CTAs are already queued on the device; only the remainder is
+  // available to newly dispatched kernels.
+  for (KernelId id : running_order_) {
+    RunningKernel& k = running_.at(id);
+    const int add = std::min(k.desc.blocks - k.granted, free_blocks_);
+    if (add > 0) {
+      k.granted += add;
+      free_blocks_ -= add;
+    }
+  }
+
+  // Queue heads are arbitrated by (stream priority, launch order):
+  // among simultaneously ready heads, the earliest-launched kernel
+  // claims resources first. This is what makes Liger's
+  // communication-subset-first launch ordering (§3.4) effective — the
+  // small cooperative comm kernel grabs its blocks before a same-round
+  // compute kernel floods the SMs. A head that does not fit blocks only
+  // its own queue (left-over policy): later heads in other queues may
+  // still start, which preserves the §2.3.1 lag when compute was
+  // launched first.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < hw_queues_.size(); ++i) {
+      if (!hw_queues_[i].empty()) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const QueuedOp& qa = hw_queues_[a].front();
+      const QueuedOp& qb = hw_queues_[b].front();
+      const bool ha = qa.stream->priority() == StreamPriority::kHigh;
+      const bool hb = qb.stream->priority() == StreamPriority::kHigh;
+      if (ha != hb) return ha;
+      return qa.delivery_seq < qb.delivery_seq;
+    });
+    for (std::size_t qi : order) {
+      if (try_process(hw_queues_[qi].front())) {
+        hw_queues_[qi].pop_front();
+        progress = true;
+        break;  // state changed; re-evaluate head ordering
+      }
+    }
+  }
+
+  in_dispatch_ = false;
+  rebalance();
+}
+
+bool Device::try_process(QueuedOp& qo) {
+  if (!op_stream_ready(qo)) return false;
+
+  switch (qo.op.kind) {
+    case StreamOp::Kind::kRecordEvent: {
+      qo.op.event->fire();
+      qo.stream->complete_op();
+      if (qo.op.on_complete) qo.op.on_complete();
+      return true;
+    }
+    case StreamOp::Kind::kWaitEvent: {
+      if (!qo.op.event->fired()) {
+        if (!qo.op.wait_hooked) {
+          qo.op.wait_hooked = true;
+          qo.op.event->condition().on_fire([this] { request_dispatch(); });
+        }
+        return false;
+      }
+      qo.stream->complete_op();
+      if (qo.op.on_complete) qo.op.on_complete();
+      return true;
+    }
+    case StreamOp::Kind::kKernel: {
+      const KernelDesc& k = qo.op.kernel;
+      const int need = k.cooperative ? k.blocks : 1;
+      if (free_blocks_ < need) return false;
+      start_kernel(qo);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Device::start_kernel(QueuedOp& qo) {
+  account();
+  const KernelId id = next_kernel_id_++;
+  RunningKernel rk;
+  rk.id = id;
+  rk.desc = std::move(qo.op.kernel);
+  rk.stream = qo.stream;
+  rk.on_complete = std::move(qo.op.on_complete);
+  rk.granted = std::min(rk.desc.blocks, free_blocks_);
+  rk.granted_at_start = rk.granted;
+  assert(rk.granted >= 1);
+  free_blocks_ -= rk.granted;
+  // Coupled kernels spin without memory traffic until the collective's
+  // rendezvous completes; the coupler re-activates them.
+  rk.mem_active = !rk.coupled();
+  rk.remaining = static_cast<double>(rk.desc.solo_duration);
+  rk.last_update = rk.start_time = engine_.now();
+
+  if (rk.desc.kind == KernelKind::kCompute) {
+    ++running_comp_;
+  } else {
+    ++running_comm_;
+  }
+
+  auto coupler = rk.desc.coupler;
+  running_order_.push_back(id);
+  running_.emplace(id, std::move(rk));
+
+  if (coupler) coupler->member_started(*this, id);
+}
+
+void Device::finish_kernel(KernelId id) {
+  auto it = running_.find(id);
+  assert(it != running_.end() && "finishing unknown kernel");
+  RunningKernel& k = it->second;
+  account();
+
+  engine_.cancel(k.completion);
+  free_blocks_ += k.granted;
+  if (k.desc.kind == KernelKind::kCompute) {
+    --running_comp_;
+  } else {
+    --running_comm_;
+  }
+
+  if (trace_ != nullptr) {
+    trace_->on_kernel(KernelTraceRecord{id_, k.stream->index(), k.desc.name, k.desc.kind,
+                                        k.start_time, engine_.now(), k.granted_at_start,
+                                        k.granted, k.desc.batch_id});
+  }
+
+  Stream* stream = k.stream;
+  auto on_complete = std::move(k.on_complete);
+  running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
+  running_.erase(it);
+
+  stream->complete_op();
+  if (on_complete) on_complete();
+  request_dispatch();
+}
+
+void Device::set_kernel_mem_active(KernelId id, bool active) {
+  auto it = running_.find(id);
+  assert(it != running_.end());
+  if (it->second.mem_active == active) return;
+  it->second.mem_active = active;
+  request_dispatch();
+}
+
+void Device::finish_kernel_external(KernelId id) { finish_kernel(id); }
+
+double Device::kernel_local_rate(KernelId id) const {
+  auto it = running_.find(id);
+  assert(it != running_.end());
+  return it->second.rate;
+}
+
+void Device::rebalance() {
+  account();
+  const sim::SimTime now = engine_.now();
+
+  // 1. Integrate progress at the rates that held since last update.
+  for (KernelId id : running_order_) {
+    RunningKernel& k = running_.at(id);
+    if (!k.coupled()) {
+      k.remaining -= k.rate * static_cast<double>(now - k.last_update);
+      if (k.remaining < 0.0) k.remaining = 0.0;
+    }
+    k.last_update = now;
+  }
+
+  // 2. Top up block grants in start order (left-over policy: released
+  //    blocks go to the oldest under-provisioned kernel first).
+  for (KernelId id : running_order_) {
+    RunningKernel& k = running_.at(id);
+    const int add = std::min(k.desc.blocks - k.granted, free_blocks_);
+    if (add > 0) {
+      k.granted += add;
+      free_blocks_ -= add;
+    }
+  }
+
+#ifndef NDEBUG
+  // Block conservation: granted + free == SM count, always.
+  int granted_total = 0;
+  for (KernelId id : running_order_) granted_total += running_.at(id).granted;
+  assert(granted_total + free_blocks_ == total_blocks());
+#endif
+
+  // 3. Memory-bandwidth pool: proportional sharing. When the summed
+  //    demand exceeds capacity, every consumer is scaled by the same
+  //    factor — DRAM interference hurts all parties, which is exactly
+  //    the behaviour the paper's contention factors anticipate
+  //    (§2.3.2, §4.2 "both queues are affected by hardware
+  //    contention"). Demands scale with actual occupancy; spinning
+  //    (inactive) kernels place no demand.
+  std::vector<double> demands(running_order_.size(), 0.0);
+  double total_demand = 0.0;
+  for (std::size_t i = 0; i < running_order_.size(); ++i) {
+    const RunningKernel& k = running_.at(running_order_[i]);
+    if (k.mem_active && k.desc.mem_bw_demand > 0.0) {
+      demands[i] = k.desc.mem_bw_demand * static_cast<double>(k.granted) /
+                   static_cast<double>(k.desc.blocks);
+      total_demand += demands[i];
+    }
+  }
+  const double bw_factor = total_demand > 1.0 ? 1.0 / total_demand : 1.0;
+
+  // 4. New rates; reschedule completions / notify couplers.
+  for (std::size_t i = 0; i < running_order_.size(); ++i) {
+    const KernelId id = running_order_[i];
+    RunningKernel& k = running_.at(id);
+    const double occupancy =
+        static_cast<double>(k.granted) / static_cast<double>(k.desc.blocks);
+    const double bw_share = demands[i] > 0.0 ? bw_factor : 1.0;
+    const double rate = occupancy * bw_share;
+
+    if (k.coupled()) {
+      k.rate = rate;
+      k.desc.coupler->member_rate(*this, id, rate);
+      continue;
+    }
+
+    k.rate = rate;
+    engine_.cancel(k.completion);
+    assert(rate > 0.0);
+    assert(k.granted >= k.granted_at_start);
+    const double dt = k.remaining / rate;
+    const sim::SimTime when = std::max<sim::SimTime>(0, static_cast<sim::SimTime>(std::ceil(dt)));
+    k.completion = engine_.schedule_after(when, [this, id] { finish_kernel(id); });
+  }
+}
+
+void Device::account() const {
+  const sim::SimTime now = engine_.now();
+  const sim::SimTime dt = now - acct_time_;
+  if (dt <= 0) return;
+  if (running_comp_ + running_comm_ > 0) busy_any_ += dt;
+  if (running_comp_ > 0) busy_comp_ += dt;
+  if (running_comm_ > 0) busy_comm_ += dt;
+  acct_time_ = now;
+}
+
+sim::SimTime Device::busy_time_any() const {
+  account();
+  return busy_any_;
+}
+
+sim::SimTime Device::busy_time_compute() const {
+  account();
+  return busy_comp_;
+}
+
+sim::SimTime Device::busy_time_comm() const {
+  account();
+  return busy_comm_;
+}
+
+}  // namespace liger::gpu

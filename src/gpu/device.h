@@ -1,0 +1,156 @@
+// The simulated GPU.
+//
+// A Device executes StreamOps delivered by a HostContext. Its behaviour
+// model captures the scheduling phenomena the paper builds on:
+//
+//  * Hardware launch queues ("connections"): streams map round-robin
+//    onto `max_connections` in-order queues; a stalled head blocks
+//    later commands in the same queue (§3.4's reason for setting
+//    CUDA_DEVICE_MAX_CONNECTIONS=2).
+//  * Left-over block scheduling: a compute kernel starts as soon as at
+//    least one SM block slot is free and is topped up as blocks
+//    release; a cooperative (NCCL-style) kernel needs all its blocks
+//    simultaneously — this asymmetry produces the communication-kernel
+//    execution lag of §2.3.1.
+//  * Resource contention (§2.3.2/§3.5): concurrently running kernels
+//    share the SM block slots and a memory-bandwidth pool; each
+//    kernel's progress rate is occupancy_fraction × bandwidth_share,
+//    with the pool shared proportionally when oversubscribed (DRAM
+//    interference slows every party).
+//
+// All state changes funnel through one deferred dispatch pass per
+// timestamp, keeping the model consistent and re-entrancy free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/gpu_spec.h"
+#include "gpu/kernel.h"
+#include "gpu/stream.h"
+#include "sim/engine.h"
+
+namespace liger::gpu {
+
+struct DeviceConfig {
+  // Number of hardware launch queues (CUDA_DEVICE_MAX_CONNECTIONS).
+  int max_connections = 2;
+};
+
+class Device {
+ public:
+  Device(sim::Engine& engine, int id, GpuSpec spec, DeviceConfig config = {});
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const { return id_; }
+  const GpuSpec& spec() const { return spec_; }
+  const DeviceConfig& config() const { return config_; }
+  sim::Engine& engine() { return engine_; }
+
+  // Streams are created up front by runtimes and live as long as the
+  // device. Assignment to hardware queues is round-robin by creation.
+  Stream& create_stream(StreamPriority priority = StreamPriority::kNormal);
+  Stream& stream(int index) { return *streams_.at(index); }
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+
+  // --- Command delivery (called by HostContext at arrival time) ----------
+  void deliver(Stream& stream, StreamOp op);
+
+  // In-order delivery bookkeeping for the host's command path.
+  sim::SimTime last_command_arrival() const { return last_cmd_arrival_; }
+  void set_last_command_arrival(sim::SimTime t) { last_cmd_arrival_ = t; }
+
+  // --- Coupler interface (collectives) ------------------------------------
+  // Toggle whether a running kernel currently consumes memory bandwidth
+  // (comm kernels spin without traffic until the rendezvous completes).
+  void set_kernel_mem_active(KernelId id, bool active);
+  // Completes a coupled kernel (the coupler owns its progress).
+  void finish_kernel_external(KernelId id);
+  // Local rate the device last computed for a running kernel.
+  double kernel_local_rate(KernelId id) const;
+
+  // --- Introspection -------------------------------------------------------
+  int total_blocks() const { return spec_.sm_count; }
+  int free_blocks() const { return free_blocks_; }
+  int running_kernels() const { return static_cast<int>(running_order_.size()); }
+  std::size_t queued_ops() const;
+
+  // Time integrals of "some kernel of this kind was running".
+  sim::SimTime busy_time_any() const;
+  sim::SimTime busy_time_compute() const;
+  sim::SimTime busy_time_comm() const;
+
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+ private:
+  struct RunningKernel {
+    KernelId id = 0;
+    KernelDesc desc;
+    Stream* stream = nullptr;
+    std::function<void()> on_complete;
+    int granted = 0;
+    int granted_at_start = 0;
+    bool mem_active = true;
+    double rate = 0.0;        // progress in solo-ns per sim-ns
+    double remaining = 0.0;   // uncoupled kernels: solo-ns left
+    sim::SimTime last_update = 0;
+    sim::SimTime start_time = 0;
+    sim::Engine::EventId completion;
+    bool coupled() const { return desc.coupler != nullptr; }
+  };
+
+  struct QueuedOp {
+    Stream* stream = nullptr;
+    StreamOp op;
+    std::uint64_t delivery_seq = 0;
+  };
+
+  // Schedules one dispatch pass at the current time (idempotent).
+  void request_dispatch();
+  // Processes ready queue heads, then rebalances rates.
+  void run_dispatch();
+  bool op_stream_ready(const QueuedOp& qo) const;
+  bool try_process(QueuedOp& qo);
+  void start_kernel(QueuedOp& qo);
+  void finish_kernel(KernelId id);
+  // Integrates progress, tops up grants, shares bandwidth, updates
+  // rates and completion events, and notifies couplers.
+  void rebalance();
+  void account() const;
+
+  sim::Engine& engine_;
+  int id_;
+  GpuSpec spec_;
+  DeviceConfig config_;
+
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::deque<QueuedOp>> hw_queues_;
+
+  std::unordered_map<KernelId, RunningKernel> running_;
+  std::vector<KernelId> running_order_;  // start order, for block top-up
+  int free_blocks_;
+  KernelId next_kernel_id_ = 1;
+  std::uint64_t next_delivery_seq_ = 1;
+  bool dispatch_pending_ = false;
+  bool in_dispatch_ = false;
+
+  sim::SimTime last_cmd_arrival_ = 0;
+
+  // Busy-time accounting.
+  mutable sim::SimTime acct_time_ = 0;
+  mutable sim::SimTime busy_any_ = 0;
+  mutable sim::SimTime busy_comp_ = 0;
+  mutable sim::SimTime busy_comm_ = 0;
+  int running_comp_ = 0;
+  int running_comm_ = 0;
+
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace liger::gpu

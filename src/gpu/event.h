@@ -1,0 +1,31 @@
+// CUDA-event analogue: a one-shot marker recorded into a stream.
+//
+// An Event fires when the RecordEvent stream op is processed (i.e. all
+// prior work in that stream completed). Hosts can synchronize on it
+// (cudaEventSynchronize) and streams can gate on it
+// (cudaStreamWaitEvent) — the inter-stream half of Liger's hybrid
+// synchronization (§3.4).
+#pragma once
+
+#include "sim/condition.h"
+#include "sim/engine.h"
+
+namespace liger::gpu {
+
+class Event {
+ public:
+  explicit Event(sim::Engine& engine) : cond_(engine) {}
+
+  bool fired() const { return cond_.fired(); }
+  sim::SimTime fire_time() const { return cond_.fire_time(); }
+
+  // Called by the device when the record op is reached.
+  void fire() { cond_.fire(); }
+
+  sim::Condition& condition() { return cond_; }
+
+ private:
+  sim::Condition cond_;
+};
+
+}  // namespace liger::gpu

@@ -1,0 +1,35 @@
+#include "gpu/gpu_spec.h"
+
+namespace liger::gpu {
+
+GpuSpec GpuSpec::v100() {
+  GpuSpec spec;
+  spec.name = "V100-SXM2-16GB";
+  spec.sm_count = 80;
+  spec.fp16_flops = 112e12;  // tensor-core peak
+  spec.mem_bandwidth = 900e9;
+  spec.mem_bytes = 16ull << 30;
+  return spec;
+}
+
+GpuSpec GpuSpec::a100() {
+  GpuSpec spec;
+  spec.name = "A100-PCIE-80GB";
+  spec.sm_count = 108;
+  spec.fp16_flops = 312e12;
+  spec.mem_bandwidth = 1935e9;
+  spec.mem_bytes = 80ull << 30;
+  return spec;
+}
+
+GpuSpec GpuSpec::test_gpu() {
+  GpuSpec spec;
+  spec.name = "TestGPU";
+  spec.sm_count = 10;
+  spec.fp16_flops = 1e12;
+  spec.mem_bandwidth = 100e9;
+  spec.mem_bytes = 1ull << 30;
+  return spec;
+}
+
+}  // namespace liger::gpu

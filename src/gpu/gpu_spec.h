@@ -1,0 +1,28 @@
+// Hardware specifications of the simulated GPUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace liger::gpu {
+
+struct GpuSpec {
+  std::string name;
+  // Number of streaming multiprocessors == schedulable block slots.
+  int sm_count = 80;
+  // Peak FP16 tensor throughput, FLOP/s.
+  double fp16_flops = 112e12;
+  // HBM bandwidth, bytes/s.
+  double mem_bandwidth = 900e9;
+  // Device memory capacity, bytes.
+  std::uint64_t mem_bytes = 16ull << 30;
+
+  // NVIDIA Tesla V100 SXM2 16GB (the paper's NVLink node).
+  static GpuSpec v100();
+  // NVIDIA A100 80GB PCIe (the paper's PCIe node).
+  static GpuSpec a100();
+  // A small fictional GPU for fast unit tests (10 blocks).
+  static GpuSpec test_gpu();
+};
+
+}  // namespace liger::gpu

@@ -1,0 +1,71 @@
+#include "gpu/host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace liger::gpu {
+
+HostContext::HostContext(sim::Engine& engine, interconnect::Topology& topology,
+                         CommandBus& bus, HostSpec spec)
+    : engine_(engine), topology_(topology), bus_(bus), spec_(spec) {}
+
+std::shared_ptr<Event> HostContext::create_event() {
+  return std::make_shared<Event>(engine_);
+}
+
+sim::DelayAwaiter HostContext::post(Stream& stream, StreamOp op, sim::SimTime cpu_cost) {
+  Device& device = stream.device();
+  op.stream_seq = stream.note_issued();
+
+  ++bus_.inflight;
+  const sim::SimTime latency = topology_.command_latency(bus_.inflight);
+  sim::SimTime arrival = engine_.now() + cpu_cost + latency;
+  // Commands to one device arrive in issue order even under jittered
+  // latency (the PCIe link is a FIFO).
+  arrival = std::max(arrival, device.last_command_arrival() + 1);
+  device.set_last_command_arrival(arrival);
+
+  engine_.schedule_at(arrival,
+                      [this, &device, &stream, op = std::move(op)]() mutable {
+                        --bus_.inflight;
+                        device.deliver(stream, std::move(op));
+                      });
+  return sim::delay(engine_, cpu_cost);
+}
+
+sim::DelayAwaiter HostContext::launch_kernel(Stream& stream, KernelDesc desc,
+                                             std::function<void()> on_complete) {
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
+  op.kernel = std::move(desc);
+  op.on_complete = std::move(on_complete);
+  return post(stream, std::move(op), spec_.launch_cpu);
+}
+
+sim::DelayAwaiter HostContext::record_event(Stream& stream, std::shared_ptr<Event> event) {
+  assert(event);
+  StreamOp op;
+  op.kind = StreamOp::Kind::kRecordEvent;
+  op.event = std::move(event);
+  return post(stream, std::move(op), spec_.small_cmd_cpu);
+}
+
+sim::DelayAwaiter HostContext::stream_wait_event(Stream& stream,
+                                                 std::shared_ptr<Event> event) {
+  assert(event);
+  StreamOp op;
+  op.kind = StreamOp::Kind::kWaitEvent;
+  op.event = std::move(event);
+  return post(stream, std::move(op), spec_.small_cmd_cpu);
+}
+
+sim::TimedConditionAwaiter HostContext::sync_event(Event& event) {
+  return sim::wait_with_overhead(engine_, event.condition(), spec_.sync_wake);
+}
+
+sim::TimedConditionAwaiter HostContext::sync_stream(Stream& stream) {
+  std::shared_ptr<sim::Condition> cond = stream.idle_condition(engine_);
+  return sim::wait_with_overhead(engine_, std::move(cond), spec_.sync_wake);
+}
+
+}  // namespace liger::gpu

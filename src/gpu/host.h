@@ -1,0 +1,79 @@
+// Host-side command issue: the CUDA-driver analogue.
+//
+// A HostContext models one CPU "rank" driving GPUs: every launch costs
+// CPU time (the caller co_awaits it) and the command reaches the device
+// after a PCIe hop whose latency grows with the number of commands in
+// flight across all ranks (shared root complex / switch, §4.5).
+//
+// Typical actor code:
+//
+//   sim::Task run(HostContext& host, Stream& s, ...) {
+//     co_await host.launch_kernel(s, desc);               // async launch
+//     co_await host.record_event(s, ev);                  // cudaEventRecord
+//     co_await host.sync_event(*ev);                      // cudaEventSynchronize
+//   }
+#pragma once
+
+#include <memory>
+
+#include "gpu/device.h"
+#include "gpu/event.h"
+#include "gpu/stream.h"
+#include "interconnect/topology.h"
+#include "sim/condition.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace liger::gpu {
+
+struct HostSpec {
+  // CPU time consumed by one kernel-launch call.
+  sim::SimTime launch_cpu = sim::nanoseconds(1200);
+  // CPU time for light commands (event record, stream-wait-event).
+  sim::SimTime small_cmd_cpu = sim::nanoseconds(300);
+  // Wake-up latency after a CPU-GPU synchronization completes. The
+  // paper measures ~5 us for a null-kernel launch gap on one GPU and
+  // >20 us when waiting on communication across 4 GPUs (§4.5); the
+  // multi-GPU inflation emerges from rendezvous + command contention.
+  sim::SimTime sync_wake = sim::microseconds(4);
+};
+
+// Shared between all ranks of a node: counts commands in flight on the
+// host->GPU command path so that burst launches see extra latency.
+struct CommandBus {
+  int inflight = 0;
+};
+
+class HostContext {
+ public:
+  HostContext(sim::Engine& engine, interconnect::Topology& topology, CommandBus& bus,
+              HostSpec spec);
+
+  sim::Engine& engine() { return engine_; }
+  const HostSpec& spec() const { return spec_; }
+
+  std::shared_ptr<Event> create_event();
+
+  // --- Asynchronous command issue (co_await the returned CPU cost) -------
+  [[nodiscard]] sim::DelayAwaiter launch_kernel(Stream& stream, KernelDesc desc,
+                                                std::function<void()> on_complete = {});
+  [[nodiscard]] sim::DelayAwaiter record_event(Stream& stream, std::shared_ptr<Event> event);
+  [[nodiscard]] sim::DelayAwaiter stream_wait_event(Stream& stream,
+                                                    std::shared_ptr<Event> event);
+
+  // --- Blocking synchronization -------------------------------------------
+  [[nodiscard]] sim::TimedConditionAwaiter sync_event(Event& event);
+  [[nodiscard]] sim::TimedConditionAwaiter sync_stream(Stream& stream);
+
+ private:
+  // Issues `op` to the stream's device after the command-path latency,
+  // preserving per-device delivery order. Returns the CPU-cost awaiter.
+  sim::DelayAwaiter post(Stream& stream, StreamOp op, sim::SimTime cpu_cost);
+
+  sim::Engine& engine_;
+  interconnect::Topology& topology_;
+  CommandBus& bus_;
+  HostSpec spec_;
+};
+
+}  // namespace liger::gpu

@@ -1,0 +1,100 @@
+// Kernel descriptors and the coupling interface between devices and
+// collective operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/time.h"
+
+namespace liger::gpu {
+
+class Device;
+
+enum class KernelKind {
+  kCompute,  // GEMM, attention, layernorm, elementwise ...
+  kComm,     // collective / p2p communication kernels
+};
+
+inline const char* kernel_kind_name(KernelKind k) {
+  return k == KernelKind::kCompute ? "compute" : "comm";
+}
+
+// Unique id of a running kernel instance within one device.
+using KernelId = std::uint64_t;
+
+// Couples the execution of kernels running on several devices into one
+// logical operation (a collective). The device reports lifecycle and
+// rate changes; the coupler owns joint progress and eventually calls
+// Device::finish_kernel_external() on every member.
+class ExecutionCoupler {
+ public:
+  virtual ~ExecutionCoupler() = default;
+
+  // The member kernel on `dev` has all its blocks resident and begins
+  // (or begins spinning at the rendezvous).
+  virtual void member_started(Device& dev, KernelId id) = 0;
+
+  // The device recomputed the member's local progress rate (products of
+  // occupancy and memory-bandwidth shares; 1.0 = unimpeded). May be
+  // called repeatedly with the same value.
+  virtual void member_rate(Device& dev, KernelId id, double local_rate) = 0;
+};
+
+// Static description of one kernel launch.
+struct KernelDesc {
+  std::string name;                 // trace label, e.g. "gemm_qkv[b2,s64]"
+  KernelKind kind = KernelKind::kCompute;
+
+  // Execution time when running alone with all requested blocks granted
+  // and unshared memory bandwidth. For coupled (collective) kernels this
+  // is the full-bandwidth collective time; the coupler integrates it.
+  sim::SimTime solo_duration = 0;
+
+  // SM block slots requested. Compute kernels start with whatever is
+  // free (left-over policy) and get topped up as blocks release;
+  // cooperative kernels (NCCL-style) need every block resident to start.
+  int blocks = 1;
+  bool cooperative = false;
+
+  // Fraction of device memory bandwidth consumed when running alone at
+  // full occupancy; drives the contention model.
+  double mem_bw_demand = 0.0;
+
+  // Accounting (not used for timing).
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+
+  // Scheduling metadata.
+  int batch_id = -1;
+
+  // Present on communication kernels: ties members across devices.
+  std::shared_ptr<ExecutionCoupler> coupler;
+};
+
+// One record per completed kernel, emitted to the trace sink.
+struct KernelTraceRecord {
+  int device = 0;
+  int stream = 0;
+  std::string name;
+  KernelKind kind = KernelKind::kCompute;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  // SM blocks held when the kernel started (left-over policy may grant
+  // fewer than requested)...
+  int blocks_at_start = 0;
+  // ...and at completion, after top-ups from released blocks.
+  int blocks_granted = 0;
+  int batch_id = -1;
+};
+
+// Receives kernel completion records (e.g. the Chrome-trace exporter).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_kernel(const KernelTraceRecord& rec) = 0;
+};
+
+}  // namespace liger::gpu

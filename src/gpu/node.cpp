@@ -1,0 +1,50 @@
+#include "gpu/node.h"
+
+#include <cassert>
+
+namespace liger::gpu {
+
+NodeSpec NodeSpec::v100_nvlink(int num_devices) {
+  NodeSpec spec;
+  spec.name = "4xV100-NVLink";
+  spec.gpu = GpuSpec::v100();
+  spec.link = interconnect::InterconnectSpec::nvlink_v100();
+  spec.num_devices = num_devices;
+  return spec;
+}
+
+NodeSpec NodeSpec::a100_pcie(int num_devices) {
+  NodeSpec spec;
+  spec.name = "4xA100-PCIe";
+  spec.gpu = GpuSpec::a100();
+  spec.link = interconnect::InterconnectSpec::pcie_a100();
+  spec.num_devices = num_devices;
+  return spec;
+}
+
+NodeSpec NodeSpec::test_node(int num_devices) {
+  NodeSpec spec;
+  spec.name = "TestNode";
+  spec.gpu = GpuSpec::test_gpu();
+  spec.link = interconnect::InterconnectSpec::nvlink_v100();
+  spec.num_devices = num_devices;
+  return spec;
+}
+
+Node::Node(sim::Engine& engine, NodeSpec spec)
+    : engine_(engine), spec_(std::move(spec)), topology_(spec_.link, spec_.num_devices) {
+  assert(spec_.num_devices >= 1);
+  devices_.reserve(static_cast<std::size_t>(spec_.num_devices));
+  hosts_.reserve(static_cast<std::size_t>(spec_.num_devices));
+  for (int i = 0; i < spec_.num_devices; ++i) {
+    devices_.push_back(std::make_unique<Device>(engine_, i, spec_.gpu,
+                                                DeviceConfig{spec_.max_connections}));
+    hosts_.push_back(std::make_unique<HostContext>(engine_, topology_, bus_, spec_.host));
+  }
+}
+
+void Node::set_trace_sink(TraceSink* sink) {
+  for (auto& dev : devices_) dev->set_trace_sink(sink);
+}
+
+}  // namespace liger::gpu

@@ -1,0 +1,63 @@
+// A multi-GPU node: devices + interconnect + one host rank per device.
+//
+// Mirrors the paper's testbeds: Node::v100_nvlink() is the 4x V100
+// NVLink node, Node::a100_pcie() the 4x A100 PCIe node (§4.1). Each
+// device gets its own HostContext, modelling the one-MPI-rank-per-GPU
+// process layout of the artifact; all ranks share the command bus.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/host.h"
+#include "interconnect/topology.h"
+#include "sim/engine.h"
+
+namespace liger::gpu {
+
+struct NodeSpec {
+  std::string name;
+  GpuSpec gpu;
+  interconnect::InterconnectSpec link;
+  HostSpec host;
+  int num_devices = 4;
+  int max_connections = 2;  // CUDA_DEVICE_MAX_CONNECTIONS (paper appendix C)
+
+  // The paper's two testbeds.
+  static NodeSpec v100_nvlink(int num_devices = 4);
+  static NodeSpec a100_pcie(int num_devices = 4);
+  // Small fictional node for unit tests.
+  static NodeSpec test_node(int num_devices = 2);
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, NodeSpec spec);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const NodeSpec& spec() const { return spec_; }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+
+  Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+  HostContext& host(int rank) { return *hosts_.at(static_cast<std::size_t>(rank)); }
+  interconnect::Topology& topology() { return topology_; }
+
+  // Attaches a trace sink to every device.
+  void set_trace_sink(TraceSink* sink);
+
+ private:
+  sim::Engine& engine_;
+  NodeSpec spec_;
+  interconnect::Topology topology_;
+  CommandBus bus_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<HostContext>> hosts_;
+};
+
+}  // namespace liger::gpu

@@ -1,0 +1,32 @@
+#include "gpu/stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liger::gpu {
+
+Stream::Stream(Device& device, int index, StreamPriority priority, int hw_queue)
+    : device_(device), index_(index), priority_(priority), hw_queue_(hw_queue) {}
+
+void Stream::complete_op() {
+  assert(completed_ < issued_);
+  ++completed_;
+  // Fire any synchronize() waiters whose target has been reached.
+  for (auto& sync : syncs_) {
+    if (completed_ >= sync.target_issued && !sync.cond->fired()) sync.cond->fire();
+  }
+  // Prune fired conditions that nobody can newly wait on anymore.
+  std::erase_if(syncs_, [](const PendingSync& s) { return s.cond->fired(); });
+}
+
+std::shared_ptr<sim::Condition> Stream::idle_condition(sim::Engine& engine) {
+  syncs_.push_back(PendingSync{issued_, std::make_shared<sim::Condition>(engine)});
+  auto cond = syncs_.back().cond;
+  if (completed_ >= syncs_.back().target_issued) {
+    cond->fire();
+    syncs_.pop_back();
+  }
+  return cond;
+}
+
+}  // namespace liger::gpu

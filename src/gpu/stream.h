@@ -1,0 +1,85 @@
+// CUDA-stream analogue: an in-order command queue on one device.
+//
+// Streams map onto a fixed number of hardware launch queues
+// ("connections", cf. CUDA_DEVICE_MAX_CONNECTIONS); several streams
+// sharing one hardware queue experience head-of-line blocking between
+// their commands — the false-dependency effect that makes naive
+// multi-stream scheduling fragile (paper §2.3.1/§3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/event.h"
+#include "gpu/kernel.h"
+#include "sim/condition.h"
+
+namespace liger::gpu {
+
+class Device;
+
+enum class StreamPriority {
+  kNormal,
+  kHigh,
+};
+
+// One command delivered to the device.
+struct StreamOp {
+  enum class Kind { kKernel, kRecordEvent, kWaitEvent };
+
+  Kind kind = Kind::kKernel;
+  KernelDesc kernel;                      // kKernel
+  std::shared_ptr<Event> event;           // kRecordEvent / kWaitEvent
+  std::function<void()> on_complete;      // optional completion hook
+  std::uint64_t stream_seq = 0;           // position within the stream
+  bool wait_hooked = false;               // internal: on_fire registered
+};
+
+class Stream {
+ public:
+  Stream(Device& device, int index, StreamPriority priority, int hw_queue);
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device& device() const { return device_; }
+  int index() const { return index_; }
+  StreamPriority priority() const { return priority_; }
+  int hw_queue() const { return hw_queue_; }
+
+  // All issued commands have completed.
+  bool idle() const { return completed_ == issued_; }
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+
+  // Called by HostContext at command-issue time; returns the op's
+  // sequence number within the stream.
+  std::uint64_t note_issued() { return issued_++; }
+
+  // Called by Device when an op finishes (kernels at completion,
+  // record/wait when processed). Fires idle conditions when drained.
+  void complete_op();
+
+  // A condition that fires once every op issued *so far* has completed
+  // (cudaStreamSynchronize semantics). Fired immediately if idle. The
+  // stream drops its reference after firing; callers share ownership.
+  std::shared_ptr<sim::Condition> idle_condition(sim::Engine& engine);
+
+ private:
+  struct PendingSync {
+    std::uint64_t target_issued;
+    std::shared_ptr<sim::Condition> cond;
+  };
+
+  Device& device_;
+  int index_;
+  StreamPriority priority_;
+  int hw_queue_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<PendingSync> syncs_;
+};
+
+}  // namespace liger::gpu

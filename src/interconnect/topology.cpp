@@ -1,0 +1,152 @@
+#include "interconnect/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liger::interconnect {
+
+std::string_view link_kind_name(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kNvLink: return "NVLink";
+    case LinkKind::kPcieSwitch: return "PCIe";
+  }
+  return "?";
+}
+
+InterconnectSpec InterconnectSpec::nvlink_v100() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kNvLink;
+  spec.allreduce_busbw = 32.75e9;  // measured by NCCL-tests (paper §4.1)
+  spec.p2p_bandwidth = 45.0e9;     // one NVLink gen1 direction pair
+  spec.collective_base_latency = sim::microseconds(8);
+  spec.command_latency = sim::microseconds(2);
+  spec.command_contention_step = sim::nanoseconds(400);
+  spec.channels_for_peak = 3;
+  return spec;
+}
+
+InterconnectSpec InterconnectSpec::pcie_a100() {
+  InterconnectSpec spec;
+  spec.kind = LinkKind::kPcieSwitch;
+  spec.allreduce_busbw = 14.88e9;  // measured by NCCL-tests (paper §4.1)
+  spec.p2p_bandwidth = 20.0e9;     // PCIe gen4 x16 effective
+  spec.collective_base_latency = sim::microseconds(12);
+  spec.command_latency = sim::microseconds(2);
+  spec.command_contention_step = sim::nanoseconds(700);
+  spec.channels_for_peak = 3;
+  return spec;
+}
+
+Topology::Topology(InterconnectSpec spec, int num_devices)
+    : spec_(spec), num_devices_(num_devices) {
+  assert(num_devices >= 1);
+}
+
+Topology::FlowId Topology::begin_flow(const std::vector<int>& devices) {
+  for (int d : devices) {
+    assert(d >= 0 && d < num_devices_);
+    (void)d;
+  }
+  FlowId id = next_flow_++;
+  flows_.push_back(id);
+  notify();
+  return id;
+}
+
+void Topology::end_flow(FlowId id) {
+  auto it = std::find(flows_.begin(), flows_.end(), id);
+  assert(it != flows_.end() && "ending unknown flow");
+  flows_.erase(it);
+  notify();
+}
+
+double Topology::flow_share() const {
+  if (spec_.kind == LinkKind::kNvLink) return 1.0;
+  const int n = std::max<int>(1, static_cast<int>(flows_.size()));
+  return 1.0 / static_cast<double>(n);
+}
+
+void Topology::notify() {
+  for (const auto& cb : listeners_) cb();
+}
+
+double Topology::allreduce_busbw(int channels) const {
+  assert(channels >= 1);
+  const double frac =
+      std::min(1.0, static_cast<double>(channels) / static_cast<double>(spec_.channels_for_peak));
+  return spec_.allreduce_busbw * frac;
+}
+
+namespace {
+
+int ceil_log2(int n) {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+sim::SimTime Topology::allreduce_latency(int devices, CollectiveAlgo algo) const {
+  const int steps = algo == CollectiveAlgo::kRing ? 2 * (devices - 1)
+                                                  : 2 * ceil_log2(devices);
+  return spec_.collective_base_latency + steps * spec_.step_latency;
+}
+
+sim::SimTime Topology::allreduce_time(std::uint64_t bytes, int devices, int channels,
+                                      CollectiveAlgo algo) const {
+  assert(devices >= 2);
+  const double busbw = allreduce_busbw(channels);
+  // Ring moves 2(G-1)/G x bytes at full bus bandwidth; the tree moves
+  // ~2 x bytes (up + down) at a slightly lower efficiency (halving
+  // senders per level).
+  double transfer_s;
+  if (algo == CollectiveAlgo::kRing) {
+    const double factor =
+        2.0 * static_cast<double>(devices - 1) / static_cast<double>(devices);
+    transfer_s = factor * static_cast<double>(bytes) / busbw;
+  } else {
+    transfer_s = 2.0 * static_cast<double>(bytes) / (busbw * 0.85);
+  }
+  return allreduce_latency(devices, algo) + sim::from_seconds(transfer_s);
+}
+
+sim::SimTime Topology::reduce_scatter_time(std::uint64_t bytes, int devices,
+                                           int channels) const {
+  assert(devices >= 2);
+  const double busbw = allreduce_busbw(channels);
+  const double factor = static_cast<double>(devices - 1) / static_cast<double>(devices);
+  const double transfer_s = factor * static_cast<double>(bytes) / busbw;
+  return spec_.collective_base_latency + (devices - 1) * spec_.step_latency +
+         sim::from_seconds(transfer_s);
+}
+
+sim::SimTime Topology::all_gather_time(std::uint64_t bytes, int devices, int channels) const {
+  // Same ring schedule as reduce-scatter, no reduction math.
+  return reduce_scatter_time(bytes, devices, channels);
+}
+
+sim::SimTime Topology::broadcast_time(std::uint64_t bytes, int devices, int channels) const {
+  assert(devices >= 2);
+  const double busbw = allreduce_busbw(channels);
+  const double transfer_s = static_cast<double>(bytes) / busbw;
+  return spec_.collective_base_latency + ceil_log2(devices) * spec_.step_latency +
+         sim::from_seconds(transfer_s);
+}
+
+sim::SimTime Topology::p2p_time(std::uint64_t bytes) const {
+  const double transfer_s = static_cast<double>(bytes) / spec_.p2p_bandwidth;
+  return spec_.collective_base_latency + sim::from_seconds(transfer_s);
+}
+
+sim::SimTime Topology::command_latency(int inflight) const {
+  const int extra = std::max(0, inflight - 1);
+  return spec_.command_latency + spec_.command_contention_step * extra;
+}
+
+}  // namespace liger::interconnect

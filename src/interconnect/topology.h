@@ -1,0 +1,126 @@
+// Inter-GPU interconnect model.
+//
+// Two concrete architectures from the paper (§2.1, §4.1):
+//  * NVLink mesh (V100 node): direct GPU-GPU links; the measured NCCL
+//    all-reduce bus bandwidth is 32.75 GB/s; neighbouring p2p transfers
+//    do not contend with each other.
+//  * PCIe switch (A100 node): all GPU-GPU traffic crosses one shared
+//    switch; measured all-reduce bus bandwidth is 14.88 GB/s and
+//    concurrent flows share the switch.
+//
+// The topology also models the CPU->GPU command path (launch commands
+// traverse root complex -> PCIe switch -> GPU), whose latency grows when
+// many commands are in flight (PCIe contention, paper §4.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace liger::interconnect {
+
+enum class LinkKind {
+  kNvLink,
+  kPcieSwitch,
+};
+
+std::string_view link_kind_name(LinkKind kind);
+
+struct InterconnectSpec {
+  LinkKind kind = LinkKind::kNvLink;
+  // Measured all-reduce *bus bandwidth* (NCCL-tests convention), bytes/s.
+  double allreduce_busbw = 32.75e9;
+  // Point-to-point bandwidth between a device pair, bytes/s.
+  double p2p_bandwidth = 45.0e9;
+  // Base latency of a collective/p2p operation (rendezvous + protocol).
+  sim::SimTime collective_base_latency = sim::microseconds(8);
+  // Additional latency per algorithm step (one neighbour exchange of a
+  // ring, one level of a tree).
+  sim::SimTime step_latency = sim::nanoseconds(1200);
+  // Host -> device command delivery latency (PCIe hop).
+  sim::SimTime command_latency = sim::microseconds(2);
+  // Extra command latency per other command in flight (PCIe contention).
+  sim::SimTime command_contention_step = sim::nanoseconds(400);
+  // Number of NCCL channels needed to saturate allreduce_busbw; fewer
+  // channels deliver a proportional fraction.
+  int channels_for_peak = 3;
+
+  // The V100 node of the paper: 4x V100 16GB, NVLink gen1.
+  static InterconnectSpec nvlink_v100();
+  // The A100 node of the paper: 4x A100 80GB behind a PCIe switch.
+  static InterconnectSpec pcie_a100();
+};
+
+// Tracks concurrently active inter-GPU flows and answers effective
+// bandwidth queries. On a PCIe switch, concurrent flows split the switch
+// bandwidth; on NVLink, distinct device pairs ride distinct links.
+class Topology {
+ public:
+  using FlowId = std::uint64_t;
+  using Listener = std::function<void()>;
+
+  Topology(InterconnectSpec spec, int num_devices);
+
+  const InterconnectSpec& spec() const { return spec_; }
+  int num_devices() const { return num_devices_; }
+
+  // --- Flow registry -----------------------------------------------------
+  // A "flow" is one active collective or p2p transfer. Registration lets
+  // the topology arbitrate shared-medium bandwidth.
+  FlowId begin_flow(const std::vector<int>& devices);
+  void end_flow(FlowId id);
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Multiplicative share [0,1] a single flow receives right now.
+  // NVLink: 1 (independent links). PCIe: 1/active_flows.
+  double flow_share() const;
+
+  // Registered listeners run whenever the flow set changes (so active
+  // collectives can re-derive their rates).
+  void add_listener(Listener cb) { listeners_.push_back(std::move(cb)); }
+
+  // --- Bandwidth queries --------------------------------------------------
+  // All-reduce bus bandwidth available to one flow using `channels`
+  // channels, *before* flow sharing. bytes/s.
+  double allreduce_busbw(int channels) const;
+
+  // Collective algorithms. Ring: bandwidth-optimal, 2(G-1) steps moving
+  // 2(G-1)/G x bytes. Tree: latency-optimal, 2 ceil(log2 G) steps
+  // moving ~2 x bytes (reduce up + broadcast down).
+  enum class CollectiveAlgo { kRing, kTree };
+
+  // Startup latency of a collective (base + per-step latencies).
+  sim::SimTime allreduce_latency(int devices, CollectiveAlgo algo) const;
+
+  // All-reduce wall time for `bytes` per device at full bandwidth.
+  sim::SimTime allreduce_time(std::uint64_t bytes, int devices, int channels,
+                              CollectiveAlgo algo = CollectiveAlgo::kRing) const;
+
+  // Ring reduce-scatter / all-gather: (G-1) steps, (G-1)/G x bytes —
+  // exactly half an all-reduce each.
+  sim::SimTime reduce_scatter_time(std::uint64_t bytes, int devices, int channels) const;
+  sim::SimTime all_gather_time(std::uint64_t bytes, int devices, int channels) const;
+
+  // Binomial-tree broadcast of `bytes` from one root.
+  sim::SimTime broadcast_time(std::uint64_t bytes, int devices, int channels) const;
+
+  // Point-to-point transfer time at full bandwidth.
+  sim::SimTime p2p_time(std::uint64_t bytes) const;
+
+  // Command delivery latency when `inflight` commands are outstanding.
+  sim::SimTime command_latency(int inflight) const;
+
+ private:
+  void notify();
+
+  InterconnectSpec spec_;
+  int num_devices_;
+  FlowId next_flow_ = 1;
+  std::vector<FlowId> flows_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace liger::interconnect

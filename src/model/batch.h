@@ -1,0 +1,21 @@
+// A serving request: one batch handed to a runtime backend.
+//
+// The paper's serving frontend packs incoming requests into a batch and
+// sends it to Liger (§3, Fig 5); the runtime chooses the partitioning
+// (tp degree / pipeline stages) itself.
+#pragma once
+
+#include "model/model_spec.h"
+#include "sim/time.h"
+
+namespace liger::model {
+
+struct BatchRequest {
+  int id = 0;
+  int batch_size = 1;
+  int seq = 64;               // prompt length (prefill) / context (decode)
+  Phase phase = Phase::kPrefill;
+  sim::SimTime arrival = 0;
+};
+
+}  // namespace liger::model

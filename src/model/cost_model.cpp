@@ -1,0 +1,114 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liger::model {
+
+CostModel::CostModel(gpu::GpuSpec gpu, CostParams params)
+    : gpu_(std::move(gpu)), params_(params) {}
+
+std::uint64_t CostModel::gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) const {
+  return 2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+         static_cast<std::uint64_t>(k);
+}
+
+std::uint64_t CostModel::gemm_bytes(std::int64_t m, std::int64_t n, std::int64_t k) const {
+  // A[M,K] + B[K,N] read, C[M,N] written; fp16.
+  return 2ull * (static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) +
+                 static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n) +
+                 static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n));
+}
+
+double CostModel::gemm_efficiency(std::int64_t m, std::int64_t n) const {
+  const double fm = static_cast<double>(m) / (static_cast<double>(m) + params_.m_half);
+  const double fn = static_cast<double>(n) / (static_cast<double>(n) + params_.n_half);
+  return params_.gemm_base_eff * fm * fn;
+}
+
+int CostModel::gemm_blocks(std::int64_t m, std::int64_t n) const {
+  const std::int64_t ctas = ((m + params_.tile_m - 1) / params_.tile_m) *
+                            ((n + params_.tile_n - 1) / params_.tile_n);
+  return static_cast<int>(std::clamp<std::int64_t>(ctas, 1, gpu_.sm_count));
+}
+
+sim::SimTime CostModel::roofline(std::uint64_t flops, std::uint64_t bytes, double eff) const {
+  const double compute_s = static_cast<double>(flops) / (gpu_.fp16_flops * eff);
+  const double mem_s = static_cast<double>(bytes) / (gpu_.mem_bandwidth * params_.mem_eff);
+  return params_.kernel_overhead + sim::from_seconds(std::max(compute_s, mem_s));
+}
+
+double CostModel::mem_demand(std::uint64_t bytes, sim::SimTime duration) const {
+  if (duration <= 0) return 0.0;
+  const double rate = static_cast<double>(bytes) / sim::to_seconds(duration);
+  return std::clamp(rate / gpu_.mem_bandwidth, 0.0, 1.0);
+}
+
+sim::SimTime CostModel::gemm_time(std::int64_t m, std::int64_t n, std::int64_t k) const {
+  assert(m > 0 && n > 0 && k > 0);
+  return roofline(gemm_flops(m, n, k), gemm_bytes(m, n, k), gemm_efficiency(m, n));
+}
+
+gpu::KernelDesc CostModel::gemm_kernel(const std::string& name, std::int64_t m,
+                                       std::int64_t n, std::int64_t k) const {
+  gpu::KernelDesc desc;
+  desc.name = name;
+  desc.kind = gpu::KernelKind::kCompute;
+  desc.flops = gemm_flops(m, n, k);
+  desc.bytes = gemm_bytes(m, n, k);
+  desc.solo_duration = gemm_time(m, n, k);
+  desc.blocks = gemm_blocks(m, n);
+  desc.mem_bw_demand = mem_demand(desc.bytes, desc.solo_duration);
+  return desc;
+}
+
+gpu::KernelDesc CostModel::attention_kernel(const std::string& name, const ExecConfig& cfg,
+                                            int heads_shard, int head_dim) const {
+  assert(heads_shard > 0 && head_dim > 0);
+  const auto b = static_cast<std::uint64_t>(cfg.batch);
+  const auto h = static_cast<std::uint64_t>(heads_shard);
+  const auto d = static_cast<std::uint64_t>(head_dim);
+  const auto s = static_cast<std::uint64_t>(cfg.seq);
+
+  gpu::KernelDesc desc;
+  desc.name = name;
+  desc.kind = gpu::KernelKind::kCompute;
+
+  if (cfg.phase == Phase::kPrefill) {
+    // QK^T and PV: two batched GEMMs of 2*s*s*d each per head.
+    desc.flops = 4 * b * h * s * s * d;
+    // Q,K,V read + scores + context written (fp16).
+    desc.bytes = 2 * (3 * b * h * s * d + 2 * b * h * s * s);
+  } else {
+    // One query row vs. an s-entry KV cache: memory dominated.
+    desc.flops = 4 * b * h * s * d;
+    desc.bytes = 2 * (2 * b * h * s * d + 3 * b * h * d);
+  }
+  // Attention math runs at lower efficiency than dense GEMM.
+  const double eff = 0.5 * params_.gemm_base_eff;
+  desc.solo_duration = roofline(desc.flops, desc.bytes, eff);
+  const std::int64_t ctas = static_cast<std::int64_t>(b * h);
+  desc.blocks = static_cast<int>(std::clamp<std::int64_t>(ctas, 1, gpu_.sm_count));
+  desc.mem_bw_demand = mem_demand(desc.bytes, desc.solo_duration);
+  return desc;
+}
+
+gpu::KernelDesc CostModel::elementwise_kernel(const std::string& name, std::int64_t rows,
+                                              std::int64_t cols, int passes) const {
+  assert(rows > 0 && cols > 0 && passes > 0);
+  gpu::KernelDesc desc;
+  desc.name = name;
+  desc.kind = gpu::KernelKind::kCompute;
+  desc.flops = static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) * 8;
+  desc.bytes = 2ull * static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+               static_cast<std::uint64_t>(passes);
+  // Pure bandwidth: efficiency term is irrelevant (memory side wins).
+  desc.solo_duration = roofline(desc.flops, desc.bytes, 1.0);
+  const std::int64_t ctas = (rows * cols + 64 * 1024 - 1) / (64 * 1024);
+  desc.blocks = static_cast<int>(std::clamp<std::int64_t>(ctas, 1, gpu_.sm_count));
+  desc.mem_bw_demand = mem_demand(desc.bytes, desc.solo_duration);
+  return desc;
+}
+
+}  // namespace liger::model

@@ -1,0 +1,76 @@
+// Analytic kernel cost model — the stand-in for FasterTransformer's
+// kernel implementations.
+//
+// Durations follow a roofline: max(compute time at an efficiency that
+// degrades for skinny GEMMs, memory time over all operand traffic) plus
+// a fixed per-kernel overhead. The memory term is what produces the
+// paper's Fig 9 decomposition asymmetry without special cases: a
+// horizontal split (rows of the skinny activation matrix A) re-reads
+// the huge weight matrix B in every piece, while a vertical split
+// (columns of B) only re-reads the small A.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu_spec.h"
+#include "gpu/kernel.h"
+#include "model/model_spec.h"
+#include "sim/time.h"
+
+namespace liger::model {
+
+struct CostParams {
+  // Fraction of peak tensor throughput a well-shaped GEMM achieves.
+  double gemm_base_eff = 0.62;
+  // Compute-efficiency saturation constants: eff *= M/(M+m_half) etc.
+  double m_half = 24.0;
+  double n_half = 8.0;
+  // Achievable fraction of peak HBM bandwidth.
+  double mem_eff = 0.78;
+  // Fixed overhead per kernel (tail effects, launch-to-first-wave).
+  sim::SimTime kernel_overhead = sim::microseconds(3);
+  // GEMM CTA tile (used for the SM-block footprint).
+  int tile_m = 64;
+  int tile_n = 64;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(gpu::GpuSpec gpu, CostParams params = {});
+
+  const gpu::GpuSpec& gpu() const { return gpu_; }
+  const CostParams& params() const { return params_; }
+
+  // --- GEMM: C[M,N] = A[M,K] x B[K,N], fp16 -------------------------------
+  sim::SimTime gemm_time(std::int64_t m, std::int64_t n, std::int64_t k) const;
+  std::uint64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) const;
+  std::uint64_t gemm_bytes(std::int64_t m, std::int64_t n, std::int64_t k) const;
+  // Complete kernel descriptor (duration, blocks, bandwidth demand).
+  gpu::KernelDesc gemm_kernel(const std::string& name, std::int64_t m, std::int64_t n,
+                              std::int64_t k) const;
+
+  // --- Attention -----------------------------------------------------------
+  // Prefill: scores + context over the full s x s interaction.
+  // Decode: one query row against a KV cache of `seq` entries
+  // (memory-bound cache streaming).
+  gpu::KernelDesc attention_kernel(const std::string& name, const ExecConfig& cfg,
+                                   int heads_shard, int head_dim) const;
+
+  // --- Elementwise / normalization ----------------------------------------
+  // `passes` = reads+writes of the [rows, cols] fp16 tensor.
+  gpu::KernelDesc elementwise_kernel(const std::string& name, std::int64_t rows,
+                                     std::int64_t cols, int passes) const;
+
+ private:
+  double gemm_efficiency(std::int64_t m, std::int64_t n) const;
+  int gemm_blocks(std::int64_t m, std::int64_t n) const;
+  // Duration of a kernel moving `bytes` with `flops` of math at `eff`.
+  sim::SimTime roofline(std::uint64_t flops, std::uint64_t bytes, double eff) const;
+  double mem_demand(std::uint64_t bytes, sim::SimTime duration) const;
+
+  gpu::GpuSpec gpu_;
+  CostParams params_;
+};
+
+}  // namespace liger::model

@@ -1,0 +1,107 @@
+#include "model/decompose.h"
+
+#include <cassert>
+#include <string>
+
+namespace liger::model {
+
+namespace {
+
+OpTemplate rebuild_gemm(const OpTemplate& op, GemmDims dims, const std::string& suffix,
+                        const CostModel& cost) {
+  OpTemplate piece = op;
+  piece.gemm = dims;
+  piece.kernel = cost.gemm_kernel(op.kernel.name + suffix, dims.m, dims.n, dims.k);
+  piece.kernel.batch_id = op.kernel.batch_id;
+  return piece;
+}
+
+}  // namespace
+
+std::vector<OpTemplate> decompose_gemm(const OpTemplate& op, int pieces, GemmSplit split,
+                                       const CostModel& cost) {
+  assert(op.is_gemm());
+  assert(pieces >= 1);
+  const std::int64_t axis = split == GemmSplit::kVertical ? op.gemm.n : op.gemm.m;
+  assert(axis >= pieces && "cannot split finer than the axis extent");
+
+  std::vector<OpTemplate> out;
+  out.reserve(static_cast<std::size_t>(pieces));
+  std::int64_t offset = 0;
+  for (int i = 0; i < pieces; ++i) {
+    const std::int64_t end = axis * (i + 1) / pieces;
+    const std::int64_t extent = end - offset;
+    offset = end;
+    GemmDims dims = op.gemm;
+    if (split == GemmSplit::kVertical) {
+      dims.n = extent;
+    } else {
+      dims.m = extent;
+    }
+    out.push_back(rebuild_gemm(op, dims, "/" + std::to_string(i + 1) + "of" +
+                                             std::to_string(pieces), cost));
+  }
+  return out;
+}
+
+std::pair<OpTemplate, OpTemplate> split_gemm(const OpTemplate& op, int num, int den,
+                                             GemmSplit split, const CostModel& cost) {
+  assert(op.is_gemm());
+  assert(0 < num && num < den);
+  const std::int64_t axis = split == GemmSplit::kVertical ? op.gemm.n : op.gemm.m;
+  const std::int64_t head_extent = axis * num / den;
+  assert(head_extent >= 1 && axis - head_extent >= 1);
+
+  GemmDims head_dims = op.gemm;
+  GemmDims tail_dims = op.gemm;
+  if (split == GemmSplit::kVertical) {
+    head_dims.n = head_extent;
+    tail_dims.n = axis - head_extent;
+  } else {
+    head_dims.m = head_extent;
+    tail_dims.m = axis - head_extent;
+  }
+  const std::string frac = std::to_string(num) + "_" + std::to_string(den);
+  return {rebuild_gemm(op, head_dims, "/h" + frac, cost),
+          rebuild_gemm(op, tail_dims, "/t" + frac, cost)};
+}
+
+std::vector<OpTemplate> decompose_all_reduce(const OpTemplate& op, int pieces) {
+  assert(op_class_is_chunkable_comm(op.cls));
+  assert(pieces >= 1);
+  assert(op.comm_bytes >= static_cast<std::uint64_t>(pieces));
+
+  std::vector<OpTemplate> out;
+  out.reserve(static_cast<std::size_t>(pieces));
+  std::uint64_t offset = 0;
+  for (int i = 0; i < pieces; ++i) {
+    const std::uint64_t end = op.comm_bytes * static_cast<std::uint64_t>(i + 1) /
+                              static_cast<std::uint64_t>(pieces);
+    OpTemplate piece = op;
+    piece.comm_bytes = end - offset;
+    piece.kernel.name =
+        op.kernel.name + "/" + std::to_string(i + 1) + "of" + std::to_string(pieces);
+    offset = end;
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::pair<OpTemplate, OpTemplate> split_all_reduce(const OpTemplate& op, int num, int den) {
+  assert(op_class_is_chunkable_comm(op.cls));
+  assert(0 < num && num < den);
+  const std::uint64_t head_bytes =
+      op.comm_bytes * static_cast<std::uint64_t>(num) / static_cast<std::uint64_t>(den);
+  assert(head_bytes >= 1 && op.comm_bytes - head_bytes >= 1);
+
+  OpTemplate head = op;
+  OpTemplate tail = op;
+  const std::string frac = std::to_string(num) + "_" + std::to_string(den);
+  head.comm_bytes = head_bytes;
+  head.kernel.name = op.kernel.name + "/h" + frac;
+  tail.comm_bytes = op.comm_bytes - head_bytes;
+  tail.kernel.name = op.kernel.name + "/t" + frac;
+  return {head, tail};
+}
+
+}  // namespace liger::model

@@ -1,0 +1,43 @@
+// Runtime kernel decomposition (§3.6).
+//
+// Lengthy kernels are broken into fine-grained pieces with equal
+// capability. For GEMMs the split axis matters enormously (Fig 9):
+//   * Vertical (columns of the weight matrix B): each piece re-reads
+//     only the small activation matrix A — near-linear cost split.
+//   * Horizontal (rows of A): each piece re-reads the entire weight
+//     matrix B and becomes skinnier — the accumulated duration blows
+//     up. Provided for the Fig 9 comparison; Liger uses vertical.
+// All-reduces split into equal-byte chunks (k-1 extra base latencies).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/op_template.h"
+
+namespace liger::model {
+
+enum class GemmSplit {
+  kVertical,    // split N (columns of B) — Liger's choice
+  kHorizontal,  // split M (rows of A) — the bad strategy of Fig 9
+};
+
+// Splits a GEMM op into `pieces` equal parts along the given axis.
+// Requires op.is_gemm() and that the axis dimension is >= pieces.
+std::vector<OpTemplate> decompose_gemm(const OpTemplate& op, int pieces, GemmSplit split,
+                                       const CostModel& cost);
+
+// Splits off the leading `num`/`den` fraction: returns {head, tail}.
+// Requires 0 < num < den and both resulting dims >= 1.
+std::pair<OpTemplate, OpTemplate> split_gemm(const OpTemplate& op, int num, int den,
+                                             GemmSplit split, const CostModel& cost);
+
+// Splits a chunkable collective (all-reduce / reduce-scatter /
+// all-gather) into `pieces` equal-byte chunks.
+std::vector<OpTemplate> decompose_all_reduce(const OpTemplate& op, int pieces);
+
+// Splits off the leading `num`/`den` bytes: returns {head, tail}.
+std::pair<OpTemplate, OpTemplate> split_all_reduce(const OpTemplate& op, int num, int den);
+
+}  // namespace liger::model

@@ -1,0 +1,123 @@
+#include "model/layer_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liger::model {
+
+LayerBuilder::LayerBuilder(ModelSpec spec, const CostModel& cost)
+    : spec_(std::move(spec)), cost_(cost) {}
+
+std::uint64_t LayerBuilder::boundary_bytes(const ExecConfig& cfg) const {
+  return 2ull * static_cast<std::uint64_t>(cfg.rows()) *
+         static_cast<std::uint64_t>(spec_.hidden);
+}
+
+std::uint64_t LayerBuilder::allreduce_bytes(const ExecConfig& cfg) const {
+  return boundary_bytes(cfg);
+}
+
+std::uint64_t LayerBuilder::activation_bytes(const ExecConfig& cfg) const {
+  const std::uint64_t rows = static_cast<std::uint64_t>(cfg.rows());
+  const std::uint64_t h = static_cast<std::uint64_t>(spec_.hidden);
+  const std::uint64_t hidden_act = 2ull * rows * h;              // fp16 [rows, h]
+  const std::uint64_t ffn_act =
+      2ull * rows * static_cast<std::uint64_t>(spec_.ffn_hidden() / cfg.tp);
+  const std::uint64_t qkv_act =
+      2ull * rows * 3ull * h / static_cast<std::uint64_t>(cfg.tp);
+  // Two resident hidden buffers (input + residual) plus the widest
+  // intermediate alive at once.
+  return 2 * hidden_act + std::max(ffn_act, qkv_act);
+}
+
+OpList LayerBuilder::layer_ops(const ExecConfig& cfg, int layer_index) const {
+  assert(cfg.tp >= 1);
+  assert(spec_.heads % cfg.tp == 0 && "tp must divide the head count");
+  assert(spec_.ffn_hidden() % cfg.tp == 0);
+
+  const std::int64_t rows = cfg.rows();
+  const std::int64_t h = spec_.hidden;
+  const int heads_shard = spec_.heads / cfg.tp;
+  const std::string prefix = "l" + std::to_string(layer_index) + ".";
+
+  auto tag = [&](OpTemplate op) {
+    op.layer = layer_index;
+    return op;
+  };
+  auto gemm_op = [&](OpClass cls, const std::string& name, std::int64_t m, std::int64_t n,
+                     std::int64_t k) {
+    OpTemplate op;
+    op.cls = cls;
+    op.kernel = cost_.gemm_kernel(prefix + name, m, n, k);
+    op.gemm = GemmDims{m, n, k};
+    return tag(op);
+  };
+  auto elt_op = [&](OpClass cls, const std::string& name, std::int64_t r, std::int64_t c,
+                    int passes) {
+    OpTemplate op;
+    op.cls = cls;
+    op.kernel = cost_.elementwise_kernel(prefix + name, r, c, passes);
+    return tag(op);
+  };
+  auto comm_op = [&](OpClass cls, const std::string& name) {
+    OpTemplate op;
+    op.cls = cls;
+    op.kind = gpu::KernelKind::kComm;
+    op.kernel.name = prefix + name;
+    op.kernel.kind = gpu::KernelKind::kComm;
+    op.comm_bytes = allreduce_bytes(cfg);
+    return tag(op);
+  };
+
+  const bool sp = cfg.sequence_parallel && cfg.tp > 1;
+  // Sequence parallelism shards the layernorm rows across devices.
+  const std::int64_t ln_rows = sp ? rows / cfg.tp : rows;
+
+  OpList ops;
+  ops.reserve(14);
+
+  // Attention block.
+  ops.push_back(elt_op(OpClass::kLayerNorm, "ln1", std::max<std::int64_t>(1, ln_rows), h, 3));
+  if (sp) ops.push_back(comm_op(OpClass::kAllGather, "ag_attn"));
+  ops.push_back(gemm_op(OpClass::kQkvGemm, "qkv", rows, 3 * h / cfg.tp, h));
+  {
+    OpTemplate attn;
+    attn.cls = OpClass::kAttention;
+    attn.kernel = cost_.attention_kernel(prefix + "attn", cfg, heads_shard, spec_.head_dim());
+    ops.push_back(tag(attn));
+  }
+  ops.push_back(gemm_op(OpClass::kAttnOutGemm, "attn_out", rows, h, h / cfg.tp));
+  if (cfg.tp > 1) {
+    ops.push_back(sp ? comm_op(OpClass::kReduceScatter, "rs_attn")
+                     : comm_op(OpClass::kAllReduce, "ar_attn"));
+  }
+
+  // FFN block (layernorm folds the residual add).
+  ops.push_back(elt_op(OpClass::kLayerNorm, "ln2", std::max<std::int64_t>(1, ln_rows), h, 4));
+  if (sp) ops.push_back(comm_op(OpClass::kAllGather, "ag_ffn"));
+  ops.push_back(
+      gemm_op(OpClass::kFfn1Gemm, "ffn1", rows, spec_.ffn_hidden() / cfg.tp, h));
+  ops.push_back(elt_op(OpClass::kGelu, "gelu", rows, spec_.ffn_hidden() / cfg.tp, 2));
+  ops.push_back(
+      gemm_op(OpClass::kFfn2Gemm, "ffn2", rows, h, spec_.ffn_hidden() / cfg.tp));
+  if (cfg.tp > 1) {
+    ops.push_back(sp ? comm_op(OpClass::kReduceScatter, "rs_ffn")
+                     : comm_op(OpClass::kAllReduce, "ar_ffn"));
+  }
+
+  return ops;
+}
+
+OpList LayerBuilder::range_ops(const ExecConfig& cfg, int first_layer, int last_layer) const {
+  assert(0 <= first_layer && first_layer <= last_layer && last_layer <= spec_.layers);
+  OpList all;
+  all.reserve(static_cast<std::size_t>(last_layer - first_layer) * 10);
+  for (int l = first_layer; l < last_layer; ++l) {
+    OpList layer = layer_ops(cfg, l);
+    all.insert(all.end(), std::make_move_iterator(layer.begin()),
+               std::make_move_iterator(layer.end()));
+  }
+  return all;
+}
+
+}  // namespace liger::model

@@ -1,0 +1,49 @@
+// Assembles the per-device operator sequence of a transformer
+// inference under a given parallelization.
+//
+// tp > 1 follows Megatron-LM's sharding (§4.1 baseline "Intra-Op"):
+// QKV/FFN1 are column-parallel, AttnOut/FFN2 row-parallel, yielding
+// exactly two all-reduces per layer. tp == 1 produces the unsharded
+// sequence used by pipeline stages (baseline "Inter-Op").
+#pragma once
+
+#include "model/cost_model.h"
+#include "model/model_spec.h"
+#include "model/op_template.h"
+
+namespace liger::model {
+
+class LayerBuilder {
+ public:
+  LayerBuilder(ModelSpec spec, const CostModel& cost);
+
+  const ModelSpec& spec() const { return spec_; }
+
+  // Ops of one transformer layer for one device shard.
+  OpList layer_ops(const ExecConfig& cfg, int layer_index = 0) const;
+
+  // Ops of layers [first_layer, last_layer).
+  OpList range_ops(const ExecConfig& cfg, int first_layer, int last_layer) const;
+
+  // Whole model.
+  OpList model_ops(const ExecConfig& cfg) const { return range_ops(cfg, 0, spec_.layers); }
+
+  // Bytes of the activation tensor handed between pipeline stages.
+  std::uint64_t boundary_bytes(const ExecConfig& cfg) const;
+
+  // Bytes all-reduced after the row-parallel GEMMs (per call).
+  std::uint64_t allreduce_bytes(const ExecConfig& cfg) const;
+
+  // Peak per-device activation working set of one batch's inference
+  // (double-buffered layer activations + the FFN inner tensor shard +
+  // attention workspace). The function assembler tracks this while
+  // batches are in flight (§3.2 "memory management of intermediate
+  // results").
+  std::uint64_t activation_bytes(const ExecConfig& cfg) const;
+
+ private:
+  ModelSpec spec_;
+  const CostModel& cost_;
+};
+
+}  // namespace liger::model

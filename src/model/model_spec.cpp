@@ -1,0 +1,50 @@
+#include "model/model_spec.h"
+
+#include <stdexcept>
+
+namespace liger::model {
+
+std::uint64_t ModelSpec::params_per_layer() const {
+  const std::uint64_t h = static_cast<std::uint64_t>(hidden);
+  return (4 + 2 * static_cast<std::uint64_t>(ffn_mult)) * h * h;
+}
+
+std::uint64_t ModelSpec::param_count() const {
+  return static_cast<std::uint64_t>(layers) * params_per_layer();
+}
+
+std::uint64_t ModelSpec::param_bytes() const {
+  return param_count() * static_cast<std::uint64_t>(bytes_per_param);
+}
+
+ModelSpec ModelSpec::with_layers(int new_layers) const {
+  ModelSpec copy = *this;
+  copy.layers = new_layers;
+  copy.name = name + "@" + std::to_string(new_layers) + "L";
+  return copy;
+}
+
+ModelSpec ModelZoo::opt_6_7b() { return ModelSpec{"opt-6.7b", 32, 32, 4096}; }
+ModelSpec ModelZoo::opt_13b() { return ModelSpec{"opt-13b", 40, 40, 5120}; }
+ModelSpec ModelZoo::opt_30b() { return ModelSpec{"opt-30b", 48, 56, 7168}; }
+ModelSpec ModelZoo::opt_66b() { return ModelSpec{"opt-66b", 64, 72, 9216}; }
+ModelSpec ModelZoo::glm_130b() { return ModelSpec{"glm-130b", 70, 96, 12288}; }
+ModelSpec ModelZoo::opt_175b() { return ModelSpec{"opt-175b", 96, 96, 12288}; }
+ModelSpec ModelZoo::tiny_test() { return ModelSpec{"tiny-test", 2, 4, 64}; }
+
+ModelSpec ModelZoo::by_name(const std::string& name) {
+  if (name == "opt-6.7b") return opt_6_7b();
+  if (name == "opt-13b") return opt_13b();
+  if (name == "opt-30b") return opt_30b();
+  if (name == "opt-66b") return opt_66b();
+  if (name == "glm-130b") return glm_130b();
+  if (name == "opt-175b") return opt_175b();
+  if (name == "tiny-test") return tiny_test();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+std::vector<std::string> ModelZoo::names() {
+  return {"opt-6.7b", "opt-13b", "opt-30b", "opt-66b", "glm-130b", "opt-175b", "tiny-test"};
+}
+
+}  // namespace liger::model

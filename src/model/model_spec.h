@@ -1,0 +1,74 @@
+// Transformer model specifications (paper Table 1 plus the smaller
+// models used in the kernel-duration study, Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace liger::model {
+
+struct ModelSpec {
+  std::string name;
+  int layers = 0;
+  int heads = 0;
+  int hidden = 0;
+  int ffn_mult = 4;        // FFN inner dim = ffn_mult * hidden
+  int bytes_per_param = 2; // FP16
+
+  int head_dim() const { return hidden / heads; }
+  int ffn_hidden() const { return ffn_mult * hidden; }
+
+  // Per-layer weights: QKV (3h^2) + attn out (h^2) + FFN (2*4h^2) = 12 h^2.
+  std::uint64_t params_per_layer() const;
+  std::uint64_t param_count() const;   // layer weights only (embeddings excluded)
+  std::uint64_t param_bytes() const;
+
+  // Weight bytes held by one device under tensor parallelism `tp`.
+  std::uint64_t shard_bytes(int tp) const { return param_bytes() / static_cast<std::uint64_t>(tp); }
+
+  // A copy with a reduced layer count (the paper's strong-scaling trick:
+  // layer structure is unchanged, so per-layer behaviour is identical).
+  ModelSpec with_layers(int new_layers) const;
+};
+
+// Model zoo: Table 1 models plus the Fig 4 size ladder.
+class ModelZoo {
+ public:
+  static ModelSpec opt_6_7b();
+  static ModelSpec opt_13b();
+  static ModelSpec opt_30b();   // Table 1: 60GB, 48 layers, 56 heads, 7168 hidden
+  static ModelSpec opt_66b();   // Table 1: 132GB, 64 layers, 72 heads, 9216 hidden
+  static ModelSpec glm_130b();  // Table 1: 260GB, 70 layers, 96 heads, 12288 hidden
+  static ModelSpec opt_175b();  // GPT-3 scale, Fig 4 ladder top
+  static ModelSpec tiny_test(); // 2 layers, small dims; unit tests only
+
+  // Lookup by canonical name ("opt-30b", "glm-130b", ...). Throws
+  // std::invalid_argument for unknown names.
+  static ModelSpec by_name(const std::string& name);
+  static std::vector<std::string> names();
+};
+
+// Inference execution configuration for one batch.
+enum class Phase {
+  kPrefill,  // initial conditioning: processes the whole prompt
+  kDecode,   // incremental sampling: one token per iteration, KV cache
+};
+
+struct ExecConfig {
+  int batch = 1;
+  int seq = 64;   // prefill: prompt length; decode: context length so far
+  int tp = 1;     // tensor-parallel degree (1 = unsharded)
+  Phase phase = Phase::kPrefill;
+  // Megatron-SP sequence parallelism (extension): replaces each
+  // all-reduce with a reduce-scatter/all-gather pair and shards the
+  // layernorms over the sequence dimension. Same total communication
+  // volume, but in twice as many half-sized ops — finer interleaving
+  // granularity for Liger.
+  bool sequence_parallel = false;
+
+  // Token rows entering every GEMM.
+  int rows() const { return phase == Phase::kPrefill ? batch * seq : batch; }
+};
+
+}  // namespace liger::model

@@ -1,0 +1,72 @@
+// Operator templates: the device-side ops one batch's inference
+// consists of, before they are bound to streams/collectives.
+//
+// Compute ops carry a complete KernelDesc from the cost model. Comm ops
+// (all-reduce, p2p) carry the payload size; the runtime materializes
+// them through a collective::Communicator at launch time, because each
+// launch needs a fresh coupler object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.h"
+#include "sim/time.h"
+
+namespace liger::model {
+
+enum class OpClass {
+  kLayerNorm,
+  kQkvGemm,
+  kAttention,
+  kAttnOutGemm,
+  kAllReduce,
+  kReduceScatter,  // sequence parallelism (Megatron-SP extension)
+  kAllGather,      // sequence parallelism
+  kGelu,
+  kFfn1Gemm,
+  kFfn2Gemm,
+  kP2p,
+};
+
+inline bool op_class_is_chunkable_comm(OpClass c) {
+  return c == OpClass::kAllReduce || c == OpClass::kReduceScatter ||
+         c == OpClass::kAllGather;
+}
+
+inline bool op_class_is_gemm(OpClass c) {
+  return c == OpClass::kQkvGemm || c == OpClass::kAttnOutGemm || c == OpClass::kFfn1Gemm ||
+         c == OpClass::kFfn2Gemm;
+}
+
+struct GemmDims {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+};
+
+struct OpTemplate {
+  OpClass cls = OpClass::kLayerNorm;
+  gpu::KernelKind kind = gpu::KernelKind::kCompute;
+  // Compute ops: fully populated. Comm ops: only `name` is meaningful.
+  gpu::KernelDesc kernel;
+  // Comm ops: payload per device.
+  std::uint64_t comm_bytes = 0;
+  // Gemm ops: operand dimensions (enables runtime decomposition).
+  GemmDims gemm;
+  int layer = -1;
+  // Filled by profile::ProfileTable::annotate(); what the scheduler
+  // believes this op costs under no contention.
+  sim::SimTime profiled_duration = 0;
+
+  bool is_comm() const { return kind == gpu::KernelKind::kComm; }
+  bool is_gemm() const { return op_class_is_gemm(cls); }
+  // Lengthy-kernel classes the runtime may decompose (§3.6).
+  bool decomposable() const { return is_gemm() || op_class_is_chunkable_comm(cls); }
+  const std::string& name() const { return kernel.name; }
+};
+
+using OpList = std::vector<OpTemplate>;
+
+}  // namespace liger::model

@@ -1,0 +1,42 @@
+// Contention-factor profiling (§3.5).
+//
+// Conventional profiling measures kernels under no load; scheduling
+// with those numbers under concurrent execution underestimates
+// durations and can make the secondary subset outlive the primary one.
+// Liger therefore co-runs the intensive kernel pairs (long GEMMs with
+// all-reduces) offline over a grid of input shapes and records the
+// maximum observed slowdowns; Algorithm 1 scales secondary-subset
+// durations by the resulting factor.
+//
+// Here the "offline run" is a scratch simulation per shape: one GEMM on
+// stream 0 and one all-reduce member on stream 1 of every device.
+#pragma once
+
+#include <vector>
+
+#include "collective/comm_config.h"
+#include "gpu/node.h"
+#include "model/cost_model.h"
+#include "model/model_spec.h"
+
+namespace liger::profile {
+
+struct ContentionReport {
+  // Worst slowdown of a compute kernel while a collective runs.
+  double compute_slowdown = 1.0;
+  // Worst slowdown of a collective while compute runs.
+  double comm_slowdown = 1.0;
+
+  // The contention factor Algorithm 1 applies to secondary durations.
+  // A small safety margin absorbs effects outside the profiled pairs.
+  double factor(double margin = 1.02) const;
+};
+
+// Profiles the model's heaviest layer kernels over `grid` shapes on a
+// scratch copy of `node_spec`. Deterministic.
+ContentionReport profile_contention(const gpu::NodeSpec& node_spec,
+                                    const collective::CommConfig& comm_config,
+                                    const model::ModelSpec& model_spec,
+                                    const std::vector<model::ExecConfig>& grid);
+
+}  // namespace liger::profile

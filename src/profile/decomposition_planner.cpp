@@ -1,0 +1,63 @@
+#include "profile/decomposition_planner.h"
+
+#include <cassert>
+
+namespace liger::profile {
+
+DecompositionPlanner::DecompositionPlanner(const model::CostModel& cost,
+                                           const ProfileTable& table, int factor)
+    : cost_(cost), table_(table), factor_(factor) {
+  assert(factor >= 2);
+}
+
+bool DecompositionPlanner::can_split(const model::OpTemplate& op) const {
+  if (!op.decomposable()) return false;
+  if (op.is_gemm()) return op.gemm.n >= factor_;  // vertical axis
+  return op.comm_bytes >= static_cast<std::uint64_t>(factor_);
+}
+
+sim::SimTime DecompositionPlanner::head_duration(const model::OpTemplate& op, int num) const {
+  assert(1 <= num && num < factor_);
+  assert(can_split(op));
+  if (op.is_gemm()) {
+    const GemmKey key{op.gemm.m, op.gemm.n, op.gemm.k, num};
+    auto it = gemm_cache_.find(key);
+    if (it != gemm_cache_.end()) return it->second;
+    const std::int64_t head_n = op.gemm.n * num / factor_;
+    const sim::SimTime t = cost_.gemm_time(op.gemm.m, head_n, op.gemm.k);
+    gemm_cache_.emplace(key, t);
+    return t;
+  }
+  model::OpTemplate probe = op;
+  probe.comm_bytes = op.comm_bytes * static_cast<std::uint64_t>(num) /
+                     static_cast<std::uint64_t>(factor_);
+  return table_.op_duration(probe);
+}
+
+int DecompositionPlanner::max_fitting(const model::OpTemplate& op, sim::SimTime window,
+                                      double scale) const {
+  if (!can_split(op)) return 0;
+  int best = 0;
+  for (int num = 1; num < factor_; ++num) {
+    const double scaled = static_cast<double>(head_duration(op, num)) * scale;
+    if (scaled <= static_cast<double>(window)) {
+      best = num;
+    } else {
+      break;  // durations grow with num
+    }
+  }
+  return best;
+}
+
+std::pair<model::OpTemplate, model::OpTemplate> DecompositionPlanner::split(
+    const model::OpTemplate& op, int num) const {
+  assert(1 <= num && num < factor_);
+  std::pair<model::OpTemplate, model::OpTemplate> parts =
+      op.is_gemm() ? model::split_gemm(op, num, factor_, model::GemmSplit::kVertical, cost_)
+                   : model::split_all_reduce(op, num, factor_);
+  parts.first.profiled_duration = table_.op_duration(parts.first);
+  parts.second.profiled_duration = table_.op_duration(parts.second);
+  return parts;
+}
+
+}  // namespace liger::profile

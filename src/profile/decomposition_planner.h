@@ -1,0 +1,53 @@
+// Decomposition planning over profiled piece durations (§3.6).
+//
+// With a division factor k, the offline procedure profiles the leading
+// 1/k ... (k-1)/k pieces of every decomposable kernel class; at runtime
+// the scheduler asks for the largest piece that fits the open overlap
+// window. GEMMs split vertically (the good axis of Fig 9); all-reduces
+// split by bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "model/cost_model.h"
+#include "model/decompose.h"
+#include "model/op_template.h"
+#include "profile/profile_table.h"
+
+namespace liger::profile {
+
+class DecompositionPlanner {
+ public:
+  DecompositionPlanner(const model::CostModel& cost, const ProfileTable& table, int factor);
+
+  int factor() const { return factor_; }
+
+  // An op can be split if it is decomposable and its split axis is at
+  // least `factor` wide.
+  bool can_split(const model::OpTemplate& op) const;
+
+  // Profiled duration of the leading num/factor piece (1 <= num < factor).
+  sim::SimTime head_duration(const model::OpTemplate& op, int num) const;
+
+  // Largest num (< factor) with head_duration(op,num) * scale <= window;
+  // 0 when even the smallest piece does not fit.
+  int max_fitting(const model::OpTemplate& op, sim::SimTime window, double scale) const;
+
+  // Splits op into {leading num/factor piece, remainder}, both with
+  // profiled_duration filled in.
+  std::pair<model::OpTemplate, model::OpTemplate> split(const model::OpTemplate& op,
+                                                        int num) const;
+
+ private:
+  const model::CostModel& cost_;
+  const ProfileTable& table_;
+  int factor_;
+  // Profiled piece durations: (m, n, k, num) for GEMMs.
+  using GemmKey = std::tuple<std::int64_t, std::int64_t, std::int64_t, int>;
+  mutable std::map<GemmKey, sim::SimTime> gemm_cache_;
+};
+
+}  // namespace liger::profile

@@ -1,0 +1,38 @@
+#include "profile/profile_table.h"
+
+#include <cassert>
+
+namespace liger::profile {
+
+ProfileTable::ProfileTable(const collective::Communicator& comm, int num_devices)
+    : comm_(comm), num_devices_(num_devices) {
+  assert(num_devices >= 1);
+}
+
+sim::SimTime ProfileTable::op_duration(const model::OpTemplate& op) const {
+  if (!op.is_comm()) return op.kernel.solo_duration;
+  switch (op.cls) {
+    case model::OpClass::kP2p:
+      return comm_.p2p_solo_time(op.comm_bytes);
+    case model::OpClass::kReduceScatter:
+      return comm_.reduce_scatter_solo_time(op.comm_bytes, num_devices_);
+    case model::OpClass::kAllGather:
+      return comm_.all_gather_solo_time(op.comm_bytes, num_devices_);
+    case model::OpClass::kAllReduce: {
+      auto it = allreduce_cache_.find(op.comm_bytes);
+      if (it != allreduce_cache_.end()) return it->second;
+      const sim::SimTime t = comm_.all_reduce_solo_time(op.comm_bytes, num_devices_);
+      allreduce_cache_.emplace(op.comm_bytes, t);
+      return t;
+    }
+    default:
+      assert(false && "unknown comm op class");
+      return 0;
+  }
+}
+
+void ProfileTable::annotate(model::OpList& ops) const {
+  for (auto& op : ops) op.profiled_duration = op_duration(op);
+}
+
+}  // namespace liger::profile

@@ -1,0 +1,38 @@
+// Offline-profiled kernel durations (§3.2/§3.5 "offline procedure").
+//
+// The scheduler's decisions are driven by per-op durations collected
+// before deployment. In the simulator, a standalone kernel's measured
+// duration equals its cost-model solo duration (verified by tests), so
+// the table reads compute durations from the descriptors and derives
+// collective durations from the communicator; both are memoized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "collective/collective.h"
+#include "model/op_template.h"
+#include "sim/time.h"
+
+namespace liger::profile {
+
+class ProfileTable {
+ public:
+  // `num_devices` is the collective world size used by all-reduces.
+  ProfileTable(const collective::Communicator& comm, int num_devices);
+
+  // Profiled duration of one op (compute or comm).
+  sim::SimTime op_duration(const model::OpTemplate& op) const;
+
+  // Fills op.profiled_duration on every element.
+  void annotate(model::OpList& ops) const;
+
+  int num_devices() const { return num_devices_; }
+
+ private:
+  const collective::Communicator& comm_;
+  int num_devices_;
+  mutable std::map<std::uint64_t, sim::SimTime> allreduce_cache_;
+};
+
+}  // namespace liger::profile

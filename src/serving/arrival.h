@@ -1,0 +1,73 @@
+// Request arrival processes. The paper evaluates under constant
+// arrival rates (§4.2); Poisson arrivals are provided as an extension
+// and used by robustness tests.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace liger::serving {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  // Gap until the next arrival.
+  virtual sim::SimTime next_gap(util::Rng& rng) = 0;
+  virtual double rate() const = 0;  // batches/s
+};
+
+// Evenly spaced arrivals at `rate` per second.
+class ConstantArrivals : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(double rate) : rate_(rate) {}
+  sim::SimTime next_gap(util::Rng&) override { return sim::from_seconds(1.0 / rate_); }
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Memoryless arrivals with mean rate `rate` per second.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate) : rate_(rate) {}
+  sim::SimTime next_gap(util::Rng& rng) override {
+    return sim::from_seconds(rng.exponential(1.0 / rate_));
+  }
+  double rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Fluctuating load (extension; the paper evaluates constant rates
+// only): the instantaneous rate ramps linearly from `start_rate` to
+// `end_rate` over the first `ramp_requests` arrivals, then holds.
+class RampArrivals : public ArrivalProcess {
+ public:
+  RampArrivals(double start_rate, double end_rate, int ramp_requests)
+      : start_(start_rate), end_(end_rate), ramp_(ramp_requests) {}
+
+  sim::SimTime next_gap(util::Rng&) override {
+    const double t = ramp_ <= 0 ? 1.0
+                                : std::min(1.0, static_cast<double>(issued_) /
+                                                    static_cast<double>(ramp_));
+    ++issued_;
+    const double current = start_ + (end_ - start_) * t;
+    return sim::from_seconds(1.0 / current);
+  }
+
+  // Long-run rate (the plateau).
+  double rate() const override { return end_; }
+
+ private:
+  double start_;
+  double end_;
+  int ramp_;
+  int issued_ = 0;
+};
+
+}  // namespace liger::serving

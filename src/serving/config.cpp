@@ -1,0 +1,137 @@
+#include "serving/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace liger::serving {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+gpu::NodeSpec node_from_json(const util::JsonValue& node) {
+  const std::string preset = lower(node.string_or("preset", "v100"));
+  const int devices = static_cast<int>(node.int_or("devices", 4));
+  gpu::NodeSpec spec = preset == "a100" ? gpu::NodeSpec::a100_pcie(devices)
+                                        : gpu::NodeSpec::v100_nvlink(devices);
+  spec.max_connections = static_cast<int>(node.int_or("max_connections", spec.max_connections));
+
+  if (const auto* g = node.find("gpu")) {
+    spec.gpu.sm_count = static_cast<int>(g->int_or("sms", spec.gpu.sm_count));
+    spec.gpu.fp16_flops = g->number_or("fp16_tflops", spec.gpu.fp16_flops / 1e12) * 1e12;
+    spec.gpu.mem_bandwidth = g->number_or("mem_bw_gbps", spec.gpu.mem_bandwidth / 1e9) * 1e9;
+    spec.gpu.mem_bytes = static_cast<std::uint64_t>(
+        g->number_or("mem_gb", static_cast<double>(spec.gpu.mem_bytes) / (1ull << 30)) *
+        static_cast<double>(1ull << 30));
+  }
+  if (const auto* l = node.find("link")) {
+    const std::string kind = lower(l->string_or("kind", ""));
+    if (kind == "nvlink") spec.link.kind = interconnect::LinkKind::kNvLink;
+    if (kind == "pcie") spec.link.kind = interconnect::LinkKind::kPcieSwitch;
+    spec.link.allreduce_busbw =
+        l->number_or("allreduce_busbw_gbps", spec.link.allreduce_busbw / 1e9) * 1e9;
+    spec.link.p2p_bandwidth =
+        l->number_or("p2p_bw_gbps", spec.link.p2p_bandwidth / 1e9) * 1e9;
+    spec.link.channels_for_peak =
+        static_cast<int>(l->int_or("channels_for_peak", spec.link.channels_for_peak));
+  }
+  return spec;
+}
+
+model::ModelSpec model_from_json(const util::JsonValue& m) {
+  model::ModelSpec spec = model::ModelZoo::by_name(m.string_or("preset", "opt-30b"));
+  const auto layers = m.int_or("layers", spec.layers);
+  if (layers != spec.layers) spec = spec.with_layers(static_cast<int>(layers));
+  return spec;
+}
+
+model::Phase parse_phase(const std::string& name) {
+  const std::string p = lower(name);
+  if (p == "prefill") return model::Phase::kPrefill;
+  if (p == "decode") return model::Phase::kDecode;
+  throw std::invalid_argument("unknown phase: " + name);
+}
+
+}  // namespace
+
+Method parse_method(const std::string& name) {
+  const std::string m = lower(name);
+  if (m == "liger") return Method::kLiger;
+  if (m == "intra-op" || m == "intra") return Method::kIntraOp;
+  if (m == "inter-op" || m == "inter") return Method::kInterOp;
+  if (m == "inter-th") return Method::kInterTh;
+  if (m == "liger-cpusync" || m == "liger-cpu-sync") return Method::kLigerCpuSync;
+  throw std::invalid_argument("unknown method: " + name);
+}
+
+ExperimentConfig config_from_json(const util::JsonValue& doc) {
+  ExperimentConfig cfg;
+  cfg.model = model::ModelZoo::opt_30b();
+
+  if (const auto* node = doc.find("node")) cfg.node = node_from_json(*node);
+  if (const auto* m = doc.find("model")) cfg.model = model_from_json(*m);
+  cfg.method = parse_method(doc.string_or("method", "liger"));
+  cfg.rate = doc.number_or("rate", cfg.rate);
+  cfg.poisson = doc.bool_or("poisson", cfg.poisson);
+
+  if (const auto* w = doc.find("workload")) {
+    cfg.workload.num_requests =
+        static_cast<int>(w->int_or("requests", cfg.workload.num_requests));
+    cfg.workload.batch_size = static_cast<int>(w->int_or("batch", cfg.workload.batch_size));
+    cfg.workload.seq_min = static_cast<int>(w->int_or("seq_min", cfg.workload.seq_min));
+    cfg.workload.seq_max = static_cast<int>(w->int_or("seq_max", cfg.workload.seq_max));
+    cfg.workload.seed = static_cast<std::uint64_t>(w->int_or("seed", 7));
+    cfg.workload.phase = parse_phase(w->string_or("phase", "prefill"));
+  }
+
+  if (const auto* l = doc.find("liger")) {
+    cfg.liger.decomposition_factor =
+        static_cast<int>(l->int_or("decomposition_factor", cfg.liger.decomposition_factor));
+    cfg.liger.enable_decomposition =
+        l->bool_or("enable_decomposition", cfg.liger.enable_decomposition);
+    if (const auto* cf = l->find("contention_factor")) {
+      cfg.liger.contention_factor = cf->as_number();
+      cfg.profile_contention = false;  // explicit value wins over profiling
+    }
+    cfg.profile_contention = l->bool_or("profile_contention", cfg.profile_contention);
+    const std::string sync = lower(l->string_or("sync", "hybrid"));
+    cfg.liger.sync =
+        sync == "cpu-gpu" ? core::SyncMode::kCpuGpuOnly : core::SyncMode::kHybrid;
+    cfg.liger.comm.max_nchannels =
+        static_cast<int>(l->int_or("nccl_channels", cfg.liger.comm.max_nchannels));
+    cfg.liger.processing_slots =
+        static_cast<int>(l->int_or("processing_slots", cfg.liger.processing_slots));
+    cfg.liger.sequence_parallel =
+        l->bool_or("sequence_parallel", cfg.liger.sequence_parallel);
+  }
+  return cfg;
+}
+
+ExperimentConfig config_from_file(const std::string& path) {
+  return config_from_json(util::parse_json_file(path));
+}
+
+std::vector<model::BatchRequest> trace_from_json(const util::JsonValue& doc) {
+  std::vector<model::BatchRequest> trace;
+  sim::SimTime prev = 0;
+  int id = 0;
+  for (const auto& entry : doc.as_array()) {
+    model::BatchRequest req;
+    req.id = id++;
+    req.arrival = sim::from_us(entry.number_or("t_ms", 0.0) * 1e3);
+    req.batch_size = static_cast<int>(entry.int_or("batch", 1));
+    req.seq = static_cast<int>(entry.int_or("seq", 64));
+    req.phase = parse_phase(entry.string_or("phase", "prefill"));
+    if (req.arrival < prev) throw std::invalid_argument("trace not sorted by t_ms");
+    prev = req.arrival;
+    trace.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace liger::serving

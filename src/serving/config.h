@@ -1,0 +1,49 @@
+// JSON experiment configuration (the artifact configures model/request
+// rate/decomposition factor in main.cu; we do it declaratively).
+//
+// Schema (every field optional; presets fill the rest):
+//
+// {
+//   "node":  { "preset": "v100"|"a100", "devices": 4,
+//              "max_connections": 2,
+//              "gpu":  { "sms": 80, "fp16_tflops": 112.0,
+//                        "mem_bw_gbps": 900.0, "mem_gb": 16.0 },
+//              "link": { "kind": "nvlink"|"pcie",
+//                        "allreduce_busbw_gbps": 32.75,
+//                        "p2p_bw_gbps": 45.0, "channels_for_peak": 3 } },
+//   "model": { "preset": "opt-30b", "layers": 48 },
+//   "method": "liger"|"intra-op"|"inter-op"|"inter-th"|"liger-cpusync",
+//   "rate": 20.0, "poisson": false,
+//   "workload": { "requests": 200, "batch": 2, "seq_min": 16,
+//                 "seq_max": 128, "phase": "prefill"|"decode",
+//                 "seed": 7 },
+//   "liger": { "decomposition_factor": 8, "contention_factor": 1.1,
+//              "profile_contention": true, "sync": "hybrid"|"cpu-gpu",
+//              "nccl_channels": 3, "processing_slots": 4 }
+// }
+#pragma once
+
+#include <string>
+
+#include "serving/experiment.h"
+#include "util/json.h"
+
+namespace liger::serving {
+
+// Builds an ExperimentConfig from a parsed JSON document. Throws
+// util::JsonError / std::invalid_argument on malformed input.
+ExperimentConfig config_from_json(const util::JsonValue& doc);
+
+// Convenience: parse a file and build the config.
+ExperimentConfig config_from_file(const std::string& path);
+
+// Method name <-> enum (accepts the method_name() spellings,
+// case-insensitively, plus "liger-cpusync").
+Method parse_method(const std::string& name);
+
+// Parses an explicit request trace:
+//   [ {"t_ms": 0.0, "batch": 2, "seq": 64, "phase": "prefill"}, ... ]
+// Requests must be sorted by t_ms; ids are assigned sequentially.
+std::vector<model::BatchRequest> trace_from_json(const util::JsonValue& doc);
+
+}  // namespace liger::serving

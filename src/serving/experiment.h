@@ -1,0 +1,72 @@
+// Experiment harness: builds (node, runtime, workload) combinations and
+// runs serving experiments — the engine behind every figure bench.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/liger_runtime.h"
+#include "gpu/node.h"
+#include "model/model_spec.h"
+#include "serving/server.h"
+
+namespace liger::serving {
+
+enum class Method {
+  kLiger,
+  kIntraOp,
+  kInterOp,
+  kInterTh,
+  kLigerCpuSync,  // Liger with CPU-GPU-only synchronization (Fig 13)
+};
+
+const char* method_name(Method m);
+std::vector<Method> all_methods();
+
+struct ExperimentConfig {
+  gpu::NodeSpec node = gpu::NodeSpec::v100_nvlink();
+  model::ModelSpec model;
+  Method method = Method::kLiger;
+  WorkloadConfig workload;
+  double rate = 1.0;       // offered batches/s
+  bool poisson = false;
+  core::LigerOptions liger;
+  // Derive the contention factor by offline profiling (§3.5) instead of
+  // using liger.contention_factor.
+  bool profile_contention = true;
+};
+
+// Runs one serving experiment to completion (deterministic).
+Report run_experiment(const ExperimentConfig& config);
+
+struct ExperimentOutputs {
+  Report report;
+  // Populated for Liger methods only.
+  core::LigerStats liger;
+  // Per-device fraction of the makespan with any kernel running, and
+  // with a communication kernel running.
+  std::vector<double> device_busy_frac;
+  std::vector<double> device_comm_frac;
+};
+
+// run_experiment plus runtime-internal statistics.
+ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config);
+
+// True when one device can hold its weight shard plus activation
+// headroom under the method's partitioning.
+bool model_fits(const gpu::NodeSpec& node, const model::ModelSpec& model, Method method);
+
+// Contention factor for a node/model pair via offline profiling over a
+// small shape grid (memoized per distinct inputs within the process).
+double profiled_contention_factor(const gpu::NodeSpec& node, const model::ModelSpec& model,
+                                  const collective::CommConfig& comm);
+
+// Sum of one batch's kernel durations under intra-op partitioning on an
+// idle node — the natural unit for choosing arrival-rate sweeps (its
+// reciprocal approximates the intra-op saturation rate).
+sim::SimTime isolated_intra_batch_time(const gpu::NodeSpec& node,
+                                       const model::ModelSpec& model, int batch_size,
+                                       int seq, model::Phase phase);
+
+}  // namespace liger::serving

@@ -1,0 +1,95 @@
+#include "serving/generative.h"
+
+#include <cassert>
+
+namespace liger::serving {
+
+std::uint64_t kv_cache_bytes(const model::ModelSpec& spec, int batch_size, int ctx, int tp) {
+  // K and V per layer: [batch, heads/tp, ctx, head_dim], fp16.
+  return 2ull * static_cast<std::uint64_t>(spec.layers) *
+         static_cast<std::uint64_t>(batch_size) *
+         static_cast<std::uint64_t>(spec.heads / tp) *
+         static_cast<std::uint64_t>(spec.head_dim()) * static_cast<std::uint64_t>(ctx) * 2ull;
+}
+
+GenerativeDriver::GenerativeDriver(sim::Engine& engine, core::InferenceRuntime& runtime,
+                                   model::ModelSpec model, int tp, GenerativeConfig config)
+    : engine_(engine), runtime_(runtime), model_(std::move(model)), tp_(tp), config_(config) {
+  assert(config_.conversations >= 1);
+  assert(config_.tokens >= 1);
+  conversations_.resize(static_cast<std::size_t>(config_.conversations));
+  for (int c = 0; c < config_.conversations; ++c) {
+    auto& conv = conversations_[static_cast<std::size_t>(c)];
+    conv.context = config_.prompt_len;
+    conv.remaining = config_.tokens;
+    conv.next_id = (c + 1) * 1'000'000;  // id space encodes the conversation
+  }
+}
+
+void GenerativeDriver::update_kv_peak() {
+  std::uint64_t total = 0;
+  for (const auto& conv : conversations_) {
+    if (conv.remaining > 0 || !conv.prefilled) {
+      total += kv_cache_bytes(model_, config_.batch_size, conv.context, tp_);
+    }
+  }
+  peak_kv_ = std::max(peak_kv_, total);
+}
+
+void GenerativeDriver::submit_next(Conversation& conv, model::Phase phase) {
+  model::BatchRequest req;
+  req.id = conv.next_id++;
+  req.batch_size = config_.batch_size;
+  req.seq = phase == model::Phase::kPrefill ? config_.prompt_len : conv.context;
+  req.phase = phase;
+  req.arrival = engine_.now();
+  conv.last_submit = engine_.now();
+  runtime_.submit(req);
+  update_kv_peak();
+}
+
+void GenerativeDriver::on_complete(const model::BatchRequest& request, sim::SimTime t) {
+  const int conv_index = request.id / 1'000'000 - 1;
+  assert(conv_index >= 0 &&
+         conv_index < static_cast<int>(conversations_.size()));
+  auto& conv = conversations_[static_cast<std::size_t>(conv_index)];
+
+  const double latency_ms = sim::to_ms(t - conv.last_submit);
+  if (request.phase == model::Phase::kPrefill) {
+    conv.prefilled = true;
+    prefill_ms_.add(latency_ms);
+  } else {
+    decode_ms_.add(latency_ms);
+    ++total_tokens_done_;
+    --conv.remaining;
+    ++conv.context;  // the generated token extends the KV cache
+  }
+  if (conv.remaining > 0) {
+    submit_next(conv, model::Phase::kDecode);
+  }
+}
+
+GenerativeResult GenerativeDriver::run() {
+  runtime_.set_completion_hook(
+      [this](const model::BatchRequest& req, sim::SimTime t) { on_complete(req, t); });
+  for (auto& conv : conversations_) {
+    submit_next(conv, model::Phase::kPrefill);
+  }
+  engine_.run();
+
+  GenerativeResult result;
+  result.makespan = engine_.now();
+  if (!prefill_ms_.empty()) result.prefill_ms_avg = prefill_ms_.mean();
+  if (!decode_ms_.empty()) {
+    result.decode_ms_avg = decode_ms_.mean();
+    result.decode_ms_p99 = decode_ms_.quantile(0.99);
+  }
+  if (result.makespan > 0) {
+    result.tokens_per_second =
+        static_cast<double>(total_tokens_done_) / sim::to_seconds(result.makespan);
+  }
+  result.peak_kv_bytes_per_device = peak_kv_;
+  return result;
+}
+
+}  // namespace liger::serving

@@ -1,0 +1,76 @@
+// Generative (autoregressive) serving driver: prefill + chained decode
+// iterations with KV-cache accounting (§4.3's workload, generalized to
+// full multi-token generation).
+//
+// Each conversation submits a prefill batch, then one decode batch per
+// token; a token's decode is submitted when the previous one completes
+// (the data dependency of autoregressive sampling). Multiple
+// conversations run concurrently — under Liger their compute and
+// communication interleave.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "model/model_spec.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+
+namespace liger::serving {
+
+struct GenerativeConfig {
+  int conversations = 2;
+  int prompt_len = 16;
+  int tokens = 32;      // tokens generated per conversation
+  int batch_size = 32;  // sequences per conversation batch
+};
+
+struct GenerativeResult {
+  double prefill_ms_avg = 0.0;       // first-token latency
+  double decode_ms_avg = 0.0;        // per-token latency (steady state)
+  double decode_ms_p99 = 0.0;
+  double tokens_per_second = 0.0;    // aggregate across conversations
+  sim::SimTime makespan = 0;
+  // Peak KV-cache bytes per device across all live conversations.
+  std::uint64_t peak_kv_bytes_per_device = 0;
+};
+
+// Per-device KV-cache bytes for one sequence batch at context length
+// `ctx`: K and V, fp16, heads sharded tp ways.
+std::uint64_t kv_cache_bytes(const model::ModelSpec& spec, int batch_size, int ctx, int tp);
+
+class GenerativeDriver {
+ public:
+  GenerativeDriver(sim::Engine& engine, core::InferenceRuntime& runtime,
+                   model::ModelSpec model, int tp, GenerativeConfig config);
+
+  // Runs all conversations to completion (drives the engine).
+  GenerativeResult run();
+
+ private:
+  struct Conversation {
+    int context = 0;
+    int remaining = 0;
+    int next_id = 0;
+    sim::SimTime last_submit = 0;
+    bool prefilled = false;
+  };
+
+  void submit_next(Conversation& conv, model::Phase phase);
+  void on_complete(const model::BatchRequest& request, sim::SimTime t);
+  void update_kv_peak();
+
+  sim::Engine& engine_;
+  core::InferenceRuntime& runtime_;
+  model::ModelSpec model_;
+  int tp_;
+  GenerativeConfig config_;
+  std::vector<Conversation> conversations_;
+  util::SampleSet prefill_ms_;
+  util::SampleSet decode_ms_;
+  std::uint64_t peak_kv_ = 0;
+  int total_tokens_done_ = 0;
+};
+
+}  // namespace liger::serving

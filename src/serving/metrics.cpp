@@ -1,0 +1,42 @@
+#include "serving/metrics.h"
+
+#include <cassert>
+
+namespace liger::serving {
+
+void MetricsCollector::on_arrival(const model::BatchRequest& request) {
+  if (first_arrival_ < 0) first_arrival_ = request.arrival;
+  ++arrivals_;
+}
+
+void MetricsCollector::on_complete(const model::BatchRequest& request,
+                                   sim::SimTime completion) {
+  assert(completion >= request.arrival);
+  latencies_ns_.add(static_cast<double>(completion - request.arrival));
+  batch_size_sum_ += static_cast<std::uint64_t>(request.batch_size);
+  if (completion > last_completion_) last_completion_ = completion;
+}
+
+Report MetricsCollector::report(double offered_rate) const {
+  Report rep;
+  rep.completed = latencies_ns_.count();
+  rep.offered_rate = offered_rate;
+  if (rep.completed == 0) return rep;
+
+  rep.avg_latency_ms = latencies_ns_.mean() / 1e6;
+  rep.p50_latency_ms = latencies_ns_.quantile(0.50) / 1e6;
+  rep.p95_latency_ms = latencies_ns_.quantile(0.95) / 1e6;
+  rep.p99_latency_ms = latencies_ns_.quantile(0.99) / 1e6;
+  rep.max_latency_ms = latencies_ns_.max() / 1e6;
+
+  const sim::SimTime span = last_completion_ - (first_arrival_ < 0 ? 0 : first_arrival_);
+  rep.makespan = span;
+  if (span > 0) {
+    const double seconds = sim::to_seconds(span);
+    rep.throughput_bps = static_cast<double>(rep.completed) / seconds;
+    rep.throughput_rps = static_cast<double>(batch_size_sum_) / seconds;
+  }
+  return rep;
+}
+
+}  // namespace liger::serving

@@ -1,0 +1,53 @@
+// Serving metrics (§4.1): per-request latency (pending time + CUDA
+// execution time, i.e. completion - arrival) and system throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "model/batch.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace liger::serving {
+
+struct Report {
+  std::size_t completed = 0;
+  double offered_rate = 0.0;        // batches/s the generator targeted
+  double avg_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  // Achieved throughput: completed batches per second of wall time
+  // between the first arrival and the last completion.
+  double throughput_bps = 0.0;
+  // Same in requests/s (batches * batch_size).
+  double throughput_rps = 0.0;
+  sim::SimTime makespan = 0;
+
+  // The offered load exceeded what the system could absorb (pending
+  // queue kept growing).
+  bool saturated(double tolerance = 0.95) const {
+    return throughput_bps < offered_rate * tolerance;
+  }
+};
+
+class MetricsCollector {
+ public:
+  void on_arrival(const model::BatchRequest& request);
+  void on_complete(const model::BatchRequest& request, sim::SimTime completion);
+
+  std::size_t arrivals() const { return arrivals_; }
+  std::size_t completions() const { return latencies_ns_.count(); }
+
+  Report report(double offered_rate) const;
+
+ private:
+  std::size_t arrivals_ = 0;
+  std::uint64_t batch_size_sum_ = 0;
+  util::SampleSet latencies_ns_;
+  sim::SimTime first_arrival_ = -1;
+  sim::SimTime last_completion_ = 0;
+};
+
+}  // namespace liger::serving

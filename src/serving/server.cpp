@@ -1,0 +1,70 @@
+#include "serving/server.h"
+
+#include <cassert>
+
+namespace liger::serving {
+
+Server::Server(sim::Engine& engine, core::InferenceRuntime& runtime, WorkloadConfig workload)
+    : engine_(engine), runtime_(runtime), workload_(workload), rng_(workload.seed) {
+  assert(workload_.num_requests >= 1);
+  assert(workload_.seq_min >= 1 && workload_.seq_min <= workload_.seq_max);
+}
+
+sim::Task Server::generator(ArrivalProcess& arrivals) {
+  for (int i = 0; i < workload_.num_requests; ++i) {
+    model::BatchRequest req;
+    req.id = i;
+    req.batch_size = workload_.batch_size;
+    req.seq = static_cast<int>(rng_.uniform_int(workload_.seq_min, workload_.seq_max));
+    req.phase = workload_.phase;
+    req.arrival = engine_.now();
+    metrics_.on_arrival(req);
+    runtime_.submit(req);
+    if (i + 1 < workload_.num_requests) {
+      co_await sim::delay(engine_, arrivals.next_gap(rng_));
+    }
+  }
+}
+
+Report Server::run(ArrivalProcess& arrivals) {
+  assert(!used_ && "Server::run is single-shot");
+  used_ = true;
+  runtime_.set_completion_hook(
+      [this](const model::BatchRequest& req, sim::SimTime t) { metrics_.on_complete(req, t); });
+  generator(arrivals);
+  engine_.run();
+  assert(metrics_.completions() == static_cast<std::size_t>(workload_.num_requests) &&
+         "all submitted requests must complete");
+  return metrics_.report(arrivals.rate());
+}
+
+sim::Task Server::trace_generator(std::vector<model::BatchRequest> trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    model::BatchRequest req = trace[i];
+    assert(req.arrival >= engine_.now() && "trace must be sorted by arrival");
+    if (req.arrival > engine_.now()) {
+      co_await sim::delay(engine_, req.arrival - engine_.now());
+    }
+    metrics_.on_arrival(req);
+    runtime_.submit(req);
+  }
+}
+
+Report Server::run_trace(std::vector<model::BatchRequest> trace) {
+  assert(!used_ && "Server::run is single-shot");
+  used_ = true;
+  const std::size_t n = trace.size();
+  runtime_.set_completion_hook(
+      [this](const model::BatchRequest& req, sim::SimTime t) { metrics_.on_complete(req, t); });
+  sim::SimTime span = 0;
+  if (!trace.empty()) span = trace.back().arrival - trace.front().arrival;
+  const double rate =
+      span > 0 ? static_cast<double>(n - 1) / sim::to_seconds(span) : 0.0;
+  trace_generator(std::move(trace));
+  engine_.run();
+  assert(metrics_.completions() == n && "all replayed requests must complete");
+  (void)n;
+  return metrics_.report(rate);
+}
+
+}  // namespace liger::serving

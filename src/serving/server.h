@@ -1,0 +1,54 @@
+// The serving frontend: generates batched requests with a chosen
+// arrival process and drives a runtime backend, collecting metrics
+// until all requests complete.
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "serving/arrival.h"
+#include "serving/metrics.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "util/rng.h"
+
+namespace liger::serving {
+
+struct WorkloadConfig {
+  int num_requests = 2000;   // paper §4.1: metrics over 2000 requests
+  int batch_size = 2;
+  int seq_min = 16;          // §4.2: random traces, seq in [16, 128]
+  int seq_max = 128;
+  model::Phase phase = model::Phase::kPrefill;
+  std::uint64_t seed = 7;
+};
+
+class Server {
+ public:
+  Server(sim::Engine& engine, core::InferenceRuntime& runtime, WorkloadConfig workload);
+
+  // Generates and serves the whole workload; runs the engine until the
+  // last completion. Must be called at most once.
+  Report run(ArrivalProcess& arrivals);
+
+  // Replays an explicit request trace (arrival times, batch sizes and
+  // sequence lengths from the trace; `workload` is ignored except for
+  // metrics). Trace must be sorted by arrival time. Single-shot, like
+  // run().
+  Report run_trace(std::vector<model::BatchRequest> trace);
+
+  const MetricsCollector& metrics() const { return metrics_; }
+
+ private:
+  sim::Task generator(ArrivalProcess& arrivals);
+  sim::Task trace_generator(std::vector<model::BatchRequest> trace);
+
+  sim::Engine& engine_;
+  core::InferenceRuntime& runtime_;
+  WorkloadConfig workload_;
+  MetricsCollector metrics_;
+  util::Rng rng_;
+  bool used_ = false;
+};
+
+}  // namespace liger::serving

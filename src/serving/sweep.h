@@ -1,0 +1,18 @@
+// Parallel experiment sweeps: each configuration runs in its own
+// simulation engine, so independent points fan out across a thread
+// pool. Results come back in input order and remain bit-identical to
+// serial runs (the simulations share no state).
+#pragma once
+
+#include <vector>
+
+#include "serving/experiment.h"
+
+namespace liger::serving {
+
+// Runs every configuration and returns reports in the same order.
+// threads == 0 uses the hardware concurrency.
+std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                 unsigned threads = 0);
+
+}  // namespace liger::serving

@@ -1,0 +1,85 @@
+// Unbounded MPSC/MPMC channel for coroutine tasks.
+//
+// push() never blocks; pop() is an awaitable that suspends until an item
+// is available. Waiters are served FIFO. This is the handoff primitive
+// between the serving frontend (producer of batches) and runtime
+// scheduler actors (consumers).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.h"
+
+namespace liger::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // The item is now reserved for this waiter: it resumes via the
+      // event queue, and ready-path pops may only take surplus items.
+      ++reserved_;
+      engine_->schedule_after(0, [h] { h.resume(); });
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  // Non-blocking pop of a surplus (unreserved) item.
+  bool try_pop(T& out) {
+    if (items_.size() <= reserved_) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  struct PopAwaiter {
+    Channel& ch;
+    bool suspended = false;
+
+    // Ready only if a surplus item exists AND no earlier waiter is
+    // queued — otherwise a latecomer would overtake, breaking FIFO.
+    bool await_ready() const noexcept {
+      return ch.items_.size() > ch.reserved_ && ch.waiters_.empty();
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      ch.waiters_.push_back(h);
+    }
+
+    T await_resume() {
+      if (suspended) {
+        assert(ch.reserved_ > 0);
+        --ch.reserved_;
+      }
+      assert(!ch.items_.empty() && "resumed without an item; channel invariant broken");
+      T value = std::move(ch.items_.front());
+      ch.items_.pop_front();
+      return value;
+    }
+  };
+
+  PopAwaiter pop() { return PopAwaiter{*this}; }
+
+ private:
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace liger::sim

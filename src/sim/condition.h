@@ -1,0 +1,125 @@
+// One-shot broadcast condition for coroutine tasks and plain callbacks.
+//
+// A Condition starts unfired; fire() wakes every waiter. Waiters that
+// arrive after the fire proceed immediately. Resumption goes through the
+// event queue (at the current time) so wake-ups interleave
+// deterministically with other same-time events and recursion depth
+// stays bounded.
+//
+// GPU events (gpu::Event) and collective completion are built on this.
+#pragma once
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace liger::sim {
+
+class Condition {
+ public:
+  explicit Condition(Engine& engine) : engine_(&engine) {}
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  bool fired() const { return fired_; }
+
+  // Time at which fire() was called; only meaningful when fired().
+  SimTime fire_time() const { return fire_time_; }
+
+  // Fires the condition, waking all current waiters. Firing twice is a
+  // programming error (these are one-shot, like CUDA event completion).
+  void fire() {
+    if (fired_) return;  // idempotent: multiple producers may race benignly
+    fired_ = true;
+    fire_time_ = engine_->now();
+    for (auto h : waiting_coros_) {
+      engine_->schedule_after(0, [h] { h.resume(); });
+    }
+    waiting_coros_.clear();
+    auto callbacks = std::move(callbacks_);
+    callbacks_.clear();
+    for (auto& cb : callbacks) {
+      engine_->schedule_after(0, std::move(cb));
+    }
+  }
+
+  // Registers a plain-function listener (runs via the event queue).
+  // If already fired, the callback is scheduled immediately.
+  void on_fire(std::function<void()> cb) {
+    if (fired_) {
+      engine_->schedule_after(0, std::move(cb));
+    } else {
+      callbacks_.push_back(std::move(cb));
+    }
+  }
+
+  struct Awaiter {
+    Condition& cond;
+    bool await_ready() const noexcept { return cond.fired_; }
+    void await_suspend(std::coroutine_handle<> h) { cond.waiting_coros_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter operator co_await() { return Awaiter{*this}; }
+
+ private:
+  friend class TimedConditionAwaiter;
+  Engine* engine_;
+  bool fired_ = false;
+  SimTime fire_time_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_coros_;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+// Awaits a condition and then pays a fixed wake-up overhead before the
+// awaiting task resumes. Models host-side synchronization cost
+// (cudaEventSynchronize / cudaStreamSynchronize wake latency).
+//
+// The referenced Condition only needs to stay alive until it fires.
+class TimedConditionAwaiter {
+ public:
+  TimedConditionAwaiter(Engine& engine, Condition& cond, SimTime overhead)
+      : engine_(engine), cond_(cond), overhead_(overhead) {}
+
+  // Variant that shares ownership of the condition (used when the
+  // producer may drop its reference before the awaiter resumes).
+  TimedConditionAwaiter(Engine& engine, std::shared_ptr<Condition> cond, SimTime overhead)
+      : engine_(engine), cond_(*cond), overhead_(overhead), owner_(std::move(cond)) {}
+
+  bool await_ready() const noexcept { return cond_.fired() && overhead_ == 0; }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    Engine& engine = engine_;
+    const SimTime overhead = overhead_;
+    if (cond_.fired()) {
+      engine.schedule_after(overhead, [h] { h.resume(); });
+    } else {
+      cond_.on_fire([&engine, overhead, h] { engine.schedule_after(overhead, [h] { h.resume(); }); });
+    }
+  }
+
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& engine_;
+  Condition& cond_;
+  SimTime overhead_;
+  std::shared_ptr<Condition> owner_;
+};
+
+inline TimedConditionAwaiter wait_with_overhead(Engine& engine, Condition& cond,
+                                                SimTime overhead) {
+  return TimedConditionAwaiter(engine, cond, overhead);
+}
+
+inline TimedConditionAwaiter wait_with_overhead(Engine& engine,
+                                                std::shared_ptr<Condition> cond,
+                                                SimTime overhead) {
+  return TimedConditionAwaiter(engine, std::move(cond), overhead);
+}
+
+}  // namespace liger::sim

@@ -1,0 +1,54 @@
+#include "sim/engine.h"
+
+#include <cassert>
+
+namespace liger::sim {
+
+Engine::EventId Engine::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  assert(cb && "null callback");
+  EventId id{t, next_seq_++};
+  queue_.emplace(Key{id.time, id.seq}, std::move(cb));
+  return id;
+}
+
+Engine::EventId Engine::schedule_after(SimTime dt, Callback cb) {
+  assert(dt >= 0);
+  return schedule_at(now_ + dt, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return queue_.erase(Key{id.time, id.seq}) > 0;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  assert(it->first.first >= now_);
+  now_ = it->first.first;
+  Callback cb = std::move(it->second);
+  queue_.erase(it);
+  ++processed_;
+  cb();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(SimTime t) {
+  assert(t >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= t) {
+    step();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace liger::sim

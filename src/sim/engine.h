@@ -1,0 +1,73 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a queue of timestamped callbacks.
+// Events at equal times execute in scheduling order (FIFO), which makes
+// every simulation in this repository deterministic and reproducible.
+//
+// The engine is strictly single-threaded: all scheduling and execution
+// happen on the caller's thread. Concurrency in the *simulated* world
+// (GPUs, streams, the host CPU) is expressed as interleaved events and,
+// at a higher level, as coroutine actors (see sim/task.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace liger::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  // Handle for cancelling a pending event. Default-constructed ids are
+  // invalid and safe to cancel (a no-op).
+  struct EventId {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  // Schedules `cb` to run `dt` nanoseconds from now (dt >= 0).
+  EventId schedule_after(SimTime dt, Callback cb);
+
+  // Removes a pending event. Returns false if it already ran, was
+  // cancelled before, or the id is invalid.
+  bool cancel(EventId id);
+
+  // Executes the next event, advancing the clock. Returns false when
+  // the queue is empty.
+  bool step();
+
+  // Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  // Runs all events with time <= t, then advances the clock to t.
+  std::uint64_t run_until(SimTime t);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  using Key = std::pair<SimTime, std::uint64_t>;
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::map<Key, Callback> queue_;
+};
+
+}  // namespace liger::sim

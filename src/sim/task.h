@@ -1,0 +1,70 @@
+// Coroutine actors for the simulator.
+//
+// A sim::Task is a detached, eagerly-started coroutine. Host-side control
+// flow (the Liger scheduler, baseline runtimes, the serving loop) is
+// written as tasks that co_await simulated time and events, so the code
+// reads like the CUDA host code it models:
+//
+//   sim::Task serve(HostContext& host, ...) {
+//     co_await host.sync_event(pre_event);   // cudaEventSynchronize
+//     host.launch(dev, stream, kernel);      // cudaLaunchKernel
+//   }
+//
+// Lifetime: the coroutine frame self-destroys when the task body returns
+// (final_suspend is suspend_never). Awaitables must therefore outlive any
+// task suspended on them; in this codebase awaitables are owned by the
+// engine-scoped world objects, which live for the whole simulation.
+// Task::live_count() lets tests assert that no task leaked (i.e. every
+// spawned actor ran to completion before the engine drained).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace liger::sim {
+
+class Task {
+ public:
+  struct promise_type {
+    promise_type() { ++live_; }
+    ~promise_type() { --live_; }
+
+    Task get_return_object() { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+
+    inline static std::int64_t live_ = 0;
+  };
+
+  // Number of coroutine frames currently alive (spawned, not finished).
+  static std::int64_t live_count() { return promise_type::live_; }
+};
+
+// Awaitable that suspends the current task for `dt` simulated time.
+//
+//   co_await sim::delay(engine, sim::microseconds(5));
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Engine& engine, SimTime dt) : engine_(engine), dt_(dt) {}
+
+  bool await_ready() const noexcept { return dt_ == 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine_.schedule_after(dt_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& engine_;
+  SimTime dt_;
+};
+
+inline DelayAwaiter delay(Engine& engine, SimTime dt) { return DelayAwaiter(engine, dt); }
+
+}  // namespace liger::sim

@@ -1,0 +1,42 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+//
+// Nanosecond integer time keeps the event queue total-ordered and the
+// whole simulation deterministic; doubles would accumulate rounding and
+// make tie-breaking platform-dependent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace liger::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime nanoseconds(std::int64_t v) { return v; }
+constexpr SimTime microseconds(std::int64_t v) { return v * 1'000; }
+constexpr SimTime milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+// Lossy conversions for reporting.
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+// Rounds a real-valued duration in seconds to SimTime.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * 1e3 + (us >= 0 ? 0.5 : -0.5));
+}
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) { return static_cast<SimTime>(v); }
+constexpr SimTime operator""_us(unsigned long long v) { return microseconds(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_ms(unsigned long long v) { return milliseconds(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_s(unsigned long long v) { return seconds(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace liger::sim

@@ -1,0 +1,78 @@
+#include "trace/chrome_trace.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+
+namespace liger::trace {
+
+void ChromeTraceSink::write_json(std::ostream& out) const {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& rec : records_) {
+    w.begin_object();
+    w.kv("name", rec.name);
+    w.kv("cat", gpu::kernel_kind_name(rec.kind));
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(rec.start) / 1e3);   // us
+    w.kv("dur", static_cast<double>(rec.end - rec.start) / 1e3);
+    w.kv("pid", rec.device);
+    w.kv("tid", rec.stream);
+    w.key("args");
+    w.begin_object();
+    w.kv("blocks", rec.blocks_granted);
+    w.kv("batch", rec.batch_id);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+}
+
+namespace {
+
+// Sweep-line union length of intervals selected by `pred`.
+template <typename Pred>
+sim::SimTime union_length(const std::vector<gpu::KernelTraceRecord>& records, Pred pred) {
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> iv;
+  for (const auto& r : records) {
+    if (pred(r)) iv.emplace_back(r.start, r.end);
+  }
+  std::sort(iv.begin(), iv.end());
+  sim::SimTime total = 0;
+  sim::SimTime cur_lo = 0, cur_hi = -1;
+  for (const auto& [lo, hi] : iv) {
+    if (hi <= lo) continue;
+    if (cur_hi < 0 || lo > cur_hi) {
+      if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+  return total;
+}
+
+}  // namespace
+
+sim::SimTime ChromeTraceSink::busy_time(int device, gpu::KernelKind kind) const {
+  return union_length(records_, [&](const gpu::KernelTraceRecord& r) {
+    return r.device == device && r.kind == kind;
+  });
+}
+
+sim::SimTime ChromeTraceSink::overlap_time(int device) const {
+  // Overlap = |compute U| + |comm U| - |either U|  (inclusion-exclusion).
+  const sim::SimTime comp = busy_time(device, gpu::KernelKind::kCompute);
+  const sim::SimTime comm = busy_time(device, gpu::KernelKind::kComm);
+  const sim::SimTime either = union_length(
+      records_, [&](const gpu::KernelTraceRecord& r) { return r.device == device; });
+  return comp + comm - either;
+}
+
+}  // namespace liger::trace

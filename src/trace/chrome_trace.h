@@ -1,0 +1,37 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of kernel
+// timelines. Attach to a node with Node::set_trace_sink(); write the
+// JSON when the simulation ends. Rows are (device, stream); colors
+// distinguish compute from communication kernels.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "gpu/kernel.h"
+
+namespace liger::trace {
+
+class ChromeTraceSink : public gpu::TraceSink {
+ public:
+  void on_kernel(const gpu::KernelTraceRecord& rec) override { records_.push_back(rec); }
+
+  const std::vector<gpu::KernelTraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  // Writes the Trace Event Format JSON ("traceEvents" array of complete
+  // events; timestamps in microseconds).
+  void write_json(std::ostream& out) const;
+
+  // --- Trace analysis helpers (used by tests and ablation benches) -------
+  // Total time [ns] during which at least one kernel of `kind` ran on
+  // `device`, derived from the records.
+  sim::SimTime busy_time(int device, gpu::KernelKind kind) const;
+  // Total time both a compute and a comm kernel were running on
+  // `device` simultaneously (the achieved overlap).
+  sim::SimTime overlap_time(int device) const;
+
+ private:
+  std::vector<gpu::KernelTraceRecord> records_;
+};
+
+}  // namespace liger::trace

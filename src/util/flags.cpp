@@ -1,0 +1,68 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace liger::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!touched_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace liger::util

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+//   util::Flags flags(argc, argv);
+//   int devices = flags.get_int("devices", 4);
+//   std::string model = flags.get_string("model", "opt-30b");
+//   if (!flags.unknown().empty()) { ... }
+//
+// Accepted syntaxes: --name=value, --name value, and boolean --name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace liger::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Positional (non --flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags the program never looked up; benches report these as typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace liger::util

@@ -1,0 +1,128 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace liger::util {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+JsonWriter::~JsonWriter() { assert(stack_.empty() && "unbalanced JSON container"); }
+
+void JsonWriter::before_value() {
+  assert(!done_ && "writing after the root value completed");
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    assert(top.pending_key && "object value requires a preceding key()");
+    top.pending_key = false;
+  } else {
+    if (top.has_items) out_ << ',';
+    top.has_items = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Scope::kObject});
+}
+
+void JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  assert(!stack_.back().pending_key);
+  stack_.pop_back();
+  out_ << '}';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Scope::kArray});
+}
+
+void JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kArray);
+  stack_.pop_back();
+  out_ << ']';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  Level& top = stack_.back();
+  assert(!top.pending_key && "two keys in a row");
+  if (top.has_items) out_ << ',';
+  top.has_items = true;
+  top.pending_key = true;
+  out_ << '"' << escape(name) << "\":";
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << '"' << escape(s) << '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (std::isfinite(d)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no inf/nan
+  }
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value();
+  out_ << i;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::uint64_t i) {
+  before_value();
+  out_ << i;
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (stack_.empty()) done_ = true;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace liger::util

@@ -1,0 +1,66 @@
+// A small streaming JSON writer (objects, arrays, scalars) used for
+// Chrome-trace export and machine-readable bench output. Writing is
+// strictly sequential; the writer tracks nesting and inserts commas.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace liger::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. Every begin_* must be matched by the corresponding end_*.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object keys; must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  // Scalar values.
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(bool b);
+  void null();
+
+  // Convenience: key + scalar in one call.
+  template <typename T>
+  void kv(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  // Escapes a string per RFC 8259 (quotes not included).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Level {
+    Scope scope;
+    bool has_items = false;
+    bool pending_key = false;
+  };
+
+  void before_value();
+
+  std::ostream& out_;
+  std::vector<Level> stack_;
+  bool done_ = false;
+};
+
+}  // namespace liger::util

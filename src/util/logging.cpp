@@ -1,0 +1,74 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace liger::util {
+
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("LIGER_LOG_LEVEL");
+    LogLevel initial = env ? parse_log_level(env) : LogLevel::kWarn;
+    return static_cast<int>(initial);
+  }();
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  auto eq = [&](std::string_view want) {
+    if (name.size() != want.size()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(name[i])) != want[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off") || eq("none")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << log_level_name(level) << " " << (base ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  (void)level_;
+}
+
+}  // namespace internal
+
+}  // namespace liger::util

@@ -1,0 +1,72 @@
+// Lightweight leveled logging for the Liger runtime and simulator.
+//
+// Logging is stream-style and cheap when the level is disabled:
+//
+//   LIGER_LOG(Info) << "scheduled " << n << " kernels";
+//
+// The global level defaults to Warn so tests and benches stay quiet;
+// harnesses bump it with set_log_level() or the LIGER_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace liger::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Returns the current global log level (reads LIGER_LOG_LEVEL once).
+LogLevel log_level();
+
+// Overrides the global log level for the rest of the process.
+void set_log_level(LogLevel level);
+
+// Parses "info", "warn", ... (case-insensitive). Unknown names -> kWarn.
+LogLevel parse_log_level(std::string_view name);
+
+// Human-readable name of a level ("INFO", "WARN", ...).
+std::string_view log_level_name(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace liger::util
+
+#define LIGER_LOG_ENABLED(severity) \
+  (::liger::util::LogLevel::severity >= ::liger::util::log_level())
+
+#define LIGER_LOG(severity)                                  \
+  if (!LIGER_LOG_ENABLED(k##severity)) {                     \
+  } else                                                     \
+    ::liger::util::internal::LogMessage(                     \
+        ::liger::util::LogLevel::k##severity, __FILE__, __LINE__)

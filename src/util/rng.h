@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The simulator must be reproducible bit-for-bit across runs and
+// platforms, so we avoid std::default_random_engine / std::*_distribution
+// (whose algorithms are implementation-defined) and ship a fixed
+// xoshiro256** generator with explicit distribution code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace liger::util {
+
+// SplitMix64: used to expand a single seed into generator state.
+// Reference: Sebastiano Vigna, public domain.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Derives an independent child generator; children with distinct tags
+  // from the same parent produce decorrelated streams.
+  Rng fork(std::uint64_t tag) const;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace liger::util

@@ -1,0 +1,81 @@
+// Streaming and sample-based statistics used by the metrics pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace liger::util {
+
+// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;       // +inf when empty
+  double max() const;       // -inf when empty
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains samples and answers quantile queries (linear interpolation,
+// the same convention as numpy.percentile).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  // q in [0,1]; e.g. quantile(0.99) is p99. Requires at least one sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Simple fixed-width histogram over [lo, hi); out-of-range values clamp
+// to the edge buckets. Used by the kernel-duration variance figure.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace liger::util

@@ -1,0 +1,41 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace liger::util {
+
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes, int count, double step) {
+  int idx = 0;
+  while (idx + 1 < count && value >= step) {
+    value /= step;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return format_scaled(static_cast<double>(bytes), kSuffixes, 5, 1024.0);
+}
+
+std::string format_duration_ns(std::int64_t ns) {
+  static const char* const kSuffixes[] = {"ns", "us", "ms", "s"};
+  return format_scaled(static_cast<double>(ns), kSuffixes, 4, 1000.0);
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  static const char* const kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return format_scaled(bytes_per_sec, kSuffixes, 5, 1000.0);
+}
+
+}  // namespace liger::util

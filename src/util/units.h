@@ -1,0 +1,27 @@
+// Unit helpers: byte/time formatting and common scale constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace liger::util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// "1.50 GiB", "312.0 MiB", "64 B" ...
+std::string format_bytes(std::uint64_t bytes);
+
+// Nanoseconds -> "12.3 us", "4.56 ms", "1.23 s" ...
+std::string format_duration_ns(std::int64_t ns);
+
+// "1.23 GB/s" from bytes-per-second.
+std::string format_bandwidth(double bytes_per_sec);
+
+}  // namespace liger::util

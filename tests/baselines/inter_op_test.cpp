@@ -1,0 +1,181 @@
+#include "baselines/inter_op_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/intra_op_runtime.h"
+#include "model/model_spec.h"
+#include "sim/engine.h"
+
+namespace liger::baselines {
+namespace {
+
+model::BatchRequest req(int id, int batch = 2, int seq = 64) {
+  model::BatchRequest r;
+  r.id = id;
+  r.batch_size = batch;
+  r.seq = seq;
+  return r;
+}
+
+TEST(InterOpTest, StageLayersEqualSplit) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b());  // 48 layers
+  for (int s = 0; s < 4; ++s) {
+    const auto [lo, hi] = runtime.stage_layers(s);
+    EXPECT_EQ(hi - lo, 12);
+  }
+  EXPECT_EQ(runtime.stage_layers(0).first, 0);
+  EXPECT_EQ(runtime.stage_layers(3).second, 48);
+}
+
+TEST(InterOpTest, StageLayersRemainderSpreadLeft) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::glm_130b());  // 70 layers
+  int total = 0;
+  int prev_hi = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto [lo, hi] = runtime.stage_layers(s);
+    EXPECT_EQ(lo, prev_hi);  // contiguous
+    total += hi - lo;
+    prev_hi = hi;
+  }
+  EXPECT_EQ(total, 70);
+  EXPECT_EQ(runtime.stage_layers(0).second - runtime.stage_layers(0).first, 18);
+  EXPECT_EQ(runtime.stage_layers(3).second - runtime.stage_layers(3).first, 17);
+}
+
+TEST(InterOpTest, SingleBatchTraversesAllStages) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  sim::SimTime done = -1;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+  runtime.submit(req(0));
+  engine.run();
+  EXPECT_GT(done, 0);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_GT(node.device(d).busy_time_compute(), 0) << "stage " << d << " idle";
+  }
+}
+
+TEST(InterOpTest, PipelineThroughputScalesWithStages) {
+  // With a full pipeline, total time for N batches approaches
+  // N * stage_time, not N * model_time.
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  const int n = 8;
+  for (int i = 0; i < n; ++i) runtime.submit(req(i));
+  engine.run();
+  EXPECT_EQ(completed, n);
+
+  sim::Engine engine1;
+  gpu::Node node1(engine1, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime1(node1, model::ModelZoo::opt_30b().with_layers(8));
+  sim::SimTime single = -1;
+  runtime1.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { single = t; });
+  runtime1.submit(req(0));
+  engine1.run();
+
+  // Pipeline efficiency: 8 batches in far less than 8x a single pass.
+  EXPECT_LT(static_cast<double>(engine.now()), 0.45 * 8.0 * static_cast<double>(single));
+}
+
+TEST(InterOpTest, LatencyWorseThanIntraOp) {
+  // §2.2.2: inter-op parallelism cannot improve latency.
+  auto single_latency = [](auto&& make_runtime) {
+    sim::Engine engine;
+    gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+    auto runtime = make_runtime(node);
+    sim::SimTime done = -1;
+    runtime->set_completion_hook(
+        [&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+    runtime->submit(req(0));
+    engine.run();
+    return done;
+  };
+  const auto inter = single_latency([](gpu::Node& n) {
+    return std::make_unique<InterOpRuntime>(n, model::ModelZoo::opt_30b().with_layers(8));
+  });
+  const auto intra = single_latency([](gpu::Node& n) {
+    return std::make_unique<IntraOpRuntime>(n, model::ModelZoo::opt_30b().with_layers(8));
+  });
+  EXPECT_GT(inter, intra);
+}
+
+TEST(InterOpTest, CompletionsFifo) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  std::vector<int> order;
+  runtime.set_completion_hook(
+      [&](const model::BatchRequest& r, sim::SimTime) { order.push_back(r.id); });
+  for (int i = 0; i < 5; ++i) runtime.submit(req(i, 2, 32 + 16 * i));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(InterOpTest, TheoreticalVariantUsesPartitionedKernels) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpOptions opts;
+  opts.theoretical = true;
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8), opts);
+  EXPECT_EQ(runtime.name(), "inter-th");
+  sim::SimTime done = -1;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+  runtime.submit(req(0));
+  engine.run();
+  EXPECT_GT(done, 0);
+}
+
+TEST(InterOpTest, TheoreticalAndStandardDiffer) {
+  auto run = [](bool theoretical) {
+    sim::Engine engine;
+    gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+    InterOpOptions opts;
+    opts.theoretical = theoretical;
+    InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8), opts);
+    sim::SimTime done = -1;
+    runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+    runtime.submit(req(0));
+    engine.run();
+    return done;
+  };
+  EXPECT_NE(run(false), run(true));
+}
+
+TEST(InterOpTest, SingleDeviceIsOneStage) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(1));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  runtime.submit(req(0));
+  engine.run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(node.device(0).busy_time_comm(), 0);  // no p2p with one stage
+}
+
+TEST(InterOpTest, P2pTrafficOnlyBetweenAdjacentStages) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  runtime.submit(req(0));
+  engine.run();
+  // Every device participates in at least one p2p except... all four do:
+  // stage 0..2 send, stage 1..3 receive.
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_GT(node.device(d).busy_time_comm(), 0) << d;
+  }
+}
+
+}  // namespace
+}  // namespace liger::baselines

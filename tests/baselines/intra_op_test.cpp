@@ -1,0 +1,126 @@
+#include "baselines/intra_op_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/model_spec.h"
+#include "sim/engine.h"
+
+namespace liger::baselines {
+namespace {
+
+model::BatchRequest req(int id, int batch = 2, int seq = 64) {
+  model::BatchRequest r;
+  r.id = id;
+  r.batch_size = batch;
+  r.seq = seq;
+  return r;
+}
+
+TEST(IntraOpTest, SingleBatchCompletesNearIsolatedTime) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  sim::SimTime done = -1;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+  runtime.submit(req(0));
+  engine.run();
+  const sim::SimTime isolated = runtime.isolated_batch_time(req(0));
+  // Completion = isolated kernel time + launch/command overheads (small).
+  EXPECT_GT(done, isolated);
+  EXPECT_LT(static_cast<double>(done), 1.1 * static_cast<double>(isolated));
+}
+
+TEST(IntraOpTest, BatchesCompleteInFifoOrder) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
+  std::vector<int> order;
+  runtime.set_completion_hook(
+      [&](const model::BatchRequest& r, sim::SimTime) { order.push_back(r.id); });
+  for (int i = 0; i < 4; ++i) runtime.submit(req(i, 2, 32 + 8 * i));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(IntraOpTest, ThroughputSaturatesAtIsolatedRate) {
+  // Back-to-back batches: total time ~= N * isolated time (no overlap
+  // between comm and compute in the intra-op baseline).
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  const int n = 5;
+  for (int i = 0; i < n; ++i) runtime.submit(req(i));
+  engine.run();
+  EXPECT_EQ(completed, n);
+  const double isolated = static_cast<double>(runtime.isolated_batch_time(req(0)));
+  EXPECT_NEAR(static_cast<double>(engine.now()), n * isolated, 0.12 * n * isolated);
+}
+
+TEST(IntraOpTest, MoreDevicesLowerLatency) {
+  auto run_one = [](int devices) {
+    sim::Engine engine;
+    gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(devices));
+    IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+    sim::SimTime done = -1;
+    runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
+    model::BatchRequest r;
+    r.batch_size = 2;
+    r.seq = 64;
+    runtime.submit(r);
+    engine.run();
+    return done;
+  };
+  const auto t1 = run_one(1);
+  const auto t2 = run_one(2);
+  const auto t4 = run_one(4);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  // Sub-linear scaling: communication eats part of the gain (Fig 3).
+  EXPECT_LT(static_cast<double>(t1) / static_cast<double>(t4), 4.0);
+}
+
+TEST(IntraOpTest, SingleDeviceHasNoCollectives) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(1));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  runtime.submit(req(0));
+  engine.run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(node.device(0).busy_time_comm(), 0);
+}
+
+TEST(IntraOpTest, DevicesStayInLockstep) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  runtime.submit(req(0));
+  engine.run();
+  const auto busy0 = node.device(0).busy_time_any();
+  for (int d = 1; d < 4; ++d) {
+    EXPECT_NEAR(static_cast<double>(node.device(d).busy_time_any()),
+                static_cast<double>(busy0), 0.02 * static_cast<double>(busy0));
+  }
+}
+
+TEST(IntraOpTest, DecodeBatchesServe) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::a100_pcie(4));
+  IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  model::BatchRequest r = req(0, 32, 16);
+  r.phase = model::Phase::kDecode;
+  runtime.submit(r);
+  engine.run();
+  EXPECT_EQ(completed, 1);
+}
+
+}  // namespace
+}  // namespace liger::baselines

@@ -1,0 +1,276 @@
+#include "collective/collective.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "gpu/node.h"
+#include "sim/engine.h"
+
+namespace liger::collective {
+namespace {
+
+using gpu::KernelDesc;
+using gpu::Node;
+using gpu::NodeSpec;
+using gpu::Stream;
+using gpu::StreamOp;
+using sim::SimTime;
+
+struct CollFixture {
+  sim::Engine engine;
+  Node node;
+  Communicator comm;
+
+  explicit CollFixture(NodeSpec spec, CommConfig cfg = CommConfig::liger_tuned())
+      : node(engine, spec), comm(engine, node.topology(), spec.gpu, cfg) {}
+
+  CollFixture() : CollFixture(NodeSpec::v100_nvlink(4)) {}
+
+  Stream& stream(int dev) {
+    while (node.device(dev).stream_count() == 0) node.device(dev).create_stream();
+    return node.device(dev).stream(0);
+  }
+};
+
+void submit(Stream& s, KernelDesc k, std::function<void()> done = {}) {
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
+  op.kernel = std::move(k);
+  op.on_complete = std::move(done);
+  op.stream_seq = s.note_issued();
+  s.device().deliver(s, std::move(op));
+}
+
+TEST(CommunicatorTest, TunedConfigUsesFewerBlocks) {
+  EXPECT_EQ(CommConfig::nccl_default().kernel_blocks(), 16);
+  EXPECT_EQ(CommConfig::liger_tuned().kernel_blocks(), 3);
+}
+
+TEST(CommunicatorTest, AllReduceKernelDescsShareOneCoupler) {
+  CollFixture f;
+  auto op = f.comm.all_reduce(1 << 20, {0, 1, 2, 3}, "ar");
+  ASSERT_EQ(op.kernels.size(), 4u);
+  for (const auto& k : op.kernels) {
+    EXPECT_EQ(k.kind, gpu::KernelKind::kComm);
+    EXPECT_TRUE(k.cooperative);
+    EXPECT_EQ(k.coupler.get(), op.collective.get());
+    EXPECT_EQ(k.blocks, 3);
+    EXPECT_GT(k.mem_bw_demand, 0.0);
+  }
+}
+
+TEST(CollectiveTest, AllReduceCompletesAfterSoloTime) {
+  CollFixture f;
+  const std::uint64_t bytes = 8 << 20;
+  auto op = f.comm.all_reduce(bytes, {0, 1, 2, 3}, "ar");
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 4);
+  std::vector<SimTime> done(4, -1);
+  for (int d = 0; d < 4; ++d) {
+    submit(f.stream(d), op.kernels[static_cast<std::size_t>(d)],
+           [&f, &done, d] { done[static_cast<std::size_t>(d)] = f.engine.now(); });
+  }
+  f.engine.run();
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(static_cast<double>(done[static_cast<std::size_t>(d)]),
+                static_cast<double>(solo), 4.0);
+  }
+  EXPECT_TRUE(op.collective->completed());
+  EXPECT_TRUE(op.collective->done().fired());
+}
+
+TEST(CollectiveTest, RendezvousWaitsForLastMember) {
+  CollFixture f;
+  const std::uint64_t bytes = 8 << 20;
+  auto op = f.comm.all_reduce(bytes, {0, 1}, "ar");
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 2);
+  SimTime done0 = -1;
+  submit(f.stream(0), op.kernels[0], [&] { done0 = f.engine.now(); });
+  // Device 1's kernel only launches at t=50us.
+  const SimTime late = sim::microseconds(50);
+  f.engine.schedule_at(late, [&] { submit(f.stream(1), op.kernels[1]); });
+  f.engine.run();
+  EXPECT_NEAR(static_cast<double>(done0), static_cast<double>(late + solo), 4.0);
+}
+
+TEST(CollectiveTest, MemberBlocksHeldWhileSpinning) {
+  CollFixture f;
+  auto op = f.comm.all_reduce(8 << 20, {0, 1}, "ar");
+  submit(f.stream(0), op.kernels[0]);
+  f.engine.run_until(sim::microseconds(10));
+  // Member 0 is spinning at the rendezvous but holds its blocks.
+  EXPECT_EQ(f.node.device(0).free_blocks(),
+            f.node.device(0).total_blocks() - f.comm.comm_kernel_blocks());
+  submit(f.stream(1), op.kernels[1]);
+  f.engine.run();
+  EXPECT_EQ(f.node.device(0).free_blocks(), f.node.device(0).total_blocks());
+}
+
+TEST(CollectiveTest, LocalContentionSlowsWholeCollective) {
+  CollFixture f;
+  const std::uint64_t bytes = 32 << 20;
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 2);
+
+  // Saturate device 0's memory bandwidth with a long compute kernel so
+  // the comm kernel's bandwidth share drops; the joint rate must drop
+  // for *both* devices.
+  gpu::KernelDesc hog;
+  hog.name = "hog";
+  hog.solo_duration = 10 * solo;
+  hog.blocks = 20;  // leaves enough blocks free for the comm kernel
+  hog.mem_bw_demand = 0.95;
+  auto& hog_stream = f.node.device(0).create_stream();
+  submit(hog_stream, hog);
+
+  auto op = f.comm.all_reduce(bytes, {0, 1}, "ar");
+  std::vector<SimTime> done(2, -1);
+  for (int d = 0; d < 2; ++d) {
+    auto& s = f.node.device(d).create_stream();
+    submit(s, op.kernels[static_cast<std::size_t>(d)],
+           [&f, &done, d] { done[static_cast<std::size_t>(d)] = f.engine.now(); });
+  }
+  f.engine.run();
+  // Proportional bandwidth sharing: demand(hog)=0.95 + demand(comm)
+  // oversubscribes the pool, so the comm kernel on device 0 slows and
+  // drags the whole collective with it.
+  EXPECT_GT(done[0], solo + solo / 25);  // visibly slower than solo
+  EXPECT_EQ(done[0], done[1]);           // lock-step completion
+}
+
+TEST(CollectiveTest, PcieConcurrentCollectivesShareSwitch) {
+  CollFixture f(NodeSpec::a100_pcie(4));
+  const std::uint64_t bytes = 32 << 20;
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 2);
+
+  auto op1 = f.comm.all_reduce(bytes, {0, 1}, "ar1");
+  auto op2 = f.comm.all_reduce(bytes, {2, 3}, "ar2");
+  std::vector<SimTime> done(4, -1);
+  for (int d = 0; d < 4; ++d) {
+    auto& op = d < 2 ? op1 : op2;
+    submit(f.stream(d), op.kernels[static_cast<std::size_t>(d % 2)],
+           [&f, &done, d] { done[static_cast<std::size_t>(d)] = f.engine.now(); });
+  }
+  f.engine.run();
+  // Two flows share the switch: ~2x the solo time (base latency aside).
+  EXPECT_GT(done[0], static_cast<SimTime>(1.7 * static_cast<double>(solo)));
+  EXPECT_LT(done[0], static_cast<SimTime>(2.3 * static_cast<double>(solo)));
+}
+
+TEST(CollectiveTest, NvlinkConcurrentCollectivesIndependent) {
+  CollFixture f(NodeSpec::v100_nvlink(4));
+  const std::uint64_t bytes = 32 << 20;
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 2);
+
+  auto op1 = f.comm.all_reduce(bytes, {0, 1}, "ar1");
+  auto op2 = f.comm.all_reduce(bytes, {2, 3}, "ar2");
+  std::vector<SimTime> done(4, -1);
+  for (int d = 0; d < 4; ++d) {
+    auto& op = d < 2 ? op1 : op2;
+    submit(f.stream(d), op.kernels[static_cast<std::size_t>(d % 2)],
+           [&f, &done, d] { done[static_cast<std::size_t>(d)] = f.engine.now(); });
+  }
+  f.engine.run();
+  EXPECT_NEAR(static_cast<double>(done[0]), static_cast<double>(solo), 8.0);
+  EXPECT_NEAR(static_cast<double>(done[2]), static_cast<double>(solo), 8.0);
+}
+
+TEST(CollectiveTest, P2pTransfersBetweenPair) {
+  CollFixture f;
+  const std::uint64_t bytes = 4 << 20;
+  auto op = f.comm.p2p(bytes, 0, 1, "send");
+  const SimTime solo = f.comm.p2p_solo_time(bytes);
+  ASSERT_EQ(op.kernels.size(), 2u);
+  SimTime recv_done = -1;
+  submit(f.stream(0), op.kernels[0]);
+  submit(f.stream(1), op.kernels[1], [&] { recv_done = f.engine.now(); });
+  f.engine.run();
+  EXPECT_NEAR(static_cast<double>(recv_done), static_cast<double>(solo), 4.0);
+}
+
+TEST(CollectiveTest, ChunkedAllReduceSumsToWhole) {
+  // Decomposing an all-reduce into k chunks must cost about the same
+  // total transfer time plus (k-1) extra per-op latencies.
+  CollFixture f;
+  const std::uint64_t bytes = 16 << 20;
+  const SimTime whole = f.comm.all_reduce_solo_time(bytes, 4);
+  const int k = 4;
+  SimTime chunks = 0;
+  for (int i = 0; i < k; ++i) chunks += f.comm.all_reduce_solo_time(bytes / k, 4);
+  const SimTime latency = f.node.topology().allreduce_latency(
+      4, interconnect::Topology::CollectiveAlgo::kRing);
+  EXPECT_NEAR(static_cast<double>(chunks),
+              static_cast<double>(whole + (k - 1) * latency), 8.0);
+}
+
+TEST(CollectiveTest, TwoCollectivesOnOneStreamSerialize) {
+  CollFixture f;
+  const std::uint64_t bytes = 8 << 20;
+  auto ar1 = f.comm.all_reduce(bytes, {0, 1}, "ar1");
+  auto ar2 = f.comm.all_reduce(bytes, {0, 1}, "ar2");
+  const SimTime solo = f.comm.all_reduce_solo_time(bytes, 2);
+  SimTime done2 = -1;
+  for (int d = 0; d < 2; ++d) {
+    submit(f.stream(d), ar1.kernels[static_cast<std::size_t>(d)]);
+    submit(f.stream(d), ar2.kernels[static_cast<std::size_t>(d)],
+           [&f, &done2] { done2 = f.engine.now(); });
+  }
+  f.engine.run();
+  // Stream FIFO: the second collective starts only after the first
+  // finishes on both devices.
+  EXPECT_NEAR(static_cast<double>(done2), 2.0 * static_cast<double>(solo), 8.0);
+}
+
+TEST(CollectiveTest, ReduceScatterAndAllGatherComplete) {
+  CollFixture f;
+  const std::uint64_t bytes = 8 << 20;
+  auto rs = f.comm.reduce_scatter(bytes, {0, 1, 2, 3}, "rs");
+  std::vector<SimTime> done(4, -1);
+  for (int d = 0; d < 4; ++d) {
+    submit(f.stream(d), rs.kernels[static_cast<std::size_t>(d)],
+           [&f, &done, d] { done[static_cast<std::size_t>(d)] = f.engine.now(); });
+  }
+  f.engine.run();
+  const SimTime solo = f.comm.reduce_scatter_solo_time(bytes, 4);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(static_cast<double>(done[static_cast<std::size_t>(d)]),
+                static_cast<double>(solo), 4.0);
+  }
+  EXPECT_EQ(rs.collective->kind(), Collective::Kind::kReduceScatter);
+}
+
+TEST(CollectiveTest, ReduceScatterHalfOfRingAllReduceBandwidth) {
+  CollFixture f;
+  const std::uint64_t bytes = 32 << 20;
+  const SimTime rs = f.comm.reduce_scatter_solo_time(bytes, 4);
+  const SimTime ag = f.comm.all_gather_solo_time(bytes, 4);
+  const SimTime ar = f.node.topology().allreduce_time(
+      bytes, 4, 3, interconnect::Topology::CollectiveAlgo::kRing);
+  // RS + AG together move the same bytes as one ring all-reduce.
+  EXPECT_NEAR(static_cast<double>(rs + ag),
+              static_cast<double>(ar + f.node.topology().spec().collective_base_latency),
+              static_cast<double>(sim::microseconds(2)));
+}
+
+TEST(CollectiveTest, AutoAlgoPicksTreeForTinyRingForHuge) {
+  CollFixture f(NodeSpec::v100_nvlink(4));
+  using Algo = interconnect::Topology::CollectiveAlgo;
+  EXPECT_EQ(f.comm.chosen_algo(256, 4), Algo::kTree);
+  EXPECT_EQ(f.comm.chosen_algo(64 << 20, 4), Algo::kRing);
+}
+
+TEST(CollectiveTest, BroadcastCompletes) {
+  CollFixture f;
+  auto bc = f.comm.broadcast(4 << 20, {0, 1, 2, 3}, "bcast");
+  int completions = 0;
+  for (int d = 0; d < 4; ++d) {
+    submit(f.stream(d), bc.kernels[static_cast<std::size_t>(d)],
+           [&completions] { ++completions; });
+  }
+  f.engine.run();
+  EXPECT_EQ(completions, 4);
+  EXPECT_TRUE(bc.collective->completed());
+}
+
+}  // namespace
+}  // namespace liger::collective

@@ -1,0 +1,68 @@
+#include "core/function_list.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::core {
+namespace {
+
+model::OpTemplate op(gpu::KernelKind kind, const char* name, sim::SimTime dur = 100) {
+  model::OpTemplate o;
+  o.kind = kind;
+  o.kernel.name = name;
+  o.kernel.kind = kind;
+  o.profiled_duration = dur;
+  return o;
+}
+
+model::OpList abc_list() {
+  using K = gpu::KernelKind;
+  return {op(K::kCompute, "c1"), op(K::kCompute, "c2"), op(K::kComm, "m1"),
+          op(K::kCompute, "c3")};
+}
+
+TEST(FunctionListTest, PopConsumesInOrder) {
+  FunctionList list(model::BatchRequest{.id = 7}, abc_list());
+  EXPECT_EQ(list.remaining(), 4u);
+  EXPECT_EQ(list.pop().kernel.name, "c1");
+  EXPECT_EQ(list.pop().kernel.name, "c2");
+  EXPECT_EQ(list.pop().kernel.name, "m1");
+  EXPECT_EQ(list.pop().kernel.name, "c3");
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(FunctionListTest, RequestPreserved) {
+  model::BatchRequest req;
+  req.id = 42;
+  req.batch_size = 8;
+  FunctionList list(req, abc_list());
+  EXPECT_EQ(list.request().id, 42);
+  EXPECT_EQ(list.request().batch_size, 8);
+}
+
+TEST(FunctionListTest, SwitchDetection) {
+  FunctionList list(model::BatchRequest{}, abc_list());
+  EXPECT_FALSE(list.switches_after_front());  // c1 -> c2 same kind
+  list.pop();
+  EXPECT_TRUE(list.switches_after_front());  // c2 -> m1 switches
+  list.pop();
+  EXPECT_TRUE(list.switches_after_front());  // m1 -> c3 switches
+  list.pop();
+  EXPECT_TRUE(list.switches_after_front());  // c3 is last
+}
+
+TEST(FunctionListTest, PushFrontReinsertsSplitRemainder) {
+  FunctionList list(model::BatchRequest{}, abc_list());
+  auto first = list.pop();
+  list.push_front(op(gpu::KernelKind::kCompute, "c1-rest", 40));
+  EXPECT_EQ(list.front().kernel.name, "c1-rest");
+  EXPECT_EQ(list.remaining(), 4u);
+  (void)first;
+}
+
+TEST(FunctionListTest, FrontDurationExposed) {
+  FunctionList list(model::BatchRequest{}, {op(gpu::KernelKind::kCompute, "c", 1234)});
+  EXPECT_EQ(list.front().profiled_duration, 1234);
+}
+
+}  // namespace
+}  // namespace liger::core

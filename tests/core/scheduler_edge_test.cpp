@@ -1,0 +1,133 @@
+// Additional Algorithm 1 edge cases: degenerate list shapes, slot
+// boundaries, decode-phase mixes, and sequence-parallel op streams.
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "model/layer_builder.h"
+
+namespace liger::core {
+namespace {
+
+using gpu::KernelKind;
+
+class SchedulerEdgeTest : public ::testing::Test {
+ protected:
+  SchedulerEdgeTest()
+      : topology(interconnect::InterconnectSpec::nvlink_v100(), 4),
+        comm(engine, topology, gpu::GpuSpec::v100()),
+        table(comm, 4),
+        cost(gpu::GpuSpec::v100()),
+        builder(model::ModelZoo::opt_30b().with_layers(2), cost),
+        planner(cost, table, 8) {}
+
+  FunctionList make_list(int id, const model::ExecConfig& cfg) {
+    auto ops = builder.model_ops(cfg);
+    table.annotate(ops);
+    model::BatchRequest req;
+    req.id = id;
+    return FunctionList(req, std::move(ops));
+  }
+
+  model::ExecConfig cfg(int batch, int seq, model::Phase phase = model::Phase::kPrefill,
+                        bool sp = false) {
+    model::ExecConfig c;
+    c.batch = batch;
+    c.seq = seq;
+    c.tp = 4;
+    c.phase = phase;
+    c.sequence_parallel = sp;
+    return c;
+  }
+
+  sim::Engine engine;
+  interconnect::Topology topology;
+  collective::Communicator comm;
+  profile::ProfileTable table;
+  model::CostModel cost;
+  model::LayerBuilder builder;
+  profile::DecompositionPlanner planner;
+};
+
+TEST_F(SchedulerEdgeTest, SingleOpListIsOneRound) {
+  Scheduler s(planner, Scheduler::Options{});
+  model::OpTemplate only;
+  only.kind = KernelKind::kCompute;
+  only.kernel.name = "solo";
+  only.profiled_duration = 100;
+  model::BatchRequest req;
+  req.id = 0;
+  s.enqueue(FunctionList(req, {only}));
+  const auto plan = s.next_round();
+  ASSERT_EQ(plan.primary.size(), 1u);
+  EXPECT_TRUE(plan.primary[0].completes_batch);
+  EXPECT_FALSE(s.has_work());
+}
+
+TEST_F(SchedulerEdgeTest, ProcessingSlotOfOneDisablesOverlap) {
+  Scheduler::Options opt;
+  opt.processing_slots = 1;
+  Scheduler s(planner, opt);
+  s.enqueue(make_list(0, cfg(2, 64)));
+  s.enqueue(make_list(1, cfg(2, 64)));
+  while (s.has_work()) {
+    const auto plan = s.next_round();
+    EXPECT_TRUE(plan.secondary.empty());
+  }
+}
+
+TEST_F(SchedulerEdgeTest, MixedPhaseBatchesSchedule) {
+  Scheduler s(planner, Scheduler::Options{});
+  s.enqueue(make_list(0, cfg(2, 128)));
+  s.enqueue(make_list(1, cfg(32, 16, model::Phase::kDecode)));
+  int completions = 0;
+  while (s.has_work()) {
+    const auto plan = s.next_round();
+    for (const auto& i : plan.primary) completions += i.completes_batch ? 1 : 0;
+    for (const auto& i : plan.secondary) completions += i.completes_batch ? 1 : 0;
+  }
+  EXPECT_EQ(completions, 2);
+}
+
+TEST_F(SchedulerEdgeTest, SequenceParallelListsInterleaveToo) {
+  Scheduler s(planner, Scheduler::Options{});
+  s.enqueue(make_list(0, cfg(2, 64, model::Phase::kPrefill, true)));
+  s.enqueue(make_list(1, cfg(2, 64, model::Phase::kPrefill, true)));
+  bool any_secondary = false;
+  while (s.has_work()) {
+    const auto plan = s.next_round();
+    any_secondary |= !plan.secondary.empty();
+    EXPECT_LE(plan.secondary_duration,
+              static_cast<double>(plan.primary_duration) * (1 + 1e-9));
+  }
+  EXPECT_TRUE(any_secondary);
+}
+
+TEST_F(SchedulerEdgeTest, WaitingBatchesPromoteInArrivalOrder) {
+  Scheduler::Options opt;
+  opt.processing_slots = 2;
+  Scheduler s(planner, opt);
+  for (int b = 0; b < 4; ++b) s.enqueue(make_list(b, cfg(2, 32)));
+  // Drain and record the order in which batches become primary.
+  std::vector<int> primary_order;
+  while (s.has_work()) {
+    const auto plan = s.next_round();
+    const int id = plan.primary.front().batch_id;
+    if (primary_order.empty() || primary_order.back() != id) primary_order.push_back(id);
+  }
+  EXPECT_EQ(primary_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(SchedulerEdgeTest, DecompositionCounterMonotone) {
+  Scheduler s(planner, Scheduler::Options{});
+  s.enqueue(make_list(0, cfg(2, 128)));
+  s.enqueue(make_list(1, cfg(8, 128)));
+  std::uint64_t prev = 0;
+  while (s.has_work()) {
+    (void)s.next_round();
+    EXPECT_GE(s.decompositions(), prev);
+    prev = s.decompositions();
+  }
+}
+
+}  // namespace
+}  // namespace liger::core

@@ -1,0 +1,251 @@
+// Unit tests of Algorithm 1 (core::Scheduler): subset selection,
+// contention anticipation (Principle 1) and runtime decomposition.
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::core {
+namespace {
+
+using gpu::KernelKind;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : topology(interconnect::InterconnectSpec::nvlink_v100(), 4),
+        comm(engine, topology, gpu::GpuSpec::v100()),
+        table(comm, 4),
+        cost(gpu::GpuSpec::v100()),
+        planner(cost, table, 8) {}
+
+  model::OpTemplate comp(const char* name, sim::SimTime dur) {
+    model::OpTemplate o;
+    o.kind = KernelKind::kCompute;
+    o.kernel.name = name;
+    o.profiled_duration = dur;
+    return o;
+  }
+
+  model::OpTemplate comm_op(const char* name, sim::SimTime dur) {
+    model::OpTemplate o;
+    o.kind = KernelKind::kComm;
+    o.cls = model::OpClass::kAllReduce;
+    o.kernel.kind = KernelKind::kComm;
+    o.kernel.name = name;
+    o.comm_bytes = 1 << 20;
+    o.profiled_duration = dur;
+    return o;
+  }
+
+  // A decomposable GEMM op with a real shape (durations from the cost
+  // model, so planner splits work).
+  model::OpTemplate gemm(const char* name, std::int64_t m, std::int64_t n, std::int64_t k) {
+    model::OpTemplate o;
+    o.cls = model::OpClass::kFfn1Gemm;
+    o.kind = KernelKind::kCompute;
+    o.gemm = model::GemmDims{m, n, k};
+    o.kernel = cost.gemm_kernel(name, m, n, k);
+    o.profiled_duration = o.kernel.solo_duration;
+    return o;
+  }
+
+  Scheduler make(Scheduler::Options opt = {}) { return Scheduler(planner, opt); }
+
+  FunctionList list_of(int id, model::OpList ops) {
+    model::BatchRequest req;
+    req.id = id;
+    return FunctionList(req, std::move(ops));
+  }
+
+  sim::Engine engine;
+  interconnect::Topology topology;
+  collective::Communicator comm;
+  profile::ProfileTable table;
+  model::CostModel cost;
+  profile::DecompositionPlanner planner;
+};
+
+TEST_F(SchedulerTest, PrimarySubsetStopsAtTypeSwitchInclusive) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 10), comp("b", 20), comm_op("m", 5), comp("c", 7)}));
+  const auto plan = s.next_round();
+  ASSERT_EQ(plan.primary.size(), 2u);
+  EXPECT_EQ(plan.primary[0].op.kernel.name, "a");
+  EXPECT_EQ(plan.primary[1].op.kernel.name, "b");
+  EXPECT_EQ(plan.primary_kind, KernelKind::kCompute);
+  EXPECT_EQ(plan.primary_duration, 30);
+}
+
+TEST_F(SchedulerTest, RoundsAlternateThroughKindRuns) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 10), comm_op("m", 5), comp("c", 7)}));
+  EXPECT_EQ(s.next_round().primary_kind, KernelKind::kCompute);
+  EXPECT_EQ(s.next_round().primary_kind, KernelKind::kComm);
+  const auto last = s.next_round();
+  EXPECT_EQ(last.primary_kind, KernelKind::kCompute);
+  EXPECT_EQ(last.primary[0].op.kernel.name, "c");
+  EXPECT_FALSE(s.has_work());
+}
+
+TEST_F(SchedulerTest, LastItemMarksBatchCompletion) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 10), comm_op("m", 5)}));
+  auto p1 = s.next_round();
+  EXPECT_FALSE(p1.primary.back().completes_batch);
+  auto p2 = s.next_round();
+  EXPECT_TRUE(p2.primary.back().completes_batch);
+}
+
+TEST_F(SchedulerTest, SecondaryTakesOppositeKindOnly) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s.enqueue(list_of(1, {comm_op("m1", 30), comp("x", 50)}));
+  const auto plan = s.next_round();
+  EXPECT_EQ(plan.primary_kind, KernelKind::kCompute);
+  ASSERT_EQ(plan.secondary.size(), 1u);
+  EXPECT_EQ(plan.secondary[0].op.kernel.name, "m1");
+  EXPECT_EQ(plan.secondary[0].batch_id, 1);
+}
+
+TEST_F(SchedulerTest, SecondarySkipsSameKindHead) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s.enqueue(list_of(1, {comp("b", 10), comm_op("m1", 5)}));  // head same kind
+  const auto plan = s.next_round();
+  EXPECT_TRUE(plan.secondary.empty());
+}
+
+TEST_F(SchedulerTest, Principle1SecondaryNeverOutlivesPrimary) {
+  Scheduler::Options opt;
+  opt.contention_factor = 1.2;
+  auto s = make(opt);
+  s.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s.enqueue(list_of(1, {comm_op("m1", 40), comm_op("m2", 40), comm_op("m3", 40), comp("x", 5)}));
+  const auto plan = s.next_round();
+  // 100 / (40*1.2) -> only two comm ops fit.
+  EXPECT_EQ(plan.secondary.size(), 2u);
+  EXPECT_LE(plan.secondary_duration, static_cast<double>(plan.primary_duration));
+}
+
+TEST_F(SchedulerTest, ContentionFactorScalesFitTest) {
+  Scheduler::Options loose;
+  loose.contention_factor = 1.0;
+  auto s1 = make(loose);
+  s1.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s1.enqueue(list_of(1, {comm_op("m1", 50), comm_op("m2", 50), comp("x", 5)}));
+  EXPECT_EQ(s1.next_round().secondary.size(), 2u);
+
+  Scheduler::Options tight;
+  tight.contention_factor = 1.5;
+  auto s2 = make(tight);
+  s2.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s2.enqueue(list_of(1, {comm_op("m1", 50), comm_op("m2", 50), comp("x", 5)}));
+  EXPECT_EQ(s2.next_round().secondary.size(), 1u);  // 50*1.5=75, second no longer fits
+}
+
+TEST_F(SchedulerTest, SecondaryDrawsFromMultipleBatches) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 100), comm_op("m0", 5)}));
+  s.enqueue(list_of(1, {comm_op("m1", 30), comp("x", 5)}));
+  s.enqueue(list_of(2, {comm_op("m2", 30), comp("y", 5)}));
+  const auto plan = s.next_round();
+  ASSERT_EQ(plan.secondary.size(), 2u);
+  EXPECT_EQ(plan.secondary[0].batch_id, 1);
+  EXPECT_EQ(plan.secondary[1].batch_id, 2);
+}
+
+TEST_F(SchedulerTest, ProcessingSlotsBoundConcurrency) {
+  Scheduler::Options opt;
+  opt.processing_slots = 2;
+  auto s = make(opt);
+  s.enqueue(list_of(0, {comp("a", 1000), comm_op("m0", 5)}));
+  for (int b = 1; b < 4; ++b) {
+    s.enqueue(list_of(b, {comm_op("m", 10), comp("x", 5)}));
+  }
+  const auto plan = s.next_round();
+  // Only the one other batch inside the processing window contributes.
+  ASSERT_EQ(plan.secondary.size(), 1u);
+  EXPECT_EQ(plan.secondary[0].batch_id, 1);
+  EXPECT_EQ(s.waiting_count(), 2u);
+}
+
+TEST_F(SchedulerTest, RuntimeDecompositionFillsWindow) {
+  auto s = make();
+  // Primary: a comm window of realistic length; secondary: one huge
+  // decomposable GEMM that cannot fit whole.
+  auto primary_ops = model::OpList{comm_op("m0", 0), comp("tail", 10)};
+  primary_ops[0].comm_bytes = 2 << 20;
+  primary_ops[0].profiled_duration = table.op_duration(primary_ops[0]);
+
+  auto big = gemm("big", 256, 7168, 7168);
+  ASSERT_GT(big.profiled_duration, primary_ops[0].profiled_duration);
+
+  s.enqueue(list_of(0, std::move(primary_ops)));
+  s.enqueue(list_of(1, {big, comm_op("m1", 5)}));
+  const auto plan = s.next_round();
+  EXPECT_EQ(plan.primary_kind, KernelKind::kComm);
+  ASSERT_EQ(plan.secondary.size(), 1u);
+  // The scheduled piece is a split, not the whole kernel.
+  EXPECT_LT(plan.secondary[0].op.gemm.n, 7168);
+  EXPECT_FALSE(plan.secondary[0].op.kernel.name == "big");
+  EXPECT_EQ(s.decompositions(), 1u);
+  EXPECT_LE(plan.secondary_duration, static_cast<double>(plan.primary_duration));
+}
+
+TEST_F(SchedulerTest, DecompositionRemainderStaysInList) {
+  auto s = make();
+  model::OpTemplate ar = comm_op("m0", 0);
+  ar.comm_bytes = 2 << 20;
+  ar.profiled_duration = table.op_duration(ar);
+  auto big = gemm("big", 256, 7168, 7168);
+
+  s.enqueue(list_of(0, {ar, comp("t1", 10), ar, comp("t2", 10)}));
+  s.enqueue(list_of(1, {big, comm_op("m1", 5)}));
+
+  const auto p1 = s.next_round();  // comm primary, splits big
+  ASSERT_EQ(p1.secondary.size(), 1u);
+  const auto first_n = p1.secondary[0].op.gemm.n;
+
+  (void)s.next_round();            // compute primary (t1), no secondary fit
+  const auto p3 = s.next_round();  // next comm window: remainder continues
+  ASSERT_GE(p3.secondary.size(), 1u);
+  EXPECT_LT(p3.secondary[0].op.gemm.n, 7168 - first_n + 1);
+}
+
+TEST_F(SchedulerTest, DecompositionDisabledSchedulesNothingOversized) {
+  Scheduler::Options opt;
+  opt.enable_decomposition = false;
+  auto s = make(opt);
+  model::OpTemplate ar = comm_op("m0", 0);
+  ar.comm_bytes = 2 << 20;
+  ar.profiled_duration = table.op_duration(ar);
+  auto big = gemm("big", 256, 7168, 7168);
+  s.enqueue(list_of(0, {ar, comp("t", 10)}));
+  s.enqueue(list_of(1, {big, comm_op("m1", 5)}));
+  const auto plan = s.next_round();
+  EXPECT_TRUE(plan.secondary.empty());
+  EXPECT_EQ(s.decompositions(), 0u);
+}
+
+TEST_F(SchedulerTest, PrimaryRotatesWhenDrained) {
+  auto s = make();
+  s.enqueue(list_of(0, {comp("a", 10)}));
+  s.enqueue(list_of(1, {comp("b", 10)}));
+  auto p1 = s.next_round();
+  EXPECT_EQ(p1.primary[0].batch_id, 0);
+  auto p2 = s.next_round();
+  EXPECT_EQ(p2.primary[0].batch_id, 1);
+  EXPECT_FALSE(s.has_work());
+}
+
+TEST_F(SchedulerTest, HasWorkReflectsQueues) {
+  auto s = make();
+  EXPECT_FALSE(s.has_work());
+  s.enqueue(list_of(0, {comp("a", 10)}));
+  EXPECT_TRUE(s.has_work());
+  (void)s.next_round();
+  EXPECT_FALSE(s.has_work());
+}
+
+}  // namespace
+}  // namespace liger::core

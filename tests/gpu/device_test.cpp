@@ -1,0 +1,384 @@
+#include "gpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpu/gpu_spec.h"
+#include "gpu_test_util.h"
+#include "sim/engine.h"
+
+namespace liger::gpu {
+namespace {
+
+using testing::CompletionLog;
+using testing::make_kernel;
+using testing::submit_kernel;
+using testing::submit_record;
+using testing::submit_wait;
+
+struct DeviceFixture {
+  sim::Engine engine;
+  Device dev;
+
+  explicit DeviceFixture(int max_connections = 2)
+      : dev(engine, 0, GpuSpec::test_gpu(), DeviceConfig{max_connections}) {}
+};
+
+TEST(DeviceTest, SingleKernelRunsSoloDuration) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s, make_kernel("k", 1000, 10), log.hook(f.engine, "k"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("k"), 1000);
+  EXPECT_EQ(f.dev.running_kernels(), 0);
+  EXPECT_EQ(f.dev.free_blocks(), 10);
+}
+
+TEST(DeviceTest, SameStreamKernelsSerialize) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s, make_kernel("a", 300, 2), log.hook(f.engine, "a"));
+  submit_kernel(s, make_kernel("b", 500, 2), log.hook(f.engine, "b"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("a"), 300);
+  EXPECT_EQ(log.at.at("b"), 800);  // starts only after a completes
+}
+
+TEST(DeviceTest, DifferentStreamsOverlapWhenBlocksSuffice) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s0, make_kernel("a", 1000, 5), log.hook(f.engine, "a"));
+  submit_kernel(s1, make_kernel("b", 1000, 5), log.hook(f.engine, "b"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("a"), 1000);
+  EXPECT_EQ(log.at.at("b"), 1000);
+}
+
+TEST(DeviceTest, LeftOverPolicyPartialGrantSlowsKernel) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  // a takes 6 blocks; b wants 6 but only 4 are left -> b runs at 4/6
+  // speed until a releases its blocks at t=600.
+  submit_kernel(s0, make_kernel("a", 600, 6), log.hook(f.engine, "a"));
+  submit_kernel(s1, make_kernel("b", 600, 6), log.hook(f.engine, "b"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("a"), 600);
+  // b progress by t=600: 600 * (4/6) = 400; remaining 200 at full speed.
+  EXPECT_NEAR(static_cast<double>(log.at.at("b")), 800.0, 2.0);
+}
+
+TEST(DeviceTest, ComputeKernelStartsWithSingleFreeBlock) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s0, make_kernel("big", 900, 9), log.hook(f.engine, "big"));
+  submit_kernel(s1, make_kernel("small", 100, 10), log.hook(f.engine, "small"));
+  f.engine.run();
+  // small starts immediately with 1/10 blocks.
+  EXPECT_EQ(log.at.at("big"), 900);
+  // small: 900ns at rate 0.1 -> 90 done; then full speed for remaining 10.
+  EXPECT_NEAR(static_cast<double>(log.at.at("small")), 910.0, 2.0);
+}
+
+TEST(DeviceTest, CooperativeKernelWaitsForAllBlocks) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  // compute kernel holds 8 of 10 blocks until t=500.
+  submit_kernel(s0, make_kernel("comp", 500, 8), log.hook(f.engine, "comp"));
+  // cooperative kernel needs 5 blocks at once -> must wait for comp.
+  submit_kernel(s1,
+                make_kernel("coop", 200, 5, 0.0, KernelKind::kComm, /*cooperative=*/true),
+                log.hook(f.engine, "coop"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("comp"), 500);
+  EXPECT_EQ(log.at.at("coop"), 700);  // starts at 500, runs 200
+}
+
+TEST(DeviceTest, NonCooperativeCommWouldNotWait) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s0, make_kernel("comp", 500, 8), log.hook(f.engine, "comp"));
+  // same footprint but non-cooperative: starts right away on leftovers.
+  submit_kernel(s1, make_kernel("noncoop", 200, 5, 0.0, KernelKind::kComm, false),
+                log.hook(f.engine, "noncoop"));
+  f.engine.run();
+  // Starts with 2/5 blocks: progress 0.4/ns until 500.
+  EXPECT_LT(log.at.at("noncoop"), 700);
+}
+
+TEST(DeviceTest, BandwidthOversubscriptionSlowsBothKernels) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  // Each kernel alone uses 80% of HBM; together demand 1.6 -> each gets
+  // 0.5 -> rate 0.625 -> 1000ns of work takes 1600ns.
+  submit_kernel(s0, make_kernel("m0", 1000, 5, 0.8), log.hook(f.engine, "m0"));
+  submit_kernel(s1, make_kernel("m1", 1000, 5, 0.8), log.hook(f.engine, "m1"));
+  f.engine.run();
+  EXPECT_NEAR(static_cast<double>(log.at.at("m0")), 1600.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(log.at.at("m1")), 1600.0, 2.0);
+}
+
+TEST(DeviceTest, ProportionalSharingSlowsAllPartiesEqually) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  // Demands 0.2 and 0.9 oversubscribe the pool (1.1): everyone runs at
+  // 1/1.1 — DRAM interference affects both parties (paper §2.3.2).
+  submit_kernel(s0, make_kernel("small_bw", 1000, 5, 0.2), log.hook(f.engine, "small_bw"));
+  submit_kernel(s1, make_kernel("big_bw", 1000, 5, 0.9), log.hook(f.engine, "big_bw"));
+  f.engine.run();
+  EXPECT_NEAR(static_cast<double>(log.at.at("small_bw")), 1100.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(log.at.at("big_bw")), 1100.0, 3.0);
+}
+
+TEST(DeviceTest, UndersubscribedBandwidthDoesNotSlow) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s0, make_kernel("a", 1000, 5, 0.4), log.hook(f.engine, "a"));
+  submit_kernel(s1, make_kernel("b", 1000, 5, 0.5), log.hook(f.engine, "b"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("a"), 1000);
+  EXPECT_EQ(log.at.at("b"), 1000);
+}
+
+TEST(DeviceTest, RecordEventFiresAfterPriorWork) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  CompletionLog log;
+  submit_kernel(s, make_kernel("k", 400, 2), log.hook(f.engine, "k"));
+  submit_record(s, ev);
+  f.engine.run();
+  EXPECT_TRUE(ev->fired());
+  EXPECT_EQ(ev->fire_time(), 400);
+}
+
+TEST(DeviceTest, RecordEventOnEmptyStreamFiresImmediately) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  submit_record(s, ev);
+  f.engine.run();
+  EXPECT_TRUE(ev->fired());
+  EXPECT_EQ(ev->fire_time(), 0);
+}
+
+TEST(DeviceTest, WaitEventGatesSubsequentKernels) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  CompletionLog log;
+  // Stream 1 waits on an event recorded after a long kernel in stream 0.
+  submit_kernel(s0, make_kernel("long", 1000, 2), log.hook(f.engine, "long"));
+  submit_record(s0, ev);
+  submit_wait(s1, ev);
+  submit_kernel(s1, make_kernel("gated", 100, 2), log.hook(f.engine, "gated"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("gated"), 1100);
+}
+
+TEST(DeviceTest, WaitOnFiredEventDoesNotBlock) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  ev->fire();
+  CompletionLog log;
+  submit_wait(s, ev);
+  submit_kernel(s, make_kernel("k", 100, 2), log.hook(f.engine, "k"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("k"), 100);
+}
+
+TEST(DeviceTest, SingleConnectionCausesFalseDependency) {
+  DeviceFixture f(/*max_connections=*/1);
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  CompletionLog log;
+  // Stream 0's head is a wait on an event fired at t=800. Stream 1's
+  // kernel shares the single hardware queue and is stuck behind it.
+  submit_wait(s0, ev);
+  submit_kernel(s1, make_kernel("blocked", 100, 2), log.hook(f.engine, "blocked"));
+  f.engine.schedule_at(800, [&] { ev->fire(); });
+  f.engine.run();
+  EXPECT_EQ(log.at.at("blocked"), 900);
+}
+
+TEST(DeviceTest, TwoConnectionsAvoidFalseDependency) {
+  DeviceFixture f(/*max_connections=*/2);
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  auto ev = std::make_shared<Event>(f.engine);
+  CompletionLog log;
+  submit_wait(s0, ev);
+  submit_kernel(s1, make_kernel("free", 100, 2), log.hook(f.engine, "free"));
+  f.engine.schedule_at(800, [&] { ev->fire(); });
+  f.engine.run();
+  EXPECT_EQ(log.at.at("free"), 100);
+}
+
+TEST(DeviceTest, HighPriorityStreamClaimsFreedBlocksFirst) {
+  DeviceFixture f(/*max_connections=*/4);
+  auto& running = f.dev.create_stream();
+  auto& normal = f.dev.create_stream(StreamPriority::kNormal);
+  auto& high = f.dev.create_stream(StreamPriority::kHigh);
+  CompletionLog log;
+  // The hog occupies the whole device first.
+  submit_kernel(running, make_kernel("hog", 500, 10), log.hook(f.engine, "hog"));
+  f.engine.run_until(10);
+  // normal submitted BEFORE high, but high must start first when the
+  // hog's blocks release.
+  submit_kernel(normal, make_kernel("n", 300, 10), log.hook(f.engine, "n"));
+  submit_kernel(high, make_kernel("h", 300, 10), log.hook(f.engine, "h"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("hog"), 500);
+  EXPECT_EQ(log.at.at("h"), 800);
+  EXPECT_EQ(log.at.at("n"), 1100);
+}
+
+TEST(DeviceTest, HighPriorityCannotPreemptRunningKernel) {
+  DeviceFixture f(/*max_connections=*/2);
+  auto& normal = f.dev.create_stream();
+  auto& high = f.dev.create_stream(StreamPriority::kHigh);
+  CompletionLog log;
+  submit_kernel(normal, make_kernel("running", 1000, 10), log.hook(f.engine, "running"));
+  f.engine.run_until(10);
+  submit_kernel(high, make_kernel("urgent", 100, 10), log.hook(f.engine, "urgent"));
+  f.engine.run();
+  // The paper's observation (§2.3.1): priority cannot help a kernel
+  // that needs resources held by an already-running kernel.
+  EXPECT_EQ(log.at.at("running"), 1000);
+  EXPECT_EQ(log.at.at("urgent"), 1100);
+}
+
+TEST(DeviceTest, BusyTimeAccounting) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s, make_kernel("k1", 400, 10), log.hook(f.engine, "k1"));
+  f.engine.run();
+  // idle gap, then another kernel
+  f.engine.schedule_at(1000, [&] { submit_kernel(s, make_kernel("k2", 600, 10)); });
+  f.engine.run();
+  EXPECT_EQ(f.dev.busy_time_any(), 1000);
+  EXPECT_EQ(f.dev.busy_time_compute(), 1000);
+  EXPECT_EQ(f.dev.busy_time_comm(), 0);
+}
+
+TEST(DeviceTest, TraceSinkReceivesRecords) {
+  struct Sink : TraceSink {
+    std::vector<KernelTraceRecord> records;
+    void on_kernel(const KernelTraceRecord& rec) override { records.push_back(rec); }
+  };
+  DeviceFixture f;
+  Sink sink;
+  f.dev.set_trace_sink(&sink);
+  auto& s = f.dev.create_stream();
+  submit_kernel(s, make_kernel("traced", 250, 4));
+  f.engine.run();
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].name, "traced");
+  EXPECT_EQ(sink.records[0].start, 0);
+  EXPECT_EQ(sink.records[0].end, 250);
+  EXPECT_EQ(sink.records[0].blocks_granted, 4);
+  EXPECT_EQ(sink.records[0].device, 0);
+}
+
+TEST(DeviceTest, CooperativeExactFitStartsImmediately) {
+  DeviceFixture f;
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s0, make_kernel("comp", 500, 5), log.hook(f.engine, "comp"));
+  // Exactly the 5 remaining blocks: must start at t=0, not wait.
+  submit_kernel(s1, make_kernel("coop", 200, 5, 0.0, KernelKind::kComm, true),
+                log.hook(f.engine, "coop"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("coop"), 200);
+}
+
+TEST(DeviceTest, ZeroDurationKernelCompletesInstantly) {
+  DeviceFixture f;
+  auto& s = f.dev.create_stream();
+  CompletionLog log;
+  submit_kernel(s, make_kernel("nop", 0, 1), log.hook(f.engine, "nop"));
+  submit_kernel(s, make_kernel("next", 100, 1), log.hook(f.engine, "next"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("nop"), 0);
+  EXPECT_EQ(log.at.at("next"), 100);
+}
+
+TEST(DeviceTest, ThreeWayRateRebalanceArithmetic) {
+  DeviceFixture f(/*max_connections=*/4);
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  auto& s2 = f.dev.create_stream();
+  CompletionLog log;
+  // a: 4 blocks/400ns, b: 4 blocks/400ns, c wants 4 but only 2 free.
+  submit_kernel(s0, make_kernel("a", 400, 4), log.hook(f.engine, "a"));
+  submit_kernel(s1, make_kernel("b", 400, 4), log.hook(f.engine, "b"));
+  submit_kernel(s2, make_kernel("c", 400, 4), log.hook(f.engine, "c"));
+  f.engine.run();
+  EXPECT_EQ(log.at.at("a"), 400);
+  EXPECT_EQ(log.at.at("b"), 400);
+  // c runs at 2/4 speed for 400ns (200 done), then full speed: 600.
+  EXPECT_NEAR(static_cast<double>(log.at.at("c")), 600.0, 2.0);
+}
+
+TEST(DeviceTest, FreedBlocksTopUpRunningKernelBeforeQueuedOne) {
+  DeviceFixture f(/*max_connections=*/4);
+  auto& s0 = f.dev.create_stream();
+  auto& s1 = f.dev.create_stream();
+  auto& s2 = f.dev.create_stream();
+  CompletionLog log;
+  // short holds 4; d1 (wants 8) starts under-provisioned with 6;
+  // d2 (wants 4) cannot start (no free blocks).
+  submit_kernel(s0, make_kernel("short", 100, 4), log.hook(f.engine, "short"));
+  submit_kernel(s1, make_kernel("d1", 400, 8), log.hook(f.engine, "d1"));
+  submit_kernel(s2, make_kernel("d2", 400, 4), log.hook(f.engine, "d2"));
+  f.engine.run();
+  // At t=100 the released 4 blocks top up d1 (6->8) FIRST; d2 starts
+  // with the 2 left over. d1: 75 done at 0.75 rate, then full ->
+  // 100+325=425. d2: 0.5 rate for [100,425] = 162.5 done, tops to 4,
+  // remaining 237.5 -> 662.5.
+  EXPECT_EQ(log.at.at("short"), 100);
+  EXPECT_NEAR(static_cast<double>(log.at.at("d1")), 425.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(log.at.at("d2")), 663.0, 3.0);
+}
+
+TEST(DeviceTest, ManyKernelsConserveBlocks) {
+  DeviceFixture f(4);
+  std::vector<Stream*> streams;
+  for (int i = 0; i < 4; ++i) streams.push_back(&f.dev.create_stream());
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      submit_kernel(*streams[static_cast<std::size_t>(i)],
+                    make_kernel("k", 100 + 37 * i, 3 + i, 0.1 * i));
+    }
+  }
+  f.engine.run();
+  EXPECT_EQ(f.dev.free_blocks(), f.dev.total_blocks());
+  EXPECT_EQ(f.dev.running_kernels(), 0);
+  EXPECT_EQ(f.dev.queued_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace liger::gpu

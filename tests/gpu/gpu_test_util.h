@@ -1,0 +1,66 @@
+// Shared helpers for gpu/collective tests: direct command delivery that
+// bypasses the host command path, so device mechanics can be tested in
+// isolation with exact timings.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gpu/device.h"
+#include "gpu/event.h"
+#include "gpu/stream.h"
+#include "sim/engine.h"
+
+namespace liger::gpu::testing {
+
+inline KernelDesc make_kernel(const std::string& name, sim::SimTime solo, int blocks,
+                              double mem_bw = 0.0, KernelKind kind = KernelKind::kCompute,
+                              bool cooperative = false) {
+  KernelDesc k;
+  k.name = name;
+  k.kind = kind;
+  k.solo_duration = solo;
+  k.blocks = blocks;
+  k.cooperative = cooperative;
+  k.mem_bw_demand = mem_bw;
+  return k;
+}
+
+// Delivers a kernel directly to the device (no host CPU cost/latency).
+inline void submit_kernel(Stream& s, KernelDesc k, std::function<void()> on_complete = {}) {
+  StreamOp op;
+  op.kind = StreamOp::Kind::kKernel;
+  op.kernel = std::move(k);
+  op.on_complete = std::move(on_complete);
+  op.stream_seq = s.note_issued();
+  s.device().deliver(s, std::move(op));
+}
+
+inline void submit_record(Stream& s, std::shared_ptr<Event> ev) {
+  StreamOp op;
+  op.kind = StreamOp::Kind::kRecordEvent;
+  op.event = std::move(ev);
+  op.stream_seq = s.note_issued();
+  s.device().deliver(s, std::move(op));
+}
+
+inline void submit_wait(Stream& s, std::shared_ptr<Event> ev) {
+  StreamOp op;
+  op.kind = StreamOp::Kind::kWaitEvent;
+  op.event = std::move(ev);
+  op.stream_seq = s.note_issued();
+  s.device().deliver(s, std::move(op));
+}
+
+// Records completion times by kernel name.
+struct CompletionLog {
+  std::map<std::string, sim::SimTime> at;
+
+  std::function<void()> hook(sim::Engine& e, const std::string& name) {
+    return [this, &e, name] { at[name] = e.now(); };
+  }
+};
+
+}  // namespace liger::gpu::testing

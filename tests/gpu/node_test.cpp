@@ -1,0 +1,63 @@
+#include "gpu/node.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu_test_util.h"
+
+namespace liger::gpu {
+namespace {
+
+TEST(NodeSpecTest, PaperTestbeds) {
+  const auto v100 = NodeSpec::v100_nvlink();
+  EXPECT_EQ(v100.num_devices, 4);
+  EXPECT_EQ(v100.gpu.sm_count, 80);
+  EXPECT_EQ(v100.link.kind, interconnect::LinkKind::kNvLink);
+  EXPECT_EQ(v100.max_connections, 2);  // CUDA_DEVICE_MAX_CONNECTIONS=2 (appendix C)
+
+  const auto a100 = NodeSpec::a100_pcie();
+  EXPECT_EQ(a100.gpu.sm_count, 108);
+  EXPECT_EQ(a100.link.kind, interconnect::LinkKind::kPcieSwitch);
+  EXPECT_EQ(a100.gpu.mem_bytes, 80ull << 30);
+}
+
+TEST(NodeSpecTest, DeviceCountConfigurable) {
+  sim::Engine e;
+  Node node(e, NodeSpec::v100_nvlink(2));
+  EXPECT_EQ(node.num_devices(), 2);
+  EXPECT_EQ(node.device(0).id(), 0);
+  EXPECT_EQ(node.device(1).id(), 1);
+}
+
+TEST(NodeTest, PerRankHostsAreDistinct) {
+  sim::Engine e;
+  Node node(e, NodeSpec::test_node(3));
+  EXPECT_NE(&node.host(0), &node.host(1));
+  EXPECT_NE(&node.host(1), &node.host(2));
+}
+
+TEST(NodeTest, TraceSinkAttachesToAllDevices) {
+  struct Sink : TraceSink {
+    int count = 0;
+    void on_kernel(const KernelTraceRecord&) override { ++count; }
+  };
+  sim::Engine e;
+  Node node(e, NodeSpec::test_node(2));
+  Sink sink;
+  node.set_trace_sink(&sink);
+  for (int d = 0; d < 2; ++d) {
+    auto& s = node.device(d).create_stream();
+    testing::submit_kernel(s, testing::make_kernel("k", 100, 2));
+  }
+  e.run();
+  EXPECT_EQ(sink.count, 2);
+}
+
+TEST(NodeTest, TopologySharedAcrossDevices) {
+  sim::Engine e;
+  Node node(e, NodeSpec::a100_pcie(4));
+  EXPECT_EQ(node.topology().num_devices(), 4);
+  EXPECT_DOUBLE_EQ(node.topology().spec().allreduce_busbw, 14.88e9);
+}
+
+}  // namespace
+}  // namespace liger::gpu

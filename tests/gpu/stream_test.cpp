@@ -1,0 +1,82 @@
+#include "gpu/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+#include "gpu/gpu_spec.h"
+#include "gpu_test_util.h"
+#include "sim/engine.h"
+
+namespace liger::gpu {
+namespace {
+
+using testing::make_kernel;
+using testing::submit_kernel;
+
+TEST(StreamTest, RoundRobinHwQueueAssignment) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu(), DeviceConfig{2});
+  auto& s0 = dev.create_stream();
+  auto& s1 = dev.create_stream();
+  auto& s2 = dev.create_stream();
+  EXPECT_EQ(s0.hw_queue(), 0);
+  EXPECT_EQ(s1.hw_queue(), 1);
+  EXPECT_EQ(s2.hw_queue(), 0);  // wraps at max_connections
+}
+
+TEST(StreamTest, IndicesAreSequential) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu());
+  EXPECT_EQ(dev.create_stream().index(), 0);
+  EXPECT_EQ(dev.create_stream().index(), 1);
+  EXPECT_EQ(dev.stream_count(), 2);
+}
+
+TEST(StreamTest, IdleTracksIssuedVsCompleted) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu());
+  auto& s = dev.create_stream();
+  EXPECT_TRUE(s.idle());
+  submit_kernel(s, make_kernel("k", 100, 2));
+  EXPECT_FALSE(s.idle());
+  e.run();
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.issued(), 1u);
+  EXPECT_EQ(s.completed(), 1u);
+}
+
+TEST(StreamTest, IdleConditionFiresOnDrain) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu());
+  auto& s = dev.create_stream();
+  submit_kernel(s, make_kernel("a", 300, 2));
+  submit_kernel(s, make_kernel("b", 200, 2));
+  auto cond = s.idle_condition(e);
+  e.run();
+  EXPECT_TRUE(cond->fired());
+  EXPECT_EQ(cond->fire_time(), 500);
+}
+
+TEST(StreamTest, IdleConditionOnIdleStreamFiresImmediately) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu());
+  auto& s = dev.create_stream();
+  auto cond = s.idle_condition(e);
+  EXPECT_TRUE(cond->fired());
+}
+
+TEST(StreamTest, IdleConditionIgnoresLaterWork) {
+  sim::Engine e;
+  Device dev(e, 0, GpuSpec::test_gpu());
+  auto& s = dev.create_stream();
+  submit_kernel(s, make_kernel("a", 300, 2));
+  auto cond = s.idle_condition(e);  // waits for "a" only
+  // Work submitted after the sync point must not delay the condition.
+  e.schedule_at(100, [&] { submit_kernel(s, make_kernel("late", 900, 2)); });
+  e.run();
+  EXPECT_TRUE(cond->fired());
+  EXPECT_EQ(cond->fire_time(), 300);
+}
+
+}  // namespace
+}  // namespace liger::gpu

@@ -1,0 +1,112 @@
+// Cross-method consistency on identical workloads: conservation,
+// work-equivalence (every method executes the same logical model), and
+// phase coverage.
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "trace/chrome_trace.h"
+
+#include "baselines/inter_op_runtime.h"
+#include "baselines/intra_op_runtime.h"
+#include "core/liger_runtime.h"
+#include "gpu/node.h"
+
+namespace liger {
+namespace {
+
+// Total compute busy-time across devices for a single batch must agree
+// between Liger and Intra-Op (same partitioned kernels, same model).
+TEST(CrossMethodTest, LigerAndIntraOpExecuteSameComputeWork) {
+  auto compute_ns = [](auto&& make_runtime) {
+    sim::Engine engine;
+    gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+    trace::ChromeTraceSink sink;
+    node.set_trace_sink(&sink);
+    auto runtime = make_runtime(node);
+    runtime->set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    model::BatchRequest req;
+    req.batch_size = 2;
+    req.seq = 64;
+    runtime->submit(req);
+    engine.run();
+    sim::SimTime total = 0;
+    for (const auto& r : sink.records()) {
+      if (r.kind == gpu::KernelKind::kCompute) total += r.end - r.start;
+    }
+    return total;
+  };
+  const auto model = model::ModelZoo::opt_30b().with_layers(8);
+  const auto liger = compute_ns(
+      [&](gpu::Node& n) { return std::make_unique<core::LigerRuntime>(n, model); });
+  const auto intra = compute_ns(
+      [&](gpu::Node& n) { return std::make_unique<baselines::IntraOpRuntime>(n, model); });
+  EXPECT_NEAR(static_cast<double>(liger), static_cast<double>(intra),
+              0.01 * static_cast<double>(intra));
+}
+
+// Inter-Op executes the unpartitioned model: its single-batch compute
+// time across all stages matches one-device execution of the model.
+TEST(CrossMethodTest, InterOpComputeEqualsOneDeviceModel) {
+  const auto model = model::ModelZoo::opt_30b().with_layers(8);
+
+  sim::Engine e1;
+  gpu::Node n1(e1, gpu::NodeSpec::v100_nvlink(4));
+  trace::ChromeTraceSink sink;
+  n1.set_trace_sink(&sink);
+  baselines::InterOpRuntime inter(n1, model);
+  inter.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  model::BatchRequest req;
+  req.batch_size = 2;
+  req.seq = 64;
+  inter.submit(req);
+  e1.run();
+  sim::SimTime staged = 0;
+  for (const auto& r : sink.records()) {
+    if (r.kind == gpu::KernelKind::kCompute) staged += r.end - r.start;
+  }
+
+  sim::Engine e2;
+  gpu::Node n2(e2, gpu::NodeSpec::v100_nvlink(1));
+  trace::ChromeTraceSink sink2;
+  n2.set_trace_sink(&sink2);
+  baselines::IntraOpRuntime one(n2, model);  // tp=1 on a single device
+  one.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  one.submit(req);
+  e2.run();
+  sim::SimTime single = 0;
+  for (const auto& r : sink2.records()) {
+    if (r.kind == gpu::KernelKind::kCompute) single += r.end - r.start;
+  }
+  EXPECT_NEAR(static_cast<double>(staged), static_cast<double>(single),
+              0.01 * static_cast<double>(single));
+}
+
+// Every method handles both phases and both node types.
+TEST(CrossMethodTest, PhaseAndNodeMatrixCompletes) {
+  for (const auto& node :
+       {gpu::NodeSpec::v100_nvlink(4), gpu::NodeSpec::a100_pcie(4)}) {
+    for (auto phase : {model::Phase::kPrefill, model::Phase::kDecode}) {
+      for (serving::Method m : serving::all_methods()) {
+        serving::ExperimentConfig cfg;
+        cfg.node = node;
+        cfg.model = model::ModelZoo::opt_30b().with_layers(6);
+        cfg.method = m;
+        cfg.rate = 30.0;
+        cfg.workload.num_requests = 10;
+        cfg.workload.batch_size = phase == model::Phase::kDecode ? 32 : 2;
+        cfg.workload.phase = phase;
+        if (phase == model::Phase::kDecode) {
+          cfg.workload.seq_min = cfg.workload.seq_max = 16;
+        }
+        const auto rep = serving::run_experiment(cfg);
+        EXPECT_EQ(rep.completed, 10u)
+            << node.name << " " << serving::method_name(m) << " phase "
+            << static_cast<int>(phase);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liger

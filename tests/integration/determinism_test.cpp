@@ -1,0 +1,49 @@
+// Bit-for-bit determinism of full serving experiments, and seed
+// sensitivity of the workload generator.
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+
+namespace liger::serving {
+namespace {
+
+ExperimentConfig config(Method m, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b().with_layers(8);
+  cfg.method = m;
+  cfg.rate = 30.0;
+  cfg.workload.num_requests = 40;
+  cfg.workload.batch_size = 2;
+  cfg.workload.seed = seed;
+  return cfg;
+}
+
+TEST(DeterminismTest, IdenticalConfigsIdenticalResults) {
+  for (Method m : all_methods()) {
+    const auto a = run_experiment(config(m, 7));
+    const auto b = run_experiment(config(m, 7));
+    EXPECT_DOUBLE_EQ(a.avg_latency_ms, b.avg_latency_ms) << method_name(m);
+    EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms) << method_name(m);
+    EXPECT_DOUBLE_EQ(a.throughput_bps, b.throughput_bps) << method_name(m);
+    EXPECT_EQ(a.makespan, b.makespan) << method_name(m);
+  }
+}
+
+TEST(DeterminismTest, SeedChangesWorkload) {
+  const auto a = run_experiment(config(Method::kLiger, 1));
+  const auto b = run_experiment(config(Method::kLiger, 2));
+  EXPECT_NE(a.avg_latency_ms, b.avg_latency_ms);
+}
+
+TEST(DeterminismTest, PoissonDeterministicToo) {
+  auto cfg = config(Method::kLiger, 5);
+  cfg.poisson = true;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,132 @@
+#include "interconnect/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::interconnect {
+namespace {
+
+TEST(InterconnectSpecTest, PaperMeasuredBandwidths) {
+  // §4.1: NCCL-tests peak all-reduce bus bandwidth.
+  EXPECT_DOUBLE_EQ(InterconnectSpec::nvlink_v100().allreduce_busbw, 32.75e9);
+  EXPECT_DOUBLE_EQ(InterconnectSpec::pcie_a100().allreduce_busbw, 14.88e9);
+  EXPECT_EQ(InterconnectSpec::nvlink_v100().kind, LinkKind::kNvLink);
+  EXPECT_EQ(InterconnectSpec::pcie_a100().kind, LinkKind::kPcieSwitch);
+}
+
+TEST(TopologyTest, AllReduceTimeFollowsRingFormula) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  const std::uint64_t bytes = 64ull << 20;  // 64 MiB
+  const auto t = topo.allreduce_time(bytes, 4, 3, Topology::CollectiveAlgo::kRing);
+  const double expected_s =
+      2.0 * 3.0 / 4.0 * static_cast<double>(bytes) / 32.75e9;
+  const auto expected = topo.allreduce_latency(4, Topology::CollectiveAlgo::kRing) +
+                        sim::from_seconds(expected_s);
+  EXPECT_NEAR(static_cast<double>(t), static_cast<double>(expected), 2.0);
+}
+
+TEST(TopologyTest, RingLatencyGrowsLinearlyTreeLogarithmically) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 8);
+  using Algo = Topology::CollectiveAlgo;
+  const auto base = topo.spec().collective_base_latency;
+  const auto step = topo.spec().step_latency;
+  EXPECT_EQ(topo.allreduce_latency(4, Algo::kRing), base + 6 * step);
+  EXPECT_EQ(topo.allreduce_latency(8, Algo::kRing), base + 14 * step);
+  EXPECT_EQ(topo.allreduce_latency(4, Algo::kTree), base + 4 * step);
+  EXPECT_EQ(topo.allreduce_latency(8, Algo::kTree), base + 6 * step);
+}
+
+TEST(TopologyTest, TreeBeatsRingOnTinyPayloads) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 8);
+  using Algo = Topology::CollectiveAlgo;
+  EXPECT_LT(topo.allreduce_time(1024, 8, 3, Algo::kTree),
+            topo.allreduce_time(1024, 8, 3, Algo::kRing));
+  EXPECT_GT(topo.allreduce_time(64 << 20, 8, 3, Algo::kTree),
+            topo.allreduce_time(64 << 20, 8, 3, Algo::kRing));
+}
+
+TEST(TopologyTest, ReduceScatterPlusAllGatherEqualsAllReduce) {
+  // Same ring schedule split in half: RS + AG transfer time == ring AR
+  // transfer time (latencies add once per op).
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  const std::uint64_t bytes = 16ull << 20;
+  const auto rs = topo.reduce_scatter_time(bytes, 4, 3);
+  const auto ag = topo.all_gather_time(bytes, 4, 3);
+  const auto ar = topo.allreduce_time(bytes, 4, 3, Topology::CollectiveAlgo::kRing);
+  const auto rs_lat = topo.spec().collective_base_latency + 3 * topo.spec().step_latency;
+  const auto ar_lat = topo.allreduce_latency(4, Topology::CollectiveAlgo::kRing);
+  EXPECT_NEAR(static_cast<double>((rs - rs_lat) + (ag - rs_lat)),
+              static_cast<double>(ar - ar_lat), 4.0);
+}
+
+TEST(TopologyTest, BroadcastCheaperThanAllReduce) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  const std::uint64_t bytes = 8ull << 20;
+  EXPECT_LT(topo.broadcast_time(bytes, 4, 3),
+            topo.allreduce_time(bytes, 4, 3, Topology::CollectiveAlgo::kRing));
+}
+
+TEST(TopologyTest, MoreDevicesMoveMoreData) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  const std::uint64_t bytes = 1ull << 20;
+  EXPECT_GT(topo.allreduce_time(bytes, 4, 3), topo.allreduce_time(bytes, 2, 3));
+}
+
+TEST(TopologyTest, ChannelScalingSaturatesAtPeak) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  EXPECT_DOUBLE_EQ(topo.allreduce_busbw(1), 32.75e9 / 3.0);
+  EXPECT_DOUBLE_EQ(topo.allreduce_busbw(3), 32.75e9);
+  EXPECT_DOUBLE_EQ(topo.allreduce_busbw(16), 32.75e9);  // no benefit past peak
+}
+
+TEST(TopologyTest, NvLinkFlowsDoNotShare) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  auto f1 = topo.begin_flow({0, 1});
+  auto f2 = topo.begin_flow({2, 3});
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 1.0);
+  topo.end_flow(f1);
+  topo.end_flow(f2);
+}
+
+TEST(TopologyTest, PcieFlowsShareSwitch) {
+  Topology topo(InterconnectSpec::pcie_a100(), 4);
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 1.0);  // no active flows
+  auto f1 = topo.begin_flow({0, 1});
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 1.0);
+  auto f2 = topo.begin_flow({2, 3});
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 0.5);
+  auto f3 = topo.begin_flow({0, 1, 2, 3});
+  EXPECT_NEAR(topo.flow_share(), 1.0 / 3.0, 1e-12);
+  topo.end_flow(f2);
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 0.5);
+  topo.end_flow(f1);
+  topo.end_flow(f3);
+  EXPECT_DOUBLE_EQ(topo.flow_share(), 1.0);
+}
+
+TEST(TopologyTest, ListenersNotifiedOnFlowChanges) {
+  Topology topo(InterconnectSpec::pcie_a100(), 4);
+  int notifications = 0;
+  topo.add_listener([&] { ++notifications; });
+  auto f = topo.begin_flow({0, 1});
+  EXPECT_EQ(notifications, 1);
+  topo.end_flow(f);
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(TopologyTest, CommandLatencyGrowsWithInflight) {
+  Topology topo(InterconnectSpec::pcie_a100(), 4);
+  const auto base = topo.command_latency(1);
+  EXPECT_EQ(base, topo.spec().command_latency);
+  EXPECT_EQ(topo.command_latency(3), base + 2 * topo.spec().command_contention_step);
+}
+
+TEST(TopologyTest, P2pTimeLinearInBytes) {
+  Topology topo(InterconnectSpec::nvlink_v100(), 4);
+  const auto t1 = topo.p2p_time(1ull << 20);
+  const auto t2 = topo.p2p_time(2ull << 20);
+  const auto base = topo.spec().collective_base_latency;
+  EXPECT_NEAR(static_cast<double>(t2 - base), 2.0 * static_cast<double>(t1 - base), 4.0);
+}
+
+}  // namespace
+}  // namespace liger::interconnect

@@ -1,0 +1,137 @@
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace liger::model {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel cost{gpu::GpuSpec::v100()};
+};
+
+TEST_F(CostModelTest, GemmFlopsAndBytes) {
+  EXPECT_EQ(cost.gemm_flops(4, 8, 16), 2ull * 4 * 8 * 16);
+  EXPECT_EQ(cost.gemm_bytes(4, 8, 16), 2ull * (4 * 16 + 16 * 8 + 4 * 8));
+}
+
+TEST_F(CostModelTest, GemmTimeIncludesOverhead) {
+  // A trivial GEMM still costs at least the kernel overhead.
+  EXPECT_GE(cost.gemm_time(1, 1, 1), cost.params().kernel_overhead);
+}
+
+TEST_F(CostModelTest, GemmTimeMonotoneInEachDim) {
+  const auto base = cost.gemm_time(256, 1024, 1024);
+  EXPECT_GT(cost.gemm_time(512, 1024, 1024), base);
+  EXPECT_GT(cost.gemm_time(256, 2048, 1024), base);
+  EXPECT_GT(cost.gemm_time(256, 1024, 2048), base);
+}
+
+TEST_F(CostModelTest, LargeGemmNearPeakEfficiency) {
+  // 8k^3 GEMM: compute-bound; implied FLOP/s should be within [45%,
+  // 62%] of peak (base efficiency 0.62 with mild shape factors).
+  const std::int64_t n = 8192;
+  const auto t = cost.gemm_time(n, n, n) - cost.params().kernel_overhead;
+  const double achieved = static_cast<double>(cost.gemm_flops(n, n, n)) / sim::to_seconds(t);
+  EXPECT_GT(achieved, 0.45 * cost.gpu().fp16_flops);
+  EXPECT_LT(achieved, 0.62 * cost.gpu().fp16_flops);
+}
+
+TEST_F(CostModelTest, SkinnyGemmIsMemoryBound) {
+  // M=1: the weight matrix read dominates -> duration tracks bytes/BW.
+  const std::int64_t k = 7168, n = 7168;
+  const auto t = cost.gemm_kernel("g", 1, n, k);
+  const double mem_s =
+      static_cast<double>(t.bytes) / (cost.gpu().mem_bandwidth * cost.params().mem_eff);
+  EXPECT_NEAR(sim::to_seconds(t.solo_duration - cost.params().kernel_overhead), mem_s,
+              mem_s * 0.01);
+  EXPECT_GT(t.mem_bw_demand, 0.5);  // streaming the weights hard
+}
+
+TEST_F(CostModelTest, GemmBlocksScaleWithOutputTiles) {
+  EXPECT_EQ(cost.gemm_kernel("g", 64, 64, 512).blocks, 1);
+  EXPECT_EQ(cost.gemm_kernel("g", 64, 256, 512).blocks, 4);
+  EXPECT_EQ(cost.gemm_kernel("g", 128, 256, 512).blocks, 8);
+  // Capped at the SM count.
+  EXPECT_EQ(cost.gemm_kernel("g", 4096, 4096, 512).blocks, cost.gpu().sm_count);
+}
+
+TEST_F(CostModelTest, MemDemandBounded) {
+  for (std::int64_t m : {1, 16, 256, 4096}) {
+    const auto k = cost.gemm_kernel("g", m, 4096, 4096);
+    EXPECT_GE(k.mem_bw_demand, 0.0);
+    EXPECT_LE(k.mem_bw_demand, 1.0);
+  }
+}
+
+TEST_F(CostModelTest, AttentionPrefillQuadraticInSeq) {
+  ExecConfig a, b;
+  a.batch = b.batch = 2;
+  a.seq = 64;
+  b.seq = 128;
+  const auto ka = cost.attention_kernel("a", a, 16, 128);
+  const auto kb = cost.attention_kernel("a", b, 16, 128);
+  EXPECT_EQ(kb.flops, 4 * ka.flops);  // s^2 scaling
+}
+
+TEST_F(CostModelTest, AttentionDecodeMemoryBound) {
+  ExecConfig cfg;
+  cfg.batch = 32;
+  cfg.seq = 512;  // context length
+  cfg.phase = Phase::kDecode;
+  const auto k = cost.attention_kernel("a", cfg, 56, 128);
+  // KV-cache streaming: high bandwidth demand, low arithmetic intensity.
+  EXPECT_GT(k.mem_bw_demand, 0.5);
+  const double intensity = static_cast<double>(k.flops) / static_cast<double>(k.bytes);
+  EXPECT_LT(intensity, 4.0);
+}
+
+TEST_F(CostModelTest, DecodeAttentionLinearInContext) {
+  ExecConfig a, b;
+  a.batch = b.batch = 8;
+  a.phase = b.phase = Phase::kDecode;
+  a.seq = 128;
+  b.seq = 256;
+  const auto ka = cost.attention_kernel("a", a, 16, 128);
+  const auto kb = cost.attention_kernel("a", b, 16, 128);
+  EXPECT_EQ(kb.flops, 2 * ka.flops);
+}
+
+TEST_F(CostModelTest, ElementwiseDurationTracksBytes) {
+  const auto k1 = cost.elementwise_kernel("e", 128, 4096, 2);
+  const auto k2 = cost.elementwise_kernel("e", 128, 4096, 4);
+  const auto overhead = cost.params().kernel_overhead;
+  EXPECT_NEAR(static_cast<double>(k2.solo_duration - overhead),
+              2.0 * static_cast<double>(k1.solo_duration - overhead), 2.0);
+}
+
+TEST_F(CostModelTest, A100FasterThanV100) {
+  const CostModel a100(gpu::GpuSpec::a100());
+  EXPECT_LT(a100.gemm_time(1024, 4096, 4096), cost.gemm_time(1024, 4096, 4096));
+}
+
+// Property sweep: durations are positive and finite over a shape grid.
+class GemmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(GemmShapeSweep, DurationPositiveAndDemandBounded) {
+  const CostModel cost(gpu::GpuSpec::v100());
+  const auto [m, n, k] = GetParam();
+  const auto desc = cost.gemm_kernel("g", m, n, k);
+  EXPECT_GT(desc.solo_duration, 0);
+  EXPECT_GE(desc.blocks, 1);
+  EXPECT_LE(desc.blocks, cost.gpu().sm_count);
+  EXPECT_GE(desc.mem_bw_demand, 0.0);
+  EXPECT_LE(desc.mem_bw_demand, 1.0);
+  EXPECT_EQ(desc.flops, cost.gemm_flops(m, n, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeSweep,
+                         ::testing::Combine(::testing::Values<std::int64_t>(1, 32, 256),
+                                            ::testing::Values<std::int64_t>(64, 1792, 7168),
+                                            ::testing::Values<std::int64_t>(64, 7168)));
+
+}  // namespace
+}  // namespace liger::model

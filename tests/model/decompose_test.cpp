@@ -1,0 +1,160 @@
+#include "model/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "model/layer_builder.h"
+
+namespace liger::model {
+namespace {
+
+class DecomposeTest : public ::testing::Test {
+ protected:
+  CostModel cost{gpu::GpuSpec::v100()};
+
+  OpTemplate make_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+    OpTemplate op;
+    op.cls = OpClass::kFfn1Gemm;
+    op.gemm = GemmDims{m, n, k};
+    op.kernel = cost.gemm_kernel("g", m, n, k);
+    return op;
+  }
+
+  OpTemplate make_allreduce(std::uint64_t bytes) {
+    OpTemplate op;
+    op.cls = OpClass::kAllReduce;
+    op.kind = gpu::KernelKind::kComm;
+    op.kernel.name = "ar";
+    op.kernel.kind = gpu::KernelKind::kComm;
+    op.comm_bytes = bytes;
+    return op;
+  }
+};
+
+TEST_F(DecomposeTest, VerticalPiecesPartitionN) {
+  const auto op = make_gemm(128, 7000, 4096);  // 7000 not divisible by 8
+  const auto pieces = decompose_gemm(op, 8, GemmSplit::kVertical, cost);
+  ASSERT_EQ(pieces.size(), 8u);
+  std::int64_t total_n = 0;
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.gemm.m, 128);
+    EXPECT_EQ(p.gemm.k, 4096);
+    EXPECT_GE(p.gemm.n, 1);
+    total_n += p.gemm.n;
+  }
+  EXPECT_EQ(total_n, 7000);
+}
+
+TEST_F(DecomposeTest, HorizontalPiecesPartitionM) {
+  const auto op = make_gemm(100, 4096, 4096);
+  const auto pieces = decompose_gemm(op, 4, GemmSplit::kHorizontal, cost);
+  std::int64_t total_m = 0;
+  for (const auto& p : pieces) total_m += p.gemm.m;
+  EXPECT_EQ(total_m, 100);
+}
+
+TEST_F(DecomposeTest, VerticalSumNearOriginal) {
+  // Fig 9: vertical decomposition costs roughly the original plus per-
+  // piece overheads.
+  const auto op = make_gemm(128, 7168, 7168);
+  for (int pieces : {2, 4, 8}) {
+    sim::SimTime sum = 0;
+    for (const auto& p : decompose_gemm(op, pieces, GemmSplit::kVertical, cost)) {
+      sum += p.kernel.solo_duration;
+    }
+    const auto budget = op.kernel.solo_duration +
+                        (pieces - 1) * cost.params().kernel_overhead;
+    EXPECT_LT(static_cast<double>(sum), 1.35 * static_cast<double>(budget)) << pieces;
+  }
+}
+
+TEST_F(DecomposeTest, HorizontalWorseThanVertical) {
+  // Fig 9's core claim, as a property over shapes.
+  for (std::int64_t m : {32, 128, 512}) {
+    const auto op = make_gemm(m, 7168, 7168);
+    for (int pieces : {2, 4, 8}) {
+      sim::SimTime v = 0, h = 0;
+      for (const auto& p : decompose_gemm(op, pieces, GemmSplit::kVertical, cost)) {
+        v += p.kernel.solo_duration;
+      }
+      for (const auto& p : decompose_gemm(op, pieces, GemmSplit::kHorizontal, cost)) {
+        h += p.kernel.solo_duration;
+      }
+      EXPECT_GT(h, v) << "m=" << m << " pieces=" << pieces;
+    }
+  }
+}
+
+TEST_F(DecomposeTest, SplitGemmFractions) {
+  const auto op = make_gemm(128, 8000, 4096);
+  const auto [head, tail] = split_gemm(op, 3, 8, GemmSplit::kVertical, cost);
+  EXPECT_EQ(head.gemm.n, 3000);
+  EXPECT_EQ(tail.gemm.n, 5000);
+  EXPECT_EQ(head.gemm.m, op.gemm.m);
+  EXPECT_EQ(tail.gemm.k, op.gemm.k);
+  EXPECT_LT(head.kernel.solo_duration, op.kernel.solo_duration);
+}
+
+TEST_F(DecomposeTest, SplitPreservesClassAndLayer) {
+  auto op = make_gemm(128, 8000, 4096);
+  op.layer = 7;
+  const auto [head, tail] = split_gemm(op, 1, 4, GemmSplit::kVertical, cost);
+  EXPECT_EQ(head.cls, OpClass::kFfn1Gemm);
+  EXPECT_EQ(tail.cls, OpClass::kFfn1Gemm);
+  EXPECT_EQ(head.layer, 7);
+  EXPECT_EQ(tail.layer, 7);
+}
+
+TEST_F(DecomposeTest, AllReduceChunksConserveBytes) {
+  const auto op = make_allreduce(1000003);  // prime: uneven chunks
+  const auto pieces = decompose_all_reduce(op, 8);
+  ASSERT_EQ(pieces.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& p : pieces) {
+    EXPECT_GE(p.comm_bytes, 1u);
+    EXPECT_TRUE(p.is_comm());
+    total += p.comm_bytes;
+  }
+  EXPECT_EQ(total, 1000003u);
+}
+
+TEST_F(DecomposeTest, SplitAllReduceBytes) {
+  const auto op = make_allreduce(1 << 20);
+  const auto [head, tail] = split_all_reduce(op, 1, 4);
+  EXPECT_EQ(head.comm_bytes, (1u << 20) / 4);
+  EXPECT_EQ(head.comm_bytes + tail.comm_bytes, 1u << 20);
+}
+
+TEST_F(DecomposeTest, PieceNamesAreDistinct) {
+  const auto op = make_gemm(128, 4096, 4096);
+  const auto pieces = decompose_gemm(op, 4, GemmSplit::kVertical, cost);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_NE(pieces[i].kernel.name, pieces[j].kernel.name);
+    }
+  }
+}
+
+// Parameterized conservation property across factors and shapes.
+class DecomposeSweep : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(DecomposeSweep, FlopsConservedUnderVerticalSplit) {
+  const CostModel cost(gpu::GpuSpec::v100());
+  const auto [pieces, n] = GetParam();
+  OpTemplate op;
+  op.cls = OpClass::kQkvGemm;
+  op.gemm = GemmDims{64, n, 4096};
+  op.kernel = cost.gemm_kernel("g", 64, n, 4096);
+  std::uint64_t flops = 0;
+  for (const auto& p : decompose_gemm(op, pieces, GemmSplit::kVertical, cost)) {
+    flops += p.kernel.flops;
+  }
+  EXPECT_EQ(flops, op.kernel.flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(FactorsAndWidths, DecomposeSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values<std::int64_t>(1024, 5376,
+                                                                            7168)));
+
+}  // namespace
+}  // namespace liger::model

@@ -1,0 +1,216 @@
+#include "model/layer_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace liger::model {
+namespace {
+
+class LayerBuilderTest : public ::testing::Test {
+ protected:
+  CostModel cost{gpu::GpuSpec::v100()};
+  ModelSpec spec = ModelZoo::opt_30b();
+  LayerBuilder builder{spec, cost};
+
+  ExecConfig cfg(int tp, Phase phase = Phase::kPrefill) {
+    ExecConfig c;
+    c.batch = 2;
+    c.seq = 64;
+    c.tp = tp;
+    c.phase = phase;
+    return c;
+  }
+
+  std::map<OpClass, int> count_classes(const OpList& ops) {
+    std::map<OpClass, int> counts;
+    for (const auto& op : ops) ++counts[op.cls];
+    return counts;
+  }
+};
+
+TEST_F(LayerBuilderTest, ShardedLayerHasTwoAllReduces) {
+  const auto counts = count_classes(builder.layer_ops(cfg(4)));
+  EXPECT_EQ(counts.at(OpClass::kAllReduce), 2);  // Megatron: attn-out + ffn2
+}
+
+TEST_F(LayerBuilderTest, UnshardedLayerHasNoComm) {
+  const auto ops = builder.layer_ops(cfg(1));
+  for (const auto& op : ops) EXPECT_FALSE(op.is_comm());
+}
+
+TEST_F(LayerBuilderTest, LayerStructureComplete) {
+  const auto counts = count_classes(builder.layer_ops(cfg(4)));
+  EXPECT_EQ(counts.at(OpClass::kLayerNorm), 2);
+  EXPECT_EQ(counts.at(OpClass::kQkvGemm), 1);
+  EXPECT_EQ(counts.at(OpClass::kAttention), 1);
+  EXPECT_EQ(counts.at(OpClass::kAttnOutGemm), 1);
+  EXPECT_EQ(counts.at(OpClass::kFfn1Gemm), 1);
+  EXPECT_EQ(counts.at(OpClass::kGelu), 1);
+  EXPECT_EQ(counts.at(OpClass::kFfn2Gemm), 1);
+}
+
+TEST_F(LayerBuilderTest, AllReduceFollowsRowParallelGemms) {
+  const auto ops = builder.layer_ops(cfg(4));
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].cls == OpClass::kAllReduce) {
+      ASSERT_GT(i, 0u);
+      const auto prev = ops[i - 1].cls;
+      EXPECT_TRUE(prev == OpClass::kAttnOutGemm || prev == OpClass::kFfn2Gemm);
+    }
+  }
+}
+
+TEST_F(LayerBuilderTest, ShardingDividesGemmFlops) {
+  const auto full = builder.layer_ops(cfg(1));
+  const auto sharded = builder.layer_ops(cfg(4));
+  auto flops_of = [](const OpList& ops, OpClass cls) -> std::uint64_t {
+    for (const auto& op : ops) {
+      if (op.cls == cls) return op.kernel.flops;
+    }
+    return 0;
+  };
+  for (OpClass cls : {OpClass::kQkvGemm, OpClass::kAttnOutGemm, OpClass::kFfn1Gemm,
+                      OpClass::kFfn2Gemm}) {
+    EXPECT_EQ(flops_of(full, cls), 4 * flops_of(sharded, cls));
+  }
+}
+
+TEST_F(LayerBuilderTest, AllReduceBytesMatchActivationSize) {
+  const auto c = cfg(4);
+  // rows x hidden x fp16
+  EXPECT_EQ(builder.allreduce_bytes(c), 2ull * 128 * 7168);
+  EXPECT_EQ(builder.boundary_bytes(c), builder.allreduce_bytes(c));
+}
+
+TEST_F(LayerBuilderTest, DecodeUsesOneTokenRows) {
+  const auto ops = builder.layer_ops(cfg(4, Phase::kDecode));
+  for (const auto& op : ops) {
+    if (op.is_gemm()) {
+      EXPECT_EQ(op.gemm.m, 2);  // batch rows only
+    }
+  }
+}
+
+TEST_F(LayerBuilderTest, DecodeLayerIsWeightBandwidthBound) {
+  // Decode does far less math than prefill but still streams every
+  // weight byte, so its time is bounded below by weights/bandwidth and
+  // is NOT proportionally cheaper (the paper's "lower computational
+  // intensity of generative tasks", §4.3).
+  sim::SimTime decode_t = 0, prefill_t = 0;
+  std::uint64_t decode_flops = 0, prefill_flops = 0;
+  for (const auto& op : builder.layer_ops(cfg(4, Phase::kDecode))) {
+    if (op.is_comm()) continue;
+    decode_t += op.kernel.solo_duration;
+    decode_flops += op.kernel.flops;
+  }
+  for (const auto& op : builder.layer_ops(cfg(4, Phase::kPrefill))) {
+    if (op.is_comm()) continue;
+    prefill_t += op.kernel.solo_duration;
+    prefill_flops += op.kernel.flops;
+  }
+  EXPECT_LT(decode_t, prefill_t);
+  EXPECT_LT(decode_flops * 10, prefill_flops);  // >10x less math
+  // ...yet decode time is NOT 10x cheaper: it is memory-bound.
+  EXPECT_GT(decode_t * 4, prefill_t);
+}
+
+TEST_F(LayerBuilderTest, RangeOpsCoversLayers) {
+  const auto ops = builder.range_ops(cfg(4), 3, 7);
+  EXPECT_EQ(ops.size(), 4 * builder.layer_ops(cfg(4)).size());
+  EXPECT_EQ(ops.front().layer, 3);
+  EXPECT_EQ(ops.back().layer, 6);
+}
+
+TEST_F(LayerBuilderTest, ModelOpsScaleWithLayerCount) {
+  const auto small = LayerBuilder(spec.with_layers(4), cost);
+  EXPECT_EQ(small.model_ops(cfg(4)).size(), 4 * builder.layer_ops(cfg(4)).size());
+}
+
+TEST_F(LayerBuilderTest, KernelNamesEncodeLayer) {
+  const auto ops = builder.range_ops(cfg(4), 5, 6);
+  for (const auto& op : ops) {
+    EXPECT_EQ(op.kernel.name.rfind("l5.", 0), 0u) << op.kernel.name;
+  }
+}
+
+TEST_F(LayerBuilderTest, GemmDimsConsistentWithKernel) {
+  for (const auto& op : builder.layer_ops(cfg(4))) {
+    if (op.is_gemm()) {
+      EXPECT_EQ(op.kernel.flops, cost.gemm_flops(op.gemm.m, op.gemm.n, op.gemm.k));
+    }
+  }
+}
+
+TEST_F(LayerBuilderTest, SequenceParallelReplacesAllReducesWithRsAgPairs) {
+  auto c = cfg(4);
+  c.sequence_parallel = true;
+  const auto counts = count_classes(builder.layer_ops(c));
+  EXPECT_EQ(counts.count(OpClass::kAllReduce), 0u);
+  EXPECT_EQ(counts.at(OpClass::kReduceScatter), 2);
+  EXPECT_EQ(counts.at(OpClass::kAllGather), 2);
+}
+
+TEST_F(LayerBuilderTest, SequenceParallelConservesCommBytes) {
+  auto plain = cfg(4);
+  auto sp = cfg(4);
+  sp.sequence_parallel = true;
+  auto total_bytes = [&](const ExecConfig& c) {
+    std::uint64_t bytes = 0;
+    for (const auto& op : builder.layer_ops(c)) {
+      if (op.is_comm()) bytes += op.comm_bytes;
+    }
+    return bytes;
+  };
+  // 2 AR of X bytes -> 2 RS + 2 AG of X bytes each; the RS/AG wire
+  // volume per op is half an AR's, so total wire traffic matches.
+  EXPECT_EQ(total_bytes(sp), 2 * total_bytes(plain));
+}
+
+TEST_F(LayerBuilderTest, SequenceParallelShardsLayernorm) {
+  auto plain = cfg(4);
+  auto sp = cfg(4);
+  sp.sequence_parallel = true;
+  auto ln_bytes = [&](const ExecConfig& c) {
+    for (const auto& op : builder.layer_ops(c)) {
+      if (op.cls == OpClass::kLayerNorm) return op.kernel.bytes;
+    }
+    return std::uint64_t{0};
+  };
+  EXPECT_EQ(ln_bytes(sp) * 4, ln_bytes(plain));
+}
+
+TEST_F(LayerBuilderTest, SequenceParallelIgnoredWithoutTp) {
+  auto c = cfg(1);
+  c.sequence_parallel = true;
+  for (const auto& op : builder.layer_ops(c)) EXPECT_FALSE(op.is_comm());
+}
+
+// tp sweep: every sharding degree that divides the head count works and
+// halves per-device GEMM work relative to the previous degree.
+class TpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpSweep, PerDeviceWorkShrinksWithTp) {
+  const CostModel cost(gpu::GpuSpec::v100());
+  const LayerBuilder builder(ModelZoo::opt_30b(), cost);  // 56 heads
+  ExecConfig cfg;
+  cfg.batch = 2;
+  cfg.seq = 64;
+  cfg.tp = GetParam();
+  std::uint64_t flops = 0;
+  for (const auto& op : builder.layer_ops(cfg)) flops += op.kernel.flops;
+  ExecConfig full = cfg;
+  full.tp = 1;
+  std::uint64_t full_flops = 0;
+  for (const auto& op : builder.layer_ops(full)) full_flops += op.kernel.flops;
+  // Per-device flops shrink at least 60% of the ideal 1/tp (layernorms
+  // are replicated).
+  EXPECT_LT(flops, full_flops);
+  EXPECT_GT(static_cast<double>(full_flops) / static_cast<double>(flops),
+            0.6 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpSweep, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace liger::model

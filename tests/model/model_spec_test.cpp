@@ -1,0 +1,94 @@
+#include "model/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::model {
+namespace {
+
+// Paper Table 1: parameters (as weight bytes), layers, heads, hidden.
+TEST(ModelSpecTest, Table1Opt30b) {
+  const auto m = ModelZoo::opt_30b();
+  EXPECT_EQ(m.layers, 48);
+  EXPECT_EQ(m.heads, 56);
+  EXPECT_EQ(m.hidden, 7168);
+  // Table 1 lists 60GB of FP16 weights.
+  EXPECT_NEAR(static_cast<double>(m.param_bytes()) / 1e9, 60.0, 3.0);
+}
+
+TEST(ModelSpecTest, Table1Opt66b) {
+  const auto m = ModelZoo::opt_66b();
+  EXPECT_EQ(m.layers, 64);
+  EXPECT_EQ(m.heads, 72);
+  EXPECT_EQ(m.hidden, 9216);
+  EXPECT_NEAR(static_cast<double>(m.param_bytes()) / 1e9, 132.0, 5.0);
+}
+
+TEST(ModelSpecTest, Table1Glm130b) {
+  const auto m = ModelZoo::glm_130b();
+  EXPECT_EQ(m.layers, 70);
+  EXPECT_EQ(m.heads, 96);
+  EXPECT_EQ(m.hidden, 12288);
+  EXPECT_NEAR(static_cast<double>(m.param_bytes()) / 1e9, 260.0, 10.0);
+}
+
+TEST(ModelSpecTest, ParamsPerLayerFormula) {
+  // 12 h^2 per layer: QKV 3h^2 + out h^2 + FFN 2*(4h*h).
+  ModelSpec m{"x", 10, 8, 64};
+  EXPECT_EQ(m.params_per_layer(), 12ull * 64 * 64);
+  EXPECT_EQ(m.param_count(), 10ull * 12 * 64 * 64);
+  EXPECT_EQ(m.param_bytes(), m.param_count() * 2);
+}
+
+TEST(ModelSpecTest, HeadDimAndFfn) {
+  const auto m = ModelZoo::opt_30b();
+  EXPECT_EQ(m.head_dim(), 128);
+  EXPECT_EQ(m.ffn_hidden(), 4 * 7168);
+}
+
+TEST(ModelSpecTest, ShardBytesDividesEvenly) {
+  const auto m = ModelZoo::opt_30b();
+  EXPECT_EQ(m.shard_bytes(4), m.param_bytes() / 4);
+  EXPECT_EQ(m.shard_bytes(1), m.param_bytes());
+}
+
+TEST(ModelSpecTest, WithLayersKeepsStructure) {
+  const auto m = ModelZoo::opt_30b().with_layers(12);
+  EXPECT_EQ(m.layers, 12);
+  EXPECT_EQ(m.hidden, 7168);
+  EXPECT_EQ(m.heads, 56);
+  EXPECT_NE(m.name, ModelZoo::opt_30b().name);
+  EXPECT_EQ(m.params_per_layer(), ModelZoo::opt_30b().params_per_layer());
+}
+
+TEST(ModelSpecTest, ByNameRoundTrip) {
+  for (const auto& name : ModelZoo::names()) {
+    EXPECT_EQ(ModelZoo::by_name(name).name, name);
+  }
+}
+
+TEST(ModelSpecTest, ByNameUnknownThrows) {
+  EXPECT_THROW(ModelZoo::by_name("gpt-9000"), std::invalid_argument);
+}
+
+TEST(ModelSpecTest, SizeLadderIsMonotone) {
+  std::uint64_t prev = 0;
+  for (const auto* name : {"opt-6.7b", "opt-13b", "opt-30b", "opt-66b", "glm-130b",
+                           "opt-175b"}) {
+    const auto m = ModelZoo::by_name(name);
+    EXPECT_GT(m.param_count(), prev) << name;
+    prev = m.param_count();
+  }
+}
+
+TEST(ExecConfigTest, RowsByPhase) {
+  ExecConfig cfg;
+  cfg.batch = 4;
+  cfg.seq = 32;
+  cfg.phase = Phase::kPrefill;
+  EXPECT_EQ(cfg.rows(), 128);
+  cfg.phase = Phase::kDecode;
+  EXPECT_EQ(cfg.rows(), 4);  // one token per sequence
+}
+
+}  // namespace
+}  // namespace liger::model

@@ -1,0 +1,75 @@
+#include "profile/contention.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::profile {
+namespace {
+
+std::vector<model::ExecConfig> small_grid() {
+  model::ExecConfig a, b;
+  a.batch = 2;
+  a.seq = 64;
+  b.batch = 8;
+  b.seq = 128;
+  return {a, b};
+}
+
+TEST(ContentionTest, FactorAtLeastOne) {
+  const auto report =
+      profile_contention(gpu::NodeSpec::v100_nvlink(4), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::opt_30b(), small_grid());
+  EXPECT_GE(report.compute_slowdown, 1.0);
+  EXPECT_GE(report.comm_slowdown, 1.0);
+  EXPECT_GE(report.factor(), 1.0);
+}
+
+TEST(ContentionTest, FactorInPlausibleRange) {
+  // The paper uses 1.1 (V100) / 1.15 (A100); with comm-first launch
+  // ordering the measured slowdowns must be mild, not multiples.
+  const auto report =
+      profile_contention(gpu::NodeSpec::v100_nvlink(4), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::opt_30b(), small_grid());
+  EXPECT_LT(report.factor(), 1.5);
+}
+
+TEST(ContentionTest, TunedCommConfigContendsLessThanDefault) {
+  const auto tuned =
+      profile_contention(gpu::NodeSpec::v100_nvlink(4), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::opt_30b(), small_grid());
+  const auto stock =
+      profile_contention(gpu::NodeSpec::v100_nvlink(4), collective::CommConfig::nccl_default(),
+                         model::ModelZoo::opt_30b(), small_grid());
+  // Fewer channels -> fewer stolen blocks -> milder compute slowdown
+  // (§3.5's contention mitigation).
+  EXPECT_LE(tuned.compute_slowdown, stock.compute_slowdown);
+}
+
+TEST(ContentionTest, SingleDeviceHasNoContentionPair) {
+  const auto report =
+      profile_contention(gpu::NodeSpec::v100_nvlink(1), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::opt_30b(), small_grid());
+  EXPECT_DOUBLE_EQ(report.compute_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(report.comm_slowdown, 1.0);
+}
+
+TEST(ContentionTest, MarginAppliesMultiplicatively) {
+  ContentionReport report;
+  report.compute_slowdown = 1.10;
+  report.comm_slowdown = 1.05;
+  EXPECT_DOUBLE_EQ(report.factor(1.0), 1.10);
+  EXPECT_NEAR(report.factor(1.02), 1.122, 1e-9);
+}
+
+TEST(ContentionTest, Deterministic) {
+  const auto a =
+      profile_contention(gpu::NodeSpec::a100_pcie(4), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::glm_130b(), small_grid());
+  const auto b =
+      profile_contention(gpu::NodeSpec::a100_pcie(4), collective::CommConfig::liger_tuned(),
+                         model::ModelZoo::glm_130b(), small_grid());
+  EXPECT_DOUBLE_EQ(a.compute_slowdown, b.compute_slowdown);
+  EXPECT_DOUBLE_EQ(a.comm_slowdown, b.comm_slowdown);
+}
+
+}  // namespace
+}  // namespace liger::profile

@@ -1,0 +1,120 @@
+#include "profile/decomposition_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::profile {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : topology(interconnect::InterconnectSpec::nvlink_v100(), 4),
+        comm(engine, topology, gpu::GpuSpec::v100()),
+        table(comm, 4),
+        cost(gpu::GpuSpec::v100()),
+        planner(cost, table, 8) {}
+
+  model::OpTemplate gemm_op(std::int64_t m, std::int64_t n, std::int64_t k) {
+    model::OpTemplate op;
+    op.cls = model::OpClass::kFfn1Gemm;
+    op.gemm = model::GemmDims{m, n, k};
+    op.kernel = cost.gemm_kernel("g", m, n, k);
+    op.profiled_duration = op.kernel.solo_duration;
+    return op;
+  }
+
+  model::OpTemplate ar_op(std::uint64_t bytes) {
+    model::OpTemplate op;
+    op.cls = model::OpClass::kAllReduce;
+    op.kind = gpu::KernelKind::kComm;
+    op.kernel.kind = gpu::KernelKind::kComm;
+    op.kernel.name = "ar";
+    op.comm_bytes = bytes;
+    op.profiled_duration = table.op_duration(op);
+    return op;
+  }
+
+  sim::Engine engine;
+  interconnect::Topology topology;
+  collective::Communicator comm;
+  ProfileTable table;
+  model::CostModel cost;
+  DecompositionPlanner planner;
+};
+
+TEST_F(PlannerTest, HeadDurationMonotoneInFraction) {
+  const auto op = gemm_op(128, 7168, 7168);
+  sim::SimTime prev = 0;
+  for (int num = 1; num < 8; ++num) {
+    const auto d = planner.head_duration(op, num);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_LT(prev, op.kernel.solo_duration);
+}
+
+TEST_F(PlannerTest, MaxFittingReturnsLargestPiece) {
+  const auto op = gemm_op(128, 7168, 7168);
+  const auto d3 = planner.head_duration(op, 3);
+  const auto d4 = planner.head_duration(op, 4);
+  // A window between the 3/8 and 4/8 pieces must select 3.
+  const auto window = (d3 + d4) / 2;
+  EXPECT_EQ(planner.max_fitting(op, window, 1.0), 3);
+}
+
+TEST_F(PlannerTest, MaxFittingZeroWhenNothingFits) {
+  const auto op = gemm_op(128, 7168, 7168);
+  EXPECT_EQ(planner.max_fitting(op, sim::microseconds(1), 1.0), 0);
+}
+
+TEST_F(PlannerTest, MaxFittingWholeRangeWhenWindowHuge) {
+  const auto op = gemm_op(128, 7168, 7168);
+  EXPECT_EQ(planner.max_fitting(op, sim::seconds(1), 1.0), 7);
+}
+
+TEST_F(PlannerTest, ContentionScaleShrinksFit) {
+  const auto op = gemm_op(128, 7168, 7168);
+  const auto window = planner.head_duration(op, 4);
+  EXPECT_EQ(planner.max_fitting(op, window, 1.0), 4);
+  EXPECT_LT(planner.max_fitting(op, window, 1.5), 4);
+}
+
+TEST_F(PlannerTest, SplitGemmAnnotatesDurations) {
+  const auto op = gemm_op(128, 7168, 7168);
+  const auto [head, tail] = planner.split(op, 3);
+  EXPECT_GT(head.profiled_duration, 0);
+  EXPECT_GT(tail.profiled_duration, 0);
+  EXPECT_EQ(head.gemm.n + tail.gemm.n, op.gemm.n);
+  EXPECT_EQ(head.profiled_duration, head.kernel.solo_duration);
+}
+
+TEST_F(PlannerTest, SplitAllReduceAnnotatesDurations) {
+  const auto op = ar_op(8 << 20);
+  const auto [head, tail] = planner.split(op, 2);
+  EXPECT_EQ(head.comm_bytes, (8u << 20) / 4);
+  EXPECT_EQ(head.profiled_duration, table.op_duration(head));
+  EXPECT_EQ(head.comm_bytes + tail.comm_bytes, 8u << 20);
+}
+
+TEST_F(PlannerTest, CanSplitRules) {
+  EXPECT_TRUE(planner.can_split(gemm_op(128, 7168, 7168)));
+  EXPECT_FALSE(planner.can_split(gemm_op(128, 4, 7168)));  // n < factor
+  EXPECT_TRUE(planner.can_split(ar_op(1 << 20)));
+  model::OpTemplate ln;
+  ln.cls = model::OpClass::kLayerNorm;
+  EXPECT_FALSE(planner.can_split(ln));
+}
+
+TEST_F(PlannerTest, AllReducePieceDurationsFromCommunicator) {
+  const auto op = ar_op(8 << 20);
+  const auto head = planner.head_duration(op, 2);
+  EXPECT_EQ(head, comm.all_reduce_solo_time((8ull << 20) / 4, 4));
+}
+
+TEST_F(PlannerTest, CacheReturnsSameValue) {
+  const auto op = gemm_op(256, 5376, 7168);
+  EXPECT_EQ(planner.head_duration(op, 5), planner.head_duration(op, 5));
+}
+
+}  // namespace
+}  // namespace liger::profile

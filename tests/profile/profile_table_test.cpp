@@ -1,0 +1,92 @@
+#include "profile/profile_table.h"
+
+#include <gtest/gtest.h>
+
+#include "model/layer_builder.h"
+
+namespace liger::profile {
+namespace {
+
+class ProfileTableTest : public ::testing::Test {
+ protected:
+  ProfileTableTest()
+      : topology(interconnect::InterconnectSpec::nvlink_v100(), 4),
+        comm(engine, topology, gpu::GpuSpec::v100()),
+        table(comm, 4),
+        cost(gpu::GpuSpec::v100()),
+        builder(model::ModelZoo::opt_30b(), cost) {}
+
+  sim::Engine engine;
+  interconnect::Topology topology;
+  collective::Communicator comm;
+  ProfileTable table;
+  model::CostModel cost;
+  model::LayerBuilder builder;
+
+  model::ExecConfig cfg() {
+    model::ExecConfig c;
+    c.batch = 2;
+    c.seq = 64;
+    c.tp = 4;
+    return c;
+  }
+};
+
+TEST_F(ProfileTableTest, ComputeDurationsMatchCostModel) {
+  for (const auto& op : builder.layer_ops(cfg())) {
+    if (!op.is_comm()) {
+      EXPECT_EQ(table.op_duration(op), op.kernel.solo_duration);
+    }
+  }
+}
+
+TEST_F(ProfileTableTest, AllReduceDurationsMatchCommunicator) {
+  for (const auto& op : builder.layer_ops(cfg())) {
+    if (op.cls == model::OpClass::kAllReduce) {
+      EXPECT_EQ(table.op_duration(op), comm.all_reduce_solo_time(op.comm_bytes, 4));
+    }
+  }
+}
+
+TEST_F(ProfileTableTest, AnnotateFillsEveryOp) {
+  auto ops = builder.layer_ops(cfg());
+  table.annotate(ops);
+  for (const auto& op : ops) {
+    EXPECT_GT(op.profiled_duration, 0);
+    EXPECT_EQ(op.profiled_duration, table.op_duration(op));
+  }
+}
+
+TEST_F(ProfileTableTest, MemoizationIsConsistent) {
+  model::OpTemplate ar;
+  ar.cls = model::OpClass::kAllReduce;
+  ar.kind = gpu::KernelKind::kComm;
+  ar.kernel.kind = gpu::KernelKind::kComm;
+  ar.comm_bytes = 3 << 20;
+  const auto first = table.op_duration(ar);
+  const auto second = table.op_duration(ar);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, comm.all_reduce_solo_time(3 << 20, 4));
+}
+
+TEST_F(ProfileTableTest, P2pDuration) {
+  model::OpTemplate p2p;
+  p2p.cls = model::OpClass::kP2p;
+  p2p.kind = gpu::KernelKind::kComm;
+  p2p.kernel.kind = gpu::KernelKind::kComm;
+  p2p.comm_bytes = 1 << 20;
+  EXPECT_EQ(table.op_duration(p2p), comm.p2p_solo_time(1 << 20));
+}
+
+TEST_F(ProfileTableTest, MoreDevicesLongerAllReduce) {
+  ProfileTable table2(comm, 2);
+  model::OpTemplate ar;
+  ar.cls = model::OpClass::kAllReduce;
+  ar.kind = gpu::KernelKind::kComm;
+  ar.kernel.kind = gpu::KernelKind::kComm;
+  ar.comm_bytes = 8 << 20;
+  EXPECT_GT(table.op_duration(ar), table2.op_duration(ar));
+}
+
+}  // namespace
+}  // namespace liger::profile

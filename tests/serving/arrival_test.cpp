@@ -1,0 +1,68 @@
+#include "serving/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::serving {
+namespace {
+
+TEST(ArrivalTest, ConstantGapsAreExact) {
+  ConstantArrivals arr(20.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arr.next_gap(rng), sim::milliseconds(50));
+  }
+  EXPECT_DOUBLE_EQ(arr.rate(), 20.0);
+}
+
+TEST(ArrivalTest, PoissonMeanMatchesRate) {
+  PoissonArrivals arr(100.0);
+  util::Rng rng(7);
+  double total = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += sim::to_seconds(arr.next_gap(rng));
+  EXPECT_NEAR(total / n, 0.01, 0.0005);
+}
+
+TEST(ArrivalTest, PoissonGapsVary) {
+  PoissonArrivals arr(10.0);
+  util::Rng rng(3);
+  const auto first = arr.next_gap(rng);
+  bool varied = false;
+  for (int i = 0; i < 10; ++i) {
+    if (arr.next_gap(rng) != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(ArrivalTest, RampInterpolatesRates) {
+  RampArrivals arr(10.0, 20.0, 10);
+  util::Rng rng(1);
+  // First gap at the start rate.
+  EXPECT_EQ(arr.next_gap(rng), sim::milliseconds(100));
+  // Consume until past the ramp; plateau at the end rate.
+  for (int i = 0; i < 12; ++i) (void)arr.next_gap(rng);
+  EXPECT_EQ(arr.next_gap(rng), sim::milliseconds(50));
+  EXPECT_DOUBLE_EQ(arr.rate(), 20.0);
+}
+
+TEST(ArrivalTest, RampGapsShrinkMonotonically) {
+  RampArrivals arr(5.0, 50.0, 20);
+  util::Rng rng(1);
+  sim::SimTime prev = arr.next_gap(rng);
+  for (int i = 0; i < 20; ++i) {
+    const auto gap = arr.next_gap(rng);
+    EXPECT_LE(gap, prev);
+    prev = gap;
+  }
+}
+
+TEST(ArrivalTest, GapsNonNegative) {
+  PoissonArrivals arr(1000.0);
+  util::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(arr.next_gap(rng), 0);
+  }
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,105 @@
+#include "serving/config.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::serving {
+namespace {
+
+TEST(ConfigTest, DefaultsWhenEmpty) {
+  const auto cfg = config_from_json(util::parse_json("{}"));
+  EXPECT_EQ(cfg.method, Method::kLiger);
+  EXPECT_EQ(cfg.model.name, "opt-30b");
+  EXPECT_EQ(cfg.node.num_devices, 4);
+  EXPECT_EQ(cfg.workload.num_requests, 2000);  // WorkloadConfig default
+}
+
+TEST(ConfigTest, NodePresetAndOverrides) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "node": {
+      "preset": "a100", "devices": 8,
+      "gpu": { "sms": 132, "fp16_tflops": 495.0 },
+      "link": { "allreduce_busbw_gbps": 230.0, "kind": "nvlink" }
+    }
+  })"));
+  EXPECT_EQ(cfg.node.num_devices, 8);
+  EXPECT_EQ(cfg.node.gpu.sm_count, 132);
+  EXPECT_DOUBLE_EQ(cfg.node.gpu.fp16_flops, 495e12);
+  EXPECT_DOUBLE_EQ(cfg.node.link.allreduce_busbw, 230e9);
+  EXPECT_EQ(cfg.node.link.kind, interconnect::LinkKind::kNvLink);
+  // Unset fields keep the preset's values.
+  EXPECT_DOUBLE_EQ(cfg.node.gpu.mem_bandwidth, gpu::GpuSpec::a100().mem_bandwidth);
+}
+
+TEST(ConfigTest, ModelPresetWithLayerOverride) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "model": { "preset": "glm-130b", "layers": 10 }
+  })"));
+  EXPECT_EQ(cfg.model.layers, 10);
+  EXPECT_EQ(cfg.model.hidden, 12288);
+}
+
+TEST(ConfigTest, WorkloadAndLigerBlocks) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "method": "inter-th",
+    "rate": 7.5,
+    "poisson": true,
+    "workload": { "requests": 123, "batch": 8, "seq_min": 32, "seq_max": 64,
+                  "phase": "decode", "seed": 99 },
+    "liger": { "decomposition_factor": 16, "contention_factor": 1.25,
+               "sync": "cpu-gpu", "nccl_channels": 5 }
+  })"));
+  EXPECT_EQ(cfg.method, Method::kInterTh);
+  EXPECT_DOUBLE_EQ(cfg.rate, 7.5);
+  EXPECT_TRUE(cfg.poisson);
+  EXPECT_EQ(cfg.workload.num_requests, 123);
+  EXPECT_EQ(cfg.workload.batch_size, 8);
+  EXPECT_EQ(cfg.workload.phase, model::Phase::kDecode);
+  EXPECT_EQ(cfg.workload.seed, 99u);
+  EXPECT_EQ(cfg.liger.decomposition_factor, 16);
+  EXPECT_DOUBLE_EQ(cfg.liger.contention_factor, 1.25);
+  EXPECT_FALSE(cfg.profile_contention);  // explicit factor wins
+  EXPECT_EQ(cfg.liger.sync, core::SyncMode::kCpuGpuOnly);
+  EXPECT_EQ(cfg.liger.comm.max_nchannels, 5);
+}
+
+TEST(ConfigTest, ParseMethodSpellings) {
+  EXPECT_EQ(parse_method("Liger"), Method::kLiger);
+  EXPECT_EQ(parse_method("intra-op"), Method::kIntraOp);
+  EXPECT_EQ(parse_method("INTRA"), Method::kIntraOp);
+  EXPECT_EQ(parse_method("inter-op"), Method::kInterOp);
+  EXPECT_EQ(parse_method("inter-th"), Method::kInterTh);
+  EXPECT_EQ(parse_method("liger-cpusync"), Method::kLigerCpuSync);
+  EXPECT_THROW(parse_method("magic"), std::invalid_argument);
+}
+
+TEST(ConfigTest, UnknownModelPresetThrows) {
+  EXPECT_THROW(config_from_json(util::parse_json(R"({"model":{"preset":"gpt-9"}})")),
+               std::invalid_argument);
+}
+
+TEST(ConfigTest, UnknownPhaseThrows) {
+  EXPECT_THROW(
+      config_from_json(util::parse_json(R"({"workload":{"phase":"training"}})")),
+      std::invalid_argument);
+}
+
+TEST(ConfigTest, BundledConfigsParseAndRun) {
+  // The checked-in example configs must stay valid.
+  for (const char* path : {"../configs/fig10_panel_a.json", "configs/fig10_panel_a.json",
+                           "../../configs/fig10_panel_a.json"}) {
+    try {
+      auto cfg = config_from_file(path);
+      cfg.workload.num_requests = 5;  // keep the test fast
+      cfg.model = cfg.model.with_layers(4);
+      const auto rep = run_experiment(cfg);
+      EXPECT_EQ(rep.completed, 5u);
+      return;
+    } catch (const std::runtime_error&) {
+      continue;  // wrong relative path; try the next candidate
+    }
+  }
+  GTEST_SKIP() << "configs/ not reachable from test cwd";
+}
+
+}  // namespace
+}  // namespace liger::serving

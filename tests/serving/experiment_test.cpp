@@ -1,0 +1,98 @@
+#include "serving/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::serving {
+namespace {
+
+TEST(ExperimentTest, MethodNamesAreStable) {
+  EXPECT_STREQ(method_name(Method::kLiger), "Liger");
+  EXPECT_STREQ(method_name(Method::kIntraOp), "Intra-Op");
+  EXPECT_STREQ(method_name(Method::kInterOp), "Inter-Op");
+  EXPECT_STREQ(method_name(Method::kInterTh), "Inter-Th");
+  EXPECT_STREQ(method_name(Method::kLigerCpuSync), "Liger-CpuSync");
+  EXPECT_EQ(all_methods().size(), 4u);
+}
+
+TEST(ExperimentTest, ModelFitsMemoryCuts) {
+  // The paper's feasibility constraints (§4.2): on the 16GB V100 node
+  // only OPT-30B fits; the 80GB A100 node hosts all Table 1 models.
+  const auto v100 = gpu::NodeSpec::v100_nvlink(4);
+  const auto a100 = gpu::NodeSpec::a100_pcie(4);
+  EXPECT_TRUE(model_fits(v100, model::ModelZoo::opt_30b(), Method::kLiger));
+  EXPECT_FALSE(model_fits(v100, model::ModelZoo::opt_66b(), Method::kLiger));
+  EXPECT_FALSE(model_fits(v100, model::ModelZoo::glm_130b(), Method::kIntraOp));
+  for (Method m : all_methods()) {
+    EXPECT_TRUE(model_fits(a100, model::ModelZoo::glm_130b(), m));
+  }
+}
+
+TEST(ExperimentTest, ContentionFactorInPaperBallpark) {
+  const double v100 = profiled_contention_factor(
+      gpu::NodeSpec::v100_nvlink(4), model::ModelZoo::opt_30b(),
+      collective::CommConfig::liger_tuned());
+  const double a100 = profiled_contention_factor(
+      gpu::NodeSpec::a100_pcie(4), model::ModelZoo::opt_30b(),
+      collective::CommConfig::liger_tuned());
+  // Paper uses 1.1 / 1.15; ours must be mild, >= 1 and < 1.5.
+  EXPECT_GE(v100, 1.0);
+  EXPECT_LT(v100, 1.5);
+  EXPECT_GE(a100, 1.0);
+  EXPECT_LT(a100, 1.5);
+}
+
+TEST(ExperimentTest, IsolatedIntraBatchTimePositiveAndScales) {
+  const auto node = gpu::NodeSpec::v100_nvlink(4);
+  const auto t_small = isolated_intra_batch_time(node, model::ModelZoo::opt_30b(), 2, 32,
+                                                 model::Phase::kPrefill);
+  const auto t_big = isolated_intra_batch_time(node, model::ModelZoo::opt_30b(), 8, 128,
+                                               model::Phase::kPrefill);
+  EXPECT_GT(t_small, 0);
+  EXPECT_GT(t_big, t_small);
+}
+
+TEST(ExperimentTest, DetailedOutputsIncludeLigerStats) {
+  ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.model = model::ModelZoo::tiny_test();
+  cfg.method = Method::kLiger;
+  cfg.rate = 100.0;
+  cfg.workload.num_requests = 20;
+  cfg.profile_contention = false;
+  const auto out = run_experiment_detailed(cfg);
+  EXPECT_EQ(out.report.completed, 20u);
+  EXPECT_GT(out.liger.rounds, 0u);
+}
+
+TEST(ExperimentTest, DeviceUtilizationReported) {
+  ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b().with_layers(6);
+  cfg.method = Method::kIntraOp;
+  cfg.rate = 40.0;
+  cfg.workload.num_requests = 20;
+  const auto out = run_experiment_detailed(cfg);
+  ASSERT_EQ(out.device_busy_frac.size(), 4u);
+  for (int d = 0; d < 4; ++d) {
+    // Offered load is ~25% of this 6-layer model's saturation rate.
+    EXPECT_GT(out.device_busy_frac[static_cast<std::size_t>(d)], 0.15);
+    EXPECT_LE(out.device_busy_frac[static_cast<std::size_t>(d)], 1.0);
+    EXPECT_GT(out.device_comm_frac[static_cast<std::size_t>(d)], 0.0);
+    EXPECT_LT(out.device_comm_frac[static_cast<std::size_t>(d)],
+              out.device_busy_frac[static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST(ExperimentTest, BaselineMethodsHaveNoLigerStats) {
+  ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.model = model::ModelZoo::tiny_test();
+  cfg.method = Method::kIntraOp;
+  cfg.rate = 100.0;
+  cfg.workload.num_requests = 10;
+  const auto out = run_experiment_detailed(cfg);
+  EXPECT_EQ(out.liger.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,97 @@
+#include "serving/generative.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/intra_op_runtime.h"
+#include "core/liger_runtime.h"
+#include "gpu/node.h"
+#include "model/model_spec.h"
+
+namespace liger::serving {
+namespace {
+
+TEST(KvCacheBytesTest, Formula) {
+  // 2 (K+V) * layers * batch * heads/tp * head_dim * ctx * 2 bytes.
+  model::ModelSpec m{"x", 4, 8, 64};  // head_dim 8
+  EXPECT_EQ(kv_cache_bytes(m, 2, 10, 2), 2ull * 4 * 2 * 4 * 8 * 10 * 2);
+}
+
+TEST(KvCacheBytesTest, GrowsLinearlyWithContext) {
+  const auto m = model::ModelZoo::opt_30b();
+  EXPECT_EQ(kv_cache_bytes(m, 32, 200, 4), 2 * kv_cache_bytes(m, 32, 100, 4));
+}
+
+class GenerativeDriverTest : public ::testing::Test {
+ protected:
+  GenerativeResult run_liger(GenerativeConfig cfg) {
+    sim::Engine engine;
+    gpu::Node node(engine, gpu::NodeSpec::a100_pcie(4));
+    core::LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(6));
+    GenerativeDriver driver(engine, runtime, model::ModelZoo::opt_30b().with_layers(6), 4,
+                            cfg);
+    return driver.run();
+  }
+};
+
+TEST_F(GenerativeDriverTest, GeneratesAllTokens) {
+  GenerativeConfig cfg;
+  cfg.conversations = 2;
+  cfg.tokens = 6;
+  cfg.batch_size = 8;
+  const auto r = run_liger(cfg);
+  EXPECT_GT(r.prefill_ms_avg, 0.0);
+  EXPECT_GT(r.decode_ms_avg, 0.0);
+  EXPECT_GT(r.tokens_per_second, 0.0);
+  // 12 tokens total over the makespan.
+  EXPECT_NEAR(r.tokens_per_second, 12.0 / sim::to_seconds(r.makespan), 1e-6);
+}
+
+TEST_F(GenerativeDriverTest, KvCachePeakCoversAllConversationsAtFinalContext) {
+  GenerativeConfig cfg;
+  cfg.conversations = 3;
+  cfg.prompt_len = 16;
+  cfg.tokens = 5;
+  cfg.batch_size = 8;
+  const auto r = run_liger(cfg);
+  const auto spec = model::ModelZoo::opt_30b().with_layers(6);
+  const auto min_expected = 3 * kv_cache_bytes(spec, 8, 16, 4);
+  const auto max_expected = 3 * kv_cache_bytes(spec, 8, 16 + 5, 4);
+  EXPECT_GE(r.peak_kv_bytes_per_device, min_expected);
+  EXPECT_LE(r.peak_kv_bytes_per_device, max_expected);
+}
+
+TEST_F(GenerativeDriverTest, MoreConversationsRaiseAggregateTokRate) {
+  GenerativeConfig one;
+  one.conversations = 1;
+  one.tokens = 8;
+  one.batch_size = 8;
+  GenerativeConfig four = one;
+  four.conversations = 4;
+  const auto r1 = run_liger(one);
+  const auto r4 = run_liger(four);
+  EXPECT_GT(r4.tokens_per_second, r1.tokens_per_second);
+}
+
+TEST_F(GenerativeDriverTest, LigerBeatsIntraOpOnConcurrentConversations) {
+  GenerativeConfig cfg;
+  cfg.conversations = 3;
+  cfg.tokens = 8;
+  cfg.batch_size = 32;
+
+  sim::Engine e1;
+  gpu::Node n1(e1, gpu::NodeSpec::a100_pcie(4));
+  core::LigerRuntime liger(n1, model::ModelZoo::opt_30b().with_layers(6));
+  GenerativeDriver d1(e1, liger, model::ModelZoo::opt_30b().with_layers(6), 4, cfg);
+  const auto liger_result = d1.run();
+
+  sim::Engine e2;
+  gpu::Node n2(e2, gpu::NodeSpec::a100_pcie(4));
+  baselines::IntraOpRuntime intra(n2, model::ModelZoo::opt_30b().with_layers(6));
+  GenerativeDriver d2(e2, intra, model::ModelZoo::opt_30b().with_layers(6), 4, cfg);
+  const auto intra_result = d2.run();
+
+  EXPECT_GT(liger_result.tokens_per_second, intra_result.tokens_per_second);
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,88 @@
+#include "serving/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::serving {
+namespace {
+
+model::BatchRequest req(int id, sim::SimTime arrival, int batch = 2) {
+  model::BatchRequest r;
+  r.id = id;
+  r.batch_size = batch;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(MetricsTest, LatencyIsCompletionMinusArrival) {
+  MetricsCollector m;
+  auto r = req(0, sim::milliseconds(10));
+  m.on_arrival(r);
+  m.on_complete(r, sim::milliseconds(35));
+  const auto rep = m.report(1.0);
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_DOUBLE_EQ(rep.avg_latency_ms, 25.0);
+}
+
+TEST(MetricsTest, LatencyIncludesPendingTime) {
+  // A request that waits in the queue accrues pending time, which is
+  // part of latency (§4.1 metric definition).
+  MetricsCollector m;
+  auto r = req(0, 0);
+  m.on_arrival(r);
+  m.on_complete(r, sim::milliseconds(100));  // 80ms pending + 20ms exec, say
+  EXPECT_DOUBLE_EQ(m.report(1.0).avg_latency_ms, 100.0);
+}
+
+TEST(MetricsTest, ThroughputOverServingSpan) {
+  MetricsCollector m;
+  for (int i = 0; i < 10; ++i) {
+    auto r = req(i, sim::milliseconds(100) * i, 4);
+    m.on_arrival(r);
+    m.on_complete(r, sim::milliseconds(100) * i + sim::milliseconds(50));
+  }
+  // First arrival t=0, last completion t=950ms -> 10 batches / 0.95s.
+  const auto rep = m.report(10.0);
+  EXPECT_NEAR(rep.throughput_bps, 10.0 / 0.95, 1e-9);
+  EXPECT_NEAR(rep.throughput_rps, 40.0 / 0.95, 1e-9);
+}
+
+TEST(MetricsTest, QuantilesFromLatencySamples) {
+  MetricsCollector m;
+  for (int i = 1; i <= 100; ++i) {
+    auto r = req(i, 0);
+    m.on_arrival(r);
+    m.on_complete(r, sim::milliseconds(i));
+  }
+  const auto rep = m.report(1.0);
+  EXPECT_NEAR(rep.p50_latency_ms, 50.5, 0.1);
+  EXPECT_NEAR(rep.p99_latency_ms, 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(rep.max_latency_ms, 100.0);
+}
+
+TEST(MetricsTest, SaturationDetection) {
+  Report rep;
+  rep.offered_rate = 10.0;
+  rep.throughput_bps = 9.8;
+  EXPECT_FALSE(rep.saturated());
+  rep.throughput_bps = 7.0;
+  EXPECT_TRUE(rep.saturated());
+}
+
+TEST(MetricsTest, EmptyReportIsZeroed) {
+  MetricsCollector m;
+  const auto rep = m.report(5.0);
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_DOUBLE_EQ(rep.avg_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(rep.throughput_bps, 0.0);
+}
+
+TEST(MetricsTest, ArrivalsTrackedSeparately) {
+  MetricsCollector m;
+  m.on_arrival(req(0, 0));
+  m.on_arrival(req(1, 10));
+  EXPECT_EQ(m.arrivals(), 2u);
+  EXPECT_EQ(m.completions(), 0u);
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,134 @@
+#include "serving/server.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/intra_op_runtime.h"
+#include "gpu/node.h"
+#include "model/model_spec.h"
+#include "serving/config.h"
+
+namespace liger::serving {
+namespace {
+
+struct ServerFixture {
+  sim::Engine engine;
+  gpu::Node node;
+  baselines::IntraOpRuntime runtime;
+
+  ServerFixture()
+      : node(engine, gpu::NodeSpec::test_node(2)),
+        runtime(node, model::ModelZoo::tiny_test()) {}
+};
+
+TEST(ServerTest, ServesAllRequests) {
+  ServerFixture f;
+  WorkloadConfig w;
+  w.num_requests = 25;
+  w.batch_size = 2;
+  Server server(f.engine, f.runtime, w);
+  ConstantArrivals arrivals(100.0);
+  const Report rep = server.run(arrivals);
+  EXPECT_EQ(rep.completed, 25u);
+  EXPECT_EQ(server.metrics().arrivals(), 25u);
+}
+
+TEST(ServerTest, SequenceLengthsWithinConfiguredRange) {
+  ServerFixture f;
+  WorkloadConfig w;
+  w.num_requests = 50;
+  w.seq_min = 16;
+  w.seq_max = 128;
+  int out_of_range = 0;
+  f.runtime.set_completion_hook([&](const model::BatchRequest& r, sim::SimTime) {
+    if (r.seq < 16 || r.seq > 128) ++out_of_range;
+  });
+  Server server(f.engine, f.runtime, w);
+  ConstantArrivals arrivals(200.0);
+  server.run(arrivals);
+  EXPECT_EQ(out_of_range, 0);
+}
+
+TEST(ServerTest, SeedControlsWorkload) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    ServerFixture f;
+    WorkloadConfig w;
+    w.num_requests = 20;
+    w.seed = seed;
+    Server server(f.engine, f.runtime, w);
+    ConstantArrivals arrivals(100.0);
+    return server.run(arrivals).avg_latency_ms;
+  };
+  EXPECT_DOUBLE_EQ(run_with_seed(1), run_with_seed(1));
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+TEST(ServerTest, PoissonArrivalsServeToo) {
+  ServerFixture f;
+  WorkloadConfig w;
+  w.num_requests = 25;
+  Server server(f.engine, f.runtime, w);
+  PoissonArrivals arrivals(100.0);
+  const Report rep = server.run(arrivals);
+  EXPECT_EQ(rep.completed, 25u);
+}
+
+TEST(ServerTest, TraceReplaySubmitsAtRecordedTimes) {
+  ServerFixture f;
+  WorkloadConfig w;
+  w.num_requests = 3;  // ignored by run_trace
+  Server server(f.engine, f.runtime, w);
+  std::vector<model::BatchRequest> trace;
+  for (int i = 0; i < 3; ++i) {
+    model::BatchRequest r;
+    r.id = i;
+    r.batch_size = 2;
+    r.seq = 32;
+    r.arrival = sim::milliseconds(5) * i;
+    trace.push_back(r);
+  }
+  const auto rep = server.run_trace(trace);
+  EXPECT_EQ(rep.completed, 3u);
+  // Arrivals are 5 ms apart and each tiny batch finishes well within
+  // the gap, so the last completion lands just after t=10 ms.
+  EXPECT_GE(rep.makespan, sim::milliseconds(10));
+  EXPECT_LT(rep.makespan, sim::milliseconds(12));
+  // Offered rate derived from the trace span: 2 gaps over 10 ms.
+  EXPECT_NEAR(rep.offered_rate, 200.0, 1e-6);
+}
+
+TEST(ServerTest, TraceFromJsonRoundTrip) {
+  const auto trace = trace_from_json(util::parse_json(R"([
+    {"t_ms": 0.0, "batch": 2, "seq": 64},
+    {"t_ms": 12.5, "batch": 4, "seq": 16, "phase": "decode"}
+  ])"));
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].arrival, 0);
+  EXPECT_EQ(trace[1].arrival, sim::from_us(12500.0));
+  EXPECT_EQ(trace[1].batch_size, 4);
+  EXPECT_EQ(trace[1].phase, model::Phase::kDecode);
+  EXPECT_EQ(trace[1].id, 1);
+}
+
+TEST(ServerTest, UnsortedTraceRejected) {
+  EXPECT_THROW(trace_from_json(util::parse_json(R"([
+    {"t_ms": 10.0}, {"t_ms": 5.0}
+  ])")),
+               std::invalid_argument);
+}
+
+TEST(ServerTest, LowRateLatencyIndependentOfRate) {
+  auto latency_at = [](double rate) {
+    ServerFixture f;
+    WorkloadConfig w;
+    w.num_requests = 10;
+    w.seq_min = w.seq_max = 32;
+    Server server(f.engine, f.runtime, w);
+    ConstantArrivals arrivals(rate);
+    return server.run(arrivals).avg_latency_ms;
+  };
+  // Both rates are far below saturation: no queueing either way.
+  EXPECT_NEAR(latency_at(5.0), latency_at(10.0), 0.01);
+}
+
+}  // namespace
+}  // namespace liger::serving

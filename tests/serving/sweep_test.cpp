@@ -1,0 +1,57 @@
+#include "serving/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+
+namespace liger::serving {
+namespace {
+
+ExperimentConfig tiny(Method m, double rate) {
+  ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.model = model::ModelZoo::tiny_test();
+  cfg.method = m;
+  cfg.rate = rate;
+  cfg.workload.num_requests = 15;
+  cfg.profile_contention = false;
+  return cfg;
+}
+
+TEST(SweepTest, ReportsInInputOrder) {
+  std::vector<ExperimentConfig> configs{
+      tiny(Method::kLiger, 50.0),
+      tiny(Method::kIntraOp, 50.0),
+      tiny(Method::kInterOp, 80.0),
+  };
+  const auto reports = run_parallel(configs, 2);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_DOUBLE_EQ(reports[0].offered_rate, 50.0);
+  EXPECT_DOUBLE_EQ(reports[2].offered_rate, 80.0);
+  for (const auto& r : reports) EXPECT_EQ(r.completed, 15u);
+}
+
+TEST(SweepTest, ParallelMatchesSerialBitForBit) {
+  std::vector<ExperimentConfig> configs;
+  for (double rate : {30.0, 60.0, 90.0, 120.0}) configs.push_back(tiny(Method::kLiger, rate));
+
+  const auto parallel = run_parallel(configs, 4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto serial = run_experiment(configs[i]);
+    EXPECT_DOUBLE_EQ(parallel[i].avg_latency_ms, serial.avg_latency_ms) << i;
+    EXPECT_EQ(parallel[i].makespan, serial.makespan) << i;
+  }
+}
+
+TEST(SweepTest, EmptySweep) {
+  EXPECT_TRUE(run_parallel({}, 2).empty());
+}
+
+TEST(SweepTest, SingleThreadWorks) {
+  const auto reports = run_parallel({tiny(Method::kLiger, 40.0)}, 1);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].completed, 15u);
+}
+
+}  // namespace
+}  // namespace liger::serving

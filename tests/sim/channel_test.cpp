@@ -1,0 +1,147 @@
+#include "sim/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace liger::sim {
+namespace {
+
+Task consume_n(Engine& e, Channel<int>& ch, int n, std::vector<std::pair<SimTime, int>>& log) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await ch.pop();
+    log.emplace_back(e.now(), v);
+  }
+}
+
+TEST(ChannelTest, PopWaitsForPush) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::pair<SimTime, int>> log;
+  consume_n(e, ch, 1, log);
+  e.schedule_at(100, [&] { ch.push(7); });
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 100);
+  EXPECT_EQ(log[0].second, 7);
+}
+
+TEST(ChannelTest, PopReadyWhenItemQueued) {
+  Engine e;
+  Channel<int> ch(e);
+  ch.push(1);
+  ch.push(2);
+  std::vector<std::pair<SimTime, int>> log;
+  consume_n(e, ch, 2, log);
+  // Both pops complete synchronously at time 0.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].second, 1);
+  EXPECT_EQ(log[1].second, 2);
+  e.run();
+}
+
+TEST(ChannelTest, FifoOrderAcrossWaits) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::pair<SimTime, int>> log;
+  consume_n(e, ch, 3, log);
+  e.schedule_at(10, [&] { ch.push(1); });
+  e.schedule_at(20, [&] { ch.push(2); });
+  e.schedule_at(30, [&] { ch.push(3); });
+  e.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<SimTime, int>{10, 1}));
+  EXPECT_EQ(log[1], (std::pair<SimTime, int>{20, 2}));
+  EXPECT_EQ(log[2], (std::pair<SimTime, int>{30, 3}));
+}
+
+TEST(ChannelTest, TwoConsumersServedFifo) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::pair<SimTime, int>> log_a, log_b;
+  consume_n(e, ch, 1, log_a);  // waits first
+  consume_n(e, ch, 1, log_b);  // waits second
+  e.schedule_at(5, [&] { ch.push(10); });
+  e.schedule_at(6, [&] { ch.push(20); });
+  e.run();
+  ASSERT_EQ(log_a.size(), 1u);
+  ASSERT_EQ(log_b.size(), 1u);
+  EXPECT_EQ(log_a[0].second, 10);
+  EXPECT_EQ(log_b[0].second, 20);
+}
+
+TEST(ChannelTest, ReadyPathCannotStealReservedItem) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::pair<SimTime, int>> waiter_log;
+  consume_n(e, ch, 1, waiter_log);  // suspends, will be resumed by push
+
+  bool late_got = false;
+  int late_val = -1;
+  e.schedule_at(10, [&] {
+    ch.push(42);  // reserves the item for the suspended waiter
+    // A try_pop at the same instant must not steal it.
+    late_got = ch.try_pop(late_val);
+  });
+  e.run();
+  EXPECT_FALSE(late_got);
+  ASSERT_EQ(waiter_log.size(), 1u);
+  EXPECT_EQ(waiter_log[0].second, 42);
+}
+
+Task ping_pong(Engine& e, Channel<int>& in, Channel<int>& out, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    int v = co_await in.pop();
+    out.push(v + 1);
+  }
+  (void)e;
+}
+
+TEST(ChannelTest, PingPongBetweenTwoTasks) {
+  Engine e;
+  Channel<int> a(e), b(e);
+  ping_pong(e, a, b, 3);
+  std::vector<std::pair<SimTime, int>> results;
+  consume_n(e, b, 3, results);
+  a.push(0);
+  e.run_until(1);
+  a.push(10);
+  a.push(20);
+  e.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].second, 1);
+  EXPECT_EQ(results[1].second, 11);
+  EXPECT_EQ(results[2].second, 21);
+}
+
+TEST(ChannelTest, TryPopOnEmpty) {
+  Engine e;
+  Channel<int> ch(e);
+  int v = -1;
+  EXPECT_FALSE(ch.try_pop(v));
+  ch.push(3);
+  EXPECT_TRUE(ch.try_pop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(ch.try_pop(v));
+}
+
+TEST(ChannelTest, SizeAndWaiterCount) {
+  Engine e;
+  Channel<int> ch(e);
+  EXPECT_TRUE(ch.empty());
+  ch.push(1);
+  EXPECT_EQ(ch.size(), 1u);
+  std::vector<std::pair<SimTime, int>> log;
+  consume_n(e, ch, 2, log);  // consumes one, waits for another
+  e.run_until(1);
+  EXPECT_EQ(ch.waiter_count(), 1u);
+  ch.push(2);
+  e.run();
+  EXPECT_EQ(ch.waiter_count(), 0u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+}  // namespace
+}  // namespace liger::sim

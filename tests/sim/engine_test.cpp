@@ -1,0 +1,142 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace liger::sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(EngineTest, FifoTieBreakAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, ScheduleAfterIsRelative) {
+  Engine e;
+  SimTime observed = -1;
+  e.schedule_at(50, [&] {
+    e.schedule_after(25, [&] { observed = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(observed, 75);
+}
+
+TEST(EngineTest, CancelPendingEvent) {
+  Engine e;
+  bool ran = false;
+  auto id = e.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, CancelTwiceReturnsFalse) {
+  Engine e;
+  auto id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(EngineTest, CancelInvalidIdIsNoop) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(Engine::EventId{}));
+}
+
+TEST(EngineTest, CancelExecutedEventReturnsFalse) {
+  Engine e;
+  auto id = e.schedule_at(5, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(EngineTest, StepExecutesExactlyOne) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1, [&] { ++count; });
+  e.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryInclusive) {
+  Engine e;
+  std::vector<SimTime> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(21, [&] { fired.push_back(21); });
+  e.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int depth = 0;
+  e.schedule_at(1, [&] {
+    ++depth;
+    e.schedule_after(1, [&] { ++depth; });
+  });
+  e.run();
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(EngineTest, ZeroDelayRunsAtSameTimeAfterCurrent) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] {
+    order.push_back(1);
+    e.schedule_after(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 5);
+}
+
+TEST(EngineTest, ProcessedCounter) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+}
+
+TEST(TimeTest, Conversions) {
+  using namespace literals;
+  EXPECT_EQ(5_us, 5000);
+  EXPECT_EQ(2_ms, 2000000);
+  EXPECT_EQ(1_s, 1000000000);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2500000), 2.5);
+  EXPECT_EQ(from_seconds(1.5), 1500000000);
+  EXPECT_EQ(from_us(2.0), 2000);
+}
+
+}  // namespace
+}  // namespace liger::sim

@@ -1,0 +1,171 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/condition.h"
+#include "sim/engine.h"
+
+namespace liger::sim {
+namespace {
+
+Task simple_delays(Engine& e, std::vector<SimTime>& log) {
+  log.push_back(e.now());
+  co_await delay(e, 100);
+  log.push_back(e.now());
+  co_await delay(e, 50);
+  log.push_back(e.now());
+}
+
+TEST(TaskTest, DelaysAdvanceTime) {
+  Engine e;
+  std::vector<SimTime> log;
+  simple_delays(e, log);
+  e.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{0, 100, 150}));
+  EXPECT_EQ(Task::live_count(), 0);
+}
+
+TEST(TaskTest, RunsEagerlyUntilFirstAwait) {
+  Engine e;
+  bool started = false;
+  [](Engine& e, bool& started) -> Task {
+    started = true;
+    co_await delay(e, 10);
+  }(e, started);
+  EXPECT_TRUE(started);  // before e.run()
+  EXPECT_EQ(Task::live_count(), 1);
+  e.run();
+  EXPECT_EQ(Task::live_count(), 0);
+}
+
+TEST(TaskTest, ZeroDelayDoesNotSuspend) {
+  Engine e;
+  bool done = false;
+  [](Engine& e, bool& done) -> Task {
+    co_await delay(e, 0);
+    done = true;
+  }(e, done);
+  EXPECT_TRUE(done);
+}
+
+Task waiter(Engine& e, Condition& c, std::vector<SimTime>& log) {
+  co_await c;
+  log.push_back(e.now());
+}
+
+TEST(ConditionTest, WakesAllWaitersAtFireTime) {
+  Engine e;
+  Condition c(e);
+  std::vector<SimTime> log;
+  waiter(e, c, log);
+  waiter(e, c, log);
+  e.schedule_at(500, [&] { c.fire(); });
+  e.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{500, 500}));
+  EXPECT_TRUE(c.fired());
+  EXPECT_EQ(c.fire_time(), 500);
+}
+
+TEST(ConditionTest, AwaitAfterFireProceedsImmediately) {
+  Engine e;
+  Condition c(e);
+  c.fire();
+  std::vector<SimTime> log;
+  e.schedule_at(77, [&] { waiter(e, c, log); });
+  e.run();
+  EXPECT_EQ(log, (std::vector<SimTime>{77}));
+}
+
+TEST(ConditionTest, FireIsIdempotent) {
+  Engine e;
+  Condition c(e);
+  c.fire();
+  SimTime first = c.fire_time();
+  e.run_until(10);
+  c.fire();
+  EXPECT_EQ(c.fire_time(), first);
+}
+
+TEST(ConditionTest, OnFireCallbackRuns) {
+  Engine e;
+  Condition c(e);
+  int calls = 0;
+  c.on_fire([&] { ++calls; });
+  e.schedule_at(10, [&] { c.fire(); });
+  e.run();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ConditionTest, OnFireAfterFiredRunsViaQueue) {
+  Engine e;
+  Condition c(e);
+  c.fire();
+  int calls = 0;
+  c.on_fire([&] { ++calls; });
+  EXPECT_EQ(calls, 0);  // deferred through the event queue
+  e.run();
+  EXPECT_EQ(calls, 1);
+}
+
+Task timed_waiter(Engine& e, Condition& c, SimTime overhead, SimTime& resumed_at) {
+  co_await wait_with_overhead(e, c, overhead);
+  resumed_at = e.now();
+}
+
+TEST(TimedConditionAwaiterTest, AddsOverheadAfterFire) {
+  Engine e;
+  Condition c(e);
+  SimTime resumed_at = -1;
+  timed_waiter(e, c, 3000, resumed_at);
+  e.schedule_at(100, [&] { c.fire(); });
+  e.run();
+  EXPECT_EQ(resumed_at, 3100);
+}
+
+TEST(TimedConditionAwaiterTest, AlreadyFiredStillPaysOverhead) {
+  Engine e;
+  Condition c(e);
+  c.fire();
+  SimTime resumed_at = -1;
+  e.schedule_at(50, [&] { timed_waiter(e, c, 2000, resumed_at); });
+  e.run();
+  EXPECT_EQ(resumed_at, 2050);
+}
+
+Task chained(Engine&, Condition& a, Condition& b, std::vector<int>& log) {
+  co_await a;
+  log.push_back(1);
+  co_await b;
+  log.push_back(2);
+}
+
+TEST(ConditionTest, OnFireCallbackMayRegisterAnother) {
+  Engine e;
+  Condition c(e);
+  int order = 0;
+  int first_at = 0, second_at = 0;
+  c.on_fire([&] {
+    first_at = ++order;
+    c.on_fire([&] { second_at = ++order; });  // registered after fire
+  });
+  e.schedule_at(10, [&] { c.fire(); });
+  e.run();
+  EXPECT_EQ(first_at, 1);
+  EXPECT_EQ(second_at, 2);
+}
+
+TEST(TaskTest, SequentialConditionAwaits) {
+  Engine e;
+  Condition a(e), b(e);
+  std::vector<int> log;
+  chained(e, a, b, log);
+  e.schedule_at(10, [&] { b.fire(); });  // firing b first must not resume
+  e.schedule_at(20, [&] { a.fire(); });
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace liger::sim

@@ -1,0 +1,77 @@
+#include "trace/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace liger::trace {
+namespace {
+
+gpu::KernelTraceRecord rec(int device, gpu::KernelKind kind, sim::SimTime start,
+                           sim::SimTime end, const char* name = "k") {
+  gpu::KernelTraceRecord r;
+  r.device = device;
+  r.kind = kind;
+  r.start = start;
+  r.end = end;
+  r.name = name;
+  return r;
+}
+
+TEST(ChromeTraceTest, BusyTimeUnionsOverlappingIntervals) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 0, 100));
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 50, 150));   // overlaps
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 200, 250));  // disjoint
+  EXPECT_EQ(sink.busy_time(0, gpu::KernelKind::kCompute), 200);
+}
+
+TEST(ChromeTraceTest, BusyTimeSeparatesDevicesAndKinds) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 0, 100));
+  sink.on_kernel(rec(1, gpu::KernelKind::kCompute, 0, 70));
+  sink.on_kernel(rec(0, gpu::KernelKind::kComm, 30, 60));
+  EXPECT_EQ(sink.busy_time(0, gpu::KernelKind::kCompute), 100);
+  EXPECT_EQ(sink.busy_time(1, gpu::KernelKind::kCompute), 70);
+  EXPECT_EQ(sink.busy_time(0, gpu::KernelKind::kComm), 30);
+  EXPECT_EQ(sink.busy_time(1, gpu::KernelKind::kComm), 0);
+}
+
+TEST(ChromeTraceTest, OverlapTimeComputesIntersection) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 0, 100));
+  sink.on_kernel(rec(0, gpu::KernelKind::kComm, 60, 140));
+  EXPECT_EQ(sink.overlap_time(0), 40);  // [60, 100)
+}
+
+TEST(ChromeTraceTest, NoOverlapWhenDisjoint) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 0, 50));
+  sink.on_kernel(rec(0, gpu::KernelKind::kComm, 50, 90));
+  EXPECT_EQ(sink.overlap_time(0), 0);
+}
+
+TEST(ChromeTraceTest, JsonContainsTraceEvents) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(2, gpu::KernelKind::kComm, 1000, 3000, "allreduce"));
+  std::ostringstream out;
+  sink.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ChromeTraceTest, ClearResets) {
+  ChromeTraceSink sink;
+  sink.on_kernel(rec(0, gpu::KernelKind::kCompute, 0, 10));
+  sink.clear();
+  EXPECT_TRUE(sink.records().empty());
+  EXPECT_EQ(sink.busy_time(0, gpu::KernelKind::kCompute), 0);
+}
+
+}  // namespace
+}  // namespace liger::trace

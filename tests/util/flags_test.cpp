@@ -1,0 +1,70 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto f = make({"--model=opt-30b", "--devices=4"});
+  EXPECT_EQ(f.get_string("model", ""), "opt-30b");
+  EXPECT_EQ(f.get_int("devices", 0), 4);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto f = make({"--rate", "3.5", "--name", "hello"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 3.5);
+  EXPECT_EQ(f.get_string("name", ""), "hello");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  auto f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("quiet"));
+}
+
+TEST(FlagsTest, Defaults) {
+  auto f = make({});
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(FlagsTest, BoolParsing) {
+  auto f = make({"--a=true", "--b=1", "--c=false", "--d=off"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_FALSE(f.get_bool("c", true));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(FlagsTest, Positional) {
+  auto f = make({"input.txt", "--k=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, UnusedDetectsTypos) {
+  auto f = make({"--devcies=4", "--model=x"});
+  EXPECT_EQ(f.get_string("model", ""), "x");
+  auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "devcies");
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  auto f = make({"--offset=-12"});
+  EXPECT_EQ(f.get_int("offset", 0), -12);
+}
+
+}  // namespace
+}  // namespace liger::util

@@ -1,0 +1,99 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace liger::util {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_object();
+    w.kv("name", "liger");
+    w.kv("devices", 4);
+    w.kv("rate", 2.5);
+    w.kv("ok", true);
+    w.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"name":"liger","devices":4,"rate":2.5,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("xs");
+    w.begin_array();
+    w.value(1);
+    w.value(2);
+    w.end_array();
+    w.key("inner");
+    w.begin_object();
+    w.kv("a", 1);
+    w.end_object();
+    w.end_object();
+  }
+  EXPECT_EQ(out.str(), R"({"xs":[1,2],"inner":{"a":1}})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_array();
+    w.begin_object();
+    w.end_object();
+    w.begin_array();
+    w.end_array();
+    w.end_array();
+  }
+  EXPECT_EQ(out.str(), "[{},[]]");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NullAndNonFiniteDoubles) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_array();
+    w.null();
+    w.value(std::numeric_limits<double>::infinity());
+    w.end_array();
+  }
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.value("only");
+  }
+  EXPECT_EQ(out.str(), "\"only\"");
+}
+
+TEST(JsonWriterTest, ArrayOfStrings) {
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    w.begin_array();
+    w.value("a");
+    w.value("b");
+    w.end_array();
+  }
+  EXPECT_EQ(out.str(), R"(["a","b"])");
+}
+
+}  // namespace
+}  // namespace liger::util

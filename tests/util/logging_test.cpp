@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::util {
+namespace {
+
+TEST(LoggingTest, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kWarn);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  EXPECT_FALSE(LIGER_LOG_ENABLED(kInfo));
+  EXPECT_TRUE(LIGER_LOG_ENABLED(kError));
+  set_log_level(original);
+}
+
+TEST(LoggingTest, DisabledLevelSkipsStreaming) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  LIGER_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace liger::util

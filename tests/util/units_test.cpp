@@ -1,0 +1,28 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace liger::util {
+namespace {
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(64), "64 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3ull << 20), "3.00 MiB");
+  EXPECT_EQ(format_bytes(5ull << 30), "5.00 GiB");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(500), "500 ns");
+  EXPECT_EQ(format_duration_ns(2500), "2.50 us");
+  EXPECT_EQ(format_duration_ns(1250000), "1.25 ms");
+  EXPECT_EQ(format_duration_ns(3000000000LL), "3.00 s");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(32.75e9), "32.75 GB/s");
+  EXPECT_EQ(format_bandwidth(900.0), "900 B/s");
+}
+
+}  // namespace
+}  // namespace liger::util
