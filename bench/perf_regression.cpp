@@ -1,0 +1,226 @@
+// Perf-regression harness for the simulation core.
+//
+// Self-timed (no google-benchmark dependency) so it can run in CI as a
+// smoke check. Measures the hot paths the event-engine redesign
+// targets and writes machine-readable results to a JSON file:
+//
+//   * engine_schedule_run  — schedule n events, drain them
+//   * engine_cancel_churn  — rebalance pattern: cancel + reschedule
+//   * device_kernel_churn  — many kernels through the device model
+//   * fig10_panel_a        — one end-to-end serving experiment
+//                            (OPT-30B, 4xV100-NVLink, batch 2, Liger)
+//
+// Flags:
+//   --out FILE        output path            (default BENCH_engine.json)
+//   --min_time SECS   min measured time/bench (default 0.3)
+//   --requests N      fig10 panel-a requests  (default 120)
+//   --baseline        also print the recorded pre-optimization numbers
+//
+// The JSON includes, alongside the fresh measurements, the recorded
+// reference numbers for the same workloads measured on the std::map
+// engine this design replaced (same build flags, quiesced machine), so
+// a single file documents the before/after.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "sim/engine.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
+
+namespace {
+
+using namespace liger;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  std::string name;
+  std::uint64_t items_per_rep = 0;
+  int reps = 0;
+  double seconds = 0.0;
+  double items_per_second() const {
+    return seconds > 0 ? static_cast<double>(items_per_rep) * reps / seconds : 0.0;
+  }
+  double ns_per_item() const {
+    const double ips = items_per_second();
+    return ips > 0 ? 1e9 / ips : 0.0;
+  }
+};
+
+// Repeats `rep` (after one untimed warmup) until `min_time` seconds of
+// measured work accumulate.
+Measurement measure(const std::string& name, std::uint64_t items_per_rep, double min_time,
+                    const std::function<void()>& rep) {
+  Measurement m;
+  m.name = name;
+  m.items_per_rep = items_per_rep;
+  rep();  // warmup: faults in pools, warms caches
+  const auto start = Clock::now();
+  do {
+    rep();
+    ++m.reps;
+    m.seconds = seconds_since(start);
+  } while (m.seconds < min_time);
+  return m;
+}
+
+void engine_schedule_run(int n) {
+  sim::Engine engine;
+  int fired = 0;
+  for (int i = 0; i < n; ++i) {
+    engine.schedule_at(i, [&fired] { ++fired; });
+  }
+  engine.run();
+  if (fired != n) std::abort();
+}
+
+void engine_cancel_churn(int n, int rounds) {
+  sim::Engine engine;
+  int fired = 0;
+  std::vector<sim::Engine::EventId> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids[static_cast<std::size_t>(i)] = engine.schedule_at(1000 + i, [&fired] { ++fired; });
+  }
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < n; ++i) {
+      engine.cancel(ids[static_cast<std::size_t>(i)]);
+      ids[static_cast<std::size_t>(i)] =
+          engine.schedule_at(1000 + ((i * 7 + round) % n), [&fired] { ++fired; });
+    }
+  }
+  engine.run();
+  if (fired != n) std::abort();
+}
+
+void device_kernel_churn(int kernels) {
+  sim::Engine engine;
+  gpu::Device dev(engine, 0, gpu::GpuSpec::v100());
+  auto& s0 = dev.create_stream();
+  auto& s1 = dev.create_stream();
+  for (int i = 0; i < kernels; ++i) {
+    gpu::StreamOp op;
+    op.kind = gpu::StreamOp::Kind::kKernel;
+    op.kernel.name = "k";
+    op.kernel.solo_duration = 1000 + i % 7;
+    op.kernel.blocks = 40 + i % 3;
+    op.kernel.mem_bw_demand = 0.4;
+    auto& s = (i % 2 == 0) ? s0 : s1;
+    op.stream_seq = s.note_issued();
+    dev.deliver(s, std::move(op));
+  }
+  engine.run();
+}
+
+double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b();
+  cfg.method = serving::Method::kLiger;
+  cfg.rate = 30.0;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  const auto start = Clock::now();
+  const auto report = serving::run_experiment(cfg);
+  const double wall_ms = seconds_since(start) * 1e3;
+  makespan_out = report.makespan;
+  return wall_ms;
+}
+
+// Reference numbers for the identical workloads measured against the
+// previous std::map-based engine (same sources otherwise, same build
+// flags, quiesced machine). Units: items per second.
+struct BaselineEntry {
+  const char* name;
+  double items_per_second;
+};
+constexpr BaselineEntry kStdMapBaseline[] = {
+    {"engine_schedule_run/100000", 7.629e6},
+    {"engine_cancel_churn/100000", 4.279e6},
+    {"device_kernel_churn/4096", 2.151e6},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string out_path = flags.get_string("out", "BENCH_engine.json");
+  const double min_time = flags.get_double("min_time", 0.3);
+  const int requests = static_cast<int>(flags.get_int("requests", 120));
+
+  std::vector<Measurement> results;
+  results.push_back(measure("engine_schedule_run/100000", 100000, min_time,
+                            [] { engine_schedule_run(100000); }));
+  results.push_back(measure("engine_cancel_churn/100000", 100000 * 8, min_time,
+                            [] { engine_cancel_churn(100000, 8); }));
+  results.push_back(measure("device_kernel_churn/4096", 4096, min_time,
+                            [] { device_kernel_churn(4096); }));
+
+  sim::SimTime makespan = 0;
+  const double fig10_ms = fig10_panel_a_wall_ms(requests, makespan);
+
+  std::printf("%-28s %12s %14s %10s\n", "benchmark", "reps", "items/s", "ns/item");
+  for (const auto& m : results) {
+    std::printf("%-28s %12d %14.3e %10.1f\n", m.name.c_str(), m.reps, m.items_per_second(),
+                m.ns_per_item());
+  }
+  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests)\n",
+              "fig10_panel_a/end_to_end", "1", fig10_ms, sim::to_ms(makespan), requests);
+  if (flags.get_bool("baseline", false)) {
+    std::printf("\nstd::map engine baseline (recorded):\n");
+    for (const auto& b : kStdMapBaseline) {
+      std::printf("%-28s %14.3e items/s\n", b.name, b.items_per_second);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  {
+    util::JsonWriter json(out);
+    json.begin_object();
+    json.kv("schema", "liger-perf-regression-v1");
+    json.kv("min_time_s", min_time);
+    json.key("benchmarks");
+    json.begin_array();
+    for (const auto& m : results) {
+      json.begin_object();
+      json.kv("name", m.name);
+      json.kv("reps", m.reps);
+      json.kv("items_per_second", m.items_per_second());
+      json.kv("ns_per_item", m.ns_per_item());
+      json.end_object();
+    }
+    json.begin_object();
+    json.kv("name", "fig10_panel_a/end_to_end");
+    json.kv("requests", requests);
+    json.kv("wall_ms", fig10_ms);
+    json.kv("sim_makespan_ms", sim::to_ms(makespan));
+    json.end_object();
+    json.end_array();
+    json.key("baseline_std_map_engine");
+    json.begin_array();
+    for (const auto& b : kStdMapBaseline) {
+      json.begin_object();
+      json.kv("name", b.name);
+      json.kv("items_per_second", b.items_per_second);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

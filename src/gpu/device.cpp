@@ -31,6 +31,40 @@ std::size_t Device::queued_ops() const {
   return n;
 }
 
+int Device::acquire_run_slot() {
+  if (!free_run_slots_.empty()) {
+    const int slot = free_run_slots_.back();
+    free_run_slots_.pop_back();
+    return slot;
+  }
+  run_slots_.emplace_back();
+  return static_cast<int>(run_slots_.size() - 1);
+}
+
+void Device::release_run_slot(int slot) {
+  RunningKernel& k = run_slots_[static_cast<std::size_t>(slot)];
+  if (k.prev != kNoSlot) {
+    run_slots_[static_cast<std::size_t>(k.prev)].next = k.next;
+  } else {
+    run_head_ = k.next;
+  }
+  if (k.next != kNoSlot) {
+    run_slots_[static_cast<std::size_t>(k.next)].prev = k.prev;
+  } else {
+    run_tail_ = k.prev;
+  }
+  k = RunningKernel{};  // drops desc strings/coupler refs and the hook
+  free_run_slots_.push_back(slot);
+  --running_count_;
+}
+
+int Device::find_running(KernelId id) const {
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    if (run_slots_[static_cast<std::size_t>(s)].id == id) return s;
+  }
+  return kNoSlot;
+}
+
 void Device::deliver(Stream& stream, StreamOp op) {
   assert(&stream.device() == this);
   if (op.kind == StreamOp::Kind::kKernel) {
@@ -63,8 +97,8 @@ void Device::run_dispatch() {
   // Freed blocks first top up running (earlier-launched) kernels whose
   // CTAs are already queued on the device; only the remainder is
   // available to newly dispatched kernels.
-  for (KernelId id : running_order_) {
-    RunningKernel& k = running_.at(id);
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    RunningKernel& k = run_slots_[static_cast<std::size_t>(s)];
     const int add = std::min(k.desc.blocks - k.granted, free_blocks_);
     if (add > 0) {
       k.granted += add;
@@ -84,19 +118,20 @@ void Device::run_dispatch() {
   bool progress = true;
   while (progress) {
     progress = false;
-    std::vector<std::size_t> order;
+    order_scratch_.clear();
     for (std::size_t i = 0; i < hw_queues_.size(); ++i) {
-      if (!hw_queues_[i].empty()) order.push_back(i);
+      if (!hw_queues_[i].empty()) order_scratch_.push_back(i);
     }
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const QueuedOp& qa = hw_queues_[a].front();
-      const QueuedOp& qb = hw_queues_[b].front();
-      const bool ha = qa.stream->priority() == StreamPriority::kHigh;
-      const bool hb = qb.stream->priority() == StreamPriority::kHigh;
-      if (ha != hb) return ha;
-      return qa.delivery_seq < qb.delivery_seq;
-    });
-    for (std::size_t qi : order) {
+    std::sort(order_scratch_.begin(), order_scratch_.end(),
+              [&](std::size_t a, std::size_t b) {
+                const QueuedOp& qa = hw_queues_[a].front();
+                const QueuedOp& qb = hw_queues_[b].front();
+                const bool ha = qa.stream->priority() == StreamPriority::kHigh;
+                const bool hb = qb.stream->priority() == StreamPriority::kHigh;
+                if (ha != hb) return ha;
+                return qa.delivery_seq < qb.delivery_seq;
+              });
+    for (std::size_t qi : order_scratch_) {
       if (try_process(hw_queues_[qi].front())) {
         hw_queues_[qi].pop_front();
         progress = true;
@@ -145,7 +180,8 @@ bool Device::try_process(QueuedOp& qo) {
 void Device::start_kernel(QueuedOp& qo) {
   account();
   const KernelId id = next_kernel_id_++;
-  RunningKernel rk;
+  const int slot = acquire_run_slot();
+  RunningKernel& rk = run_slots_[static_cast<std::size_t>(slot)];
   rk.id = id;
   rk.desc = std::move(qo.op.kernel);
   rk.stream = qo.stream;
@@ -159,6 +195,9 @@ void Device::start_kernel(QueuedOp& qo) {
   rk.mem_active = !rk.coupled();
   rk.remaining = static_cast<double>(rk.desc.solo_duration);
   rk.last_update = rk.start_time = engine_.now();
+  rk.rate = 0.0;
+  rk.completion = sim::Engine::EventId{};
+  rk.completion_time = -1;
 
   if (rk.desc.kind == KernelKind::kCompute) {
     ++running_comp_;
@@ -166,17 +205,24 @@ void Device::start_kernel(QueuedOp& qo) {
     ++running_comm_;
   }
 
-  auto coupler = rk.desc.coupler;
-  running_order_.push_back(id);
-  running_.emplace(id, std::move(rk));
+  // Link at the tail of the start-order list.
+  rk.prev = run_tail_;
+  rk.next = kNoSlot;
+  if (run_tail_ != kNoSlot) {
+    run_slots_[static_cast<std::size_t>(run_tail_)].next = slot;
+  } else {
+    run_head_ = slot;
+  }
+  run_tail_ = slot;
+  ++running_count_;
 
+  auto coupler = rk.desc.coupler;
   if (coupler) coupler->member_started(*this, id);
 }
 
-void Device::finish_kernel(KernelId id) {
-  auto it = running_.find(id);
-  assert(it != running_.end() && "finishing unknown kernel");
-  RunningKernel& k = it->second;
+void Device::finish_kernel_slot(int slot) {
+  RunningKernel& k = run_slots_[static_cast<std::size_t>(slot)];
+  assert(k.id != 0 && "finishing unknown kernel");
   account();
 
   engine_.cancel(k.completion);
@@ -195,8 +241,7 @@ void Device::finish_kernel(KernelId id) {
 
   Stream* stream = k.stream;
   auto on_complete = std::move(k.on_complete);
-  running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
-  running_.erase(it);
+  release_run_slot(slot);
 
   stream->complete_op();
   if (on_complete) on_complete();
@@ -204,19 +249,24 @@ void Device::finish_kernel(KernelId id) {
 }
 
 void Device::set_kernel_mem_active(KernelId id, bool active) {
-  auto it = running_.find(id);
-  assert(it != running_.end());
-  if (it->second.mem_active == active) return;
-  it->second.mem_active = active;
+  const int slot = find_running(id);
+  assert(slot != kNoSlot);
+  RunningKernel& k = run_slots_[static_cast<std::size_t>(slot)];
+  if (k.mem_active == active) return;
+  k.mem_active = active;
   request_dispatch();
 }
 
-void Device::finish_kernel_external(KernelId id) { finish_kernel(id); }
+void Device::finish_kernel_external(KernelId id) {
+  const int slot = find_running(id);
+  assert(slot != kNoSlot && "finishing unknown kernel");
+  finish_kernel_slot(slot);
+}
 
 double Device::kernel_local_rate(KernelId id) const {
-  auto it = running_.find(id);
-  assert(it != running_.end());
-  return it->second.rate;
+  const int slot = find_running(id);
+  assert(slot != kNoSlot);
+  return run_slots_[static_cast<std::size_t>(slot)].rate;
 }
 
 void Device::rebalance() {
@@ -224,8 +274,8 @@ void Device::rebalance() {
   const sim::SimTime now = engine_.now();
 
   // 1. Integrate progress at the rates that held since last update.
-  for (KernelId id : running_order_) {
-    RunningKernel& k = running_.at(id);
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    RunningKernel& k = run_slots_[static_cast<std::size_t>(s)];
     if (!k.coupled()) {
       k.remaining -= k.rate * static_cast<double>(now - k.last_update);
       if (k.remaining < 0.0) k.remaining = 0.0;
@@ -235,8 +285,8 @@ void Device::rebalance() {
 
   // 2. Top up block grants in start order (left-over policy: released
   //    blocks go to the oldest under-provisioned kernel first).
-  for (KernelId id : running_order_) {
-    RunningKernel& k = running_.at(id);
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    RunningKernel& k = run_slots_[static_cast<std::size_t>(s)];
     const int add = std::min(k.desc.blocks - k.granted, free_blocks_);
     if (add > 0) {
       k.granted += add;
@@ -247,7 +297,9 @@ void Device::rebalance() {
 #ifndef NDEBUG
   // Block conservation: granted + free == SM count, always.
   int granted_total = 0;
-  for (KernelId id : running_order_) granted_total += running_.at(id).granted;
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    granted_total += run_slots_[static_cast<std::size_t>(s)].granted;
+  }
   assert(granted_total + free_blocks_ == total_blocks());
 #endif
 
@@ -258,40 +310,45 @@ void Device::rebalance() {
   //    (§2.3.2, §4.2 "both queues are affected by hardware
   //    contention"). Demands scale with actual occupancy; spinning
   //    (inactive) kernels place no demand.
-  std::vector<double> demands(running_order_.size(), 0.0);
   double total_demand = 0.0;
-  for (std::size_t i = 0; i < running_order_.size(); ++i) {
-    const RunningKernel& k = running_.at(running_order_[i]);
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    RunningKernel& k = run_slots_[static_cast<std::size_t>(s)];
+    k.bw_demand = 0.0;
     if (k.mem_active && k.desc.mem_bw_demand > 0.0) {
-      demands[i] = k.desc.mem_bw_demand * static_cast<double>(k.granted) /
-                   static_cast<double>(k.desc.blocks);
-      total_demand += demands[i];
+      k.bw_demand = k.desc.mem_bw_demand * static_cast<double>(k.granted) /
+                    static_cast<double>(k.desc.blocks);
+      total_demand += k.bw_demand;
     }
   }
   const double bw_factor = total_demand > 1.0 ? 1.0 / total_demand : 1.0;
 
-  // 4. New rates; reschedule completions / notify couplers.
-  for (std::size_t i = 0; i < running_order_.size(); ++i) {
-    const KernelId id = running_order_[i];
-    RunningKernel& k = running_.at(id);
+  // 4. New rates; reschedule completions / notify couplers. A kernel
+  //    whose rate did not change keeps its already-scheduled completion
+  //    event (same fire time) instead of paying a cancel + reschedule.
+  for (int s = run_head_; s != kNoSlot; s = run_slots_[static_cast<std::size_t>(s)].next) {
+    RunningKernel& k = run_slots_[static_cast<std::size_t>(s)];
     const double occupancy =
         static_cast<double>(k.granted) / static_cast<double>(k.desc.blocks);
-    const double bw_share = demands[i] > 0.0 ? bw_factor : 1.0;
+    const double bw_share = k.bw_demand > 0.0 ? bw_factor : 1.0;
     const double rate = occupancy * bw_share;
 
     if (k.coupled()) {
       k.rate = rate;
-      k.desc.coupler->member_rate(*this, id, rate);
+      k.desc.coupler->member_rate(*this, k.id, rate);
       continue;
     }
 
-    k.rate = rate;
-    engine_.cancel(k.completion);
     assert(rate > 0.0);
     assert(k.granted >= k.granted_at_start);
     const double dt = k.remaining / rate;
     const sim::SimTime when = std::max<sim::SimTime>(0, static_cast<sim::SimTime>(std::ceil(dt)));
-    k.completion = engine_.schedule_after(when, [this, id] { finish_kernel(id); });
+    const sim::SimTime target = now + when;
+    if (rate == k.rate && target == k.completion_time) continue;
+    k.rate = rate;
+    engine_.cancel(k.completion);
+    const int slot = s;
+    k.completion = engine_.schedule_at(target, [this, slot] { finish_kernel_slot(slot); });
+    k.completion_time = target;
   }
 }
 

@@ -20,13 +20,17 @@
 //
 // All state changes funnel through one deferred dispatch pass per
 // timestamp, keeping the model consistent and re-entrancy free.
+//
+// Hot-path layout: running kernels live in a slab (`run_slots_`) with
+// intrusive start-order links, so the per-rebalance integration loop is
+// a linear scan over stable indices — no hashing, no tree lookups, no
+// per-pass allocation (scratch buffers persist across dispatches).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "gpu/gpu_spec.h"
@@ -78,7 +82,7 @@ class Device {
   // --- Introspection -------------------------------------------------------
   int total_blocks() const { return spec_.sm_count; }
   int free_blocks() const { return free_blocks_; }
-  int running_kernels() const { return static_cast<int>(running_order_.size()); }
+  int running_kernels() const { return running_count_; }
   std::size_t queued_ops() const;
 
   // Time integrals of "some kernel of this kind was running".
@@ -89,6 +93,8 @@ class Device {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
  private:
+  static constexpr int kNoSlot = -1;
+
   struct RunningKernel {
     KernelId id = 0;
     KernelDesc desc;
@@ -99,9 +105,13 @@ class Device {
     bool mem_active = true;
     double rate = 0.0;        // progress in solo-ns per sim-ns
     double remaining = 0.0;   // uncoupled kernels: solo-ns left
+    double bw_demand = 0.0;   // scratch: demand within one rebalance pass
     sim::SimTime last_update = 0;
     sim::SimTime start_time = 0;
     sim::Engine::EventId completion;
+    sim::SimTime completion_time = -1;  // absolute fire time of `completion`
+    int prev = kNoSlot;  // intrusive start-order links into run_slots_
+    int next = kNoSlot;
     bool coupled() const { return desc.coupler != nullptr; }
   };
 
@@ -118,11 +128,16 @@ class Device {
   bool op_stream_ready(const QueuedOp& qo) const;
   bool try_process(QueuedOp& qo);
   void start_kernel(QueuedOp& qo);
-  void finish_kernel(KernelId id);
+  void finish_kernel_slot(int slot);
   // Integrates progress, tops up grants, shares bandwidth, updates
   // rates and completion events, and notifies couplers.
   void rebalance();
   void account() const;
+
+  // Running-kernel slab management (stable indices, start-order list).
+  int acquire_run_slot();
+  void release_run_slot(int slot);
+  int find_running(KernelId id) const;
 
   sim::Engine& engine_;
   int id_;
@@ -132,8 +147,13 @@ class Device {
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::deque<QueuedOp>> hw_queues_;
 
-  std::unordered_map<KernelId, RunningKernel> running_;
-  std::vector<KernelId> running_order_;  // start order, for block top-up
+  std::vector<RunningKernel> run_slots_;
+  std::vector<int> free_run_slots_;
+  int run_head_ = kNoSlot;  // start order, for block top-up
+  int run_tail_ = kNoSlot;
+  int running_count_ = 0;
+  std::vector<std::size_t> order_scratch_;  // run_dispatch head ordering
+
   int free_blocks_;
   KernelId next_kernel_id_ = 1;
   std::uint64_t next_delivery_seq_ = 1;

@@ -1,15 +1,181 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace liger::sim {
 
+// Per-thread spare buffers recycled across Engine instances. One spare
+// of each is plenty: experiment sweeps build engines strictly serially
+// per thread.
+struct Engine::PoolAccess {
+  static std::vector<Slot>& spare_slab() {
+    static thread_local std::vector<Slot> s;
+    return s;
+  }
+  static std::vector<HeapEntry>& spare_heap() {
+    static thread_local std::vector<HeapEntry> h;
+    return h;
+  }
+  static std::vector<HeapEntry>& spare_run() {
+    static thread_local std::vector<HeapEntry> r;
+    return r;
+  }
+};
+
+Engine::Engine() {
+  slots_ = std::move(PoolAccess::spare_slab());
+  slots_.clear();
+  heap_ = std::move(PoolAccess::spare_heap());
+  heap_.clear();
+  run_ = std::move(PoolAccess::spare_run());
+  run_.clear();
+}
+
+Engine::~Engine() {
+  auto& slab = PoolAccess::spare_slab();
+  if (slab.capacity() < slots_.capacity()) {
+    slots_.clear();  // destroys pending callbacks before recycling
+    slab = std::move(slots_);
+  }
+  auto& heap = PoolAccess::spare_heap();
+  if (heap.capacity() < heap_.capacity()) {
+    heap_.clear();
+    heap = std::move(heap_);
+  }
+  auto& run = PoolAccess::spare_run();
+  if (run.capacity() < run_.capacity()) {
+    run_.clear();
+    run = std::move(run_);
+  }
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  assert(slots_.size() < kSlotMask && "too many simultaneously pending events");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.cb.reset();
+  s.seq = 0;
+  ++s.gen;  // invalidates every EventId issued for the old occupant
+  s.next_free = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
+// 4-ary heap: children of i are 4i+1..4i+4 — one 64-byte cache line of
+// 16-byte entries — halving the depth of a binary heap. Both sifts move
+// a hole instead of swapping.
+void Engine::sift_up(std::size_t i, HeapEntry e) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!(e < heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::sift_down(std::size_t i, HeapEntry e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c] < heap_[best]) best = c;
+    }
+    if (!(heap_[best] < e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Engine::discard_cancelled() {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    const HeapEntry tail = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, tail);
+    --dead_;
+  }
+}
+
+void Engine::skip_stale_run() {
+  while (run_cursor_ < run_.size() && !entry_live(run_[run_cursor_])) {
+    ++run_cursor_;
+    --dead_;
+  }
+}
+
+void Engine::extract_heap_to_run() {
+  run_.clear();
+  run_cursor_ = 0;
+  for (const HeapEntry& e : heap_) {
+    if (entry_live(e)) {
+      run_.push_back(e);
+    } else {
+      --dead_;
+    }
+  }
+  heap_.clear();
+  // Monotone schedules (arrival processes, timer chains) leave the heap
+  // array already ascending; the linear pre-check makes that common
+  // case O(n) instead of a full sort.
+  if (!std::is_sorted(run_.begin(), run_.end())) {
+    std::sort(run_.begin(), run_.end());
+  }
+}
+
+void Engine::settle_fronts() {
+  skip_stale_run();
+  if (run_cursor_ >= run_.size() && heap_.size() >= kExtractMin) {
+    extract_heap_to_run();
+  }
+  discard_cancelled();
+}
+
+void Engine::compact() {
+  std::size_t w = 0;
+  for (std::size_t i = run_cursor_; i < run_.size(); ++i) {
+    if (entry_live(run_[i])) run_[w++] = run_[i];  // stable: stays sorted
+  }
+  run_.resize(w);
+  run_cursor_ = 0;
+  w = 0;
+  for (const HeapEntry& e : heap_) {
+    if (entry_live(e)) heap_[w++] = e;
+  }
+  heap_.resize(w);
+  dead_ = 0;
+  if (w <= 1) return;
+  for (std::size_t i = (w - 2) >> 2; i != static_cast<std::size_t>(-1); --i) {
+    sift_down(i, heap_[i]);
+  }
+}
+
 Engine::EventId Engine::schedule_at(SimTime t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
   assert(cb && "null callback");
-  EventId id{t, next_seq_++};
-  queue_.emplace(Key{id.time, id.seq}, std::move(cb));
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  const std::uint64_t seq = next_seq_++;
+  assert(seq < (std::uint64_t{1} << (64 - kSlotBits)) && "seq space exhausted");
+  s.seq = seq;
+  s.cb = std::move(cb);
+  heap_.emplace_back();
+  sift_up(heap_.size() - 1, HeapEntry{(seq << kSlotBits) | slot, t});
+  ++live_;
+  return EventId{s.gen, slot};
 }
 
 Engine::EventId Engine::schedule_after(SimTime dt, Callback cb) {
@@ -18,17 +184,35 @@ Engine::EventId Engine::schedule_after(SimTime dt, Callback cb) {
 }
 
 bool Engine::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return queue_.erase(Key{id.time, id.seq}) > 0;
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  Slot& s = slots_[id.slot];
+  if (s.seq == 0 || s.gen != id.gen) return false;  // fired, cancelled, or recycled
+  release_slot(id.slot);  // heap entry goes stale; discarded lazily
+  ++dead_;
+  // Keep tombstones a bounded fraction of the heap so cancel-heavy
+  // phases (device rebalance storms) cannot inflate pop cost.
+  if (dead_ > 64 && dead_ > live_) compact();
+  return true;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  assert(it->first.first >= now_);
-  now_ = it->first.first;
-  Callback cb = std::move(it->second);
-  queue_.erase(it);
+  settle_fronts();
+  const bool have_run = run_cursor_ < run_.size();
+  if (!have_run && heap_.empty()) return false;
+  HeapEntry e;
+  if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+    e = run_[run_cursor_++];
+  } else {
+    e = heap_.front();
+    const HeapEntry tail = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, tail);
+  }
+  assert(e.time >= now_);
+  now_ = e.time;
+  last_seq_ = e.seq();
+  Callback cb = std::move(slots_[e.slot()].cb);
+  release_slot(e.slot());
   ++processed_;
   cb();
   return true;
@@ -43,7 +227,18 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(SimTime t) {
   assert(t >= now_);
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.begin()->first.first <= t) {
+  while (true) {
+    settle_fronts();
+    const bool have_run = run_cursor_ < run_.size();
+    SimTime next;
+    if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+      next = run_[run_cursor_].time;
+    } else if (!heap_.empty()) {
+      next = heap_.front().time;
+    } else {
+      break;
+    }
+    if (next > t) break;
     step();
     ++n;
   }

@@ -1,0 +1,153 @@
+// A small-buffer-optimized, move-only callable wrapper.
+//
+// The simulation engine schedules millions of tiny callbacks — almost
+// all of them `[this]`- or `[this, id]`-style lambdas of a few machine
+// words. std::function heap-allocates many of those (and libstdc++'s
+// SBO only covers trivially-copyable targets of <= 16 bytes), which
+// makes the allocator the hottest function in event-dense simulations.
+// InplaceFunction stores any target up to `Capacity` bytes inline and
+// only falls back to the heap for larger captures.
+//
+// Differences from std::function, chosen for the engine's needs:
+//  * move-only (no copy; the engine never copies callbacks),
+//  * no target()/target_type() RTTI,
+//  * invoking an empty InplaceFunction is undefined (the engine asserts
+//    non-empty at schedule time).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace liger::sim {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stored_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) { return ops_->invoke(&storage_, std::forward<Args>(args)...); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs the target at dst from src, then destroys src.
+    // nullptr means "trivially relocatable": the buffer is memcpy'd,
+    // which the compiler inlines — no indirect call on the move path.
+    void (*relocate)(void* src, void* dst) noexcept;
+    // nullptr means trivially destructible: nothing to do on reset.
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool stored_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr bool trivial_inline() {
+    return stored_inline<D>() && std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inline_target(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static D* heap_target(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  inline static constexpr Ops kInlineOps{
+      [](void* s, Args&&... a) -> R {
+        return (*inline_target<D>(s))(std::forward<Args>(a)...);
+      },
+      trivial_inline<D>() ? nullptr
+                          : +[](void* src, void* dst) noexcept {
+                              D* p = inline_target<D>(src);
+                              ::new (dst) D(std::move(*p));
+                              p->~D();
+                            },
+      trivial_inline<D>() ? nullptr
+                          : +[](void* s) noexcept { inline_target<D>(s)->~D(); }};
+
+  template <typename D>
+  inline static constexpr Ops kHeapOps{
+      [](void* s, Args&&... a) -> R {
+        return (*heap_target<D>(s))(std::forward<Args>(a)...);
+      },
+      nullptr,  // relocation moves the owning pointer: plain memcpy
+      [](void* s) noexcept { delete heap_target<D>(s); }};
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(&other.storage_, &storage_);
+      } else {
+        std::memcpy(&storage_, &other.storage_, sizeof(storage_));
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t kStorageSize =
+      Capacity > sizeof(void*) ? Capacity : sizeof(void*);
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kStorageSize];
+};
+
+}  // namespace liger::sim

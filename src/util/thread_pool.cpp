@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 
 namespace liger::util {
 
@@ -46,12 +47,31 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunking keeps queue traffic at O(threads) regardless of n; the 4x
+  // oversubscription smooths uneven per-index cost.
+  const std::size_t chunks = std::min(n, size() * 4);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
-  for (auto& f : futures) f.get();  // propagate exceptions
+  // Every job references `fn` and the caller's state, so none may
+  // outlive this frame: wait for all of them even when one throws, then
+  // propagate the first exception.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace liger::util

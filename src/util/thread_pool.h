@@ -37,7 +37,10 @@ class ThreadPool {
     return future;
   }
 
-  // Runs fn(i) for i in [0, n) across the pool and waits for all.
+  // Runs fn(i) for i in [0, n) across the pool, chunked into O(size())
+  // jobs, and waits for all of them — including when fn throws: every
+  // chunk is drained before the first exception propagates, so no job
+  // referencing fn (or the caller's stack) survives the call.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

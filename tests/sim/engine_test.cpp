@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace liger::sim {
@@ -70,6 +72,112 @@ TEST(EngineTest, CancelExecutedEventReturnsFalse) {
   auto id = e.schedule_at(5, [] {});
   e.run();
   EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(EngineTest, CancelStaleIdAfterSlotRecycleDoesNotKillNewEvent) {
+  // A's id must stay dead once its slot is recycled: cancelling A again
+  // may not affect B, even though B likely occupies A's old slot.
+  Engine e;
+  bool b_ran = false;
+  auto a = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(a));
+  auto b = e.schedule_at(10, [&] { b_ran = true; });
+  EXPECT_FALSE(e.cancel(a));  // stale generation
+  e.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(e.cancel(b));  // already fired
+}
+
+TEST(EngineTest, CancelIdOfFiredEventWhoseSlotWasReused) {
+  Engine e;
+  auto a = e.schedule_at(1, [] {});
+  e.run();
+  bool b_ran = false;
+  (void)e.schedule_at(2, [&] { b_ran = true; });
+  EXPECT_FALSE(e.cancel(a));  // fired; slot since recycled by now
+  e.run();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EngineTest, CancelFromInsideRunningCallback) {
+  Engine e;
+  bool later_ran = false;
+  Engine::EventId later;
+  later = e.schedule_at(20, [&] { later_ran = true; });
+  e.schedule_at(10, [&] { EXPECT_TRUE(e.cancel(later)); });
+  e.run();
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+TEST(EngineTest, CallbackCancellingItselfReturnsFalse) {
+  Engine e;
+  Engine::EventId self;
+  bool attempted = false;
+  self = e.schedule_at(5, [&] {
+    attempted = true;
+    EXPECT_FALSE(e.cancel(self));  // already executing: too late
+  });
+  e.run();
+  EXPECT_TRUE(attempted);
+}
+
+TEST(EngineTest, CancelStormKeepsQueueConsistent) {
+  // Drives the tombstone-compaction path: cancel/reschedule churn far
+  // exceeding the live set, then verify exactly the survivors fire, in
+  // order.
+  Engine e;
+  constexpr int kEvents = 512;
+  std::vector<int> fired;
+  std::vector<Engine::EventId> ids(kEvents);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < kEvents; ++i) {
+      if (round > 0) {
+        EXPECT_TRUE(e.cancel(ids[i]));
+      }
+      ids[i] = e.schedule_at(1000 + (i * 31 + round * 7) % kEvents,
+                             [&fired, i] { fired.push_back(i); });
+    }
+  }
+  for (int i = 0; i < kEvents; i += 2) EXPECT_TRUE(e.cancel(ids[i]));
+  e.run();
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(kEvents / 2));
+  std::vector<int> counts(kEvents, 0);
+  for (int i : fired) {
+    EXPECT_EQ(i % 2, 1);  // only the odd (uncancelled) indices fire
+    ++counts[i];
+  }
+  for (int i = 1; i < kEvents; i += 2) EXPECT_EQ(counts[i], 1);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, PendingTracksCancellations) {
+  Engine e;
+  auto a = e.schedule_at(10, [] {});
+  auto b = e.schedule_at(20, [] {});
+  (void)b;
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(EngineTest, LargeCaptureCallbacksFallBackToHeap) {
+  // Captures beyond the inline capacity of Engine::Callback must still
+  // work (heap fallback in InplaceFunction).
+  Engine e;
+  std::array<std::uint64_t, 16> big{};
+  big[0] = 1;
+  big[15] = 2;
+  std::uint64_t sum = 0;
+  e.schedule_at(1, [big, &sum] { sum = big[0] + big[15]; });
+  e.run();
+  EXPECT_EQ(sum, 3u);
 }
 
 TEST(EngineTest, StepExecutesExactlyOne) {

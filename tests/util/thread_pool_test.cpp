@@ -39,6 +39,63 @@ TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
                std::logic_error);
 }
 
+TEST(ThreadPoolTest, ParallelForDrainsAllWorkBeforeThrowing) {
+  // Regression: an exception from one index must not let still-queued
+  // jobs outlive the call — they reference fn and the caller's stack.
+  // With one worker the throwing chunk finishes while later chunks are
+  // still queued; every surviving index must still run before the
+  // exception reaches the caller.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("first chunk");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // All indices except the throwing one (chunk 0 aborts at i == 0, and
+  // with 1 worker * 4x oversubscription it covered indices [0, 16)).
+  EXPECT_EQ(ran.load(), 48);
+  // The pool must still be fully usable afterwards.
+  std::atomic<int> again{0};
+  pool.parallel_for(10, [&](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForFnOutlivesCallEvenOnThrow) {
+  // The dangling-reference shape of the original bug: fn captures a
+  // local by reference and the caller destroys it right after the
+  // throw. If any job ran late, it would touch freed stack memory and
+  // (detectably) bump the counter after the call returned.
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  {
+    std::vector<int> local(1024, 7);
+    EXPECT_THROW(pool.parallel_for(256,
+                                   [&](std::size_t i) {
+                                     hits.fetch_add(local[i % local.size()]);
+                                     if (i % 8 == 1) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  }
+  const int settled = hits.load();
+  // Give any (buggy) straggler a chance to run, then check nothing
+  // executed after parallel_for returned.
+  pool.parallel_for(4, [](std::size_t) {});
+  EXPECT_EQ(hits.load(), settled);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndLargeN) {
+  ThreadPool pool(2);
+  int zero_calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++zero_calls; });
+  EXPECT_EQ(zero_calls, 0);
+  // n far larger than the chunk count: every index exactly once.
+  std::vector<std::atomic<char>> seen(10000);
+  pool.parallel_for(seen.size(), [&](std::size_t i) { seen[i].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
 TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
   std::atomic<int> done{0};
   {
