@@ -7,8 +7,15 @@
 //   * engine_schedule_run  — schedule n events, drain them
 //   * engine_cancel_churn  — rebalance pattern: cancel + reschedule
 //   * device_kernel_churn  — many kernels through the device model
+//   * submit_decode_steady — steady-state LigerRuntime::submit() of
+//                            identically shaped decode batches (the
+//                            per-token CPU cost of generative serving)
+//   * round_materialize    — decode backlog driven to completion; the
+//                            round-plan materialization + execution path
 //   * fig10_panel_a        — one end-to-end serving experiment
 //                            (OPT-30B, 4xV100-NVLink, batch 2, Liger)
+//   * fig11_generative     — end-to-end multi-conversation generative
+//                            serving (prefill + chained decodes)
 //
 // Flags:
 //   --out FILE        output path            (default BENCH_engine.json)
@@ -17,9 +24,11 @@
 //   --baseline        also print the recorded pre-optimization numbers
 //
 // The JSON includes, alongside the fresh measurements, the recorded
-// reference numbers for the same workloads measured on the std::map
-// engine this design replaced (same build flags, quiesced machine), so
-// a single file documents the before/after.
+// reference numbers for the same workloads measured on the designs they
+// replaced (same build flags, quiesced machine) — the std::map event
+// engine for the engine/device benches, the rebuild-per-submit serving
+// layer for the steady-state benches — so a single file documents the
+// before/after.
 
 #include <chrono>
 #include <cstdio>
@@ -28,9 +37,12 @@
 #include <string>
 #include <vector>
 
+#include "core/liger_runtime.h"
 #include "gpu/device.h"
+#include "gpu/node.h"
 #include "model/model_spec.h"
 #include "serving/experiment.h"
+#include "serving/generative.h"
 #include "sim/engine.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
@@ -122,6 +134,79 @@ void device_kernel_churn(int kernels) {
   engine.run();
 }
 
+// Steady-state decode submits: every batch has the fig11 shape
+// (batch 32, context 16), so after the first token the serving layer is
+// handing the runtime work it has assembled before. Measures submit()
+// only — the engine never runs, isolating the per-token plan-assembly
+// cost from kernel simulation.
+void submit_decode_steady(int submits) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  core::LigerRuntime runtime(node, model::ModelZoo::opt_30b());
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  for (int i = 0; i < submits; ++i) {
+    model::BatchRequest req;
+    req.id = i;
+    req.batch_size = 32;
+    req.seq = 16;
+    req.phase = model::Phase::kDecode;
+    runtime.submit(req);
+  }
+}
+
+// Decode backlog driven to completion: the round pipeline
+// (next_round + materialize + launch) in steady state. Returns the
+// number of rounds executed (identical across reps — deterministic).
+std::uint64_t round_materialize_steady(int batches) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  core::LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(12));
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  for (int i = 0; i < batches; ++i) {
+    model::BatchRequest req;
+    req.id = i;
+    req.batch_size = 32;
+    req.seq = 16;
+    req.phase = model::Phase::kDecode;
+    runtime.submit(req);
+  }
+  engine.run();
+  return runtime.stats().rounds;
+}
+
+// End-to-end generative serving (fig11-style workload, full token
+// chains): multi-conversation prefill + chained decodes with growing
+// KV context. Returns tokens generated; fills wall/sim times.
+struct GenerativeSteadyResult {
+  double wall_ms = 0.0;
+  sim::SimTime makespan = 0;
+  std::uint64_t tokens = 0;
+  std::uint64_t rounds = 0;
+  double tokens_per_second = 0.0;  // simulated-time throughput
+};
+
+GenerativeSteadyResult generative_steady(int conversations, int tokens) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  core::LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(12));
+  serving::GenerativeConfig cfg;
+  cfg.conversations = conversations;
+  cfg.prompt_len = 16;
+  cfg.tokens = tokens;
+  cfg.batch_size = 32;
+  serving::GenerativeDriver driver(engine, runtime, model::ModelZoo::opt_30b().with_layers(12),
+                                   node.num_devices(), cfg);
+  const auto start = Clock::now();
+  const auto result = driver.run();
+  GenerativeSteadyResult out;
+  out.wall_ms = seconds_since(start) * 1e3;
+  out.makespan = result.makespan;
+  out.tokens = static_cast<std::uint64_t>(conversations) * static_cast<std::uint64_t>(tokens);
+  out.rounds = runtime.stats().rounds;
+  out.tokens_per_second = result.tokens_per_second;
+  return out;
+}
+
 double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
   serving::ExperimentConfig cfg;
   cfg.node = gpu::NodeSpec::v100_nvlink(4);
@@ -150,6 +235,16 @@ constexpr BaselineEntry kStdMapBaseline[] = {
     {"device_kernel_churn/4096", 2.151e6},
 };
 
+// Reference numbers for the steady-state serving benches measured
+// against the rebuild-per-submit serving layer this PR replaced (every
+// submit re-assembled and re-annotated the full op list; every round
+// materialized per-rank descriptor copies; plans retained forever).
+// Units: items per second (submits/s and rounds/s respectively).
+constexpr BaselineEntry kRebuildServingBaseline[] = {
+    {"submit_decode_steady/512", 1.328e4},
+    {"round_materialize/32", 7.216e4},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,9 +260,15 @@ int main(int argc, char** argv) {
                             [] { engine_cancel_churn(100000, 8); }));
   results.push_back(measure("device_kernel_churn/4096", 4096, min_time,
                             [] { device_kernel_churn(4096); }));
+  results.push_back(measure("submit_decode_steady/512", 512, min_time,
+                            [] { submit_decode_steady(512); }));
+  const std::uint64_t rounds_per_rep = round_materialize_steady(32);
+  results.push_back(measure("round_materialize/32", rounds_per_rep, min_time,
+                            [] { round_materialize_steady(32); }));
 
   sim::SimTime makespan = 0;
   const double fig10_ms = fig10_panel_a_wall_ms(requests, makespan);
+  const auto generative = generative_steady(/*conversations=*/4, /*tokens=*/48);
 
   std::printf("%-28s %12s %14s %10s\n", "benchmark", "reps", "items/s", "ns/item");
   for (const auto& m : results) {
@@ -176,9 +277,17 @@ int main(int argc, char** argv) {
   }
   std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests)\n",
               "fig10_panel_a/end_to_end", "1", fig10_ms, sim::to_ms(makespan), requests);
+  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %llu tokens, %llu rounds)\n",
+              "fig11_generative/end_to_end", "1", generative.wall_ms,
+              sim::to_ms(generative.makespan), (unsigned long long)generative.tokens,
+              (unsigned long long)generative.rounds);
   if (flags.get_bool("baseline", false)) {
     std::printf("\nstd::map engine baseline (recorded):\n");
     for (const auto& b : kStdMapBaseline) {
+      std::printf("%-28s %14.3e items/s\n", b.name, b.items_per_second);
+    }
+    std::printf("\nrebuild-per-submit serving baseline (recorded):\n");
+    for (const auto& b : kRebuildServingBaseline) {
       std::printf("%-28s %14.3e items/s\n", b.name, b.items_per_second);
     }
   }
@@ -209,10 +318,27 @@ int main(int argc, char** argv) {
     json.kv("wall_ms", fig10_ms);
     json.kv("sim_makespan_ms", sim::to_ms(makespan));
     json.end_object();
+    json.begin_object();
+    json.kv("name", "fig11_generative/end_to_end");
+    json.kv("tokens", static_cast<std::int64_t>(generative.tokens));
+    json.kv("rounds", static_cast<std::int64_t>(generative.rounds));
+    json.kv("wall_ms", generative.wall_ms);
+    json.kv("sim_makespan_ms", sim::to_ms(generative.makespan));
+    json.kv("sim_tokens_per_second", generative.tokens_per_second);
+    json.end_object();
     json.end_array();
     json.key("baseline_std_map_engine");
     json.begin_array();
     for (const auto& b : kStdMapBaseline) {
+      json.begin_object();
+      json.kv("name", b.name);
+      json.kv("items_per_second", b.items_per_second);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("baseline_rebuild_serving");
+    json.begin_array();
+    for (const auto& b : kRebuildServingBaseline) {
       json.begin_object();
       json.kv("name", b.name);
       json.kv("items_per_second", b.items_per_second);

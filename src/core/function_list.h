@@ -1,9 +1,20 @@
 // Function assembly (§3.2): the list of kernel-launch descriptors for
 // one batch's inference, consumed front-to-back by the scheduler.
+//
+// The op sequence of a batch is a pure function of its shape, so the
+// PlanCache hands every identically shaped batch the same immutable
+// annotated OpList. A FunctionList is therefore a cursor over a
+// shared_ptr<const OpList> — enqueueing a batch copies a pointer, not
+// ~layers×ops templates. The only per-batch mutable state is the
+// decomposition overlay: when the scheduler splits an op at runtime
+// (§3.6) the unscheduled remainder is batch-specific and lives in a
+// small deque in front of the cursor, leaving the shared plan untouched.
 #pragma once
 
 #include <cassert>
 #include <deque>
+#include <memory>
+#include <utility>
 
 #include "model/batch.h"
 #include "model/op_template.h"
@@ -12,39 +23,61 @@ namespace liger::core {
 
 class FunctionList {
  public:
+  // Shared-plan constructor: the cached path. `ops` must be non-null
+  // and is never mutated through this list.
+  FunctionList(model::BatchRequest request, std::shared_ptr<const model::OpList> ops)
+      : request_(request), ops_(std::move(ops)) {
+    assert(ops_ != nullptr);
+  }
+
+  // Owning convenience (tests, ad-hoc lists): wraps the list without
+  // copying element-by-element.
   FunctionList(model::BatchRequest request, model::OpList ops)
-      : request_(request), ops_(ops.begin(), ops.end()) {}
+      : FunctionList(request, std::make_shared<const model::OpList>(std::move(ops))) {}
 
   const model::BatchRequest& request() const { return request_; }
-  bool empty() const { return ops_.empty(); }
-  std::size_t remaining() const { return ops_.size(); }
+  bool empty() const { return overlay_.empty() && cursor_ >= ops_->size(); }
+  std::size_t remaining() const { return overlay_.size() + (ops_->size() - cursor_); }
 
   const model::OpTemplate& front() const {
     assert(!empty());
-    return ops_.front();
+    return overlay_.empty() ? (*ops_)[cursor_] : overlay_.front();
   }
 
   model::OpTemplate pop() {
     assert(!empty());
-    model::OpTemplate op = std::move(ops_.front());
-    ops_.pop_front();
-    return op;
+    if (!overlay_.empty()) {
+      model::OpTemplate op = std::move(overlay_.front());
+      overlay_.pop_front();
+      return op;
+    }
+    return (*ops_)[cursor_++];  // copy; the plan is shared and immutable
   }
 
   // Re-inserts the unscheduled remainder of a decomposed op.
-  void push_front(model::OpTemplate op) { ops_.push_front(std::move(op)); }
+  void push_front(model::OpTemplate op) { overlay_.push_front(std::move(op)); }
 
   // Algorithm 1's switch() test: true when the op after front() has a
   // different kernel kind, or front() is the last op.
   bool switches_after_front() const {
     assert(!empty());
-    if (ops_.size() == 1) return true;
-    return ops_[0].kind != ops_[1].kind;
+    const model::OpTemplate* next = nullptr;
+    if (overlay_.size() >= 2) {
+      next = &overlay_[1];
+    } else if (overlay_.size() == 1) {
+      if (cursor_ < ops_->size()) next = &(*ops_)[cursor_];
+    } else if (cursor_ + 1 < ops_->size()) {
+      next = &(*ops_)[cursor_ + 1];
+    }
+    return next == nullptr || front().kind != next->kind;
   }
 
  private:
   model::BatchRequest request_;
-  std::deque<model::OpTemplate> ops_;
+  std::shared_ptr<const model::OpList> ops_;
+  std::size_t cursor_ = 0;  // next unconsumed op in *ops_
+  // Decomposition remainders, consumed before the cursor advances.
+  std::deque<model::OpTemplate> overlay_;
 };
 
 }  // namespace liger::core

@@ -17,7 +17,9 @@ LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions
       scheduler_(planner_, Scheduler::Options{options.contention_factor,
                                               options.enable_decomposition,
                                               options.processing_slots}),
-      options_(options) {
+      plan_cache_(builder_, table_),
+      options_(options),
+      plans_(node.num_devices()) {
   const int n = node_.num_devices();
   stream0_.reserve(static_cast<std::size_t>(n));
   stream1_.reserve(static_cast<std::size_t>(n));
@@ -37,15 +39,16 @@ void LigerRuntime::submit(model::BatchRequest request) {
   cfg.phase = request.phase;
   cfg.sequence_parallel = options_.sequence_parallel;
 
-  model::OpList ops = builder_.model_ops(cfg);
-  table_.annotate(ops);
+  std::shared_ptr<const CompiledPlan> compiled = plan_cache_.get(cfg);
+  stats_.plan_cache_hits = plan_cache_.hits();
+  stats_.plan_cache_misses = plan_cache_.misses();
   inflight_.emplace(request.id, request);
   completion_remaining_.emplace(request.id, node_.num_devices());
-  activation_bytes_.emplace(request.id, builder_.activation_bytes(cfg));
-  stats_.current_activation_bytes += activation_bytes_.at(request.id);
+  activation_bytes_.emplace(request.id, compiled->activation_bytes);
+  stats_.current_activation_bytes += compiled->activation_bytes;
   stats_.peak_activation_bytes =
       std::max(stats_.peak_activation_bytes, stats_.current_activation_bytes);
-  scheduler_.enqueue(FunctionList(request, std::move(ops)));
+  scheduler_.enqueue(FunctionList(request, PlanCache::ops_view(std::move(compiled))));
   for (auto& ch : wakeups_) ch->push(request.id);
 }
 
@@ -75,20 +78,21 @@ LigerRuntime::ExecItem LigerRuntime::materialize(LaunchItem item) {
     exec.per_rank = std::move(op.kernels);
     for (auto& k : exec.per_rank) k.batch_id = item.batch_id;
   } else {
-    gpu::KernelDesc desc = item.op.kernel;
-    desc.batch_id = item.batch_id;
-    exec.per_rank.assign(static_cast<std::size_t>(n), desc);
+    // Every rank launches the same compute kernel: one shared
+    // descriptor, moved out of the (already per-round) launch item.
+    exec.shared = std::move(item.op.kernel);
+    exec.shared.batch_id = item.batch_id;
   }
   return exec;
 }
 
-LigerRuntime::ExecPlan& LigerRuntime::plan(std::size_t round) {
-  if (round < plans_.size()) return plans_[round];
-  assert(round == plans_.size() && "ranks must consume plans in order");
+LigerRuntime::ExecPlan& LigerRuntime::plan(std::uint64_t round) {
+  if (plans_.contains(round)) return plans_.at(round);
+  assert(round == plans_.end_round() && "ranks must consume plans in order");
   assert(scheduler_.has_work());
 
   RoundPlan rp = scheduler_.next_round();
-  ExecPlan exec;
+  ExecPlan& exec = plans_.append();
   exec.primary_kind = rp.primary_kind;
   exec.primary.reserve(rp.primary.size());
   exec.secondary.reserve(rp.secondary.size());
@@ -99,9 +103,10 @@ LigerRuntime::ExecPlan& LigerRuntime::plan(std::size_t round) {
   stats_.kernels_launched += exec.primary.size() + exec.secondary.size();
   stats_.secondary_kernels += exec.secondary.size();
   stats_.decompositions = scheduler_.decompositions();
+  stats_.peak_retained_plans =
+      std::max<std::uint64_t>(stats_.peak_retained_plans, plans_.retained());
 
-  plans_.push_back(std::move(exec));
-  return plans_.back();
+  return exec;
 }
 
 std::function<void()> LigerRuntime::completion_cb(const ExecItem& item) {
@@ -134,8 +139,8 @@ sim::Task LigerRuntime::rank_actor(int rank) {
   std::shared_ptr<gpu::Event> prev_pre;
   std::shared_ptr<gpu::Event> prev_post;
 
-  for (std::size_t round = 0;; ++round) {
-    while (round >= plans_.size() && !scheduler_.has_work()) {
+  for (std::uint64_t round = 0;; ++round) {
+    while (round >= plans_.end_round() && !scheduler_.has_work()) {
       (void)co_await wakeup.pop();
     }
     ExecPlan& p = plan(round);
@@ -166,7 +171,7 @@ sim::Task LigerRuntime::rank_actor(int rank) {
         // Primary subset on stream 0, pre/post events around its last
         // kernel (the hybrid-synchronization anchor).
         for (std::size_t i = 0; i + 1 < p.primary.size(); ++i) {
-          co_await host.launch_kernel(s0, p.primary[i].per_rank[r],
+          co_await host.launch_kernel(s0, p.primary[i].desc(r),
                                       completion_cb(p.primary[i]));
         }
         if (options_.sync == SyncMode::kHybrid) {
@@ -174,7 +179,7 @@ sim::Task LigerRuntime::rank_actor(int rank) {
           co_await host.record_event(s0, pre);
         }
         auto& last = p.primary.back();
-        co_await host.launch_kernel(s0, last.per_rank[r], completion_cb(last));
+        co_await host.launch_kernel(s0, last.desc(r), completion_cb(last));
         if (options_.sync == SyncMode::kHybrid) {
           post = host.create_event();
           co_await host.record_event(s0, post);
@@ -187,12 +192,16 @@ sim::Task LigerRuntime::rank_actor(int rank) {
           co_await host.stream_wait_event(s1, prev_post);
         }
         for (auto& item : p.secondary) {
-          co_await host.launch_kernel(s1, item.per_rank[r], completion_cb(item));
+          co_await host.launch_kernel(s1, item.desc(r), completion_cb(item));
         }
       }
     }
     prev_pre = std::move(pre);
     prev_post = std::move(post);
+
+    // This rank is done with round `round`: the launches copied what
+    // they needed, so the plan may retire once every rank reaches here.
+    plans_.mark_consumed(rank, round);
   }
 }
 

@@ -1,8 +1,9 @@
 // Liger: the interleaved-parallelism runtime (the paper's system).
 //
 // Architecture (mirrors Fig 5/Fig 7):
-//  * submit() assembles the batch's function list (§3.2: model ops with
-//    profiled durations) and appends it to the waiting queue.
+//  * submit() fetches the batch's function list from the PlanCache
+//    (§3.2: model ops with profiled durations, compiled once per batch
+//    shape) and appends a cursor over it to the waiting queue.
 //  * A shared Scheduler computes RoundPlans with Algorithm 1 +
 //    contention factors + runtime decomposition.
 //  * One rank actor per device executes the common plan sequence on its
@@ -12,15 +13,19 @@
 //    pre-launches the next round while that kernel still runs, and
 //    gates the secondary stream on a post-event recorded after it
 //    (inter-stream sync, no CPU involvement).
+//  * Materialized round plans live in a bounded PlanRing shared by the
+//    rank actors and retire once every rank has executed them, so a
+//    serving run retains O(ranks) plans, not O(rounds).
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "collective/collective.h"
+#include "core/plan_cache.h"
+#include "core/plan_ring.h"
 #include "core/runtime.h"
 #include "core/scheduler.h"
 #include "gpu/node.h"
@@ -61,6 +66,12 @@ struct LigerStats {
   // bytes of currently in-flight batches, and the high-water mark.
   std::uint64_t current_activation_bytes = 0;
   std::uint64_t peak_activation_bytes = 0;
+  // Plan-cache effectiveness: steady-state submits should hit.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  // High-water mark of simultaneously retained round plans; bounded by
+  // rank skew (O(ranks)), not by run length.
+  std::uint64_t peak_retained_plans = 0;
 };
 
 class LigerRuntime : public InferenceRuntime {
@@ -72,23 +83,37 @@ class LigerRuntime : public InferenceRuntime {
 
   const LigerStats& stats() const { return stats_; }
   const Scheduler& scheduler() const { return scheduler_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
   // One plan entry per round, shared by all ranks. Comm ops are
-  // materialized once (one collective per comm item).
+  // materialized once (one collective per comm item); compute ops run
+  // the same kernel on every rank, so they carry a single shared
+  // descriptor instead of n identical copies.
   struct ExecItem {
-    std::vector<gpu::KernelDesc> per_rank;  // index = device id
+    gpu::KernelDesc shared;                 // compute ops: every rank's kernel
+    std::vector<gpu::KernelDesc> per_rank;  // comm ops: index = device id
     int batch_id = -1;
     bool completes_batch = false;
+
+    const gpu::KernelDesc& desc(std::size_t rank) const {
+      return per_rank.empty() ? shared : per_rank[rank];
+    }
   };
   struct ExecPlan {
     std::vector<ExecItem> primary;
     std::vector<ExecItem> secondary;
     gpu::KernelKind primary_kind = gpu::KernelKind::kCompute;
+
+    void clear() {
+      primary.clear();
+      secondary.clear();
+      primary_kind = gpu::KernelKind::kCompute;
+    }
   };
 
   sim::Task rank_actor(int rank);
-  ExecPlan& plan(std::size_t round);
+  ExecPlan& plan(std::uint64_t round);
   ExecItem materialize(LaunchItem item);
   std::function<void()> completion_cb(const ExecItem& item);
 
@@ -100,11 +125,13 @@ class LigerRuntime : public InferenceRuntime {
   profile::ProfileTable table_;
   profile::DecompositionPlanner planner_;
   Scheduler scheduler_;
+  PlanCache plan_cache_;
   LigerOptions options_;
 
-  // Deque: rank actors hold ExecPlan references across co_awaits while
-  // other ranks append plans; deque push_back keeps references stable.
-  std::deque<ExecPlan> plans_;
+  // Bounded round pipeline: rank actors hold ExecPlan references across
+  // co_awaits; the ring keeps plan addresses stable and retires a plan
+  // once every rank has consumed it.
+  PlanRing<ExecPlan> plans_;
   std::vector<gpu::Stream*> stream0_;
   std::vector<gpu::Stream*> stream1_;
   std::vector<std::unique_ptr<sim::Channel<int>>> wakeups_;

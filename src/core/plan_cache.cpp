@@ -1,0 +1,22 @@
+#include "core/plan_cache.h"
+
+namespace liger::core {
+
+std::shared_ptr<const CompiledPlan> PlanCache::get(const model::ExecConfig& cfg) {
+  const Key key{cfg.batch, cfg.seq, cfg.tp, static_cast<int>(cfg.phase),
+                cfg.sequence_parallel ? 1 : 0};
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->ops = builder_.model_ops(cfg);
+  table_.annotate(plan->ops);
+  plan->activation_bytes = builder_.activation_bytes(cfg);
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+}  // namespace liger::core

@@ -1,0 +1,67 @@
+// Compiled-plan cache: memoizes the annotated op sequence of a batch
+// shape so steady-state serving never rebuilds it.
+//
+// A batch's function list is a pure function of
+// (batch, seq, tp, phase, sequence_parallel): LayerBuilder assembles
+// the same ~layers×ops templates (including kernel-name strings) and
+// ProfileTable annotates the same profiled durations every time. In
+// generative serving that work used to run once per *token*; behind the
+// cache the first token of each distinct context length compiles the
+// plan and every later identically shaped submit costs a map lookup
+// plus a shared_ptr copy. Entries are immutable after insertion
+// (consumers cursor over them, never mutate), so there is no
+// invalidation: a cache instance is bound to one LayerBuilder +
+// ProfileTable pair whose model, cost model, and communicator are fixed
+// for the runtime's lifetime — any input that could change the plan is
+// part of the key by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "model/layer_builder.h"
+#include "model/op_template.h"
+#include "profile/profile_table.h"
+
+namespace liger::core {
+
+// One immutable compiled plan, shared by every batch of its shape.
+struct CompiledPlan {
+  model::OpList ops;                    // annotated with profiled durations
+  std::uint64_t activation_bytes = 0;   // per-device working set (§3.2)
+};
+
+class PlanCache {
+ public:
+  PlanCache(const model::LayerBuilder& builder, const profile::ProfileTable& table)
+      : builder_(builder), table_(table) {}
+
+  // The compiled plan for `cfg`, building and annotating it on miss.
+  std::shared_ptr<const CompiledPlan> get(const model::ExecConfig& cfg);
+
+  // A view of the plan's op list aliasing the plan's ownership — what
+  // FunctionList cursors over.
+  static std::shared_ptr<const model::OpList> ops_view(
+      std::shared_ptr<const CompiledPlan> plan) {
+    return std::shared_ptr<const model::OpList>(plan, &plan->ops);
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return plans_.size(); }
+
+ private:
+  // Everything the builder's output depends on. phase/sequence_parallel
+  // are widened to int so the tuple stays trivially comparable.
+  using Key = std::tuple<int, int, int, int, int>;  // batch, seq, tp, phase, sp
+
+  const model::LayerBuilder& builder_;
+  const profile::ProfileTable& table_;
+  std::map<Key, std::shared_ptr<const CompiledPlan>> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace liger::core

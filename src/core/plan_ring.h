@@ -1,0 +1,100 @@
+// Bounded ring of round plans with per-rank consumption cursors.
+//
+// The Liger rank actors consume one common plan sequence: the leading
+// rank compiles plan r (append()), laggards look it up (at(r)), and
+// once every rank has reported mark_consumed(rank, r) the plan retires.
+// Retained memory is therefore O(max rank skew) — in practice O(ranks),
+// since collectives rendezvous the ranks every layer — instead of the
+// O(rounds) an append-only log retains over a serving run.
+//
+// Plans are held by unique_ptr so references handed out by at()/append()
+// stay valid across later appends (which may regrow the slot table) and
+// across retirement of *other* rounds — a rank actor holds its round's
+// plan reference across co_awaits while peers advance. Retiring a round
+// does not free its slot: the plan object is clear()ed (keeping vector
+// capacity) and recycled by a later append, so the steady-state round
+// pipeline allocates nothing.
+//
+// Plan must provide `void clear()` restoring an empty reusable state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace liger::core {
+
+template <typename Plan>
+class PlanRing {
+ public:
+  explicit PlanRing(int num_ranks)
+      : next_round_(static_cast<std::size_t>(num_ranks), 0) {
+    assert(num_ranks >= 1);
+    slots_.resize(static_cast<std::size_t>(num_ranks) + 1);
+  }
+
+  // Rounds currently retained are [base_round(), end_round()).
+  std::uint64_t base_round() const { return base_; }
+  std::uint64_t end_round() const { return base_ + count_; }
+  std::size_t retained() const { return count_; }
+
+  bool contains(std::uint64_t round) const {
+    return round >= base_ && round < base_ + count_;
+  }
+
+  Plan& at(std::uint64_t round) {
+    assert(contains(round) && "plan already retired or not yet compiled");
+    return *slots_[slot_index(round - base_)];
+  }
+
+  // Appends the plan for round end_round() and returns it cleared;
+  // recycles a retired plan object when one is available.
+  Plan& append() {
+    if (count_ == slots_.size()) grow();
+    auto& slot = slots_[slot_index(count_)];
+    if (!slot) slot = std::make_unique<Plan>();
+    ++count_;
+    return *slot;
+  }
+
+  // Rank `rank` finished executing `round`; retires every round all
+  // ranks are done with. Rounds must be consumed in order per rank.
+  void mark_consumed(int rank, std::uint64_t round) {
+    auto& cursor = next_round_[static_cast<std::size_t>(rank)];
+    assert(round == cursor && "ranks consume rounds in order");
+    cursor = round + 1;
+    std::uint64_t min_cursor = next_round_[0];
+    for (std::uint64_t c : next_round_) min_cursor = c < min_cursor ? c : min_cursor;
+    while (count_ > 0 && base_ < min_cursor) {
+      slots_[head_]->clear();  // recycle: keep the allocation for reuse
+      head_ = (head_ + 1) % slots_.size();
+      ++base_;
+      --count_;
+    }
+  }
+
+ private:
+  std::size_t slot_index(std::uint64_t offset) const {
+    return (head_ + offset) % slots_.size();
+  }
+
+  // A rank lagged further than the current capacity: relinearize into a
+  // table twice the size. unique_ptr moves keep plan addresses stable.
+  void grow() {
+    std::vector<std::unique_ptr<Plan>> bigger(slots_.size() * 2);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      bigger[i] = std::move(slots_[slot_index(i)]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::unique_ptr<Plan>> slots_;  // circular; null until first use
+  std::size_t head_ = 0;       // slot of round base_
+  std::size_t count_ = 0;      // live plans
+  std::uint64_t base_ = 0;     // oldest retained round
+  std::vector<std::uint64_t> next_round_;  // per-rank: next round to consume
+};
+
+}  // namespace liger::core

@@ -23,17 +23,16 @@ GenerativeDriver::GenerativeDriver(sim::Engine& engine, core::InferenceRuntime& 
     conv.context = config_.prompt_len;
     conv.remaining = config_.tokens;
     conv.next_id = (c + 1) * 1'000'000;  // id space encodes the conversation
+    // The conversation is live from the start; its KV cache grows by
+    // one context step per generated token and is freed when the last
+    // token completes. live_kv_ tracks the total incrementally, so a
+    // submit costs O(1) instead of an O(conversations) rescan.
+    live_kv_ += kv_cache_bytes(model_, config_.batch_size, conv.context, tp_);
   }
 }
 
 void GenerativeDriver::update_kv_peak() {
-  std::uint64_t total = 0;
-  for (const auto& conv : conversations_) {
-    if (conv.remaining > 0 || !conv.prefilled) {
-      total += kv_cache_bytes(model_, config_.batch_size, conv.context, tp_);
-    }
-  }
-  peak_kv_ = std::max(peak_kv_, total);
+  peak_kv_ = std::max(peak_kv_, live_kv_);
 }
 
 void GenerativeDriver::submit_next(Conversation& conv, model::Phase phase) {
@@ -62,7 +61,11 @@ void GenerativeDriver::on_complete(const model::BatchRequest& request, sim::SimT
     decode_ms_.add(latency_ms);
     ++total_tokens_done_;
     --conv.remaining;
+    live_kv_ -= kv_cache_bytes(model_, config_.batch_size, conv.context, tp_);
     ++conv.context;  // the generated token extends the KV cache
+    if (conv.remaining > 0) {
+      live_kv_ += kv_cache_bytes(model_, config_.batch_size, conv.context, tp_);
+    }  // else: the conversation retires and its KV cache is freed
   }
   if (conv.remaining > 0) {
     submit_next(conv, model::Phase::kDecode);

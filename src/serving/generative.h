@@ -59,6 +59,8 @@ class GenerativeDriver {
 
   void submit_next(Conversation& conv, model::Phase phase);
   void on_complete(const model::BatchRequest& request, sim::SimTime t);
+  // Samples live_kv_ into the peak. The live total is maintained
+  // incrementally (O(1) per token) rather than rescanned per submit.
   void update_kv_peak();
 
   sim::Engine& engine_;
@@ -69,6 +71,7 @@ class GenerativeDriver {
   std::vector<Conversation> conversations_;
   util::SampleSet prefill_ms_;
   util::SampleSet decode_ms_;
+  std::uint64_t live_kv_ = 0;  // KV bytes of all live conversations
   std::uint64_t peak_kv_ = 0;
   int total_tokens_done_ = 0;
 };

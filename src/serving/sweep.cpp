@@ -1,17 +1,20 @@
 #include "serving/sweep.h"
 
-#include "util/thread_pool.h"
-
 namespace liger::serving {
 
 std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
-                                 unsigned threads) {
+                                 util::ThreadPool& pool) {
   std::vector<Report> reports(configs.size());
-  util::ThreadPool pool(threads);
   pool.parallel_for(configs.size(), [&](std::size_t i) {
     reports[i] = run_experiment(configs[i]);
   });
   return reports;
+}
+
+std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                 unsigned threads) {
+  util::ThreadPool pool(threads);
+  return run_parallel(configs, pool);
 }
 
 }  // namespace liger::serving

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "serving/experiment.h"
+#include "util/thread_pool.h"
 
 namespace liger::serving {
 
@@ -14,5 +15,10 @@ namespace liger::serving {
 // threads == 0 uses the hardware concurrency.
 std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
                                  unsigned threads = 0);
+
+// Same, on a caller-owned pool — figure benches sweeping many rate
+// points reuse the workers instead of spawning a pool per sweep.
+std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                 util::ThreadPool& pool);
 
 }  // namespace liger::serving

@@ -64,5 +64,63 @@ TEST(FunctionListTest, FrontDurationExposed) {
   EXPECT_EQ(list.front().profiled_duration, 1234);
 }
 
+TEST(FunctionListTest, CursorsShareOneImmutablePlan) {
+  // Two batches of the same shape cursor over one shared op list; each
+  // consumes independently and the plan itself is never mutated.
+  const auto shared = std::make_shared<const model::OpList>(abc_list());
+  FunctionList a(model::BatchRequest{.id = 1}, shared);
+  FunctionList b(model::BatchRequest{.id = 2}, shared);
+
+  EXPECT_EQ(a.pop().kernel.name, "c1");
+  EXPECT_EQ(a.pop().kernel.name, "c2");
+  EXPECT_EQ(b.pop().kernel.name, "c1");  // b unaffected by a's progress
+  EXPECT_EQ(a.remaining(), 2u);
+  EXPECT_EQ(b.remaining(), 3u);
+  EXPECT_EQ(shared->size(), 4u);
+  EXPECT_EQ(shared->front().kernel.name, "c1");
+}
+
+TEST(FunctionListTest, OverlayRemainderConsumedBeforeCursor) {
+  FunctionList list(model::BatchRequest{}, abc_list());
+  (void)list.pop();  // c1 scheduled, decomposed; remainder re-inserted
+  list.push_front(op(gpu::KernelKind::kCompute, "c1-rest", 40));
+  EXPECT_EQ(list.remaining(), 4u);
+  EXPECT_EQ(list.pop().kernel.name, "c1-rest");
+  EXPECT_EQ(list.pop().kernel.name, "c2");  // cursor resumes after overlay
+  EXPECT_EQ(list.remaining(), 2u);
+}
+
+TEST(FunctionListTest, SwitchDetectionAcrossOverlayBoundary) {
+  using K = gpu::KernelKind;
+  FunctionList list(model::BatchRequest{}, abc_list());
+  (void)list.pop();  // c1
+  (void)list.pop();  // c2
+
+  // Comm remainder in the overlay, comm op at the cursor: no switch.
+  list.push_front(op(K::kComm, "m0-rest"));
+  EXPECT_FALSE(list.switches_after_front());
+  EXPECT_EQ(list.pop().kernel.name, "m0-rest");
+
+  // Comm remainder ahead of compute at the cursor: switch.
+  (void)list.pop();  // m1
+  list.push_front(op(K::kComm, "m1-rest"));
+  EXPECT_TRUE(list.switches_after_front());
+
+  // Two overlay entries compare against each other first.
+  list.push_front(op(K::kComm, "m1-rest2"));
+  EXPECT_FALSE(list.switches_after_front());
+}
+
+TEST(FunctionListTest, OverlayOnExhaustedCursorIsLast) {
+  FunctionList list(model::BatchRequest{}, {op(gpu::KernelKind::kCompute, "c", 100)});
+  (void)list.pop();
+  EXPECT_TRUE(list.empty());
+  list.push_front(op(gpu::KernelKind::kCompute, "c-rest", 60));
+  EXPECT_FALSE(list.empty());
+  EXPECT_TRUE(list.switches_after_front());  // remainder is the last op
+  EXPECT_EQ(list.pop().kernel.name, "c-rest");
+  EXPECT_TRUE(list.empty());
+}
+
 }  // namespace
 }  // namespace liger::core

@@ -207,6 +207,83 @@ TEST(LigerRuntimeTest, ActivationMemoryAccounting) {
   EXPECT_EQ(runtime.stats().peak_activation_bytes, mid);
 }
 
+TEST(LigerRuntimeTest, PlanCacheHitsOnRepeatedShapes) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  for (int i = 0; i < 8; ++i) {
+    model::BatchRequest req;
+    req.id = i;
+    req.batch_size = 2;
+    req.seq = 64;
+    runtime.submit(req);
+  }
+  engine.run();
+  // One compile for the shared shape, seven shared-plan reuses.
+  EXPECT_EQ(runtime.stats().plan_cache_misses, 1u);
+  EXPECT_EQ(runtime.stats().plan_cache_hits, 7u);
+  EXPECT_EQ(runtime.plan_cache().size(), 1u);
+}
+
+TEST(LigerRuntimeTest, PlanCacheMissesOnDistinctShapes) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
+  runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+  for (int i = 0; i < 4; ++i) {
+    model::BatchRequest req;
+    req.id = i;
+    req.batch_size = 2;
+    req.seq = 16 + i;  // decode-style context growth: all distinct
+    req.phase = model::Phase::kDecode;
+    runtime.submit(req);
+  }
+  engine.run();
+  EXPECT_EQ(runtime.stats().plan_cache_misses, 4u);
+  EXPECT_EQ(runtime.stats().plan_cache_hits, 0u);
+}
+
+// The memory bound of the round pipeline: a long generative run (well
+// past 1000 rounds) must retain O(ranks) plans at peak, not O(rounds) —
+// the ring retires plans as soon as every rank has executed them.
+TEST(LigerRuntimeTest, RetainedPlansBoundedByRanksOverLongRun) {
+  sim::Engine engine;
+  gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
+  LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(6));
+
+  // Autoregressive chain: each completion submits the next token's
+  // decode with a grown context, like serving::GenerativeDriver.
+  int context = 16;
+  int tokens_left = 200;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) {
+    if (--tokens_left <= 0) return;
+    ++context;
+    model::BatchRequest next;
+    next.id = 1000 + tokens_left;
+    next.batch_size = 32;
+    next.seq = context;
+    next.phase = model::Phase::kDecode;
+    next.arrival = engine.now();
+    runtime.submit(next);
+  });
+  model::BatchRequest first;
+  first.id = 0;
+  first.batch_size = 32;
+  first.seq = context;
+  first.phase = model::Phase::kDecode;
+  runtime.submit(first);
+  engine.run();
+
+  const auto& st = runtime.stats();
+  ASSERT_EQ(tokens_left, 0);
+  ASSERT_GE(st.rounds, 1000u) << "workload too small to exercise the bound";
+  const auto ranks = static_cast<std::uint64_t>(node.num_devices());
+  EXPECT_LE(st.peak_retained_plans, 2 * ranks)
+      << "retained plans must track rank skew, not run length";
+  EXPECT_GE(st.peak_retained_plans, 1u);
+}
+
 TEST(LigerRuntimeTest, LateSubmissionAfterIdleResumes) {
   sim::Engine engine;
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));

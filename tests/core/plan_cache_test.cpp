@@ -1,0 +1,96 @@
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+
+namespace liger::core {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest()
+      : topology(interconnect::InterconnectSpec::nvlink_v100(), 4),
+        comm(engine, topology, gpu::GpuSpec::v100()),
+        table(comm, 4),
+        cost(gpu::GpuSpec::v100()),
+        builder(model::ModelZoo::opt_30b().with_layers(4), cost),
+        cache(builder, table) {}
+
+  static model::ExecConfig decode_cfg(int batch, int ctx) {
+    model::ExecConfig c;
+    c.batch = batch;
+    c.seq = ctx;
+    c.tp = 4;
+    c.phase = model::Phase::kDecode;
+    return c;
+  }
+
+  sim::Engine engine;
+  interconnect::Topology topology;
+  collective::Communicator comm;
+  profile::ProfileTable table;
+  model::CostModel cost;
+  model::LayerBuilder builder;
+  PlanCache cache;
+};
+
+TEST_F(PlanCacheTest, RepeatedShapeSharesOnePlan) {
+  const auto a = cache.get(decode_cfg(32, 16));
+  const auto b = cache.get(decode_cfg(32, 16));
+  EXPECT_EQ(a.get(), b.get()) << "identical shapes must share one compiled plan";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(PlanCacheTest, DecodeContextGrowthProducesDistinctPlans) {
+  // Autoregressive decoding: context 16, 17, 18 ... — attention cost
+  // depends on the context, so each length compiles its own plan.
+  const auto c16 = cache.get(decode_cfg(32, 16));
+  const auto c17 = cache.get(decode_cfg(32, 17));
+  EXPECT_NE(c16.get(), c17.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // A second conversation at the same context hits.
+  const auto again = cache.get(decode_cfg(32, 17));
+  EXPECT_EQ(again.get(), c17.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(PlanCacheTest, PhaseAndBatchArePartOfTheKey) {
+  auto prefill = decode_cfg(32, 16);
+  prefill.phase = model::Phase::kPrefill;
+  EXPECT_NE(cache.get(decode_cfg(32, 16)).get(), cache.get(prefill).get());
+  EXPECT_NE(cache.get(decode_cfg(32, 16)).get(), cache.get(decode_cfg(16, 16)).get());
+}
+
+TEST_F(PlanCacheTest, PlansMatchFreshBuildAndAreAnnotated) {
+  const auto cfg = decode_cfg(32, 16);
+  const auto plan = cache.get(cfg);
+
+  model::OpList fresh = builder.model_ops(cfg);
+  table.annotate(fresh);
+  ASSERT_EQ(plan->ops.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(plan->ops[i].kernel.name, fresh[i].kernel.name) << i;
+    EXPECT_EQ(plan->ops[i].profiled_duration, fresh[i].profiled_duration) << i;
+    EXPECT_GT(plan->ops[i].profiled_duration, 0) << i;
+  }
+  EXPECT_EQ(plan->activation_bytes, builder.activation_bytes(cfg));
+}
+
+TEST_F(PlanCacheTest, OpsViewKeepsPlanAlive) {
+  std::shared_ptr<const model::OpList> view;
+  {
+    auto plan = cache.get(decode_cfg(32, 16));
+    view = PlanCache::ops_view(std::move(plan));
+  }
+  // The aliasing view owns the plan; the op list stays valid.
+  EXPECT_FALSE(view->empty());
+  EXPECT_GT(view->front().profiled_duration, 0);
+}
+
+}  // namespace
+}  // namespace liger::core

@@ -60,6 +60,21 @@ TEST_F(GenerativeDriverTest, KvCachePeakCoversAllConversationsAtFinalContext) {
   EXPECT_LE(r.peak_kv_bytes_per_device, max_expected);
 }
 
+TEST_F(GenerativeDriverTest, KvPeakMatchesClosedFormForSingleConversation) {
+  // One conversation decodes serially, so the incremental KV accounting
+  // must peak exactly at the final live context (the last decode is
+  // submitted at context prompt_len + tokens - 1).
+  GenerativeConfig cfg;
+  cfg.conversations = 1;
+  cfg.prompt_len = 16;
+  cfg.tokens = 7;
+  cfg.batch_size = 8;
+  const auto r = run_liger(cfg);
+  const auto spec = model::ModelZoo::opt_30b().with_layers(6);
+  EXPECT_EQ(r.peak_kv_bytes_per_device,
+            kv_cache_bytes(spec, cfg.batch_size, cfg.prompt_len + cfg.tokens - 1, 4));
+}
+
 TEST_F(GenerativeDriverTest, MoreConversationsRaiseAggregateTokRate) {
   GenerativeConfig one;
   one.conversations = 1;

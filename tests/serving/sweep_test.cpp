@@ -47,6 +47,26 @@ TEST(SweepTest, EmptySweep) {
   EXPECT_TRUE(run_parallel({}, 2).empty());
 }
 
+TEST(SweepTest, CallerOwnedPoolReusedAcrossSweeps) {
+  util::ThreadPool pool(2);
+  std::vector<ExperimentConfig> configs{
+      tiny(Method::kLiger, 50.0),
+      tiny(Method::kIntraOp, 50.0),
+  };
+  // Two sweeps on the same workers; results match the owned-pool path.
+  const auto first = run_parallel(configs, pool);
+  const auto second = run_parallel(configs, pool);
+  const auto owned = run_parallel(configs, 2);
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(first[i].makespan, owned[i].makespan) << i;
+    EXPECT_EQ(second[i].makespan, owned[i].makespan) << i;
+    EXPECT_DOUBLE_EQ(first[i].avg_latency_ms, owned[i].avg_latency_ms) << i;
+  }
+}
+
 TEST(SweepTest, SingleThreadWorks) {
   const auto reports = run_parallel({tiny(Method::kLiger, 40.0)}, 1);
   ASSERT_EQ(reports.size(), 1u);
