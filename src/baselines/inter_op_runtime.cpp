@@ -4,27 +4,31 @@
 
 namespace liger::baselines {
 
-InterOpRuntime::InterOpRuntime(gpu::Node& node, model::ModelSpec model,
+InterOpRuntime::InterOpRuntime(gpu::DeviceGroup group, model::ModelSpec model,
                                InterOpOptions options)
-    : node_(node),
+    : group_(std::move(group)),
       model_(std::move(model)),
-      cost_(node.spec().gpu),
+      cost_(group_.gpu()),
       builder_(model_, cost_),
-      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
+      comm_(group_, options.comm),
       options_(options) {
-  assert(model_.layers >= node_.num_devices() && "fewer layers than stages");
-  const int n = node_.num_devices();
+  assert(model_.layers >= group_.size() && "fewer layers than stages");
+  const int n = group_.size();
   for (int s = 0; s < n; ++s) {
-    streams_.push_back(&node_.device(s).create_stream());
-    queues_.push_back(std::make_unique<sim::Channel<StageJob>>(node_.engine()));
-    tokens_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+    streams_.push_back(&group_.device(s).create_stream());
+    queues_.push_back(std::make_unique<sim::Channel<StageJob>>(group_.engine()));
+    tokens_.push_back(std::make_unique<sim::Channel<int>>(group_.engine()));
     for (int t = 0; t < options_.max_inflight; ++t) tokens_.back()->push(t);
   }
   for (int s = 0; s < n; ++s) stage_actor(s);
 }
 
+InterOpRuntime::InterOpRuntime(gpu::Node& node, model::ModelSpec model,
+                               InterOpOptions options)
+    : InterOpRuntime(gpu::DeviceGroup::whole_node(node), std::move(model), options) {}
+
 std::pair<int, int> InterOpRuntime::stage_layers(int stage) const {
-  const int n = node_.num_devices();
+  const int n = group_.size();
   const int base = model_.layers / n;
   const int extra = model_.layers % n;
   const int lo = stage * base + std::min(stage, extra);
@@ -45,7 +49,7 @@ model::OpList InterOpRuntime::stage_ops(const model::ExecConfig& cfg, int stage)
   // run once; all-reduces vanish (no cross-device dependency inside a
   // pipeline stage).
   model::ExecConfig part_cfg = cfg;
-  part_cfg.tp = node_.num_devices();
+  part_cfg.tp = group_.size();
   model::OpList sharded = builder_.range_ops(part_cfg, lo, hi);
 
   model::OpList out;
@@ -71,11 +75,11 @@ void InterOpRuntime::submit(model::BatchRequest request) {
 }
 
 sim::Task InterOpRuntime::stage_actor(int stage) {
-  auto& host = node_.host(stage);
+  auto& host = group_.host(stage);
   gpu::Stream& stream = *streams_[static_cast<std::size_t>(stage)];
   auto& queue = *queues_[static_cast<std::size_t>(stage)];
   auto& tokens = *tokens_[static_cast<std::size_t>(stage)];
-  const int last_stage = node_.num_devices() - 1;
+  const int last_stage = group_.size() - 1;
 
   while (true) {
     StageJob job = co_await queue.pop();
@@ -102,7 +106,7 @@ sim::Task InterOpRuntime::stage_actor(int stage) {
         const model::BatchRequest request = job.request;
         cb = [this, stage, request, completes_here] {
           tokens_[static_cast<std::size_t>(stage)]->push(0);
-          if (completes_here) notify_complete(request, node_.engine().now());
+          if (completes_here) notify_complete(request, group_.engine().now());
         };
       }
       gpu::KernelDesc desc = ops[i].kernel;

@@ -15,6 +15,7 @@
 
 #include "collective/collective.h"
 #include "core/runtime.h"
+#include "gpu/device_group.h"
 #include "gpu/node.h"
 #include "model/cost_model.h"
 #include "model/layer_builder.h"
@@ -33,6 +34,10 @@ struct InterOpOptions {
 
 class InterOpRuntime : public core::InferenceRuntime {
  public:
+  // One pipeline stage per group rank; stage boundaries cross the
+  // fabric when consecutive ranks live on different nodes.
+  InterOpRuntime(gpu::DeviceGroup group, model::ModelSpec model,
+                 InterOpOptions options = {});
   InterOpRuntime(gpu::Node& node, model::ModelSpec model, InterOpOptions options = {});
 
   void submit(model::BatchRequest request) override;
@@ -53,7 +58,7 @@ class InterOpRuntime : public core::InferenceRuntime {
   // Ops executed by `stage` for one batch config.
   model::OpList stage_ops(const model::ExecConfig& cfg, int stage) const;
 
-  gpu::Node& node_;
+  gpu::DeviceGroup group_;
   model::ModelSpec model_;
   model::CostModel cost_;
   model::LayerBuilder builder_;

@@ -4,36 +4,40 @@
 
 namespace liger::baselines {
 
-IntraOpRuntime::IntraOpRuntime(gpu::Node& node, model::ModelSpec model,
+IntraOpRuntime::IntraOpRuntime(gpu::DeviceGroup group, model::ModelSpec model,
                                IntraOpOptions options)
-    : node_(node),
+    : group_(std::move(group)),
       model_(std::move(model)),
-      cost_(node.spec().gpu),
+      cost_(group_.gpu()),
       builder_(model_, cost_),
-      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
+      comm_(group_, options.comm),
       options_(options) {
   assert(options_.max_inflight >= 1);
-  const int n = node_.num_devices();
+  const int n = group_.size();
   for (int r = 0; r < n; ++r) {
-    streams_.push_back(&node_.device(r).create_stream());
+    streams_.push_back(&group_.device(r).create_stream());
     queues_.push_back(
-        std::make_unique<sim::Channel<std::shared_ptr<BatchPlan>>>(node_.engine()));
-    tokens_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+        std::make_unique<sim::Channel<std::shared_ptr<BatchPlan>>>(group_.engine()));
+    tokens_.push_back(std::make_unique<sim::Channel<int>>(group_.engine()));
     for (int t = 0; t < options_.max_inflight; ++t) tokens_.back()->push(t);
   }
   for (int r = 0; r < n; ++r) rank_actor(r);
 }
+
+IntraOpRuntime::IntraOpRuntime(gpu::Node& node, model::ModelSpec model,
+                               IntraOpOptions options)
+    : IntraOpRuntime(gpu::DeviceGroup::whole_node(node), std::move(model), options) {}
 
 std::shared_ptr<IntraOpRuntime::BatchPlan> IntraOpRuntime::make_plan(
     const model::BatchRequest& request) {
   model::ExecConfig cfg;
   cfg.batch = request.batch_size;
   cfg.seq = request.seq;
-  cfg.tp = node_.num_devices();
+  cfg.tp = group_.size();
   cfg.phase = request.phase;
   cfg.sequence_parallel = options_.sequence_parallel;
 
-  const int n = node_.num_devices();
+  const int n = group_.size();
   std::vector<int> devices(static_cast<std::size_t>(n));
   for (int d = 0; d < n; ++d) devices[static_cast<std::size_t>(d)] = d;
 
@@ -72,12 +76,12 @@ std::shared_ptr<IntraOpRuntime::BatchPlan> IntraOpRuntime::make_plan(
 
 void IntraOpRuntime::submit(model::BatchRequest request) {
   auto plan = make_plan(request);
-  completion_remaining_.emplace(request.id, node_.num_devices());
+  completion_remaining_.emplace(request.id, group_.size());
   for (auto& q : queues_) q->push(plan);
 }
 
 sim::Task IntraOpRuntime::rank_actor(int rank) {
-  auto& host = node_.host(rank);
+  auto& host = group_.host(rank);
   gpu::Stream& stream = *streams_[static_cast<std::size_t>(rank)];
   auto& queue = *queues_[static_cast<std::size_t>(rank)];
   auto& tokens = *tokens_[static_cast<std::size_t>(rank)];
@@ -97,7 +101,7 @@ sim::Task IntraOpRuntime::rank_actor(int rank) {
           assert(it != completion_remaining_.end());
           if (--it->second == 0) {
             completion_remaining_.erase(it);
-            notify_complete(plan->request, node_.engine().now());
+            notify_complete(plan->request, group_.engine().now());
           }
         };
       }
@@ -110,9 +114,9 @@ sim::SimTime IntraOpRuntime::isolated_batch_time(const model::BatchRequest& requ
   model::ExecConfig cfg;
   cfg.batch = request.batch_size;
   cfg.seq = request.seq;
-  cfg.tp = node_.num_devices();
+  cfg.tp = group_.size();
   cfg.phase = request.phase;
-  profile::ProfileTable table(comm_, node_.num_devices());
+  profile::ProfileTable table(comm_, group_.size());
   model::OpList ops = builder_.model_ops(cfg);
   sim::SimTime total = 0;
   for (const auto& op : ops) total += table.op_duration(op);

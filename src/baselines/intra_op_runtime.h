@@ -15,6 +15,7 @@
 
 #include "collective/collective.h"
 #include "core/runtime.h"
+#include "gpu/device_group.h"
 #include "gpu/node.h"
 #include "model/cost_model.h"
 #include "model/layer_builder.h"
@@ -34,6 +35,8 @@ struct IntraOpOptions {
 
 class IntraOpRuntime : public core::InferenceRuntime {
  public:
+  IntraOpRuntime(gpu::DeviceGroup group, model::ModelSpec model,
+                 IntraOpOptions options = {});
   IntraOpRuntime(gpu::Node& node, model::ModelSpec model, IntraOpOptions options = {});
 
   void submit(model::BatchRequest request) override;
@@ -56,7 +59,7 @@ class IntraOpRuntime : public core::InferenceRuntime {
   sim::Task rank_actor(int rank);
   std::shared_ptr<BatchPlan> make_plan(const model::BatchRequest& request);
 
-  gpu::Node& node_;
+  gpu::DeviceGroup group_;
   model::ModelSpec model_;
   model::CostModel cost_;
   model::LayerBuilder builder_;

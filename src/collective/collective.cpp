@@ -8,28 +8,33 @@
 
 namespace liger::collective {
 
-Collective::Collective(sim::Engine& engine, interconnect::Topology& topology, Kind kind,
-                       std::string name, std::vector<int> device_ids,
-                       sim::SimTime solo_duration, Registry* registry)
+Collective::Collective(sim::Engine& engine, Kind kind, std::string name,
+                       std::size_t num_members, sim::SimTime solo_duration,
+                       Registry* registry, std::vector<NodeFlow> node_flows,
+                       interconnect::NetworkFabric* fabric, std::vector<int> fabric_nodes)
     : engine_(engine),
-      topology_(topology),
       kind_(kind),
       name_(std::move(name)),
-      device_ids_(std::move(device_ids)),
+      num_members_(num_members),
+      node_flows_(std::move(node_flows)),
+      fabric_(fabric),
+      fabric_nodes_(std::move(fabric_nodes)),
       remaining_(static_cast<double>(solo_duration)),
       registry_(registry),
       done_(engine) {
-  assert(device_ids_.size() >= 2);
+  assert(num_members_ >= 2);
   assert(solo_duration > 0);
+  assert(!node_flows_.empty());
+  assert((fabric_ == nullptr) == fabric_nodes_.empty());
 }
 
 Collective::~Collective() = default;
 
 void Collective::member_started(gpu::Device& dev, gpu::KernelId id) {
   assert(!completed_);
-  assert(members_.size() < device_ids_.size() && "more members than participants");
+  assert(members_.size() < num_members_ && "more members than participants");
   members_.push_back(Member{&dev, id});
-  if (members_.size() == device_ids_.size()) activate();
+  if (members_.size() == num_members_) activate();
 }
 
 void Collective::member_rate(gpu::Device& dev, gpu::KernelId id, double local_rate) {
@@ -49,12 +54,21 @@ void Collective::activate() {
   last_update_ = engine_.now();
   if (registry_ != nullptr) registry_->push_back(weak_from_this());
   // The transfer is now live: member kernels begin driving memory and
-  // the interconnect. Flow registration lets a PCIe switch arbitrate.
-  flow_ = topology_.begin_flow(device_ids_);
+  // every traversed medium. Flow registration lets shared media (PCIe
+  // switch, endpoint NICs) arbitrate.
+  for (auto& nf : node_flows_) nf.flow = nf.topology->begin_flow(nf.local_devices);
+  if (fabric_ != nullptr) fabric_flow_ = fabric_->begin_flow(fabric_nodes_);
   for (auto& m : members_) {
     m.dev->set_kernel_mem_active(m.id, true);
   }
   update_rate();
+}
+
+double Collective::medium_share() const {
+  double share = 1.0;
+  for (const auto& nf : node_flows_) share = std::min(share, nf.topology->flow_share());
+  if (fabric_ != nullptr) share = std::min(share, fabric_->flow_share(fabric_flow_));
+  return share;
 }
 
 void Collective::update_rate() {
@@ -68,7 +82,7 @@ void Collective::update_rate() {
 
   double rate = members_.empty() ? 0.0 : members_.front().local_rate;
   for (const auto& m : members_) rate = std::min(rate, m.local_rate);
-  rate *= topology_.flow_share();
+  rate *= medium_share();
   joint_rate_ = rate;
 
   engine_.cancel(completion_);
@@ -84,7 +98,8 @@ void Collective::update_rate() {
 void Collective::complete() {
   if (completed_) return;
   completed_ = true;
-  topology_.end_flow(flow_);
+  for (auto& nf : node_flows_) nf.topology->end_flow(nf.flow);
+  if (fabric_ != nullptr) fabric_->end_flow(fabric_flow_);
   for (auto& m : members_) {
     m.dev->finish_kernel_external(m.id);
   }
@@ -93,10 +108,40 @@ void Collective::complete() {
 
 Communicator::Communicator(sim::Engine& engine, interconnect::Topology& topology,
                            const gpu::GpuSpec& gpu, CommConfig config)
-    : engine_(engine), topology_(topology), gpu_(gpu), config_(config) {
-  // When the flow set changes (another collective starts/ends), every
-  // active collective's share of a PCIe switch changes; re-rate them.
-  topology_.add_listener([this] {
+    : engine_(engine), gpu_(gpu), config_(config), primary_(&topology) {
+  slices_.push_back(Slice{&topology, 0});
+  rank_loc_.reserve(static_cast<std::size_t>(topology.num_devices()));
+  for (int d = 0; d < topology.num_devices(); ++d) {
+    rank_loc_.push_back(RankLoc{0, d});
+  }
+  subscribe();
+}
+
+Communicator::Communicator(const gpu::DeviceGroup& group, CommConfig config)
+    : engine_(group.engine()), gpu_(group.gpu()), config_(config) {
+  assert(group.size() >= 1);
+  assert(group.symmetric() && "hierarchical collectives need equal devices per node");
+  slices_.reserve(group.nodes().size());
+  for (const auto& slice : group.nodes()) {
+    slices_.push_back(Slice{slice.topology, slice.node});
+  }
+  primary_ = slices_.front().topology;
+  rank_loc_.resize(static_cast<std::size_t>(group.size()));
+  for (std::size_t s = 0; s < group.nodes().size(); ++s) {
+    const auto& slice = group.nodes()[s];
+    for (std::size_t i = 0; i < slice.ranks.size(); ++i) {
+      rank_loc_[static_cast<std::size_t>(slice.ranks[i])] =
+          RankLoc{s, slice.local_ids[i]};
+    }
+  }
+  if (group.num_nodes() > 1) fabric_ = group.fabric();
+  subscribe();
+}
+
+void Communicator::subscribe() {
+  // When any traversed medium's flow set changes, every active
+  // collective's share may change; re-rate them all.
+  auto rerate = [this] {
     std::size_t live = 0;
     for (auto& weak : active_) {
       if (auto coll = weak.lock(); coll && !coll->completed()) {
@@ -105,13 +150,32 @@ Communicator::Communicator(sim::Engine& engine, interconnect::Topology& topology
       }
     }
     active_.resize(live);
-  });
+  };
+  for (auto& slice : slices_) {
+    listeners_.push_back(slice.topology->add_listener(rerate));
+  }
+  if (fabric_ != nullptr) listeners_.push_back(fabric_->add_listener(rerate));
 }
 
 double Communicator::comm_mem_bw_demand() const {
-  const double busbw = topology_.allreduce_busbw(config_.max_nchannels);
+  const double busbw = primary_->allreduce_busbw(config_.max_nchannels);
   const double demand = config_.mem_traffic_factor * busbw / gpu_.mem_bandwidth;
   return std::min(1.0, demand);
+}
+
+int Communicator::nodes_of(int num_devices) const {
+  assert(num_devices >= 1 &&
+         num_devices <= static_cast<int>(rank_loc_.size()) && "rank out of domain");
+  std::size_t last_slice = 0;
+  int nodes = 0;
+  for (int r = 0; r < num_devices; ++r) {
+    const std::size_t s = rank_loc_[static_cast<std::size_t>(r)].slice;
+    if (nodes == 0 || s != last_slice) {
+      ++nodes;
+      last_slice = s;
+    }
+  }
+  return nodes;
 }
 
 interconnect::Topology::CollectiveAlgo Communicator::chosen_algo(std::uint64_t bytes,
@@ -123,32 +187,99 @@ interconnect::Topology::CollectiveAlgo Communicator::chosen_algo(std::uint64_t b
     case AllReduceAlgo::kAuto: break;
   }
   const auto ring =
-      topology_.allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kRing);
+      primary_->allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kRing);
   const auto tree =
-      topology_.allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kTree);
+      primary_->allreduce_time(bytes, num_devices, config_.max_nchannels, Algo::kTree);
   return tree < ring ? Algo::kTree : Algo::kRing;
 }
 
 sim::SimTime Communicator::all_reduce_solo_time(std::uint64_t bytes, int num_devices) const {
-  return topology_.allreduce_time(bytes, num_devices, config_.max_nchannels,
-                                  chosen_algo(bytes, num_devices));
+  const int nodes = nodes_of(num_devices);
+  if (nodes == 1) {
+    return primary_->allreduce_time(bytes, num_devices, config_.max_nchannels,
+                                    chosen_algo(bytes, num_devices));
+  }
+  // Hierarchical schedule: intra-node ring reduce-scatter, inter-node
+  // ring all-reduce of the scattered shards (the single NIC per node
+  // serializes the full payload), intra-node ring all-gather.
+  const int local = num_devices / nodes;
+  sim::SimTime intra = 0;
+  if (local > 1) {
+    intra = primary_->reduce_scatter_time(bytes, local, config_.max_nchannels) +
+            primary_->all_gather_time(bytes, local, config_.max_nchannels);
+  }
+  return intra + fabric_->ring_allreduce_time(bytes, nodes);
 }
 
 sim::SimTime Communicator::reduce_scatter_solo_time(std::uint64_t bytes,
                                                     int num_devices) const {
-  return topology_.reduce_scatter_time(bytes, num_devices, config_.max_nchannels);
+  const int nodes = nodes_of(num_devices);
+  if (nodes == 1) {
+    return primary_->reduce_scatter_time(bytes, num_devices, config_.max_nchannels);
+  }
+  const int local = num_devices / nodes;
+  sim::SimTime intra = 0;
+  if (local > 1) intra = primary_->reduce_scatter_time(bytes, local, config_.max_nchannels);
+  return intra + fabric_->ring_reduce_scatter_time(bytes, nodes);
 }
 
 sim::SimTime Communicator::all_gather_solo_time(std::uint64_t bytes, int num_devices) const {
-  return topology_.all_gather_time(bytes, num_devices, config_.max_nchannels);
+  const int nodes = nodes_of(num_devices);
+  if (nodes == 1) {
+    return primary_->all_gather_time(bytes, num_devices, config_.max_nchannels);
+  }
+  const int local = num_devices / nodes;
+  sim::SimTime intra = 0;
+  if (local > 1) intra = primary_->all_gather_time(bytes, local, config_.max_nchannels);
+  return intra + fabric_->ring_all_gather_time(bytes, nodes);
 }
 
 sim::SimTime Communicator::broadcast_solo_time(std::uint64_t bytes, int num_devices) const {
-  return topology_.broadcast_time(bytes, num_devices, config_.max_nchannels);
+  const int nodes = nodes_of(num_devices);
+  if (nodes == 1) {
+    return primary_->broadcast_time(bytes, num_devices, config_.max_nchannels);
+  }
+  const int local = num_devices / nodes;
+  sim::SimTime intra = 0;
+  if (local > 1) intra = primary_->broadcast_time(bytes, local, config_.max_nchannels);
+  return intra + fabric_->broadcast_time(bytes, nodes);
 }
 
 sim::SimTime Communicator::p2p_solo_time(std::uint64_t bytes) const {
-  return topology_.p2p_time(bytes);
+  return primary_->p2p_time(bytes);
+}
+
+sim::SimTime Communicator::p2p_solo_time(std::uint64_t bytes, int src, int dst) const {
+  const auto& a = rank_loc_.at(static_cast<std::size_t>(src));
+  const auto& b = rank_loc_.at(static_cast<std::size_t>(dst));
+  if (a.slice == b.slice) return slices_[a.slice].topology->p2p_time(bytes);
+  return fabric_->p2p_time(bytes);
+}
+
+std::vector<Collective::NodeFlow> Communicator::plan_flows(
+    const std::vector<int>& ranks, std::vector<int>* fabric_nodes) const {
+  std::vector<Collective::NodeFlow> flows;
+  std::vector<std::size_t> flow_slice;
+  for (int r : ranks) {
+    const auto& loc = rank_loc_.at(static_cast<std::size_t>(r));
+    std::size_t f = flows.size();
+    for (std::size_t i = 0; i < flow_slice.size(); ++i) {
+      if (flow_slice[i] == loc.slice) {
+        f = i;
+        break;
+      }
+    }
+    if (f == flows.size()) {
+      flows.push_back(Collective::NodeFlow{slices_[loc.slice].topology, {}, 0});
+      flow_slice.push_back(loc.slice);
+    }
+    flows[f].local_devices.push_back(loc.local_id);
+  }
+  fabric_nodes->clear();
+  if (flows.size() > 1) {
+    for (std::size_t s : flow_slice) fabric_nodes->push_back(slices_[s].node);
+  }
+  return flows;
 }
 
 Communicator::Op Communicator::make_collective(Collective::Kind kind, sim::SimTime solo,
@@ -156,8 +287,13 @@ Communicator::Op Communicator::make_collective(Collective::Kind kind, sim::SimTi
                                                const std::vector<int>& devices,
                                                const std::string& name) {
   assert(devices.size() >= 2);
-  std::shared_ptr<Collective> coll(
-      new Collective(engine_, topology_, kind, name, devices, solo, &active_));
+  std::vector<int> fabric_nodes;
+  std::vector<Collective::NodeFlow> flows = plan_flows(devices, &fabric_nodes);
+  assert((fabric_nodes.empty() || fabric_ != nullptr) &&
+         "multi-node collective without a fabric");
+  std::shared_ptr<Collective> coll(new Collective(
+      engine_, kind, name, devices.size(), solo, &active_, std::move(flows),
+      fabric_nodes.empty() ? nullptr : fabric_, std::move(fabric_nodes)));
 
   Op op;
   op.collective = coll;
@@ -211,17 +347,24 @@ Communicator::Op Communicator::broadcast(std::uint64_t bytes, const std::vector<
 Communicator::Op Communicator::p2p(std::uint64_t bytes, int src, int dst,
                                    const std::string& name) {
   assert(src != dst);
-  const sim::SimTime solo = p2p_solo_time(bytes);
+  const sim::SimTime solo = p2p_solo_time(bytes, src, dst);
   std::vector<int> devices{src, dst};
+  std::vector<int> fabric_nodes;
+  std::vector<Collective::NodeFlow> flows = plan_flows(devices, &fabric_nodes);
   std::shared_ptr<Collective> coll(new Collective(
-      engine_, topology_, Collective::Kind::kP2P, name, devices, solo, &active_));
+      engine_, Collective::Kind::kP2P, name, devices.size(), solo, &active_,
+      std::move(flows), fabric_nodes.empty() ? nullptr : fabric_,
+      std::move(fabric_nodes)));
 
   Op op;
   op.collective = coll;
   // p2p uses a small fixed footprint (up to 2 channels).
   const int blocks = std::min(2, config_.kernel_blocks());
-  const double demand =
-      std::min(1.0, 2.0 * topology_.spec().p2p_bandwidth / gpu_.mem_bandwidth);
+  const double p2p_bw = rank_loc_.at(static_cast<std::size_t>(src)).slice ==
+                                rank_loc_.at(static_cast<std::size_t>(dst)).slice
+                            ? primary_->spec().p2p_bandwidth
+                            : fabric_->spec().link_bandwidth;
+  const double demand = std::min(1.0, 2.0 * p2p_bw / gpu_.mem_bandwidth);
   for (int i = 0; i < 2; ++i) {
     gpu::KernelDesc k;
     k.name = name + (i == 0 ? ":send" : ":recv");

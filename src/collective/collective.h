@@ -7,8 +7,16 @@
 //     the root cause of the launch-skew cost measured in §4.5.
 //   * Lock-step progress: the joint rate is the minimum member local
 //     rate (each device's occupancy x bandwidth share) times the
-//     topology flow share (PCIe switch sharing).
+//     bottleneck medium share (PCIe switch sharing within a node,
+//     endpoint-NIC sharing on the inter-node fabric).
 //   * Joint completion: all member kernels finish at the same instant.
+//
+// A Communicator is bound to a communication domain: either one node's
+// Topology (the legacy single-node layout) or a gpu::DeviceGroup, which
+// may span several nodes of a cluster. Collectives over a multi-node
+// domain run hierarchically — intra-node ring reduce-scatter, inter-node
+// ring exchange over the NetworkFabric, intra-node all-gather — and
+// register flows on every medium they traverse.
 #pragma once
 
 #include <algorithm>
@@ -19,7 +27,9 @@
 
 #include "collective/comm_config.h"
 #include "gpu/device.h"
+#include "gpu/device_group.h"
 #include "gpu/kernel.h"
+#include "interconnect/fabric.h"
 #include "interconnect/topology.h"
 #include "sim/condition.h"
 #include "sim/engine.h"
@@ -52,13 +62,23 @@ class Collective : public gpu::ExecutionCoupler,
 
   using Registry = std::vector<std::weak_ptr<Collective>>;
 
-  Collective(sim::Engine& engine, interconnect::Topology& topology, Kind kind,
-             std::string name, std::vector<int> device_ids, sim::SimTime solo_duration,
-             Registry* registry);
+  // One intra-node medium the collective traverses.
+  struct NodeFlow {
+    interconnect::Topology* topology = nullptr;
+    std::vector<int> local_devices;
+    interconnect::Topology::FlowId flow = 0;
+  };
+
+  Collective(sim::Engine& engine, Kind kind, std::string name, std::size_t num_members,
+             sim::SimTime solo_duration, Registry* registry,
+             std::vector<NodeFlow> node_flows, interconnect::NetworkFabric* fabric,
+             std::vector<int> fabric_nodes);
 
   void activate();
   void update_rate();
   void complete();
+  // Share granted by the most contended medium the collective crosses.
+  double medium_share() const;
 
   struct Member {
     gpu::Device* dev;
@@ -67,10 +87,14 @@ class Collective : public gpu::ExecutionCoupler,
   };
 
   sim::Engine& engine_;
-  interconnect::Topology& topology_;
   Kind kind_;
   std::string name_;
-  std::vector<int> device_ids_;
+  std::size_t num_members_;
+
+  std::vector<NodeFlow> node_flows_;
+  interconnect::NetworkFabric* fabric_ = nullptr;  // non-null: multi-node op
+  std::vector<int> fabric_nodes_;
+  interconnect::NetworkFabric::FlowId fabric_flow_ = 0;
 
   std::vector<Member> members_;
   double remaining_;             // full-speed nanoseconds left
@@ -79,7 +103,6 @@ class Collective : public gpu::ExecutionCoupler,
   bool active_ = false;
   bool completed_ = false;
   sim::Engine::EventId completion_;
-  interconnect::Topology::FlowId flow_ = 0;
   Registry* registry_ = nullptr;  // owned by the Communicator, which outlives us
   sim::Condition done_;
 };
@@ -87,11 +110,18 @@ class Collective : public gpu::ExecutionCoupler,
 // Factory for collectives and their per-device kernel descriptors.
 class Communicator {
  public:
+  // Legacy single-node domain: ranks are the topology's device ids.
   Communicator(sim::Engine& engine, interconnect::Topology& topology,
                const gpu::GpuSpec& gpu, CommConfig config = CommConfig::liger_tuned());
+  // Domain of a device group (possibly spanning cluster nodes): ranks
+  // are group ranks.
+  explicit Communicator(const gpu::DeviceGroup& group,
+                        CommConfig config = CommConfig::liger_tuned());
 
   const CommConfig& config() const { return config_; }
-  interconnect::Topology& topology() { return topology_; }
+  interconnect::Topology& topology() { return *primary_; }
+  // Nodes the full domain spans (1 for the legacy layout).
+  int domain_nodes() const { return static_cast<int>(slices_.size()); }
 
   struct Op {
     std::shared_ptr<Collective> collective;
@@ -99,9 +129,10 @@ class Communicator {
     std::vector<gpu::KernelDesc> kernels;
   };
 
-  // All-reduce of `bytes` (per device) across `devices` (>= 2); the
-  // algorithm follows config().allreduce_algo (kAuto picks the faster
-  // of ring and tree for the payload).
+  // All-reduce of `bytes` (per device) across `devices` (>= 2 ranks);
+  // within a node the algorithm follows config().allreduce_algo (kAuto
+  // picks the faster of ring and tree for the payload); across nodes the
+  // hierarchical ring schedule is used.
   Op all_reduce(std::uint64_t bytes, const std::vector<int>& devices,
                 const std::string& name);
 
@@ -116,17 +147,22 @@ class Communicator {
   Op broadcast(std::uint64_t bytes, const std::vector<int>& devices,
                const std::string& name);
 
-  // Point-to-point transfer src -> dst (send kernel + recv kernel).
+  // Point-to-point transfer src -> dst (send kernel + recv kernel);
+  // crosses the fabric when the ranks live on different nodes.
   Op p2p(std::uint64_t bytes, int src, int dst, const std::string& name);
 
   // Full-bandwidth durations — what offline profiling records (§3.5).
+  // `num_devices` ranks are the first ranks of the domain; when they
+  // span several nodes the durations are the hierarchical schedule's.
   sim::SimTime all_reduce_solo_time(std::uint64_t bytes, int num_devices) const;
   sim::SimTime reduce_scatter_solo_time(std::uint64_t bytes, int num_devices) const;
   sim::SimTime all_gather_solo_time(std::uint64_t bytes, int num_devices) const;
   sim::SimTime broadcast_solo_time(std::uint64_t bytes, int num_devices) const;
   sim::SimTime p2p_solo_time(std::uint64_t bytes) const;
+  // Cross-node variant of p2p (fabric path).
+  sim::SimTime p2p_solo_time(std::uint64_t bytes, int src, int dst) const;
 
-  // The algorithm kAuto resolves to for a payload.
+  // The algorithm kAuto resolves to for a payload (intra-node).
   interconnect::Topology::CollectiveAlgo chosen_algo(std::uint64_t bytes,
                                                      int num_devices) const;
 
@@ -139,16 +175,38 @@ class Communicator {
   double comm_mem_bw_demand() const;
 
  private:
+  // Where one domain rank lives.
+  struct RankLoc {
+    std::size_t slice = 0;
+    int local_id = 0;
+  };
+  struct Slice {
+    interconnect::Topology* topology = nullptr;
+    int node = 0;
+  };
+
+  void subscribe();
+  // Distinct slices covering `ranks.front()..` and local device lists.
+  std::vector<Collective::NodeFlow> plan_flows(const std::vector<int>& ranks,
+                                               std::vector<int>* fabric_nodes) const;
+  // Nodes spanned / devices per node for the first `num_devices` ranks.
+  int nodes_of(int num_devices) const;
   Op make_collective(Collective::Kind kind, sim::SimTime solo, std::uint64_t bytes,
                      const std::vector<int>& devices, const std::string& name);
 
   sim::Engine& engine_;
-  interconnect::Topology& topology_;
   gpu::GpuSpec gpu_;
   CommConfig config_;
-  // Active collectives that must re-derive rates when the topology's
-  // flow set changes (PCIe switch sharing). Pruned lazily.
+  std::vector<Slice> slices_;
+  std::vector<RankLoc> rank_loc_;
+  interconnect::Topology* primary_ = nullptr;
+  interconnect::NetworkFabric* fabric_ = nullptr;  // null: single-node domain
+  // Active collectives that must re-derive rates when any traversed
+  // medium's flow set changes. Pruned lazily.
   Collective::Registry active_;
+  // RAII subscriptions to every topology + the fabric: a Communicator
+  // destroyed before its interconnect leaves no dangling callbacks.
+  std::vector<interconnect::ListenerHandle> listeners_;
 };
 
 }  // namespace liger::collective

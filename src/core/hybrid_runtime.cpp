@@ -1,0 +1,82 @@
+#include "core/hybrid_runtime.h"
+
+#include <cassert>
+
+namespace liger::core {
+
+HybridRuntime::HybridRuntime(gpu::Cluster& cluster, model::ModelSpec model,
+                             HybridOptions options)
+    : cluster_(cluster),
+      model_(std::move(model)),
+      cost_(cluster.node(0).spec().gpu),
+      builder_(model_, cost_),
+      options_(options) {
+  tp_ = options_.tp > 0 ? options_.tp : cluster_.devices_per_node();
+  pp_ = options_.pp > 0 ? options_.pp : cluster_.num_nodes();
+  assert(cluster_.devices_per_node() % tp_ == 0 && "stages must not straddle nodes");
+  const int stages_per_node = cluster_.devices_per_node() / tp_;
+  assert(pp_ <= stages_per_node * cluster_.num_nodes() && "more stages than slices");
+  assert(model_.layers >= pp_ && "fewer layers than stages");
+
+  stages_.reserve(static_cast<std::size_t>(pp_));
+  for (int s = 0; s < pp_; ++s) {
+    const int node = s / stages_per_node;
+    const int first_device = (s % stages_per_node) * tp_;
+    const auto [lo, hi] = stage_layers(s);
+    stages_.push_back(std::make_unique<LigerRuntime>(
+        gpu::DeviceGroup::node_slice(cluster_, node, first_device, tp_),
+        model_.with_layers(hi - lo), options_.liger));
+    stage_node_.push_back(node);
+  }
+  for (int s = 0; s < pp_; ++s) {
+    stages_[static_cast<std::size_t>(s)]->set_completion_hook(
+        [this, s](const model::BatchRequest& request, sim::SimTime) {
+          forward(s, request);
+        });
+  }
+}
+
+std::pair<int, int> HybridRuntime::stage_layers(int stage) const {
+  const int base = model_.layers / pp_;
+  const int extra = model_.layers % pp_;
+  const int lo = stage * base + std::min(stage, extra);
+  const int hi = lo + base + (stage < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void HybridRuntime::submit(model::BatchRequest request) {
+  stages_.front()->submit(std::move(request));
+}
+
+void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
+  if (stage + 1 == pp_) {
+    notify_complete(request, cluster_.engine().now());
+    return;
+  }
+
+  model::ExecConfig cfg;
+  cfg.batch = request.batch_size;
+  cfg.seq = request.seq;
+  cfg.phase = request.phase;
+  const std::uint64_t bytes = builder_.boundary_bytes(cfg);
+  const int src = stage_node_[static_cast<std::size_t>(stage)];
+  const int dst = stage_node_[static_cast<std::size_t>(stage + 1)];
+  LigerRuntime* next = stages_[static_cast<std::size_t>(stage + 1)].get();
+
+  if (src != dst) {
+    ++stats_.fabric_transfers;
+    stats_.fabric_bytes += bytes;
+    cluster_.fabric().transfer(bytes, src, dst,
+                               "act.b" + std::to_string(request.id) + ".s" +
+                                   std::to_string(stage),
+                               [next, request] { next->submit(request); });
+  } else {
+    // Same-node boundary: NVLink/PCIe copy, no fabric involvement.
+    ++stats_.local_transfers;
+    cluster_.engine().schedule_after(
+        cluster_.node(src).topology().p2p_time(bytes),
+        [next, request] { next->submit(request); });
+  }
+}
+
+}  // namespace liger::core

@@ -1,0 +1,72 @@
+// Hybrid parallelism: Liger interleaved tensor parallelism inside each
+// pipeline stage, pipeline stages laid out across cluster nodes.
+//
+// The model splits into `pp` consecutive stages (equal layer split,
+// remainder spread left). Each stage is a full LigerRuntime over a
+// `tp`-device slice of one cluster node — stages never straddle nodes,
+// so tensor-parallel collectives stay on NVLink/PCIe and only the
+// boundary activations cross the inter-node fabric. Cross-node
+// activation transfers are contention-aware (NetworkFabric::transfer),
+// so concurrent pipeline streams visibly share NIC bandwidth;
+// same-node stage boundaries pay the intra-node p2p time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/liger_runtime.h"
+#include "core/runtime.h"
+#include "gpu/cluster.h"
+#include "model/cost_model.h"
+#include "model/layer_builder.h"
+
+namespace liger::core {
+
+struct HybridOptions {
+  // Tensor-parallel width per stage; 0 = all devices of a node.
+  int tp = 0;
+  // Pipeline stages; 0 = one per cluster node.
+  int pp = 0;
+  LigerOptions liger;
+};
+
+struct HybridStats {
+  std::uint64_t fabric_transfers = 0;   // cross-node boundary activations
+  std::uint64_t local_transfers = 0;    // same-node boundary activations
+  std::uint64_t fabric_bytes = 0;
+};
+
+class HybridRuntime : public InferenceRuntime {
+ public:
+  HybridRuntime(gpu::Cluster& cluster, model::ModelSpec model, HybridOptions options = {});
+
+  void submit(model::BatchRequest request) override;
+  std::string name() const override { return "hybrid"; }
+
+  int tp() const { return tp_; }
+  int pp() const { return pp_; }
+  // Layer range [lo, hi) of a stage.
+  std::pair<int, int> stage_layers(int stage) const;
+  const LigerRuntime& stage(int s) const { return *stages_.at(static_cast<std::size_t>(s)); }
+  const HybridStats& stats() const { return stats_; }
+
+ private:
+  void forward(int stage, const model::BatchRequest& request);
+
+  gpu::Cluster& cluster_;
+  model::ModelSpec model_;
+  model::CostModel cost_;
+  model::LayerBuilder builder_;  // full model: boundary-activation sizes
+  HybridOptions options_;
+  int tp_ = 0;
+  int pp_ = 0;
+
+  std::vector<std::unique_ptr<LigerRuntime>> stages_;
+  std::vector<int> stage_node_;  // cluster node hosting each stage
+  HybridStats stats_;
+};
+
+}  // namespace liger::core

@@ -6,36 +6,40 @@
 
 namespace liger::core {
 
-LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options)
-    : node_(node),
+LigerRuntime::LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model,
+                           LigerOptions options)
+    : group_(std::move(group)),
       model_(std::move(model)),
-      cost_(node.spec().gpu),
+      cost_(group_.gpu()),
       builder_(model_, cost_),
-      comm_(node.engine(), node.topology(), node.spec().gpu, options.comm),
-      table_(comm_, node.num_devices()),
+      comm_(group_, options.comm),
+      table_(comm_, group_.size()),
       planner_(cost_, table_, options.decomposition_factor),
       scheduler_(planner_, Scheduler::Options{options.contention_factor,
                                               options.enable_decomposition,
                                               options.processing_slots}),
       plan_cache_(builder_, table_),
       options_(options),
-      plans_(node.num_devices()) {
-  const int n = node_.num_devices();
+      plans_(group_.size()) {
+  const int n = group_.size();
   stream0_.reserve(static_cast<std::size_t>(n));
   stream1_.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
-    stream0_.push_back(&node_.device(r).create_stream());
-    stream1_.push_back(&node_.device(r).create_stream());
-    wakeups_.push_back(std::make_unique<sim::Channel<int>>(node_.engine()));
+    stream0_.push_back(&group_.device(r).create_stream());
+    stream1_.push_back(&group_.device(r).create_stream());
+    wakeups_.push_back(std::make_unique<sim::Channel<int>>(group_.engine()));
   }
   for (int r = 0; r < n; ++r) rank_actor(r);
 }
+
+LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options)
+    : LigerRuntime(gpu::DeviceGroup::whole_node(node), std::move(model), options) {}
 
 void LigerRuntime::submit(model::BatchRequest request) {
   model::ExecConfig cfg;
   cfg.batch = request.batch_size;
   cfg.seq = request.seq;
-  cfg.tp = node_.num_devices();
+  cfg.tp = group_.size();
   cfg.phase = request.phase;
   cfg.sequence_parallel = options_.sequence_parallel;
 
@@ -43,7 +47,7 @@ void LigerRuntime::submit(model::BatchRequest request) {
   stats_.plan_cache_hits = plan_cache_.hits();
   stats_.plan_cache_misses = plan_cache_.misses();
   inflight_.emplace(request.id, request);
-  completion_remaining_.emplace(request.id, node_.num_devices());
+  completion_remaining_.emplace(request.id, group_.size());
   activation_bytes_.emplace(request.id, compiled->activation_bytes);
   stats_.current_activation_bytes += compiled->activation_bytes;
   stats_.peak_activation_bytes =
@@ -56,7 +60,7 @@ LigerRuntime::ExecItem LigerRuntime::materialize(LaunchItem item) {
   ExecItem exec;
   exec.batch_id = item.batch_id;
   exec.completes_batch = item.completes_batch;
-  const int n = node_.num_devices();
+  const int n = group_.size();
 
   if (item.op.is_comm()) {
     std::vector<int> devices(static_cast<std::size_t>(n));
@@ -125,13 +129,13 @@ std::function<void()> LigerRuntime::completion_cb(const ExecItem& item) {
       assert(act != activation_bytes_.end());
       stats_.current_activation_bytes -= act->second;
       activation_bytes_.erase(act);
-      notify_complete(request, node_.engine().now());
+      notify_complete(request, group_.engine().now());
     }
   };
 }
 
 sim::Task LigerRuntime::rank_actor(int rank) {
-  auto& host = node_.host(rank);
+  auto& host = group_.host(rank);
   gpu::Stream& s0 = *stream0_[static_cast<std::size_t>(rank)];
   gpu::Stream& s1 = *stream1_[static_cast<std::size_t>(rank)];
   auto& wakeup = *wakeups_[static_cast<std::size_t>(rank)];

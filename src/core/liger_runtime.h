@@ -28,6 +28,7 @@
 #include "core/plan_ring.h"
 #include "core/runtime.h"
 #include "core/scheduler.h"
+#include "gpu/device_group.h"
 #include "gpu/node.h"
 #include "model/cost_model.h"
 #include "model/layer_builder.h"
@@ -76,6 +77,11 @@ struct LigerStats {
 
 class LigerRuntime : public InferenceRuntime {
  public:
+  // Interleaved tensor parallelism over an arbitrary device group — a
+  // standalone node, a slice of a cluster node (one pipeline stage of
+  // HybridRuntime), or a whole multi-node cluster.
+  LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model, LigerOptions options = {});
+  // Convenience: all devices of one standalone node.
   LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options = {});
 
   void submit(model::BatchRequest request) override;
@@ -84,6 +90,7 @@ class LigerRuntime : public InferenceRuntime {
   const LigerStats& stats() const { return stats_; }
   const Scheduler& scheduler() const { return scheduler_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
+  const gpu::DeviceGroup& group() const { return group_; }
 
  private:
   // One plan entry per round, shared by all ranks. Comm ops are
@@ -117,7 +124,7 @@ class LigerRuntime : public InferenceRuntime {
   ExecItem materialize(LaunchItem item);
   std::function<void()> completion_cb(const ExecItem& item);
 
-  gpu::Node& node_;
+  gpu::DeviceGroup group_;
   model::ModelSpec model_;
   model::CostModel cost_;
   model::LayerBuilder builder_;

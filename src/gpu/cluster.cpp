@@ -1,0 +1,72 @@
+#include "gpu/cluster.h"
+
+#include <cassert>
+
+namespace liger::gpu {
+
+ClusterSpec ClusterSpec::single_node(NodeSpec node) {
+  ClusterSpec spec;
+  spec.name = node.name;
+  spec.node = std::move(node);
+  spec.fabric = interconnect::FabricSpec::ib_hdr();
+  spec.num_nodes = 1;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::v100_ib(int num_nodes, int devices_per_node) {
+  ClusterSpec spec;
+  spec.name = std::to_string(num_nodes) + "x" + std::to_string(devices_per_node) +
+              "xV100-IB";
+  spec.node = NodeSpec::v100_nvlink(devices_per_node);
+  spec.fabric = interconnect::FabricSpec::ib_hdr();
+  spec.num_nodes = num_nodes;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::a100_ethernet(int num_nodes, int devices_per_node) {
+  ClusterSpec spec;
+  spec.name = std::to_string(num_nodes) + "x" + std::to_string(devices_per_node) +
+              "xA100-100GbE";
+  spec.node = NodeSpec::a100_pcie(devices_per_node);
+  spec.fabric = interconnect::FabricSpec::ethernet_100g();
+  spec.num_nodes = num_nodes;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::test_cluster(int num_nodes, int devices_per_node) {
+  ClusterSpec spec;
+  spec.name = "TestCluster";
+  spec.node = NodeSpec::test_node(devices_per_node);
+  spec.fabric = interconnect::FabricSpec::test_fabric();
+  spec.num_nodes = num_nodes;
+  return spec;
+}
+
+Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
+    : engine_(engine),
+      spec_(std::move(spec)),
+      fabric_(engine, spec_.fabric, spec_.num_nodes) {
+  assert(spec_.num_nodes >= 1);
+  nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(engine_, spec_.node));
+  }
+}
+
+void Cluster::set_trace_sink(TraceSink* sink) {
+  tag_sinks_.clear();
+  if (sink == nullptr) {
+    for (auto& node : nodes_) node->set_trace_sink(nullptr);
+    fabric_.set_trace_sink(nullptr);
+    return;
+  }
+  tag_sinks_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    tag_sinks_.push_back(std::make_unique<NodeTagSink>(*sink, static_cast<int>(i)));
+    nodes_[i]->set_trace_sink(tag_sinks_.back().get());
+  }
+  // Fabric transfers stamp their own source node.
+  fabric_.set_trace_sink(sink);
+}
+
+}  // namespace liger::gpu

@@ -1,0 +1,81 @@
+// A cluster: N homogeneous multi-GPU nodes joined by an inter-node
+// NetworkFabric.
+//
+// The cluster is the placement-generic root object: runtimes never take
+// a Cluster directly — they take DeviceGroups carved out of one (TP
+// groups within a node, pipeline stages across nodes). A 1-node cluster
+// degenerates exactly to a standalone Node: no fabric flows ever start,
+// so the validated single-node physics are untouched.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/node.h"
+#include "interconnect/fabric.h"
+
+namespace liger::gpu {
+
+struct ClusterSpec {
+  std::string name;
+  NodeSpec node;  // homogeneous nodes
+  interconnect::FabricSpec fabric;
+  int num_nodes = 1;
+
+  // Degenerate 1-node cluster (fabric present but never used).
+  static ClusterSpec single_node(NodeSpec node);
+  // V100 NVLink nodes on HDR InfiniBand.
+  static ClusterSpec v100_ib(int num_nodes = 2, int devices_per_node = 4);
+  // A100 PCIe nodes on 100 GbE.
+  static ClusterSpec a100_ethernet(int num_nodes = 2, int devices_per_node = 4);
+  // Small fictional cluster for unit tests.
+  static ClusterSpec test_cluster(int num_nodes = 2, int devices_per_node = 2);
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterSpec spec);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const ClusterSpec& spec() const { return spec_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int devices_per_node() const { return spec_.node.num_devices; }
+  int total_devices() const { return num_nodes() * devices_per_node(); }
+
+  Node& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  interconnect::NetworkFabric& fabric() { return fabric_; }
+
+  // Attaches `sink` to every device of every node and to the fabric.
+  // Records are tagged with their node index so one timeline stays
+  // readable across nodes (devices only know local ids).
+  void set_trace_sink(TraceSink* sink);
+
+ private:
+  // Stamps the node index onto records before forwarding.
+  class NodeTagSink : public TraceSink {
+   public:
+    NodeTagSink(TraceSink& inner, int node) : inner_(inner), node_(node) {}
+    void on_kernel(const KernelTraceRecord& rec) override {
+      KernelTraceRecord tagged = rec;
+      tagged.node = node_;
+      inner_.on_kernel(tagged);
+    }
+
+   private:
+    TraceSink& inner_;
+    int node_;
+  };
+
+  sim::Engine& engine_;
+  ClusterSpec spec_;
+  interconnect::NetworkFabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<NodeTagSink>> tag_sinks_;
+};
+
+}  // namespace liger::gpu

@@ -1,0 +1,100 @@
+#include "gpu/device_group.h"
+
+#include <cassert>
+
+#include "gpu/cluster.h"
+#include "gpu/node.h"
+
+namespace liger::gpu {
+
+namespace {
+
+DeviceGroup::NodeSlice& slice_for(std::vector<DeviceGroup::NodeSlice>& slices, int node,
+                                  interconnect::Topology& topology) {
+  for (auto& s : slices) {
+    if (s.node == node) return s;
+  }
+  slices.push_back(DeviceGroup::NodeSlice{node, &topology, {}, {}});
+  return slices.back();
+}
+
+}  // namespace
+
+DeviceGroup DeviceGroup::whole_node(Node& node) {
+  DeviceGroup group;
+  group.engine_ = &node.engine();
+  group.gpu_ = &node.spec().gpu;
+  for (int d = 0; d < node.num_devices(); ++d) {
+    group.members_.push_back(Member{&node.device(d), &node.host(d), 0, d});
+  }
+  NodeSlice slice;
+  slice.node = 0;
+  slice.topology = &node.topology();
+  for (int d = 0; d < node.num_devices(); ++d) {
+    slice.ranks.push_back(d);
+    slice.local_ids.push_back(d);
+  }
+  group.nodes_.push_back(std::move(slice));
+  return group;
+}
+
+DeviceGroup DeviceGroup::node_slice(Cluster& cluster, int node, int first_device,
+                                    int count) {
+  assert(node >= 0 && node < cluster.num_nodes());
+  assert(first_device >= 0 && count >= 1);
+  assert(first_device + count <= cluster.devices_per_node());
+  Node& n = cluster.node(node);
+
+  DeviceGroup group;
+  group.engine_ = &cluster.engine();
+  group.gpu_ = &n.spec().gpu;
+  group.fabric_ = &cluster.fabric();
+  NodeSlice slice;
+  slice.node = node;
+  slice.topology = &n.topology();
+  for (int d = first_device; d < first_device + count; ++d) {
+    slice.ranks.push_back(static_cast<int>(group.members_.size()));
+    slice.local_ids.push_back(d);
+    group.members_.push_back(Member{&n.device(d), &n.host(d), node, d});
+  }
+  group.nodes_.push_back(std::move(slice));
+  return group;
+}
+
+DeviceGroup DeviceGroup::whole_cluster(Cluster& cluster) {
+  DeviceGroup group;
+  group.engine_ = &cluster.engine();
+  group.gpu_ = &cluster.node(0).spec().gpu;
+  group.fabric_ = &cluster.fabric();
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    Node& n = cluster.node(node);
+    NodeSlice& slice = slice_for(group.nodes_, node, n.topology());
+    for (int d = 0; d < n.num_devices(); ++d) {
+      slice.ranks.push_back(static_cast<int>(group.members_.size()));
+      slice.local_ids.push_back(d);
+      group.members_.push_back(Member{&n.device(d), &n.host(d), node, d});
+    }
+  }
+  return group;
+}
+
+bool DeviceGroup::symmetric() const {
+  if (nodes_.empty()) return false;
+  const std::size_t per_node = nodes_.front().ranks.size();
+  for (const auto& s : nodes_) {
+    if (s.ranks.size() != per_node) return false;
+  }
+  return true;
+}
+
+std::string DeviceGroup::description() const {
+  std::string out;
+  for (const auto& s : nodes_) {
+    if (!out.empty()) out += "+";
+    out += "n" + std::to_string(s.node) + "[" + std::to_string(s.local_ids.front()) +
+           "-" + std::to_string(s.local_ids.back()) + "]";
+  }
+  return out;
+}
+
+}  // namespace liger::gpu

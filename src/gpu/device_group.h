@@ -1,0 +1,89 @@
+// DeviceGroup: an ordered subset of cluster devices plus the topology
+// slice connecting them — the execution domain every runtime operates
+// on.
+//
+// A group addresses its members by *rank* (0..size-1); each member maps
+// to a (node, local device) pair. Groups confined to one node carry
+// that node's intra-node Topology; groups spanning nodes additionally
+// carry the cluster's NetworkFabric, which collectives use for the
+// inter-node stage of hierarchical algorithms. A whole-node group over
+// a standalone Node (no cluster, no fabric) reproduces the pre-cluster
+// single-node behaviour exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/host.h"
+#include "interconnect/fabric.h"
+#include "interconnect/topology.h"
+
+namespace liger::gpu {
+
+class Node;
+class Cluster;
+
+class DeviceGroup {
+ public:
+  struct Member {
+    Device* device = nullptr;
+    HostContext* host = nullptr;
+    int node = 0;      // cluster node index (0 for a standalone node)
+    int local_id = 0;  // device id within its node
+  };
+  // The members living on one node, with that node's topology.
+  struct NodeSlice {
+    int node = 0;
+    interconnect::Topology* topology = nullptr;
+    std::vector<int> ranks;      // group ranks on this node, in order
+    std::vector<int> local_ids;  // their device ids within the node
+  };
+
+  DeviceGroup() = default;
+
+  // All devices of one standalone node: today's single-node layout.
+  static DeviceGroup whole_node(Node& node);
+  // Devices [first_device, first_device + count) of cluster node `node`.
+  static DeviceGroup node_slice(Cluster& cluster, int node, int first_device, int count);
+  // Every device of every node (cluster-wide tensor parallelism with
+  // hierarchical collectives).
+  static DeviceGroup whole_cluster(Cluster& cluster);
+
+  sim::Engine& engine() const { return *engine_; }
+  const GpuSpec& gpu() const { return *gpu_; }
+
+  int size() const { return static_cast<int>(members_.size()); }
+  Device& device(int rank) const { return *members_.at(static_cast<std::size_t>(rank)).device; }
+  HostContext& host(int rank) const { return *members_.at(static_cast<std::size_t>(rank)).host; }
+  const Member& member(int rank) const { return members_.at(static_cast<std::size_t>(rank)); }
+
+  const std::vector<NodeSlice>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  bool single_node() const { return nodes_.size() == 1; }
+  // Devices per spanned node; hierarchical collectives require the
+  // symmetric layout every real deployment uses.
+  bool symmetric() const;
+
+  // The intra-node topology of the group's (first) node. Multi-node
+  // groups are symmetric over homogeneous nodes, so any slice's
+  // topology answers per-node bandwidth/latency queries.
+  interconnect::Topology& topology() const { return *nodes_.front().topology; }
+
+  // Non-null iff the group belongs to a cluster (even single-node
+  // slices of one, so pipeline stages can reach the fabric).
+  interconnect::NetworkFabric* fabric() const { return fabric_; }
+
+  // "n0[0-1]+n1[0-1]" — for logs and kernel names.
+  std::string description() const;
+
+ private:
+  sim::Engine* engine_ = nullptr;
+  const GpuSpec* gpu_ = nullptr;
+  std::vector<Member> members_;
+  std::vector<NodeSlice> nodes_;
+  interconnect::NetworkFabric* fabric_ = nullptr;
+};
+
+}  // namespace liger::gpu

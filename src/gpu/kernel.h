@@ -88,6 +88,12 @@ struct KernelTraceRecord {
   // ...and at completion, after top-ups from released blocks.
   int blocks_granted = 0;
   int batch_id = -1;
+  // Transferred payload for communication records (0 otherwise).
+  std::uint64_t bytes = 0;
+  // Cluster node index (0 for a standalone node). Devices only know
+  // their local id; Cluster::set_trace_sink tags the node so multi-node
+  // traces stay readable in one timeline.
+  int node = 0;
 };
 
 // Receives kernel completion records (e.g. the Chrome-trace exporter).

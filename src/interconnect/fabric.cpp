@@ -1,0 +1,198 @@
+#include "interconnect/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liger::interconnect {
+
+FabricSpec FabricSpec::ib_hdr() {
+  FabricSpec spec;
+  spec.name = "IB-HDR";
+  spec.link_bandwidth = 25.0e9;  // 200 Gb/s
+  spec.base_latency = sim::microseconds(5);
+  spec.step_latency = sim::microseconds(2);
+  return spec;
+}
+
+FabricSpec FabricSpec::ethernet_100g() {
+  FabricSpec spec;
+  spec.name = "100GbE";
+  spec.link_bandwidth = 12.5e9;  // 100 Gb/s
+  spec.base_latency = sim::microseconds(20);
+  spec.step_latency = sim::microseconds(8);
+  return spec;
+}
+
+FabricSpec FabricSpec::test_fabric() {
+  FabricSpec spec;
+  spec.name = "TestFabric";
+  spec.link_bandwidth = 10.0e9;
+  spec.base_latency = sim::microseconds(4);
+  spec.step_latency = sim::microseconds(1);
+  return spec;
+}
+
+NetworkFabric::NetworkFabric(sim::Engine& engine, FabricSpec spec, int num_nodes)
+    : engine_(engine), spec_(std::move(spec)), num_nodes_(num_nodes) {
+  assert(num_nodes >= 1);
+}
+
+NetworkFabric::FlowId NetworkFabric::begin_flow(const std::vector<int>& nodes) {
+  assert(!nodes.empty());
+  for (int n : nodes) {
+    assert(n >= 0 && n < num_nodes_);
+    (void)n;
+  }
+  const FlowId id = next_flow_++;
+  flows_.push_back(Flow{id, nodes});
+  rerate_transfers();
+  notify();
+  return id;
+}
+
+void NetworkFabric::end_flow(FlowId id) {
+  auto it = std::find_if(flows_.begin(), flows_.end(),
+                         [id](const Flow& f) { return f.id == id; });
+  assert(it != flows_.end() && "ending unknown fabric flow");
+  flows_.erase(it);
+  rerate_transfers();
+  notify();
+}
+
+int NetworkFabric::endpoint_load(int node) const {
+  int load = 0;
+  for (const auto& f : flows_) {
+    if (std::find(f.nodes.begin(), f.nodes.end(), node) != f.nodes.end()) ++load;
+  }
+  return load;
+}
+
+double NetworkFabric::flow_share(FlowId id) const {
+  const auto it = std::find_if(flows_.begin(), flows_.end(),
+                               [id](const Flow& f) { return f.id == id; });
+  assert(it != flows_.end() && "querying unknown fabric flow");
+  int worst = 1;
+  for (int n : it->nodes) worst = std::max(worst, endpoint_load(n));
+  return 1.0 / static_cast<double>(worst);
+}
+
+sim::SimTime NetworkFabric::p2p_time(std::uint64_t bytes) const {
+  const double transfer_s = static_cast<double>(bytes) / spec_.link_bandwidth;
+  return spec_.base_latency + sim::from_seconds(transfer_s);
+}
+
+sim::SimTime NetworkFabric::ring_allreduce_time(std::uint64_t bytes, int nodes) const {
+  assert(nodes >= 2);
+  const double factor = 2.0 * static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  const double transfer_s = factor * static_cast<double>(bytes) / spec_.link_bandwidth;
+  return spec_.base_latency + 2 * (nodes - 1) * spec_.step_latency +
+         sim::from_seconds(transfer_s);
+}
+
+sim::SimTime NetworkFabric::ring_reduce_scatter_time(std::uint64_t bytes, int nodes) const {
+  assert(nodes >= 2);
+  const double factor = static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  const double transfer_s = factor * static_cast<double>(bytes) / spec_.link_bandwidth;
+  return spec_.base_latency + (nodes - 1) * spec_.step_latency +
+         sim::from_seconds(transfer_s);
+}
+
+sim::SimTime NetworkFabric::ring_all_gather_time(std::uint64_t bytes, int nodes) const {
+  // Same ring schedule as reduce-scatter, no reduction math.
+  return ring_reduce_scatter_time(bytes, nodes);
+}
+
+namespace {
+
+int ceil_log2(int n) {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+sim::SimTime NetworkFabric::broadcast_time(std::uint64_t bytes, int nodes) const {
+  assert(nodes >= 2);
+  const double transfer_s = static_cast<double>(bytes) / spec_.link_bandwidth;
+  return spec_.base_latency + ceil_log2(nodes) * spec_.step_latency +
+         sim::from_seconds(transfer_s);
+}
+
+void NetworkFabric::transfer(std::uint64_t bytes, int src_node, int dst_node,
+                             std::string name, std::function<void()> done) {
+  assert(src_node != dst_node);
+  Transfer t;
+  t.name = std::move(name);
+  t.bytes = bytes;
+  t.src = src_node;
+  t.dst = dst_node;
+  t.remaining = static_cast<double>(p2p_time(bytes));
+  t.start_time = engine_.now();
+  t.last_update = engine_.now();
+  t.done = std::move(done);
+  // begin_flow re-rates existing transfers *before* this one is listed,
+  // so its own share is derived below from the updated flow set.
+  t.flow = begin_flow({src_node, dst_node});
+  t.rate = flow_share(t.flow);
+  const auto dt = static_cast<sim::SimTime>(std::ceil(t.remaining / t.rate));
+  const FlowId flow = t.flow;
+  t.completion = engine_.schedule_after(std::max<sim::SimTime>(dt, 0), [this, flow] {
+    for (std::size_t i = 0; i < transfers_.size(); ++i) {
+      if (transfers_[i].flow == flow) {
+        complete_transfer(i);
+        return;
+      }
+    }
+    assert(false && "completion fired for unknown transfer");
+  });
+  transfers_.push_back(std::move(t));
+}
+
+void NetworkFabric::rerate_transfers() {
+  const sim::SimTime now = engine_.now();
+  for (auto& t : transfers_) {
+    t.remaining -= t.rate * static_cast<double>(now - t.last_update);
+    if (t.remaining < 0.0) t.remaining = 0.0;
+    t.last_update = now;
+    t.rate = flow_share(t.flow);
+    engine_.cancel(t.completion);
+    const auto dt = static_cast<sim::SimTime>(std::ceil(t.remaining / t.rate));
+    const FlowId flow = t.flow;
+    t.completion = engine_.schedule_after(std::max<sim::SimTime>(dt, 0), [this, flow] {
+      for (std::size_t i = 0; i < transfers_.size(); ++i) {
+        if (transfers_[i].flow == flow) {
+          complete_transfer(i);
+          return;
+        }
+      }
+      assert(false && "completion fired for unknown transfer");
+    });
+  }
+}
+
+void NetworkFabric::complete_transfer(std::size_t index) {
+  Transfer t = std::move(transfers_[index]);
+  transfers_.erase(transfers_.begin() + static_cast<std::ptrdiff_t>(index));
+  end_flow(t.flow);
+  if (trace_ != nullptr) {
+    gpu::KernelTraceRecord rec;
+    rec.device = kFabricTraceDevice;
+    rec.stream = 0;
+    rec.node = t.src;
+    rec.name = t.name;
+    rec.kind = gpu::KernelKind::kComm;
+    rec.start = t.start_time;
+    rec.end = engine_.now();
+    rec.bytes = t.bytes;
+    trace_->on_kernel(rec);
+  }
+  if (t.done) t.done();
+}
+
+}  // namespace liger::interconnect

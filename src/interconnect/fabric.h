@@ -1,0 +1,148 @@
+// Inter-node network fabric model.
+//
+// Nodes are joined by a full-bisection switched fabric (InfiniBand or
+// Ethernet): every node contributes one NIC of `link_bandwidth`, flows
+// between distinct node pairs do not interfere inside the switch, and
+// contention arises at the endpoints — concurrent flows touching the
+// same NIC share its bandwidth equally. This is the standard abstraction
+// of datacenter simulators (Frontier, LLMServingSim) and is what makes
+// pipeline-parallel p2p streams between adjacent stage pairs visibly
+// contend on the middle nodes.
+//
+// The fabric provides:
+//  * closed-form transfer/collective times at full bandwidth, used to
+//    compose hierarchical collectives (intra-node ring reduce-scatter ->
+//    inter-node exchange -> intra-node all-gather);
+//  * a flow registry, so active collectives can re-derive their joint
+//    rate when endpoint sharing changes (same contract as Topology);
+//  * contention-aware in-flight transfers for pipeline activations,
+//    which integrate progress under a changing bandwidth share and emit
+//    trace records (device = kFabricTraceDevice) on completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.h"
+#include "interconnect/listeners.h"
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace liger::interconnect {
+
+struct FabricSpec {
+  std::string name = "IB-HDR";
+  // Per-node NIC bandwidth, bytes/s (one direction).
+  double link_bandwidth = 25.0e9;  // HDR InfiniBand: 200 Gb/s
+  // Base latency of one inter-node transfer (rendezvous + switch hops).
+  sim::SimTime base_latency = sim::microseconds(5);
+  // Additional latency per inter-node algorithm step (one ring exchange
+  // across the fabric).
+  sim::SimTime step_latency = sim::microseconds(2);
+
+  // 200 Gb/s HDR InfiniBand (RDMA, low latency).
+  static FabricSpec ib_hdr();
+  // 100 Gb/s Ethernet (RoCE-less TCP-ish latency).
+  static FabricSpec ethernet_100g();
+  // Small deterministic fabric for unit tests.
+  static FabricSpec test_fabric();
+};
+
+class NetworkFabric {
+ public:
+  using FlowId = std::uint64_t;
+  using Listener = ListenerRegistry::Listener;
+
+  // Trace records emitted by fabric transfers carry this device id;
+  // exporters render them on a dedicated "fabric" row.
+  static constexpr int kFabricTraceDevice = -1;
+
+  NetworkFabric(sim::Engine& engine, FabricSpec spec, int num_nodes);
+
+  const FabricSpec& spec() const { return spec_; }
+  int num_nodes() const { return num_nodes_; }
+
+  // --- Flow registry -----------------------------------------------------
+  // A flow is one active inter-node collective or transfer touching the
+  // NICs of `nodes`. Endpoint sharing: a flow's share is limited by its
+  // most loaded endpoint.
+  FlowId begin_flow(const std::vector<int>& nodes);
+  void end_flow(FlowId id);
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+
+  // Bandwidth share [0,1] flow `id` receives right now: 1 / (number of
+  // active flows at its most contended endpoint NIC).
+  double flow_share(FlowId id) const;
+
+  // Listeners fire whenever the flow set changes.
+  [[nodiscard]] ListenerHandle add_listener(Listener cb) {
+    return ListenerHandle(listeners_, listeners_.add(std::move(cb)));
+  }
+  std::size_t listener_count() const { return listeners_.size(); }
+
+  // --- Closed-form times at full bandwidth --------------------------------
+  // Point-to-point transfer between two nodes.
+  sim::SimTime p2p_time(std::uint64_t bytes) const;
+  // Inter-node ring all-reduce of `bytes` per node: 2(N-1) steps moving
+  // 2(N-1)/N x bytes — the middle stage of a hierarchical all-reduce.
+  sim::SimTime ring_allreduce_time(std::uint64_t bytes, int nodes) const;
+  // Inter-node ring reduce-scatter / all-gather: (N-1) steps,
+  // (N-1)/N x bytes — exactly half a ring all-reduce each.
+  sim::SimTime ring_reduce_scatter_time(std::uint64_t bytes, int nodes) const;
+  sim::SimTime ring_all_gather_time(std::uint64_t bytes, int nodes) const;
+  // Binomial-tree broadcast from one root node.
+  sim::SimTime broadcast_time(std::uint64_t bytes, int nodes) const;
+
+  // --- In-flight transfers -------------------------------------------------
+  // Starts a contention-aware transfer src_node -> dst_node; `done` runs
+  // at completion. The transfer holds a fabric flow for its lifetime, so
+  // concurrent transfers sharing an endpoint NIC slow each other down
+  // (and every registered listener sees the change).
+  void transfer(std::uint64_t bytes, int src_node, int dst_node, std::string name,
+                std::function<void()> done);
+  int active_transfers() const { return static_cast<int>(transfers_.size()); }
+
+  // Transfers emit one kernel-trace record each (kind = kComm, device =
+  // kFabricTraceDevice, node = src_node) so fabric activity shows up in
+  // the shared timeline.
+  void set_trace_sink(gpu::TraceSink* sink) { trace_ = sink; }
+
+ private:
+  struct Flow {
+    FlowId id;
+    std::vector<int> nodes;
+  };
+  struct Transfer {
+    FlowId flow = 0;
+    std::string name;
+    std::uint64_t bytes = 0;
+    int src = 0;
+    int dst = 0;
+    double remaining = 0.0;  // full-bandwidth nanoseconds left
+    double rate = 0.0;
+    sim::SimTime start_time = 0;
+    sim::SimTime last_update = 0;
+    sim::Engine::EventId completion;
+    std::function<void()> done;
+  };
+
+  int endpoint_load(int node) const;
+  void notify() { listeners_.notify(); }
+  // Integrates every active transfer at its old rate, re-derives shares,
+  // and reschedules completions.
+  void rerate_transfers();
+  void complete_transfer(std::size_t index);
+
+  sim::Engine& engine_;
+  FabricSpec spec_;
+  int num_nodes_;
+  FlowId next_flow_ = 1;
+  std::vector<Flow> flows_;
+  ListenerRegistry listeners_;
+  std::vector<Transfer> transfers_;
+  gpu::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace liger::interconnect

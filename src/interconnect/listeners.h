@@ -1,0 +1,98 @@
+// Change-listener registry with RAII subscriptions.
+//
+// Topology and NetworkFabric notify active collectives/transfers when
+// their flow set changes. Subscribers (Communicators) routinely die
+// before the interconnect they observe, so a bare callback vector is a
+// lifetime hazard; add() returns a handle that unregisters the callback
+// on destruction.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace liger::interconnect {
+
+class ListenerRegistry {
+ public:
+  using Listener = std::function<void()>;
+  using Id = std::uint64_t;
+
+  Id add(Listener cb) {
+    assert(!notifying_ && "cannot subscribe from within a notification");
+    const Id id = next_++;
+    entries_.push_back(Entry{id, std::move(cb)});
+    return id;
+  }
+
+  void remove(Id id) {
+    assert(!notifying_ && "cannot unsubscribe from within a notification");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  void notify() {
+    notifying_ = true;
+    for (const auto& e : entries_) e.cb();
+    notifying_ = false;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Id id;
+    Listener cb;
+  };
+
+  std::vector<Entry> entries_;
+  Id next_ = 1;
+  bool notifying_ = false;
+};
+
+// RAII subscription. Movable, not copyable; must not outlive the
+// registry it came from (the usual ownership — interconnect owned by
+// the node/cluster, subscriber owned by a runtime — guarantees this).
+class ListenerHandle {
+ public:
+  ListenerHandle() = default;
+  ListenerHandle(ListenerRegistry& registry, ListenerRegistry::Id id)
+      : registry_(&registry), id_(id) {}
+
+  ListenerHandle(ListenerHandle&& other) noexcept
+      : registry_(std::exchange(other.registry_, nullptr)),
+        id_(std::exchange(other.id_, 0)) {}
+  ListenerHandle& operator=(ListenerHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      registry_ = std::exchange(other.registry_, nullptr);
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+
+  ListenerHandle(const ListenerHandle&) = delete;
+  ListenerHandle& operator=(const ListenerHandle&) = delete;
+
+  ~ListenerHandle() { reset(); }
+
+  void reset() {
+    if (registry_ != nullptr) registry_->remove(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+
+  bool active() const { return registry_ != nullptr; }
+
+ private:
+  ListenerRegistry* registry_ = nullptr;
+  ListenerRegistry::Id id_ = 0;
+};
+
+}  // namespace liger::interconnect

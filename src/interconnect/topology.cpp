@@ -67,9 +67,7 @@ double Topology::flow_share() const {
   return 1.0 / static_cast<double>(n);
 }
 
-void Topology::notify() {
-  for (const auto& cb : listeners_) cb();
-}
+void Topology::notify() { listeners_.notify(); }
 
 double Topology::allreduce_busbw(int channels) const {
   assert(channels >= 1);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "interconnect/listeners.h"
 #include "sim/time.h"
 
 namespace liger::interconnect {
@@ -79,8 +80,14 @@ class Topology {
   double flow_share() const;
 
   // Registered listeners run whenever the flow set changes (so active
-  // collectives can re-derive their rates).
-  void add_listener(Listener cb) { listeners_.push_back(std::move(cb)); }
+  // collectives can re-derive their rates). The returned handle
+  // unregisters the callback on destruction — subscribers (typically
+  // Communicators) may die before the topology without leaving a
+  // dangling callback behind.
+  [[nodiscard]] ListenerHandle add_listener(Listener cb) {
+    return ListenerHandle(listeners_, listeners_.add(std::move(cb)));
+  }
+  std::size_t listener_count() const { return listeners_.size(); }
 
   // --- Bandwidth queries --------------------------------------------------
   // All-reduce bus bandwidth available to one flow using `channels`
@@ -120,7 +127,7 @@ class Topology {
   int num_devices_;
   FlowId next_flow_ = 1;
   std::vector<FlowId> flows_;
-  std::vector<Listener> listeners_;
+  ListenerRegistry listeners_;
 };
 
 }  // namespace liger::interconnect

@@ -66,8 +66,34 @@ Method parse_method(const std::string& name) {
   if (m == "inter-op" || m == "inter") return Method::kInterOp;
   if (m == "inter-th") return Method::kInterTh;
   if (m == "liger-cpusync" || m == "liger-cpu-sync") return Method::kLigerCpuSync;
+  if (m == "hybrid") return Method::kHybrid;
   throw std::invalid_argument("unknown method: " + name);
 }
+
+namespace {
+
+interconnect::FabricSpec fabric_from_json(const util::JsonValue& f) {
+  const std::string preset = lower(f.string_or("preset", "ib-hdr"));
+  interconnect::FabricSpec spec;
+  if (preset == "ib-hdr" || preset == "ib") {
+    spec = interconnect::FabricSpec::ib_hdr();
+  } else if (preset == "100gbe" || preset == "ethernet") {
+    spec = interconnect::FabricSpec::ethernet_100g();
+  } else if (preset == "test") {
+    spec = interconnect::FabricSpec::test_fabric();
+  } else {
+    throw std::invalid_argument("unknown fabric preset: " + preset);
+  }
+  spec.link_bandwidth =
+      f.number_or("link_bw_gbps", spec.link_bandwidth / 1e9) * 1e9;
+  spec.base_latency = sim::from_us(
+      f.number_or("base_latency_us", sim::to_us(spec.base_latency)));
+  spec.step_latency = sim::from_us(
+      f.number_or("step_latency_us", sim::to_us(spec.step_latency)));
+  return spec;
+}
+
+}  // namespace
 
 ExperimentConfig config_from_json(const util::JsonValue& doc) {
   ExperimentConfig cfg;
@@ -87,6 +113,14 @@ ExperimentConfig config_from_json(const util::JsonValue& doc) {
     cfg.workload.seq_max = static_cast<int>(w->int_or("seq_max", cfg.workload.seq_max));
     cfg.workload.seed = static_cast<std::uint64_t>(w->int_or("seed", 7));
     cfg.workload.phase = parse_phase(w->string_or("phase", "prefill"));
+  }
+
+  if (const auto* c = doc.find("cluster")) {
+    cfg.num_nodes = static_cast<int>(c->int_or("nodes", cfg.num_nodes));
+    if (cfg.num_nodes < 1) throw std::invalid_argument("cluster.nodes must be >= 1");
+    if (const auto* f = c->find("fabric")) cfg.fabric = fabric_from_json(*f);
+    cfg.hybrid_tp = static_cast<int>(c->int_or("tp", cfg.hybrid_tp));
+    cfg.hybrid_pp = static_cast<int>(c->int_or("pp", cfg.hybrid_pp));
   }
 
   if (const auto* l = doc.find("liger")) {

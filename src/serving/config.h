@@ -12,7 +12,12 @@
 //                        "allreduce_busbw_gbps": 32.75,
 //                        "p2p_bw_gbps": 45.0, "channels_for_peak": 3 } },
 //   "model": { "preset": "opt-30b", "layers": 48 },
-//   "method": "liger"|"intra-op"|"inter-op"|"inter-th"|"liger-cpusync",
+//   "method": "liger"|"intra-op"|"inter-op"|"inter-th"|"liger-cpusync"|"hybrid",
+//   "cluster": { "nodes": 2,
+//                "fabric": { "preset": "ib-hdr"|"100gbe"|"test",
+//                            "link_bw_gbps": 25.0, "base_latency_us": 5.0,
+//                            "step_latency_us": 2.0 },
+//                "tp": 4, "pp": 2 },
 //   "rate": 20.0, "poisson": false,
 //   "workload": { "requests": 200, "batch": 2, "seq_min": 16,
 //                 "seq_max": 128, "phase": "prefill"|"decode",

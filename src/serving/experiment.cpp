@@ -19,6 +19,7 @@ const char* method_name(Method m) {
     case Method::kInterOp: return "Inter-Op";
     case Method::kInterTh: return "Inter-Th";
     case Method::kLigerCpuSync: return "Liger-CpuSync";
+    case Method::kHybrid: return "Hybrid";
   }
   return "?";
 }
@@ -82,6 +83,11 @@ bool model_fits(const gpu::NodeSpec& node, const model::ModelSpec& model, Method
               static_cast<std::uint64_t>(model.bytes_per_param);
       break;
     }
+    case Method::kHybrid:
+      // One node hosts one tensor-parallel stage of the model; further
+      // nodes only shrink the per-device share.
+      shard = model.shard_bytes(node.num_devices);
+      break;
   }
   return shard <= budget;
 }
@@ -114,11 +120,32 @@ Report run_experiment(const ExperimentConfig& config) {
 
 ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   sim::Engine engine;
-  gpu::Node node(engine, config.node);
+
+  // Single-node experiments keep the plain-Node path (bit-identical to
+  // the pre-cluster harness); multi-node and hybrid experiments build a
+  // cluster and hand the runtime a cluster-wide device group.
+  const bool clustered = config.num_nodes > 1 || config.method == Method::kHybrid;
+  std::unique_ptr<gpu::Node> node;
+  std::unique_ptr<gpu::Cluster> cluster;
+  if (clustered) {
+    gpu::ClusterSpec cspec;
+    cspec.name = config.node.name;
+    cspec.node = config.node;
+    cspec.fabric = config.fabric;
+    cspec.num_nodes = config.num_nodes;
+    cluster = std::make_unique<gpu::Cluster>(engine, cspec);
+  } else {
+    node = std::make_unique<gpu::Node>(engine, config.node);
+  }
+  auto make_group = [&] {
+    return clustered ? gpu::DeviceGroup::whole_cluster(*cluster)
+                     : gpu::DeviceGroup::whole_node(*node);
+  };
 
   core::LigerOptions liger_opts = config.liger;
   if (config.profile_contention &&
-      (config.method == Method::kLiger || config.method == Method::kLigerCpuSync)) {
+      (config.method == Method::kLiger || config.method == Method::kLigerCpuSync ||
+       config.method == Method::kHybrid)) {
     liger_opts.contention_factor =
         profiled_contention_factor(config.node, config.model, liger_opts.comm);
   }
@@ -130,19 +157,29 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   switch (config.method) {
     case Method::kLiger:
     case Method::kLigerCpuSync:
-      runtime = std::make_unique<core::LigerRuntime>(node, config.model, liger_opts);
+      runtime = std::make_unique<core::LigerRuntime>(make_group(), config.model,
+                                                     liger_opts);
       break;
     case Method::kIntraOp:
-      runtime = std::make_unique<baselines::IntraOpRuntime>(node, config.model);
+      runtime = std::make_unique<baselines::IntraOpRuntime>(make_group(), config.model);
       break;
     case Method::kInterOp:
-      runtime = std::make_unique<baselines::InterOpRuntime>(node, config.model,
+      runtime = std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
                                                             baselines::InterOpOptions{});
       break;
     case Method::kInterTh: {
       baselines::InterOpOptions opts;
       opts.theoretical = true;
-      runtime = std::make_unique<baselines::InterOpRuntime>(node, config.model, opts);
+      runtime = std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
+                                                            opts);
+      break;
+    }
+    case Method::kHybrid: {
+      core::HybridOptions opts;
+      opts.tp = config.hybrid_tp;
+      opts.pp = config.hybrid_pp;
+      opts.liger = liger_opts;
+      runtime = std::make_unique<core::HybridRuntime>(*cluster, config.model, opts);
       break;
     }
   }
@@ -160,12 +197,19 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     out.liger = liger->stats();
   }
   const double span = static_cast<double>(engine.now());
-  for (int d = 0; d < node.num_devices(); ++d) {
-    const auto& dev = node.device(d);
-    out.device_busy_frac.push_back(
-        span > 0 ? static_cast<double>(dev.busy_time_any()) / span : 0.0);
-    out.device_comm_frac.push_back(
-        span > 0 ? static_cast<double>(dev.busy_time_comm()) / span : 0.0);
+  auto push_device_fracs = [&](gpu::Node& n) {
+    for (int d = 0; d < n.num_devices(); ++d) {
+      const auto& dev = n.device(d);
+      out.device_busy_frac.push_back(
+          span > 0 ? static_cast<double>(dev.busy_time_any()) / span : 0.0);
+      out.device_comm_frac.push_back(
+          span > 0 ? static_cast<double>(dev.busy_time_comm()) / span : 0.0);
+    }
+  };
+  if (clustered) {
+    for (int i = 0; i < cluster->num_nodes(); ++i) push_device_fracs(cluster->node(i));
+  } else {
+    push_device_fracs(*node);
   }
   return out;
 }

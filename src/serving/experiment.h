@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "core/hybrid_runtime.h"
 #include "core/liger_runtime.h"
+#include "gpu/cluster.h"
 #include "gpu/node.h"
 #include "model/model_spec.h"
 #include "serving/server.h"
@@ -19,6 +21,7 @@ enum class Method {
   kInterOp,
   kInterTh,
   kLigerCpuSync,  // Liger with CPU-GPU-only synchronization (Fig 13)
+  kHybrid,        // Liger TP per stage, pipeline stages across nodes
 };
 
 const char* method_name(Method m);
@@ -35,6 +38,17 @@ struct ExperimentConfig {
   // Derive the contention factor by offline profiling (§3.5) instead of
   // using liger.contention_factor.
   bool profile_contention = true;
+
+  // Cluster extension: with num_nodes > 1 (or method == kHybrid) the
+  // experiment builds a Cluster of identical `node`s joined by `fabric`
+  // and the runtime operates on the cluster-wide device group. With the
+  // default single node, the pre-cluster code path runs unchanged.
+  int num_nodes = 1;
+  interconnect::FabricSpec fabric = interconnect::FabricSpec::ib_hdr();
+  // kHybrid placement: tensor-parallel width per stage (0 = whole node)
+  // and pipeline-stage count (0 = one stage per node).
+  int hybrid_tp = 0;
+  int hybrid_pp = 0;
 };
 
 // Runs one serving experiment to completion (deterministic).

@@ -1,29 +1,72 @@
 #include "trace/chrome_trace.h"
 
 #include <algorithm>
+#include <map>
+#include <string>
 
+#include "interconnect/fabric.h"
 #include "util/json_writer.h"
 
 namespace liger::trace {
+
+namespace {
+
+// One Chrome-trace process per (node, device); node 0's devices keep
+// their bare device id, so single-node traces are unchanged. Fabric
+// records collapse onto one dedicated process row.
+int record_pid(const gpu::KernelTraceRecord& rec) {
+  if (rec.device == interconnect::NetworkFabric::kFabricTraceDevice) {
+    return interconnect::NetworkFabric::kFabricTraceDevice;
+  }
+  return rec.node * 1000 + rec.device;
+}
+
+std::string pid_label(const gpu::KernelTraceRecord& rec) {
+  if (rec.device == interconnect::NetworkFabric::kFabricTraceDevice) return "fabric";
+  return "node" + std::to_string(rec.node) + ".gpu" + std::to_string(rec.device);
+}
+
+}  // namespace
 
 void ChromeTraceSink::write_json(std::ostream& out) const {
   util::JsonWriter w(out);
   w.begin_object();
   w.key("traceEvents");
   w.begin_array();
+  std::map<int, std::string> pids;  // pid -> row label (metadata events)
   for (const auto& rec : records_) {
+    const int pid = record_pid(rec);
+    pids.emplace(pid, pid_label(rec));
+    const bool fabric =
+        rec.device == interconnect::NetworkFabric::kFabricTraceDevice;
     w.begin_object();
     w.kv("name", rec.name);
     w.kv("cat", gpu::kernel_kind_name(rec.kind));
     w.kv("ph", "X");
     w.kv("ts", static_cast<double>(rec.start) / 1e3);   // us
     w.kv("dur", static_cast<double>(rec.end - rec.start) / 1e3);
-    w.kv("pid", rec.device);
-    w.kv("tid", rec.stream);
+    w.kv("pid", pid);
+    // Fabric transfers render one sub-row per source node.
+    w.kv("tid", fabric ? rec.node : rec.stream);
     w.key("args");
     w.begin_object();
+    w.kv("node", rec.node);
     w.kv("blocks", rec.blocks_granted);
     w.kv("batch", rec.batch_id);
+    if (rec.bytes != 0) w.kv("bytes", static_cast<double>(rec.bytes));
+    w.end_object();
+    w.end_object();
+  }
+  // Name the process rows so multi-node timelines read as
+  // "node0.gpu0 ... node1.gpu3, fabric" in Perfetto.
+  for (const auto& [pid, label] : pids) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", label);
     w.end_object();
     w.end_object();
   }
@@ -63,6 +106,18 @@ sim::SimTime union_length(const std::vector<gpu::KernelTraceRecord>& records, Pr
 sim::SimTime ChromeTraceSink::busy_time(int device, gpu::KernelKind kind) const {
   return union_length(records_, [&](const gpu::KernelTraceRecord& r) {
     return r.device == device && r.kind == kind;
+  });
+}
+
+sim::SimTime ChromeTraceSink::busy_time(int node, int device, gpu::KernelKind kind) const {
+  return union_length(records_, [&](const gpu::KernelTraceRecord& r) {
+    return r.node == node && r.device == device && r.kind == kind;
+  });
+}
+
+sim::SimTime ChromeTraceSink::fabric_busy_time() const {
+  return union_length(records_, [&](const gpu::KernelTraceRecord& r) {
+    return r.device == interconnect::NetworkFabric::kFabricTraceDevice;
   });
 }
 

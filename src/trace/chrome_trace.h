@@ -24,11 +24,15 @@ class ChromeTraceSink : public gpu::TraceSink {
 
   // --- Trace analysis helpers (used by tests and ablation benches) -------
   // Total time [ns] during which at least one kernel of `kind` ran on
-  // `device`, derived from the records.
+  // `device`, derived from the records. Device ids repeat across cluster
+  // nodes; the (node, device) overload disambiguates.
   sim::SimTime busy_time(int device, gpu::KernelKind kind) const;
+  sim::SimTime busy_time(int node, int device, gpu::KernelKind kind) const;
   // Total time both a compute and a comm kernel were running on
   // `device` simultaneously (the achieved overlap).
   sim::SimTime overlap_time(int device) const;
+  // Time with at least one inter-node transfer in flight on the fabric.
+  sim::SimTime fabric_busy_time() const;
 
  private:
   std::vector<gpu::KernelTraceRecord> records_;

@@ -7,17 +7,12 @@
 #include "baselines/intra_op_runtime.h"
 #include "model/model_spec.h"
 #include "sim/engine.h"
+#include "support/fixtures.h"
 
 namespace liger::baselines {
 namespace {
 
-model::BatchRequest req(int id, int batch = 2, int seq = 64) {
-  model::BatchRequest r;
-  r.id = id;
-  r.batch_size = batch;
-  r.seq = seq;
-  return r;
-}
+using liger::testing::make_request;
 
 TEST(InterOpTest, StageLayersEqualSplit) {
   sim::Engine engine;
@@ -54,7 +49,7 @@ TEST(InterOpTest, SingleBatchTraversesAllStages) {
   InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   sim::SimTime done = -1;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   EXPECT_GT(done, 0);
   for (int d = 0; d < 4; ++d) {
@@ -71,7 +66,7 @@ TEST(InterOpTest, PipelineThroughputScalesWithStages) {
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
   const int n = 8;
-  for (int i = 0; i < n; ++i) runtime.submit(req(i));
+  for (int i = 0; i < n; ++i) runtime.submit(make_request(i));
   engine.run();
   EXPECT_EQ(completed, n);
 
@@ -80,7 +75,7 @@ TEST(InterOpTest, PipelineThroughputScalesWithStages) {
   InterOpRuntime runtime1(node1, model::ModelZoo::opt_30b().with_layers(8));
   sim::SimTime single = -1;
   runtime1.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { single = t; });
-  runtime1.submit(req(0));
+  runtime1.submit(make_request(0));
   engine1.run();
 
   // Pipeline efficiency: 8 batches in far less than 8x a single pass.
@@ -96,7 +91,7 @@ TEST(InterOpTest, LatencyWorseThanIntraOp) {
     sim::SimTime done = -1;
     runtime->set_completion_hook(
         [&](const model::BatchRequest&, sim::SimTime t) { done = t; });
-    runtime->submit(req(0));
+    runtime->submit(make_request(0));
     engine.run();
     return done;
   };
@@ -116,7 +111,7 @@ TEST(InterOpTest, CompletionsFifo) {
   std::vector<int> order;
   runtime.set_completion_hook(
       [&](const model::BatchRequest& r, sim::SimTime) { order.push_back(r.id); });
-  for (int i = 0; i < 5; ++i) runtime.submit(req(i, 2, 32 + 16 * i));
+  for (int i = 0; i < 5; ++i) runtime.submit(make_request(i, 2, 32 + 16 * i));
   engine.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -130,7 +125,7 @@ TEST(InterOpTest, TheoreticalVariantUsesPartitionedKernels) {
   EXPECT_EQ(runtime.name(), "inter-th");
   sim::SimTime done = -1;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   EXPECT_GT(done, 0);
 }
@@ -144,7 +139,7 @@ TEST(InterOpTest, TheoreticalAndStandardDiffer) {
     InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8), opts);
     sim::SimTime done = -1;
     runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
-    runtime.submit(req(0));
+    runtime.submit(make_request(0));
     engine.run();
     return done;
   };
@@ -157,7 +152,7 @@ TEST(InterOpTest, SingleDeviceIsOneStage) {
   InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   EXPECT_EQ(completed, 1);
   EXPECT_EQ(node.device(0).busy_time_comm(), 0);  // no p2p with one stage
@@ -168,7 +163,7 @@ TEST(InterOpTest, P2pTrafficOnlyBetweenAdjacentStages) {
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
   InterOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   // Every device participates in at least one p2p except... all four do:
   // stage 0..2 send, stage 1..3 receive.

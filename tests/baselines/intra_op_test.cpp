@@ -6,17 +6,12 @@
 
 #include "model/model_spec.h"
 #include "sim/engine.h"
+#include "support/fixtures.h"
 
 namespace liger::baselines {
 namespace {
 
-model::BatchRequest req(int id, int batch = 2, int seq = 64) {
-  model::BatchRequest r;
-  r.id = id;
-  r.batch_size = batch;
-  r.seq = seq;
-  return r;
-}
+using liger::testing::make_request;
 
 TEST(IntraOpTest, SingleBatchCompletesNearIsolatedTime) {
   sim::Engine engine;
@@ -24,9 +19,9 @@ TEST(IntraOpTest, SingleBatchCompletesNearIsolatedTime) {
   IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   sim::SimTime done = -1;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime t) { done = t; });
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
-  const sim::SimTime isolated = runtime.isolated_batch_time(req(0));
+  const sim::SimTime isolated = runtime.isolated_batch_time(make_request(0));
   // Completion = isolated kernel time + launch/command overheads (small).
   EXPECT_GT(done, isolated);
   EXPECT_LT(static_cast<double>(done), 1.1 * static_cast<double>(isolated));
@@ -39,7 +34,7 @@ TEST(IntraOpTest, BatchesCompleteInFifoOrder) {
   std::vector<int> order;
   runtime.set_completion_hook(
       [&](const model::BatchRequest& r, sim::SimTime) { order.push_back(r.id); });
-  for (int i = 0; i < 4; ++i) runtime.submit(req(i, 2, 32 + 8 * i));
+  for (int i = 0; i < 4; ++i) runtime.submit(make_request(i, 2, 32 + 8 * i));
   engine.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
@@ -53,10 +48,10 @@ TEST(IntraOpTest, ThroughputSaturatesAtIsolatedRate) {
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
   const int n = 5;
-  for (int i = 0; i < n; ++i) runtime.submit(req(i));
+  for (int i = 0; i < n; ++i) runtime.submit(make_request(i));
   engine.run();
   EXPECT_EQ(completed, n);
-  const double isolated = static_cast<double>(runtime.isolated_batch_time(req(0)));
+  const double isolated = static_cast<double>(runtime.isolated_batch_time(make_request(0)));
   EXPECT_NEAR(static_cast<double>(engine.now()), n * isolated, 0.12 * n * isolated);
 }
 
@@ -89,7 +84,7 @@ TEST(IntraOpTest, SingleDeviceHasNoCollectives) {
   IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   EXPECT_EQ(completed, 1);
   EXPECT_EQ(node.device(0).busy_time_comm(), 0);
@@ -100,7 +95,7 @@ TEST(IntraOpTest, DevicesStayInLockstep) {
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
   IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
-  runtime.submit(req(0));
+  runtime.submit(make_request(0));
   engine.run();
   const auto busy0 = node.device(0).busy_time_any();
   for (int d = 1; d < 4; ++d) {
@@ -115,7 +110,7 @@ TEST(IntraOpTest, DecodeBatchesServe) {
   IntraOpRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  model::BatchRequest r = req(0, 32, 16);
+  model::BatchRequest r = make_request(0, 32, 16);
   r.phase = model::Phase::kDecode;
   runtime.submit(r);
   engine.run();

@@ -1,0 +1,130 @@
+// Hierarchical collectives over a multi-node DeviceGroup: closed-form
+// schedule composition, comparison against a flat intra-node ring at
+// equal world size, and exact degeneration of the 1-node path.
+#include <gtest/gtest.h>
+
+#include "baselines/intra_op_runtime.h"
+#include "collective/collective.h"
+#include "gpu/cluster.h"
+#include "gpu/device_group.h"
+#include "model/model_spec.h"
+#include "support/fixtures.h"
+
+namespace liger::collective {
+namespace {
+
+using liger::testing::ClusterFixture;
+using liger::testing::NodeFixture;
+using liger::testing::make_request;
+
+constexpr std::uint64_t kBytes = 1 << 20;
+
+TEST(HierarchicalTest, AllReduceSoloTimeComposesIntraAndInterStages) {
+  // 2 nodes x 2 devices: intra-node ring reduce-scatter + inter-node
+  // ring all-reduce over the fabric + intra-node ring all-gather.
+  ClusterFixture f;
+  const auto group = gpu::DeviceGroup::whole_cluster(f.cluster);
+  Communicator comm(group);
+  auto& topo = group.topology();
+  const int ch = comm.config().max_nchannels;
+
+  const auto expected = topo.reduce_scatter_time(kBytes, 2, ch) +
+                        topo.all_gather_time(kBytes, 2, ch) +
+                        f.cluster.fabric().ring_allreduce_time(kBytes, 2);
+  EXPECT_EQ(comm.all_reduce_solo_time(kBytes, 4), expected);
+
+  EXPECT_EQ(comm.reduce_scatter_solo_time(kBytes, 4),
+            topo.reduce_scatter_time(kBytes, 2, ch) +
+                f.cluster.fabric().ring_reduce_scatter_time(kBytes, 2));
+  EXPECT_EQ(comm.all_gather_solo_time(kBytes, 4),
+            topo.all_gather_time(kBytes, 2, ch) +
+                f.cluster.fabric().ring_all_gather_time(kBytes, 2));
+  EXPECT_EQ(comm.broadcast_solo_time(kBytes, 4),
+            topo.broadcast_time(kBytes, 2, ch) +
+                f.cluster.fabric().broadcast_time(kBytes, 2));
+}
+
+TEST(HierarchicalTest, CrossNodeAllReduceSlowerThanFlatRingAtEqualWorldSize) {
+  // World size 4 both ways; the hierarchical schedule pays the fabric's
+  // single NIC per node, the flat ring stays on the intra-node links.
+  ClusterFixture cluster_f;  // 2 x 2
+  Communicator hier(gpu::DeviceGroup::whole_cluster(cluster_f.cluster));
+
+  NodeFixture node_f(gpu::NodeSpec::test_node(4));
+  Communicator flat(gpu::DeviceGroup::whole_node(node_f.node));
+
+  EXPECT_GT(hier.all_reduce_solo_time(kBytes, 4), flat.all_reduce_solo_time(kBytes, 4));
+  EXPECT_EQ(hier.domain_nodes(), 2);
+  EXPECT_EQ(flat.domain_nodes(), 1);
+}
+
+TEST(HierarchicalTest, P2pRoutesByNodeLocality) {
+  ClusterFixture f;
+  const auto group = gpu::DeviceGroup::whole_cluster(f.cluster);
+  Communicator comm(group);
+  // Ranks 0,1 share node 0; rank 2 lives on node 1.
+  EXPECT_EQ(comm.p2p_solo_time(kBytes, 0, 1), group.topology().p2p_time(kBytes));
+  EXPECT_EQ(comm.p2p_solo_time(kBytes, 1, 2), f.cluster.fabric().p2p_time(kBytes));
+}
+
+TEST(HierarchicalTest, SingleNodeGroupMatchesLegacyCommunicator) {
+  // The DeviceGroup constructor over a whole standalone node must be
+  // indistinguishable from the original (engine, topology, gpu) form.
+  NodeFixture f;
+  Communicator legacy(f.engine, f.node.topology(), f.node.spec().gpu);
+  Communicator grouped(gpu::DeviceGroup::whole_node(f.node));
+
+  for (std::uint64_t bytes : {std::uint64_t{4096}, std::uint64_t{1} << 18, std::uint64_t{1} << 24}) {
+    EXPECT_EQ(grouped.all_reduce_solo_time(bytes, 2), legacy.all_reduce_solo_time(bytes, 2));
+    EXPECT_EQ(grouped.reduce_scatter_solo_time(bytes, 2),
+              legacy.reduce_scatter_solo_time(bytes, 2));
+    EXPECT_EQ(grouped.all_gather_solo_time(bytes, 2), legacy.all_gather_solo_time(bytes, 2));
+    EXPECT_EQ(grouped.broadcast_solo_time(bytes, 2), legacy.broadcast_solo_time(bytes, 2));
+    EXPECT_EQ(grouped.p2p_solo_time(bytes), legacy.p2p_solo_time(bytes));
+    EXPECT_EQ(grouped.chosen_algo(bytes, 2), legacy.chosen_algo(bytes, 2));
+  }
+}
+
+TEST(HierarchicalTest, WholeClusterWorkloadCompletesAndReleasesFabricFlows) {
+  // End-to-end: cluster-wide tensor parallelism actually executes the
+  // hierarchical collectives and leaves no flow behind.
+  ClusterFixture f;
+  baselines::IntraOpRuntime runtime(gpu::DeviceGroup::whole_cluster(f.cluster),
+                                    model::ModelZoo::tiny_test());
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  for (int i = 0; i < 2; ++i) runtime.submit(make_request(i));
+  f.engine.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(f.cluster.fabric().active_flows(), 0);
+  // The communicator holds RAII listener subscriptions on the fabric.
+  EXPECT_GT(f.cluster.fabric().listener_count(), 0u);
+}
+
+TEST(HierarchicalTest, ClusterWorkloadSlowerThanSingleNodeAtEqualWorldSize) {
+  // Executed (not just closed-form) comparison: the same model over 4
+  // devices takes longer when collectives must cross the test fabric.
+  auto run = [](auto make_group_owner) { return make_group_owner(); };
+  const sim::SimTime flat = run([] {
+    NodeFixture f(gpu::NodeSpec::test_node(4));
+    baselines::IntraOpRuntime runtime(gpu::DeviceGroup::whole_node(f.node),
+                                      model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    runtime.submit(make_request(0));
+    f.engine.run();
+    return f.engine.now();
+  });
+  const sim::SimTime hier = run([] {
+    ClusterFixture f;
+    baselines::IntraOpRuntime runtime(gpu::DeviceGroup::whole_cluster(f.cluster),
+                                      model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    runtime.submit(make_request(0));
+    f.engine.run();
+    return f.engine.now();
+  });
+  EXPECT_GT(hier, flat);
+}
+
+}  // namespace
+}  // namespace liger::collective

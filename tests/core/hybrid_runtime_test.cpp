@@ -1,0 +1,107 @@
+#include "core/hybrid_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/model_spec.h"
+#include "support/fixtures.h"
+
+namespace liger::core {
+namespace {
+
+using liger::testing::ClusterFixture;
+using liger::testing::make_request;
+
+TEST(HybridRuntimeTest, DefaultsToWholeNodeTpOneStagePerNode) {
+  ClusterFixture f;  // 2 nodes x 2 devices
+  HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test());
+  EXPECT_EQ(runtime.tp(), 2);
+  EXPECT_EQ(runtime.pp(), 2);
+  EXPECT_EQ(runtime.name(), "hybrid");
+}
+
+TEST(HybridRuntimeTest, StageLayerSplitSpreadsRemainderLeft) {
+  ClusterFixture f;
+  HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test().with_layers(5));
+  EXPECT_EQ(runtime.stage_layers(0), (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(runtime.stage_layers(1), (std::pair<int, int>{3, 5}));
+}
+
+TEST(HybridRuntimeTest, BacklogCompletesAndCountsFabricTransfers) {
+  ClusterFixture f;
+  HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test());
+  std::vector<int> order;
+  runtime.set_completion_hook(
+      [&](const model::BatchRequest& r, sim::SimTime) { order.push_back(r.id); });
+  const int n = 4;
+  for (int i = 0; i < n; ++i) runtime.submit(make_request(i));
+  f.engine.run();
+
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  // pp=2 across 2 nodes: exactly one cross-node boundary per batch.
+  EXPECT_EQ(runtime.stats().fabric_transfers, 4u);
+  EXPECT_EQ(runtime.stats().local_transfers, 0u);
+  EXPECT_GT(runtime.stats().fabric_bytes, 0u);
+  EXPECT_EQ(f.cluster.fabric().active_transfers(), 0);
+}
+
+TEST(HybridRuntimeTest, FourStagesOnTwoNodesMixLocalAndFabricBoundaries) {
+  // tp=1, pp=4 on a 2x2 cluster: stages 0,1 on node 0 and 2,3 on node 1.
+  // Boundaries 0->1 and 2->3 stay on the intra-node links; only 1->2
+  // crosses the fabric.
+  ClusterFixture f;
+  HybridOptions opts;
+  opts.tp = 1;
+  opts.pp = 4;
+  HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test().with_layers(4), opts);
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  for (int i = 0; i < 2; ++i) runtime.submit(make_request(i));
+  f.engine.run();
+
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(runtime.stats().fabric_transfers, 2u);
+  EXPECT_EQ(runtime.stats().local_transfers, 4u);
+}
+
+TEST(HybridRuntimeTest, SingleStageDegeneratesToPlainLiger) {
+  // pp=1 never touches the fabric and must match a standalone
+  // LigerRuntime on an identical node, cycle for cycle.
+  auto run_hybrid = [] {
+    ClusterFixture f;
+    HybridOptions opts;
+    opts.pp = 1;
+    HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test(), opts);
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    for (int i = 0; i < 3; ++i) runtime.submit(make_request(i));
+    f.engine.run();
+    EXPECT_EQ(runtime.stats().fabric_transfers, 0u);
+    EXPECT_EQ(runtime.stats().local_transfers, 0u);
+    return f.engine.now();
+  };
+  auto run_plain = [] {
+    liger::testing::NodeFixture f;
+    LigerRuntime runtime(f.node, model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    for (int i = 0; i < 3; ++i) runtime.submit(make_request(i));
+    f.engine.run();
+    return f.engine.now();
+  };
+  EXPECT_EQ(run_hybrid(), run_plain());
+}
+
+TEST(HybridRuntimeTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ClusterFixture f;
+    HybridRuntime runtime(f.cluster, model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    for (int i = 0; i < 5; ++i) runtime.submit(make_request(i));
+    f.engine.run();
+    return f.engine.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace liger::core

@@ -6,9 +6,13 @@
 
 #include "model/model_spec.h"
 #include "sim/engine.h"
+#include "support/fixtures.h"
 
 namespace liger::core {
 namespace {
+
+using liger::testing::make_request;
+using liger::testing::submit_backlog;
 
 // Submit a backlog of batches at t=0 (infinite-rate limit) and check
 // that interleaving actually happens: secondary kernels are scheduled
@@ -20,14 +24,7 @@ TEST(LigerRuntimeTest, BacklogProducesOverlap) {
 
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  for (int i = 0; i < 6; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 72;
-    req.arrival = 0;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, 6, /*batch=*/2, /*seq=*/72);
   engine.run();
 
   const auto& st = runtime.stats();
@@ -48,13 +45,7 @@ sim::SimTime run_backlog(LigerOptions options, int batches, int& completed_out) 
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8), options);
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  for (int i = 0; i < batches; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 64;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, batches);
   engine.run();
   completed_out = completed;
   return engine.now();
@@ -82,10 +73,7 @@ TEST(LigerRuntimeTest, SingleBatchMatchesIntraOpBehaviour) {
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(8));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
-  model::BatchRequest req;
-  req.batch_size = 2;
-  req.seq = 64;
-  runtime.submit(req);
+  runtime.submit(make_request(0));
   engine.run();
   EXPECT_EQ(runtime.stats().secondary_kernels, 0u);
 }
@@ -128,10 +116,7 @@ TEST(LigerRuntimeTest, DecodePhaseBatchesComplete) {
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
   for (int i = 0; i < 4; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 32;
-    req.seq = 16;
+    model::BatchRequest req = make_request(i, 32, 16);
     req.phase = model::Phase::kDecode;
     runtime.submit(req);
   }
@@ -146,13 +131,7 @@ TEST(LigerRuntimeTest, CompletionOrderIsFifo) {
   std::vector<int> order;
   runtime.set_completion_hook(
       [&](const model::BatchRequest& req, sim::SimTime) { order.push_back(req.id); });
-  for (int i = 0; i < 5; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 64;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, 5);
   engine.run();
   // Principle 1: the early-arrived batch keeps priority; completions
   // follow arrival order.
@@ -166,13 +145,7 @@ TEST(LigerRuntimeTest, SingleDeviceDegeneratesGracefully) {
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   int completed = 0;
   runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
-  for (int i = 0; i < 3; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 32;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, 3, /*batch=*/2, /*seq=*/32);
   engine.run();
   EXPECT_EQ(completed, 3);
   EXPECT_EQ(runtime.stats().secondary_kernels, 0u);
@@ -192,13 +165,7 @@ TEST(LigerRuntimeTest, ActivationMemoryAccounting) {
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
-  for (int i = 0; i < 3; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 64;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, 3);
   // All three in flight right after submission.
   const auto mid = runtime.stats().current_activation_bytes;
   EXPECT_GT(mid, 0u);
@@ -212,13 +179,7 @@ TEST(LigerRuntimeTest, PlanCacheHitsOnRepeatedShapes) {
   gpu::Node node(engine, gpu::NodeSpec::v100_nvlink(4));
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
-  for (int i = 0; i < 8; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 64;
-    runtime.submit(req);
-  }
+  submit_backlog(runtime, 8);
   engine.run();
   // One compile for the shared shape, seven shared-plan reuses.
   EXPECT_EQ(runtime.stats().plan_cache_misses, 1u);
@@ -232,10 +193,8 @@ TEST(LigerRuntimeTest, PlanCacheMissesOnDistinctShapes) {
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
   for (int i = 0; i < 4; ++i) {
-    model::BatchRequest req;
-    req.id = i;
-    req.batch_size = 2;
-    req.seq = 16 + i;  // decode-style context growth: all distinct
+    // Decode-style context growth: all shapes distinct.
+    model::BatchRequest req = make_request(i, 2, 16 + i);
     req.phase = model::Phase::kDecode;
     runtime.submit(req);
   }
@@ -292,11 +251,7 @@ TEST(LigerRuntimeTest, LateSubmissionAfterIdleResumes) {
   runtime.set_completion_hook(
       [&](const model::BatchRequest&, sim::SimTime t) { completions.push_back(t); });
 
-  model::BatchRequest req;
-  req.batch_size = 2;
-  req.seq = 32;
-  req.id = 0;
-  runtime.submit(req);
+  runtime.submit(make_request(0, 2, 32));
   engine.run();  // drain completely; runtime actors go idle
   ASSERT_EQ(completions.size(), 1u);
 

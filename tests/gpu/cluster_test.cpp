@@ -1,0 +1,111 @@
+#include "gpu/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/intra_op_runtime.h"
+#include "gpu/device_group.h"
+#include "model/model_spec.h"
+#include "support/fixtures.h"
+#include "trace/chrome_trace.h"
+
+namespace liger::gpu {
+namespace {
+
+using liger::testing::ClusterFixture;
+using liger::testing::make_request;
+
+TEST(ClusterTest, TestClusterShape) {
+  ClusterFixture f;
+  EXPECT_EQ(f.cluster.num_nodes(), 2);
+  EXPECT_EQ(f.cluster.devices_per_node(), 2);
+  EXPECT_EQ(f.cluster.total_devices(), 4);
+  EXPECT_EQ(f.cluster.fabric().num_nodes(), 2);
+  EXPECT_EQ(f.cluster.node(0).num_devices(), 2);
+}
+
+TEST(ClusterTest, DeviceGroupSlicesMapRanksToNodes) {
+  ClusterFixture f;
+  const auto whole = DeviceGroup::whole_cluster(f.cluster);
+  EXPECT_EQ(whole.size(), 4);
+  EXPECT_EQ(whole.num_nodes(), 2);
+  EXPECT_TRUE(whole.symmetric());
+  EXPECT_EQ(whole.member(0).node, 0);
+  EXPECT_EQ(whole.member(3).node, 1);
+  EXPECT_EQ(whole.member(3).local_id, 1);
+  EXPECT_EQ(whole.fabric(), &f.cluster.fabric());
+
+  const auto slice = DeviceGroup::node_slice(f.cluster, 1, 0, 2);
+  EXPECT_EQ(slice.size(), 2);
+  EXPECT_TRUE(slice.single_node());
+  EXPECT_EQ(slice.member(0).node, 1);
+  // Single-node slices of a cluster still see the fabric (pipeline
+  // stages reach it for boundary activations).
+  EXPECT_EQ(slice.fabric(), &f.cluster.fabric());
+}
+
+TEST(ClusterTest, TraceRecordsTaggedWithHostNode) {
+  ClusterFixture f;
+  trace::ChromeTraceSink sink;
+  f.cluster.set_trace_sink(&sink);
+
+  // Run a workload confined to node 1; every device record must carry
+  // that node tag, and node 0's devices must stay silent.
+  baselines::IntraOpRuntime runtime(DeviceGroup::node_slice(f.cluster, 1, 0, 2),
+                                    model::ModelZoo::tiny_test());
+  int completed = 0;
+  runtime.set_completion_hook([&](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  runtime.submit(make_request(0));
+  f.engine.run();
+
+  EXPECT_EQ(completed, 1);
+  ASSERT_FALSE(sink.records().empty());
+  for (const auto& rec : sink.records()) {
+    EXPECT_EQ(rec.node, 1) << rec.name;
+  }
+  EXPECT_GT(sink.busy_time(1, 0, KernelKind::kCompute), 0);
+  EXPECT_EQ(sink.busy_time(0, 0, KernelKind::kCompute), 0);
+}
+
+TEST(ClusterTest, FabricRowAppearsInChromeJson) {
+  ClusterFixture f;
+  trace::ChromeTraceSink sink;
+  f.cluster.set_trace_sink(&sink);
+  f.cluster.fabric().transfer(50'000, 0, 1, "act.b0.s0", [] {});
+  f.engine.run();
+
+  EXPECT_GT(sink.fabric_busy_time(), 0);
+  std::ostringstream out;
+  sink.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"fabric\""), std::string::npos);
+  EXPECT_NE(json.find("act.b0.s0"), std::string::npos);
+}
+
+TEST(ClusterTest, SingleNodeClusterMatchesStandaloneNodeExactly) {
+  // The degenerate path: a 1-node cluster must reproduce standalone-node
+  // timing bit for bit (no fabric flow ever starts).
+  auto run_standalone = [] {
+    liger::testing::NodeFixture f;
+    baselines::IntraOpRuntime runtime(f.node, model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    for (int i = 0; i < 3; ++i) runtime.submit(make_request(i));
+    f.engine.run();
+    return f.engine.now();
+  };
+  auto run_cluster = [] {
+    ClusterFixture f(ClusterSpec::single_node(NodeSpec::test_node(2)));
+    baselines::IntraOpRuntime runtime(DeviceGroup::node_slice(f.cluster, 0, 0, 2),
+                                      model::ModelZoo::tiny_test());
+    runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
+    for (int i = 0; i < 3; ++i) runtime.submit(make_request(i));
+    f.engine.run();
+    EXPECT_EQ(f.cluster.fabric().active_flows(), 0);
+    return f.engine.now();
+  };
+  EXPECT_EQ(run_standalone(), run_cluster());
+}
+
+}  // namespace
+}  // namespace liger::gpu

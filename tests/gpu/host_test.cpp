@@ -6,18 +6,13 @@
 
 #include "gpu/node.h"
 #include "sim/task.h"
+#include "support/fixtures.h"
 
 namespace liger::gpu {
 namespace {
 
 using sim::SimTime;
-
-struct HostFixture {
-  sim::Engine engine;
-  Node node;
-
-  HostFixture() : node(engine, NodeSpec::test_node(2)) {}
-};
+using HostFixture = liger::testing::NodeFixture;
 
 KernelDesc quick_kernel(const char* name, SimTime solo, int blocks = 2) {
   KernelDesc k;

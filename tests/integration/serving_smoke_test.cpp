@@ -4,21 +4,13 @@
 
 #include "model/model_spec.h"
 #include "serving/experiment.h"
+#include "support/fixtures.h"
 
 namespace liger::serving {
 namespace {
 
 ExperimentConfig small_config(Method m, double rate) {
-  ExperimentConfig cfg;
-  cfg.node = gpu::NodeSpec::test_node(2);
-  cfg.model = model::ModelZoo::tiny_test();
-  cfg.method = m;
-  cfg.rate = rate;
-  cfg.workload.num_requests = 30;
-  cfg.workload.batch_size = 2;
-  cfg.workload.seq_min = 16;
-  cfg.workload.seq_max = 64;
-  return cfg;
+  return liger::testing::tiny_experiment_config(m, rate);
 }
 
 TEST(ServingSmokeTest, AllMethodsCompleteAllRequests) {

@@ -1,0 +1,150 @@
+#include "interconnect/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace liger::interconnect {
+namespace {
+
+// TestFabric: 10 GB/s per NIC (10 bytes/ns), base 4 us, step 1 us.
+constexpr std::uint64_t kBytes = 100'000;  // 10 us at full bandwidth
+constexpr sim::SimTime kWire = 10'000;     // ns
+constexpr sim::SimTime kBase = 4'000;
+constexpr sim::SimTime kStep = 1'000;
+
+struct FabricFixture {
+  sim::Engine engine;
+  NetworkFabric fabric;
+
+  explicit FabricFixture(int nodes = 4)
+      : fabric(engine, FabricSpec::test_fabric(), nodes) {}
+};
+
+TEST(FabricTest, ClosedFormTimesMatchRingModel) {
+  FabricFixture f;
+  EXPECT_EQ(f.fabric.p2p_time(kBytes), kBase + kWire);
+  // Ring all-reduce: 2(N-1) steps moving 2(N-1)/N of the payload.
+  EXPECT_EQ(f.fabric.ring_allreduce_time(kBytes, 2), kBase + 2 * kStep + kWire);
+  EXPECT_EQ(f.fabric.ring_allreduce_time(kBytes, 4),
+            kBase + 6 * kStep + kWire * 3 / 2);
+  // Reduce-scatter and all-gather are each half a ring all-reduce's
+  // schedule (same base latency).
+  EXPECT_EQ(f.fabric.ring_reduce_scatter_time(kBytes, 4),
+            kBase + 3 * kStep + kWire * 3 / 4);
+  EXPECT_EQ(f.fabric.ring_all_gather_time(kBytes, 4),
+            f.fabric.ring_reduce_scatter_time(kBytes, 4));
+  // Binomial broadcast: ceil(log2 N) steps, full payload once.
+  EXPECT_EQ(f.fabric.broadcast_time(kBytes, 4), kBase + 2 * kStep + kWire);
+  EXPECT_EQ(f.fabric.broadcast_time(kBytes, 3), f.fabric.broadcast_time(kBytes, 4));
+}
+
+TEST(FabricTest, EndpointSharingLimitsFlowShare) {
+  FabricFixture f(6);
+  const auto a = f.fabric.begin_flow({0, 1});
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(a), 1.0);
+
+  // Disjoint node pairs do not interfere inside the switch.
+  const auto b = f.fabric.begin_flow({2, 3});
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(a), 1.0);
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(b), 1.0);
+
+  // A third flow touching node 1 halves both flows through that NIC;
+  // the disjoint pair is untouched.
+  const auto c = f.fabric.begin_flow({1, 4});
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(a), 0.5);
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(c), 0.5);
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(b), 1.0);
+
+  f.fabric.end_flow(c);
+  EXPECT_DOUBLE_EQ(f.fabric.flow_share(a), 1.0);
+  f.fabric.end_flow(a);
+  f.fabric.end_flow(b);
+  EXPECT_EQ(f.fabric.active_flows(), 0);
+}
+
+TEST(FabricTest, ListenersFireOnFlowChanges) {
+  FabricFixture f;
+  int fired = 0;
+  auto handle = f.fabric.add_listener([&] { ++fired; });
+  const auto id = f.fabric.begin_flow({0, 1});
+  f.fabric.end_flow(id);
+  EXPECT_EQ(fired, 2);
+  handle.reset();
+  EXPECT_EQ(f.fabric.listener_count(), 0u);
+  const auto id2 = f.fabric.begin_flow({0, 1});
+  f.fabric.end_flow(id2);
+  EXPECT_EQ(fired, 2);  // unsubscribed
+}
+
+TEST(FabricTest, SoloTransferTakesP2pTime) {
+  FabricFixture f;
+  sim::SimTime done_at = -1;
+  f.fabric.transfer(kBytes, 0, 1, "x", [&] { done_at = f.engine.now(); });
+  EXPECT_EQ(f.fabric.active_transfers(), 1);
+  f.engine.run();
+  EXPECT_EQ(done_at, kBase + kWire);
+  EXPECT_EQ(f.fabric.active_transfers(), 0);
+  EXPECT_EQ(f.fabric.active_flows(), 0);
+}
+
+TEST(FabricTest, ConcurrentPipelineFlowsShareTheMiddleNic) {
+  // Adjacent pipeline stage pairs 0->1 and 1->2: both touch node 1's
+  // NIC, so each runs at half rate and takes twice as long.
+  FabricFixture f;
+  sim::SimTime done_a = -1, done_b = -1;
+  f.fabric.transfer(kBytes, 0, 1, "a", [&] { done_a = f.engine.now(); });
+  f.fabric.transfer(kBytes, 1, 2, "b", [&] { done_b = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(done_a, 2 * (kBase + kWire));
+  EXPECT_EQ(done_b, 2 * (kBase + kWire));
+}
+
+TEST(FabricTest, DisjointTransfersDoNotContend) {
+  FabricFixture f;
+  sim::SimTime done_a = -1, done_b = -1;
+  f.fabric.transfer(kBytes, 0, 1, "a", [&] { done_a = f.engine.now(); });
+  f.fabric.transfer(kBytes, 2, 3, "b", [&] { done_b = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(done_a, kBase + kWire);
+  EXPECT_EQ(done_b, kBase + kWire);
+}
+
+TEST(FabricTest, TransferProgressIntegratesUnderChangingShare) {
+  // A starts alone; halfway through, B joins on the shared NIC. A's
+  // second half runs at half rate; once A finishes, B speeds back up.
+  FabricFixture f;
+  const sim::SimTime solo = kBase + kWire;  // 14 us
+  sim::SimTime done_a = -1, done_b = -1;
+  f.fabric.transfer(kBytes, 0, 1, "a", [&] { done_a = f.engine.now(); });
+  f.engine.schedule_after(solo / 2, [&] {
+    f.fabric.transfer(kBytes, 1, 2, "b", [&] { done_b = f.engine.now(); });
+  });
+  f.engine.run();
+  EXPECT_EQ(done_a, solo / 2 + solo);          // 7 + 14 us
+  EXPECT_EQ(done_b, solo / 2 + solo + solo / 2);  // joined at 7, done at 28 us
+}
+
+TEST(FabricTest, TransfersEmitTaggedTraceRecords) {
+  struct Recorder : gpu::TraceSink {
+    std::vector<gpu::KernelTraceRecord> recs;
+    void on_kernel(const gpu::KernelTraceRecord& r) override { recs.push_back(r); }
+  };
+  FabricFixture f;
+  Recorder rec;
+  f.fabric.set_trace_sink(&rec);
+  f.fabric.transfer(kBytes, 2, 3, "act.b0.s1", [] {});
+  f.engine.run();
+  ASSERT_EQ(rec.recs.size(), 1u);
+  EXPECT_EQ(rec.recs[0].device, NetworkFabric::kFabricTraceDevice);
+  EXPECT_EQ(rec.recs[0].node, 2);  // tagged with the source node
+  EXPECT_EQ(rec.recs[0].kind, gpu::KernelKind::kComm);
+  EXPECT_EQ(rec.recs[0].bytes, kBytes);
+  EXPECT_EQ(rec.recs[0].end - rec.recs[0].start, kBase + kWire);
+  EXPECT_EQ(rec.recs[0].name, "act.b0.s1");
+}
+
+}  // namespace
+}  // namespace liger::interconnect

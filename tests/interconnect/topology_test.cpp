@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace liger::interconnect {
 namespace {
 
@@ -106,11 +108,45 @@ TEST(TopologyTest, PcieFlowsShareSwitch) {
 TEST(TopologyTest, ListenersNotifiedOnFlowChanges) {
   Topology topo(InterconnectSpec::pcie_a100(), 4);
   int notifications = 0;
-  topo.add_listener([&] { ++notifications; });
+  ListenerHandle handle = topo.add_listener([&] { ++notifications; });
   auto f = topo.begin_flow({0, 1});
   EXPECT_EQ(notifications, 1);
   topo.end_flow(f);
   EXPECT_EQ(notifications, 2);
+}
+
+TEST(TopologyTest, ListenerHandleUnsubscribesOnDestruction) {
+  // The dangling-callback hazard: a listener whose captures die before
+  // the topology must stop being invoked. The RAII handle guarantees it.
+  Topology topo(InterconnectSpec::pcie_a100(), 4);
+  int notifications = 0;
+  {
+    ListenerHandle handle = topo.add_listener([&] { ++notifications; });
+    EXPECT_EQ(topo.listener_count(), 1u);
+    auto f = topo.begin_flow({0, 1});
+    topo.end_flow(f);
+    EXPECT_EQ(notifications, 2);
+  }
+  EXPECT_EQ(topo.listener_count(), 0u);
+  auto f = topo.begin_flow({0, 1});  // must not touch the dead callback
+  topo.end_flow(f);
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(TopologyTest, ListenerHandleIsMovable) {
+  Topology topo(InterconnectSpec::pcie_a100(), 4);
+  int notifications = 0;
+  ListenerHandle outer;
+  {
+    ListenerHandle inner = topo.add_listener([&] { ++notifications; });
+    outer = std::move(inner);
+  }  // inner (moved-from) must not unsubscribe
+  EXPECT_EQ(topo.listener_count(), 1u);
+  auto f = topo.begin_flow({0, 1});
+  topo.end_flow(f);
+  EXPECT_EQ(notifications, 2);
+  outer.reset();
+  EXPECT_EQ(topo.listener_count(), 0u);
 }
 
 TEST(TopologyTest, CommandLatencyGrowsWithInflight) {

@@ -69,7 +69,39 @@ TEST(ConfigTest, ParseMethodSpellings) {
   EXPECT_EQ(parse_method("inter-op"), Method::kInterOp);
   EXPECT_EQ(parse_method("inter-th"), Method::kInterTh);
   EXPECT_EQ(parse_method("liger-cpusync"), Method::kLigerCpuSync);
+  EXPECT_EQ(parse_method("hybrid"), Method::kHybrid);
   EXPECT_THROW(parse_method("magic"), std::invalid_argument);
+}
+
+TEST(ConfigTest, ClusterBlock) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "method": "hybrid",
+    "cluster": {
+      "nodes": 2,
+      "fabric": { "preset": "100gbe", "link_bw_gbps": 20.0, "base_latency_us": 15.0 },
+      "tp": 2, "pp": 4
+    }
+  })"));
+  EXPECT_EQ(cfg.method, Method::kHybrid);
+  EXPECT_EQ(cfg.num_nodes, 2);
+  EXPECT_EQ(cfg.fabric.name, "100GbE");
+  EXPECT_DOUBLE_EQ(cfg.fabric.link_bandwidth, 20e9);
+  EXPECT_EQ(cfg.fabric.base_latency, sim::microseconds(15));
+  EXPECT_EQ(cfg.hybrid_tp, 2);
+  EXPECT_EQ(cfg.hybrid_pp, 4);
+}
+
+TEST(ConfigTest, ClusterDefaultsAndValidation) {
+  const auto cfg = config_from_json(util::parse_json(R"({"cluster": {"nodes": 4}})"));
+  EXPECT_EQ(cfg.num_nodes, 4);
+  EXPECT_EQ(cfg.fabric.name, "IB-HDR");  // default preset
+  EXPECT_EQ(cfg.hybrid_tp, 0);           // 0 = whole node / one stage per node
+  EXPECT_EQ(cfg.hybrid_pp, 0);
+  EXPECT_THROW(config_from_json(util::parse_json(R"({"cluster": {"nodes": 0}})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      config_from_json(util::parse_json(R"({"cluster": {"fabric": {"preset": "carrier-pigeon"}}})")),
+      std::invalid_argument);
 }
 
 TEST(ConfigTest, UnknownModelPresetThrows) {
@@ -93,6 +125,25 @@ TEST(ConfigTest, BundledConfigsParseAndRun) {
       cfg.model = cfg.model.with_layers(4);
       const auto rep = run_experiment(cfg);
       EXPECT_EQ(rep.completed, 5u);
+      return;
+    } catch (const std::runtime_error&) {
+      continue;  // wrong relative path; try the next candidate
+    }
+  }
+  GTEST_SKIP() << "configs/ not reachable from test cwd";
+}
+
+TEST(ConfigTest, BundledHybridConfigParsesAndRuns) {
+  for (const char* path : {"../configs/hybrid_2node.json", "configs/hybrid_2node.json",
+                           "../../configs/hybrid_2node.json"}) {
+    try {
+      auto cfg = config_from_file(path);
+      EXPECT_EQ(cfg.method, Method::kHybrid);
+      EXPECT_EQ(cfg.num_nodes, 2);
+      cfg.workload.num_requests = 4;  // keep the test fast
+      cfg.model = cfg.model.with_layers(4);
+      const auto rep = run_experiment(cfg);
+      EXPECT_EQ(rep.completed, 4u);
       return;
     } catch (const std::runtime_error&) {
       continue;  // wrong relative path; try the next candidate

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "support/fixtures.h"
+
 namespace liger::serving {
 namespace {
 
@@ -52,12 +54,7 @@ TEST(ExperimentTest, IsolatedIntraBatchTimePositiveAndScales) {
 }
 
 TEST(ExperimentTest, DetailedOutputsIncludeLigerStats) {
-  ExperimentConfig cfg;
-  cfg.node = gpu::NodeSpec::test_node(2);
-  cfg.model = model::ModelZoo::tiny_test();
-  cfg.method = Method::kLiger;
-  cfg.rate = 100.0;
-  cfg.workload.num_requests = 20;
+  ExperimentConfig cfg = liger::testing::tiny_experiment_config(Method::kLiger, 100.0, 20);
   cfg.profile_contention = false;
   const auto out = run_experiment_detailed(cfg);
   EXPECT_EQ(out.report.completed, 20u);
@@ -84,12 +81,7 @@ TEST(ExperimentTest, DeviceUtilizationReported) {
 }
 
 TEST(ExperimentTest, BaselineMethodsHaveNoLigerStats) {
-  ExperimentConfig cfg;
-  cfg.node = gpu::NodeSpec::test_node(2);
-  cfg.model = model::ModelZoo::tiny_test();
-  cfg.method = Method::kIntraOp;
-  cfg.rate = 100.0;
-  cfg.workload.num_requests = 10;
+  ExperimentConfig cfg = liger::testing::tiny_experiment_config(Method::kIntraOp, 100.0, 10);
   const auto out = run_experiment_detailed(cfg);
   EXPECT_EQ(out.liger.rounds, 0u);
 }

@@ -6,18 +6,15 @@
 #include "gpu/node.h"
 #include "model/model_spec.h"
 #include "serving/config.h"
+#include "support/fixtures.h"
 
 namespace liger::serving {
 namespace {
 
-struct ServerFixture {
-  sim::Engine engine;
-  gpu::Node node;
+struct ServerFixture : liger::testing::NodeFixture {
   baselines::IntraOpRuntime runtime;
 
-  ServerFixture()
-      : node(engine, gpu::NodeSpec::test_node(2)),
-        runtime(node, model::ModelZoo::tiny_test()) {}
+  ServerFixture() : runtime(node, model::ModelZoo::tiny_test()) {}
 };
 
 TEST(ServerTest, ServesAllRequests) {

@@ -3,17 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "model/model_spec.h"
+#include "support/fixtures.h"
 
 namespace liger::serving {
 namespace {
 
 ExperimentConfig tiny(Method m, double rate) {
-  ExperimentConfig cfg;
-  cfg.node = gpu::NodeSpec::test_node(2);
-  cfg.model = model::ModelZoo::tiny_test();
-  cfg.method = m;
-  cfg.rate = rate;
-  cfg.workload.num_requests = 15;
+  ExperimentConfig cfg = liger::testing::tiny_experiment_config(m, rate, 15);
   cfg.profile_contention = false;
   return cfg;
 }

@@ -1,0 +1,78 @@
+// Shared test fixtures: the engine + node/cluster scaffolding and the
+// request helpers most suites previously re-declared locally.
+#pragma once
+
+#include "core/runtime.h"
+#include "gpu/cluster.h"
+#include "gpu/node.h"
+#include "model/batch.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "sim/engine.h"
+
+namespace liger::testing {
+
+// One engine plus one standalone node (defaults to the small
+// deterministic TestNode).
+struct NodeFixture {
+  sim::Engine engine;
+  gpu::Node node;
+
+  explicit NodeFixture(gpu::NodeSpec spec = gpu::NodeSpec::test_node(2))
+      : node(engine, std::move(spec)) {}
+};
+
+// One engine plus a multi-node cluster (defaults to the 2x2 TestCluster
+// on the deterministic test fabric).
+struct ClusterFixture {
+  sim::Engine engine;
+  gpu::Cluster cluster;
+
+  explicit ClusterFixture(gpu::ClusterSpec spec = gpu::ClusterSpec::test_cluster())
+      : cluster(engine, std::move(spec)) {}
+};
+
+inline model::BatchRequest make_request(int id, int batch = 2, int seq = 64) {
+  model::BatchRequest req;
+  req.id = id;
+  req.batch_size = batch;
+  req.seq = seq;
+  return req;
+}
+
+// Counts completion-hook firings; the usual "did everything finish"
+// assertion target.
+struct CompletionCounter {
+  int completed = 0;
+
+  void attach(core::InferenceRuntime& runtime) {
+    runtime.set_completion_hook(
+        [this](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  }
+};
+
+// Submits `count` identical requests at t=0 (the infinite-rate backlog
+// limit used by the runtime tests).
+inline void submit_backlog(core::InferenceRuntime& runtime, int count, int batch = 2,
+                           int seq = 64) {
+  for (int i = 0; i < count; ++i) runtime.submit(make_request(i, batch, seq));
+}
+
+// A fast deterministic serving experiment on the 2-device TestNode +
+// tiny model — the base config of the smoke/sweep/experiment suites.
+inline serving::ExperimentConfig tiny_experiment_config(serving::Method method,
+                                                        double rate,
+                                                        int requests = 30) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.model = model::ModelZoo::tiny_test();
+  cfg.method = method;
+  cfg.rate = rate;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 64;
+  return cfg;
+}
+
+}  // namespace liger::testing
