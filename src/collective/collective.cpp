@@ -48,6 +48,24 @@ void Collective::member_rate(gpu::Device& dev, gpu::KernelId id, double local_ra
   if (active_) update_rate();
 }
 
+void Collective::member_aborted(gpu::Device& dev, gpu::KernelId id) {
+  if (completed_) return;  // second member abort (cascading purge)
+  completed_ = true;
+  engine_.cancel(completion_);
+  if (active_) {
+    for (auto& nf : node_flows_) nf.topology->end_flow(nf.flow);
+    if (fabric_ != nullptr) fabric_->end_flow(fabric_flow_);
+  }
+  // The aborted member's run slot is already gone; survivors keep their
+  // kernels resident but stop driving memory, and are reaped when their
+  // own devices are purged by the recovery path.
+  for (auto& m : members_) {
+    if (m.dev == &dev && m.id == id) continue;
+    m.dev->set_kernel_mem_active(m.id, false);
+  }
+  done_.fire();
+}
+
 void Collective::activate() {
   assert(!active_);
   active_ = true;

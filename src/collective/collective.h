@@ -56,6 +56,12 @@ class Collective : public gpu::ExecutionCoupler,
   // gpu::ExecutionCoupler -----------------------------------------------
   void member_started(gpu::Device& dev, gpu::KernelId id) override;
   void member_rate(gpu::Device& dev, gpu::KernelId id, double local_rate) override;
+  // A member's device failed / was purged: the collective can never
+  // finish. Ends registered flows so shared media re-arbitrate, leaves
+  // surviving member kernels spinning without memory demand (NCCL peers
+  // hang on a dead rank until they are purged themselves), and fires
+  // done() so host-side waiters drain.
+  void member_aborted(gpu::Device& dev, gpu::KernelId id) override;
 
  private:
   friend class Communicator;

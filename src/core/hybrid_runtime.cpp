@@ -17,11 +17,21 @@ HybridRuntime::HybridRuntime(gpu::Cluster& cluster, model::ModelSpec model,
   const int stages_per_node = cluster_.devices_per_node() / tp_;
   assert(pp_ <= stages_per_node * cluster_.num_nodes() && "more stages than slices");
   assert(model_.layers >= pp_ && "fewer layers than stages");
+  assert(options_.placement.empty() ||
+         static_cast<int>(options_.placement.size()) == pp_);
 
+  // Stages assigned to one node (explicitly or by the default packing)
+  // occupy consecutive tp-wide device slices there, in stage order.
+  std::vector<int> slices_used(static_cast<std::size_t>(cluster_.num_nodes()), 0);
   stages_.reserve(static_cast<std::size_t>(pp_));
   for (int s = 0; s < pp_; ++s) {
-    const int node = s / stages_per_node;
-    const int first_device = (s % stages_per_node) * tp_;
+    const int node = options_.placement.empty()
+                         ? s / stages_per_node
+                         : options_.placement[static_cast<std::size_t>(s)];
+    assert(node >= 0 && node < cluster_.num_nodes());
+    const int slice = slices_used[static_cast<std::size_t>(node)]++;
+    assert(slice < stages_per_node && "placement overcommits a node");
+    const int first_device = slice * tp_;
     const auto [lo, hi] = stage_layers(s);
     stages_.push_back(std::make_unique<LigerRuntime>(
         gpu::DeviceGroup::node_slice(cluster_, node, first_device, tp_),
@@ -44,11 +54,18 @@ std::pair<int, int> HybridRuntime::stage_layers(int stage) const {
   return {lo, hi};
 }
 
+void HybridRuntime::abort() {
+  aborted_ = true;
+  for (auto& stage : stages_) stage->abort();
+}
+
 void HybridRuntime::submit(model::BatchRequest request) {
+  if (aborted_) return;
   stages_.front()->submit(std::move(request));
 }
 
 void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
+  if (aborted_) return;  // a boundary transfer raced the retirement
   if (stage + 1 == pp_) {
     notify_complete(request, cluster_.engine().now());
     return;

@@ -30,6 +30,12 @@ struct HybridOptions {
   int tp = 0;
   // Pipeline stages; 0 = one per cluster node.
   int pp = 0;
+  // Explicit stage -> cluster-node placement (size == pp). Empty keeps
+  // the default packing (stage s on node s / stages_per_node). The
+  // recovery path uses this to re-place stages of a failed node on
+  // survivors; stages assigned to one node stack onto consecutive
+  // device slices there.
+  std::vector<int> placement;
   LigerOptions liger;
 };
 
@@ -45,6 +51,10 @@ class HybridRuntime : public InferenceRuntime {
 
   void submit(model::BatchRequest request) override;
   std::string name() const override { return "hybrid"; }
+
+  // Retires the whole pipeline: every stage aborts and boundary
+  // transfers still in flight deliver into aborted stages (no-ops).
+  void abort() override;
 
   int tp() const { return tp_; }
   int pp() const { return pp_; }
@@ -67,6 +77,7 @@ class HybridRuntime : public InferenceRuntime {
   std::vector<std::unique_ptr<LigerRuntime>> stages_;
   std::vector<int> stage_node_;  // cluster node hosting each stage
   HybridStats stats_;
+  bool aborted_ = false;
 };
 
 }  // namespace liger::core

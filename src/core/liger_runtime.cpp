@@ -7,7 +7,7 @@
 namespace liger::core {
 
 LigerRuntime::LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model,
-                           LigerOptions options)
+                           LigerOptions options, PlanCache* shared_cache)
     : group_(std::move(group)),
       model_(std::move(model)),
       cost_(group_.gpu()),
@@ -19,8 +19,15 @@ LigerRuntime::LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model,
                                               options.enable_decomposition,
                                               options.processing_slots}),
       plan_cache_(builder_, table_),
+      cache_(&plan_cache_),
       options_(options),
       plans_(group_.size()) {
+  if (shared_cache != nullptr) {
+    // A cross-generation cache: rebind to this generation's compiled
+    // artifacts and bump the topology epoch, dropping stale plans.
+    shared_cache->rebind(builder_, table_);
+    cache_ = shared_cache;
+  }
   const int n = group_.size();
   stream0_.reserve(static_cast<std::size_t>(n));
   stream1_.reserve(static_cast<std::size_t>(n));
@@ -32,10 +39,13 @@ LigerRuntime::LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model,
   for (int r = 0; r < n; ++r) rank_actor(r);
 }
 
-LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options)
-    : LigerRuntime(gpu::DeviceGroup::whole_node(node), std::move(model), options) {}
+LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options,
+                           PlanCache* shared_cache)
+    : LigerRuntime(gpu::DeviceGroup::whole_node(node), std::move(model), options,
+                   shared_cache) {}
 
 void LigerRuntime::submit(model::BatchRequest request) {
+  if (aborted_) return;  // retired generation; the failover layer re-routes
   model::ExecConfig cfg;
   cfg.batch = request.batch_size;
   cfg.seq = request.seq;
@@ -43,9 +53,9 @@ void LigerRuntime::submit(model::BatchRequest request) {
   cfg.phase = request.phase;
   cfg.sequence_parallel = options_.sequence_parallel;
 
-  std::shared_ptr<const CompiledPlan> compiled = plan_cache_.get(cfg);
-  stats_.plan_cache_hits = plan_cache_.hits();
-  stats_.plan_cache_misses = plan_cache_.misses();
+  std::shared_ptr<const CompiledPlan> compiled = cache_->get(cfg);
+  stats_.plan_cache_hits = cache_->hits();
+  stats_.plan_cache_misses = cache_->misses();
   inflight_.emplace(request.id, request);
   completion_remaining_.emplace(request.id, group_.size());
   activation_bytes_.emplace(request.id, compiled->activation_bytes);
@@ -146,7 +156,9 @@ sim::Task LigerRuntime::rank_actor(int rank) {
   for (std::uint64_t round = 0;; ++round) {
     while (round >= plans_.end_round() && !scheduler_.has_work()) {
       (void)co_await wakeup.pop();
+      if (aborted_) co_return;
     }
+    if (aborted_) co_return;  // retired generation: stop issuing work
     ExecPlan& p = plan(round);
     const auto r = static_cast<std::size_t>(rank);
 
@@ -160,6 +172,7 @@ sim::Task LigerRuntime::rank_actor(int rank) {
       co_await host.sync_stream(s0);
       co_await host.sync_stream(s1);
     }
+    if (aborted_) co_return;  // abort landed while this rank was synced
 
     // --- Launch the two subsets, communication subset first (§3.4).
     // Launch order decides who wins same-instant SM-block races on the

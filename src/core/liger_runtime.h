@@ -79,17 +79,30 @@ class LigerRuntime : public InferenceRuntime {
  public:
   // Interleaved tensor parallelism over an arbitrary device group — a
   // standalone node, a slice of a cluster node (one pipeline stage of
-  // HybridRuntime), or a whole multi-node cluster.
-  LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model, LigerOptions options = {});
+  // HybridRuntime), or a whole multi-node cluster. `shared_cache`, when
+  // given, replaces the runtime's own PlanCache with one that outlives
+  // it: the constructor rebinds it to this generation's builder/profile
+  // pair (bumping its topology epoch), which is how failover makes the
+  // steady-state hot path replan exactly once per shape after recovery.
+  LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model, LigerOptions options = {},
+               PlanCache* shared_cache = nullptr);
   // Convenience: all devices of one standalone node.
-  LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options = {});
+  LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options = {},
+               PlanCache* shared_cache = nullptr);
 
   void submit(model::BatchRequest request) override;
   std::string name() const override { return "liger"; }
 
+  // Permanently stops this runtime generation: pending submits are
+  // ignored and rank actors wind down at their next resumption instead
+  // of issuing more device work. Used with Device::purge() when the
+  // failover path retires the generation.
+  void abort() override { aborted_ = true; }
+  bool aborted() const { return aborted_; }
+
   const LigerStats& stats() const { return stats_; }
   const Scheduler& scheduler() const { return scheduler_; }
-  const PlanCache& plan_cache() const { return plan_cache_; }
+  const PlanCache& plan_cache() const { return *cache_; }
   const gpu::DeviceGroup& group() const { return group_; }
 
  private:
@@ -132,8 +145,10 @@ class LigerRuntime : public InferenceRuntime {
   profile::ProfileTable table_;
   profile::DecompositionPlanner planner_;
   Scheduler scheduler_;
-  PlanCache plan_cache_;
+  PlanCache plan_cache_;          // owned; used unless a shared cache is given
+  PlanCache* cache_ = nullptr;    // the cache submits actually consult
   LigerOptions options_;
+  bool aborted_ = false;
 
   // Bounded round pipeline: rank actors hold ExecPlan references across
   // co_awaits; the ring keeps plan addresses stable and retires a plan

@@ -1,8 +1,11 @@
 #include "core/plan_cache.h"
 
+#include <cassert>
+
 namespace liger::core {
 
 std::shared_ptr<const CompiledPlan> PlanCache::get(const model::ExecConfig& cfg) {
+  assert(builder_ != nullptr && table_ != nullptr && "PlanCache used before rebind()");
   const Key key{cfg.batch, cfg.seq, cfg.tp, static_cast<int>(cfg.phase),
                 cfg.sequence_parallel ? 1 : 0};
   auto it = plans_.find(key);
@@ -12,9 +15,9 @@ std::shared_ptr<const CompiledPlan> PlanCache::get(const model::ExecConfig& cfg)
   }
   ++misses_;
   auto plan = std::make_shared<CompiledPlan>();
-  plan->ops = builder_.model_ops(cfg);
-  table_.annotate(plan->ops);
-  plan->activation_bytes = builder_.activation_bytes(cfg);
+  plan->ops = builder_->model_ops(cfg);
+  table_->annotate(plan->ops);
+  plan->activation_bytes = builder_->activation_bytes(cfg);
   plans_.emplace(key, plan);
   return plan;
 }

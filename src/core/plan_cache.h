@@ -35,8 +35,30 @@ struct CompiledPlan {
 
 class PlanCache {
  public:
+  // Unbound cache: a shared instance that outlives runtime generations
+  // (failover). rebind() must run before the first get().
+  PlanCache() = default;
   PlanCache(const model::LayerBuilder& builder, const profile::ProfileTable& table)
-      : builder_(builder), table_(table) {}
+      : builder_(&builder), table_(&table) {}
+
+  // Re-binds the cache to a new runtime generation's builder/profile
+  // pair and bumps the topology epoch: every cached plan was compiled
+  // against the old topology (TP width, profiled durations) and is
+  // dropped, so the first post-recovery submit of each shape replans
+  // exactly once and later submits hit again.
+  void rebind(const model::LayerBuilder& builder, const profile::ProfileTable& table) {
+    builder_ = &builder;
+    table_ = &table;
+    bump_epoch();
+  }
+
+  // Invalidates all entries without changing the binding (e.g. the
+  // profiled durations changed in place).
+  void bump_epoch() {
+    ++epoch_;
+    plans_.clear();
+  }
+  std::uint64_t epoch() const { return epoch_; }
 
   // The compiled plan for `cfg`, building and annotating it on miss.
   std::shared_ptr<const CompiledPlan> get(const model::ExecConfig& cfg);
@@ -57,9 +79,10 @@ class PlanCache {
   // are widened to int so the tuple stays trivially comparable.
   using Key = std::tuple<int, int, int, int, int>;  // batch, seq, tp, phase, sp
 
-  const model::LayerBuilder& builder_;
-  const profile::ProfileTable& table_;
+  const model::LayerBuilder* builder_ = nullptr;
+  const profile::ProfileTable* table_ = nullptr;
   std::map<Key, std::shared_ptr<const CompiledPlan>> plans_;
+  std::uint64_t epoch_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -15,6 +15,9 @@ class InferenceRuntime {
   // Called once per completed batch with the completion time.
   using CompletionHook =
       std::function<void(const model::BatchRequest& request, sim::SimTime completion)>;
+  // Called when a batch the runtime accepted can no longer complete
+  // (its devices failed); the serving layer decides whether to retry.
+  using DropHook = std::function<void(const model::BatchRequest& request)>;
 
   virtual ~InferenceRuntime() = default;
 
@@ -24,15 +27,26 @@ class InferenceRuntime {
 
   virtual std::string name() const = 0;
 
+  // Stop issuing new device work permanently. Called when the runtime
+  // generation is retired after a fault; in-flight coroutines observe
+  // the flag as they resume and wind down instead of launching more
+  // kernels. Runtimes without fault support may ignore it.
+  virtual void abort() {}
+
   void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
  protected:
   void notify_complete(const model::BatchRequest& request, sim::SimTime completion) {
     if (hook_) hook_(request, completion);
   }
+  void notify_dropped(const model::BatchRequest& request) {
+    if (drop_hook_) drop_hook_(request);
+  }
 
  private:
   CompletionHook hook_;
+  DropHook drop_hook_;
 };
 
 }  // namespace liger::core

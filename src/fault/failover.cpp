@@ -1,0 +1,144 @@
+#include "fault/failover.h"
+
+#include <cassert>
+#include <utility>
+
+namespace liger::fault {
+
+FailoverRuntime::FailoverRuntime(FaultTargets targets, BackendFactory factory,
+                                 Options options)
+    : targets_(std::move(targets)),
+      factory_(std::move(factory)),
+      options_(options),
+      monitor_(*targets_.engine, options_.detection,
+               [this](int node, int local, sim::SimTime t) {
+                 on_device_failure(node, local, t);
+               }),
+      alive_(static_cast<std::size_t>(targets_.total_devices()), true) {
+  for (int n = 0; n < targets_.num_nodes(); ++n) {
+    for (int d = 0; d < targets_.devices_per_node(); ++d) {
+      monitor_.watch(targets_.device(n, d), n, d);
+    }
+  }
+  backend_ = factory_(alive_);
+  assert(backend_ != nullptr);
+  install_hooks();
+}
+
+void FailoverRuntime::install_hooks() {
+  const int gen = generation_;
+  backend_->set_completion_hook(
+      [this, gen](const model::BatchRequest& req, sim::SimTime t) {
+        if (gen != generation_) return;  // retired generation: purge fallout
+        auto it = inflight_.find(req.id);
+        if (it == inflight_.end()) return;
+        inflight_.erase(it);
+        notify_complete(req, t);
+        maybe_disarm();
+      });
+  backend_->set_drop_hook([this, gen](const model::BatchRequest& req) {
+    if (gen != generation_) return;
+    auto it = inflight_.find(req.id);
+    if (it == inflight_.end()) return;
+    inflight_.erase(it);
+    ++stats_.requests_dropped;
+    notify_dropped(req);
+    maybe_disarm();
+  });
+}
+
+void FailoverRuntime::submit(model::BatchRequest request) {
+  if (recovering_) {
+    ++stats_.requests_deferred;
+    pending_.push_back(std::move(request));
+    return;
+  }
+  monitor_.arm();
+  const int id = request.id;
+  inflight_.emplace(id, request);
+  backend_->submit(std::move(request));
+}
+
+void FailoverRuntime::abort() {
+  if (backend_) backend_->abort();
+  monitor_.disarm();
+}
+
+void FailoverRuntime::on_device_failure(int node, int local, sim::SimTime t) {
+  stats_.last_fault_detected = t;
+
+  gpu::FaultTraceRecord rec;
+  rec.name = "detect(n" + std::to_string(node) + ".g" + std::to_string(local) + ")";
+  rec.phase = gpu::FaultPhase::kDetected;
+  rec.start = rec.end = t;
+  rec.node = node;
+  rec.device = local;
+  targets_.emit(rec);
+
+  alive_[static_cast<std::size_t>(targets_.global_index(node, local))] = false;
+
+  // Bump the generation first: completions forced by the purge below
+  // arrive tagged with the old generation and are ignored.
+  ++generation_;
+  recovering_ = true;
+  if (backend_) {
+    backend_->abort();
+    retired_.push_back(std::move(backend_));
+  }
+  // Fast-forward the retired generation's device state everywhere so
+  // its host coroutines drain; survivors' next-generation streams are
+  // created after the purge and are unaffected.
+  for (int n = 0; n < targets_.num_nodes(); ++n) {
+    for (int d = 0; d < targets_.devices_per_node(); ++d) {
+      targets_.device(n, d).purge();
+    }
+  }
+
+  // Everything in flight rode the dead generation: hand it back to the
+  // serving layer, which owns the retry policy.
+  std::vector<model::BatchRequest> lost;
+  lost.reserve(inflight_.size());
+  for (auto& [id, req] : inflight_) lost.push_back(req);
+  inflight_.clear();
+  stats_.requests_dropped += lost.size();
+  for (const auto& req : lost) notify_dropped(req);
+
+  // Degraded-mode replanning: the survivor topology comes up after the
+  // modelled rebuild latency. A second failure inside the window just
+  // pushes the rebuild out again with the shrunken alive mask.
+  targets_.engine->cancel(rebuild_event_);
+  rebuild_event_ = targets_.engine->schedule_after(options_.replan_latency,
+                                                   [this] { rebuild(); });
+}
+
+void FailoverRuntime::rebuild() {
+  rebuild_event_ = {};
+  backend_ = factory_(alive_);
+  assert(backend_ != nullptr);
+  install_hooks();
+  recovering_ = false;
+  ++stats_.failovers;
+  stats_.last_recovered = targets_.engine->now();
+
+  gpu::FaultTraceRecord rec;
+  rec.name = "recover(gen" + std::to_string(generation_) + ")";
+  rec.phase = gpu::FaultPhase::kRecovered;
+  rec.start = stats_.last_fault_detected;
+  rec.end = stats_.last_recovered;
+  targets_.emit(rec);
+
+  while (!pending_.empty()) {
+    model::BatchRequest req = std::move(pending_.front());
+    pending_.pop_front();
+    const int id = req.id;
+    inflight_.emplace(id, req);
+    backend_->submit(std::move(req));
+  }
+  maybe_disarm();
+}
+
+void FailoverRuntime::maybe_disarm() {
+  if (!recovering_ && inflight_.empty() && pending_.empty()) monitor_.disarm();
+}
+
+}  // namespace liger::fault

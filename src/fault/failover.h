@@ -1,0 +1,101 @@
+// FailoverRuntime: graceful degradation as an InferenceRuntime
+// decorator. It owns the current backend *generation* plus a heartbeat
+// failure detector; when a watched device is declared dead it
+//
+//  1. bumps the generation (completions of retired generations are
+//     ignored from here on — generation-tagged hooks),
+//  2. aborts the backend (rank actors wind down as they resume) and
+//     purges every device, fast-forwarding orphaned work so the
+//     retired generation's coroutines drain deterministically,
+//  3. reports every in-flight batch to the drop hook (the serving
+//     layer retries with backoff),
+//  4. after a modelled replanning latency rebuilds the backend from
+//     the factory on the survivor topology — a Liger TP group shrunk
+//     to the live devices, or a pipeline re-placed off the dead node —
+//     and flushes requests that arrived during the outage.
+//
+// Retired backends are kept alive (never destroyed mid-run): in-flight
+// simulation lambdas hold raw pointers into them. With no faults
+// injected the decorator adds no events beyond the demand-driven
+// heartbeat, and with no fault config at all the serving stack does not
+// construct it, keeping the healthy path bit-identical.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/runtime.h"
+#include "fault/injector.h"
+#include "fault/monitor.h"
+
+namespace liger::fault {
+
+class FailoverRuntime : public core::InferenceRuntime {
+ public:
+  // Builds a runtime generation over the devices still alive
+  // (`device_alive` indexed by FaultTargets::global_index). Called once
+  // at construction with all-true and once per recovery. May throw
+  // std::invalid_argument when no viable topology remains.
+  using BackendFactory =
+      std::function<std::unique_ptr<core::InferenceRuntime>(const std::vector<bool>& device_alive)>;
+
+  struct Options {
+    DetectionConfig detection;
+    sim::SimTime replan_latency = sim::milliseconds(5);
+  };
+
+  struct Stats {
+    int failovers = 0;                    // completed recoveries
+    std::uint64_t requests_dropped = 0;   // in-flight at a failure
+    std::uint64_t requests_deferred = 0;  // arrived during an outage
+    sim::SimTime last_fault_detected = -1;
+    sim::SimTime last_recovered = -1;
+    // Detection-to-live recovery latency of the last failover.
+    sim::SimTime last_recovery_latency() const {
+      return last_recovered >= 0 ? last_recovered - last_fault_detected : -1;
+    }
+  };
+
+  FailoverRuntime(FaultTargets targets, BackendFactory factory, Options options);
+
+  void submit(model::BatchRequest request) override;
+  std::string name() const override { return "failover(" + backend_->name() + ")"; }
+  void abort() override;
+
+  core::InferenceRuntime& backend() { return *backend_; }
+  const core::InferenceRuntime& backend() const { return *backend_; }
+  int generation() const { return generation_; }
+  bool recovering() const { return recovering_; }
+  const std::vector<bool>& alive() const { return alive_; }
+  const Stats& failover_stats() const { return stats_; }
+  HeartbeatMonitor& monitor() { return monitor_; }
+
+ private:
+  void install_hooks();
+  void on_device_failure(int node, int local, sim::SimTime t);
+  void rebuild();
+  void maybe_disarm();
+
+  FaultTargets targets_;
+  BackendFactory factory_;
+  Options options_;
+  HeartbeatMonitor monitor_;
+
+  std::unique_ptr<core::InferenceRuntime> backend_;
+  // Retired generations, kept alive until the run ends: device events
+  // and suspended coroutine frames still reference them.
+  std::vector<std::unique_ptr<core::InferenceRuntime>> retired_;
+  std::vector<bool> alive_;
+  int generation_ = 0;
+  bool recovering_ = false;
+  sim::Engine::EventId rebuild_event_;
+
+  std::unordered_map<int, model::BatchRequest> inflight_;
+  std::deque<model::BatchRequest> pending_;  // deferred during recovery
+  Stats stats_;
+};
+
+}  // namespace liger::fault

@@ -1,0 +1,101 @@
+// Deterministic fault plans (§6 of DESIGN.md): a validated list of
+// timestamped fault events to inject into a simulation, plus the
+// detection/recovery knobs the serving stack uses to survive them.
+//
+// A FaultPlan is pure data — no engine, no devices — so the same plan
+// can be replayed against different topologies and two runs with the
+// same plan and workload seed are bit-identical. The JSON schema (the
+// "faults" object of an experiment config):
+//
+// "faults": {
+//   "plan": [
+//     {"kind": "fail_stop",    "t_ms": 50.0, "node": 0, "device": 2},
+//     {"kind": "straggler",    "t_ms": 10.0, "node": 0, "device": 1,
+//      "factor": 0.4, "duration_ms": 20.0},
+//     {"kind": "link_degrade", "t_ms": 5.0,  "node": 1, "factor": 0.25,
+//      "duration_ms": 30.0},
+//     {"kind": "link_flap",    "t_ms": 5.0,  "node": 1, "factor": 0.1,
+//      "duration_ms": 40.0, "period_ms": 4.0},
+//     {"kind": "host_stall",   "t_ms": 8.0,  "node": 0, "device": 0,
+//      "duration_ms": 2.0}
+//   ],
+//   "detection": {"heartbeat_interval_us": 500, "miss_threshold": 3},
+//   "recovery":  {"replan_ms": 5.0}
+// }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/json.h"
+
+namespace liger::fault {
+
+enum class FaultKind {
+  kDeviceFailStop,  // device dies permanently (Device::fail)
+  kStraggler,       // device rate scaled by `factor` for `duration`
+  kLinkDegrade,     // one node's fabric links scaled by `factor`
+  kLinkFlap,        // link toggles 1.0 <-> factor every period/2
+  kHostStall,       // one host rank stops launching for `duration`
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceFailStop;
+  sim::SimTime time = 0;      // injection time
+  int node = 0;
+  int device = 0;             // ignored by link faults
+  double factor = 1.0;        // straggler / link rate multiplier (0, 1]
+  sim::SimTime duration = 0;  // 0 = permanent (non-fail-stop kinds)
+  sim::SimTime period = 0;    // link_flap full cycle length
+
+  // "fail_stop(n0.g2)@50ms"-style label used in traces and logs.
+  std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  bool has_fail_stop() const;
+
+  // Structural validation against a topology (ranges, factors, flap
+  // periods). Throws std::invalid_argument with the offending event's
+  // describe() on the first violation.
+  void validate(int num_nodes, int devices_per_node) const;
+};
+
+// Heartbeat-based failure detection parameters. A failed device stops
+// answering heartbeats; the monitor declares it dead after
+// `miss_threshold` consecutive missed beats, so the modelled detection
+// latency is at most interval * miss_threshold past the fault (plus
+// alignment to the tick grid).
+struct DetectionConfig {
+  sim::SimTime heartbeat_interval = sim::microseconds(500);
+  int miss_threshold = 3;
+
+  sim::SimTime max_detection_latency() const {
+    return heartbeat_interval * miss_threshold;
+  }
+};
+
+// The complete fault section of an experiment: what to inject and how
+// the stack detects and recovers. `enabled == false` must leave every
+// code path bit-identical to a build without fault support.
+struct FaultConfig {
+  bool enabled = false;
+  FaultPlan plan;
+  DetectionConfig detection;
+  // Modelled cost of rebuilding the runtime on the survivor topology
+  // (process respawn + NCCL communicator re-init in the real system).
+  sim::SimTime replan_latency = sim::milliseconds(5);
+};
+
+// Parses a single plan entry / a "plan" array / a full "faults" object.
+FaultEvent fault_event_from_json(const util::JsonValue& entry);
+FaultPlan fault_plan_from_json(const util::JsonValue& array);
+FaultConfig fault_config_from_json(const util::JsonValue& faults);
+
+}  // namespace liger::fault

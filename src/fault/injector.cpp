@@ -1,0 +1,134 @@
+#include "fault/injector.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace liger::fault {
+
+FaultTargets FaultTargets::from_node(gpu::Node& node) {
+  FaultTargets t;
+  t.engine = &node.engine();
+  t.nodes.push_back(&node);
+  return t;
+}
+
+FaultTargets FaultTargets::from_cluster(gpu::Cluster& cluster) {
+  FaultTargets t;
+  t.engine = &cluster.engine();
+  for (int n = 0; n < cluster.num_nodes(); ++n) t.nodes.push_back(&cluster.node(n));
+  t.fabric = &cluster.fabric();
+  return t;
+}
+
+int FaultTargets::devices_per_node() const {
+  assert(!nodes.empty());
+  return nodes.front()->num_devices();
+}
+
+gpu::Device& FaultTargets::device(int node, int local) const {
+  return nodes.at(static_cast<std::size_t>(node))->device(local);
+}
+
+gpu::HostContext& FaultTargets::host(int node, int local) const {
+  return nodes.at(static_cast<std::size_t>(node))->host(local);
+}
+
+namespace {
+
+gpu::FaultTraceRecord make_record(const FaultEvent& ev, gpu::FaultPhase phase) {
+  gpu::FaultTraceRecord rec;
+  rec.name = std::string(fault_kind_name(ev.kind)) + "(n" + std::to_string(ev.node);
+  if (ev.kind == FaultKind::kDeviceFailStop || ev.kind == FaultKind::kStraggler ||
+      ev.kind == FaultKind::kHostStall) {
+    rec.name += ".g" + std::to_string(ev.device);
+    rec.device = ev.device;
+  }
+  rec.name += ")";
+  rec.phase = phase;
+  rec.start = ev.time;
+  rec.end = ev.time + ev.duration;  // == start for permanent faults
+  rec.node = ev.node;
+  return rec;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultTargets targets, FaultPlan plan)
+    : targets_(std::move(targets)), plan_(std::move(plan)) {
+  assert(targets_.engine != nullptr && !targets_.nodes.empty());
+  plan_.validate(targets_.num_nodes(), targets_.devices_per_node());
+  if (targets_.fabric == nullptr) {
+    for (const auto& ev : plan_.events) {
+      if (ev.kind == FaultKind::kLinkDegrade || ev.kind == FaultKind::kLinkFlap) {
+        throw std::invalid_argument("fault plan: " + ev.describe() +
+                                    ": link faults need a cluster fabric");
+      }
+    }
+  }
+}
+
+void FaultInjector::schedule() {
+  assert(!scheduled_ && "FaultInjector::schedule is single-shot");
+  scheduled_ = true;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    targets_.engine->schedule_at(plan_.events[i].time,
+                                 [this, i] { inject(plan_.events[i]); });
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& ev) {
+  ++injected_;
+  targets_.emit(make_record(ev, gpu::FaultPhase::kInjected));
+  sim::Engine& engine = *targets_.engine;
+
+  switch (ev.kind) {
+    case FaultKind::kDeviceFailStop:
+      targets_.device(ev.node, ev.device).fail();
+      break;
+
+    case FaultKind::kStraggler: {
+      gpu::Device& dev = targets_.device(ev.node, ev.device);
+      dev.set_perf_factor(ev.factor);
+      const int node = ev.node;
+      const int device = ev.device;
+      engine.schedule_at(ev.time + ev.duration, [this, node, device] {
+        targets_.device(node, device).set_perf_factor(1.0);
+      });
+      break;
+    }
+
+    case FaultKind::kLinkDegrade: {
+      targets_.fabric->set_link_factor(ev.node, ev.factor);
+      if (ev.duration > 0) {
+        const int node = ev.node;
+        engine.schedule_at(ev.time + ev.duration,
+                           [this, node] { targets_.fabric->set_link_factor(node, 1.0); });
+      }
+      break;
+    }
+
+    case FaultKind::kLinkFlap: {
+      // Toggle degraded <-> healthy every half period across the window,
+      // always ending healthy.
+      const sim::SimTime half = ev.period / 2;
+      const int node = ev.node;
+      const double factor = ev.factor;
+      targets_.fabric->set_link_factor(node, factor);
+      for (sim::SimTime off = half; off < ev.duration; off += half) {
+        const bool degraded = (off / half) % 2 == 0;
+        engine.schedule_at(ev.time + off, [this, node, factor, degraded] {
+          targets_.fabric->set_link_factor(node, degraded ? factor : 1.0);
+        });
+      }
+      engine.schedule_at(ev.time + ev.duration,
+                         [this, node] { targets_.fabric->set_link_factor(node, 1.0); });
+      break;
+    }
+
+    case FaultKind::kHostStall:
+      targets_.host(ev.node, ev.device).stall_until(ev.time + ev.duration);
+      break;
+  }
+}
+
+}  // namespace liger::fault

@@ -1,0 +1,68 @@
+// FaultInjector: schedules a FaultPlan onto a sim::Engine, driving the
+// device, host and fabric fault hooks at the planned times and emitting
+// "injected" records to the trace sink. Injection is just event
+// scheduling, so two runs with the same plan perturb the simulation at
+// exactly the same (time, seq) points — the fault stream is part of the
+// deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "gpu/cluster.h"
+#include "gpu/node.h"
+#include "sim/engine.h"
+
+namespace liger::fault {
+
+// The physical scope faults (and the failure detector) act on: every
+// device/host of the serving topology plus the optional inter-node
+// fabric. Non-owning; the node/cluster must outlive it.
+struct FaultTargets {
+  sim::Engine* engine = nullptr;
+  std::vector<gpu::Node*> nodes;
+  interconnect::NetworkFabric* fabric = nullptr;  // null on standalone nodes
+  gpu::TraceSink* trace = nullptr;                // optional
+
+  static FaultTargets from_node(gpu::Node& node);
+  static FaultTargets from_cluster(gpu::Cluster& cluster);
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int devices_per_node() const;
+  int total_devices() const { return num_nodes() * devices_per_node(); }
+  // Global device index: node * devices_per_node + local.
+  int global_index(int node, int device) const { return node * devices_per_node() + device; }
+
+  gpu::Device& device(int node, int local) const;
+  gpu::HostContext& host(int node, int local) const;
+
+  void emit(const gpu::FaultTraceRecord& rec) const {
+    if (trace != nullptr) trace->on_fault(rec);
+  }
+};
+
+class FaultInjector {
+ public:
+  // Validates the plan against the targets (throws std::invalid_argument
+  // on range/parameter violations; link faults require a fabric).
+  FaultInjector(FaultTargets targets, FaultPlan plan);
+
+  // Schedules every planned event on the engine. Call once, before the
+  // serving run starts. An empty plan schedules nothing at all, leaving
+  // the event stream untouched.
+  void schedule();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void inject(const FaultEvent& ev);
+
+  FaultTargets targets_;
+  FaultPlan plan_;
+  std::uint64_t injected_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace liger::fault

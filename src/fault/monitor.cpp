@@ -1,0 +1,53 @@
+#include "fault/monitor.h"
+
+#include <cassert>
+
+namespace liger::fault {
+
+HeartbeatMonitor::HeartbeatMonitor(sim::Engine& engine, DetectionConfig config,
+                                   FailureCallback on_failure)
+    : engine_(engine), config_(config), on_failure_(std::move(on_failure)) {
+  assert(config_.heartbeat_interval > 0 && config_.miss_threshold >= 1);
+}
+
+void HeartbeatMonitor::watch(gpu::Device& dev, int node, int local) {
+  watched_.push_back(Watched{&dev, node, local, 0, false});
+}
+
+void HeartbeatMonitor::arm() {
+  if (armed_) return;
+  armed_ = true;
+  tick_event_ = engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+}
+
+void HeartbeatMonitor::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  engine_.cancel(tick_event_);
+  tick_event_ = {};
+  // A fresh arm starts counting misses from scratch: idle gaps must not
+  // accumulate toward the threshold.
+  for (auto& w : watched_) {
+    if (!w.reported) w.missed = 0;
+  }
+}
+
+void HeartbeatMonitor::tick() {
+  for (auto& w : watched_) {
+    if (w.reported) continue;
+    if (w.dev->failed()) {
+      if (++w.missed >= config_.miss_threshold) {
+        w.reported = true;
+        ++failures_detected_;
+        on_failure_(w.node, w.local, engine_.now());
+      }
+    } else {
+      w.missed = 0;
+    }
+  }
+  if (armed_) {
+    tick_event_ = engine_.schedule_after(config_.heartbeat_interval, [this] { tick(); });
+  }
+}
+
+}  // namespace liger::fault

@@ -1,0 +1,61 @@
+// HeartbeatMonitor: modelled failure detection. Each watched device is
+// polled every heartbeat interval; a failed device stops answering and
+// is declared dead after `miss_threshold` consecutive misses, giving a
+// deterministic detection latency of at most interval * threshold past
+// the fault (quantised to the tick grid).
+//
+// The monitor is demand-driven: it ticks only while armed. The failover
+// layer arms it while requests are outstanding and disarms it when the
+// system goes idle, so the periodic tick never keeps the event queue
+// alive after the workload drains (Engine::run terminates).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "gpu/device.h"
+#include "sim/engine.h"
+
+namespace liger::fault {
+
+class HeartbeatMonitor {
+ public:
+  // (node, local device, detection time). Fired at most once per device.
+  using FailureCallback = std::function<void(int node, int device, sim::SimTime t)>;
+
+  HeartbeatMonitor(sim::Engine& engine, DetectionConfig config, FailureCallback on_failure);
+
+  // Registers a device with the detector. Call before arming.
+  void watch(gpu::Device& dev, int node, int local);
+
+  // Starts / stops the periodic heartbeat. Both are idempotent; disarm
+  // cancels the pending tick so the engine can drain.
+  void arm();
+  void disarm();
+  bool armed() const { return armed_; }
+
+  const DetectionConfig& config() const { return config_; }
+  int failures_detected() const { return failures_detected_; }
+
+ private:
+  struct Watched {
+    gpu::Device* dev = nullptr;
+    int node = 0;
+    int local = 0;
+    int missed = 0;
+    bool reported = false;
+  };
+
+  void tick();
+
+  sim::Engine& engine_;
+  DetectionConfig config_;
+  FailureCallback on_failure_;
+  std::vector<Watched> watched_;
+  sim::Engine::EventId tick_event_;
+  bool armed_ = false;
+  int failures_detected_ = 0;
+};
+
+}  // namespace liger::fault

@@ -65,6 +65,9 @@ class Cluster {
       tagged.node = node_;
       inner_.on_kernel(tagged);
     }
+    // Fault records carry their node explicitly (the injector emits them
+    // with full scope); forward verbatim.
+    void on_fault(const FaultTraceRecord& rec) override { inner_.on_fault(rec); }
 
    private:
     TraceSink& inner_;

@@ -67,6 +67,10 @@ int Device::find_running(KernelId id) const {
 
 void Device::deliver(Stream& stream, StreamOp op) {
   assert(&stream.device() == this);
+  if (failed_ || stream.abandoned()) {
+    drop_op(stream, op);
+    return;
+  }
   if (op.kind == StreamOp::Kind::kKernel) {
     assert(op.kernel.blocks >= 1);
     assert(!op.kernel.cooperative || op.kernel.blocks <= total_blocks());
@@ -248,6 +252,92 @@ void Device::finish_kernel_slot(int slot) {
   request_dispatch();
 }
 
+void Device::drop_op(Stream& stream, StreamOp& op) {
+  ++dropped_ops_;
+  // Force-complete: recorded events still fire and the stream slot
+  // advances, so host-side synchronisation drains instead of wedging;
+  // the op's actual work is simply never performed.
+  if (op.kind == StreamOp::Kind::kRecordEvent && op.event) op.event->fire();
+  stream.complete_op();
+  if (op.on_complete) op.on_complete();
+}
+
+void Device::abort_kernel_slot(int slot) {
+  RunningKernel& k = run_slots_[static_cast<std::size_t>(slot)];
+  assert(k.id != 0 && "aborting unknown kernel");
+  account();
+
+  engine_.cancel(k.completion);
+  free_blocks_ += k.granted;
+  if (k.desc.kind == KernelKind::kCompute) {
+    --running_comp_;
+  } else {
+    --running_comm_;
+  }
+
+  // The truncated span still reaches the trace: an aborted kernel shows
+  // up ending at the fault time, which is exactly what a profiler of a
+  // real crash would show.
+  if (trace_ != nullptr) {
+    trace_->on_kernel(KernelTraceRecord{id_, k.stream->index(), k.desc.name, k.desc.kind,
+                                        k.start_time, engine_.now(), k.granted_at_start,
+                                        k.granted, k.desc.batch_id});
+  }
+
+  const KernelId id = k.id;
+  auto coupler = k.desc.coupler;
+  Stream* stream = k.stream;
+  auto on_complete = std::move(k.on_complete);
+  release_run_slot(slot);
+  ++dropped_ops_;
+
+  // Notify after the slot is gone: the coupler must not call back into
+  // this device for the aborted member.
+  if (coupler) coupler->member_aborted(*this, id);
+  stream->complete_op();
+  if (on_complete) on_complete();
+}
+
+void Device::purge() {
+  account();
+  // Existing streams belong to the retired generation; late command-bus
+  // arrivals on them are dropped in deliver().
+  for (auto& s : streams_) s->abandon();
+  while (run_head_ != kNoSlot) {
+    abort_kernel_slot(run_head_);
+  }
+  // Completion hooks may reenter and enqueue fresh work on streams
+  // created after the abandon pass; only retired-generation commands
+  // are dropped, anything newer stays queued for the next dispatch.
+  for (auto& q : hw_queues_) {
+    std::deque<QueuedOp> keep;
+    while (!q.empty()) {
+      QueuedOp qo = std::move(q.front());
+      q.pop_front();
+      if (qo.stream->abandoned()) {
+        drop_op(*qo.stream, qo.op);
+      } else {
+        keep.push_back(std::move(qo));
+      }
+    }
+    q = std::move(keep);
+  }
+  request_dispatch();
+}
+
+void Device::fail() {
+  if (failed_) return;
+  failed_ = true;
+  purge();
+}
+
+void Device::set_perf_factor(double f) {
+  assert(f > 0.0 && "perf factor must be positive; use fail() for fail-stop");
+  if (perf_factor_ == f) return;
+  perf_factor_ = f;
+  request_dispatch();  // rebalance picks up the new rate
+}
+
 void Device::set_kernel_mem_active(KernelId id, bool active) {
   const int slot = find_running(id);
   assert(slot != kNoSlot);
@@ -330,7 +420,9 @@ void Device::rebalance() {
     const double occupancy =
         static_cast<double>(k.granted) / static_cast<double>(k.desc.blocks);
     const double bw_share = k.bw_demand > 0.0 ? bw_factor : 1.0;
-    const double rate = occupancy * bw_share;
+    // perf_factor_ is 1.0 on a healthy device, so the multiply is exact
+    // and the no-fault schedule is bit-identical to the pre-fault model.
+    const double rate = occupancy * bw_share * perf_factor_;
 
     if (k.coupled()) {
       k.rate = rate;

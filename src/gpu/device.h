@@ -79,6 +79,33 @@ class Device {
   // Local rate the device last computed for a running kernel.
   double kernel_local_rate(KernelId id) const;
 
+  // --- Fault model ---------------------------------------------------------
+  // Fail-stop: the device stops doing work permanently. Everything
+  // running or queued is purged; future deliveries are dropped (their
+  // stream slots force-complete so host-side waiters can drain).
+  void fail();
+  bool failed() const { return failed_; }
+
+  // Forcibly removes all running kernels and queued commands without
+  // doing their work, abandons every existing stream, and releases all
+  // SM blocks. Couplers are notified via member_aborted; stream slots
+  // force-complete (record events fire, completion hooks run) so
+  // coroutines blocked on this device resume — the surrounding runtime
+  // is expected to be aborted first, so resumed actors observe that and
+  // stop. Used on fail-stop and when retiring a runtime generation
+  // during failover. The device itself stays usable (unless failed):
+  // streams created afterwards behave normally.
+  void purge();
+
+  // Transient straggler model: scales every kernel's progress rate
+  // (rate = occupancy x bw_share x perf_factor). 1.0 = healthy;
+  // 0 < f < 1 models a thermally throttled / flaky device.
+  void set_perf_factor(double f);
+  double perf_factor() const { return perf_factor_; }
+
+  // Commands discarded by purge/fail (running kernels counted too).
+  std::uint64_t dropped_ops() const { return dropped_ops_; }
+
   // --- Introspection -------------------------------------------------------
   int total_blocks() const { return spec_.sm_count; }
   int free_blocks() const { return free_blocks_; }
@@ -129,6 +156,11 @@ class Device {
   bool try_process(QueuedOp& qo);
   void start_kernel(QueuedOp& qo);
   void finish_kernel_slot(int slot);
+  // Removes a running kernel without completing its work (purge path).
+  void abort_kernel_slot(int slot);
+  // Force-completes a command without doing its work: fires recorded
+  // events, advances the stream slot, runs the completion hook.
+  void drop_op(Stream& stream, StreamOp& op);
   // Integrates progress, tops up grants, shares bandwidth, updates
   // rates and completion events, and notifies couplers.
   void rebalance();
@@ -159,6 +191,10 @@ class Device {
   std::uint64_t next_delivery_seq_ = 1;
   bool dispatch_pending_ = false;
   bool in_dispatch_ = false;
+
+  bool failed_ = false;
+  double perf_factor_ = 1.0;
+  std::uint64_t dropped_ops_ = 0;
 
   sim::SimTime last_cmd_arrival_ = 0;
 

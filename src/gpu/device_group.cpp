@@ -78,6 +78,46 @@ DeviceGroup DeviceGroup::whole_cluster(Cluster& cluster) {
   return group;
 }
 
+DeviceGroup DeviceGroup::node_subset(Node& node, const std::vector<int>& device_ids) {
+  assert(!device_ids.empty());
+  DeviceGroup group;
+  group.engine_ = &node.engine();
+  group.gpu_ = &node.spec().gpu;
+  NodeSlice slice;
+  slice.node = 0;
+  slice.topology = &node.topology();
+  for (int d : device_ids) {
+    assert(d >= 0 && d < node.num_devices());
+    slice.ranks.push_back(static_cast<int>(group.members_.size()));
+    slice.local_ids.push_back(d);
+    group.members_.push_back(Member{&node.device(d), &node.host(d), 0, d});
+  }
+  group.nodes_.push_back(std::move(slice));
+  return group;
+}
+
+DeviceGroup DeviceGroup::node_subset(Cluster& cluster, int node,
+                                     const std::vector<int>& device_ids) {
+  assert(node >= 0 && node < cluster.num_nodes());
+  assert(!device_ids.empty());
+  Node& n = cluster.node(node);
+  DeviceGroup group;
+  group.engine_ = &cluster.engine();
+  group.gpu_ = &n.spec().gpu;
+  group.fabric_ = &cluster.fabric();
+  NodeSlice slice;
+  slice.node = node;
+  slice.topology = &n.topology();
+  for (int d : device_ids) {
+    assert(d >= 0 && d < n.num_devices());
+    slice.ranks.push_back(static_cast<int>(group.members_.size()));
+    slice.local_ids.push_back(d);
+    group.members_.push_back(Member{&n.device(d), &n.host(d), node, d});
+  }
+  group.nodes_.push_back(std::move(slice));
+  return group;
+}
+
 bool DeviceGroup::symmetric() const {
   if (nodes_.empty()) return false;
   const std::size_t per_node = nodes_.front().ranks.size();

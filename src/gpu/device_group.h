@@ -50,6 +50,12 @@ class DeviceGroup {
   // Every device of every node (cluster-wide tensor parallelism with
   // hierarchical collectives).
   static DeviceGroup whole_cluster(Cluster& cluster);
+  // Explicit (ordered) subset of one standalone node's devices — how the
+  // recovery path builds a survivor group after a fail-stop.
+  static DeviceGroup node_subset(Node& node, const std::vector<int>& device_ids);
+  // Same over one cluster node (keeps fabric access for pipeline stages).
+  static DeviceGroup node_subset(Cluster& cluster, int node,
+                                 const std::vector<int>& device_ids);
 
   sim::Engine& engine() const { return *engine_; }
   const GpuSpec& gpu() const { return *gpu_; }

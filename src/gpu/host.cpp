@@ -20,6 +20,9 @@ sim::DelayAwaiter HostContext::post(Stream& stream, StreamOp op, sim::SimTime cp
   ++bus_.inflight;
   const sim::SimTime latency = topology_.command_latency(bus_.inflight);
   sim::SimTime arrival = engine_.now() + cpu_cost + latency;
+  // Injected launch stall: nothing reaches the device before the stall
+  // ends (stall_until_ is 0 unless a fault is active).
+  arrival = std::max(arrival, stall_until_);
   // Commands to one device arrive in issue order even under jittered
   // latency (the PCIe link is a FIFO).
   arrival = std::max(arrival, device.last_command_arrival() + 1);

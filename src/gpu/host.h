@@ -65,6 +65,14 @@ class HostContext {
   [[nodiscard]] sim::TimedConditionAwaiter sync_event(Event& event);
   [[nodiscard]] sim::TimedConditionAwaiter sync_stream(Stream& stream);
 
+  // --- Fault model ---------------------------------------------------------
+  // Host launch stall: commands issued before `until` do not reach the
+  // device earlier than `until` (a wedged driver thread / GC pause on
+  // the launch path). CPU cost to the caller is unchanged; only command
+  // arrival is delayed. 0 (the default) never delays anything.
+  void stall_until(sim::SimTime until) { stall_until_ = std::max(stall_until_, until); }
+  sim::SimTime stalled_until() const { return stall_until_; }
+
  private:
   // Issues `op` to the stream's device after the command-path latency,
   // preserving per-device delivery order. Returns the CPU-cost awaiter.
@@ -74,6 +82,7 @@ class HostContext {
   interconnect::Topology& topology_;
   CommandBus& bus_;
   HostSpec spec_;
+  sim::SimTime stall_until_ = 0;
 };
 
 }  // namespace liger::gpu

@@ -41,6 +41,15 @@ class ExecutionCoupler {
   // occupancy and memory-bandwidth shares; 1.0 = unimpeded). May be
   // called repeatedly with the same value.
   virtual void member_rate(Device& dev, KernelId id, double local_rate) = 0;
+
+  // The member kernel was forcibly removed (device fail-stop / purge)
+  // without completing. The kernel's run slot is already released; the
+  // coupler must not call back into `dev` for this member. Default:
+  // ignore — only collectives need teardown.
+  virtual void member_aborted(Device& dev, KernelId id) {
+    (void)dev;
+    (void)id;
+  }
 };
 
 // Static description of one kernel launch.
@@ -96,11 +105,44 @@ struct KernelTraceRecord {
   int node = 0;
 };
 
+// Lifecycle of one fault as seen by the trace: the injected fault
+// itself, its detection by the monitor, and the recovery action.
+enum class FaultPhase {
+  kInjected,
+  kDetected,
+  kRecovered,
+};
+
+inline const char* fault_phase_name(FaultPhase p) {
+  switch (p) {
+    case FaultPhase::kInjected: return "injected";
+    case FaultPhase::kDetected: return "detected";
+    case FaultPhase::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+// One record per fault-lifecycle event, rendered on a dedicated
+// `faults` row by the Chrome-trace exporter. `start == end` renders as
+// an instant event; a positive span as a duration (e.g. a straggler
+// window, or detection -> recovery).
+struct FaultTraceRecord {
+  std::string name;       // e.g. "fail_stop(node0.gpu2)"
+  FaultPhase phase = FaultPhase::kInjected;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  int node = -1;          // -1: not device-scoped (e.g. fabric link)
+  int device = -1;
+};
+
 // Receives kernel completion records (e.g. the Chrome-trace exporter).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_kernel(const KernelTraceRecord& rec) = 0;
+  // Fault lifecycle markers; default no-op so existing sinks are
+  // unaffected.
+  virtual void on_fault(const FaultTraceRecord& rec) { (void)rec; }
 };
 
 }  // namespace liger::gpu

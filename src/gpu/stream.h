@@ -58,6 +58,13 @@ class Stream {
   // sequence number within the stream.
   std::uint64_t note_issued() { return issued_++; }
 
+  // An abandoned stream belongs to a retired runtime generation (its
+  // device was purged after a fault). Commands still in flight on the
+  // host command bus are force-completed on arrival instead of queued,
+  // so they can never wedge a hardware queue of the next generation.
+  void abandon() { abandoned_ = true; }
+  bool abandoned() const { return abandoned_; }
+
   // Called by Device when an op finishes (kernels at completion,
   // record/wait when processed). Fires idle conditions when drained.
   void complete_op();
@@ -79,6 +86,7 @@ class Stream {
   int hw_queue_;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
+  bool abandoned_ = false;
   std::vector<PendingSync> syncs_;
 };
 

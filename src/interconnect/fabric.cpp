@@ -72,9 +72,27 @@ double NetworkFabric::flow_share(FlowId id) const {
   const auto it = std::find_if(flows_.begin(), flows_.end(),
                                [id](const Flow& f) { return f.id == id; });
   assert(it != flows_.end() && "querying unknown fabric flow");
-  int worst = 1;
-  for (int n : it->nodes) worst = std::max(worst, endpoint_load(n));
-  return 1.0 / static_cast<double>(worst);
+  // min over endpoints of factor/load. With all factors 1.0 this equals
+  // the historical 1/(worst endpoint load) bit-for-bit: the minimum of
+  // exact divisions 1.0/load_n is 1.0/max(load_n).
+  double share = 1.0;
+  for (int n : it->nodes) {
+    const int load = std::max(1, endpoint_load(n));
+    share = std::min(share, link_factor(n) / static_cast<double>(load));
+  }
+  return share;
+}
+
+void NetworkFabric::set_link_factor(int node, double factor) {
+  assert(node >= 0 && node < num_nodes_);
+  assert(factor > 0.0 && "link factor must be positive");
+  if (link_factor_.empty()) {
+    link_factor_.assign(static_cast<std::size_t>(num_nodes_), 1.0);
+  }
+  if (link_factor_[static_cast<std::size_t>(node)] == factor) return;
+  link_factor_[static_cast<std::size_t>(node)] = factor;
+  rerate_transfers();
+  notify();
 }
 
 sim::SimTime NetworkFabric::p2p_time(std::uint64_t bytes) const {

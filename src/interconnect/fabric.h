@@ -72,9 +72,21 @@ class NetworkFabric {
   void end_flow(FlowId id);
   int active_flows() const { return static_cast<int>(flows_.size()); }
 
-  // Bandwidth share [0,1] flow `id` receives right now: 1 / (number of
-  // active flows at its most contended endpoint NIC).
+  // Bandwidth share [0,1] flow `id` receives right now: the minimum
+  // over its endpoint NICs of link_factor / active-flow count there.
+  // With healthy links (factor 1.0) this is 1 / (flows at the most
+  // contended endpoint).
   double flow_share(FlowId id) const;
+
+  // --- Fault model ---------------------------------------------------------
+  // Degrades (or restores) node `node`'s NIC: every flow touching it
+  // sees its bandwidth scaled by `factor` (1.0 = healthy). Used by the
+  // fault injector to model link degradation and flapping; in-flight
+  // transfers are re-rated immediately and listeners fire.
+  void set_link_factor(int node, double factor);
+  double link_factor(int node) const {
+    return link_factor_.empty() ? 1.0 : link_factor_[static_cast<std::size_t>(node)];
+  }
 
   // Listeners fire whenever the flow set changes.
   [[nodiscard]] ListenerHandle add_listener(Listener cb) {
@@ -138,6 +150,9 @@ class NetworkFabric {
   sim::Engine& engine_;
   FabricSpec spec_;
   int num_nodes_;
+  // Per-node NIC health factor; empty until a fault first touches it
+  // (the common healthy case allocates nothing).
+  std::vector<double> link_factor_;
   FlowId next_flow_ = 1;
   std::vector<Flow> flows_;
   ListenerRegistry listeners_;

@@ -113,6 +113,19 @@ ExperimentConfig config_from_json(const util::JsonValue& doc) {
     cfg.workload.seq_max = static_cast<int>(w->int_or("seq_max", cfg.workload.seq_max));
     cfg.workload.seed = static_cast<std::uint64_t>(w->int_or("seed", 7));
     cfg.workload.phase = parse_phase(w->string_or("phase", "prefill"));
+    cfg.workload.deadline = sim::from_us(w->number_or("deadline_ms", 0.0) * 1e3);
+    cfg.workload.max_retries =
+        static_cast<int>(w->int_or("max_retries", cfg.workload.max_retries));
+    cfg.workload.retry_backoff = sim::from_us(
+        w->number_or("retry_backoff_ms", sim::to_ms(cfg.workload.retry_backoff)) * 1e3);
+    cfg.workload.retry_backoff_cap = sim::from_us(
+        w->number_or("retry_backoff_cap_ms", sim::to_ms(cfg.workload.retry_backoff_cap)) *
+        1e3);
+    cfg.workload.retry_jitter = w->number_or("retry_jitter", cfg.workload.retry_jitter);
+  }
+
+  if (const auto* f = doc.find("faults")) {
+    cfg.faults = fault::fault_config_from_json(*f);
   }
 
   if (const auto* c = doc.find("cluster")) {

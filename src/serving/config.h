@@ -21,7 +21,19 @@
 //   "rate": 20.0, "poisson": false,
 //   "workload": { "requests": 200, "batch": 2, "seq_min": 16,
 //                 "seq_max": 128, "phase": "prefill"|"decode",
-//                 "seed": 7 },
+//                 "seed": 7,
+//                 "deadline_ms": 0.0, "max_retries": 0,
+//                 "retry_backoff_ms": 2.0, "retry_backoff_cap_ms": 64.0,
+//                 "retry_jitter": 0.25 },
+//   "faults": { "enabled": true,
+//               "plan": [ {"kind": "fail_stop"|"straggler"|"link_degrade"|
+//                                  "link_flap"|"host_stall",
+//                          "t_ms": 50.0, "node": 0, "device": 2,
+//                          "factor": 0.4, "duration_ms": 20.0,
+//                          "period_ms": 4.0}, ... ],
+//               "detection": { "heartbeat_interval_us": 500,
+//                              "miss_threshold": 3 },
+//               "recovery":  { "replan_ms": 5.0 } },
 //   "liger": { "decomposition_factor": 8, "contention_factor": 1.1,
 //              "profile_contention": true, "sync": "hybrid"|"cpu-gpu",
 //              "nccl_channels": 3, "processing_slots": 4 }

@@ -1,8 +1,10 @@
 #include "serving/experiment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <tuple>
 
 #include "baselines/inter_op_runtime.h"
@@ -153,38 +155,129 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     liger_opts.sync = core::SyncMode::kCpuGpuOnly;
   }
 
-  std::unique_ptr<core::InferenceRuntime> runtime;
-  switch (config.method) {
-    case Method::kLiger:
-    case Method::kLigerCpuSync:
-      runtime = std::make_unique<core::LigerRuntime>(make_group(), config.model,
-                                                     liger_opts);
-      break;
-    case Method::kIntraOp:
-      runtime = std::make_unique<baselines::IntraOpRuntime>(make_group(), config.model);
-      break;
-    case Method::kInterOp:
-      runtime = std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
-                                                            baselines::InterOpOptions{});
-      break;
-    case Method::kInterTh: {
-      baselines::InterOpOptions opts;
-      opts.theoretical = true;
-      runtime = std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
-                                                            opts);
-      break;
+  const bool faults = config.faults.enabled;
+  if (faults && config.faults.plan.has_fail_stop() && config.method != Method::kLiger &&
+      config.method != Method::kLigerCpuSync && config.method != Method::kHybrid) {
+    throw std::invalid_argument(
+        "fail-stop recovery is supported for the liger and hybrid methods only");
+  }
+  if (faults && config.faults.plan.has_fail_stop() && clustered &&
+      config.method != Method::kHybrid) {
+    throw std::invalid_argument(
+        "fail-stop recovery for cluster-wide TP groups is not supported; "
+        "use hybrid (stage re-placement) or a single node");
+  }
+
+  // Shared across runtime generations: failover rebinds it to the
+  // survivor topology's compiled artifacts, bumping the epoch so the
+  // steady-state hot path replans each shape exactly once.
+  auto shared_cache = faults ? std::make_unique<core::PlanCache>() : nullptr;
+
+  // Builds one runtime generation over the devices still alive. The
+  // all-alive call reproduces the fault-free construction exactly.
+  auto build_backend =
+      [&](const std::vector<bool>& alive) -> std::unique_ptr<core::InferenceRuntime> {
+    const bool degraded =
+        std::find(alive.begin(), alive.end(), false) != alive.end();
+    switch (config.method) {
+      case Method::kLiger:
+      case Method::kLigerCpuSync: {
+        gpu::DeviceGroup group;
+        if (!degraded) {
+          group = make_group();
+        } else {
+          // Degraded mode: shrink the TP group to the survivors.
+          std::vector<int> survivors;
+          for (std::size_t d = 0; d < alive.size(); ++d) {
+            if (alive[d]) survivors.push_back(static_cast<int>(d));
+          }
+          if (survivors.empty()) {
+            throw std::invalid_argument("no devices left alive");
+          }
+          group = gpu::DeviceGroup::node_subset(*node, survivors);
+        }
+        return std::make_unique<core::LigerRuntime>(std::move(group), config.model,
+                                                    liger_opts, shared_cache.get());
+      }
+      case Method::kIntraOp:
+        return std::make_unique<baselines::IntraOpRuntime>(make_group(), config.model);
+      case Method::kInterOp:
+        return std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
+                                                           baselines::InterOpOptions{});
+      case Method::kInterTh: {
+        baselines::InterOpOptions opts;
+        opts.theoretical = true;
+        return std::make_unique<baselines::InterOpRuntime>(make_group(), config.model,
+                                                           opts);
+      }
+      case Method::kHybrid: {
+        core::HybridOptions opts;
+        opts.tp = config.hybrid_tp;
+        opts.pp = config.hybrid_pp;
+        opts.liger = liger_opts;
+        if (degraded) {
+          // Re-place every stage onto nodes with no failed device,
+          // round-robin; capacity permitting.
+          const int per_node = cluster->devices_per_node();
+          std::vector<int> good_nodes;
+          for (int n = 0; n < cluster->num_nodes(); ++n) {
+            bool ok = true;
+            for (int d = 0; d < per_node; ++d) {
+              if (!alive[static_cast<std::size_t>(n * per_node + d)]) ok = false;
+            }
+            if (ok) good_nodes.push_back(n);
+          }
+          const int tp = opts.tp > 0 ? opts.tp : per_node;
+          const int pp = opts.pp > 0 ? opts.pp : cluster->num_nodes();
+          const int stages_per_node = per_node / tp;
+          if (good_nodes.empty() ||
+              static_cast<int>(good_nodes.size()) * stages_per_node < pp) {
+            throw std::invalid_argument(
+                "not enough healthy nodes to re-place the pipeline");
+          }
+          opts.pp = pp;
+          opts.placement.resize(static_cast<std::size_t>(pp));
+          for (int s = 0; s < pp; ++s) {
+            opts.placement[static_cast<std::size_t>(s)] =
+                good_nodes[static_cast<std::size_t>(s) % good_nodes.size()];
+          }
+        }
+        return std::make_unique<core::HybridRuntime>(*cluster, config.model, opts);
+      }
     }
-    case Method::kHybrid: {
-      core::HybridOptions opts;
-      opts.tp = config.hybrid_tp;
-      opts.pp = config.hybrid_pp;
-      opts.liger = liger_opts;
-      runtime = std::make_unique<core::HybridRuntime>(*cluster, config.model, opts);
-      break;
+    throw std::invalid_argument("unknown method");
+  };
+
+  if (config.trace_sink != nullptr) {
+    if (clustered) {
+      cluster->set_trace_sink(config.trace_sink);
+    } else {
+      node->set_trace_sink(config.trace_sink);
     }
   }
 
-  Server server(engine, *runtime, config.workload);
+  std::unique_ptr<core::InferenceRuntime> runtime;
+  std::unique_ptr<fault::FailoverRuntime> failover;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (faults) {
+    fault::FaultTargets targets = clustered ? fault::FaultTargets::from_cluster(*cluster)
+                                            : fault::FaultTargets::from_node(*node);
+    targets.trace = config.trace_sink;
+    fault::FailoverRuntime::Options opts;
+    opts.detection = config.faults.detection;
+    opts.replan_latency = config.faults.replan_latency;
+    failover = std::make_unique<fault::FailoverRuntime>(targets, build_backend, opts);
+    injector = std::make_unique<fault::FaultInjector>(targets, config.faults.plan);
+    injector->schedule();
+  } else {
+    runtime = build_backend(
+        std::vector<bool>(static_cast<std::size_t>(clustered ? cluster->total_devices()
+                                                             : node->num_devices()),
+                          true));
+  }
+  core::InferenceRuntime& serving_runtime = faults ? *failover : *runtime;
+
+  Server server(engine, serving_runtime, config.workload);
   std::unique_ptr<ArrivalProcess> arrivals;
   if (config.poisson) {
     arrivals = std::make_unique<PoissonArrivals>(config.rate);
@@ -193,9 +286,12 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   }
   ExperimentOutputs out;
   out.report = server.run(*arrivals);
-  if (auto* liger = dynamic_cast<core::LigerRuntime*>(runtime.get())) {
+  core::InferenceRuntime* backend = faults ? &failover->backend() : runtime.get();
+  if (auto* liger = dynamic_cast<core::LigerRuntime*>(backend)) {
     out.liger = liger->stats();
   }
+  if (faults) out.failover = failover->failover_stats();
+  out.completion_times = server.metrics().completion_times();
   const double span = static_cast<double>(engine.now());
   auto push_device_fracs = [&](gpu::Node& n) {
     for (int d = 0; d < n.num_devices(); ++d) {

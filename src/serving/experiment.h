@@ -8,6 +8,7 @@
 
 #include "core/hybrid_runtime.h"
 #include "core/liger_runtime.h"
+#include "fault/failover.h"
 #include "gpu/cluster.h"
 #include "gpu/node.h"
 #include "model/model_spec.h"
@@ -49,6 +50,19 @@ struct ExperimentConfig {
   // and pipeline-stage count (0 = one stage per node).
   int hybrid_tp = 0;
   int hybrid_pp = 0;
+
+  // Fault injection (robustness experiments). With `faults.enabled` the
+  // runtime is wrapped in a fault::FailoverRuntime (heartbeat detection
+  // + degraded-mode replanning) and the plan is scheduled before the
+  // run; device fail-stop recovery is supported for the Liger
+  // (single-node TP shrink) and Hybrid (stage re-placement) methods.
+  // Disabled (the default), none of the fault machinery is constructed
+  // and the experiment path is bit-identical to a fault-free build.
+  fault::FaultConfig faults;
+
+  // Optional: receives kernel and fault records from every device (and
+  // the fabric, when clustered). Non-owning.
+  gpu::TraceSink* trace_sink = nullptr;
 };
 
 // Runs one serving experiment to completion (deterministic).
@@ -62,6 +76,11 @@ struct ExperimentOutputs {
   // with a communication kernel running.
   std::vector<double> device_busy_frac;
   std::vector<double> device_comm_frac;
+  // Populated when faults are enabled.
+  fault::FailoverRuntime::Stats failover;
+  // Completion timestamps (availability benches bucket these to plot
+  // goodput over time around an outage).
+  std::vector<sim::SimTime> completion_times;
 };
 
 // run_experiment plus runtime-internal statistics.

@@ -10,17 +10,36 @@ void MetricsCollector::on_arrival(const model::BatchRequest& request) {
 }
 
 void MetricsCollector::on_complete(const model::BatchRequest& request,
-                                   sim::SimTime completion) {
+                                   sim::SimTime completion, bool within_slo) {
   assert(completion >= request.arrival);
   latencies_ns_.add(static_cast<double>(completion - request.arrival));
   batch_size_sum_ += static_cast<std::uint64_t>(request.batch_size);
+  if (within_slo) {
+    ++slo_ok_;
+    slo_ok_batch_sum_ += static_cast<std::uint64_t>(request.batch_size);
+  }
+  completion_times_.push_back(completion);
   if (completion > last_completion_) last_completion_ = completion;
+}
+
+void MetricsCollector::on_timeout(sim::SimTime now) {
+  ++timeouts_;
+  // A timeout is an availability event even if the request later
+  // completes; the makespan must cover it.
+  if (now > last_completion_) last_completion_ = now;
 }
 
 Report MetricsCollector::report(double offered_rate) const {
   Report rep;
   rep.completed = latencies_ns_.count();
   rep.offered_rate = offered_rate;
+  rep.timed_out = timeouts_;
+  rep.retries = retries_;
+  rep.lost = arrivals_ - rep.completed;
+  if (arrivals_ > 0) {
+    rep.slo_violation_rate =
+        static_cast<double>(timeouts_) / static_cast<double>(arrivals_);
+  }
   if (rep.completed == 0) return rep;
 
   rep.avg_latency_ms = latencies_ns_.mean() / 1e6;
@@ -35,6 +54,8 @@ Report MetricsCollector::report(double offered_rate) const {
     const double seconds = sim::to_seconds(span);
     rep.throughput_bps = static_cast<double>(rep.completed) / seconds;
     rep.throughput_rps = static_cast<double>(batch_size_sum_) / seconds;
+    rep.goodput_bps = static_cast<double>(slo_ok_) / seconds;
+    rep.goodput_rps = static_cast<double>(slo_ok_batch_sum_) / seconds;
   }
   return rep;
 }

@@ -1,8 +1,12 @@
 // Serving metrics (§4.1): per-request latency (pending time + CUDA
-// execution time, i.e. completion - arrival) and system throughput.
+// execution time, i.e. completion - arrival) and system throughput,
+// plus the availability metrics of the fault experiments — SLO
+// (deadline) violations, retries and goodput, i.e. throughput counting
+// only requests that completed within their deadline.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "model/batch.h"
 #include "sim/time.h"
@@ -25,20 +29,43 @@ struct Report {
   double throughput_rps = 0.0;
   sim::SimTime makespan = 0;
 
+  // --- Availability (deadline / fault experiments) ---------------------
+  std::size_t timed_out = 0;   // requests that blew their deadline
+  std::size_t retries = 0;     // resubmissions after a drop
+  std::size_t lost = 0;        // never completed (gave up / unrecoverable)
+  // Throughput over requests that completed within their deadline only.
+  // Equals throughput when no deadline is configured.
+  double goodput_bps = 0.0;
+  double goodput_rps = 0.0;
+  // timed_out / arrivals; 0 with no deadline.
+  double slo_violation_rate = 0.0;
+
   // The offered load exceeded what the system could absorb (pending
-  // queue kept growing).
+  // queue kept growing). Judged on goodput: requests that completed
+  // but blew their deadline don't count as absorbed.
   bool saturated(double tolerance = 0.95) const {
-    return throughput_bps < offered_rate * tolerance;
+    return goodput_bps < offered_rate * tolerance;
   }
 };
 
 class MetricsCollector {
  public:
   void on_arrival(const model::BatchRequest& request);
-  void on_complete(const model::BatchRequest& request, sim::SimTime completion);
+  // `within_slo` is false for completions past their deadline; they
+  // count toward throughput but not goodput.
+  void on_complete(const model::BatchRequest& request, sim::SimTime completion,
+                   bool within_slo = true);
+  void on_timeout(sim::SimTime now);
+  void note_retry() { ++retries_; }
 
   std::size_t arrivals() const { return arrivals_; }
   std::size_t completions() const { return latencies_ns_.count(); }
+  std::size_t timeouts() const { return timeouts_; }
+  std::size_t retries() const { return retries_; }
+
+  // Completion timestamps in arrival order of completion — the fault
+  // benches bucket these to plot goodput over time around an outage.
+  const std::vector<sim::SimTime>& completion_times() const { return completion_times_; }
 
   Report report(double offered_rate) const;
 
@@ -48,6 +75,11 @@ class MetricsCollector {
   util::SampleSet latencies_ns_;
   sim::SimTime first_arrival_ = -1;
   sim::SimTime last_completion_ = 0;
+  std::size_t slo_ok_ = 0;              // completions within deadline
+  std::uint64_t slo_ok_batch_sum_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t retries_ = 0;
+  std::vector<sim::SimTime> completion_times_;
 };
 
 }  // namespace liger::serving

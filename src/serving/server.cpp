@@ -1,13 +1,80 @@
 #include "serving/server.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace liger::serving {
 
 Server::Server(sim::Engine& engine, core::InferenceRuntime& runtime, WorkloadConfig workload)
-    : engine_(engine), runtime_(runtime), workload_(workload), rng_(workload.seed) {
+    : engine_(engine),
+      runtime_(runtime),
+      workload_(workload),
+      rng_(workload.seed),
+      retry_rng_(rng_.fork(0x7e7721ULL)) {
   assert(workload_.num_requests >= 1);
   assert(workload_.seq_min >= 1 && workload_.seq_min <= workload_.seq_max);
+  assert(workload_.deadline >= 0 && workload_.max_retries >= 0);
+  assert(workload_.retry_jitter >= 0.0 && workload_.retry_jitter < 1.0);
+}
+
+void Server::dispatch(model::BatchRequest request) {
+  metrics_.on_arrival(request);
+  Pending p;
+  p.request = request;
+  if (workload_.deadline > 0) {
+    const int id = request.id;
+    p.deadline_event =
+        engine_.schedule_at(request.arrival + workload_.deadline, [this, id] {
+          auto it = pending_.find(id);
+          if (it == pending_.end()) return;
+          it->second.timed_out = true;
+          metrics_.on_timeout(engine_.now());
+        });
+  }
+  pending_.emplace(request.id, std::move(p));
+  runtime_.submit(std::move(request));
+}
+
+void Server::on_runtime_complete(const model::BatchRequest& request, sim::SimTime t) {
+  auto it = pending_.find(request.id);
+  if (it == pending_.end()) return;  // already abandoned
+  engine_.cancel(it->second.deadline_event);
+  metrics_.on_complete(request, t, !it->second.timed_out);
+  pending_.erase(it);
+}
+
+void Server::on_runtime_drop(const model::BatchRequest& request) {
+  any_drop_ = true;
+  auto it = pending_.find(request.id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts > workload_.max_retries) {
+    // Retry budget exhausted: the request is lost.
+    engine_.cancel(p.deadline_event);
+    ++abandoned_;
+    pending_.erase(it);
+    return;
+  }
+  // Exponential backoff, capped, with deterministic +/- jitter so
+  // retried batches from concurrent failures don't stampede in lockstep.
+  const int retry = p.attempts;  // 1 for the first retry
+  ++p.attempts;
+  metrics_.note_retry();
+  sim::SimTime backoff = workload_.retry_backoff;
+  for (int i = 1; i < retry && backoff < workload_.retry_backoff_cap; ++i) backoff *= 2;
+  backoff = std::min(backoff, workload_.retry_backoff_cap);
+  const double jitter = workload_.retry_jitter * (2.0 * retry_rng_.next_double() - 1.0);
+  const sim::SimTime delay = std::max<sim::SimTime>(
+      0, backoff + static_cast<sim::SimTime>(static_cast<double>(backoff) * jitter));
+  model::BatchRequest again = p.request;
+  engine_.schedule_after(delay, [this, again] { runtime_.submit(again); });
+}
+
+void Server::install_hooks() {
+  runtime_.set_completion_hook(
+      [this](const model::BatchRequest& req, sim::SimTime t) { on_runtime_complete(req, t); });
+  runtime_.set_drop_hook(
+      [this](const model::BatchRequest& req) { on_runtime_drop(req); });
 }
 
 sim::Task Server::generator(ArrivalProcess& arrivals) {
@@ -18,8 +85,7 @@ sim::Task Server::generator(ArrivalProcess& arrivals) {
     req.seq = static_cast<int>(rng_.uniform_int(workload_.seq_min, workload_.seq_max));
     req.phase = workload_.phase;
     req.arrival = engine_.now();
-    metrics_.on_arrival(req);
-    runtime_.submit(req);
+    dispatch(req);
     if (i + 1 < workload_.num_requests) {
       co_await sim::delay(engine_, arrivals.next_gap(rng_));
     }
@@ -29,12 +95,15 @@ sim::Task Server::generator(ArrivalProcess& arrivals) {
 Report Server::run(ArrivalProcess& arrivals) {
   assert(!used_ && "Server::run is single-shot");
   used_ = true;
-  runtime_.set_completion_hook(
-      [this](const model::BatchRequest& req, sim::SimTime t) { metrics_.on_complete(req, t); });
+  install_hooks();
   generator(arrivals);
   engine_.run();
-  assert(metrics_.completions() == static_cast<std::size_t>(workload_.num_requests) &&
-         "all submitted requests must complete");
+  // Healthy runs complete everything; runs with faults may lose
+  // requests (dropped past the retry budget, or hung on a generation
+  // that was retired without a viable recovery).
+  assert((metrics_.completions() == static_cast<std::size_t>(workload_.num_requests) ||
+          any_drop_) &&
+         "all submitted requests must complete in a fault-free run");
   return metrics_.report(arrivals.rate());
 }
 
@@ -45,8 +114,7 @@ sim::Task Server::trace_generator(std::vector<model::BatchRequest> trace) {
     if (req.arrival > engine_.now()) {
       co_await sim::delay(engine_, req.arrival - engine_.now());
     }
-    metrics_.on_arrival(req);
-    runtime_.submit(req);
+    dispatch(req);
   }
 }
 
@@ -54,15 +122,15 @@ Report Server::run_trace(std::vector<model::BatchRequest> trace) {
   assert(!used_ && "Server::run is single-shot");
   used_ = true;
   const std::size_t n = trace.size();
-  runtime_.set_completion_hook(
-      [this](const model::BatchRequest& req, sim::SimTime t) { metrics_.on_complete(req, t); });
+  install_hooks();
   sim::SimTime span = 0;
   if (!trace.empty()) span = trace.back().arrival - trace.front().arrival;
   const double rate =
       span > 0 ? static_cast<double>(n - 1) / sim::to_seconds(span) : 0.0;
   trace_generator(std::move(trace));
   engine_.run();
-  assert(metrics_.completions() == n && "all replayed requests must complete");
+  assert((metrics_.completions() == n || any_drop_) &&
+         "all replayed requests must complete in a fault-free run");
   (void)n;
   return metrics_.report(rate);
 }

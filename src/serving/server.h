@@ -1,9 +1,22 @@
 // The serving frontend: generates batched requests with a chosen
 // arrival process and drives a runtime backend, collecting metrics
-// until all requests complete.
+// until all requests complete (or are abandoned after exhausting their
+// retry budget under faults).
+//
+// Availability features (all off by default, leaving the healthy path
+// untouched):
+//  * per-request deadlines — a request not completed within `deadline`
+//    of its arrival counts as an SLO violation; late completions still
+//    count toward throughput but not goodput,
+//  * retry with exponential backoff — when the runtime reports a batch
+//    dropped (its devices failed mid-flight), the server resubmits it
+//    after min(retry_backoff * 2^(attempt-1), retry_backoff_cap) plus a
+//    deterministic jitter drawn from a forked RNG stream, up to
+//    `max_retries` times.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "core/runtime.h"
 #include "serving/arrival.h"
@@ -21,6 +34,13 @@ struct WorkloadConfig {
   int seq_max = 128;
   model::Phase phase = model::Phase::kPrefill;
   std::uint64_t seed = 7;
+
+  // --- Availability knobs (0 = disabled) -------------------------------
+  sim::SimTime deadline = 0;       // per-request SLO, from arrival
+  int max_retries = 0;             // resubmissions after a drop
+  sim::SimTime retry_backoff = sim::milliseconds(2);       // first retry
+  sim::SimTime retry_backoff_cap = sim::milliseconds(64);  // exp. ceiling
+  double retry_jitter = 0.25;      // +/- fraction of the backoff
 };
 
 class Server {
@@ -38,16 +58,33 @@ class Server {
   Report run_trace(std::vector<model::BatchRequest> trace);
 
   const MetricsCollector& metrics() const { return metrics_; }
+  // Requests abandoned after exhausting their retry budget.
+  std::size_t abandoned() const { return abandoned_; }
 
  private:
+  struct Pending {
+    model::BatchRequest request;   // original arrival preserved across retries
+    int attempts = 1;              // submissions so far
+    bool timed_out = false;
+    sim::Engine::EventId deadline_event;
+  };
+
   sim::Task generator(ArrivalProcess& arrivals);
   sim::Task trace_generator(std::vector<model::BatchRequest> trace);
+  void install_hooks();
+  void dispatch(model::BatchRequest request);  // first submission
+  void on_runtime_complete(const model::BatchRequest& request, sim::SimTime t);
+  void on_runtime_drop(const model::BatchRequest& request);
 
   sim::Engine& engine_;
   core::InferenceRuntime& runtime_;
   WorkloadConfig workload_;
   MetricsCollector metrics_;
   util::Rng rng_;
+  util::Rng retry_rng_;  // forked: retry jitter must not perturb workload synthesis
+  std::unordered_map<int, Pending> pending_;
+  std::size_t abandoned_ = 0;
+  bool any_drop_ = false;
   bool used_ = false;
 };
 

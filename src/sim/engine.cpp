@@ -2,8 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace liger::sim {
+
+namespace {
+
+// Scheduling invariants stay fatal in release builds: fault-injection
+// and recovery paths run through here with real wall-clock stakes, and
+// a silently corrupted queue (an event in the past, a null callback)
+// would turn a loud failure into a wrong simulation result.
+[[noreturn]] void invariant_failed(const char* what) {
+  std::fprintf(stderr, "sim::Engine invariant violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
 
 // Per-thread spare buffers recycled across Engine instances. One spare
 // of each is plenty: experiment sweeps build engines strictly serially
@@ -164,8 +179,8 @@ void Engine::compact() {
 }
 
 Engine::EventId Engine::schedule_at(SimTime t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  assert(cb && "null callback");
+  if (t < now_) invariant_failed("cannot schedule into the past");
+  if (!cb) invariant_failed("null callback");
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   const std::uint64_t seq = next_seq_++;

@@ -57,6 +57,33 @@ void ChromeTraceSink::write_json(std::ostream& out) const {
     w.end_object();
     w.end_object();
   }
+  // Fault lifecycle on a dedicated row: injected faults, detector
+  // firings and recovery windows. Zero-length records render as global
+  // instant events (vertical markers), windows as complete events.
+  constexpr int kFaultsPid = -2;
+  if (!faults_.empty()) pids.emplace(kFaultsPid, "faults");
+  for (const auto& rec : faults_) {
+    w.begin_object();
+    w.kv("name", rec.name);
+    w.kv("cat", gpu::fault_phase_name(rec.phase));
+    if (rec.start == rec.end) {
+      w.kv("ph", "i");
+      w.kv("s", "g");
+      w.kv("ts", static_cast<double>(rec.start) / 1e3);
+    } else {
+      w.kv("ph", "X");
+      w.kv("ts", static_cast<double>(rec.start) / 1e3);
+      w.kv("dur", static_cast<double>(rec.end - rec.start) / 1e3);
+    }
+    w.kv("pid", kFaultsPid);
+    w.kv("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.kv("node", rec.node);
+    w.kv("device", rec.device);
+    w.end_object();
+    w.end_object();
+  }
   // Name the process rows so multi-node timelines read as
   // "node0.gpu0 ... node1.gpu3, fabric" in Perfetto.
   for (const auto& [pid, label] : pids) {

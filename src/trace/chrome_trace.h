@@ -1,7 +1,8 @@
 // Chrome-trace (chrome://tracing / Perfetto) export of kernel
 // timelines. Attach to a node with Node::set_trace_sink(); write the
 // JSON when the simulation ends. Rows are (device, stream); colors
-// distinguish compute from communication kernels.
+// distinguish compute from communication kernels. Fault injection,
+// detection and recovery events render on a dedicated "faults" row.
 #pragma once
 
 #include <ostream>
@@ -14,9 +15,14 @@ namespace liger::trace {
 class ChromeTraceSink : public gpu::TraceSink {
  public:
   void on_kernel(const gpu::KernelTraceRecord& rec) override { records_.push_back(rec); }
+  void on_fault(const gpu::FaultTraceRecord& rec) override { faults_.push_back(rec); }
 
   const std::vector<gpu::KernelTraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  const std::vector<gpu::FaultTraceRecord>& fault_records() const { return faults_; }
+  void clear() {
+    records_.clear();
+    faults_.clear();
+  }
 
   // Writes the Trace Event Format JSON ("traceEvents" array of complete
   // events; timestamps in microseconds).
@@ -36,6 +42,7 @@ class ChromeTraceSink : public gpu::TraceSink {
 
  private:
   std::vector<gpu::KernelTraceRecord> records_;
+  std::vector<gpu::FaultTraceRecord> faults_;
 };
 
 }  // namespace liger::trace

@@ -1,0 +1,353 @@
+// End-to-end failover: fail-stop detection, generation retirement,
+// degraded-mode replanning through the shared PlanCache, the server's
+// retry/backoff policy, and the no-fault/determinism guarantees the
+// availability benches rely on.
+#include "fault/failover.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/liger_runtime.h"
+#include "fault/injector.h"
+#include "serving/arrival.h"
+#include "serving/experiment.h"
+#include "serving/server.h"
+#include "support/fixtures.h"
+
+namespace liger::fault {
+namespace {
+
+using liger::testing::make_request;
+using liger::testing::NodeFixture;
+
+FaultPlan fail_stop_at(sim::SimTime t, int device, int node = 0) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kDeviceFailStop;
+  ev.time = t;
+  ev.node = node;
+  ev.device = device;
+  FaultPlan plan;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+// Makespan of the same backlog on a healthy node — used to aim the
+// fault at the middle of the run.
+sim::SimTime healthy_makespan(int requests) {
+  NodeFixture f(gpu::NodeSpec::test_node(4));
+  core::LigerRuntime rt(f.node, model::ModelZoo::tiny_test());
+  liger::testing::submit_backlog(rt, requests, 2, 64);
+  f.engine.run();
+  return f.engine.now();
+}
+
+TEST(FailoverTest, FailStopShrinksTpGroupReplansOnceAndCompletesAll) {
+  const int kRequests = 6;
+  const sim::SimTime fail_at = healthy_makespan(kRequests) / 2;
+  ASSERT_GT(fail_at, 0);
+
+  NodeFixture f(gpu::NodeSpec::test_node(4));
+  core::PlanCache cache;
+  auto factory = [&f, &cache](const std::vector<bool>& alive) {
+    std::vector<int> survivors;
+    for (int i = 0; i < f.node.num_devices(); ++i) {
+      if (alive[static_cast<std::size_t>(i)]) survivors.push_back(i);
+    }
+    return std::make_unique<core::LigerRuntime>(
+        gpu::DeviceGroup::node_subset(f.node, survivors), model::ModelZoo::tiny_test(),
+        core::LigerOptions{}, &cache);
+  };
+
+  FailoverRuntime::Options opts;
+  opts.detection.heartbeat_interval = sim::microseconds(50);
+  opts.detection.miss_threshold = 2;
+  opts.replan_latency = sim::microseconds(500);
+  FailoverRuntime fr(FaultTargets::from_node(f.node), factory, opts);
+  EXPECT_EQ(cache.epoch(), 1u);  // generation 0 rebound the shared cache
+
+  int completed = 0;
+  fr.set_completion_hook(
+      [&completed](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  // Server-style retry: resubmit dropped batches after a short delay.
+  int drops = 0;
+  fr.set_drop_hook([&f, &fr, &drops](const model::BatchRequest& r) {
+    ++drops;
+    model::BatchRequest again = r;
+    f.engine.schedule_after(sim::microseconds(20), [&fr, again] { fr.submit(again); });
+  });
+
+  FaultInjector injector(FaultTargets::from_node(f.node), fail_stop_at(fail_at, 2));
+  injector.schedule();
+  for (int i = 0; i < kRequests; ++i) fr.submit(make_request(i, 2, 64));
+  f.engine.run();
+
+  EXPECT_EQ(completed, kRequests);  // every batch survives via retry/deferral
+  EXPECT_EQ(fr.generation(), 1);
+  EXPECT_FALSE(fr.recovering());
+  EXPECT_TRUE(f.node.device(2).failed());
+  EXPECT_FALSE(fr.alive()[2]);
+
+  const auto& st = fr.failover_stats();
+  EXPECT_EQ(st.failovers, 1);
+  EXPECT_GE(st.requests_dropped, 1u);
+  EXPECT_GE(st.last_fault_detected, fail_at);
+  // Backlogged work keeps the monitor armed across the fault, so the
+  // heartbeat bound holds (plus one interval of tick-grid alignment).
+  EXPECT_LE(st.last_fault_detected,
+            fail_at + opts.detection.max_detection_latency() +
+                opts.detection.heartbeat_interval);
+  EXPECT_EQ(st.last_recovery_latency(), opts.replan_latency);
+
+  // The rebuilt generation runs on the three survivors...
+  auto& backend = dynamic_cast<core::LigerRuntime&>(fr.backend());
+  EXPECT_EQ(backend.group().size(), 3);
+  // ...and the shared cache replanned the (one) batch shape exactly once
+  // per topology epoch: one compile at tp=4, one after the shrink.
+  EXPECT_EQ(cache.epoch(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(FailoverTest, SecondFailureShrinksAgain) {
+  const int kRequests = 8;
+  const sim::SimTime makespan = healthy_makespan(kRequests);
+
+  NodeFixture f(gpu::NodeSpec::test_node(4));
+  core::PlanCache cache;
+  auto factory = [&f, &cache](const std::vector<bool>& alive) {
+    std::vector<int> survivors;
+    for (int i = 0; i < f.node.num_devices(); ++i) {
+      if (alive[static_cast<std::size_t>(i)]) survivors.push_back(i);
+    }
+    return std::make_unique<core::LigerRuntime>(
+        gpu::DeviceGroup::node_subset(f.node, survivors), model::ModelZoo::tiny_test(),
+        core::LigerOptions{}, &cache);
+  };
+  FailoverRuntime::Options opts;
+  opts.detection.heartbeat_interval = sim::microseconds(50);
+  opts.detection.miss_threshold = 2;
+  opts.replan_latency = sim::microseconds(200);
+  FailoverRuntime fr(FaultTargets::from_node(f.node), factory, opts);
+
+  int completed = 0;
+  fr.set_completion_hook(
+      [&completed](const model::BatchRequest&, sim::SimTime) { ++completed; });
+  fr.set_drop_hook([&f, &fr](const model::BatchRequest& r) {
+    model::BatchRequest again = r;
+    f.engine.schedule_after(sim::microseconds(20), [&fr, again] { fr.submit(again); });
+  });
+
+  auto plan = fail_stop_at(makespan / 4, 3);
+  auto second = fail_stop_at(makespan, 1);  // well after the first recovery
+  plan.events.push_back(second.events[0]);
+  FaultInjector injector(FaultTargets::from_node(f.node), plan);
+  injector.schedule();
+  for (int i = 0; i < kRequests; ++i) fr.submit(make_request(i, 2, 64));
+  f.engine.run();
+
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_EQ(fr.generation(), 2);
+  EXPECT_EQ(fr.failover_stats().failovers, 2);
+  EXPECT_EQ(dynamic_cast<core::LigerRuntime&>(fr.backend()).group().size(), 2);
+  EXPECT_EQ(cache.epoch(), 3u);
+}
+
+// --- Server retry policy (satellite of the failover path) ----------------
+
+// Drops the first `drops_before_success` submissions after a fixed
+// delay, then serves the rest with a fixed service time.
+class FlakyRuntime : public core::InferenceRuntime {
+ public:
+  FlakyRuntime(sim::Engine& engine, int drops_before_success,
+               sim::SimTime service, sim::SimTime drop_delay)
+      : engine_(engine), drops_left_(drops_before_success), service_(service),
+        drop_delay_(drop_delay) {}
+
+  void submit(model::BatchRequest request) override {
+    submit_times.push_back(engine_.now());
+    if (drops_left_ > 0) {
+      --drops_left_;
+      engine_.schedule_after(drop_delay_, [this, request] { notify_dropped(request); });
+    } else {
+      engine_.schedule_after(service_, [this, request] {
+        notify_complete(request, engine_.now());
+      });
+    }
+  }
+  std::string name() const override { return "flaky"; }
+
+  std::vector<sim::SimTime> submit_times;
+
+ private:
+  sim::Engine& engine_;
+  int drops_left_;
+  sim::SimTime service_;
+  sim::SimTime drop_delay_;
+};
+
+serving::WorkloadConfig retry_workload(int max_retries, double jitter) {
+  serving::WorkloadConfig w;
+  w.num_requests = 1;
+  w.batch_size = 2;
+  w.seq_min = 16;
+  w.seq_max = 16;
+  w.max_retries = max_retries;
+  w.retry_backoff = sim::milliseconds(1);
+  w.retry_backoff_cap = sim::milliseconds(4);
+  w.retry_jitter = jitter;
+  return w;
+}
+
+TEST(FailoverTest, RetryBackoffDoublesUpToTheCap) {
+  NodeFixture f;
+  const sim::SimTime drop_delay = sim::microseconds(10);
+  FlakyRuntime flaky(f.engine, /*drops_before_success=*/4, sim::microseconds(10),
+                     drop_delay);
+  serving::Server server(f.engine, flaky, retry_workload(/*max_retries=*/5, 0.0));
+  serving::ConstantArrivals arrivals(1000.0);
+  const auto rep = server.run(arrivals);
+
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_EQ(rep.retries, 4u);
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_EQ(server.abandoned(), 0u);
+  // Gaps between attempts: drop delay + min(1ms * 2^(k-1), 4ms), no jitter.
+  ASSERT_EQ(flaky.submit_times.size(), 5u);
+  EXPECT_EQ(flaky.submit_times[1] - flaky.submit_times[0], drop_delay + sim::milliseconds(1));
+  EXPECT_EQ(flaky.submit_times[2] - flaky.submit_times[1], drop_delay + sim::milliseconds(2));
+  EXPECT_EQ(flaky.submit_times[3] - flaky.submit_times[2], drop_delay + sim::milliseconds(4));
+  // 2^3 = 8ms would exceed the cap: clamped.
+  EXPECT_EQ(flaky.submit_times[4] - flaky.submit_times[3], drop_delay + sim::milliseconds(4));
+}
+
+TEST(FailoverTest, RetryBudgetExhaustionAbandonsTheRequest) {
+  NodeFixture f;
+  FlakyRuntime flaky(f.engine, /*drops_before_success=*/100, sim::microseconds(10),
+                     sim::microseconds(10));
+  serving::Server server(f.engine, flaky, retry_workload(/*max_retries=*/2, 0.0));
+  serving::ConstantArrivals arrivals(1000.0);
+  const auto rep = server.run(arrivals);
+
+  EXPECT_EQ(flaky.submit_times.size(), 3u);  // first attempt + 2 retries
+  EXPECT_EQ(rep.completed, 0u);
+  EXPECT_EQ(rep.retries, 2u);
+  EXPECT_EQ(rep.lost, 1u);
+  EXPECT_EQ(server.abandoned(), 1u);
+}
+
+TEST(FailoverTest, RetryJitterIsBoundedAndDeterministic) {
+  auto run_once = [] {
+    NodeFixture f;
+    FlakyRuntime flaky(f.engine, /*drops_before_success=*/2, sim::microseconds(10),
+                       sim::microseconds(10));
+    serving::Server server(f.engine, flaky, retry_workload(/*max_retries=*/3, 0.25));
+    serving::ConstantArrivals arrivals(1000.0);
+    server.run(arrivals);
+    return flaky.submit_times;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // the forked retry RNG replays bit-for-bit
+
+  ASSERT_EQ(a.size(), 3u);
+  const sim::SimTime drop_delay = sim::microseconds(10);
+  const sim::SimTime g1 = a[1] - a[0] - drop_delay;
+  const sim::SimTime g2 = a[2] - a[1] - drop_delay;
+  // backoff * (1 +/- 0.25)
+  EXPECT_GE(g1, sim::milliseconds(1) * 3 / 4);
+  EXPECT_LE(g1, sim::milliseconds(1) * 5 / 4);
+  EXPECT_GE(g2, sim::milliseconds(2) * 3 / 4);
+  EXPECT_LE(g2, sim::milliseconds(2) * 5 / 4);
+}
+
+// --- Experiment-level wiring ---------------------------------------------
+
+serving::ExperimentConfig tiny_fault_experiment(int requests) {
+  auto cfg = liger::testing::tiny_experiment_config(serving::Method::kLiger, 0.0,
+                                                    requests);
+  cfg.node = gpu::NodeSpec::test_node(4);
+  cfg.workload.seq_min = 64;
+  cfg.workload.seq_max = 64;
+  const sim::SimTime unit = serving::isolated_intra_batch_time(
+      cfg.node, cfg.model, cfg.workload.batch_size, 64, model::Phase::kPrefill);
+  cfg.rate = 0.5 / sim::to_seconds(unit);
+  cfg.workload.deadline = 8 * unit;
+  cfg.workload.max_retries = 5;
+  cfg.workload.retry_jitter = 0.25;
+  return cfg;
+}
+
+TEST(FailoverTest, ExperimentFailStopRecoversAndServesEveryRequest) {
+  auto cfg = tiny_fault_experiment(16);
+  cfg.faults.enabled = true;
+  // Mid-stream: roughly half the requests have arrived.
+  const sim::SimTime fault_time = sim::from_seconds(8.0 / cfg.rate);
+  cfg.faults.plan = fail_stop_at(fault_time, /*device=*/1);
+  cfg.faults.detection.heartbeat_interval = sim::microseconds(100);
+  cfg.faults.detection.miss_threshold = 3;
+  cfg.faults.replan_latency = sim::milliseconds(1);
+
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.failover.failovers, 1);
+  EXPECT_EQ(out.report.completed, 16u);
+  EXPECT_EQ(out.report.lost, 0u);
+  EXPECT_GE(out.failover.last_fault_detected, fault_time);
+  EXPECT_EQ(out.failover.last_recovery_latency(), sim::milliseconds(1));
+  // Goodput never exceeds throughput, and the outage can only cost.
+  EXPECT_LE(out.report.goodput_bps, out.report.throughput_bps);
+}
+
+TEST(FailoverTest, DisabledFaultsAndEmptyPlanAreBitIdentical) {
+  // faults.enabled with an empty plan wraps the runtime in the failover
+  // decorator but injects nothing; the acceptance bar is a bit-identical
+  // Report against the undecorated path.
+  const auto cfg = tiny_fault_experiment(12);
+  auto wrapped_cfg = cfg;
+  wrapped_cfg.faults.enabled = true;
+
+  const auto plain = serving::run_experiment_detailed(cfg);
+  const auto wrapped = serving::run_experiment_detailed(wrapped_cfg);
+
+  EXPECT_EQ(wrapped.failover.failovers, 0);
+  EXPECT_EQ(plain.completion_times, wrapped.completion_times);
+  EXPECT_EQ(plain.report.completed, wrapped.report.completed);
+  EXPECT_EQ(plain.report.timed_out, wrapped.report.timed_out);
+  EXPECT_EQ(plain.report.retries, wrapped.report.retries);
+  EXPECT_EQ(plain.report.lost, wrapped.report.lost);
+  EXPECT_EQ(plain.report.makespan, wrapped.report.makespan);
+  EXPECT_EQ(plain.report.throughput_bps, wrapped.report.throughput_bps);
+  EXPECT_EQ(plain.report.goodput_bps, wrapped.report.goodput_bps);
+  EXPECT_EQ(plain.report.avg_latency_ms, wrapped.report.avg_latency_ms);
+  EXPECT_EQ(plain.report.p99_latency_ms, wrapped.report.p99_latency_ms);
+}
+
+TEST(FailoverTest, SameFaultPlanReplaysBitIdentical) {
+  auto cfg = tiny_fault_experiment(12);
+  cfg.faults.enabled = true;
+  cfg.faults.plan = fail_stop_at(sim::from_seconds(6.0 / cfg.rate), /*device=*/2);
+  cfg.faults.replan_latency = sim::milliseconds(1);
+
+  const auto a = serving::run_experiment_detailed(cfg);
+  const auto b = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(a.completion_times, b.completion_times);
+  EXPECT_EQ(a.report.completed, b.report.completed);
+  EXPECT_EQ(a.report.retries, b.report.retries);
+  EXPECT_EQ(a.report.timed_out, b.report.timed_out);
+  EXPECT_EQ(a.report.goodput_bps, b.report.goodput_bps);
+  EXPECT_EQ(a.failover.last_fault_detected, b.failover.last_fault_detected);
+  EXPECT_EQ(a.failover.last_recovered, b.failover.last_recovered);
+  EXPECT_EQ(a.failover.requests_dropped, b.failover.requests_dropped);
+}
+
+TEST(FailoverTest, FailStopUnderBaselineMethodIsRejected) {
+  auto cfg = liger::testing::tiny_experiment_config(serving::Method::kIntraOp, 100.0, 4);
+  cfg.faults.enabled = true;
+  cfg.faults.plan = fail_stop_at(sim::milliseconds(1), /*device=*/1);
+  EXPECT_THROW(serving::run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace liger::fault

@@ -1,0 +1,182 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "gpu/gpu_test_util.h"
+#include "support/fixtures.h"
+#include "trace/chrome_trace.h"
+
+namespace liger::fault {
+namespace {
+
+using gpu::testing::CompletionLog;
+using gpu::testing::make_kernel;
+using gpu::testing::submit_kernel;
+using liger::testing::ClusterFixture;
+using liger::testing::NodeFixture;
+
+FaultPlan single(FaultEvent ev) {
+  FaultPlan plan;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+TEST(FaultInjectorTest, EmptyPlanSchedulesNothing) {
+  NodeFixture f;
+  FaultInjector injector(FaultTargets::from_node(f.node), FaultPlan{});
+  injector.schedule();
+  f.engine.run();
+  // No events at all: the simulation never advances, so an empty plan
+  // provably leaves the event stream untouched.
+  EXPECT_EQ(f.engine.now(), 0);
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(FaultInjectorTest, FailStopKillsDeviceAndEmitsTraceRecord) {
+  NodeFixture f;
+  trace::ChromeTraceSink sink;
+  auto targets = FaultTargets::from_node(f.node);
+  targets.trace = &sink;
+
+  FaultEvent ev;
+  ev.kind = FaultKind::kDeviceFailStop;
+  ev.time = sim::microseconds(2);
+  ev.device = 1;
+  FaultInjector injector(targets, single(ev));
+  injector.schedule();
+
+  CompletionLog log;
+  auto& s = f.node.device(1).create_stream();
+  submit_kernel(s, make_kernel("doomed", sim::microseconds(10), 1),
+                log.hook(f.engine, "doomed"));
+  f.engine.run();
+
+  EXPECT_TRUE(f.node.device(1).failed());
+  EXPECT_GE(f.node.device(1).dropped_ops(), 1u);
+  // The purge force-completes the command so host-side waiters drain —
+  // at the fault time, not at the kernel's natural completion.
+  EXPECT_EQ(log.at.at("doomed"), sim::microseconds(2));
+
+  ASSERT_EQ(sink.fault_records().size(), 1u);
+  const auto& rec = sink.fault_records()[0];
+  EXPECT_EQ(rec.phase, gpu::FaultPhase::kInjected);
+  EXPECT_EQ(rec.name, "fail_stop(n0.g1)");
+  EXPECT_EQ(rec.node, 0);
+  EXPECT_EQ(rec.device, 1);
+  EXPECT_EQ(rec.start, sim::microseconds(2));
+}
+
+TEST(FaultInjectorTest, StragglerSlowsKernelsThenRestores) {
+  NodeFixture f;
+  FaultEvent ev;
+  ev.kind = FaultKind::kStraggler;
+  ev.time = sim::microseconds(1);
+  ev.device = 0;
+  ev.factor = 0.25;
+  ev.duration = sim::microseconds(10);  // window [1us, 11us)
+  FaultInjector injector(FaultTargets::from_node(f.node), single(ev));
+  injector.schedule();
+
+  CompletionLog log;
+  auto& s = f.node.device(0).create_stream();
+  // Inside the window: a 1us kernel runs at 1/4 rate -> 4us.
+  f.engine.schedule_at(sim::microseconds(2), [&f, &s, &log] {
+    submit_kernel(s, make_kernel("slow", sim::microseconds(1), 1),
+                  log.hook(f.engine, "slow"));
+  });
+  // After the window: full speed again.
+  f.engine.schedule_at(sim::microseconds(20), [&f, &s, &log] {
+    submit_kernel(s, make_kernel("fast", sim::microseconds(1), 1),
+                  log.hook(f.engine, "fast"));
+  });
+  f.engine.run();
+
+  EXPECT_EQ(log.at.at("slow"), sim::microseconds(6));
+  EXPECT_EQ(log.at.at("fast"), sim::microseconds(21));
+  EXPECT_DOUBLE_EQ(f.node.device(0).perf_factor(), 1.0);
+  EXPECT_FALSE(f.node.device(0).failed());
+}
+
+TEST(FaultInjectorTest, HostStallPushesLaunchHorizon) {
+  NodeFixture f;
+  FaultEvent ev;
+  ev.kind = FaultKind::kHostStall;
+  ev.time = sim::microseconds(1);
+  ev.device = 0;
+  ev.duration = sim::microseconds(5);
+  auto targets = FaultTargets::from_node(f.node);
+  FaultInjector injector(targets, single(ev));
+  injector.schedule();
+  f.engine.run();
+  EXPECT_EQ(targets.host(0, 0).stalled_until(), sim::microseconds(6));
+}
+
+TEST(FaultInjectorTest, LinkDegradeScalesFabricAndRestores) {
+  ClusterFixture f;
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDegrade;
+  ev.time = sim::microseconds(1);
+  ev.node = 1;
+  ev.factor = 0.25;
+  ev.duration = sim::microseconds(10);
+  auto targets = FaultTargets::from_cluster(f.cluster);
+  FaultInjector injector(targets, single(ev));
+  injector.schedule();
+
+  double mid = -1.0;
+  f.engine.schedule_at(sim::microseconds(5),
+                       [&f, &mid] { mid = f.cluster.fabric().link_factor(1); });
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(mid, 0.25);
+  EXPECT_DOUBLE_EQ(f.cluster.fabric().link_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(f.cluster.fabric().link_factor(0), 1.0);  // other nodes untouched
+}
+
+TEST(FaultInjectorTest, LinkFlapTogglesEveryHalfPeriodAndEndsHealthy) {
+  ClusterFixture f;
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkFlap;
+  ev.time = sim::microseconds(1);
+  ev.node = 1;
+  ev.factor = 0.1;
+  ev.period = sim::microseconds(4);   // toggles every 2us: 1,3,5,7
+  ev.duration = sim::microseconds(8); // window [1us, 9us)
+  FaultInjector injector(FaultTargets::from_cluster(f.cluster), single(ev));
+  injector.schedule();
+
+  std::vector<double> probes;
+  for (int t : {2, 4, 6}) {
+    f.engine.schedule_at(sim::microseconds(t),
+                         [&f, &probes] { probes.push_back(f.cluster.fabric().link_factor(1)); });
+  }
+  f.engine.run();
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_DOUBLE_EQ(probes[0], 0.1);  // degraded phase
+  EXPECT_DOUBLE_EQ(probes[1], 1.0);  // healthy phase
+  EXPECT_DOUBLE_EQ(probes[2], 0.1);  // degraded again
+  EXPECT_DOUBLE_EQ(f.cluster.fabric().link_factor(1), 1.0);
+}
+
+TEST(FaultInjectorTest, LinkFaultWithoutFabricIsRejected) {
+  NodeFixture f;
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDegrade;
+  ev.factor = 0.5;
+  EXPECT_THROW(FaultInjector(FaultTargets::from_node(f.node), single(ev)),
+               std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ValidatesPlanAgainstTopology) {
+  NodeFixture f;  // 2 devices on one node
+  FaultEvent ev;
+  ev.kind = FaultKind::kDeviceFailStop;
+  ev.device = 2;  // out of range
+  EXPECT_THROW(FaultInjector(FaultTargets::from_node(f.node), single(ev)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace liger::fault

@@ -1,0 +1,83 @@
+#include "fault/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "support/fixtures.h"
+
+namespace liger::fault {
+namespace {
+
+using liger::testing::NodeFixture;
+
+struct MonitorFixture : NodeFixture {
+  DetectionConfig config;
+  int detected_node = -1;
+  int detected_device = -1;
+  sim::SimTime detected_at = -1;
+  HeartbeatMonitor monitor;
+
+  MonitorFixture()
+      : config{sim::microseconds(100), 3},
+        monitor(engine, config, [this](int n, int d, sim::SimTime t) {
+          detected_node = n;
+          detected_device = d;
+          detected_at = t;
+          // Tests stop the heartbeat on detection so the engine drains.
+          monitor.disarm();
+        }) {
+    monitor.watch(node.device(0), 0, 0);
+    monitor.watch(node.device(1), 0, 1);
+  }
+};
+
+TEST(HeartbeatMonitorTest, DeclaresDeathAfterThresholdMisses) {
+  MonitorFixture f;
+  f.monitor.arm();
+  f.engine.schedule_at(sim::microseconds(50), [&f] { f.node.device(1).fail(); });
+  f.engine.run();
+  // Fault at 50us, ticks at 100/200/300us -> third consecutive miss.
+  EXPECT_EQ(f.detected_at, sim::microseconds(300));
+  EXPECT_EQ(f.detected_node, 0);
+  EXPECT_EQ(f.detected_device, 1);
+  EXPECT_EQ(f.monitor.failures_detected(), 1);
+  const sim::SimTime latency = f.detected_at - sim::microseconds(50);
+  EXPECT_LE(latency, f.config.max_detection_latency());
+}
+
+TEST(HeartbeatMonitorTest, HealthyDevicesNeverTripTheDetector) {
+  MonitorFixture f;
+  f.monitor.arm();
+  f.engine.schedule_at(sim::milliseconds(1), [&f] { f.monitor.disarm(); });
+  f.engine.run();
+  EXPECT_EQ(f.monitor.failures_detected(), 0);
+  EXPECT_EQ(f.detected_at, -1);
+  // The heartbeat itself advanced time; disarm let the engine drain.
+  EXPECT_EQ(f.engine.now(), sim::milliseconds(1));
+}
+
+TEST(HeartbeatMonitorTest, DisarmedMonitorSchedulesNothing) {
+  MonitorFixture f;
+  f.monitor.arm();
+  f.monitor.disarm();
+  f.engine.run();
+  EXPECT_EQ(f.engine.now(), 0);  // the pending tick was cancelled
+  EXPECT_FALSE(f.monitor.armed());
+}
+
+TEST(HeartbeatMonitorTest, IdleGapsDoNotAccumulateMisses) {
+  MonitorFixture f;
+  f.node.device(0).fail();  // already dead, but the system is about to go idle
+  f.monitor.arm();
+  // Two misses land (100us, 200us), then the workload drains and the
+  // failover layer disarms before the third.
+  f.engine.schedule_at(sim::microseconds(250), [&f] { f.monitor.disarm(); });
+  // Re-armed much later: the count restarts, so detection needs three
+  // fresh consecutive misses from the new arm point.
+  f.engine.schedule_at(sim::milliseconds(1), [&f] { f.monitor.arm(); });
+  f.engine.run();
+  EXPECT_EQ(f.detected_at, sim::milliseconds(1) + 3 * sim::microseconds(100));
+  EXPECT_EQ(f.detected_device, 0);
+}
+
+}  // namespace
+}  // namespace liger::fault

@@ -62,6 +62,34 @@ TEST(ConfigTest, WorkloadAndLigerBlocks) {
   EXPECT_EQ(cfg.liger.comm.max_nchannels, 5);
 }
 
+TEST(ConfigTest, AvailabilityKnobsAndFaultsBlock) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "workload": { "requests": 10, "deadline_ms": 250.0, "max_retries": 5,
+                  "retry_backoff_ms": 2.0, "retry_backoff_cap_ms": 64.0,
+                  "retry_jitter": 0.1 },
+    "faults": {
+      "plan": [ {"kind": "fail_stop", "t_ms": 50.0, "node": 0, "device": 2} ],
+      "detection": { "heartbeat_interval_us": 250, "miss_threshold": 4 },
+      "recovery": { "replan_ms": 3.0 }
+    }
+  })"));
+  EXPECT_EQ(cfg.workload.deadline, sim::milliseconds(250));
+  EXPECT_EQ(cfg.workload.max_retries, 5);
+  EXPECT_EQ(cfg.workload.retry_backoff, sim::milliseconds(2));
+  EXPECT_EQ(cfg.workload.retry_backoff_cap, sim::milliseconds(64));
+  EXPECT_DOUBLE_EQ(cfg.workload.retry_jitter, 0.1);
+  EXPECT_TRUE(cfg.faults.enabled);  // present without "enabled" => on
+  ASSERT_EQ(cfg.faults.plan.events.size(), 1u);
+  EXPECT_EQ(cfg.faults.plan.events[0].kind, fault::FaultKind::kDeviceFailStop);
+  EXPECT_EQ(cfg.faults.detection.heartbeat_interval, sim::microseconds(250));
+  EXPECT_EQ(cfg.faults.detection.miss_threshold, 4);
+  EXPECT_EQ(cfg.faults.replan_latency, sim::milliseconds(3));
+  // No faults section at all => disabled, no plan.
+  const auto plain = config_from_json(util::parse_json("{}"));
+  EXPECT_FALSE(plain.faults.enabled);
+  EXPECT_TRUE(plain.faults.plan.empty());
+}
+
 TEST(ConfigTest, ParseMethodSpellings) {
   EXPECT_EQ(parse_method("Liger"), Method::kLiger);
   EXPECT_EQ(parse_method("intra-op"), Method::kIntraOp);
@@ -144,6 +172,26 @@ TEST(ConfigTest, BundledHybridConfigParsesAndRuns) {
       cfg.model = cfg.model.with_layers(4);
       const auto rep = run_experiment(cfg);
       EXPECT_EQ(rep.completed, 4u);
+      return;
+    } catch (const std::runtime_error&) {
+      continue;  // wrong relative path; try the next candidate
+    }
+  }
+  GTEST_SKIP() << "configs/ not reachable from test cwd";
+}
+
+TEST(ConfigTest, BundledFaultConfigParsesAndRuns) {
+  for (const char* path : {"../configs/fault_failstop.json", "configs/fault_failstop.json",
+                           "../../configs/fault_failstop.json"}) {
+    try {
+      auto cfg = config_from_file(path);
+      EXPECT_TRUE(cfg.faults.enabled);
+      EXPECT_TRUE(cfg.faults.plan.has_fail_stop());
+      EXPECT_EQ(cfg.workload.max_retries, 5);
+      cfg.workload.num_requests = 8;  // keep the test fast
+      cfg.model = cfg.model.with_layers(4);
+      const auto rep = run_experiment(cfg);
+      EXPECT_EQ(rep.completed + rep.lost, 8u);
       return;
     } catch (const std::runtime_error&) {
       continue;  // wrong relative path; try the next candidate

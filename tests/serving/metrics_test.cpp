@@ -60,12 +60,49 @@ TEST(MetricsTest, QuantilesFromLatencySamples) {
 }
 
 TEST(MetricsTest, SaturationDetection) {
+  // Saturation is judged on goodput: completions that blew their
+  // deadline are not absorbed load.
   Report rep;
   rep.offered_rate = 10.0;
   rep.throughput_bps = 9.8;
+  rep.goodput_bps = 9.8;
   EXPECT_FALSE(rep.saturated());
-  rep.throughput_bps = 7.0;
+  rep.goodput_bps = 7.0;  // same throughput, but many SLO violations
   EXPECT_TRUE(rep.saturated());
+}
+
+TEST(MetricsTest, TimedOutCompletionsExcludedFromGoodput) {
+  MetricsCollector m;
+  for (int i = 0; i < 10; ++i) {
+    auto r = req(i, sim::milliseconds(100) * i, 4);
+    m.on_arrival(r);
+    if (i % 2 == 1) m.on_timeout(sim::milliseconds(100) * i + sim::milliseconds(40));
+    m.on_complete(r, sim::milliseconds(100) * i + sim::milliseconds(50),
+                  /*within_slo=*/i % 2 == 0);
+  }
+  const auto rep = m.report(10.0);
+  EXPECT_EQ(rep.completed, 10u);
+  EXPECT_EQ(rep.timed_out, 5u);
+  EXPECT_NEAR(rep.throughput_bps, 10.0 / 0.95, 1e-9);
+  EXPECT_NEAR(rep.goodput_bps, 5.0 / 0.95, 1e-9);
+  EXPECT_NEAR(rep.goodput_rps, 20.0 / 0.95, 1e-9);
+  EXPECT_DOUBLE_EQ(rep.slo_violation_rate, 0.5);
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_TRUE(rep.saturated());  // goodput 5.26 < 10 * 0.95
+}
+
+TEST(MetricsTest, GoodputEqualsThroughputWithoutDeadlines) {
+  MetricsCollector m;
+  for (int i = 0; i < 4; ++i) {
+    auto r = req(i, sim::milliseconds(10) * i);
+    m.on_arrival(r);
+    m.on_complete(r, sim::milliseconds(10) * i + sim::milliseconds(5));
+  }
+  const auto rep = m.report(1.0);
+  EXPECT_DOUBLE_EQ(rep.goodput_bps, rep.throughput_bps);
+  EXPECT_DOUBLE_EQ(rep.goodput_rps, rep.throughput_rps);
+  EXPECT_EQ(rep.timed_out, 0u);
+  EXPECT_DOUBLE_EQ(rep.slo_violation_rate, 0.0);
 }
 
 TEST(MetricsTest, EmptyReportIsZeroed) {
