@@ -15,7 +15,11 @@
 // the endpoint NICs (args.bytes on each fabric row; device=-1 rows in
 // the Chrome trace).
 //
-// Flags: --requests N (default 100), --trace PATH (write Chrome JSON)
+// Flags: --requests N (default 100), --trace PATH (write Chrome JSON),
+// --engine-threads N (default 1: serial engine; > 1 partitions the
+// hybrid simulation into one engine domain per node plus the
+// fabric/host domain — results are bit-identical, see
+// sim/parallel_engine.h; cluster-TP runs always use the serial engine)
 
 #include <cstdio>
 #include <fstream>
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const int requests = static_cast<int>(flags.get_int("requests", 100));
   const std::string trace_path = flags.get_string("trace", "");
+  const int engine_threads = static_cast<int>(flags.get_int("engine-threads", 1));
 
   const auto node = gpu::NodeSpec::v100_nvlink(4);
   const auto model = model::ModelZoo::opt_30b();
@@ -54,7 +59,11 @@ int main(int argc, char** argv) {
 
   bench::print_header(
       "Fig 15: multi-node hybrid scaling (OPT-30B, 4xV100 nodes, IB-HDR, batch 2; " +
-      std::to_string(requests) + " requests/point)");
+      std::to_string(requests) + " requests/point" +
+      (engine_threads > 1
+           ? ", partitioned engine x" + std::to_string(engine_threads) + " threads"
+           : "") +
+      ")");
   std::printf("%6s | %22s | %26s | %8s\n", "nodes", "Hybrid tp4 x pp=N", "Cluster-TP (hierarchical)",
               "speedup");
   std::printf("%6s | %10s %11s | %14s %11s | %8s\n", "", "lat(ms)", "thr(b/s)", "lat(ms)",
@@ -72,9 +81,11 @@ int main(int argc, char** argv) {
     cfg.fabric = interconnect::FabricSpec::ib_hdr();
 
     cfg.method = Method::kHybrid;  // tp = devices/node, pp = nodes (defaults)
+    cfg.engine_threads = engine_threads;
     const auto hybrid = serving::run_experiment(cfg);
 
     cfg.method = Method::kLiger;  // whole-cluster tensor parallelism
+    cfg.engine_threads = 1;       // cluster-wide TP runs on the serial engine
     const auto tp = serving::run_experiment(cfg);
 
     if (nodes == 1) hybrid_thr_1node = hybrid.throughput_bps;

@@ -1,0 +1,132 @@
+// Multi-seed chaos sweep for the partitioned engine: replays serving
+// workloads across many seeds and engine-thread counts and fails loudly
+// on any divergence from the serial engine.
+//
+// Three scenario families per seed:
+//  * fig10 — single-node Liger serving (host + node domains);
+//  * fig15 — 2- and 4-node hybrid pipelines (fabric/host domain plus
+//    one domain per node, cross-node lookahead = fabric base latency);
+//  * fig16 — fault-injected runs (straggler + link degrade), which must
+//    take the serial fallback and therefore ignore engine_threads.
+// Every scenario runs at engine_threads 1, 2 and 4; all Report fields
+// that the figure benches consume are compared bit-for-bit against the
+// serial run. Exit status is the number of divergent rows.
+//
+// Flags: --seeds N (default 8), --requests N (default 20)
+//
+// This is the tier-2 companion to the tier-1
+// tests/integration/parallel_equivalence_test.cpp: same oracle, far
+// more seeds, registered as bench_parallel_equivalence_sweep in the
+// scheduled CI job.
+
+#include <cstdio>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace liger;
+
+serving::ExperimentConfig fig10_config(std::uint64_t seed, int requests) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b().with_layers(4);
+  cfg.method = serving::Method::kLiger;
+  cfg.rate = 40.0;
+  cfg.poisson = true;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  cfg.workload.seed = seed;
+  return cfg;
+}
+
+serving::ExperimentConfig fig15_config(std::uint64_t seed, int requests, int nodes) {
+  serving::ExperimentConfig cfg = fig10_config(seed, requests);
+  cfg.method = serving::Method::kHybrid;
+  cfg.num_nodes = nodes;
+  cfg.fabric = interconnect::FabricSpec::ib_hdr();
+  cfg.rate = 30.0 * nodes;
+  return cfg;
+}
+
+serving::ExperimentConfig fig16_config(std::uint64_t seed, int requests) {
+  serving::ExperimentConfig cfg = fig10_config(seed, requests);
+  cfg.rate = 30.0;
+  cfg.faults.enabled = true;
+  fault::FaultEvent straggler;
+  straggler.kind = fault::FaultKind::kStraggler;
+  straggler.time = sim::milliseconds(40);
+  straggler.duration = sim::milliseconds(40);
+  straggler.device = static_cast<int>(seed % 4);
+  straggler.factor = 0.5;
+  cfg.faults.plan.events.push_back(straggler);
+  return cfg;
+}
+
+// Bit-level comparison of the fields every figure bench consumes.
+int compare(const serving::Report& serial, const serving::Report& parallel,
+            const std::string& label) {
+  int diffs = 0;
+  const auto check = [&](bool ok, const char* field) {
+    if (!ok) {
+      std::fprintf(stderr, "DIVERGED %s: %s\n", label.c_str(), field);
+      ++diffs;
+    }
+  };
+  check(serial.completed == parallel.completed, "completed");
+  check(serial.makespan == parallel.makespan, "makespan");
+  check(serial.avg_latency_ms == parallel.avg_latency_ms, "avg_latency_ms");
+  check(serial.p50_latency_ms == parallel.p50_latency_ms, "p50_latency_ms");
+  check(serial.p95_latency_ms == parallel.p95_latency_ms, "p95_latency_ms");
+  check(serial.p99_latency_ms == parallel.p99_latency_ms, "p99_latency_ms");
+  check(serial.max_latency_ms == parallel.max_latency_ms, "max_latency_ms");
+  check(serial.throughput_bps == parallel.throughput_bps, "throughput_bps");
+  check(serial.throughput_rps == parallel.throughput_rps, "throughput_rps");
+  check(serial.timed_out == parallel.timed_out, "timed_out");
+  check(serial.retries == parallel.retries, "retries");
+  check(serial.lost == parallel.lost, "lost");
+  check(serial.goodput_bps == parallel.goodput_bps, "goodput_bps");
+  return diffs;
+}
+
+int sweep_scenario(const char* name, const serving::ExperimentConfig& base) {
+  serving::ExperimentConfig cfg = base;
+  cfg.engine_threads = 1;
+  const serving::Report serial = serving::run_experiment(cfg);
+  int diffs = 0;
+  for (const int threads : {2, 4}) {
+    cfg.engine_threads = threads;
+    const serving::Report parallel = serving::run_experiment(cfg);
+    diffs += compare(serial, parallel,
+                     std::string(name) + " seed " + std::to_string(base.workload.seed) +
+                         " threads " + std::to_string(threads));
+  }
+  return diffs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 8));
+  const int requests = static_cast<int>(flags.get_int("requests", 20));
+
+  int diffs = 0;
+  int rows = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s) * 37;
+    diffs += sweep_scenario("fig10", fig10_config(seed, requests));
+    diffs += sweep_scenario("fig15/2n", fig15_config(seed, requests, 2));
+    diffs += sweep_scenario("fig15/4n", fig15_config(seed, requests, 4));
+    diffs += sweep_scenario("fig16", fig16_config(seed, requests));
+    rows += 4;
+    std::printf("seed %llu: 4 scenarios x {2,4} threads vs serial — %s\n",
+                static_cast<unsigned long long>(seed), diffs == 0 ? "identical" : "DIVERGED");
+  }
+  std::printf("%d scenario rows, %d divergent fields\n", rows, diffs);
+  return diffs == 0 ? 0 : 1;
+}

@@ -16,12 +16,17 @@
 //                            (OPT-30B, 4xV100-NVLink, batch 2, Liger)
 //   * fig11_generative     — end-to-end multi-conversation generative
 //                            serving (prefill + chained decodes)
+//   * fig15_multinode      — end-to-end 4-node hybrid serving, run at
+//                            engine_threads 1 and hardware concurrency;
+//                            the harness exits non-zero if the
+//                            partitioned makespan diverges from serial
 //
 // Flags:
-//   --out FILE        output path            (default BENCH_engine.json)
-//   --min_time SECS   min measured time/bench (default 0.3)
-//   --requests N      fig10 panel-a requests  (default 120)
-//   --baseline        also print the recorded pre-optimization numbers
+//   --out FILE          output path            (default BENCH_engine.json)
+//   --min_time SECS     min measured time/bench (default 0.3)
+//   --requests N        fig10 panel-a requests  (default 120)
+//   --fig15_requests N  fig15 hybrid requests   (default 60)
+//   --baseline          also print the recorded pre-optimization numbers
 //
 // The JSON includes, alongside the fresh measurements, the recorded
 // reference numbers for the same workloads measured on the designs they
@@ -30,11 +35,13 @@
 // layer for the steady-state benches — so a single file documents the
 // before/after.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/liger_runtime.h"
@@ -207,6 +214,38 @@ GenerativeSteadyResult generative_steady(int conversations, int tokens) {
   return out;
 }
 
+// End-to-end multi-node hybrid serving (fig15-style: OPT-30B, 4 V100
+// nodes, IB-HDR, one pipeline stage per node) at a given engine_threads.
+// The partitioned engine must reproduce the serial run bit-for-bit, so
+// the harness aborts on a makespan mismatch — wall-clock deltas between
+// the two entries are pure engine overhead/speedup, never a different
+// simulation.
+struct Fig15Result {
+  double wall_ms = 0.0;
+  sim::SimTime makespan = 0;
+  std::size_t completed = 0;
+};
+
+Fig15Result fig15_multinode(int requests, int engine_threads) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.model = model::ModelZoo::opt_30b();
+  cfg.method = serving::Method::kHybrid;
+  cfg.num_nodes = 4;
+  cfg.fabric = interconnect::FabricSpec::ib_hdr();
+  cfg.rate = 120.0;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  cfg.engine_threads = engine_threads;
+  const auto start = Clock::now();
+  const auto report = serving::run_experiment(cfg);
+  Fig15Result r;
+  r.wall_ms = seconds_since(start) * 1e3;
+  r.makespan = report.makespan;
+  r.completed = report.completed;
+  return r;
+}
+
 double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
   serving::ExperimentConfig cfg;
   cfg.node = gpu::NodeSpec::v100_nvlink(4);
@@ -270,6 +309,24 @@ int main(int argc, char** argv) {
   const double fig10_ms = fig10_panel_a_wall_ms(requests, makespan);
   const auto generative = generative_steady(/*conversations=*/4, /*tokens=*/48);
 
+  // fig15 hybrid serving, serial vs partitioned engine. hw floor of 2
+  // so the worker path is exercised even on single-core CI runners.
+  const int fig15_requests = static_cast<int>(flags.get_int("fig15_requests", 60));
+  const int hw_threads = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  const auto fig15_serial = fig15_multinode(fig15_requests, 1);
+  const auto fig15_parallel = fig15_multinode(fig15_requests, hw_threads);
+  if (fig15_serial.makespan != fig15_parallel.makespan ||
+      fig15_serial.completed != fig15_parallel.completed) {
+    std::fprintf(stderr,
+                 "fig15 partitioned run diverged from serial: makespan %lld vs %lld, "
+                 "completed %zu vs %zu\n",
+                 static_cast<long long>(fig15_serial.makespan),
+                 static_cast<long long>(fig15_parallel.makespan), fig15_serial.completed,
+                 fig15_parallel.completed);
+    return 1;
+  }
+
   std::printf("%-28s %12s %14s %10s\n", "benchmark", "reps", "items/s", "ns/item");
   for (const auto& m : results) {
     std::printf("%-28s %12d %14.3e %10.1f\n", m.name.c_str(), m.reps, m.items_per_second(),
@@ -281,6 +338,13 @@ int main(int argc, char** argv) {
               "fig11_generative/end_to_end", "1", generative.wall_ms,
               sim::to_ms(generative.makespan), (unsigned long long)generative.tokens,
               (unsigned long long)generative.rounds);
+  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests, 1 thread)\n",
+              "fig15_multinode/end_to_end", "1", fig15_serial.wall_ms,
+              sim::to_ms(fig15_serial.makespan), fig15_requests);
+  std::printf("%-28s %12s %11.1f ms (makespan identical, %d threads, %.2fx serial wall)\n",
+              "fig15_multinode/end_to_end", "1", fig15_parallel.wall_ms, hw_threads,
+              fig15_parallel.wall_ms > 0 ? fig15_serial.wall_ms / fig15_parallel.wall_ms
+                                         : 0.0);
   if (flags.get_bool("baseline", false)) {
     std::printf("\nstd::map engine baseline (recorded):\n");
     for (const auto& b : kStdMapBaseline) {
@@ -325,6 +389,20 @@ int main(int argc, char** argv) {
     json.kv("wall_ms", generative.wall_ms);
     json.kv("sim_makespan_ms", sim::to_ms(generative.makespan));
     json.kv("sim_tokens_per_second", generative.tokens_per_second);
+    json.end_object();
+    json.begin_object();
+    json.kv("name", "fig15_multinode/end_to_end");
+    json.kv("engine_threads", 1);
+    json.kv("requests", fig15_requests);
+    json.kv("wall_ms", fig15_serial.wall_ms);
+    json.kv("sim_makespan_ms", sim::to_ms(fig15_serial.makespan));
+    json.end_object();
+    json.begin_object();
+    json.kv("name", "fig15_multinode/end_to_end");
+    json.kv("engine_threads", hw_threads);
+    json.kv("requests", fig15_requests);
+    json.kv("wall_ms", fig15_parallel.wall_ms);
+    json.kv("sim_makespan_ms", sim::to_ms(fig15_parallel.makespan));
     json.end_object();
     json.end_array();
     json.key("baseline_std_map_engine");

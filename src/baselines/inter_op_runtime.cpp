@@ -71,7 +71,9 @@ model::OpList InterOpRuntime::stage_ops(const model::ExecConfig& cfg, int stage)
 }
 
 void InterOpRuntime::submit(model::BatchRequest request) {
-  queues_.front()->push(StageJob{request, nullptr});
+  // Self-route to the group's engine domain (see LigerRuntime::submit).
+  group_.engine().invoke(
+      [this, request] { queues_.front()->push(StageJob{request, nullptr}); });
 }
 
 sim::Task InterOpRuntime::stage_actor(int stage) {

@@ -75,9 +75,12 @@ std::shared_ptr<IntraOpRuntime::BatchPlan> IntraOpRuntime::make_plan(
 }
 
 void IntraOpRuntime::submit(model::BatchRequest request) {
-  auto plan = make_plan(request);
-  completion_remaining_.emplace(request.id, group_.size());
-  for (auto& q : queues_) q->push(plan);
+  // Self-route to the group's engine domain (see LigerRuntime::submit).
+  group_.engine().invoke([this, request] {
+    auto plan = make_plan(request);
+    completion_remaining_.emplace(request.id, group_.size());
+    for (auto& q : queues_) q->push(plan);
+  });
 }
 
 sim::Task IntraOpRuntime::rank_actor(int rank) {

@@ -119,7 +119,11 @@ void Collective::complete() {
   for (auto& nf : node_flows_) nf.topology->end_flow(nf.flow);
   if (fabric_ != nullptr) fabric_->end_flow(fabric_flow_);
   for (auto& m : members_) {
-    m.dev->finish_kernel_external(m.id);
+    // Each member's completion is delivered on the engine owning its
+    // device — a direct call when the member is local (all intra-node
+    // collectives), a mailbox hop when a hierarchical collective spans
+    // engine domains.
+    m.dev->engine().invoke([dev = m.dev, id = m.id] { dev->finish_kernel_external(id); });
   }
   done_.fire();
 }

@@ -38,12 +38,23 @@ HybridRuntime::HybridRuntime(gpu::Cluster& cluster, model::ModelSpec model,
         model_.with_layers(hi - lo), options_.liger));
     stage_node_.push_back(node);
   }
+  stage_stats_.resize(static_cast<std::size_t>(pp_));
   for (int s = 0; s < pp_; ++s) {
     stages_[static_cast<std::size_t>(s)]->set_completion_hook(
         [this, s](const model::BatchRequest& request, sim::SimTime) {
           forward(s, request);
         });
   }
+}
+
+HybridStats HybridRuntime::stats() const {
+  HybridStats total;
+  for (const auto& s : stage_stats_) {
+    total.fabric_transfers += s.fabric_transfers;
+    total.local_transfers += s.local_transfers;
+    total.fabric_bytes += s.fabric_bytes;
+  }
+  return total;
 }
 
 std::pair<int, int> HybridRuntime::stage_layers(int stage) const {
@@ -64,10 +75,14 @@ void HybridRuntime::submit(model::BatchRequest request) {
   stages_.front()->submit(std::move(request));
 }
 
+// Runs on the engine domain of `stage`'s node (the stage's completion
+// fires there); everything it touches is either stage-local, const
+// shared, or explicitly routed to its owning engine.
 void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
   if (aborted_) return;  // a boundary transfer raced the retirement
+  const int src = stage_node_[static_cast<std::size_t>(stage)];
   if (stage + 1 == pp_) {
-    notify_complete(request, cluster_.engine().now());
+    notify_complete(request, cluster_.node(src).engine().now());
     return;
   }
 
@@ -76,21 +91,31 @@ void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
   cfg.seq = request.seq;
   cfg.phase = request.phase;
   const std::uint64_t bytes = builder_.boundary_bytes(cfg);
-  const int src = stage_node_[static_cast<std::size_t>(stage)];
   const int dst = stage_node_[static_cast<std::size_t>(stage + 1)];
   LigerRuntime* next = stages_[static_cast<std::size_t>(stage + 1)].get();
+  HybridStats& st = stage_stats_[static_cast<std::size_t>(stage)];
 
   if (src != dst) {
-    ++stats_.fabric_transfers;
-    stats_.fabric_bytes += bytes;
-    cluster_.fabric().transfer(bytes, src, dst,
-                               "act.b" + std::to_string(request.id) + ".s" +
-                                   std::to_string(stage),
-                               [next, request] { next->submit(request); });
+    ++st.fabric_transfers;
+    st.fabric_bytes += bytes;
+    // The fabric belongs to the host/fabric engine; invoke() runs the
+    // start there (a plain call in serial runs, a cross-domain event in
+    // partitioned ones). The completion callback self-routes through
+    // next->submit().
+    cluster_.engine().invoke([this, stage, bytes, request] {
+      const int s = stage_node_[static_cast<std::size_t>(stage)];
+      const int d = stage_node_[static_cast<std::size_t>(stage + 1)];
+      LigerRuntime* n = stages_[static_cast<std::size_t>(stage + 1)].get();
+      cluster_.fabric().transfer(bytes, s, d,
+                                 "act.b" + std::to_string(request.id) + ".s" +
+                                     std::to_string(stage),
+                                 [n, request] { n->submit(request); });
+    });
   } else {
-    // Same-node boundary: NVLink/PCIe copy, no fabric involvement.
-    ++stats_.local_transfers;
-    cluster_.engine().schedule_after(
+    // Same-node boundary: NVLink/PCIe copy, no fabric involvement —
+    // stays on the node's own engine.
+    ++st.local_transfers;
+    cluster_.node(src).engine().schedule_after(
         cluster_.node(src).topology().p2p_time(bytes),
         [next, request] { next->submit(request); });
   }

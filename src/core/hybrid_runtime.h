@@ -61,7 +61,10 @@ class HybridRuntime : public InferenceRuntime {
   // Layer range [lo, hi) of a stage.
   std::pair<int, int> stage_layers(int stage) const;
   const LigerRuntime& stage(int s) const { return *stages_.at(static_cast<std::size_t>(s)); }
-  const HybridStats& stats() const { return stats_; }
+  // Aggregated across stages. Counters are kept per stage because each
+  // stage's boundary logic runs on its own node's engine domain; the
+  // aggregate is only read after (or between) runs.
+  HybridStats stats() const;
 
  private:
   void forward(int stage, const model::BatchRequest& request);
@@ -76,7 +79,7 @@ class HybridRuntime : public InferenceRuntime {
 
   std::vector<std::unique_ptr<LigerRuntime>> stages_;
   std::vector<int> stage_node_;  // cluster node hosting each stage
-  HybridStats stats_;
+  std::vector<HybridStats> stage_stats_;  // indexed by sending stage
   bool aborted_ = false;
 };
 

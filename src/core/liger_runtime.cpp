@@ -45,6 +45,14 @@ LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions
                    shared_cache) {}
 
 void LigerRuntime::submit(model::BatchRequest request) {
+  // Self-route to this runtime's engine domain: a plain call when the
+  // caller is already there (always true unpartitioned), a cross-domain
+  // event otherwise (e.g. the serving frontend on the host domain
+  // submitting into a node domain).
+  group_.engine().invoke([this, request] { submit_local(request); });
+}
+
+void LigerRuntime::submit_local(model::BatchRequest request) {
   if (aborted_) return;  // retired generation; the failover layer re-routes
   model::ExecConfig cfg;
   cfg.batch = request.batch_size;

@@ -90,6 +90,7 @@ class LigerRuntime : public InferenceRuntime {
   LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions options = {},
                PlanCache* shared_cache = nullptr);
 
+  // Safe from any engine domain (self-routes to the group's engine).
   void submit(model::BatchRequest request) override;
   std::string name() const override { return "liger"; }
 
@@ -106,6 +107,9 @@ class LigerRuntime : public InferenceRuntime {
   const gpu::DeviceGroup& group() const { return group_; }
 
  private:
+  // submit()'s body; runs on the group's engine domain.
+  void submit_local(model::BatchRequest request);
+
   // One plan entry per round, shared by all ranks. Comm ops are
   // materialized once (one collective per comm item); compute ops run
   // the same kernel on every rank, so they carry a single shared

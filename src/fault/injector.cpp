@@ -33,6 +33,19 @@ gpu::HostContext& FaultTargets::host(int node, int local) const {
   return nodes.at(static_cast<std::size_t>(node))->host(local);
 }
 
+sim::Engine& FaultTargets::owning_engine(const FaultEvent& ev) const {
+  switch (ev.kind) {
+    case FaultKind::kDeviceFailStop:
+    case FaultKind::kStraggler:
+    case FaultKind::kHostStall:
+      return nodes.at(static_cast<std::size_t>(ev.node))->engine();
+    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkFlap:
+      return *engine;
+  }
+  return *engine;
+}
+
 namespace {
 
 gpu::FaultTraceRecord make_record(const FaultEvent& ev, gpu::FaultPhase phase) {
@@ -71,15 +84,18 @@ void FaultInjector::schedule() {
   assert(!scheduled_ && "FaultInjector::schedule is single-shot");
   scheduled_ = true;
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
-    targets_.engine->schedule_at(plan_.events[i].time,
-                                 [this, i] { inject(plan_.events[i]); });
+    // Each injection executes on the engine owning the state it mutates
+    // (identical to before on an unpartitioned engine).
+    targets_.owning_engine(plan_.events[i])
+        .schedule_at(plan_.events[i].time, [this, i] { inject(plan_.events[i]); });
   }
 }
 
 void FaultInjector::inject(const FaultEvent& ev) {
   ++injected_;
   targets_.emit(make_record(ev, gpu::FaultPhase::kInjected));
-  sim::Engine& engine = *targets_.engine;
+  // Follow-up events (recovery, flap toggles) stay on the same domain.
+  sim::Engine& engine = targets_.owning_engine(ev);
 
   switch (ev.kind) {
     case FaultKind::kDeviceFailStop:

@@ -37,6 +37,12 @@ struct FaultTargets {
   gpu::Device& device(int node, int local) const;
   gpu::HostContext& host(int node, int local) const;
 
+  // Engine that owns the state a fault mutates: the target node's
+  // engine for device/host faults, the fabric's (`engine`) for link
+  // faults. One and the same object on a serial engine; in a
+  // partitioned cluster this routes each injection to its domain.
+  sim::Engine& owning_engine(const FaultEvent& ev) const;
+
   void emit(const gpu::FaultTraceRecord& rec) const {
     if (trace != nullptr) trace->on_fault(rec);
   }

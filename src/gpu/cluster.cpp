@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/parallel_engine.h"
+
 namespace liger::gpu {
 
 ClusterSpec ClusterSpec::single_node(NodeSpec node) {
@@ -53,6 +55,19 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
   }
 }
 
+Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec)
+    : engine_(pe.domain(0)),
+      spec_(std::move(spec)),
+      fabric_(pe.domain(0), spec_.fabric, spec_.num_nodes) {
+  assert(spec_.num_nodes >= 1);
+  assert(pe.num_domains() == spec_.num_nodes + 1 &&
+         "partitioned cluster needs one domain per node plus the fabric/host domain");
+  nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(pe.domain(1 + i), spec_.node));
+  }
+}
+
 void Cluster::set_trace_sink(TraceSink* sink) {
   tag_sinks_.clear();
   if (sink == nullptr) {
@@ -67,6 +82,23 @@ void Cluster::set_trace_sink(TraceSink* sink) {
   }
   // Fabric transfers stamp their own source node.
   fabric_.set_trace_sink(sink);
+}
+
+void Cluster::set_domain_trace_sinks(TraceSink* fabric_sink,
+                                     const std::vector<TraceSink*>& node_sinks) {
+  assert(node_sinks.size() == nodes_.size());
+  tag_sinks_.clear();
+  tag_sinks_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (node_sinks[i] == nullptr) {
+      nodes_[i]->set_trace_sink(nullptr);
+      continue;
+    }
+    tag_sinks_.push_back(
+        std::make_unique<NodeTagSink>(*node_sinks[i], static_cast<int>(i)));
+    nodes_[i]->set_trace_sink(tag_sinks_.back().get());
+  }
+  fabric_.set_trace_sink(fabric_sink);
 }
 
 }  // namespace liger::gpu

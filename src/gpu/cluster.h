@@ -15,6 +15,10 @@
 #include "gpu/node.h"
 #include "interconnect/fabric.h"
 
+namespace liger::sim {
+class ParallelEngine;
+}
+
 namespace liger::gpu {
 
 struct ClusterSpec {
@@ -37,6 +41,12 @@ class Cluster {
  public:
   Cluster(sim::Engine& engine, ClusterSpec spec);
 
+  // Partitioned construction: the fabric and host-side logic live on
+  // domain 0 of `pe`, node k on domain 1 + k. Requires
+  // pe.num_domains() == spec.num_nodes + 1. Same simulated physics as
+  // the serial constructor; only event execution is partitioned.
+  Cluster(sim::ParallelEngine& pe, ClusterSpec spec);
+
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -54,6 +64,13 @@ class Cluster {
   // Records are tagged with their node index so one timeline stays
   // readable across nodes (devices only know local ids).
   void set_trace_sink(TraceSink* sink);
+
+  // Partitioned tracing: a distinct sink per execution domain (fabric
+  // plus one per node), so concurrent windows never share a sink.
+  // node_sinks.size() must equal num_nodes(); records still get their
+  // node tags.
+  void set_domain_trace_sinks(TraceSink* fabric_sink,
+                              const std::vector<TraceSink*>& node_sinks);
 
  private:
   // Stamps the node index onto records before forwarding.

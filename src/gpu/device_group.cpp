@@ -46,7 +46,10 @@ DeviceGroup DeviceGroup::node_slice(Cluster& cluster, int node, int first_device
   Node& n = cluster.node(node);
 
   DeviceGroup group;
-  group.engine_ = &cluster.engine();
+  // Node-local slice: its work belongs to the node's engine, which in a
+  // partitioned cluster is the node's own domain (identical object in a
+  // serial cluster).
+  group.engine_ = &n.engine();
   group.gpu_ = &n.spec().gpu;
   group.fabric_ = &cluster.fabric();
   NodeSlice slice;
@@ -102,7 +105,7 @@ DeviceGroup DeviceGroup::node_subset(Cluster& cluster, int node,
   assert(!device_ids.empty());
   Node& n = cluster.node(node);
   DeviceGroup group;
-  group.engine_ = &cluster.engine();
+  group.engine_ = &n.engine();  // node-local, see node_slice
   group.gpu_ = &n.spec().gpu;
   group.fabric_ = &cluster.fabric();
   NodeSlice slice;

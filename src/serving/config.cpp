@@ -104,6 +104,11 @@ ExperimentConfig config_from_json(const util::JsonValue& doc) {
   cfg.method = parse_method(doc.string_or("method", "liger"));
   cfg.rate = doc.number_or("rate", cfg.rate);
   cfg.poisson = doc.bool_or("poisson", cfg.poisson);
+  cfg.engine_threads =
+      static_cast<int>(doc.int_or("engine_threads", cfg.engine_threads));
+  if (cfg.engine_threads < 1) {
+    throw std::invalid_argument("engine_threads must be >= 1");
+  }
 
   if (const auto* w = doc.find("workload")) {
     cfg.workload.num_requests =

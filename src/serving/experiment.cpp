@@ -11,6 +11,9 @@
 #include "baselines/intra_op_runtime.h"
 #include "profile/contention.h"
 #include "sim/engine.h"
+#include "sim/parallel_engine.h"
+#include "trace/domain_mux.h"
+#include "util/thread_pool.h"
 
 namespace liger::serving {
 
@@ -121,12 +124,39 @@ Report run_experiment(const ExperimentConfig& config) {
 }
 
 ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
-  sim::Engine engine;
-
   // Single-node experiments keep the plain-Node path (bit-identical to
   // the pre-cluster harness); multi-node and hybrid experiments build a
   // cluster and hand the runtime a cluster-wide device group.
   const bool clustered = config.num_nodes > 1 || config.method == Method::kHybrid;
+
+  // Partitioned (parallel-engine) execution. Eligible partitions: a
+  // hybrid cluster (one domain per node + fabric/host) and a standalone
+  // node (host + node). Cluster-wide TP groups braid all nodes' devices
+  // into one runtime and stay serial, as do fault runs (the heartbeat
+  // monitor reads device state across domains) and experiments already
+  // running on a sweep worker (thread budget, serving/sweep.cpp).
+  const bool partitionable = clustered ? config.method == Method::kHybrid : true;
+  const bool partitioned = config.engine_threads > 1 && partitionable &&
+                           !config.faults.enabled && !util::ThreadPool::on_pool_thread();
+  std::unique_ptr<sim::ParallelEngine> pe;
+  std::unique_ptr<sim::Engine> serial_engine;
+  if (partitioned) {
+    pe = std::make_unique<sim::ParallelEngine>(clustered ? config.num_nodes + 1 : 2);
+    if (clustered) {
+      // Nothing crosses nodes faster than the fabric's base latency
+      // (all inter-node influence transits the fabric/host domain);
+      // host <-> node pairs keep the always-safe zero lookahead.
+      for (int i = 0; i < config.num_nodes; ++i) {
+        for (int j = 0; j < config.num_nodes; ++j) {
+          if (i != j) pe->lookahead().set(1 + i, 1 + j, config.fabric.base_latency);
+        }
+      }
+    }
+  } else {
+    serial_engine = std::make_unique<sim::Engine>();
+  }
+  sim::Engine& engine = pe ? pe->domain(0) : *serial_engine;
+
   std::unique_ptr<gpu::Node> node;
   std::unique_ptr<gpu::Cluster> cluster;
   if (clustered) {
@@ -135,9 +165,10 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     cspec.node = config.node;
     cspec.fabric = config.fabric;
     cspec.num_nodes = config.num_nodes;
-    cluster = std::make_unique<gpu::Cluster>(engine, cspec);
+    cluster = pe ? std::make_unique<gpu::Cluster>(*pe, cspec)
+                 : std::make_unique<gpu::Cluster>(engine, cspec);
   } else {
-    node = std::make_unique<gpu::Node>(engine, config.node);
+    node = std::make_unique<gpu::Node>(pe ? pe->domain(1) : engine, config.node);
   }
   auto make_group = [&] {
     return clustered ? gpu::DeviceGroup::whole_cluster(*cluster)
@@ -248,8 +279,23 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     throw std::invalid_argument("unknown method");
   };
 
+  // Partitioned runs buffer traces per domain and merge them after the
+  // run in a deterministic total order (trace/domain_mux.h) — domains
+  // must not share a sink mid-run.
+  std::unique_ptr<trace::DomainTraceMux> trace_mux;
   if (config.trace_sink != nullptr) {
-    if (clustered) {
+    if (pe) {
+      trace_mux = std::make_unique<trace::DomainTraceMux>(pe->num_domains());
+      if (clustered) {
+        std::vector<gpu::TraceSink*> node_sinks;
+        for (int i = 0; i < cluster->num_nodes(); ++i) {
+          node_sinks.push_back(trace_mux->domain(1 + i));
+        }
+        cluster->set_domain_trace_sinks(trace_mux->domain(0), node_sinks);
+      } else {
+        node->set_trace_sink(trace_mux->domain(1));
+      }
+    } else if (clustered) {
       cluster->set_trace_sink(config.trace_sink);
     } else {
       node->set_trace_sink(config.trace_sink);
@@ -278,6 +324,11 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   core::InferenceRuntime& serving_runtime = faults ? *failover : *runtime;
 
   Server server(engine, serving_runtime, config.workload);
+  if (pe) {
+    server.set_driver([pe_ptr = pe.get(), threads = config.engine_threads] {
+      return pe_ptr->run(static_cast<unsigned>(threads));
+    });
+  }
   std::unique_ptr<ArrivalProcess> arrivals;
   if (config.poisson) {
     arrivals = std::make_unique<PoissonArrivals>(config.rate);
@@ -286,13 +337,16 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   }
   ExperimentOutputs out;
   out.report = server.run(*arrivals);
+  if (trace_mux) trace_mux->flush(*config.trace_sink);
   core::InferenceRuntime* backend = faults ? &failover->backend() : runtime.get();
   if (auto* liger = dynamic_cast<core::LigerRuntime*>(backend)) {
     out.liger = liger->stats();
   }
   if (faults) out.failover = failover->failover_stats();
   out.completion_times = server.metrics().completion_times();
-  const double span = static_cast<double>(engine.now());
+  // Global virtual time: in a partitioned run the furthest domain (the
+  // serial engine's now() for the same workload).
+  const double span = static_cast<double>(pe ? pe->now() : engine.now());
   auto push_device_fracs = [&](gpu::Node& n) {
     for (int d = 0; d < n.num_devices(); ++d) {
       const auto& dev = n.device(d);

@@ -63,6 +63,17 @@ struct ExperimentConfig {
   // Optional: receives kernel and fault records from every device (and
   // the fabric, when clustered). Non-owning.
   gpu::TraceSink* trace_sink = nullptr;
+
+  // Parallel engine execution. 1 (the default) keeps the serial
+  // single-engine path, byte-identical to earlier builds. With > 1 the
+  // simulation is partitioned into engine domains (one per cluster node
+  // plus the fabric/host domain; a standalone node gets host + node)
+  // run under conservative time windows — results are bit-identical to
+  // engine_threads=1 at any thread count. Ignored (serial fallback,
+  // identical results) when faults are enabled, for cluster-wide TP
+  // groups, and inside sweep worker threads (see serving/sweep.cpp for
+  // the thread budget).
+  int engine_threads = 1;
 };
 
 // Runs one serving experiment to completion (deterministic).

@@ -73,12 +73,20 @@ void GenerativeDriver::on_complete(const model::BatchRequest& request, sim::SimT
 }
 
 GenerativeResult GenerativeDriver::run() {
+  // Route completions to the driver's engine domain (a plain call in an
+  // unpartitioned run — see Server::install_hooks).
   runtime_.set_completion_hook(
-      [this](const model::BatchRequest& req, sim::SimTime t) { on_complete(req, t); });
+      [this](const model::BatchRequest& req, sim::SimTime t) {
+        engine_.invoke([this, req, t] { on_complete(req, t); });
+      });
   for (auto& conv : conversations_) {
     submit_next(conv, model::Phase::kPrefill);
   }
-  engine_.run();
+  if (drive_) {
+    drive_();
+  } else {
+    engine_.run();
+  }
 
   GenerativeResult result;
   result.makespan = engine_.now();

@@ -48,6 +48,10 @@ class GenerativeDriver {
   // Runs all conversations to completion (drives the engine).
   GenerativeResult run();
 
+  // Replaces the default `engine_.run()` drain inside run() — see
+  // Server::set_driver.
+  void set_driver(std::function<std::uint64_t()> drive) { drive_ = std::move(drive); }
+
  private:
   struct Conversation {
     int context = 0;
@@ -68,6 +72,7 @@ class GenerativeDriver {
   model::ModelSpec model_;
   int tp_;
   GenerativeConfig config_;
+  std::function<std::uint64_t()> drive_;  // see set_driver()
   std::vector<Conversation> conversations_;
   util::SampleSet prefill_ms_;
   util::SampleSet decode_ms_;

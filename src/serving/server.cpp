@@ -71,10 +71,17 @@ void Server::on_runtime_drop(const model::BatchRequest& request) {
 }
 
 void Server::install_hooks() {
+  // The server's bookkeeping lives on its own engine; runtimes may fire
+  // these hooks from another engine domain (a node's sub-engine in a
+  // partitioned run), so route through invoke() — a plain call when the
+  // domains coincide, which they always do unpartitioned.
   runtime_.set_completion_hook(
-      [this](const model::BatchRequest& req, sim::SimTime t) { on_runtime_complete(req, t); });
-  runtime_.set_drop_hook(
-      [this](const model::BatchRequest& req) { on_runtime_drop(req); });
+      [this](const model::BatchRequest& req, sim::SimTime t) {
+        engine_.invoke([this, req, t] { on_runtime_complete(req, t); });
+      });
+  runtime_.set_drop_hook([this](const model::BatchRequest& req) {
+    engine_.invoke([this, req] { on_runtime_drop(req); });
+  });
 }
 
 sim::Task Server::generator(ArrivalProcess& arrivals) {
@@ -97,7 +104,11 @@ Report Server::run(ArrivalProcess& arrivals) {
   used_ = true;
   install_hooks();
   generator(arrivals);
-  engine_.run();
+  if (drive_) {
+    drive_();
+  } else {
+    engine_.run();
+  }
   // Healthy runs complete everything; runs with faults may lose
   // requests (dropped past the retry budget, or hung on a generation
   // that was retired without a viable recovery).
@@ -128,7 +139,11 @@ Report Server::run_trace(std::vector<model::BatchRequest> trace) {
   const double rate =
       span > 0 ? static_cast<double>(n - 1) / sim::to_seconds(span) : 0.0;
   trace_generator(std::move(trace));
-  engine_.run();
+  if (drive_) {
+    drive_();
+  } else {
+    engine_.run();
+  }
   assert((metrics_.completions() == n || any_drop_) &&
          "all replayed requests must complete in a fault-free run");
   (void)n;

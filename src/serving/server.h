@@ -61,6 +61,12 @@ class Server {
   // Requests abandoned after exhausting their retry budget.
   std::size_t abandoned() const { return abandoned_; }
 
+  // Replaces the default `engine_.run()` drain inside run()/run_trace()
+  // — a partitioned experiment installs the ParallelEngine's windowed
+  // run here. The driver must execute the server's engine (it is one of
+  // the partition's domains) to exhaustion.
+  void set_driver(std::function<std::uint64_t()> drive) { drive_ = std::move(drive); }
+
  private:
   struct Pending {
     model::BatchRequest request;   // original arrival preserved across retries
@@ -83,6 +89,7 @@ class Server {
   util::Rng rng_;
   util::Rng retry_rng_;  // forked: retry jitter must not perturb workload synthesis
   std::unordered_map<int, Pending> pending_;
+  std::function<std::uint64_t()> drive_;  // see set_driver()
   std::size_t abandoned_ = 0;
   bool any_drop_ = false;
   bool used_ = false;

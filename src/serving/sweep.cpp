@@ -13,6 +13,18 @@ std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
 
 std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
                                  unsigned threads) {
+  // The default routes through the process-wide pool instead of
+  // spawning (and joining) a fresh pool of hardware_concurrency threads
+  // per call — repeated sweeps reuse the same workers. An explicit
+  // non-default thread count still gets a dedicated pool (callers ask
+  // for that to bound a sweep's parallelism below the machine width).
+  //
+  // Thread budget: the global pool owns the machine. Experiments that
+  // run *inside* it (sweep workers) therefore execute their engines
+  // serially — run_experiment checks ThreadPool::on_pool_thread() and
+  // ignores engine_threads > 1 there — so sweep fan-out and partitioned
+  // single runs never multiply into hw^2 threads.
+  if (threads == 0) return run_parallel(configs, util::ThreadPool::global());
   util::ThreadPool pool(threads);
   return run_parallel(configs, pool);
 }

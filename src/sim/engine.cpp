@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/parallel_engine.h"
+
 namespace liger::sim {
 
 namespace {
@@ -179,7 +181,11 @@ void Engine::compact() {
 }
 
 Engine::EventId Engine::schedule_at(SimTime t, Callback cb) {
-  if (t < now_) invariant_failed("cannot schedule into the past");
+  if (t < now_) {
+    std::fprintf(stderr, "sim::Engine: schedule_at(%lld) with now=%lld (domain %d)\n",
+                 static_cast<long long>(t), static_cast<long long>(now_), domain_id_);
+    invariant_failed("cannot schedule into the past");
+  }
   if (!cb) invariant_failed("null callback");
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
@@ -259,6 +265,61 @@ std::uint64_t Engine::run_until(SimTime t) {
   }
   now_ = t;
   return n;
+}
+
+SimTime Engine::next_event_time() {
+  settle_fronts();
+  const bool have_run = run_cursor_ < run_.size();
+  if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+    return run_[run_cursor_].time;
+  }
+  if (!heap_.empty()) return heap_.front().time;
+  return kNoEvent;
+}
+
+std::uint64_t Engine::run_before(SimTime bound) {
+  std::uint64_t n = 0;
+  for (;;) {
+    const SimTime next = next_event_time();
+    if (next == kNoEvent || next >= bound) break;
+    step();
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Engine::run_at_time(SimTime t) {
+  std::uint64_t n = 0;
+  for (;;) {
+    const SimTime next = next_event_time();
+    if (next != t) {
+      // An equal-time round may only see events at t or later; earlier
+      // would mean the partition's bounds were unsafe.
+      if (next != kNoEvent && next < t) {
+        invariant_failed("equal-time round found an event in the past");
+      }
+      break;
+    }
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void Engine::invoke(Callback cb) {
+  if (router_ == nullptr || ParallelEngine::current_domain() == domain_id_) {
+    cb();
+    return;
+  }
+  router_->post_from_current(domain_id_, std::move(cb));
+}
+
+Engine::EventId Engine::schedule_cross(SimTime t, Callback cb) {
+  if (router_ == nullptr || ParallelEngine::current_domain() == domain_id_) {
+    return schedule_at(t, std::move(cb));
+  }
+  router_->post(domain_id_, t, std::move(cb));
+  return EventId{};
 }
 
 }  // namespace liger::sim

@@ -47,6 +47,8 @@
 
 namespace liger::sim {
 
+class ParallelEngine;  // sim/parallel_engine.h
+
 class Engine {
  public:
   // Inline capacity covers the `[this, id]`-style lambdas the engine
@@ -92,6 +94,44 @@ class Engine {
 
   // Runs all events with time <= t, then advances the clock to t.
   std::uint64_t run_until(SimTime t);
+
+  // ---- Partitioned execution (sim/parallel_engine.h) ----------------
+  // A serial, unpartitioned Engine ignores everything below except
+  // invoke()/schedule_cross(), which degenerate to a plain call /
+  // schedule_at. A partitioned run sets router_/domain_id_ at
+  // construction; the ParallelEngine then drives windows through
+  // next_event_time()/run_before()/run_at_time().
+
+  // Sentinel returned by next_event_time() when the queue is empty.
+  static constexpr SimTime kNoEvent = -1;
+
+  // Timestamp of the earliest pending event, or kNoEvent. Settles the
+  // queue fronts; never advances the clock.
+  SimTime next_event_time();
+
+  // Runs every event with time strictly below `bound`; the clock is
+  // left at the last executed event (not forced to `bound`). Returns
+  // the number of events executed.
+  std::uint64_t run_before(SimTime bound);
+
+  // Runs every event whose time equals `t` exactly — one equal-time
+  // round of the partitioned fixed point. Events the round schedules
+  // *at t* also execute (FIFO keeps this finite and deterministic).
+  std::uint64_t run_at_time(SimTime t);
+
+  // Calls `cb` with this engine's semantics: immediately when the
+  // caller already executes on this engine's domain (or no partition is
+  // active) — byte-for-byte the plain synchronous call — otherwise as a
+  // cross-domain event at the sending domain's current time.
+  void invoke(Callback cb);
+
+  // schedule_at that is safe from any domain. Returns a cancellable
+  // EventId on the local path; an invalid EventId when the event was
+  // routed cross-domain (cross-domain cancellation is not supported).
+  EventId schedule_cross(SimTime t, Callback cb);
+
+  // Partition tag (domain index, or -1 when unpartitioned).
+  int domain_id() const { return domain_id_; }
 
   bool empty() const { return live_ == 0; }
   std::size_t pending() const { return live_; }
@@ -174,6 +214,11 @@ class Engine {
   std::vector<Slot> slots_;
   std::vector<HeapEntry> run_;   // sorted ascending, drained by cursor
   std::vector<HeapEntry> heap_;  // 4-ary min-heap of recent schedules
+
+  // Set (only) by a ParallelEngine that owns this engine as a domain.
+  friend class ParallelEngine;
+  ParallelEngine* router_ = nullptr;
+  int domain_id_ = -1;
 
   struct PoolAccess;  // thread-local buffer recycling (engine.cpp)
 };

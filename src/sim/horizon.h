@@ -1,0 +1,144 @@
+// Conservative-synchronization primitives for the partitioned engine:
+// per-domain event horizons and the pairwise lookahead matrix.
+//
+// Terminology (classic conservative PDES, Chandy–Misra–Bryant family):
+//  * A domain's *horizon* is the timestamp of its earliest pending
+//    event — a promise that it will not send a cross-domain event with
+//    an earlier cause.
+//  * lookahead(src, dst) is the minimum simulated delay any event
+//    executing in `src` needs before it can affect `dst`. For a GPU
+//    cluster this is derived from the physics: nothing crosses nodes
+//    faster than the network fabric's base latency.
+//  * A raw horizon is NOT a safe promise by itself: an idle domain
+//    (empty queue, horizon = kInfinity) can be re-activated by a peer's
+//    future event and then emit with that event's timestamp. The
+//    *effective* horizon closes the promise over every influence chain:
+//      heff(d) = min(horizon(d),
+//                    min over src != d of heff(src) + lookahead(src, d))
+//    — the min-plus (Chandy–Misra null-message) fixed point.
+//  * Domain d may therefore safely execute every event strictly below
+//    safe_bound(d) = min over other domains src of
+//    heff(src) + lookahead(src, d):
+//    any cross-domain event it has not yet received must carry a
+//    timestamp at or above that bound.
+//
+// Horizons are published with release stores and read with acquire
+// loads, so a coordinator (or, later, free-running peers) can compute
+// bounds without locks; the partitioned engine's window barrier gives
+// the stronger ordering it needs on top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace liger::sim {
+
+// Minimum cross-domain delays, in nanoseconds. Defaults to zero — the
+// always-safe claim — which degenerates the window bound to the
+// producers' horizons; positive entries widen windows.
+class LookaheadMatrix {
+ public:
+  explicit LookaheadMatrix(int domains)
+      : n_(domains), la_(static_cast<std::size_t>(domains) * static_cast<std::size_t>(domains), 0) {}
+
+  int domains() const { return n_; }
+
+  void set(int src, int dst, SimTime lookahead) { la_[index(src, dst)] = lookahead; }
+  SimTime get(int src, int dst) const { return la_[index(src, dst)]; }
+
+  // Sets every cross pair (src != dst) to `lookahead`.
+  void set_cross(SimTime lookahead) {
+    for (int s = 0; s < n_; ++s) {
+      for (int d = 0; d < n_; ++d) {
+        if (s != d) set(s, d, lookahead);
+      }
+    }
+  }
+
+ private:
+  std::size_t index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<SimTime> la_;
+};
+
+class EventHorizon {
+ public:
+  // "No pending events": an empty domain constrains nobody.
+  static constexpr SimTime kInfinity = std::numeric_limits<SimTime>::max();
+
+  explicit EventHorizon(int domains) : cells_(static_cast<std::size_t>(domains)) {}
+
+  int domains() const { return static_cast<int>(cells_.size()); }
+
+  void publish(int domain, SimTime next_event) {
+    cells_[static_cast<std::size_t>(domain)].t.store(next_event, std::memory_order_release);
+  }
+
+  SimTime horizon(int domain) const {
+    return cells_[static_cast<std::size_t>(domain)].t.load(std::memory_order_acquire);
+  }
+
+  // The min-plus fixed point over the lookahead graph (see file
+  // comment): `heff[d]` is the earliest timestamp any influence chain —
+  // direct or through re-activated idle domains — could still deliver
+  // into `d`. Relaxation converges in < domains() passes because
+  // lookaheads are non-negative.
+  void effective_horizons(const LookaheadMatrix& lookahead,
+                          std::vector<SimTime>& heff) const {
+    const int n = domains();
+    heff.resize(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) heff[static_cast<std::size_t>(d)] = horizon(d);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int dst = 0; dst < n; ++dst) {
+        for (int src = 0; src < n; ++src) {
+          if (src == dst) continue;
+          const SimTime reach =
+              saturating_add(heff[static_cast<std::size_t>(src)], lookahead.get(src, dst));
+          if (reach < heff[static_cast<std::size_t>(dst)]) {
+            heff[static_cast<std::size_t>(dst)] = reach;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Exclusive execution bound for `domain` given the effective
+  // horizons. With a single domain, or all peers effectively idle, the
+  // bound is kInfinity.
+  static SimTime safe_bound(int domain, const LookaheadMatrix& lookahead,
+                            const std::vector<SimTime>& heff) {
+    SimTime bound = kInfinity;
+    for (int src = 0; src < static_cast<int>(heff.size()); ++src) {
+      if (src == domain) continue;
+      const SimTime reach =
+          saturating_add(heff[static_cast<std::size_t>(src)], lookahead.get(src, domain));
+      if (reach < bound) bound = reach;
+    }
+    return bound;
+  }
+
+  // Horizons near kInfinity must not wrap.
+  static SimTime saturating_add(SimTime h, SimTime la) {
+    return (h > kInfinity - la) ? kInfinity : h + la;
+  }
+
+ private:
+  // One cache line per domain: horizons are published every window.
+  struct alignas(64) Cell {
+    std::atomic<SimTime> t{kInfinity};
+  };
+  std::vector<Cell> cells_;
+};
+
+}  // namespace liger::sim

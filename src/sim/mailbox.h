@@ -1,0 +1,120 @@
+// Fixed-capacity SPSC mailbox of timestamped callbacks — the
+// cross-domain event channel of the partitioned engine.
+//
+// One mailbox carries events from exactly one producer domain to one
+// consumer domain. The ring slots are allocated once and recycled
+// forever (the callback's small-buffer storage lives inside the slot),
+// so steady-state cross-domain traffic allocates nothing — the same
+// discipline as the engine's event slab.
+//
+// Concurrency contract:
+//  * push() may be called by the single producer thread at any time;
+//    pop() by the single consumer thread at any time. The ring is
+//    lock-free (acquire/release cursors), so a consumer may drain while
+//    the producer is still appending.
+//  * When a window of pushes overflows the ring, entries spill to an
+//    unbounded side vector. The spill is producer-private until a
+//    synchronization barrier (the partitioned engine's window join)
+//    hands it to the consumer, so spilling preserves FIFO order but is
+//    only drained between windows. Sizing the ring for the workload
+//    keeps the fully lock-free path.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace liger::sim {
+
+class SpscMailbox {
+ public:
+  struct Entry {
+    SimTime time = 0;
+    Engine::Callback cb;
+  };
+
+  // Capacity is rounded up to a power of two; slots are preallocated.
+  explicit SpscMailbox(std::size_t capacity = 1024)
+      : ring_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(ring_.size() - 1) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  // --- Producer side -------------------------------------------------------
+  void push(SimTime t, Engine::Callback cb) {
+    if (!spilling_) {
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (tail - head_.load(std::memory_order_acquire) < ring_.size()) {
+        Entry& e = ring_[static_cast<std::size_t>(tail) & mask_];
+        e.time = t;
+        e.cb = std::move(cb);
+        tail_.store(tail + 1, std::memory_order_release);
+        return;
+      }
+      // Ring full: spill, and keep spilling until the consumer drains
+      // everything at a barrier — mixing ring and spill entries would
+      // break FIFO order.
+      spilling_ = true;
+    }
+    ++spilled_total_;
+    spill_.push_back(Entry{t, std::move(cb)});
+  }
+
+  // --- Consumer side -------------------------------------------------------
+  // Pops the oldest entry. Spilled entries surface only after the ring
+  // is empty; draining them requires the producer to be quiescent (the
+  // engine drains at window barriers, which provide that).
+  bool pop(Entry& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head != tail_.load(std::memory_order_acquire)) {
+      Entry& e = ring_[static_cast<std::size_t>(head) & mask_];
+      out.time = e.time;
+      out.cb = std::move(e.cb);
+      head_.store(head + 1, std::memory_order_release);
+      return true;
+    }
+    if (spill_cursor_ < spill_.size()) {
+      out = std::move(spill_[spill_cursor_++]);
+      if (spill_cursor_ == spill_.size()) {
+        // Fully drained: recycle the spill buffer and re-arm the ring.
+        spill_.clear();
+        spill_cursor_ = 0;
+        spilling_ = false;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Approximate (consumer-side) number of pending entries.
+  std::size_t depth() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire)) +
+           (spill_.size() - spill_cursor_);
+  }
+  bool empty() const { return depth() == 0; }
+
+  // Total entries that ever overflowed the ring (capacity tuning aid).
+  std::uint64_t spilled() const { return spilled_total_; }
+
+ private:
+  std::vector<Entry> ring_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  // Overflow path; see class comment for the barrier contract.
+  bool spilling_ = false;
+  std::vector<Entry> spill_;
+  std::size_t spill_cursor_ = 0;
+  std::uint64_t spilled_total_ = 0;
+};
+
+}  // namespace liger::sim

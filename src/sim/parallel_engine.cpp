@@ -1,0 +1,227 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+
+#include "util/thread_pool.h"
+
+namespace liger::sim {
+
+namespace {
+
+[[noreturn]] void invariant_failed(const char* what) {
+  std::fprintf(stderr, "sim::ParallelEngine invariant violated: %s\n", what);
+  std::abort();
+}
+
+// Domain whose window this thread is executing; -1 between windows and
+// on threads that never ran one.
+thread_local int tls_domain = -1;
+
+}  // namespace
+
+int ParallelEngine::current_domain() { return tls_domain; }
+
+ParallelEngine::ParallelEngine(int num_domains, Options options)
+    : lookahead_(num_domains),
+      horizon_(num_domains),
+      executed_(static_cast<std::size_t>(num_domains)),
+      routed_posts_(static_cast<std::size_t>(num_domains)),
+      bounds_(static_cast<std::size_t>(num_domains), 0) {
+  if (num_domains < 1) invariant_failed("at least one domain required");
+  engines_.reserve(static_cast<std::size_t>(num_domains));
+  for (int d = 0; d < num_domains; ++d) {
+    auto e = std::make_unique<Engine>();
+    e->router_ = this;
+    e->domain_id_ = d;
+    engines_.push_back(std::move(e));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(num_domains) *
+                    static_cast<std::size_t>(num_domains));
+  for (int s = 0; s < num_domains; ++s) {
+    for (int d = 0; d < num_domains; ++d) {
+      if (s == d) continue;
+      mailboxes_[static_cast<std::size_t>(s) * static_cast<std::size_t>(num_domains) +
+                 static_cast<std::size_t>(d)] =
+          std::make_unique<SpscMailbox>(options.mailbox_capacity);
+    }
+  }
+  active_.reserve(static_cast<std::size_t>(num_domains));
+}
+
+ParallelEngine::~ParallelEngine() {
+  // Detach the routers so late Engine teardown (pending callbacks
+  // destroyed by ~Engine) cannot touch a dead ParallelEngine.
+  for (auto& e : engines_) {
+    e->router_ = nullptr;
+  }
+}
+
+void ParallelEngine::post(int dst, SimTime t, Engine::Callback cb) {
+  if (dst < 0 || dst >= num_domains()) invariant_failed("post to unknown domain");
+  if (!cb) invariant_failed("null cross-domain callback");
+  const int src = tls_domain;
+  if (src < 0) {
+    // Outside any window the caller is the only thread (setup, teardown,
+    // or between-windows coordinator code): schedule directly.
+    ++stats_.posts_direct;
+    engines_[static_cast<std::size_t>(dst)]->schedule_at(t, std::move(cb));
+    return;
+  }
+  if (src == dst) {
+    engines_[static_cast<std::size_t>(src)]->schedule_at(t, std::move(cb));
+    return;
+  }
+  // The conservative windows are only safe if every cross-domain event
+  // honours its pairwise lookahead claim.
+  if (t < engines_[static_cast<std::size_t>(src)]->now() + lookahead_.get(src, dst)) {
+    invariant_failed("cross-domain post violates its lookahead claim");
+  }
+  ++routed_posts_[static_cast<std::size_t>(src)].n;
+  mailbox(src, dst).push(t, std::move(cb));
+}
+
+void ParallelEngine::post_from_current(int dst, Engine::Callback cb) {
+  const int src = tls_domain;
+  if (src < 0) {
+    // Single-threaded context: the synchronous-call semantics this
+    // mirrors are safe to keep.
+    cb();
+    return;
+  }
+  post(dst, engines_[static_cast<std::size_t>(src)]->now(), std::move(cb));
+}
+
+void ParallelEngine::run_window(int d, SimTime bound, bool equal_time) {
+  tls_domain = d;
+  Engine& e = *engines_[static_cast<std::size_t>(d)];
+  executed_[static_cast<std::size_t>(d)].n +=
+      equal_time ? e.run_at_time(bound) : e.run_before(bound);
+  tls_domain = -1;
+}
+
+void ParallelEngine::drain_mailboxes() {
+  const int n = num_domains();
+  SpscMailbox::Entry entry;
+  for (int dst = 0; dst < n; ++dst) {
+    Engine& target = *engines_[static_cast<std::size_t>(dst)];
+    for (int src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      SpscMailbox& box = mailbox(src, dst);
+      while (box.pop(entry)) {
+        target.schedule_at(entry.time, std::move(entry.cb));
+      }
+    }
+  }
+}
+
+std::uint64_t ParallelEngine::run(unsigned threads) {
+  if (running_) invariant_failed("run() is not reentrant");
+  running_ = true;
+  const int n = num_domains();
+  if (threads < 1) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
+
+  // Workers live for the whole run; windows are dispatched onto them and
+  // joined per round. threads == 1 executes the identical schedule on
+  // the calling thread.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads - 1);
+  std::vector<std::future<void>> joins;
+  joins.reserve(static_cast<std::size_t>(n));
+
+  const std::uint64_t before = stats_.events;
+  // Posts made before run() (construction-time wiring) merge first.
+  drain_mailboxes();
+  for (;;) {
+    // 1. Publish horizons.
+    SimTime min_next = EventHorizon::kInfinity;
+    for (int d = 0; d < n; ++d) {
+      const SimTime t = engines_[static_cast<std::size_t>(d)]->next_event_time();
+      const SimTime h = (t == Engine::kNoEvent) ? EventHorizon::kInfinity : t;
+      horizon_.publish(d, h);
+      min_next = std::min(min_next, h);
+    }
+    if (min_next == EventHorizon::kInfinity) break;  // all queues drained
+
+    // 2. Conservative bounds from the *effective* horizons — the
+    // min-plus closure that accounts for idle domains being
+    // re-activated by peers (an empty queue is not an infinite
+    // promise; see horizon.h).
+    horizon_.effective_horizons(lookahead_, heff_);
+    active_.clear();
+    for (int d = 0; d < n; ++d) {
+      bounds_[static_cast<std::size_t>(d)] = EventHorizon::safe_bound(d, lookahead_, heff_);
+      const SimTime h = horizon_.horizon(d);
+      if (h != EventHorizon::kInfinity && h < bounds_[static_cast<std::size_t>(d)]) {
+        active_.push_back(d);
+      }
+    }
+
+    // 3./4. Execute a parallel window, or an equal-time round when
+    // domains are tied at the global minimum with no lookahead slack.
+    const bool equal_time = active_.empty();
+    if (equal_time) {
+      for (int d = 0; d < n; ++d) {
+        if (horizon_.horizon(d) == min_next) active_.push_back(d);
+      }
+      for (int& d : active_) bounds_[static_cast<std::size_t>(d)] = min_next;
+      ++stats_.equal_time_rounds;
+    } else {
+      ++stats_.windows;
+    }
+
+    if (pool == nullptr || active_.size() == 1) {
+      for (int d : active_) run_window(d, bounds_[static_cast<std::size_t>(d)], equal_time);
+    } else {
+      joins.clear();
+      for (std::size_t i = 1; i < active_.size(); ++i) {
+        const int d = active_[i];
+        joins.push_back(pool->submit(
+            [this, d, b = bounds_[static_cast<std::size_t>(d)], equal_time] {
+              run_window(d, b, equal_time);
+            }));
+      }
+      run_window(active_.front(), bounds_[static_cast<std::size_t>(active_.front())],
+                 equal_time);
+      for (auto& j : joins) j.get();  // 5. barrier
+    }
+
+    // 5. Merge cross-domain events in fixed (dst, src, FIFO) order.
+    drain_mailboxes();
+  }
+
+  // Fold the per-domain counters into the aggregate stats.
+  stats_.events = 0;
+  stats_.posts_routed = 0;
+  stats_.mailbox_spills = 0;
+  for (int d = 0; d < n; ++d) {
+    stats_.events += executed_[static_cast<std::size_t>(d)].n;
+    stats_.posts_routed += routed_posts_[static_cast<std::size_t>(d)].n;
+  }
+  for (const auto& box : mailboxes_) {
+    if (box) stats_.mailbox_spills += box->spilled();
+  }
+  running_ = false;
+  return stats_.events - before;
+}
+
+SimTime ParallelEngine::now() const {
+  SimTime t = 0;
+  for (const auto& e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+bool ParallelEngine::empty() const {
+  for (const auto& e : engines_) {
+    if (!e->empty()) return false;
+  }
+  for (const auto& box : mailboxes_) {
+    if (box && !box->empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace liger::sim

@@ -1,0 +1,147 @@
+// Deterministic parallel discrete-event execution: one sub-engine per
+// domain, synchronized with conservative time windows.
+//
+// A partitioned simulation splits its world into *domains* that own
+// disjoint state — for a GPU cluster, one domain per node plus one for
+// the host/fabric — and gives each domain its own sim::Engine. The
+// ParallelEngine advances them together:
+//
+//   loop:
+//     1. publish every domain's horizon (earliest pending event time);
+//     2. each domain's exclusive bound = min over peers of
+//        heff(peer) + lookahead(peer, domain), where heff is the
+//        min-plus closure of the horizons over the lookahead graph —
+//        an idle domain is not an infinite promise, because a peer's
+//        future event can re-activate it (sim/horizon.h);
+//     3. every domain with work strictly below its bound drains that
+//        window — in parallel, on ThreadPool-style workers;
+//     4. if no domain can move (equal-time tie across domains), all
+//        domains at the global minimum execute exactly that timestamp —
+//        an equal-time round of the fixed point;
+//     5. barrier; cross-domain events that the windows produced are
+//        drained from the SPSC mailboxes into their target engines in a
+//        fixed (destination, source, FIFO) order.
+//
+// Why the result is bit-identical at every thread count (and to a
+// 1-thread partitioned run): windows and bounds are pure functions of
+// queue states, each domain's event stream is internally deterministic,
+// domains share no mutable state inside a window (events that would
+// cross post through mailboxes instead), and the barrier drain order is
+// fixed. The worker count only changes which OS thread executes a
+// window, never what any domain observes. Safety is enforced loudly: a
+// cross-domain post that violates its pairwise lookahead claim aborts,
+// and a post landing in a receiver's past aborts inside sim::Engine.
+//
+// Cross-domain code does not talk to this class directly — it calls
+// Engine::invoke / Engine::schedule_cross on the *target* engine, which
+// route through the owning ParallelEngine's mailboxes when (and only
+// when) executing from a foreign domain. In an unpartitioned build both
+// degenerate to a plain call / schedule_at, preserving the serial
+// engine's behaviour exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/horizon.h"
+#include "sim/mailbox.h"
+#include "sim/time.h"
+
+namespace liger::util {
+class ThreadPool;
+}
+
+namespace liger::sim {
+
+class ParallelEngine {
+ public:
+  struct Options {
+    // Per-(src,dst) mailbox ring capacity; overflow spills (see
+    // sim/mailbox.h) so this is a performance knob, not a limit.
+    std::size_t mailbox_capacity = 1024;
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;            // parallel window rounds
+    std::uint64_t equal_time_rounds = 0;  // fixed-point rounds at one timestamp
+    std::uint64_t events = 0;             // events executed by run()
+    std::uint64_t posts_routed = 0;       // cross-domain posts via mailboxes
+    std::uint64_t posts_direct = 0;       // posts made outside any window
+    std::uint64_t mailbox_spills = 0;     // ring overflows (capacity tuning)
+  };
+
+  explicit ParallelEngine(int num_domains) : ParallelEngine(num_domains, Options()) {}
+  ParallelEngine(int num_domains, Options options);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int num_domains() const { return static_cast<int>(engines_.size()); }
+  Engine& domain(int d) { return *engines_.at(static_cast<std::size_t>(d)); }
+
+  LookaheadMatrix& lookahead() { return lookahead_; }
+  const LookaheadMatrix& lookahead() const { return lookahead_; }
+
+  // Cross-domain schedule into `dst` at absolute time `t`. Inside a
+  // window the event travels through the (current domain, dst) mailbox
+  // and is merged at the next barrier; outside run() it schedules
+  // directly (the caller is the only thread). Aborts if `t` violates
+  // the pairwise lookahead claim — the conservative windows would no
+  // longer be safe.
+  void post(int dst, SimTime t, Engine::Callback cb);
+
+  // Like post, at the sending domain's current time (the semantics of a
+  // plain synchronous call, made safe across domains).
+  void post_from_current(int dst, Engine::Callback cb);
+
+  // Runs every domain to exhaustion with up to `threads` workers
+  // (including the calling thread); returns the number of events
+  // executed. threads <= 1 runs the same windows sequentially — same
+  // results, same merge order.
+  std::uint64_t run(unsigned threads);
+
+  // Global virtual time: the furthest any domain has advanced. After
+  // run() this equals the serial engine's now() for the same workload.
+  SimTime now() const;
+
+  bool empty() const;
+
+  const Stats& stats() const { return stats_; }
+
+  // Domain whose window the calling thread is currently executing, or
+  // -1 outside any window.
+  static int current_domain();
+
+ private:
+  struct alignas(64) DomainCounter {
+    std::uint64_t n = 0;
+  };
+
+  SpscMailbox& mailbox(int src, int dst) {
+    return *mailboxes_[static_cast<std::size_t>(src) * engines_.size() +
+                       static_cast<std::size_t>(dst)];
+  }
+  // Drains every mailbox into its target engine, in fixed
+  // (destination, source, FIFO) order. Runs at barriers only.
+  void drain_mailboxes();
+  void run_window(int d, SimTime bound, bool equal_time);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;  // src-major [src][dst]
+  LookaheadMatrix lookahead_;
+  EventHorizon horizon_;
+  std::vector<DomainCounter> executed_;      // per-domain, written inside windows
+  std::vector<DomainCounter> routed_posts_;  // per-source, written inside windows
+  Stats stats_;
+  bool running_ = false;
+
+  // Scratch, reused across windows (no steady-state allocation).
+  std::vector<SimTime> bounds_;
+  std::vector<SimTime> heff_;  // effective-horizon scratch (see horizon.h)
+  std::vector<int> active_;
+};
+
+}  // namespace liger::sim

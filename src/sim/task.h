@@ -18,6 +18,7 @@
 // spawned actor ran to completion before the engine drained).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
@@ -31,8 +32,8 @@ namespace liger::sim {
 class Task {
  public:
   struct promise_type {
-    promise_type() { ++live_; }
-    ~promise_type() { --live_; }
+    promise_type() { live_.fetch_add(1, std::memory_order_relaxed); }
+    ~promise_type() { live_.fetch_sub(1, std::memory_order_relaxed); }
 
     Task get_return_object() { return Task{}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
@@ -40,11 +41,14 @@ class Task {
     void return_void() {}
     void unhandled_exception() { std::terminate(); }
 
-    inline static std::int64_t live_ = 0;
+    // Atomic because independent simulations (sweep workers, engine
+    // domains) spawn tasks concurrently; relaxed is enough for a
+    // diagnostic counter.
+    inline static std::atomic<std::int64_t> live_{0};
   };
 
   // Number of coroutine frames currently alive (spawned, not finished).
-  static std::int64_t live_count() { return promise_type::live_; }
+  static std::int64_t live_count() { return promise_type::live_.load(std::memory_order_relaxed); }
 };
 
 // Awaitable that suspends the current task for `dt` simulated time.

@@ -1,0 +1,45 @@
+// Deterministic trace collection for partitioned runs.
+//
+// In a partitioned simulation each domain executes on its own thread,
+// so domains cannot share one TraceSink: emission would race, and even
+// with a lock the interleaving would depend on scheduling. The mux
+// gives every domain a private buffering sink; after the run, flush()
+// merges all buffers into a single downstream sink in a total order
+// over the records themselves (time, then every other field) — a pure
+// function of simulation results, identical for every thread count and
+// identical to a serial run of the same workload.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpu/kernel.h"
+
+namespace liger::trace {
+
+class DomainTraceMux {
+ public:
+  // One buffering sink per domain, all initially empty.
+  explicit DomainTraceMux(int domains);
+  ~DomainTraceMux();
+
+  DomainTraceMux(const DomainTraceMux&) = delete;
+  DomainTraceMux& operator=(const DomainTraceMux&) = delete;
+
+  int domains() const { return static_cast<int>(sinks_.size()); }
+
+  // The private sink for `domain`; only that domain's thread may emit
+  // into it. Valid for the lifetime of the mux.
+  gpu::TraceSink* domain(int d);
+
+  // Sorts all buffered records into the deterministic total order and
+  // replays them into `out`. Call after the simulation finishes (single
+  // threaded). Buffers are left empty.
+  void flush(gpu::TraceSink& out);
+
+ private:
+  class BufferSink;
+  std::vector<std::unique_ptr<BufferSink>> sinks_;
+};
+
+}  // namespace liger::trace

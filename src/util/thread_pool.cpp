@@ -6,6 +6,19 @@
 
 namespace liger::util {
 
+namespace {
+thread_local bool tls_on_pool_thread = false;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  // Function-local static: built on first use, joined at exit (keeps
+  // leak checkers quiet and shutdown orderly).
+  static ThreadPool pool(0);
+  return pool;
+}
+
+bool ThreadPool::on_pool_thread() { return tls_on_pool_thread; }
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -33,6 +46,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
 }
 
 void ThreadPool::worker_loop() {
+  tls_on_pool_thread = true;
   while (true) {
     std::function<void()> job;
     {

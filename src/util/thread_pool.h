@@ -26,6 +26,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // Process-wide pool, built lazily at hardware concurrency. The shared
+  // thread budget: sweep fan-out runs here, and each experiment that
+  // itself wants engine threads spawns them short-lived per run —
+  // nested submission into this pool from one of its own workers would
+  // deadlock, so nested users must check on_pool_thread() and fall back
+  // to serial execution.
+  static ThreadPool& global();
+
+  // True on threads owned by any ThreadPool (see global()'s contract).
+  static bool on_pool_thread();
+
   // Schedules a callable; the future resolves with its result (or
   // exception).
   template <typename F>

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gpu/gpu_test_util.h"
+#include "sim/parallel_engine.h"
 #include "support/fixtures.h"
 #include "trace/chrome_trace.h"
 
@@ -176,6 +177,36 @@ TEST(FaultInjectorTest, ValidatesPlanAgainstTopology) {
   ev.device = 2;  // out of range
   EXPECT_THROW(FaultInjector(FaultTargets::from_node(f.node), single(ev)),
                std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, OwningEngineRoutesFaultsToTheirDomain) {
+  // On a partitioned cluster each fault must be scheduled on the engine
+  // that owns the state it mutates: device/host faults on the target
+  // node's domain, link faults on the fabric (host) domain. On a
+  // serial cluster these are all one engine, so the routing is only
+  // observable here.
+  sim::ParallelEngine pe(3);  // fabric/host + 2 nodes
+  gpu::Cluster cluster(pe, gpu::ClusterSpec::test_cluster());
+  const FaultTargets targets = FaultTargets::from_cluster(cluster);
+
+  FaultEvent dev;
+  dev.kind = FaultKind::kDeviceFailStop;
+  dev.node = 1;
+  dev.device = 0;
+  EXPECT_EQ(&targets.owning_engine(dev), &pe.domain(2));
+
+  FaultEvent straggler;
+  straggler.kind = FaultKind::kStraggler;
+  straggler.node = 0;
+  straggler.factor = 0.5;
+  EXPECT_EQ(&targets.owning_engine(straggler), &pe.domain(1));
+
+  FaultEvent link;
+  link.kind = FaultKind::kLinkDegrade;
+  link.node = 1;
+  link.factor = 0.5;
+  EXPECT_EQ(&targets.owning_engine(link), &pe.domain(0));
+  EXPECT_EQ(&cluster.engine(), &pe.domain(0));
 }
 
 }  // namespace

@@ -69,5 +69,49 @@ TEST(SweepTest, SingleThreadWorks) {
   EXPECT_EQ(reports[0].completed, 15u);
 }
 
+TEST(SweepTest, DefaultThreadsReuseTheProcessWidePool) {
+  // threads == 0 routes through ThreadPool::global() instead of
+  // building a pool per call; results stay bit-identical to a
+  // dedicated pool, and repeated sweeps reuse the same workers.
+  std::vector<ExperimentConfig> configs{
+      tiny(Method::kLiger, 50.0),
+      tiny(Method::kInterOp, 60.0),
+  };
+  const auto shared_a = run_parallel(configs);
+  const auto shared_b = run_parallel(configs);
+  const auto dedicated = run_parallel(configs, 2);
+  ASSERT_EQ(shared_a.size(), 2u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(shared_a[i].makespan, dedicated[i].makespan) << i;
+    EXPECT_EQ(shared_b[i].makespan, dedicated[i].makespan) << i;
+    EXPECT_DOUBLE_EQ(shared_a[i].avg_latency_ms, dedicated[i].avg_latency_ms) << i;
+  }
+}
+
+TEST(SweepTest, EngineThreadsInsideSweepFallsBackToSerial) {
+  // The thread budget: sweep workers own the hardware, so experiments
+  // running on them must not spawn engine workers of their own.
+  // engine_threads > 1 inside a sweep silently degrades to the serial
+  // engine — with identical results.
+  ExperimentConfig cfg = tiny(Method::kLiger, 50.0);
+  const Report serial = run_experiment(cfg);  // engine_threads == 1
+
+  cfg.engine_threads = 4;
+  const auto swept = run_parallel({cfg}, 2);
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0].makespan, serial.makespan);
+  EXPECT_DOUBLE_EQ(swept[0].avg_latency_ms, serial.avg_latency_ms);
+  EXPECT_DOUBLE_EQ(swept[0].p99_latency_ms, serial.p99_latency_ms);
+  EXPECT_EQ(swept[0].completed, serial.completed);
+}
+
+TEST(SweepTest, OnPoolThreadDetectsSweepWorkers) {
+  EXPECT_FALSE(util::ThreadPool::on_pool_thread());
+  util::ThreadPool pool(1);
+  auto probe = pool.submit([] { return util::ThreadPool::on_pool_thread(); });
+  EXPECT_TRUE(probe.get());
+  EXPECT_FALSE(util::ThreadPool::on_pool_thread());
+}
+
 }  // namespace
 }  // namespace liger::serving

@@ -1,0 +1,257 @@
+#include "sim/parallel_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace liger::sim {
+namespace {
+
+// --- Engine window primitives -------------------------------------------
+
+TEST(EngineWindows, NextEventTimePeeksWithoutAdvancing) {
+  Engine e;
+  EXPECT_EQ(e.next_event_time(), Engine::kNoEvent);
+  e.schedule_at(50, [] {});
+  e.schedule_at(10, [] {});
+  EXPECT_EQ(e.next_event_time(), 10);
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 2u);
+}
+
+TEST(EngineWindows, RunBeforeIsExclusiveAndKeepsClock) {
+  Engine e;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5, 10, 15, 20}) {
+    e.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(e.run_before(15), 2u);  // 5 and 10; 15 is excluded
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(e.now(), 10);  // not forced to the bound
+  EXPECT_EQ(e.next_event_time(), 15);
+}
+
+TEST(EngineWindows, RunAtTimeDrainsEqualTimeFixedPoint) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(7, [&] {
+    ++count;
+    // Same-time follow-up must execute within the same round.
+    e.schedule_at(7, [&] { ++count; });
+  });
+  e.schedule_at(7, [&] { ++count; });
+  e.schedule_at(8, [&] { count += 100; });
+  EXPECT_EQ(e.run_at_time(7), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.next_event_time(), 8);
+}
+
+TEST(EngineWindows, InvokeIsDirectWhenUnpartitioned) {
+  Engine e;
+  int calls = 0;
+  e.invoke([&] { ++calls; });
+  EXPECT_EQ(calls, 1);  // synchronous, no event scheduled
+  EXPECT_TRUE(e.empty());
+
+  const auto id = e.schedule_cross(5, [&] { ++calls; });
+  EXPECT_TRUE(id.valid());  // local path returns a cancellable id
+  e.run();
+  EXPECT_EQ(calls, 2);
+}
+
+// --- Deterministic multi-domain execution --------------------------------
+
+// One record per executed event: (domain, time, payload). Per-domain
+// logs are only written by the owning domain, so they are race-free and
+// their concatenation in domain order is a complete execution trace.
+using Trace = std::vector<std::tuple<int, SimTime, int>>;
+
+struct RingResult {
+  Trace trace;
+  SimTime final_now = 0;
+  std::uint64_t events = 0;
+  std::uint64_t equal_time_rounds = 0;
+  std::uint64_t posts_routed = 0;
+};
+
+// A ring of `domains` domains. Each domain runs a local chain of
+// `hops` events spaced `step` apart; every event forwards a token to
+// the next domain `lookahead` later (a legal claim by construction).
+// Deterministic by design; the token payload encodes its full path.
+RingResult run_ring(int domains, unsigned threads, SimTime lookahead, int hops,
+                    SimTime step) {
+  ParallelEngine pe(domains);
+  pe.lookahead().set_cross(lookahead);
+
+  std::vector<Trace> logs(static_cast<std::size_t>(domains));
+  struct Hop {
+    ParallelEngine* pe;
+    std::vector<Trace>* logs;
+    int domains;
+    SimTime lookahead;
+    SimTime step;
+    int hops;
+  } ctx{&pe, &logs, domains, lookahead, step, hops};
+
+  // Recursive hop: record, then forward to the next domain until the
+  // payload's hop budget is spent.
+  struct Forward {
+    static void hop(Hop* ctx, int domain, int payload) {
+      Engine& e = ctx->pe->domain(domain);
+      (*ctx->logs)[static_cast<std::size_t>(domain)].push_back(
+          {domain, e.now(), payload});
+      if (payload % 1000 >= ctx->hops) return;
+      const int next = (domain + 1) % ctx->domains;
+      // schedule_cross: local schedule when next == domain (1-domain
+      // ring), mailbox post otherwise.
+      ctx->pe->domain(next).schedule_cross(
+          e.now() + ctx->lookahead,
+          [ctx, next, payload] { hop(ctx, next, payload + 1); });
+    }
+  };
+
+  for (int d = 0; d < domains; ++d) {
+    for (int i = 0; i < 3; ++i) {
+      const int payload = (d * 10 + i) * 1000;  // encodes origin, hop 0
+      pe.domain(d).schedule_at(static_cast<SimTime>(i) * step,
+                               [&ctx, d, payload] { Forward::hop(&ctx, d, payload); });
+    }
+  }
+
+  RingResult r;
+  r.events = pe.run(threads);
+  r.final_now = pe.now();
+  r.equal_time_rounds = pe.stats().equal_time_rounds;
+  r.posts_routed = pe.stats().posts_routed;
+  for (auto& log : logs) {
+    r.trace.insert(r.trace.end(), log.begin(), log.end());
+  }
+  EXPECT_TRUE(pe.empty());
+  return r;
+}
+
+TEST(ParallelEngine, RingIsBitIdenticalAcrossThreadCounts) {
+  for (SimTime lookahead : {SimTime{0}, sim::microseconds(5)}) {
+    const RingResult one = run_ring(4, 1, lookahead, 6, sim::microseconds(3));
+    const RingResult two = run_ring(4, 2, lookahead, 6, sim::microseconds(3));
+    const RingResult four = run_ring(4, 4, lookahead, 6, sim::microseconds(3));
+    EXPECT_EQ(one.trace, two.trace) << "lookahead=" << lookahead;
+    EXPECT_EQ(one.trace, four.trace) << "lookahead=" << lookahead;
+    EXPECT_EQ(one.final_now, two.final_now);
+    EXPECT_EQ(one.final_now, four.final_now);
+    EXPECT_EQ(one.events, two.events);
+    EXPECT_EQ(one.events, four.events);
+    // Window structure itself is thread-count independent.
+    EXPECT_EQ(one.equal_time_rounds, four.equal_time_rounds);
+    EXPECT_EQ(one.posts_routed, four.posts_routed);
+  }
+}
+
+TEST(ParallelEngine, ZeroLookaheadUsesEqualTimeRounds) {
+  // With zero lookahead and synchronized chains, domains tie at every
+  // timestamp: progress must come from equal-time fixed-point rounds.
+  const RingResult r = run_ring(3, 2, 0, 4, 0);
+  EXPECT_GT(r.equal_time_rounds, 0u);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_EQ(r.final_now, 0);  // everything happened at t = 0
+}
+
+TEST(ParallelEngine, PositiveLookaheadRoutesThroughMailboxes) {
+  const RingResult r = run_ring(4, 4, sim::microseconds(5), 6, sim::microseconds(3));
+  EXPECT_GT(r.posts_routed, 0u);
+}
+
+TEST(ParallelEngine, SingleDomainMatchesPlainEngine) {
+  // Reference: the identical workload on a plain Engine.
+  Engine ref;
+  std::vector<SimTime> ref_times;
+  for (int i = 0; i < 5; ++i) {
+    ref.schedule_at(i * 10, [&ref, &ref_times] {
+      ref_times.push_back(ref.now());
+      ref.schedule_after(3, [&ref, &ref_times] { ref_times.push_back(ref.now()); });
+    });
+  }
+  const std::uint64_t ref_events = ref.run();
+
+  ParallelEngine pe(1);
+  Engine& e = pe.domain(0);
+  std::vector<SimTime> par_times;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(i * 10, [&e, &par_times] {
+      par_times.push_back(e.now());
+      e.schedule_after(3, [&e, &par_times] { par_times.push_back(e.now()); });
+    });
+  }
+  EXPECT_EQ(pe.run(1), ref_events);
+  EXPECT_EQ(par_times, ref_times);
+  EXPECT_EQ(pe.now(), ref.now());
+}
+
+TEST(ParallelEngine, PostOutsideRunSchedulesDirectly) {
+  ParallelEngine pe(2);
+  int fired = 0;
+  pe.post(1, 42, [&fired] { ++fired; });
+  EXPECT_EQ(pe.stats().posts_direct, 1u);
+  pe.run(1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(pe.now(), 42);
+}
+
+TEST(ParallelEngineDeathTest, LookaheadViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ParallelEngine pe(2);
+        pe.lookahead().set_cross(100);
+        // Domain 0 tries to reach into domain 1 sooner than its claimed
+        // minimum delay: the conservative windows would be unsafe.
+        pe.domain(0).schedule_at(10, [&pe] {
+          pe.domain(1).schedule_cross(50, [] {});  // 50 < 10 + 100
+        });
+        pe.domain(1).schedule_at(500, [] {});
+        pe.run(1);
+      },
+      "lookahead claim");
+}
+
+// Heavier deterministic stress: many cross posts per window, enough to
+// overflow small mailboxes (spill path) without changing results.
+TEST(ParallelEngine, SpillPathKeepsDeterminism) {
+  auto run_once = [](unsigned threads) {
+    ParallelEngine::Options opts;
+    opts.mailbox_capacity = 2;  // force spills
+    ParallelEngine pe(3, opts);
+    pe.lookahead().set_cross(10);
+    std::vector<Trace> logs(3);
+    for (int d = 0; d < 3; ++d) {
+      for (int i = 0; i < 40; ++i) {
+        pe.domain(d).schedule_at(i, [&pe, &logs, d, i] {
+          logs[static_cast<std::size_t>(d)].push_back({d, pe.domain(d).now(), i});
+          const int next = (d + 1) % 3;
+          pe.domain(next).schedule_cross(pe.domain(d).now() + 10,
+                                         [&pe, &logs, next, i] {
+                                           logs[static_cast<std::size_t>(next)].push_back(
+                                               {next, pe.domain(next).now(), 100 + i});
+                                         });
+        });
+      }
+    }
+    pe.run(threads);
+    Trace all;
+    for (auto& log : logs) all.insert(all.end(), log.begin(), log.end());
+    return std::make_tuple(all, pe.now(), pe.stats().mailbox_spills);
+  };
+  const auto serial = run_once(1);
+  const auto parallel = run_once(3);
+  EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel));
+  EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel));
+  EXPECT_GT(std::get<2>(parallel), 0u) << "test meant to exercise the spill path";
+}
+
+}  // namespace
+}  // namespace liger::sim
