@@ -17,9 +17,10 @@
 //
 // Flags: --requests N (default 100), --trace PATH (write Chrome JSON),
 // --engine-threads N (default 1: serial engine; > 1 partitions the
-// hybrid simulation into one engine domain per node plus the
-// fabric/host domain — results are bit-identical, see
-// sim/parallel_engine.h; cluster-TP runs always use the serial engine)
+// simulation into engine domains — hybrid runs get one domain per node
+// plus the fabric/host domain, cluster-wide TP runs a fused host+world
+// partition — results are bit-identical at any count, see
+// sim/parallel_engine.h)
 
 #include <cstdio>
 #include <fstream>
@@ -85,8 +86,7 @@ int main(int argc, char** argv) {
     const auto hybrid = serving::run_experiment(cfg);
 
     cfg.method = Method::kLiger;  // whole-cluster tensor parallelism
-    cfg.engine_threads = 1;       // cluster-wide TP runs on the serial engine
-    const auto tp = serving::run_experiment(cfg);
+    const auto tp = serving::run_experiment(cfg);  // fused host+world partition
 
     if (nodes == 1) hybrid_thr_1node = hybrid.throughput_bps;
     std::printf("%6d | %10.2f %10.3f%s | %14.2f %10.3f%s | %7.2fx\n", nodes,

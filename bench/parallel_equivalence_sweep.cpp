@@ -6,8 +6,9 @@
 //  * fig10 — single-node Liger serving (host + node domains);
 //  * fig15 — 2- and 4-node hybrid pipelines (fabric/host domain plus
 //    one domain per node, cross-node lookahead = fabric base latency);
-//  * fig16 — fault-injected runs (straggler + link degrade), which must
-//    take the serial fallback and therefore ignore engine_threads.
+//  * fig16 — fault-injected runs (straggler + link degrade), executed
+//    under the partitioned engine on a fused host + world partition —
+//    the chaos replay must be bit-identical at every thread count.
 // Every scenario runs at engine_threads 1, 2 and 4; all Report fields
 // that the figure benches consume are compared bit-for-bit against the
 // serial run. Exit status is the number of divergent rows.

@@ -71,8 +71,11 @@ model::OpList InterOpRuntime::stage_ops(const model::ExecConfig& cfg, int stage)
 }
 
 void InterOpRuntime::submit(model::BatchRequest request) {
-  // Self-route to the group's engine domain (see LigerRuntime::submit).
-  group_.engine().invoke(
+  // Self-route to the group's engine domain with the dispatch-latency
+  // delay that backs the host->node lookahead claim (see
+  // LigerRuntime::submit).
+  group_.engine().invoke_after(
+      core::kSubmitDispatchLatency,
       [this, request] { queues_.front()->push(StageJob{request, nullptr}); });
 }
 

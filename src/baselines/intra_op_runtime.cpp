@@ -75,8 +75,10 @@ std::shared_ptr<IntraOpRuntime::BatchPlan> IntraOpRuntime::make_plan(
 }
 
 void IntraOpRuntime::submit(model::BatchRequest request) {
-  // Self-route to the group's engine domain (see LigerRuntime::submit).
-  group_.engine().invoke([this, request] {
+  // Self-route to the group's engine domain with the dispatch-latency
+  // delay that backs the host->node lookahead claim (see
+  // LigerRuntime::submit).
+  group_.engine().invoke_after(core::kSubmitDispatchLatency, [this, request] {
     auto plan = make_plan(request);
     completion_remaining_.emplace(request.id, group_.size());
     for (auto& q : queues_) q->push(plan);

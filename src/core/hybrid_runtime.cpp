@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/parallel_engine.h"
+
 namespace liger::core {
 
 HybridRuntime::HybridRuntime(gpu::Cluster& cluster, model::ModelSpec model,
@@ -53,6 +55,16 @@ HybridStats HybridRuntime::stats() const {
     total.fabric_transfers += s.fabric_transfers;
     total.local_transfers += s.local_transfers;
     total.fabric_bytes += s.fabric_bytes;
+  }
+  if (sim::ParallelEngine* pe = cluster_.parallel_engine()) {
+    const auto& es = pe->stats();
+    total.engine_windows = es.windows;
+    total.engine_equal_time_rounds = es.equal_time_rounds;
+    const std::uint64_t rounds = es.windows + es.equal_time_rounds;
+    total.engine_events_per_window =
+        rounds > 0 ? static_cast<double>(es.events) / static_cast<double>(rounds) : 0.0;
+    total.engine_barrier_wait_ns = es.barrier_wait_ns;
+    total.engine_mailbox_spills = es.mailbox_spills;
   }
   return total;
 }

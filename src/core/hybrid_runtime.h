@@ -43,6 +43,15 @@ struct HybridStats {
   std::uint64_t fabric_transfers = 0;   // cross-node boundary activations
   std::uint64_t local_transfers = 0;    // same-node boundary activations
   std::uint64_t fabric_bytes = 0;
+
+  // Parallel-engine execution stats, mirrored from the cluster's
+  // ParallelEngine when one is attached (all-zero on serial runs):
+  // window/barrier overhead observability, never simulation input.
+  std::uint64_t engine_windows = 0;
+  std::uint64_t engine_equal_time_rounds = 0;
+  double engine_events_per_window = 0.0;
+  std::uint64_t engine_barrier_wait_ns = 0;
+  std::uint64_t engine_mailbox_spills = 0;
 };
 
 class HybridRuntime : public InferenceRuntime {

@@ -45,11 +45,14 @@ LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions
                    shared_cache) {}
 
 void LigerRuntime::submit(model::BatchRequest request) {
-  // Self-route to this runtime's engine domain: a plain call when the
-  // caller is already there (always true unpartitioned), a cross-domain
-  // event otherwise (e.g. the serving frontend on the host domain
-  // submitting into a node domain).
-  group_.engine().invoke([this, request] { submit_local(request); });
+  // Self-route to this runtime's engine domain as an event
+  // kSubmitDispatchLatency after the caller's now — the host-CPU cost
+  // of the first kernel dispatch. Serial and partitioned runs execute
+  // submit_local at the identical timestamp; in a partitioned run the
+  // delay backs the positive host->node lookahead claim that widens
+  // the engine's windows.
+  group_.engine().invoke_after(kSubmitDispatchLatency,
+                               [this, request] { submit_local(request); });
 }
 
 void LigerRuntime::submit_local(model::BatchRequest request) {

@@ -10,6 +10,15 @@
 
 namespace liger::core {
 
+// Minimum delay between a frontend handing a batch to a runtime and the
+// runtime's node-side bookkeeping running: the host-CPU cost of the
+// first kernel dispatch (mirrors gpu::HostSpec::launch_cpu). Runtimes
+// route submit() through Engine::invoke_after with this delay, which
+// makes the serving layer's host->node lookahead claim positive — the
+// partitioned engine's windows widen past a single event because the
+// host provably cannot reach into a node sooner than this.
+inline constexpr sim::SimTime kSubmitDispatchLatency = 1200;
+
 class InferenceRuntime {
  public:
   // Called once per completed batch with the completion time.

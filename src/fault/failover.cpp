@@ -48,6 +48,16 @@ void FailoverRuntime::install_hooks() {
 }
 
 void FailoverRuntime::submit(model::BatchRequest request) {
+  // Self-route to the fault domain's engine: every piece of failover
+  // state (monitor arming, the in-flight map, the pending queue) lives
+  // on the domain that owns the watched devices, so a partitioned run
+  // can execute fault experiments without a serial fallback. When the
+  // caller is already there — always true unpartitioned — this is a
+  // plain synchronous call, keeping the no-fault path bit-identical.
+  targets_.engine->invoke([this, request] { submit_local(request); });
+}
+
+void FailoverRuntime::submit_local(model::BatchRequest request) {
   if (recovering_) {
     ++stats_.requests_deferred;
     pending_.push_back(std::move(request));

@@ -75,6 +75,7 @@ class FailoverRuntime : public core::InferenceRuntime {
 
  private:
   void install_hooks();
+  void submit_local(model::BatchRequest request);
   void on_device_failure(int node, int local, sim::SimTime t);
   void rebuild();
   void maybe_disarm();

@@ -57,6 +57,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
 
 Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec)
     : engine_(pe.domain(0)),
+      pe_(&pe),
       spec_(std::move(spec)),
       fabric_(pe.domain(0), spec_.fabric, spec_.num_nodes) {
   assert(spec_.num_nodes >= 1);
@@ -65,6 +66,23 @@ Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec)
   nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
   for (int i = 0; i < spec_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(pe.domain(1 + i), spec_.node));
+  }
+}
+
+Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec,
+                 const std::vector<int>& node_domains, int fabric_domain)
+    : engine_(pe.domain(fabric_domain)),
+      pe_(&pe),
+      spec_(std::move(spec)),
+      fabric_(pe.domain(fabric_domain), spec_.fabric, spec_.num_nodes) {
+  assert(spec_.num_nodes >= 1);
+  assert(static_cast<int>(node_domains.size()) == spec_.num_nodes &&
+         "one domain index per node");
+  nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    const int d = node_domains[static_cast<std::size_t>(i)];
+    assert(d >= 0 && d < pe.num_domains());
+    nodes_.push_back(std::make_unique<Node>(pe.domain(d), spec_.node));
   }
 }
 

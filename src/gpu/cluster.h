@@ -47,11 +47,25 @@ class Cluster {
   // the serial constructor; only event execution is partitioned.
   Cluster(sim::ParallelEngine& pe, ClusterSpec spec);
 
+  // Fully general partitioned construction: node k lives on
+  // pe.domain(node_domains[k]) and the fabric on pe.domain(
+  // fabric_domain). Nodes may share domains (domain fusion) and the
+  // fabric may share a domain with the nodes (the fused "world"
+  // partition fault runs and cluster-wide TP use). Same simulated
+  // physics in every case; only event execution is partitioned.
+  Cluster(sim::ParallelEngine& pe, ClusterSpec spec, const std::vector<int>& node_domains,
+          int fabric_domain);
+
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   sim::Engine& engine() { return engine_; }
   const ClusterSpec& spec() const { return spec_; }
+
+  // The partitioned engine this cluster was built over, or nullptr for
+  // a serial cluster. Lets higher layers (HybridStats, reports) mirror
+  // engine execution stats without threading the engine separately.
+  sim::ParallelEngine* parallel_engine() { return pe_; }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int devices_per_node() const { return spec_.node.num_devices; }
@@ -92,6 +106,7 @@ class Cluster {
   };
 
   sim::Engine& engine_;
+  sim::ParallelEngine* pe_ = nullptr;
   ClusterSpec spec_;
   interconnect::NetworkFabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;

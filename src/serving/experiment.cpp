@@ -9,9 +9,11 @@
 
 #include "baselines/inter_op_runtime.h"
 #include "baselines/intra_op_runtime.h"
+#include "core/runtime.h"
 #include "profile/contention.h"
 #include "sim/engine.h"
 #include "sim/parallel_engine.h"
+#include "trace/chrome_trace.h"
 #include "trace/domain_mux.h"
 #include "util/thread_pool.h"
 
@@ -129,27 +131,72 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   // cluster and hand the runtime a cluster-wide device group.
   const bool clustered = config.num_nodes > 1 || config.method == Method::kHybrid;
 
-  // Partitioned (parallel-engine) execution. Eligible partitions: a
-  // hybrid cluster (one domain per node + fabric/host) and a standalone
-  // node (host + node). Cluster-wide TP groups braid all nodes' devices
-  // into one runtime and stay serial, as do fault runs (the heartbeat
-  // monitor reads device state across domains) and experiments already
-  // running on a sweep worker (thread budget, serving/sweep.cpp).
-  const bool partitionable = clustered ? config.method == Method::kHybrid : true;
-  const bool partitioned = config.engine_threads > 1 && partitionable &&
-                           !config.faults.enabled && !util::ThreadPool::on_pool_thread();
+  const bool faults = config.faults.enabled;
+
+  // Partitioned (parallel-engine) execution. Every experiment shape can
+  // run partitioned; the partition planner picks the domain layout:
+  //   - standalone node: host domain 0 + node domain 1;
+  //   - hybrid cluster, no faults: host+fabric on domain 0 and
+  //     min(num_nodes, engine_threads) node domains, nodes packed in
+  //     contiguous blocks (domain fusion — lightly-loaded domains merge
+  //     so barrier count tracks the worker count, not the node count);
+  //   - cluster-wide TP or any fault run: host on domain 0 and one
+  //     fused "world" domain holding every node plus the fabric —
+  //     collectives, the heartbeat monitor, and failover rebuilds all
+  //     stay domain-local, lifting the old serial fallbacks.
+  // Lookahead claims: runtimes route submit() through invoke_after with
+  // core::kSubmitDispatchLatency, so the host->node edges carry that
+  // claim and windows widen past one event. Fault runs keep the edge at
+  // zero (FailoverRuntime::submit self-routes at the caller's time);
+  // node->host stays zero (completion hooks are immediate).
+  //
+  // Experiments on a sweep worker borrow idle threads from the
+  // process-global pool instead of unconditionally falling back to
+  // serial; reservations are returned when the experiment ends.
+  int engine_threads = config.engine_threads;
+  struct SpareThreads {
+    unsigned n = 0;
+    ~SpareThreads() {
+      if (n > 0) util::ThreadPool::global().release_spare(n);
+    }
+  } spare;
+  if (engine_threads > 1 && util::ThreadPool::on_pool_thread()) {
+    if (util::ThreadPool::current() == &util::ThreadPool::global()) {
+      spare.n = util::ThreadPool::global().try_reserve_spare(
+          static_cast<unsigned>(engine_threads - 1));
+    }
+    engine_threads = 1 + static_cast<int>(spare.n);
+  }
+  const bool partitioned = engine_threads > 1;
   std::unique_ptr<sim::ParallelEngine> pe;
   std::unique_ptr<sim::Engine> serial_engine;
+  std::vector<int> node_domains;  // node i -> pe domain (clustered only)
+  int fabric_domain = 0;
   if (partitioned) {
-    pe = std::make_unique<sim::ParallelEngine>(clustered ? config.num_nodes + 1 : 2);
-    if (clustered) {
-      // Nothing crosses nodes faster than the fabric's base latency
-      // (all inter-node influence transits the fabric/host domain);
-      // host <-> node pairs keep the always-safe zero lookahead.
+    int domains = 2;
+    if (clustered && config.method == Method::kHybrid && !faults) {
+      const int node_domain_count = std::min(config.num_nodes, engine_threads);
+      domains = 1 + node_domain_count;
+      node_domains.resize(static_cast<std::size_t>(config.num_nodes));
       for (int i = 0; i < config.num_nodes; ++i) {
-        for (int j = 0; j < config.num_nodes; ++j) {
-          if (i != j) pe->lookahead().set(1 + i, 1 + j, config.fabric.base_latency);
-        }
+        // Contiguous blocks: adjacent pipeline stages share a domain, so
+        // their hand-offs stay local events.
+        node_domains[static_cast<std::size_t>(i)] =
+            1 + (i * node_domain_count) / config.num_nodes;
+      }
+      fabric_domain = 0;
+    } else if (clustered) {
+      node_domains.assign(static_cast<std::size_t>(config.num_nodes), 1);
+      fabric_domain = 1;
+    }
+    pe = std::make_unique<sim::ParallelEngine>(domains);
+    const sim::SimTime submit_la = faults ? 0 : core::kSubmitDispatchLatency;
+    for (int d = 1; d < domains; ++d) pe->lookahead().set(0, d, submit_la);
+    // Nothing crosses node domains directly faster than the fabric's
+    // base latency (all inter-node influence transits the fabric).
+    for (int a = 1; a < domains; ++a) {
+      for (int b = 1; b < domains; ++b) {
+        if (a != b) pe->lookahead().set(a, b, config.fabric.base_latency);
       }
     }
   } else {
@@ -165,7 +212,7 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     cspec.node = config.node;
     cspec.fabric = config.fabric;
     cspec.num_nodes = config.num_nodes;
-    cluster = pe ? std::make_unique<gpu::Cluster>(*pe, cspec)
+    cluster = pe ? std::make_unique<gpu::Cluster>(*pe, cspec, node_domains, fabric_domain)
                  : std::make_unique<gpu::Cluster>(engine, cspec);
   } else {
     node = std::make_unique<gpu::Node>(pe ? pe->domain(1) : engine, config.node);
@@ -186,7 +233,6 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     liger_opts.sync = core::SyncMode::kCpuGpuOnly;
   }
 
-  const bool faults = config.faults.enabled;
   if (faults && config.faults.plan.has_fail_stop() && config.method != Method::kLiger &&
       config.method != Method::kLigerCpuSync && config.method != Method::kHybrid) {
     throw std::invalid_argument(
@@ -289,9 +335,11 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
       if (clustered) {
         std::vector<gpu::TraceSink*> node_sinks;
         for (int i = 0; i < cluster->num_nodes(); ++i) {
-          node_sinks.push_back(trace_mux->domain(1 + i));
+          // Nodes sharing a fused domain share its buffer — safe, they
+          // execute on one thread; the mux total-orders records anyway.
+          node_sinks.push_back(trace_mux->domain(node_domains[static_cast<std::size_t>(i)]));
         }
-        cluster->set_domain_trace_sinks(trace_mux->domain(0), node_sinks);
+        cluster->set_domain_trace_sinks(trace_mux->domain(fabric_domain), node_sinks);
       } else {
         node->set_trace_sink(trace_mux->domain(1));
       }
@@ -308,7 +356,10 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   if (faults) {
     fault::FaultTargets targets = clustered ? fault::FaultTargets::from_cluster(*cluster)
                                             : fault::FaultTargets::from_node(*node);
-    targets.trace = config.trace_sink;
+    // Partitioned fault runs emit every fault record from the fused
+    // world domain (domain 1 in both fault partitions): route them
+    // through that domain's buffer so the mux keeps the total order.
+    targets.trace = trace_mux ? trace_mux->domain(1) : config.trace_sink;
     fault::FailoverRuntime::Options opts;
     opts.detection = config.faults.detection;
     opts.replan_latency = config.faults.replan_latency;
@@ -324,10 +375,12 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   core::InferenceRuntime& serving_runtime = faults ? *failover : *runtime;
 
   Server server(engine, serving_runtime, config.workload);
+  std::vector<sim::ParallelEngine::WindowRecord> window_log;
   if (pe) {
-    server.set_driver([pe_ptr = pe.get(), threads = config.engine_threads] {
+    server.set_driver([pe_ptr = pe.get(), threads = engine_threads] {
       return pe_ptr->run(static_cast<unsigned>(threads));
     });
+    if (config.trace_sink != nullptr) pe->set_window_log(&window_log);
   }
   std::unique_ptr<ArrivalProcess> arrivals;
   if (config.poisson) {
@@ -338,6 +391,33 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   ExperimentOutputs out;
   out.report = server.run(*arrivals);
   if (trace_mux) trace_mux->flush(*config.trace_sink);
+  if (pe) {
+    const auto& es = pe->stats();
+    out.report.engine.partitioned = true;
+    out.report.engine.windows = es.windows;
+    out.report.engine.equal_time_rounds = es.equal_time_rounds;
+    out.report.engine.events = es.events;
+    out.report.engine.posts_routed = es.posts_routed;
+    out.report.engine.mailbox_spills = es.mailbox_spills;
+    out.report.engine.barrier_wait_ns = es.barrier_wait_ns;
+    const std::uint64_t rounds = es.windows + es.equal_time_rounds;
+    out.report.engine.events_per_window =
+        rounds > 0 ? static_cast<double>(es.events) / static_cast<double>(rounds) : 0.0;
+    // A `windows` row in the Chrome trace makes the synchronization
+    // structure visible next to the kernels it schedules around.
+    if (auto* chrome = dynamic_cast<trace::ChromeTraceSink*>(config.trace_sink)) {
+      for (const auto& w : window_log) {
+        trace::EngineWindowRecord rec;
+        rec.start = w.start;
+        rec.end = w.end;
+        rec.active_domains = static_cast<int>(w.active_domains);
+        rec.events = w.events;
+        rec.equal_time = w.equal_time;
+        chrome->add_engine_window(rec);
+      }
+    }
+    pe->set_window_log(nullptr);
+  }
   core::InferenceRuntime* backend = faults ? &failover->backend() : runtime.get();
   if (auto* liger = dynamic_cast<core::LigerRuntime*>(backend)) {
     out.liger = liger->stats();

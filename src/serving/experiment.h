@@ -66,13 +66,15 @@ struct ExperimentConfig {
 
   // Parallel engine execution. 1 (the default) keeps the serial
   // single-engine path, byte-identical to earlier builds. With > 1 the
-  // simulation is partitioned into engine domains (one per cluster node
-  // plus the fabric/host domain; a standalone node gets host + node)
-  // run under conservative time windows — results are bit-identical to
-  // engine_threads=1 at any thread count. Ignored (serial fallback,
-  // identical results) when faults are enabled, for cluster-wide TP
-  // groups, and inside sweep worker threads (see serving/sweep.cpp for
-  // the thread budget).
+  // simulation is partitioned into engine domains run under
+  // conservative time windows — results are bit-identical to
+  // engine_threads=1 at any thread count, for every experiment shape:
+  // hybrid clusters fuse nodes onto min(num_nodes, engine_threads)
+  // domains, while cluster-wide TP and fault runs use a two-domain
+  // host + world partition (see run_experiment_detailed's planner).
+  // Inside sweep worker threads the effective count is clamped to
+  // 1 + however many idle threads the process-global pool can lend
+  // (serving/sweep.cpp), degrading to serial only under full fan-out.
   int engine_threads = 1;
 };
 

@@ -46,6 +46,23 @@ struct Report {
   bool saturated(double tolerance = 0.95) const {
     return goodput_bps < offered_rate * tolerance;
   }
+
+  // --- Parallel-engine execution (observability only) ------------------
+  // Filled when the experiment ran under a partitioned engine; all-zero
+  // on serial runs. Pure execution-machinery stats: every field is a
+  // function of the simulation's round structure except barrier_wait_ns
+  // (wall clock, varies run to run) — none feed back into results.
+  struct EngineStats {
+    bool partitioned = false;
+    std::uint64_t windows = 0;
+    std::uint64_t equal_time_rounds = 0;
+    std::uint64_t events = 0;
+    std::uint64_t posts_routed = 0;
+    std::uint64_t mailbox_spills = 0;
+    std::uint64_t barrier_wait_ns = 0;
+    double events_per_window = 0.0;  // events / (windows + equal-time rounds)
+  };
+  EngineStats engine;
 };
 
 class MetricsCollector {

@@ -20,10 +20,13 @@ std::vector<Report> run_parallel(const std::vector<ExperimentConfig>& configs,
   // for that to bound a sweep's parallelism below the machine width).
   //
   // Thread budget: the global pool owns the machine. Experiments that
-  // run *inside* it (sweep workers) therefore execute their engines
-  // serially — run_experiment checks ThreadPool::on_pool_thread() and
-  // ignores engine_threads > 1 there — so sweep fan-out and partitioned
-  // single runs never multiply into hw^2 threads.
+  // run *inside* it (sweep workers) borrow idle budget for their engine
+  // threads — run_experiment calls ThreadPool::try_reserve_spare() and
+  // clamps engine_threads to 1 + whatever was granted — so a narrow
+  // sweep on a wide machine still partitions its engines, while a full
+  // fan-out degrades gracefully to serial engines instead of
+  // multiplying into hw^2 threads. Partitioning never changes results
+  // (serial-vs-parallel bit-identity), so the grant being racy is fine.
   if (threads == 0) return run_parallel(configs, util::ThreadPool::global());
   util::ThreadPool pool(threads);
   return run_parallel(configs, pool);

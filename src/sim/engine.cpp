@@ -314,6 +314,14 @@ void Engine::invoke(Callback cb) {
   router_->post_from_current(domain_id_, std::move(cb));
 }
 
+void Engine::invoke_after(SimTime dt, Callback cb) {
+  if (router_ == nullptr || ParallelEngine::current_domain() == domain_id_) {
+    schedule_at(now_ + dt, std::move(cb));
+    return;
+  }
+  router_->post_after(domain_id_, dt, std::move(cb));
+}
+
 Engine::EventId Engine::schedule_cross(SimTime t, Callback cb) {
   if (router_ == nullptr || ParallelEngine::current_domain() == domain_id_) {
     return schedule_at(t, std::move(cb));

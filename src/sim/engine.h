@@ -125,6 +125,15 @@ class Engine {
   // cross-domain event at the sending domain's current time.
   void invoke(Callback cb);
 
+  // Like invoke(), but `dt` nanoseconds after the caller's current time
+  // — the way a runtime models its dispatch/hand-off latency. Always an
+  // event (schedule_at(now + dt) locally and unpartitioned), so serial
+  // and partitioned runs execute it at the identical timestamp. A
+  // positive `dt` is what backs a positive lookahead claim on the
+  // (caller domain -> this domain) edge: the cross post carries
+  // time = caller_now + dt, never earlier.
+  void invoke_after(SimTime dt, Callback cb);
+
   // schedule_at that is safe from any domain. Returns a cancellable
   // EventId on the local path; an invalid EventId when the event was
   // routed cross-domain (cross-domain cancellation is not supported).

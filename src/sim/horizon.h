@@ -60,6 +60,48 @@ class LookaheadMatrix {
     }
   }
 
+  // Precomputed bound matrix: C(s, d) is the cheapest way any influence
+  // chain starting at a pending event in `s` can re-enter `d` — at
+  // least one edge, intermediate hops (including through `d` itself)
+  // unrestricted. It folds the effective-horizon fixed point into a
+  // static matrix, so per-round bounds become one flat min-plus pass:
+  //   safe_bound(d) == min over s of horizon(s) + C(s, d)
+  // (bit-identical to effective_horizons + safe_bound; the matrix only
+  // depends on the lookaheads, so compute it once per run, not per
+  // window). The diagonal C(d, d) is the minimum round trip out of and
+  // back into `d` — the self-echo that bounds a domain running alone.
+  LookaheadMatrix closed_bound_matrix() const {
+    const SimTime inf = std::numeric_limits<SimTime>::max();
+    auto sat = [inf](SimTime a, SimTime b) { return (a > inf - b) ? inf : a + b; };
+    // Reflexive-transitive min-plus closure D*(s, d): cheapest path
+    // s -> d over >= 0 edges (diagonal 0).
+    std::vector<SimTime> star(la_);
+    for (int d = 0; d < n_; ++d) star[index(d, d)] = 0;
+    for (int k = 0; k < n_; ++k) {
+      for (int s = 0; s < n_; ++s) {
+        for (int d = 0; d < n_; ++d) {
+          const SimTime via = sat(star[index(s, k)], star[index(k, d)]);
+          if (via < star[index(s, d)]) star[index(s, d)] = via;
+        }
+      }
+    }
+    // Last hop must be a real edge into d from some src != d, matching
+    // safe_bound's exclusion of d's own horizon as a direct bound.
+    LookaheadMatrix closed(n_);
+    for (int s = 0; s < n_; ++s) {
+      for (int d = 0; d < n_; ++d) {
+        SimTime best = inf;
+        for (int src = 0; src < n_; ++src) {
+          if (src == d) continue;
+          const SimTime reach = sat(star[index(s, src)], la_[index(src, d)]);
+          if (reach < best) best = reach;
+        }
+        closed.set(s, d, best);
+      }
+    }
+    return closed;
+  }
+
  private:
   std::size_t index(int src, int dst) const {
     return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +

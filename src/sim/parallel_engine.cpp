@@ -1,11 +1,13 @@
 #include "sim/parallel_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
-
-#include "util/thread_pool.h"
+#include <mutex>
+#include <thread>
 
 namespace liger::sim {
 
@@ -20,7 +22,120 @@ namespace {
 // on threads that never ran one.
 thread_local int tls_domain = -1;
 
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
+
+// Persistent workers synchronized by an epoch counter instead of a task
+// queue. Rounds are typically a few microseconds of simulation work;
+// packaged_task allocation plus a mutex/condvar handoff per window (the
+// PR 5 design) costs more than many windows execute. Here a round is:
+// the coordinator bumps `epoch_` (one release RMW), every worker runs a
+// *static* slice of the active set (participant p takes indices
+// congruent to p modulo the team size), decrements `pending_`, and the
+// coordinator spin-waits for zero. Static slices keep the assignment a
+// pure function of the active set — no work-stealing cursor whose
+// stale updates could race the next round's reset — so determinism
+// needs no reasoning about inter-thread timing at all. Workers spin
+// briefly between rounds, then park on a condvar; the coordinator only
+// takes the mutex when a sleeper exists.
+class ParallelEngine::WorkerTeam {
+ public:
+  WorkerTeam(ParallelEngine& pe, unsigned workers) : pe_(pe), stride_(workers + 1) {
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~WorkerTeam() {
+    stop_.store(true, std::memory_order_seq_cst);
+    bump_and_wake();
+    for (auto& t : threads_) t.join();
+  }
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  // Executes pe_.run_window for every domain in pe_.active_ across the
+  // team plus the calling thread; returns only after all windows ran.
+  void run_round(bool equal_time) {
+    equal_time_ = equal_time;
+    pending_.store(static_cast<int>(threads_.size()), std::memory_order_relaxed);
+    bump_and_wake();
+    run_slice(0);  // the coordinator is participant 0
+    if (pending_.load(std::memory_order_acquire) != 0) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      while (pending_.load(std::memory_order_acquire) != 0) cpu_relax();
+      pe_.stats_.barrier_wait_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count());
+    }
+  }
+
+ private:
+  static constexpr int kSpinIters = 4096;
+
+  void bump_and_wake() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  void run_slice(unsigned participant) {
+    const auto& active = pe_.active_;
+    for (std::size_t i = participant; i < active.size(); i += stride_) {
+      const int d = active[i];
+      pe_.run_window(d, pe_.bounds_[static_cast<std::size_t>(d)], equal_time_);
+    }
+  }
+
+  void worker_loop(unsigned id) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t e = epoch_.load(std::memory_order_acquire);
+      for (int spin = 0; e == seen && spin < kSpinIters; ++spin) {
+        cpu_relax();
+        e = epoch_.load(std::memory_order_acquire);
+      }
+      if (e == seen) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen;
+        });
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        e = epoch_.load(std::memory_order_acquire);
+      }
+      seen = e;
+      if (stop_.load(std::memory_order_acquire)) return;
+      run_slice(id + 1);
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  ParallelEngine& pe_;
+  const unsigned stride_;
+  bool equal_time_ = false;  // written by the coordinator before each epoch bump
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+};
 
 int ParallelEngine::current_domain() { return tls_domain; }
 
@@ -94,6 +209,17 @@ void ParallelEngine::post_from_current(int dst, Engine::Callback cb) {
   post(dst, engines_[static_cast<std::size_t>(src)]->now(), std::move(cb));
 }
 
+void ParallelEngine::post_after(int dst, SimTime dt, Engine::Callback cb) {
+  const int src = tls_domain;
+  // Outside any window the destination's clock is the only meaningful
+  // base (and the caller is single-threaded); inside a window the delay
+  // is anchored at the *sender's* clock — never read a peer's clock
+  // from a worker thread.
+  const SimTime base = (src < 0) ? engines_[static_cast<std::size_t>(dst)]->now()
+                                 : engines_[static_cast<std::size_t>(src)]->now();
+  post(dst, base + dt, std::move(cb));
+}
+
 void ParallelEngine::run_window(int d, SimTime bound, bool equal_time) {
   tls_domain = d;
   Engine& e = *engines_[static_cast<std::size_t>(d)];
@@ -117,30 +243,60 @@ void ParallelEngine::drain_mailboxes() {
   }
 }
 
+std::uint64_t ParallelEngine::total_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : executed_) total += c.n;
+  return total;
+}
+
+std::uint64_t ParallelEngine::total_routed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : routed_posts_) total += c.n;
+  return total;
+}
+
 std::uint64_t ParallelEngine::run(unsigned threads) {
   if (running_) invariant_failed("run() is not reentrant");
   running_ = true;
   const int n = num_domains();
   if (threads < 1) threads = 1;
   threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
+  // Worker count is a pure execution knob: results are bit-identical at
+  // any value, so oversubscribing the machine only buys context-switch
+  // thrash (a window barrier on a single core costs several scheduler
+  // round-trips). Clamp to the hardware; the domain layout — and with
+  // it the window structure — is fixed by the partition, not by how
+  // many OS threads happen to execute it.
+  threads = std::min<unsigned>(threads, std::max(1u, std::thread::hardware_concurrency()));
 
-  // Workers live for the whole run; windows are dispatched onto them and
-  // joined per round. threads == 1 executes the identical schedule on
+  // Workers persist for the whole run and synchronize on an epoch
+  // barrier; single-domain rounds stay on the calling thread without
+  // touching the team. threads == 1 executes the identical schedule on
   // the calling thread.
-  std::unique_ptr<util::ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads - 1);
-  std::vector<std::future<void>> joins;
-  joins.reserve(static_cast<std::size_t>(n));
+  std::unique_ptr<WorkerTeam> team;
+  if (threads > 1) team = std::make_unique<WorkerTeam>(*this, threads - 1);
 
   const std::uint64_t before = stats_.events;
   // Posts made before run() (construction-time wiring) merge first.
   drain_mailboxes();
+  std::uint64_t routed_seen = total_routed();
+  prev_horizons_.assign(static_cast<std::size_t>(n), -1);  // never a horizon
+  // The lookahead graph is fixed for the whole run, so the min-plus
+  // fixed point folds into one static matrix: per round, a bound is a
+  // flat min over horizon(s) + closed(s, d) — no iterative relaxation,
+  // no atomic re-reads (see LookaheadMatrix::closed_bound_matrix).
+  const LookaheadMatrix closed = lookahead_.closed_bound_matrix();
   for (;;) {
-    // 1. Publish horizons.
+    // 1. Publish horizons, once per round (not per event).
     SimTime min_next = EventHorizon::kInfinity;
+    bool moved = false;
     for (int d = 0; d < n; ++d) {
       const SimTime t = engines_[static_cast<std::size_t>(d)]->next_event_time();
       const SimTime h = (t == Engine::kNoEvent) ? EventHorizon::kInfinity : t;
+      if (h != prev_horizons_[static_cast<std::size_t>(d)]) {
+        prev_horizons_[static_cast<std::size_t>(d)] = h;
+        moved = true;
+      }
       horizon_.publish(d, h);
       min_next = std::min(min_next, h);
     }
@@ -149,12 +305,25 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
     // 2. Conservative bounds from the *effective* horizons — the
     // min-plus closure that accounts for idle domains being
     // re-activated by peers (an empty queue is not an infinite
-    // promise; see horizon.h).
-    horizon_.effective_horizons(lookahead_, heff_);
+    // promise; see horizon.h). When no horizon moved since the last
+    // round the closure (and the bounds derived from it) cannot have
+    // moved either, so the recomputation is skipped.
+    if (moved) {
+      for (int d = 0; d < n; ++d) {
+        SimTime bound = EventHorizon::kInfinity;
+        for (int s = 0; s < n; ++s) {
+          const SimTime reach = EventHorizon::saturating_add(
+              prev_horizons_[static_cast<std::size_t>(s)], closed.get(s, d));
+          if (reach < bound) bound = reach;
+        }
+        bounds_[static_cast<std::size_t>(d)] = bound;
+      }
+    } else {
+      ++stats_.horizon_skips;
+    }
     active_.clear();
     for (int d = 0; d < n; ++d) {
-      bounds_[static_cast<std::size_t>(d)] = EventHorizon::safe_bound(d, lookahead_, heff_);
-      const SimTime h = horizon_.horizon(d);
+      const SimTime h = prev_horizons_[static_cast<std::size_t>(d)];
       if (h != EventHorizon::kInfinity && h < bounds_[static_cast<std::size_t>(d)]) {
         active_.push_back(d);
       }
@@ -165,7 +334,7 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
     const bool equal_time = active_.empty();
     if (equal_time) {
       for (int d = 0; d < n; ++d) {
-        if (horizon_.horizon(d) == min_next) active_.push_back(d);
+        if (prev_horizons_[static_cast<std::size_t>(d)] == min_next) active_.push_back(d);
       }
       for (int& d : active_) bounds_[static_cast<std::size_t>(d)] = min_next;
       ++stats_.equal_time_rounds;
@@ -173,24 +342,38 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
       ++stats_.windows;
     }
 
-    if (pool == nullptr || active_.size() == 1) {
+    const std::uint64_t executed_before =
+        window_log_ != nullptr ? total_executed() : 0;
+
+    if (team == nullptr || active_.size() == 1) {
       for (int d : active_) run_window(d, bounds_[static_cast<std::size_t>(d)], equal_time);
     } else {
-      joins.clear();
-      for (std::size_t i = 1; i < active_.size(); ++i) {
-        const int d = active_[i];
-        joins.push_back(pool->submit(
-            [this, d, b = bounds_[static_cast<std::size_t>(d)], equal_time] {
-              run_window(d, b, equal_time);
-            }));
-      }
-      run_window(active_.front(), bounds_[static_cast<std::size_t>(active_.front())],
-                 equal_time);
-      for (auto& j : joins) j.get();  // 5. barrier
+      team->run_round(equal_time);  // barrier: returns after all windows
     }
 
-    // 5. Merge cross-domain events in fixed (dst, src, FIFO) order.
-    drain_mailboxes();
+    if (window_log_ != nullptr) {
+      WindowRecord rec;
+      rec.start = EventHorizon::kInfinity;
+      for (int d : active_) {
+        rec.start = std::min(rec.start, prev_horizons_[static_cast<std::size_t>(d)]);
+        rec.end = std::max(rec.end, bounds_[static_cast<std::size_t>(d)]);
+      }
+      rec.active_domains = static_cast<std::uint32_t>(active_.size());
+      rec.events = static_cast<std::uint32_t>(total_executed() - executed_before);
+      rec.equal_time = equal_time;
+      window_log_->push_back(rec);
+    }
+
+    // 5. Merge cross-domain events in fixed (dst, src, FIFO) order —
+    // all mailboxes in one pass, and no pass at all when the round
+    // routed nothing (the common case for windows that stayed local).
+    const std::uint64_t routed_now = total_routed();
+    if (routed_now != routed_seen) {
+      drain_mailboxes();
+      routed_seen = routed_now;
+    } else {
+      ++stats_.drain_skips;
+    }
   }
 
   // Fold the per-domain counters into the aggregate stats.

@@ -49,10 +49,6 @@
 #include "sim/mailbox.h"
 #include "sim/time.h"
 
-namespace liger::util {
-class ThreadPool;
-}
-
 namespace liger::sim {
 
 class ParallelEngine {
@@ -70,6 +66,22 @@ class ParallelEngine {
     std::uint64_t posts_routed = 0;       // cross-domain posts via mailboxes
     std::uint64_t posts_direct = 0;       // posts made outside any window
     std::uint64_t mailbox_spills = 0;     // ring overflows (capacity tuning)
+    std::uint64_t barrier_wait_ns = 0;    // wall-clock the coordinator spent
+                                          // waiting for workers at barriers
+    std::uint64_t drain_skips = 0;        // barrier drains skipped (no posts)
+    std::uint64_t horizon_skips = 0;      // closure recomputes skipped
+  };
+
+  // One entry per synchronization round, recorded only when a log is
+  // attached (set_window_log). Records are pure functions of the round
+  // structure — identical for every worker-thread count — so they are
+  // safe to surface in traces that are compared across runs.
+  struct WindowRecord {
+    SimTime start = 0;  // earliest horizon among active domains
+    SimTime end = 0;    // largest exclusive bound (== start for equal-time)
+    std::uint32_t active_domains = 0;
+    std::uint32_t events = 0;
+    bool equal_time = false;
   };
 
   explicit ParallelEngine(int num_domains) : ParallelEngine(num_domains, Options()) {}
@@ -97,6 +109,12 @@ class ParallelEngine {
   // plain synchronous call, made safe across domains).
   void post_from_current(int dst, Engine::Callback cb);
 
+  // Like post, at `dt` after the sending domain's current time — the
+  // backing of Engine::invoke_after. A `dt` no smaller than the
+  // (src, dst) lookahead entry always satisfies the claim check, which
+  // is how serving-layer dispatch latencies turn into window width.
+  void post_after(int dst, SimTime dt, Engine::Callback cb);
+
   // Runs every domain to exhaustion with up to `threads` workers
   // (including the calling thread); returns the number of events
   // executed. threads <= 1 runs the same windows sequentially — same
@@ -111,11 +129,18 @@ class ParallelEngine {
 
   const Stats& stats() const { return stats_; }
 
+  // Attaches a per-round window log (nullptr detaches). The vector is
+  // appended to by run() on the coordinating thread only; it must stay
+  // alive for the duration of run().
+  void set_window_log(std::vector<WindowRecord>* log) { window_log_ = log; }
+
   // Domain whose window the calling thread is currently executing, or
   // -1 outside any window.
   static int current_domain();
 
  private:
+  class WorkerTeam;  // persistent epoch-barrier workers (see .cpp)
+
   struct alignas(64) DomainCounter {
     std::uint64_t n = 0;
   };
@@ -133,14 +158,18 @@ class ParallelEngine {
   std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;  // src-major [src][dst]
   LookaheadMatrix lookahead_;
   EventHorizon horizon_;
+  std::uint64_t total_executed() const;
+  std::uint64_t total_routed() const;
+
   std::vector<DomainCounter> executed_;      // per-domain, written inside windows
   std::vector<DomainCounter> routed_posts_;  // per-source, written inside windows
   Stats stats_;
   bool running_ = false;
+  std::vector<WindowRecord>* window_log_ = nullptr;
 
   // Scratch, reused across windows (no steady-state allocation).
   std::vector<SimTime> bounds_;
-  std::vector<SimTime> heff_;  // effective-horizon scratch (see horizon.h)
+  std::vector<SimTime> prev_horizons_;  // last published values (skip detection)
   std::vector<int> active_;
 };
 

@@ -84,6 +84,33 @@ void ChromeTraceSink::write_json(std::ostream& out) const {
     w.end_object();
     w.end_object();
   }
+  // Parallel-engine synchronization rounds on their own row: window
+  // width and events-per-window are the overhead the partitioned
+  // execution lives or dies by, so they belong next to the kernels.
+  constexpr int kWindowsPid = -3;
+  if (!windows_.empty()) pids.emplace(kWindowsPid, "windows");
+  for (const auto& rec : windows_) {
+    w.begin_object();
+    w.kv("name", rec.equal_time ? "equal-time" : "window");
+    w.kv("cat", "engine");
+    if (rec.start == rec.end) {
+      w.kv("ph", "i");
+      w.kv("s", "g");
+      w.kv("ts", static_cast<double>(rec.start) / 1e3);
+    } else {
+      w.kv("ph", "X");
+      w.kv("ts", static_cast<double>(rec.start) / 1e3);
+      w.kv("dur", static_cast<double>(rec.end - rec.start) / 1e3);
+    }
+    w.kv("pid", kWindowsPid);
+    w.kv("tid", 0);
+    w.key("args");
+    w.begin_object();
+    w.kv("domains", rec.active_domains);
+    w.kv("events", static_cast<double>(rec.events));
+    w.end_object();
+    w.end_object();
+  }
   // Name the process rows so multi-node timelines read as
   // "node0.gpu0 ... node1.gpu3, fabric" in Perfetto.
   for (const auto& [pid, label] : pids) {

@@ -12,16 +12,31 @@
 
 namespace liger::trace {
 
+// One parallel-engine synchronization round (window or equal-time
+// fixed point), rendered on a dedicated "windows" row. Kept outside
+// the kernel/fault record streams: it describes how the simulation was
+// *executed*, not what it simulated.
+struct EngineWindowRecord {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;  // == start for an equal-time round
+  int active_domains = 0;
+  std::uint64_t events = 0;
+  bool equal_time = false;
+};
+
 class ChromeTraceSink : public gpu::TraceSink {
  public:
   void on_kernel(const gpu::KernelTraceRecord& rec) override { records_.push_back(rec); }
   void on_fault(const gpu::FaultTraceRecord& rec) override { faults_.push_back(rec); }
+  void add_engine_window(const EngineWindowRecord& rec) { windows_.push_back(rec); }
 
   const std::vector<gpu::KernelTraceRecord>& records() const { return records_; }
   const std::vector<gpu::FaultTraceRecord>& fault_records() const { return faults_; }
+  const std::vector<EngineWindowRecord>& engine_windows() const { return windows_; }
   void clear() {
     records_.clear();
     faults_.clear();
+    windows_.clear();
   }
 
   // Writes the Trace Event Format JSON ("traceEvents" array of complete
@@ -43,6 +58,7 @@ class ChromeTraceSink : public gpu::TraceSink {
  private:
   std::vector<gpu::KernelTraceRecord> records_;
   std::vector<gpu::FaultTraceRecord> faults_;
+  std::vector<EngineWindowRecord> windows_;
 };
 
 }  // namespace liger::trace

@@ -7,7 +7,7 @@
 namespace liger::util {
 
 namespace {
-thread_local bool tls_on_pool_thread = false;
+thread_local ThreadPool* tls_pool = nullptr;
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
@@ -17,7 +17,35 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-bool ThreadPool::on_pool_thread() { return tls_on_pool_thread; }
+bool ThreadPool::on_pool_thread() { return tls_pool != nullptr; }
+
+ThreadPool* ThreadPool::current() { return tls_pool; }
+
+unsigned ThreadPool::idle_workers() const {
+  const unsigned total = static_cast<unsigned>(workers_.size());
+  const unsigned used = busy_.load(std::memory_order_relaxed) +
+                        reserved_.load(std::memory_order_relaxed);
+  return total > used ? total - used : 0;
+}
+
+unsigned ThreadPool::try_reserve_spare(unsigned want) {
+  if (want == 0) return 0;
+  unsigned cur = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    const unsigned total = static_cast<unsigned>(workers_.size());
+    const unsigned used = busy_.load(std::memory_order_relaxed) + cur;
+    const unsigned spare = total > used ? total - used : 0;
+    const unsigned grant = std::min(want, spare);
+    if (grant == 0) return 0;
+    if (reserved_.compare_exchange_weak(cur, cur + grant, std::memory_order_relaxed)) {
+      return grant;
+    }
+  }
+}
+
+void ThreadPool::release_spare(unsigned n) {
+  if (n > 0) reserved_.fetch_sub(n, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -46,7 +74,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
 }
 
 void ThreadPool::worker_loop() {
-  tls_on_pool_thread = true;
+  tls_pool = this;
   while (true) {
     std::function<void()> job;
     {
@@ -56,7 +84,9 @@ void ThreadPool::worker_loop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     job();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

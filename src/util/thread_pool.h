@@ -3,6 +3,7 @@
 // by serving::run_parallel to fan experiment sweeps across cores.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -30,12 +31,30 @@ class ThreadPool {
   // thread budget: sweep fan-out runs here, and each experiment that
   // itself wants engine threads spawns them short-lived per run —
   // nested submission into this pool from one of its own workers would
-  // deadlock, so nested users must check on_pool_thread() and fall back
-  // to serial execution.
+  // deadlock, so nested users check on_pool_thread() and instead
+  // *borrow* idle budget with try_reserve_spare() for threads they
+  // spawn themselves.
   static ThreadPool& global();
 
   // True on threads owned by any ThreadPool (see global()'s contract).
   static bool on_pool_thread();
+
+  // The pool owning the calling thread, or nullptr off-pool.
+  static ThreadPool* current();
+
+  // Workers neither running a job nor reserved via try_reserve_spare().
+  // A racy snapshot: jobs start and finish concurrently with the read.
+  unsigned idle_workers() const;
+
+  // Reserves up to `want` threads' worth of idle budget for work the
+  // caller runs *outside* this pool (e.g. a sweep worker spinning up
+  // engine threads for its own experiment). Returns the granted count,
+  // possibly 0; pair every grant with release_spare(). The accounting
+  // is intentionally approximate — concurrent job starts can briefly
+  // oversubscribe by a few threads — because thread counts never affect
+  // simulation results, only wall-clock.
+  unsigned try_reserve_spare(unsigned want);
+  void release_spare(unsigned n);
 
   // Schedules a callable; the future resolves with its result (or
   // exception).
@@ -63,6 +82,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<unsigned> busy_{0};      // workers currently inside a job
+  std::atomic<unsigned> reserved_{0};  // budget lent out via try_reserve_spare
 };
 
 }  // namespace liger::util

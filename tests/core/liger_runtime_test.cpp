@@ -166,7 +166,9 @@ TEST(LigerRuntimeTest, ActivationMemoryAccounting) {
   LigerRuntime runtime(node, model::ModelZoo::opt_30b().with_layers(4));
   runtime.set_completion_hook([](const model::BatchRequest&, sim::SimTime) {});
   submit_backlog(runtime, 3);
-  // All three in flight right after submission.
+  // All three in flight once the dispatch hop lands (submit defers its
+  // bookkeeping by kSubmitDispatchLatency); no kernel has completed yet.
+  engine.run_until(kSubmitDispatchLatency);
   const auto mid = runtime.stats().current_activation_bytes;
   EXPECT_GT(mid, 0u);
   engine.run();

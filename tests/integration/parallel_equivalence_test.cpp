@@ -12,9 +12,15 @@
 //     total-order sort the partitioned path uses (the serial path emits
 //     records in engine order; the partitioned path in canonical order
 //     — the record *sets* must match exactly).
-// Between two partitioned runs (threads 2 vs 4) even the raw JSON bytes
-// must match: thread count only changes which OS thread runs a window.
+// Between two partitioned runs with the same domain layout even the raw
+// JSON bytes must match: worker count only changes which OS thread runs
+// a window. Domain fusion picks the layout from the thread count
+// (min(num_nodes, engine_threads) node domains), so the raw comparison
+// runs at 4 vs 8 threads — every figure config's layout is saturated by
+// 4 — while report/canonical-trace identity is asserted across layouts.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include <limits>
 #include <sstream>
@@ -98,11 +104,28 @@ void expect_equivalent_across_threads(const ExperimentConfig& cfg,
       << label << ": trace diverged, serial vs 2 threads";
   EXPECT_EQ(serial.trace_canonical, four.trace_canonical)
       << label << ": trace diverged, serial vs 4 threads";
-  // Two partitioned runs differ only in worker count: identical windows,
-  // identical merge order, byte-identical raw output.
-  EXPECT_EQ(two.trace_raw, four.trace_raw)
-      << label << ": partitioned runs must emit byte-identical traces";
   EXPECT_EQ(two.report, four.report);
+  // Two partitioned runs with the same domain layout differ only in
+  // worker count: identical windows, identical merge order,
+  // byte-identical raw output (including the engine-windows trace row).
+  const RunOutput eight = run_traced(cfg, 8);
+  EXPECT_EQ(four.trace_raw, eight.trace_raw)
+      << label << ": same-layout partitioned runs must emit byte-identical traces";
+  EXPECT_EQ(four.report, eight.report);
+
+  // CI hook: the scheduled tier-2 TSan job re-runs the suite at the
+  // machine's full width (LIGER_EQUIVALENCE_EXTRA_THREADS=$(nproc)),
+  // exercising worker schedules a fixed thread list cannot.
+  if (const char* extra_env = std::getenv("LIGER_EQUIVALENCE_EXTRA_THREADS")) {
+    const int extra = std::atoi(extra_env);
+    if (extra > 1) {
+      const RunOutput wide = run_traced(cfg, extra);
+      EXPECT_EQ(serial.report, wide.report)
+          << label << ": serial vs " << extra << " threads";
+      EXPECT_EQ(serial.trace_canonical, wide.trace_canonical)
+          << label << ": trace diverged, serial vs " << extra << " threads";
+    }
+  }
 }
 
 constexpr std::uint64_t kSeeds[] = {7, 41, 1234};
@@ -126,6 +149,22 @@ TEST(ParallelEquivalenceTest, Fig10SingleNodeServing) {
   for (const auto seed : kSeeds) {
     expect_equivalent_across_threads(fig10_config(seed),
                                      "fig10 seed " + std::to_string(seed));
+  }
+}
+
+// --- cluster-wide TP: one runtime braided across every node --------------
+
+TEST(ParallelEquivalenceTest, ClusterWideTensorParallelTwoNodes) {
+  // The second lifted serial fallback: a Liger TP group spanning the
+  // whole cluster runs on the fused host + world partition, with the
+  // fabric leg of its hierarchical collectives domain-local to the
+  // nodes it synchronizes.
+  for (const auto seed : kSeeds) {
+    ExperimentConfig cfg = fig10_config(seed);
+    cfg.num_nodes = 2;
+    cfg.fabric = interconnect::FabricSpec::ib_hdr();
+    expect_equivalent_across_threads(cfg,
+                                     "cluster-TP seed " + std::to_string(seed));
   }
 }
 
@@ -208,7 +247,7 @@ TEST(ParallelEquivalenceTest, Fig11GenerativeDecode) {
   }
 }
 
-// --- fig16: fault injection falls back to serial -------------------------
+// --- fig16: fault injection under the partitioned engine -----------------
 
 ExperimentConfig fig16_config(std::uint64_t seed) {
   ExperimentConfig cfg = fig10_config(seed);
@@ -227,9 +266,10 @@ ExperimentConfig fig16_config(std::uint64_t seed) {
 }
 
 TEST(ParallelEquivalenceTest, Fig16FaultRunsIdenticalAtAnyThreadCount) {
-  // Fault experiments run serially regardless of engine_threads (the
-  // injector mutates cross-domain state at injection time); the knob
-  // must be a no-op on their results.
+  // Fault experiments run under the parallel engine on a fused
+  // host + world partition: monitor callbacks, injection follow-ups and
+  // failover rebuilds are all domain-local events, and the chaos replay
+  // (fault records included) must be bit-for-bit identical to serial.
   for (const auto seed : kSeeds) {
     expect_equivalent_across_threads(fig16_config(seed),
                                      "fig16 seed " + std::to_string(seed));

@@ -1,0 +1,187 @@
+// Unit tests for the conservative-synchronization primitives: the
+// min-plus effective-horizon closure, its saturation behaviour, and the
+// precomputed closed bound matrix the engine's run loop uses in place
+// of per-round relaxation.
+#include "sim/horizon.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace liger::sim {
+namespace {
+
+constexpr SimTime kInf = EventHorizon::kInfinity;
+
+std::vector<SimTime> closure(const EventHorizon& horizon, const LookaheadMatrix& la) {
+  std::vector<SimTime> heff;
+  horizon.effective_horizons(la, heff);
+  return heff;
+}
+
+// A zero-lookahead cycle gives no domain any slack: every effective
+// horizon collapses to the global minimum (any domain could receive an
+// event caused by the earliest pending event, instantly, through any
+// chain).
+TEST(EventHorizonClosure, ZeroLookaheadCycleCollapsesToGlobalMin) {
+  LookaheadMatrix la(3);  // all-zero
+  EventHorizon horizon(3);
+  horizon.publish(0, 500);
+  horizon.publish(1, 100);
+  horizon.publish(2, kInf);  // idle: an empty queue is not a promise
+
+  const auto heff = closure(horizon, la);
+  for (int d = 0; d < 3; ++d) EXPECT_EQ(heff[static_cast<std::size_t>(d)], 100);
+  for (int d = 0; d < 3; ++d) EXPECT_EQ(EventHorizon::safe_bound(d, la, heff), 100);
+}
+
+// All-idle system: horizons stay infinite through the closure and every
+// bound is infinite — the run loop's termination condition.
+TEST(EventHorizonClosure, AllIdleStaysInfinite) {
+  LookaheadMatrix la(3);
+  la.set_cross(10);
+  EventHorizon horizon(3);  // all kInfinity by construction
+
+  const auto heff = closure(horizon, la);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(heff[static_cast<std::size_t>(d)], kInf);
+    EXPECT_EQ(EventHorizon::safe_bound(d, la, heff), kInf);
+  }
+}
+
+// Saturation: a horizon near the SimTime maximum plus a positive
+// lookahead must clamp to kInfinity, not wrap to a tiny bound.
+TEST(EventHorizonClosure, SaturatingAddClampsAtInfinity) {
+  EXPECT_EQ(EventHorizon::saturating_add(kInf, 0), kInf);
+  EXPECT_EQ(EventHorizon::saturating_add(kInf, 1), kInf);
+  EXPECT_EQ(EventHorizon::saturating_add(kInf - 5, 10), kInf);
+  EXPECT_EQ(EventHorizon::saturating_add(kInf - 10, 10), kInf);
+  EXPECT_EQ(EventHorizon::saturating_add(kInf - 11, 10), kInf - 1);
+
+  LookaheadMatrix la(2);
+  la.set_cross(1000);
+  EventHorizon horizon(2);
+  horizon.publish(0, kInf - 1);
+  horizon.publish(1, kInf - 1);
+  const auto heff = closure(horizon, la);
+  EXPECT_EQ(heff[0], kInf - 1);
+  EXPECT_EQ(heff[1], kInf - 1);
+  EXPECT_EQ(EventHorizon::safe_bound(0, la, heff), kInf);
+  EXPECT_EQ(EventHorizon::safe_bound(1, la, heff), kInf);
+}
+
+// Single-domain degenerate partition: no peers means no constraint —
+// the bound is infinite and the domain free-runs (the serial engine).
+TEST(EventHorizonClosure, SingleDomainBoundIsInfinite) {
+  LookaheadMatrix la(1);
+  EventHorizon horizon(1);
+  horizon.publish(0, 42);
+  const auto heff = closure(horizon, la);
+  EXPECT_EQ(heff[0], 42);
+  EXPECT_EQ(EventHorizon::safe_bound(0, la, heff), kInf);
+}
+
+// Influence chains through idle domains: an idle middle domain relays
+// its neighbour's promise (plus lookahead) instead of promising
+// infinity. heff(2) must see 0's horizon through 1, and 2's bound is
+// the two-hop cost — the reason the closure iterates to a fixed point.
+TEST(EventHorizonClosure, ChainsPropagateThroughIdleDomains) {
+  LookaheadMatrix la(3);
+  la.set(0, 1, 10);
+  la.set(1, 2, 20);
+  la.set(0, 2, 100);  // direct edge costlier than the 0 -> 1 -> 2 chain
+  la.set(1, 0, 50);
+  la.set(2, 0, 50);
+  la.set(2, 1, 50);
+  EventHorizon horizon(3);
+  horizon.publish(0, 100);
+  horizon.publish(1, kInf);  // idle middle domain still relays
+  horizon.publish(2, kInf);
+
+  const auto heff = closure(horizon, la);
+  EXPECT_EQ(heff[0], 100);
+  EXPECT_EQ(heff[1], 110);  // through la(0,1)
+  EXPECT_EQ(heff[2], 130);  // two-hop chain beats the direct edge
+}
+
+// Asymmetric claims (the serving-layer shape: host->node positive,
+// node->host zero): the node's window extends past the host's horizon
+// by the dispatch lookahead; the host gets no such slack.
+TEST(EventHorizonClosure, AsymmetricLookaheadWidensOneDirection) {
+  LookaheadMatrix la(2);
+  la.set(0, 1, 1200);  // host -> node: dispatch hop
+  la.set(1, 0, 0);     // node -> host: completions are instant
+  EventHorizon horizon(2);
+  horizon.publish(0, 5000);  // host
+  horizon.publish(1, 5000);  // node
+
+  const auto heff = closure(horizon, la);
+  EXPECT_EQ(EventHorizon::safe_bound(1, la, heff), 6200);  // node runs ahead
+  EXPECT_EQ(EventHorizon::safe_bound(0, la, heff), 5000);  // host pinned
+}
+
+// The closed bound matrix must reproduce the iterative fixed point
+// exactly: for a grid of horizon assignments over an asymmetric,
+// partially-zero lookahead graph,
+//   min over s of horizon(s) + closed(s, d)  ==  safe_bound(d).
+// This is the identity the engine's run loop relies on when it swaps
+// per-round relaxation for the precomputed matrix.
+TEST(EventHorizonClosure, ClosedBoundMatrixMatchesIterativeFixedPoint) {
+  constexpr int n = 4;
+  LookaheadMatrix la(n);
+  la.set(0, 1, 1200);
+  la.set(0, 2, 1200);
+  la.set(0, 3, 1200);
+  la.set(1, 2, 500);
+  la.set(2, 1, 500);
+  la.set(2, 3, 700);
+  la.set(3, 0, 0);
+  la.set(1, 0, 0);
+  const LookaheadMatrix closed = la.closed_bound_matrix();
+
+  // Deterministic pseudo-grid of horizon assignments, including idle
+  // domains and near-saturation values.
+  const SimTime samples[] = {0, 1, 999, 123456, kInf - 1, kInf};
+  int case_index = 0;
+  for (const SimTime h0 : samples) {
+    for (const SimTime h1 : samples) {
+      for (const SimTime h2 : samples) {
+        const SimTime h3 = samples[static_cast<std::size_t>(case_index++ % 6)];
+        EventHorizon horizon(n);
+        horizon.publish(0, h0);
+        horizon.publish(1, h1);
+        horizon.publish(2, h2);
+        horizon.publish(3, h3);
+        const auto heff = closure(horizon, la);
+        for (int d = 0; d < n; ++d) {
+          SimTime via_closed = kInf;
+          for (int s = 0; s < n; ++s) {
+            via_closed = std::min(
+                via_closed,
+                EventHorizon::saturating_add(horizon.horizon(s), closed.get(s, d)));
+          }
+          EXPECT_EQ(via_closed, EventHorizon::safe_bound(d, la, heff))
+              << "domain " << d << " horizons " << h0 << "," << h1 << "," << h2 << ","
+              << h3;
+        }
+      }
+    }
+  }
+}
+
+// The diagonal of the closed matrix is the self-echo round trip: a
+// domain running alone is bounded by its own horizon plus the cheapest
+// way out and back.
+TEST(EventHorizonClosure, ClosedMatrixDiagonalIsMinRoundTrip) {
+  LookaheadMatrix la(2);
+  la.set(0, 1, 300);
+  la.set(1, 0, 900);
+  const LookaheadMatrix closed = la.closed_bound_matrix();
+  EXPECT_EQ(closed.get(0, 0), 1200);  // 0 -> 1 -> 0
+  EXPECT_EQ(closed.get(1, 1), 1200);  // 1 -> 0 -> 1
+  EXPECT_EQ(closed.get(0, 1), 300);
+  EXPECT_EQ(closed.get(1, 0), 900);
+}
+
+}  // namespace
+}  // namespace liger::sim

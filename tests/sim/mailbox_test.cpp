@@ -63,6 +63,59 @@ TEST(SpscMailbox, OverflowSpillsAndKeepsFifo) {
   EXPECT_EQ(e.time, 99);
 }
 
+// Once the ring has overflowed, pushes keep spilling even after the
+// consumer frees ring slots: mixing ring and spill entries would break
+// FIFO. Only a full drain (the engine's window barrier) re-arms the
+// lock-free path.
+TEST(SpscMailbox, PartialDrainDoesNotReArmSpill) {
+  SpscMailbox box(4);
+  for (int i = 0; i < 6; ++i) box.push(i, [] {});  // 4 ring + 2 spill
+  EXPECT_EQ(box.spilled(), 2u);
+
+  SpscMailbox::Entry e;
+  ASSERT_TRUE(box.pop(e));
+  EXPECT_EQ(e.time, 0);
+  ASSERT_TRUE(box.pop(e));
+  EXPECT_EQ(e.time, 1);
+
+  // Two ring slots are free, but the mailbox must stay in spill mode.
+  box.push(6, [] {});
+  EXPECT_EQ(box.spilled(), 3u);
+
+  SimTime expected = 2;
+  while (box.pop(e)) EXPECT_EQ(e.time, expected++);
+  EXPECT_EQ(expected, 7);
+  EXPECT_TRUE(box.empty());
+
+  // Fully drained: the next push is lock-free again.
+  box.push(100, [] {});
+  EXPECT_EQ(box.spilled(), 3u);
+  ASSERT_TRUE(box.pop(e));
+  EXPECT_EQ(e.time, 100);
+}
+
+// Overflow after the cursors have wrapped the ring several times: the
+// masked indices start mid-ring, and FIFO order across the ring->spill
+// boundary must still hold.
+TEST(SpscMailbox, OverflowAfterWrapKeepsFifo) {
+  SpscMailbox box(4);
+  SpscMailbox::Entry e;
+  SimTime t = 0;
+  for (int round = 0; round < 7; ++round) {  // 7 push/pop pairs: wraps past 4
+    box.push(t++, [] {});
+    ASSERT_TRUE(box.pop(e));
+  }
+  // Now overflow from a wrapped position.
+  const SimTime base = t;
+  for (int i = 0; i < 11; ++i) box.push(t++, [] {});
+  EXPECT_EQ(box.spilled(), 11u - box.capacity());
+
+  SimTime expected = base;
+  while (box.pop(e)) EXPECT_EQ(e.time, expected++);
+  EXPECT_EQ(expected, base + 11);
+  EXPECT_TRUE(box.empty());
+}
+
 TEST(SpscMailbox, RecyclesRingSlots) {
   SpscMailbox box(4);
   // Many windows of push/pop within capacity: never spills.
