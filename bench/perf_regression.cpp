@@ -16,20 +16,26 @@
 //                            (OPT-30B, 4xV100-NVLink, batch 2, Liger)
 //   * fig11_generative     — end-to-end multi-conversation generative
 //                            serving (prefill + chained decodes)
-//   * fig15_multinode      — end-to-end 4-node hybrid serving, swept
-//                            over engine_threads {1, 2, 4, hw}; every
+//   * fig15_multinode      — end-to-end 4-node hybrid serving (8-GPU
+//                            nodes, two pipeline stages per node), swept
+//                            over engine_threads {1, 2, 4, 8, hw}; every
 //                            partitioned entry records its wall-clock
 //                            speedup_vs_serial, the harness exits
 //                            non-zero if any partitioned makespan
-//                            diverges from serial, and it warns (but
-//                            does not fail) when a partitioned run is
-//                            slower than serial
+//                            diverges from serial, and it warns (or
+//                            fails, under --fail_below_serial) when a
+//                            partitioned run is slower than serial
 //
 // Flags:
 //   --out FILE          output path            (default BENCH_engine.json)
 //   --min_time SECS     min measured time/bench (default 0.3)
 //   --requests N        fig10 panel-a requests  (default 120)
-//   --fig15_requests N  fig15 hybrid requests   (default 60)
+//   --fig15_requests N  fig15 hybrid requests   (default 96)
+//   --filter SUBSTR     run only benchmarks whose name contains SUBSTR
+//   --fail_below_serial exit non-zero if any partitioned fig15 entry is
+//                       slower than serial (the CI regression guard; off
+//                       by default so a busy local machine cannot fail
+//                       the harness spuriously)
 //   --baseline          also print the recorded pre-optimization numbers
 //
 // The JSON includes, alongside the fresh measurements, the recorded
@@ -222,8 +228,10 @@ GenerativeSteadyResult generative_steady(int conversations, int tokens) {
   return out;
 }
 
-// End-to-end multi-node hybrid serving (fig15-style: OPT-30B, 4 V100
-// nodes, IB-HDR, one pipeline stage per node) at a given engine_threads.
+// End-to-end multi-node hybrid serving (fig15-style: OPT-30B, 4 8-GPU
+// V100 nodes, IB-HDR, TP=4 so each node hosts two pipeline stages —
+// two cells, the two-level hierarchical partition) at a given
+// engine_threads.
 // The partitioned engine must reproduce the serial run bit-for-bit, so
 // the harness aborts on a makespan mismatch — wall-clock deltas between
 // entries are pure engine overhead/speedup, never a different
@@ -241,24 +249,41 @@ struct Fig15Result {
 
 Fig15Result fig15_multinode(int requests, int engine_threads) {
   serving::ExperimentConfig cfg;
-  cfg.node = gpu::NodeSpec::v100_nvlink(4);
+  cfg.node = gpu::NodeSpec::v100_nvlink(8);
   cfg.model = model::ModelZoo::opt_30b();
   cfg.method = serving::Method::kHybrid;
   cfg.num_nodes = 4;
+  cfg.hybrid_tp = 4;  // two stage slices (cells) per 8-GPU node
+  cfg.hybrid_pp = 8;
   cfg.fabric = interconnect::FabricSpec::ib_hdr();
-  cfg.rate = 120.0;
+  cfg.rate = 480.0;
   cfg.workload.num_requests = requests;
   cfg.workload.batch_size = 2;
   cfg.engine_threads = engine_threads;
-  const auto start = Clock::now();
-  const auto report = serving::run_experiment(cfg);
   Fig15Result r;
   r.engine_threads = engine_threads;
+  const auto start = Clock::now();
+  const auto report = serving::run_experiment(cfg);
   r.wall_ms = seconds_since(start) * 1e3;
   r.makespan = report.makespan;
   r.completed = report.completed;
   r.engine = report.engine;
   return r;
+}
+
+// Folds a repeat measurement of the same entry into `into`: keeps the
+// minimum wall clock, and requires the deterministic outputs to replay
+// exactly (a free determinism check per rep).
+void fold_fig15_rep(Fig15Result& into, const Fig15Result& rep, int rep_index) {
+  if (rep.makespan != into.makespan || rep.completed != into.completed) {
+    std::fprintf(stderr,
+                 "fig15 rep %d (%d threads) diverged from rep 0: makespan %lld vs "
+                 "%lld\n",
+                 rep_index, into.engine_threads, static_cast<long long>(rep.makespan),
+                 static_cast<long long>(into.makespan));
+    std::exit(1);
+  }
+  into.wall_ms = std::min(into.wall_ms, rep.wall_ms);
 }
 
 double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
@@ -306,39 +331,90 @@ int main(int argc, char** argv) {
   const std::string out_path = flags.get_string("out", "BENCH_engine.json");
   const double min_time = flags.get_double("min_time", 0.3);
   const int requests = static_cast<int>(flags.get_int("requests", 120));
+  // --filter substring-matches benchmark names so one benchmark can be
+  // iterated on without paying for the whole suite.
+  const std::string filter = flags.get_string("filter", "");
+  const auto want = [&filter](const std::string& name) {
+    return filter.empty() || name.find(filter) != std::string::npos;
+  };
 
   std::vector<Measurement> results;
-  results.push_back(measure("engine_schedule_run/100000", 100000, min_time,
-                            [] { engine_schedule_run(100000); }));
-  results.push_back(measure("engine_cancel_churn/100000", 100000 * 8, min_time,
-                            [] { engine_cancel_churn(100000, 8); }));
-  results.push_back(measure("device_kernel_churn/4096", 4096, min_time,
-                            [] { device_kernel_churn(4096); }));
-  results.push_back(measure("submit_decode_steady/512", 512, min_time,
-                            [] { submit_decode_steady(512); }));
-  const std::uint64_t rounds_per_rep = round_materialize_steady(32);
-  results.push_back(measure("round_materialize/32", rounds_per_rep, min_time,
-                            [] { round_materialize_steady(32); }));
+  if (want("engine_schedule_run/100000")) {
+    results.push_back(measure("engine_schedule_run/100000", 100000, min_time,
+                              [] { engine_schedule_run(100000); }));
+  }
+  if (want("engine_cancel_churn/100000")) {
+    results.push_back(measure("engine_cancel_churn/100000", 100000 * 8, min_time,
+                              [] { engine_cancel_churn(100000, 8); }));
+  }
+  if (want("device_kernel_churn/4096")) {
+    results.push_back(measure("device_kernel_churn/4096", 4096, min_time,
+                              [] { device_kernel_churn(4096); }));
+  }
+  if (want("submit_decode_steady/512")) {
+    results.push_back(measure("submit_decode_steady/512", 512, min_time,
+                              [] { submit_decode_steady(512); }));
+  }
+  if (want("round_materialize/32")) {
+    const std::uint64_t rounds_per_rep = round_materialize_steady(32);
+    results.push_back(measure("round_materialize/32", rounds_per_rep, min_time,
+                              [] { round_materialize_steady(32); }));
+  }
+
+  const bool run_fig10 = want("fig10_panel_a/end_to_end");
+  const bool run_fig11 = want("fig11_generative/end_to_end");
+  const bool run_fig15 = want("fig15_multinode/end_to_end");
 
   sim::SimTime makespan = 0;
-  const double fig10_ms = fig10_panel_a_wall_ms(requests, makespan);
-  const auto generative = generative_steady(/*conversations=*/4, /*tokens=*/48);
+  const double fig10_ms = run_fig10 ? fig10_panel_a_wall_ms(requests, makespan) : 0.0;
+  const auto generative = run_fig11 ? generative_steady(/*conversations=*/4, /*tokens=*/48)
+                                    : GenerativeSteadyResult{};
 
-  // fig15 hybrid serving: engine_threads sweep {1, 2, 4, hw}, deduped
+  // fig15 hybrid serving: engine_threads sweep {1, 2, 4, 8, hw}, deduped
   // and sorted (hw floor of 2 so the worker path is exercised even on
-  // single-core CI runners). Entry 0 is the serial reference.
-  const int fig15_requests = static_cast<int>(flags.get_int("fig15_requests", 60));
+  // single-core CI runners; 8 recorded unconditionally — it is the
+  // acceptance point for the hierarchical partition). Entry 0 is the
+  // serial reference.
+  const int fig15_requests = static_cast<int>(flags.get_int("fig15_requests", 96));
+  const int fig15_reps =
+      std::max(1, static_cast<int>(flags.get_int("fig15_reps", 3)));
   const int hw_threads = std::max(
       2, static_cast<int>(std::thread::hardware_concurrency()));
-  std::vector<int> fig15_threads = {1, 2, 4, hw_threads};
+  std::vector<int> fig15_threads = {1, 2, 4, 8, hw_threads};
   std::sort(fig15_threads.begin(), fig15_threads.end());
   fig15_threads.erase(std::unique(fig15_threads.begin(), fig15_threads.end()),
                       fig15_threads.end());
   std::vector<Fig15Result> fig15;
-  fig15.reserve(fig15_threads.size());
-  for (const int t : fig15_threads) fig15.push_back(fig15_multinode(fig15_requests, t));
-  const Fig15Result& fig15_serial = fig15.front();
+  if (run_fig15) {
+    // Rep-major sampling: each rep sweeps the whole thread list, and each
+    // entry keeps its minimum wall clock across reps. speedup_vs_serial
+    // divides two wall clocks, and on a shared machine single-shot (or
+    // block-per-entry) sampling folds multi-second scheduler-load spikes
+    // straight into that ratio; interleaving spreads any spike across all
+    // entries so the mins stay comparable. The simulation itself is
+    // deterministic — every rep must land the identical makespan, which
+    // doubles as a free replay check.
+    fig15.reserve(fig15_threads.size());
+    for (const int t : fig15_threads) {
+      fig15.push_back(fig15_multinode(fig15_requests, t));
+    }
+    // Later reps rotate the starting entry so any periodic background
+    // activity (whose phase can correlate with a fixed sweep order)
+    // lands on every entry equally often — without rotation the same
+    // one or two entries eat the recurring tick in every rep and their
+    // minima never converge to the same floor as the others'.
+    for (int rep = 1; rep < fig15_reps; ++rep) {
+      const std::size_t k = fig15_threads.size();
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t i = (j + static_cast<std::size_t>(rep)) % k;
+        fold_fig15_rep(fig15[i], fig15_multinode(fig15_requests, fig15_threads[i]),
+                       rep);
+      }
+    }
+  }
+  bool below_serial = false;
   for (auto& r : fig15) {
+    const Fig15Result& fig15_serial = fig15.front();
     if (r.engine_threads == 1) continue;
     if (r.makespan != fig15_serial.makespan || r.completed != fig15_serial.completed) {
       std::fprintf(stderr,
@@ -351,9 +427,10 @@ int main(int argc, char** argv) {
     }
     r.speedup_vs_serial = r.wall_ms > 0 ? fig15_serial.wall_ms / r.wall_ms : 0.0;
     if (r.speedup_vs_serial < 1.0) {
+      below_serial = true;
       std::fprintf(stderr,
                    "WARNING: fig15 at %d engine threads ran %.2fx serial wall-clock "
-                   "(slower than serial; not a failure — makespan is bit-identical)\n",
+                   "(slower than serial; makespan is bit-identical)\n",
                    r.engine_threads, r.speedup_vs_serial);
     }
   }
@@ -363,23 +440,29 @@ int main(int argc, char** argv) {
     std::printf("%-28s %12d %14.3e %10.1f\n", m.name.c_str(), m.reps, m.items_per_second(),
                 m.ns_per_item());
   }
-  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests)\n",
-              "fig10_panel_a/end_to_end", "1", fig10_ms, sim::to_ms(makespan), requests);
-  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %llu tokens, %llu rounds)\n",
-              "fig11_generative/end_to_end", "1", generative.wall_ms,
-              sim::to_ms(generative.makespan), (unsigned long long)generative.tokens,
-              (unsigned long long)generative.rounds);
-  std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests, 1 thread)\n",
-              "fig15_multinode/end_to_end", "1", fig15_serial.wall_ms,
-              sim::to_ms(fig15_serial.makespan), fig15_requests);
+  if (run_fig10) {
+    std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests)\n",
+                "fig10_panel_a/end_to_end", "1", fig10_ms, sim::to_ms(makespan), requests);
+  }
+  if (run_fig11) {
+    std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %llu tokens, %llu rounds)\n",
+                "fig11_generative/end_to_end", "1", generative.wall_ms,
+                sim::to_ms(generative.makespan), (unsigned long long)generative.tokens,
+                (unsigned long long)generative.rounds);
+  }
   for (const auto& r : fig15) {
-    if (r.engine_threads == 1) continue;
+    if (r.engine_threads == 1) {
+      std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests, 1 thread)\n",
+                  "fig15_multinode/end_to_end", "1", r.wall_ms, sim::to_ms(r.makespan),
+                  fig15_requests);
+      continue;
+    }
     std::printf(
         "%-28s %12s %11.1f ms (makespan identical, %d threads, %.2fx serial wall, "
-        "%llu windows, %.1f events/window)\n",
+        "%llu windows, %llu inner, %.1f events/window)\n",
         "fig15_multinode/end_to_end", "1", r.wall_ms, r.engine_threads,
         r.speedup_vs_serial, (unsigned long long)r.engine.windows,
-        r.engine.events_per_window);
+        (unsigned long long)r.engine.inner_windows, r.engine.events_per_window);
   }
   if (flags.get_bool("baseline", false)) {
     std::printf("\nstd::map engine baseline (recorded):\n");
@@ -412,20 +495,24 @@ int main(int argc, char** argv) {
       json.kv("ns_per_item", m.ns_per_item());
       json.end_object();
     }
-    json.begin_object();
-    json.kv("name", "fig10_panel_a/end_to_end");
-    json.kv("requests", requests);
-    json.kv("wall_ms", fig10_ms);
-    json.kv("sim_makespan_ms", sim::to_ms(makespan));
-    json.end_object();
-    json.begin_object();
-    json.kv("name", "fig11_generative/end_to_end");
-    json.kv("tokens", static_cast<std::int64_t>(generative.tokens));
-    json.kv("rounds", static_cast<std::int64_t>(generative.rounds));
-    json.kv("wall_ms", generative.wall_ms);
-    json.kv("sim_makespan_ms", sim::to_ms(generative.makespan));
-    json.kv("sim_tokens_per_second", generative.tokens_per_second);
-    json.end_object();
+    if (run_fig10) {
+      json.begin_object();
+      json.kv("name", "fig10_panel_a/end_to_end");
+      json.kv("requests", requests);
+      json.kv("wall_ms", fig10_ms);
+      json.kv("sim_makespan_ms", sim::to_ms(makespan));
+      json.end_object();
+    }
+    if (run_fig11) {
+      json.begin_object();
+      json.kv("name", "fig11_generative/end_to_end");
+      json.kv("tokens", static_cast<std::int64_t>(generative.tokens));
+      json.kv("rounds", static_cast<std::int64_t>(generative.rounds));
+      json.kv("wall_ms", generative.wall_ms);
+      json.kv("sim_makespan_ms", sim::to_ms(generative.makespan));
+      json.kv("sim_tokens_per_second", generative.tokens_per_second);
+      json.end_object();
+    }
     for (const auto& r : fig15) {
       json.begin_object();
       json.kv("name", "fig15_multinode/end_to_end");
@@ -436,6 +523,8 @@ int main(int argc, char** argv) {
       if (r.engine_threads > 1) {
         json.kv("speedup_vs_serial", r.speedup_vs_serial);
         json.kv("engine_windows", static_cast<std::int64_t>(r.engine.windows));
+        json.kv("engine_inner_windows",
+                static_cast<std::int64_t>(r.engine.inner_windows));
         json.kv("engine_equal_time_rounds",
                 static_cast<std::int64_t>(r.engine.equal_time_rounds));
         json.kv("engine_events_per_window", r.engine.events_per_window);
@@ -466,5 +555,11 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (below_serial && flags.get_bool("fail_below_serial", false)) {
+    std::fprintf(stderr,
+                 "FAIL: --fail_below_serial set and at least one partitioned fig15 "
+                 "entry ran slower than serial\n");
+    return 1;
+  }
   return 0;
 }

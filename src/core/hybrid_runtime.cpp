@@ -59,6 +59,7 @@ HybridStats HybridRuntime::stats() const {
   if (sim::ParallelEngine* pe = cluster_.parallel_engine()) {
     const auto& es = pe->stats();
     total.engine_windows = es.windows;
+    total.engine_inner_windows = es.inner_windows;
     total.engine_equal_time_rounds = es.equal_time_rounds;
     const std::uint64_t rounds = es.windows + es.equal_time_rounds;
     total.engine_events_per_window =
@@ -87,14 +88,15 @@ void HybridRuntime::submit(model::BatchRequest request) {
   stages_.front()->submit(std::move(request));
 }
 
-// Runs on the engine domain of `stage`'s node (the stage's completion
-// fires there); everything it touches is either stage-local, const
-// shared, or explicitly routed to its owning engine.
+// Runs on the engine domain of `stage`'s device-group cell (the
+// stage's completion fires there); everything it touches is either
+// stage-local, const shared, or explicitly routed to its owning engine.
 void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
   if (aborted_) return;  // a boundary transfer raced the retirement
   const int src = stage_node_[static_cast<std::size_t>(stage)];
+  sim::Engine& stage_engine = stages_[static_cast<std::size_t>(stage)]->group().engine();
   if (stage + 1 == pp_) {
-    notify_complete(request, cluster_.node(src).engine().now());
+    notify_complete(request, stage_engine.now());
     return;
   }
 
@@ -110,11 +112,13 @@ void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
   if (src != dst) {
     ++st.fabric_transfers;
     st.fabric_bytes += bytes;
-    // The fabric belongs to the host/fabric engine; invoke() runs the
-    // start there (a plain call in serial runs, a cross-domain event in
-    // partitioned ones). The completion callback self-routes through
-    // next->submit().
-    cluster_.engine().invoke([this, stage, bytes, request] {
+    // The fabric belongs to the host/fabric engine; the start runs
+    // there after the dispatch cost of retiring the stage's launch —
+    // the same delay in serial runs (plain schedule) and partitioned
+    // ones (a cross-domain event whose positive lookahead claim keeps
+    // the node->host edge wide). The completion callback self-routes
+    // through next->submit().
+    cluster_.engine().invoke_after(kCompletionDispatchLatency, [this, stage, bytes, request] {
       const int s = stage_node_[static_cast<std::size_t>(stage)];
       const int d = stage_node_[static_cast<std::size_t>(stage + 1)];
       LigerRuntime* n = stages_[static_cast<std::size_t>(stage + 1)].get();
@@ -125,11 +129,13 @@ void HybridRuntime::forward(int stage, const model::BatchRequest& request) {
     });
   } else {
     // Same-node boundary: NVLink/PCIe copy, no fabric involvement —
-    // stays on the node's own engine.
+    // the copy runs on the source stage's cell engine, and submit()
+    // self-routes to the next stage's cell (a cross-domain hop when
+    // stages occupy different cells, a plain call otherwise).
     ++st.local_transfers;
-    cluster_.node(src).engine().schedule_after(
-        cluster_.node(src).topology().p2p_time(bytes),
-        [next, request] { next->submit(request); });
+    const sim::SimTime copy =
+        stages_[static_cast<std::size_t>(stage)]->group().topology().p2p_time(bytes);
+    stage_engine.schedule_after(copy, [next, request] { next->submit(request); });
   }
 }
 

@@ -48,6 +48,7 @@ struct HybridStats {
   // ParallelEngine when one is attached (all-zero on serial runs):
   // window/barrier overhead observability, never simulation input.
   std::uint64_t engine_windows = 0;
+  std::uint64_t engine_inner_windows = 0;  // device sub-windows in supersteps
   std::uint64_t engine_equal_time_rounds = 0;
   double engine_events_per_window = 0.0;
   std::uint64_t engine_barrier_wait_ns = 0;

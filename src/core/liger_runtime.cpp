@@ -46,8 +46,9 @@ LigerRuntime::LigerRuntime(gpu::Node& node, model::ModelSpec model, LigerOptions
 
 void LigerRuntime::submit(model::BatchRequest request) {
   // Self-route to this runtime's engine domain as an event
-  // kSubmitDispatchLatency after the caller's now — the host-CPU cost
-  // of the first kernel dispatch. Serial and partitioned runs execute
+  // kSubmitDispatchLatency after the caller's now — the cost of
+  // dispatching the request to the stage's host process (see
+  // core/runtime.h). Serial and partitioned runs execute
   // submit_local at the identical timestamp; in a partitioned run the
   // delay backs the positive host->node lookahead claim that widens
   // the engine's windows.

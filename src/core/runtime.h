@@ -11,13 +11,31 @@
 namespace liger::core {
 
 // Minimum delay between a frontend handing a batch to a runtime and the
-// runtime's node-side bookkeeping running: the host-CPU cost of the
-// first kernel dispatch (mirrors gpu::HostSpec::launch_cpu). Runtimes
-// route submit() through Engine::invoke_after with this delay, which
-// makes the serving layer's host->node lookahead claim positive — the
+// runtime's node-side bookkeeping running: marshalling the request and
+// dispatching it to the stage's host process — in a disaggregated
+// serving deployment this is an RPC (network stack traversal plus the
+// first kernel dispatch, ~10us), not a function call. Runtimes route
+// submit() through Engine::invoke_after with this delay, which makes
+// the serving layer's host->node lookahead claim positive — the
 // partitioned engine's windows widen past a single event because the
-// host provably cannot reach into a node sooner than this.
-inline constexpr sim::SimTime kSubmitDispatchLatency = 1200;
+// host provably cannot reach into a node sooner than this. The delay
+// is ~0.002% of a request's service time, so it is invisible in the
+// figures; it exists because it is physically real, and window width
+// falls out of that.
+inline constexpr sim::SimTime kSubmitDispatchLatency = 10000;
+
+// The reverse edge: minimum delay between a runtime's node-side
+// completion (or drop) bookkeeping and the serving frontend observing
+// it — the completion notification travelling back to the frontend,
+// same physical quantity as kSubmitDispatchLatency. Completion/drop
+// hooks route through Engine::invoke_after with this delay, making the
+// node->host lookahead claim positive too; with both directions
+// positive, *every* edge at the serving boundary contributes real
+// width to the partitioned engine's windows instead of collapsing them
+// to single events. The hooks carry the completion timestamp as a
+// value, so latency metrics are unaffected by when the bookkeeping
+// runs.
+inline constexpr sim::SimTime kCompletionDispatchLatency = 10000;
 
 class InferenceRuntime {
  public:

@@ -49,9 +49,15 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
       spec_(std::move(spec)),
       fabric_(engine, spec_.fabric, spec_.num_nodes) {
   assert(spec_.num_nodes >= 1);
+  assert(spec_.cells_per_node >= 1);
+  // All cells of every node share the one engine — the per-cell
+  // structure (topologies, command buses) is still built, so the
+  // simulated physics are identical to any partitioned layout.
+  const std::vector<sim::Engine*> cells(static_cast<std::size_t>(spec_.cells_per_node),
+                                        &engine_);
   nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
   for (int i = 0; i < spec_.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(engine_, spec_.node));
+    nodes_.push_back(std::make_unique<Node>(cells, spec_.node));
   }
 }
 
@@ -65,7 +71,9 @@ Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec)
          "partitioned cluster needs one domain per node plus the fabric/host domain");
   nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
   for (int i = 0; i < spec_.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(pe.domain(1 + i), spec_.node));
+    const std::vector<sim::Engine*> cells(static_cast<std::size_t>(spec_.cells_per_node),
+                                          &pe.domain(1 + i));
+    nodes_.push_back(std::make_unique<Node>(cells, spec_.node));
   }
 }
 
@@ -82,7 +90,33 @@ Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec,
   for (int i = 0; i < spec_.num_nodes; ++i) {
     const int d = node_domains[static_cast<std::size_t>(i)];
     assert(d >= 0 && d < pe.num_domains());
-    nodes_.push_back(std::make_unique<Node>(pe.domain(d), spec_.node));
+    const std::vector<sim::Engine*> cells(static_cast<std::size_t>(spec_.cells_per_node),
+                                          &pe.domain(d));
+    nodes_.push_back(std::make_unique<Node>(cells, spec_.node));
+  }
+}
+
+Cluster::Cluster(sim::ParallelEngine& pe, ClusterSpec spec,
+                 const std::vector<std::vector<int>>& cell_domains, int fabric_domain)
+    : engine_(pe.domain(fabric_domain)),
+      pe_(&pe),
+      spec_(std::move(spec)),
+      fabric_(pe.domain(fabric_domain), spec_.fabric, spec_.num_nodes) {
+  assert(spec_.num_nodes >= 1);
+  assert(static_cast<int>(cell_domains.size()) == spec_.num_nodes &&
+         "one domain list per node");
+  nodes_.reserve(static_cast<std::size_t>(spec_.num_nodes));
+  for (int i = 0; i < spec_.num_nodes; ++i) {
+    const auto& per_cell = cell_domains[static_cast<std::size_t>(i)];
+    assert(static_cast<int>(per_cell.size()) == spec_.cells_per_node &&
+           "one domain index per cell");
+    std::vector<sim::Engine*> cells;
+    cells.reserve(per_cell.size());
+    for (const int d : per_cell) {
+      assert(d >= 0 && d < pe.num_domains());
+      cells.push_back(&pe.domain(d));
+    }
+    nodes_.push_back(std::make_unique<Node>(cells, spec_.node));
   }
 }
 
@@ -115,6 +149,26 @@ void Cluster::set_domain_trace_sinks(TraceSink* fabric_sink,
     tag_sinks_.push_back(
         std::make_unique<NodeTagSink>(*node_sinks[i], static_cast<int>(i)));
     nodes_[i]->set_trace_sink(tag_sinks_.back().get());
+  }
+  fabric_.set_trace_sink(fabric_sink);
+}
+
+void Cluster::set_cell_trace_sinks(TraceSink* fabric_sink,
+                                   const std::vector<std::vector<TraceSink*>>& cell_sinks) {
+  assert(cell_sinks.size() == nodes_.size());
+  tag_sinks_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& per_cell = cell_sinks[i];
+    assert(static_cast<int>(per_cell.size()) == nodes_[i]->num_cells());
+    for (std::size_t c = 0; c < per_cell.size(); ++c) {
+      if (per_cell[c] == nullptr) {
+        nodes_[i]->set_cell_trace_sink(static_cast<int>(c), nullptr);
+        continue;
+      }
+      tag_sinks_.push_back(
+          std::make_unique<NodeTagSink>(*per_cell[c], static_cast<int>(i)));
+      nodes_[i]->set_cell_trace_sink(static_cast<int>(c), tag_sinks_.back().get());
+    }
   }
   fabric_.set_trace_sink(fabric_sink);
 }

@@ -26,6 +26,10 @@ struct ClusterSpec {
   NodeSpec node;  // homogeneous nodes
   interconnect::FabricSpec fabric;
   int num_nodes = 1;
+  // Cells per node (see gpu/node.h): must divide node.num_devices.
+  // Part of the simulated configuration — serial and partitioned
+  // clusters build the identical per-cell structure.
+  int cells_per_node = 1;
 
   // Degenerate 1-node cluster (fabric present but never used).
   static ClusterSpec single_node(NodeSpec node);
@@ -56,6 +60,16 @@ class Cluster {
   Cluster(sim::ParallelEngine& pe, ClusterSpec spec, const std::vector<int>& node_domains,
           int fabric_domain);
 
+  // Cell-level partitioned construction: cell c of node k lives on
+  // pe.domain(cell_domains[k][c]) and the fabric on
+  // pe.domain(fabric_domain). Each inner vector must have
+  // spec.cells_per_node entries; cells may share domains. This is the
+  // two-level hierarchical layout: the experiment planner groups each
+  // node's cell domains into one engine group, so intra-node traffic
+  // merges at inner (worker-local) barriers.
+  Cluster(sim::ParallelEngine& pe, ClusterSpec spec,
+          const std::vector<std::vector<int>>& cell_domains, int fabric_domain);
+
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -85,6 +99,12 @@ class Cluster {
   // node tags.
   void set_domain_trace_sinks(TraceSink* fabric_sink,
                               const std::vector<TraceSink*>& node_sinks);
+
+  // Cell-level partitioned tracing: a distinct sink per cell of every
+  // node (cell_sinks[node][cell]), so concurrent device sub-windows
+  // never share a sink. Inner vectors must have cells_per_node entries.
+  void set_cell_trace_sinks(TraceSink* fabric_sink,
+                            const std::vector<std::vector<TraceSink*>>& cell_sinks);
 
  private:
   // Stamps the node index onto records before forwarding.

@@ -310,7 +310,7 @@ void Device::purge() {
   // created after the abandon pass; only retired-generation commands
   // are dropped, anything newer stays queued for the next dispatch.
   for (auto& q : hw_queues_) {
-    std::deque<QueuedOp> keep;
+    util::RingQueue<QueuedOp> keep;
     while (!q.empty()) {
       QueuedOp qo = std::move(q.front());
       q.pop_front();

@@ -28,7 +28,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "gpu/kernel.h"
 #include "gpu/stream.h"
 #include "sim/engine.h"
+#include "util/ring_queue.h"
 
 namespace liger::gpu {
 
@@ -177,7 +177,7 @@ class Device {
   DeviceConfig config_;
 
   std::vector<std::unique_ptr<Stream>> streams_;
-  std::vector<std::deque<QueuedOp>> hw_queues_;
+  std::vector<util::RingQueue<QueuedOp>> hw_queues_;
 
   std::vector<RunningKernel> run_slots_;
   std::vector<int> free_run_slots_;

@@ -21,6 +21,7 @@ DeviceGroup::NodeSlice& slice_for(std::vector<DeviceGroup::NodeSlice>& slices, i
 }  // namespace
 
 DeviceGroup DeviceGroup::whole_node(Node& node) {
+  assert(node.num_cells() == 1 && "whole-node groups require single-cell nodes");
   DeviceGroup group;
   group.engine_ = &node.engine();
   group.gpu_ = &node.spec().gpu;
@@ -44,17 +45,23 @@ DeviceGroup DeviceGroup::node_slice(Cluster& cluster, int node, int first_device
   assert(first_device >= 0 && count >= 1);
   assert(first_device + count <= cluster.devices_per_node());
   Node& n = cluster.node(node);
+  // A slice must stay within one cell: the cell's engine, topology and
+  // command bus are its execution domain. With single-cell nodes (the
+  // default) the cell is the whole node.
+  const int cell = n.cell_of(first_device);
+  assert(n.cell_of(first_device + count - 1) == cell &&
+         "device slice straddles node cells");
 
   DeviceGroup group;
-  // Node-local slice: its work belongs to the node's engine, which in a
-  // partitioned cluster is the node's own domain (identical object in a
+  // Cell-local slice: its work belongs to the cell's engine, which in a
+  // partitioned cluster is the cell's own domain (identical object in a
   // serial cluster).
-  group.engine_ = &n.engine();
+  group.engine_ = &n.cell_engine(cell);
   group.gpu_ = &n.spec().gpu;
   group.fabric_ = &cluster.fabric();
   NodeSlice slice;
   slice.node = node;
-  slice.topology = &n.topology();
+  slice.topology = &n.cell_topology(cell);
   for (int d = first_device; d < first_device + count; ++d) {
     slice.ranks.push_back(static_cast<int>(group.members_.size()));
     slice.local_ids.push_back(d);
@@ -71,6 +78,7 @@ DeviceGroup DeviceGroup::whole_cluster(Cluster& cluster) {
   group.fabric_ = &cluster.fabric();
   for (int node = 0; node < cluster.num_nodes(); ++node) {
     Node& n = cluster.node(node);
+    assert(n.num_cells() == 1 && "cluster-wide groups require single-cell nodes");
     NodeSlice& slice = slice_for(group.nodes_, node, n.topology());
     for (int d = 0; d < n.num_devices(); ++d) {
       slice.ranks.push_back(static_cast<int>(group.members_.size()));
@@ -83,6 +91,7 @@ DeviceGroup DeviceGroup::whole_cluster(Cluster& cluster) {
 
 DeviceGroup DeviceGroup::node_subset(Node& node, const std::vector<int>& device_ids) {
   assert(!device_ids.empty());
+  assert(node.num_cells() == 1 && "arbitrary subsets require single-cell nodes");
   DeviceGroup group;
   group.engine_ = &node.engine();
   group.gpu_ = &node.spec().gpu;
@@ -104,6 +113,7 @@ DeviceGroup DeviceGroup::node_subset(Cluster& cluster, int node,
   assert(node >= 0 && node < cluster.num_nodes());
   assert(!device_ids.empty());
   Node& n = cluster.node(node);
+  assert(n.num_cells() == 1 && "arbitrary subsets require single-cell nodes");
   DeviceGroup group;
   group.engine_ = &n.engine();  // node-local, see node_slice
   group.gpu_ = &n.spec().gpu;

@@ -24,6 +24,11 @@ class Event {
 
   sim::Condition& condition() { return cond_; }
 
+  // Recycles a fired event for reuse (HostContext's event pool). Only
+  // legal when the caller holds the sole reference; see
+  // sim::Condition::reset_for_reuse for the drained-state guarantee.
+  void reset_for_reuse() { cond_.reset_for_reuse(); }
+
  private:
   sim::Condition cond_;
 };

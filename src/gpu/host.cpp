@@ -10,7 +10,33 @@ HostContext::HostContext(sim::Engine& engine, interconnect::Topology& topology,
     : engine_(engine), topology_(topology), bus_(bus), spec_(spec) {}
 
 std::shared_ptr<Event> HostContext::create_event() {
-  return std::make_shared<Event>(engine_);
+  // Recycle a drained pool entry when one exists: an event the pool
+  // alone references (use_count 1) and that has fired holds no waiters
+  // (firing drains them), so resetting the flag makes it fresh. The
+  // probe is bounded so a pool full of still-referenced events costs a
+  // few pointer reads, not a scan.
+  for (std::size_t probe = 0; probe < 4 && probe < event_pool_.size(); ++probe) {
+    if (event_cursor_ >= event_pool_.size()) event_cursor_ = 0;
+    std::shared_ptr<Event>& e = event_pool_[event_cursor_++];
+    if (e.use_count() == 1 && e->fired()) {
+      e->reset_for_reuse();
+      return e;
+    }
+  }
+  auto e = std::make_shared<Event>(engine_);
+  if (event_pool_.size() < 256) event_pool_.push_back(e);
+  return e;
+}
+
+std::uint32_t HostContext::acquire_inflight(StreamOp op) {
+  if (free_inflight_ != kNoSlot) {
+    const std::uint32_t slot = free_inflight_;
+    free_inflight_ = inflight_[slot].next_free;
+    inflight_[slot].op = std::move(op);
+    return slot;
+  }
+  inflight_.push_back(InflightSlot{std::move(op), kNoSlot});
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
 }
 
 sim::DelayAwaiter HostContext::post(Stream& stream, StreamOp op, sim::SimTime cpu_cost) {
@@ -28,11 +54,14 @@ sim::DelayAwaiter HostContext::post(Stream& stream, StreamOp op, sim::SimTime cp
   arrival = std::max(arrival, device.last_command_arrival() + 1);
   device.set_last_command_arrival(arrival);
 
-  engine_.schedule_at(arrival,
-                      [this, &device, &stream, op = std::move(op)]() mutable {
-                        --bus_.inflight;
-                        device.deliver(stream, std::move(op));
-                      });
+  const std::uint32_t slot = acquire_inflight(std::move(op));
+  engine_.schedule_at(arrival, [this, &device, &stream, slot] {
+    --bus_.inflight;
+    StreamOp in_flight = std::move(inflight_[slot].op);
+    inflight_[slot].next_free = free_inflight_;
+    free_inflight_ = slot;
+    device.deliver(stream, std::move(in_flight));
+  });
   return sim::delay(engine_, cpu_cost);
 }
 

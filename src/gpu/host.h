@@ -14,7 +14,9 @@
 //   }
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "gpu/device.h"
 #include "gpu/event.h"
@@ -78,11 +80,29 @@ class HostContext {
   // preserving per-device delivery order. Returns the CPU-cost awaiter.
   sim::DelayAwaiter post(Stream& stream, StreamOp op, sim::SimTime cpu_cost);
 
+  // In-flight commands park in a slot slab so the delivery callback
+  // captures a 4-byte index instead of the whole StreamOp — a StreamOp
+  // is far larger than the engine callback's inline storage, and
+  // spilling it to the heap once per issued command dominated the
+  // allocation profile. Slots are recycled through a freelist.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  struct InflightSlot {
+    StreamOp op;
+    std::uint32_t next_free = kNoSlot;
+  };
+  std::uint32_t acquire_inflight(StreamOp op);
+
   sim::Engine& engine_;
   interconnect::Topology& topology_;
   CommandBus& bus_;
   HostSpec spec_;
   sim::SimTime stall_until_ = 0;
+  std::vector<InflightSlot> inflight_;
+  std::uint32_t free_inflight_ = kNoSlot;
+  // Recycled one-shot events (create_event). An entry is reusable once
+  // it has fired and the pool holds the only reference.
+  std::vector<std::shared_ptr<Event>> event_pool_;
+  std::size_t event_cursor_ = 0;
 };
 
 }  // namespace liger::gpu

@@ -32,19 +32,46 @@ NodeSpec NodeSpec::test_node(int num_devices) {
 }
 
 Node::Node(sim::Engine& engine, NodeSpec spec)
-    : engine_(engine), spec_(std::move(spec)), topology_(spec_.link, spec_.num_devices) {
+    : Node(std::vector<sim::Engine*>{&engine}, std::move(spec)) {}
+
+Node::Node(const std::vector<sim::Engine*>& cell_engines, NodeSpec spec)
+    : cell_engines_(cell_engines), spec_(std::move(spec)) {
   assert(spec_.num_devices >= 1);
+  const int cells = static_cast<int>(cell_engines_.size());
+  assert(cells >= 1);
+  assert(spec_.num_devices % cells == 0 && "cells must split the devices evenly");
+  topologies_.reserve(static_cast<std::size_t>(cells));
+  buses_.reserve(static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    // Each cell gets its own flow registry / command bus, but keeps the
+    // node-wide device-id space: flows register under node-local ids.
+    topologies_.push_back(
+        std::make_unique<interconnect::Topology>(spec_.link, spec_.num_devices));
+    buses_.push_back(std::make_unique<CommandBus>());
+  }
   devices_.reserve(static_cast<std::size_t>(spec_.num_devices));
   hosts_.reserve(static_cast<std::size_t>(spec_.num_devices));
   for (int i = 0; i < spec_.num_devices; ++i) {
-    devices_.push_back(std::make_unique<Device>(engine_, i, spec_.gpu,
-                                                DeviceConfig{spec_.max_connections}));
-    hosts_.push_back(std::make_unique<HostContext>(engine_, topology_, bus_, spec_.host));
+    const int c = cell_of(i);
+    sim::Engine& e = *cell_engines_[static_cast<std::size_t>(c)];
+    devices_.push_back(
+        std::make_unique<Device>(e, i, spec_.gpu, DeviceConfig{spec_.max_connections}));
+    hosts_.push_back(std::make_unique<HostContext>(
+        e, *topologies_[static_cast<std::size_t>(c)], *buses_[static_cast<std::size_t>(c)],
+        spec_.host));
   }
 }
 
 void Node::set_trace_sink(TraceSink* sink) {
   for (auto& dev : devices_) dev->set_trace_sink(sink);
+}
+
+void Node::set_cell_trace_sink(int cell, TraceSink* sink) {
+  assert(cell >= 0 && cell < num_cells());
+  const int first = cell * devices_per_cell();
+  for (int d = first; d < first + devices_per_cell(); ++d) {
+    devices_[static_cast<std::size_t>(d)]->set_trace_sink(sink);
+  }
 }
 
 }  // namespace liger::gpu

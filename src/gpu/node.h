@@ -3,7 +3,19 @@
 // Mirrors the paper's testbeds: Node::v100_nvlink() is the 4x V100
 // NVLink node, Node::a100_pcie() the 4x A100 PCIe node (§4.1). Each
 // device gets its own HostContext, modelling the one-MPI-rank-per-GPU
-// process layout of the artifact; all ranks share the command bus.
+// process layout of the artifact; ranks of one *cell* share a command
+// bus.
+//
+// Cells: a node can be built over several engines, splitting its
+// devices into equal contiguous *cells* — one per tensor-parallel
+// stage slice in the hybrid layout. Each cell owns its devices, hosts,
+// interconnect Topology (its private flow registry) and CommandBus,
+// all living on that cell's engine; a partitioned cluster maps each
+// cell to its own execution domain, so TP collectives of different
+// stage slices advance independently. The cell layout is part of the
+// *configuration* (ClusterSpec::cells_per_node), never of the engine:
+// a serial cluster builds the identical per-cell structure on one
+// engine, so simulated physics match bit for bit.
 #pragma once
 
 #include <memory>
@@ -35,27 +47,49 @@ struct NodeSpec {
 
 class Node {
  public:
+  // Single-cell node: the whole node on one engine.
   Node(sim::Engine& engine, NodeSpec spec);
+  // Cell-partitioned node: devices split into cell_engines.size()
+  // equal contiguous cells, cell c living on *cell_engines[c]. The
+  // engines may alias (a serial cluster passes the same engine for
+  // every cell) — the per-cell structure is identical either way.
+  Node(const std::vector<sim::Engine*>& cell_engines, NodeSpec spec);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  sim::Engine& engine() { return *cell_engines_.front(); }
   const NodeSpec& spec() const { return spec_; }
   int num_devices() const { return static_cast<int>(devices_.size()); }
 
+  int num_cells() const { return static_cast<int>(cell_engines_.size()); }
+  int devices_per_cell() const { return spec_.num_devices / num_cells(); }
+  int cell_of(int device) const { return device / devices_per_cell(); }
+  sim::Engine& cell_engine(int cell) {
+    return *cell_engines_.at(static_cast<std::size_t>(cell));
+  }
+  interconnect::Topology& cell_topology(int cell) {
+    return *topologies_.at(static_cast<std::size_t>(cell));
+  }
+
   Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
   HostContext& host(int rank) { return *hosts_.at(static_cast<std::size_t>(rank)); }
-  interconnect::Topology& topology() { return topology_; }
+  // Cell 0's topology. Bandwidth/latency queries are cell-invariant
+  // (homogeneous link spec); flow registration must go through the
+  // owning cell's topology (cell_topology).
+  interconnect::Topology& topology() { return *topologies_.front(); }
 
   // Attaches a trace sink to every device.
   void set_trace_sink(TraceSink* sink);
+  // Attaches a sink to one cell's devices only — partitioned runs give
+  // every cell (execution domain) its own sink.
+  void set_cell_trace_sink(int cell, TraceSink* sink);
 
  private:
-  sim::Engine& engine_;
+  std::vector<sim::Engine*> cell_engines_;
   NodeSpec spec_;
-  interconnect::Topology topology_;
-  CommandBus bus_;
+  std::vector<std::unique_ptr<interconnect::Topology>> topologies_;  // per cell
+  std::vector<std::unique_ptr<CommandBus>> buses_;                   // per cell
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<std::unique_ptr<HostContext>> hosts_;
 };

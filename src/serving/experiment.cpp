@@ -37,10 +37,14 @@ std::vector<Method> all_methods() {
 
 double profiled_contention_factor(const gpu::NodeSpec& node, const model::ModelSpec& model,
                                   const collective::CommConfig& comm) {
-  using Key = std::tuple<std::string, std::string, int>;
+  // Keyed on num_devices too: preset names do not encode the device
+  // count (v100_nvlink(4) and v100_nvlink(8) are both "4xV100-NVLink"),
+  // but the profiled factor depends on the collective world size — one
+  // process running both shapes must not cross-pollinate them.
+  using Key = std::tuple<std::string, int, std::string, int>;
   static std::mutex cache_mutex;  // sweeps profile from worker threads
   static std::map<Key, double> cache;
-  const Key key{node.name, model.name, comm.max_nchannels};
+  const Key key{node.name, node.num_devices, model.name, comm.max_nchannels};
   {
     std::lock_guard lock(cache_mutex);
     auto it = cache.find(key);
@@ -134,21 +138,29 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   const bool faults = config.faults.enabled;
 
   // Partitioned (parallel-engine) execution. Every experiment shape can
-  // run partitioned; the partition planner picks the domain layout:
+  // run partitioned; the partition planner picks the domain layout as a
+  // pure function of the *configuration* — engine_threads only caps the
+  // worker count (ParallelEngine clamps it to the group count), so the
+  // window structure, and with it the simulated results, are identical
+  // at every thread count:
   //   - standalone node: host domain 0 + node domain 1;
-  //   - hybrid cluster, no faults: host+fabric on domain 0 and
-  //     min(num_nodes, engine_threads) node domains, nodes packed in
-  //     contiguous blocks (domain fusion — lightly-loaded domains merge
-  //     so barrier count tracks the worker count, not the node count);
+  //   - hybrid cluster, no faults: a two-level hierarchical partition —
+  //     host+fabric on domain 0, one domain per node *cell* (tensor-
+  //     parallel stage slice), and one engine group per node, so
+  //     intra-node hand-offs between cells merge at worker-local inner
+  //     barriers that never touch the global coordinator;
   //   - cluster-wide TP or any fault run: host on domain 0 and one
   //     fused "world" domain holding every node plus the fabric —
   //     collectives, the heartbeat monitor, and failover rebuilds all
   //     stay domain-local, lifting the old serial fallbacks.
   // Lookahead claims: runtimes route submit() through invoke_after with
-  // core::kSubmitDispatchLatency, so the host->node edges carry that
-  // claim and windows widen past one event. Fault runs keep the edge at
-  // zero (FailoverRuntime::submit self-routes at the caller's time);
-  // node->host stays zero (completion hooks are immediate).
+  // core::kSubmitDispatchLatency (host->node edges; fault runs keep it
+  // zero — FailoverRuntime::submit self-routes at the caller's time),
+  // completion/drop hooks and fabric-start requests route through
+  // invoke_after with core::kCompletionDispatchLatency (node->host
+  // edges), and same-node cell hand-offs are a p2p copy followed by the
+  // submit dispatch (cell->cell edges). Every edge positive means every
+  // window is wider than a single event.
   //
   // Experiments on a sweep worker borrow idle threads from the
   // process-global pool instead of unconditionally falling back to
@@ -168,21 +180,39 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     engine_threads = 1 + static_cast<int>(spare.n);
   }
   const bool partitioned = engine_threads > 1;
+
+  // Cell layout — part of the simulated configuration (per-cell command
+  // buses and flow registries), identical in serial and partitioned
+  // runs: hybrid experiments split each node into one cell per
+  // tensor-parallel stage slice; fault runs and cluster-wide TP keep
+  // whole-node cells (their device groups span or re-partition nodes).
+  int cells_per_node = 1;
+  if (config.method == Method::kHybrid && !faults) {
+    const int tp = config.hybrid_tp > 0 ? config.hybrid_tp : config.node.num_devices;
+    if (tp >= 1 && config.node.num_devices % tp == 0) {
+      cells_per_node = config.node.num_devices / tp;
+    }
+  }
+
   std::unique_ptr<sim::ParallelEngine> pe;
   std::unique_ptr<sim::Engine> serial_engine;
   std::vector<int> node_domains;  // node i -> pe domain (clustered only)
+  std::vector<std::vector<int>> cell_domains;  // [node][cell] (hybrid layout)
   int fabric_domain = 0;
   if (partitioned) {
     int domains = 2;
+    std::vector<std::vector<int>> engine_groups;
     if (clustered && config.method == Method::kHybrid && !faults) {
-      const int node_domain_count = std::min(config.num_nodes, engine_threads);
-      domains = 1 + node_domain_count;
-      node_domains.resize(static_cast<std::size_t>(config.num_nodes));
+      domains = 1 + config.num_nodes * cells_per_node;
+      cell_domains.resize(static_cast<std::size_t>(config.num_nodes));
+      engine_groups.push_back({0});  // host+fabric: its own group
       for (int i = 0; i < config.num_nodes; ++i) {
-        // Contiguous blocks: adjacent pipeline stages share a domain, so
-        // their hand-offs stay local events.
-        node_domains[static_cast<std::size_t>(i)] =
-            1 + (i * node_domain_count) / config.num_nodes;
+        engine_groups.emplace_back();
+        for (int c = 0; c < cells_per_node; ++c) {
+          const int d = 1 + i * cells_per_node + c;
+          cell_domains[static_cast<std::size_t>(i)].push_back(d);
+          engine_groups.back().push_back(d);
+        }
       }
       fabric_domain = 0;
     } else if (clustered) {
@@ -191,14 +221,62 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     }
     pe = std::make_unique<sim::ParallelEngine>(domains);
     const sim::SimTime submit_la = faults ? 0 : core::kSubmitDispatchLatency;
-    for (int d = 1; d < domains; ++d) pe->lookahead().set(0, d, submit_la);
-    // Nothing crosses node domains directly faster than the fabric's
-    // base latency (all inter-node influence transits the fabric).
-    for (int a = 1; a < domains; ++a) {
-      for (int b = 1; b < domains; ++b) {
-        if (a != b) pe->lookahead().set(a, b, config.fabric.base_latency);
+    for (int d = 1; d < domains; ++d) {
+      pe->lookahead().set(0, d, submit_la);
+      // Reverse edges: completion/drop hooks and fabric-start requests
+      // reach the host no sooner than the completion dispatch cost.
+      pe->lookahead().set(d, 0, core::kCompletionDispatchLatency);
+    }
+    if (!cell_domains.empty()) {
+      // Cell pairs. Same node: the only cross-cell influence is the
+      // pipeline hand-off — a p2p copy (positive) followed by the next
+      // stage's submit dispatch; the dispatch alone bounds the claim.
+      // And hand-offs only flow *forward*: stage slices are assigned in
+      // stage order (HybridRuntime packs consecutive stages into
+      // consecutive cells), stage s only ever posts to stage s + 1, and
+      // every other cross-cell interaction (completions, collectives,
+      // faults) either targets the host domain or stays cell-local. A
+      // higher cell therefore never posts to a lower cell on its node,
+      // and the reverse edge claims infinity — which lets the leading
+      // cell of a superstep run its whole outer window in one inner
+      // round instead of marching in dispatch-hop steps. The claim
+      // check keeps this honest: any reverse post would abort.
+      // Cross node: there is no direct cell-to-cell edge at all —
+      // every inter-node hand-off transits the host/fabric domain
+      // (HybridRuntime::forward routes boundary transfers through
+      // cluster().engine(), and the next stage's submit dispatches
+      // from there), so the pairwise claim is infinity and the closure
+      // prices cross-node influence as the host relay: completion
+      // dispatch in, submit dispatch out. That doubles the cross-node
+      // chain length versus claiming the raw fabric latency, and the
+      // group self-echo (cell -> host -> same node) becomes the window
+      // pacer instead of the tightest single fabric hop.
+      for (int i = 0; i < config.num_nodes; ++i) {
+        for (int j = 0; j < config.num_nodes; ++j) {
+          for (const int a : cell_domains[static_cast<std::size_t>(i)]) {
+            for (const int b : cell_domains[static_cast<std::size_t>(j)]) {
+              if (a == b) continue;
+              if (i != j) {
+                pe->lookahead().set(a, b, sim::EventHorizon::kInfinity);
+              } else {
+                pe->lookahead().set(a, b, a < b
+                                              ? core::kSubmitDispatchLatency
+                                              : sim::EventHorizon::kInfinity);
+              }
+            }
+          }
+        }
+      }
+    } else {
+      // Nothing crosses node domains directly faster than the fabric's
+      // base latency (all inter-node influence transits the fabric).
+      for (int a = 1; a < domains; ++a) {
+        for (int b = 1; b < domains; ++b) {
+          if (a != b) pe->lookahead().set(a, b, config.fabric.base_latency);
+        }
       }
     }
+    if (!engine_groups.empty()) pe->set_groups(std::move(engine_groups));
   } else {
     serial_engine = std::make_unique<sim::Engine>();
   }
@@ -212,8 +290,14 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     cspec.node = config.node;
     cspec.fabric = config.fabric;
     cspec.num_nodes = config.num_nodes;
-    cluster = pe ? std::make_unique<gpu::Cluster>(*pe, cspec, node_domains, fabric_domain)
-                 : std::make_unique<gpu::Cluster>(engine, cspec);
+    cspec.cells_per_node = cells_per_node;
+    if (pe && !cell_domains.empty()) {
+      cluster = std::make_unique<gpu::Cluster>(*pe, cspec, cell_domains, fabric_domain);
+    } else if (pe) {
+      cluster = std::make_unique<gpu::Cluster>(*pe, cspec, node_domains, fabric_domain);
+    } else {
+      cluster = std::make_unique<gpu::Cluster>(engine, cspec);
+    }
   } else {
     node = std::make_unique<gpu::Node>(pe ? pe->domain(1) : engine, config.node);
   }
@@ -332,7 +416,19 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   if (config.trace_sink != nullptr) {
     if (pe) {
       trace_mux = std::make_unique<trace::DomainTraceMux>(pe->num_domains());
-      if (clustered) {
+      if (clustered && !cell_domains.empty()) {
+        // Cell-level layout: every cell (execution domain) buffers into
+        // its own mux domain, so concurrent device sub-windows inside a
+        // node's superstep never share a sink.
+        std::vector<std::vector<gpu::TraceSink*>> cell_sinks(
+            static_cast<std::size_t>(cluster->num_nodes()));
+        for (int i = 0; i < cluster->num_nodes(); ++i) {
+          for (const int d : cell_domains[static_cast<std::size_t>(i)]) {
+            cell_sinks[static_cast<std::size_t>(i)].push_back(trace_mux->domain(d));
+          }
+        }
+        cluster->set_cell_trace_sinks(trace_mux->domain(fabric_domain), cell_sinks);
+      } else if (clustered) {
         std::vector<gpu::TraceSink*> node_sinks;
         for (int i = 0; i < cluster->num_nodes(); ++i) {
           // Nodes sharing a fused domain share its buffer — safe, they
@@ -395,6 +491,8 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     const auto& es = pe->stats();
     out.report.engine.partitioned = true;
     out.report.engine.windows = es.windows;
+    out.report.engine.inner_windows = es.inner_windows;
+    out.report.engine.inner_equal_time_rounds = es.inner_equal_time_rounds;
     out.report.engine.equal_time_rounds = es.equal_time_rounds;
     out.report.engine.events = es.events;
     out.report.engine.posts_routed = es.posts_routed;
@@ -412,6 +510,7 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
         rec.end = w.end;
         rec.active_domains = static_cast<int>(w.active_domains);
         rec.events = w.events;
+        rec.inner_rounds = w.inner_rounds;
         rec.equal_time = w.equal_time;
         chrome->add_engine_window(rec);
       }

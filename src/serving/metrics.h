@@ -55,6 +55,8 @@ struct Report {
   struct EngineStats {
     bool partitioned = false;
     std::uint64_t windows = 0;
+    std::uint64_t inner_windows = 0;  // device sub-windows inside supersteps
+    std::uint64_t inner_equal_time_rounds = 0;
     std::uint64_t equal_time_rounds = 0;
     std::uint64_t events = 0;
     std::uint64_t posts_routed = 0;

@@ -71,16 +71,21 @@ void Server::on_runtime_drop(const model::BatchRequest& request) {
 }
 
 void Server::install_hooks() {
-  // The server's bookkeeping lives on its own engine; runtimes may fire
+  // The server's bookkeeping lives on its own engine; runtimes fire
   // these hooks from another engine domain (a node's sub-engine in a
-  // partitioned run), so route through invoke() — a plain call when the
-  // domains coincide, which they always do unpartitioned.
+  // partitioned run), so route through invoke_after with the completion
+  // dispatch cost — the same delay in serial and partitioned runs, and
+  // the physics behind the node->host lookahead claim. Metrics use the
+  // carried completion time `t`, not the bookkeeping time, so latency
+  // numbers don't shift.
   runtime_.set_completion_hook(
       [this](const model::BatchRequest& req, sim::SimTime t) {
-        engine_.invoke([this, req, t] { on_runtime_complete(req, t); });
+        engine_.invoke_after(core::kCompletionDispatchLatency,
+                             [this, req, t] { on_runtime_complete(req, t); });
       });
   runtime_.set_drop_hook([this](const model::BatchRequest& req) {
-    engine_.invoke([this, req] { on_runtime_drop(req); });
+    engine_.invoke_after(core::kCompletionDispatchLatency,
+                         [this, req] { on_runtime_drop(req); });
   });
 }
 

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <coroutine>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -48,8 +47,11 @@ class Condition {
   }
 
   // Registers a plain-function listener (runs via the event queue).
-  // If already fired, the callback is scheduled immediately.
-  void on_fire(std::function<void()> cb) {
+  // If already fired, the callback is scheduled immediately. The
+  // callback type is the engine's inline-storage callback, so listener
+  // registration never heap-allocates for captures up to 48 bytes —
+  // this sits on the per-round synchronization hot path.
+  void on_fire(Engine::Callback cb) {
     if (fired_) {
       engine_->schedule_after(0, std::move(cb));
     } else {
@@ -66,13 +68,22 @@ class Condition {
 
   Awaiter operator co_await() { return Awaiter{*this}; }
 
+  // Recycles a fired condition (object pools). Only legal once fired:
+  // firing drains both waiter lists, so a fired condition holds no
+  // state besides the flag and timestamp cleared here. Callers must
+  // guarantee exclusive ownership; see gpu::HostContext::create_event.
+  void reset_for_reuse() {
+    fired_ = false;
+    fire_time_ = 0;
+  }
+
  private:
   friend class TimedConditionAwaiter;
   Engine* engine_;
   bool fired_ = false;
   SimTime fire_time_ = 0;
   std::vector<std::coroutine_handle<>> waiting_coros_;
-  std::vector<std::function<void()>> callbacks_;
+  std::vector<Engine::Callback> callbacks_;
 };
 
 // Awaits a condition and then pays a fixed wake-up overhead before the

@@ -216,12 +216,9 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
-bool Engine::step() {
-  settle_fronts();
-  const bool have_run = run_cursor_ < run_.size();
-  if (!have_run && heap_.empty()) return false;
+void Engine::execute_front(bool from_run) {
   HeapEntry e;
-  if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+  if (from_run) {
     e = run_[run_cursor_++];
   } else {
     e = heap_.front();
@@ -236,6 +233,18 @@ bool Engine::step() {
   release_slot(e.slot());
   ++processed_;
   cb();
+}
+
+bool Engine::step() {
+  settle_fronts();
+  const bool have_run = run_cursor_ < run_.size();
+  if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+    execute_front(true);
+  } else if (!heap_.empty()) {
+    execute_front(false);
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -251,16 +260,19 @@ std::uint64_t Engine::run_until(SimTime t) {
   while (true) {
     settle_fronts();
     const bool have_run = run_cursor_ < run_.size();
+    bool from_run;
     SimTime next;
     if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+      from_run = true;
       next = run_[run_cursor_].time;
     } else if (!heap_.empty()) {
+      from_run = false;
       next = heap_.front().time;
     } else {
       break;
     }
     if (next > t) break;
-    step();
+    execute_front(from_run);
     ++n;
   }
   now_ = t;
@@ -278,11 +290,27 @@ SimTime Engine::next_event_time() {
 }
 
 std::uint64_t Engine::run_before(SimTime bound) {
+  // The window hot loop: settle and peek exactly once per event, then
+  // pop from the already-chosen source — a peek-then-step() pair would
+  // settle the fronts and compare them twice per event, which is pure
+  // per-event overhead the serial run() never pays.
   std::uint64_t n = 0;
   for (;;) {
-    const SimTime next = next_event_time();
-    if (next == kNoEvent || next >= bound) break;
-    step();
+    settle_fronts();
+    const bool have_run = run_cursor_ < run_.size();
+    bool from_run;
+    SimTime next;
+    if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+      from_run = true;
+      next = run_[run_cursor_].time;
+    } else if (!heap_.empty()) {
+      from_run = false;
+      next = heap_.front().time;
+    } else {
+      break;
+    }
+    if (next >= bound) break;
+    execute_front(from_run);
     ++n;
   }
   return n;
@@ -291,16 +319,26 @@ std::uint64_t Engine::run_before(SimTime bound) {
 std::uint64_t Engine::run_at_time(SimTime t) {
   std::uint64_t n = 0;
   for (;;) {
-    const SimTime next = next_event_time();
+    settle_fronts();
+    const bool have_run = run_cursor_ < run_.size();
+    bool from_run;
+    SimTime next;
+    if (have_run && (heap_.empty() || run_[run_cursor_] < heap_.front())) {
+      from_run = true;
+      next = run_[run_cursor_].time;
+    } else if (!heap_.empty()) {
+      from_run = false;
+      next = heap_.front().time;
+    } else {
+      break;
+    }
     if (next != t) {
       // An equal-time round may only see events at t or later; earlier
       // would mean the partition's bounds were unsafe.
-      if (next != kNoEvent && next < t) {
-        invariant_failed("equal-time round found an event in the past");
-      }
+      if (next < t) invariant_failed("equal-time round found an event in the past");
       break;
     }
-    step();
+    execute_front(from_run);
     ++n;
   }
   return n;

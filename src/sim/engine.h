@@ -208,6 +208,11 @@ class Engine {
   // Refreshes both source fronts (stale skip, discard, refill) so the
   // next live event, if any, is at run_[run_cursor_] or heap_.front().
   void settle_fronts();
+  // Pops and executes the front event from the chosen source.
+  // Precondition: fronts are settled and the source is non-empty — the
+  // caller has already compared the front against its bound, so the
+  // windowed run loops settle and peek exactly once per event.
+  void execute_front(bool from_run);
   // Sweeps all tombstones: filters the run in place (stays sorted) and
   // rebuilds the heap, O(pending).
   void compact();

@@ -65,8 +65,11 @@ class ParallelEngine::WorkerTeam {
   WorkerTeam(const WorkerTeam&) = delete;
   WorkerTeam& operator=(const WorkerTeam&) = delete;
 
-  // Executes pe_.run_window for every domain in pe_.active_ across the
-  // team plus the calling thread; returns only after all windows ran.
+  // Executes the round across the team plus the calling thread and
+  // returns only after every window ran. Superstep rounds slice the
+  // active *group* list — a worker owns whole supersteps, so the inner
+  // barriers of a group are worker-local by construction; equal-time
+  // rounds slice the active domain list as before.
   void run_round(bool equal_time) {
     equal_time_ = equal_time;
     pending_.store(static_cast<int>(threads_.size()), std::memory_order_relaxed);
@@ -94,10 +97,18 @@ class ParallelEngine::WorkerTeam {
   }
 
   void run_slice(unsigned participant) {
-    const auto& active = pe_.active_;
-    for (std::size_t i = participant; i < active.size(); i += stride_) {
-      const int d = active[i];
-      pe_.run_window(d, pe_.bounds_[static_cast<std::size_t>(d)], equal_time_);
+    if (equal_time_) {
+      const auto& active = pe_.active_;
+      for (std::size_t i = participant; i < active.size(); i += stride_) {
+        const int d = active[i];
+        pe_.run_window(d, pe_.bounds_[static_cast<std::size_t>(d)], true);
+      }
+      return;
+    }
+    const auto& groups = pe_.active_groups_;
+    for (std::size_t i = participant; i < groups.size(); i += stride_) {
+      const int g = groups[i];
+      pe_.run_superstep(g, pe_.group_bounds_[static_cast<std::size_t>(g)]);
     }
   }
 
@@ -141,10 +152,11 @@ int ParallelEngine::current_domain() { return tls_domain; }
 
 ParallelEngine::ParallelEngine(int num_domains, Options options)
     : lookahead_(num_domains),
-      horizon_(num_domains),
       executed_(static_cast<std::size_t>(num_domains)),
       routed_posts_(static_cast<std::size_t>(num_domains)),
-      bounds_(static_cast<std::size_t>(num_domains), 0) {
+      cross_routed_(static_cast<std::size_t>(num_domains)),
+      bounds_(static_cast<std::size_t>(num_domains), 0),
+      pending_from_(num_domains <= 64 ? static_cast<std::size_t>(num_domains) : 0) {
   if (num_domains < 1) invariant_failed("at least one domain required");
   engines_.reserve(static_cast<std::size_t>(num_domains));
   for (int d = 0; d < num_domains; ++d) {
@@ -164,6 +176,45 @@ ParallelEngine::ParallelEngine(int num_domains, Options options)
     }
   }
   active_.reserve(static_cast<std::size_t>(num_domains));
+  default_groups();
+}
+
+void ParallelEngine::default_groups() {
+  const int n = num_domains();
+  groups_.clear();
+  groups_.resize(static_cast<std::size_t>(n));
+  group_of_.resize(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    groups_[static_cast<std::size_t>(d)].members = {d};
+    group_of_[static_cast<std::size_t>(d)] = d;
+  }
+}
+
+void ParallelEngine::set_groups(std::vector<std::vector<int>> groups) {
+  if (running_) invariant_failed("set_groups during run()");
+  const int n = num_domains();
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  groups_.clear();
+  groups_.resize(groups.size());
+  group_of_.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].empty()) invariant_failed("empty group in partition");
+    std::sort(groups[g].begin(), groups[g].end());
+    for (const int d : groups[g]) {
+      if (d < 0 || d >= n) invariant_failed("group member out of range");
+      if (owner[static_cast<std::size_t>(d)] != -1) {
+        invariant_failed("domain assigned to two groups");
+      }
+      owner[static_cast<std::size_t>(d)] = static_cast<int>(g);
+      group_of_[static_cast<std::size_t>(d)] = static_cast<int>(g);
+    }
+    groups_[g].members = std::move(groups[g]);
+  }
+  for (int d = 0; d < n; ++d) {
+    if (group_of_[static_cast<std::size_t>(d)] == -1) {
+      invariant_failed("domain missing from the group partition");
+    }
+  }
 }
 
 ParallelEngine::~ParallelEngine() {
@@ -195,7 +246,19 @@ void ParallelEngine::post(int dst, SimTime t, Engine::Callback cb) {
     invariant_failed("cross-domain post violates its lookahead claim");
   }
   ++routed_posts_[static_cast<std::size_t>(src)].n;
+  // Intra-group posts merge at the sender's own inner barrier; only
+  // cross-group traffic needs the outer drain (the drain-skip check).
+  if (group_of_[static_cast<std::size_t>(src)] == group_of_[static_cast<std::size_t>(dst)]) {
+    ++groups_[static_cast<std::size_t>(group_of_[static_cast<std::size_t>(src)])]
+          .intra_routed;
+  } else {
+    ++cross_routed_[static_cast<std::size_t>(src)].n;
+  }
   mailbox(src, dst).push(t, std::move(cb));
+  if (!pending_from_.empty()) {
+    pending_from_[static_cast<std::size_t>(dst)].v.fetch_or(
+        std::uint64_t{1} << static_cast<unsigned>(src), std::memory_order_release);
+  }
 }
 
 void ParallelEngine::post_from_current(int dst, Engine::Callback cb) {
@@ -230,15 +293,117 @@ void ParallelEngine::run_window(int d, SimTime bound, bool equal_time) {
 
 void ParallelEngine::drain_mailboxes() {
   const int n = num_domains();
+  const bool masked = !pending_from_.empty();
   SpscMailbox::Entry entry;
   for (int dst = 0; dst < n; ++dst) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (masked) {
+      mask = pending_from_[static_cast<std::size_t>(dst)].v.exchange(
+          0, std::memory_order_acquire);
+      if (mask == 0) continue;
+    }
     Engine& target = *engines_[static_cast<std::size_t>(dst)];
     for (int src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      if (masked && !(mask >> static_cast<unsigned>(src) & 1u)) continue;
+      SpscMailbox& box = mailbox(src, dst);
+      while (box.pop(entry)) {
+        target.schedule_at(entry.time, std::move(entry.cb));
+        if (!dirty_.empty()) dirty_[static_cast<std::size_t>(dst)] = 1;
+      }
+    }
+  }
+}
+
+void ParallelEngine::drain_group(GroupState& gs) {
+  SpscMailbox::Entry entry;
+  for (const int dst : gs.members) {
+    Engine& target = *engines_[static_cast<std::size_t>(dst)];
+    for (const int src : gs.members) {
       if (src == dst) continue;
       SpscMailbox& box = mailbox(src, dst);
       while (box.pop(entry)) {
         target.schedule_at(entry.time, std::move(entry.cb));
       }
+    }
+  }
+}
+
+void ParallelEngine::run_superstep(int g, SimTime outer_bound) {
+  GroupState& gs = groups_[static_cast<std::size_t>(g)];
+  if (gs.members.size() == 1) {
+    // Singleton group: a superstep is exactly one flat window.
+    run_window(gs.members[0], outer_bound, false);
+    return;
+  }
+  if (gs.forward_only) {
+    // The members form a DAG in ascending order (no backward reach in
+    // the intra closure), so the iterated horizon/bound loop collapses
+    // to one forward sweep: by the time member i runs, every member
+    // that could influence it has already advanced to the outer bound,
+    // so i's own bound is exactly the outer bound. Mail merges after
+    // each member, before any downstream member runs; backward mail
+    // cannot exist (the claim check aborts on it).
+    const std::size_t m = gs.members.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      run_window(gs.members[i], outer_bound, false);
+      if (gs.intra_routed != gs.intra_seen) {
+        drain_group(gs);
+        gs.intra_seen = gs.intra_routed;
+      }
+    }
+    ++gs.inner_windows;  // the sweep is one inner round
+    return;
+  }
+  // Inner window loop: the same conservative algorithm, restricted to
+  // the group's members and capped at the group's outer bound. Member
+  // bounds are min(intra closure over member horizons, outer bound) —
+  // chains that stay inside the group are covered by the former, chains
+  // that leave and re-enter by the latter (the outer matrix includes
+  // the group self-echo). Everything here runs on one worker, so the
+  // inner barriers — the drain_group calls — never involve the
+  // coordinator or any other thread.
+  const std::size_t m = gs.members.size();
+  for (;;) {
+    SimTime minh = EventHorizon::kInfinity;
+    for (std::size_t i = 0; i < m; ++i) {
+      const SimTime t =
+          engines_[static_cast<std::size_t>(gs.members[i])]->next_event_time();
+      gs.h[i] = (t == Engine::kNoEvent) ? EventHorizon::kInfinity : t;
+      minh = std::min(minh, gs.h[i]);
+    }
+    if (minh >= outer_bound) break;  // nothing left below the group's bound
+    for (std::size_t i = 0; i < m; ++i) {
+      SimTime bound = outer_bound;
+      for (std::size_t s = 0; s < m; ++s) {
+        const SimTime reach = EventHorizon::saturating_add(
+            gs.h[s], gs.intra.get(static_cast<int>(s), static_cast<int>(i)));
+        if (reach < bound) bound = reach;
+      }
+      gs.b[i] = bound;
+    }
+    bool any = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (gs.h[i] != EventHorizon::kInfinity && gs.h[i] < gs.b[i]) {
+        run_window(gs.members[i], gs.b[i], false);
+        any = true;
+      }
+    }
+    if (any) {
+      ++gs.inner_windows;
+    } else {
+      // Members tied at the group minimum with no intra slack: an inner
+      // equal-time round of the fixed point, exactly like the outer one.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (gs.h[i] == minh) run_window(gs.members[i], minh, true);
+      }
+      ++gs.inner_equal_time;
+    }
+    // Inner barrier: merge mail between members (worker-local — these
+    // mailboxes have no other producer or consumer during the round).
+    if (gs.intra_routed != gs.intra_seen) {
+      drain_group(gs);
+      gs.intra_seen = gs.intra_routed;
     }
   }
 }
@@ -255,12 +420,27 @@ std::uint64_t ParallelEngine::total_routed() const {
   return total;
 }
 
+std::uint64_t ParallelEngine::total_cross_routed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cross_routed_) total += c.n;
+  return total;
+}
+
+std::uint64_t ParallelEngine::total_inner_rounds() const {
+  std::uint64_t total = 0;
+  for (const auto& gs : groups_) total += gs.inner_windows + gs.inner_equal_time;
+  return total;
+}
+
 std::uint64_t ParallelEngine::run(unsigned threads) {
   if (running_) invariant_failed("run() is not reentrant");
   running_ = true;
   const int n = num_domains();
+  const int ng = num_groups();
   if (threads < 1) threads = 1;
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(n));
+  // A worker owns whole supersteps, so threads beyond the group count
+  // would only ever idle at the barrier.
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(ng));
   // Worker count is a pure execution knob: results are bit-identical at
   // any value, so oversubscribing the machine only buys context-switch
   // thrash (a window barrier on a single core costs several scheduler
@@ -270,7 +450,7 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
   threads = std::min<unsigned>(threads, std::max(1u, std::thread::hardware_concurrency()));
 
   // Workers persist for the whole run and synchronize on an epoch
-  // barrier; single-domain rounds stay on the calling thread without
+  // barrier; single-group rounds stay on the calling thread without
   // touching the team. threads == 1 executes the identical schedule on
   // the calling thread.
   std::unique_ptr<WorkerTeam> team;
@@ -279,26 +459,83 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
   const std::uint64_t before = stats_.events;
   // Posts made before run() (construction-time wiring) merge first.
   drain_mailboxes();
-  std::uint64_t routed_seen = total_routed();
+  std::uint64_t cross_seen = total_cross_routed();
   prev_horizons_.assign(static_cast<std::size_t>(n), -1);  // never a horizon
+  dirty_.assign(static_cast<std::size_t>(n), 1);           // peek everyone once
+  group_horizons_.assign(static_cast<std::size_t>(ng), -1);
+  group_bounds_.assign(static_cast<std::size_t>(ng), 0);
   // The lookahead graph is fixed for the whole run, so the min-plus
-  // fixed point folds into one static matrix: per round, a bound is a
-  // flat min over horizon(s) + closed(s, d) — no iterative relaxation,
-  // no atomic re-reads (see LookaheadMatrix::closed_bound_matrix).
-  const LookaheadMatrix closed = lookahead_.closed_bound_matrix();
+  // fixed point folds into static matrices: per round, a group's bound
+  // is a flat min over group_horizon(a) + closed(a, g) — no iterative
+  // relaxation, no atomic re-reads (LookaheadMatrix::closed_bound_matrix).
+  // The outer matrix closes over *groups* (pairwise entry = min member
+  // lookahead); each multi-member group additionally closes its members'
+  // lookaheads for the inner loop (run_superstep). With singleton groups
+  // the outer matrix is exactly the flat closed matrix.
+  LookaheadMatrix group_lookahead(ng);
+  for (int a = 0; a < ng; ++a) {
+    for (int b = 0; b < ng; ++b) {
+      if (a == b) continue;
+      SimTime best = EventHorizon::kInfinity;
+      for (const int s : groups_[static_cast<std::size_t>(a)].members) {
+        for (const int d : groups_[static_cast<std::size_t>(b)].members) {
+          best = std::min(best, lookahead_.get(s, d));
+        }
+      }
+      group_lookahead.set(a, b, best);
+    }
+  }
+  const LookaheadMatrix closed = group_lookahead.closed_bound_matrix();
+  for (auto& gs : groups_) {
+    const std::size_t m = gs.members.size();
+    gs.h.assign(m, 0);
+    gs.b.assign(m, 0);
+    if (m > 1) {
+      LookaheadMatrix local(static_cast<int>(m));
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          if (i == j) continue;
+          local.set(static_cast<int>(i), static_cast<int>(j),
+                    lookahead_.get(gs.members[i], gs.members[j]));
+        }
+      }
+      gs.intra = local.closed_bound_matrix();
+      gs.forward_only = true;
+      for (std::size_t i = 0; i < m && gs.forward_only; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          if (gs.intra.get(static_cast<int>(i), static_cast<int>(j)) !=
+              EventHorizon::kInfinity) {
+            gs.forward_only = false;
+            break;
+          }
+        }
+      }
+    }
+  }
   for (;;) {
-    // 1. Publish horizons, once per round (not per event).
+    // 1. Publish horizons into the coordinator's arrays, once per round
+    // (not per event); group horizons are the min over members. A
+    // domain that neither executed a window nor received mail since its
+    // last peek cannot have a different horizon (nothing else touches
+    // its queue), so only dirty domains are re-settled and re-peeked.
     SimTime min_next = EventHorizon::kInfinity;
     bool moved = false;
+    std::fill(group_horizons_.begin(), group_horizons_.end(), EventHorizon::kInfinity);
     for (int d = 0; d < n; ++d) {
-      const SimTime t = engines_[static_cast<std::size_t>(d)]->next_event_time();
-      const SimTime h = (t == Engine::kNoEvent) ? EventHorizon::kInfinity : t;
-      if (h != prev_horizons_[static_cast<std::size_t>(d)]) {
-        prev_horizons_[static_cast<std::size_t>(d)] = h;
-        moved = true;
+      SimTime h = prev_horizons_[static_cast<std::size_t>(d)];
+      if (dirty_[static_cast<std::size_t>(d)]) {
+        dirty_[static_cast<std::size_t>(d)] = 0;
+        const SimTime t = engines_[static_cast<std::size_t>(d)]->next_event_time();
+        h = (t == Engine::kNoEvent) ? EventHorizon::kInfinity : t;
+        if (h != prev_horizons_[static_cast<std::size_t>(d)]) {
+          prev_horizons_[static_cast<std::size_t>(d)] = h;
+          moved = true;
+        }
       }
-      horizon_.publish(d, h);
       min_next = std::min(min_next, h);
+      SimTime& gh = group_horizons_[static_cast<std::size_t>(
+          group_of_[static_cast<std::size_t>(d)])];
+      gh = std::min(gh, h);
     }
     if (min_next == EventHorizon::kInfinity) break;  // all queues drained
 
@@ -309,30 +546,33 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
     // round the closure (and the bounds derived from it) cannot have
     // moved either, so the recomputation is skipped.
     if (moved) {
-      for (int d = 0; d < n; ++d) {
+      for (int g = 0; g < ng; ++g) {
         SimTime bound = EventHorizon::kInfinity;
-        for (int s = 0; s < n; ++s) {
+        for (int a = 0; a < ng; ++a) {
           const SimTime reach = EventHorizon::saturating_add(
-              prev_horizons_[static_cast<std::size_t>(s)], closed.get(s, d));
+              group_horizons_[static_cast<std::size_t>(a)], closed.get(a, g));
           if (reach < bound) bound = reach;
         }
-        bounds_[static_cast<std::size_t>(d)] = bound;
+        group_bounds_[static_cast<std::size_t>(g)] = bound;
       }
     } else {
       ++stats_.horizon_skips;
     }
-    active_.clear();
-    for (int d = 0; d < n; ++d) {
-      const SimTime h = prev_horizons_[static_cast<std::size_t>(d)];
-      if (h != EventHorizon::kInfinity && h < bounds_[static_cast<std::size_t>(d)]) {
-        active_.push_back(d);
+    active_groups_.clear();
+    for (int g = 0; g < ng; ++g) {
+      const SimTime gh = group_horizons_[static_cast<std::size_t>(g)];
+      if (gh != EventHorizon::kInfinity && gh < group_bounds_[static_cast<std::size_t>(g)]) {
+        active_groups_.push_back(g);
       }
     }
 
-    // 3./4. Execute a parallel window, or an equal-time round when
-    // domains are tied at the global minimum with no lookahead slack.
-    const bool equal_time = active_.empty();
+    // 3./4. Execute a round of parallel supersteps, or an equal-time
+    // round when groups are tied at the global minimum with no
+    // lookahead slack. Equal-time rounds run at *domain* granularity:
+    // exactly the domains holding the minimum execute that timestamp.
+    const bool equal_time = active_groups_.empty();
     if (equal_time) {
+      active_.clear();
       for (int d = 0; d < n; ++d) {
         if (prev_horizons_[static_cast<std::size_t>(d)] == min_next) active_.push_back(d);
       }
@@ -344,33 +584,69 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
 
     const std::uint64_t executed_before =
         window_log_ != nullptr ? total_executed() : 0;
+    const std::uint64_t inner_before =
+        window_log_ != nullptr ? total_inner_rounds() : 0;
 
-    if (team == nullptr || active_.size() == 1) {
-      for (int d : active_) run_window(d, bounds_[static_cast<std::size_t>(d)], equal_time);
+    if (equal_time) {
+      if (team == nullptr || active_.size() == 1) {
+        for (int d : active_) run_window(d, min_next, true);
+      } else {
+        team->run_round(true);  // barrier: returns after all windows
+      }
+      for (int d : active_) dirty_[static_cast<std::size_t>(d)] = 1;
     } else {
-      team->run_round(equal_time);  // barrier: returns after all windows
+      if (team == nullptr || active_groups_.size() == 1) {
+        for (int g : active_groups_) {
+          run_superstep(g, group_bounds_[static_cast<std::size_t>(g)]);
+        }
+      } else {
+        team->run_round(false);  // barrier: returns after all supersteps
+      }
+      for (int g : active_groups_) {
+        for (const int m : groups_[static_cast<std::size_t>(g)].members) {
+          dirty_[static_cast<std::size_t>(m)] = 1;
+        }
+      }
     }
 
     if (window_log_ != nullptr) {
       WindowRecord rec;
       rec.start = EventHorizon::kInfinity;
-      for (int d : active_) {
-        rec.start = std::min(rec.start, prev_horizons_[static_cast<std::size_t>(d)]);
-        rec.end = std::max(rec.end, bounds_[static_cast<std::size_t>(d)]);
+      if (equal_time) {
+        rec.start = min_next;
+        rec.end = min_next;
+        rec.active_domains = static_cast<std::uint32_t>(active_.size());
+      } else {
+        for (int g : active_groups_) {
+          rec.start = std::min(rec.start, group_horizons_[static_cast<std::size_t>(g)]);
+          rec.end = std::max(rec.end, group_bounds_[static_cast<std::size_t>(g)]);
+        }
+        rec.active_domains = static_cast<std::uint32_t>(active_groups_.size());
       }
-      rec.active_domains = static_cast<std::uint32_t>(active_.size());
       rec.events = static_cast<std::uint32_t>(total_executed() - executed_before);
+      rec.inner_rounds = static_cast<std::uint32_t>(total_inner_rounds() - inner_before);
       rec.equal_time = equal_time;
       window_log_->push_back(rec);
     }
 
-    // 5. Merge cross-domain events in fixed (dst, src, FIFO) order —
+    // 5. Merge cross-group events in fixed (dst, src, FIFO) order —
     // all mailboxes in one pass, and no pass at all when the round
-    // routed nothing (the common case for windows that stayed local).
-    const std::uint64_t routed_now = total_routed();
-    if (routed_now != routed_seen) {
+    // routed nothing new (the common case for rounds that stayed
+    // local). Intra-group mail normally merges at the supersteps' own
+    // inner barriers; outer equal-time rounds bypass those, so their
+    // intra posts (intra_routed ahead of intra_seen) force a pass too.
+    const std::uint64_t cross_now = total_cross_routed();
+    bool intra_pending = false;
+    for (const auto& gs : groups_) {
+      if (gs.intra_routed != gs.intra_seen) {
+        intra_pending = true;
+        break;
+      }
+    }
+    if (cross_now != cross_seen || intra_pending) {
       drain_mailboxes();
-      routed_seen = routed_now;
+      cross_seen = cross_now;
+      for (auto& gs : groups_) gs.intra_seen = gs.intra_routed;
     } else {
       ++stats_.drain_skips;
     }
@@ -380,9 +656,15 @@ std::uint64_t ParallelEngine::run(unsigned threads) {
   stats_.events = 0;
   stats_.posts_routed = 0;
   stats_.mailbox_spills = 0;
+  stats_.inner_windows = 0;
+  stats_.inner_equal_time_rounds = 0;
   for (int d = 0; d < n; ++d) {
     stats_.events += executed_[static_cast<std::size_t>(d)].n;
     stats_.posts_routed += routed_posts_[static_cast<std::size_t>(d)].n;
+  }
+  for (const auto& gs : groups_) {
+    stats_.inner_windows += gs.inner_windows;
+    stats_.inner_equal_time_rounds += gs.inner_equal_time;
   }
   for (const auto& box : mailboxes_) {
     if (box) stats_.mailbox_spills += box->spilled();

@@ -38,8 +38,26 @@
 // when) executing from a foreign domain. In an unpartitioned build both
 // degenerate to a plain call / schedule_at, preserving the serial
 // engine's behaviour exactly.
+//
+// Hierarchical (two-level) partitions: set_groups() arranges domains
+// into groups — for a GPU cluster, one group per node holding that
+// node's per-device-group domains. The round loop then runs at group
+// granularity: group horizons (min over members) and a group-level
+// closed bound matrix (min pairwise lookahead between groups) pick the
+// active groups, and each active group runs a *superstep* — an inner
+// window loop over its member domains, bounded by the intra-group
+// closed matrix and capped at the group's outer bound. Inner rounds
+// merge intra-group mail at worker-local barriers that never touch the
+// global coordinator; cross-group mail still merges at the outer
+// barrier. Member bounds are min(intra-closure, outer bound), which is
+// conservative for every influence chain: chains that stay inside the
+// group are covered by the intra closure, chains that leave and
+// re-enter by the group self-echo in the outer matrix. With singleton
+// groups (the default) the loop degenerates to the flat algorithm
+// bit-for-bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -60,7 +78,9 @@ class ParallelEngine {
   };
 
   struct Stats {
-    std::uint64_t windows = 0;            // parallel window rounds
+    std::uint64_t windows = 0;            // outer (group-level) window rounds
+    std::uint64_t inner_windows = 0;      // device sub-window rounds inside supersteps
+    std::uint64_t inner_equal_time_rounds = 0;  // intra-group fixed-point rounds
     std::uint64_t equal_time_rounds = 0;  // fixed-point rounds at one timestamp
     std::uint64_t events = 0;             // events executed by run()
     std::uint64_t posts_routed = 0;       // cross-domain posts via mailboxes
@@ -77,10 +97,11 @@ class ParallelEngine {
   // structure — identical for every worker-thread count — so they are
   // safe to surface in traces that are compared across runs.
   struct WindowRecord {
-    SimTime start = 0;  // earliest horizon among active domains
+    SimTime start = 0;  // earliest horizon among active domains/groups
     SimTime end = 0;    // largest exclusive bound (== start for equal-time)
-    std::uint32_t active_domains = 0;
+    std::uint32_t active_domains = 0;  // active groups for superstep rounds
     std::uint32_t events = 0;
+    std::uint32_t inner_rounds = 0;  // inner rounds the supersteps ran
     bool equal_time = false;
   };
 
@@ -96,6 +117,18 @@ class ParallelEngine {
 
   LookaheadMatrix& lookahead() { return lookahead_; }
   const LookaheadMatrix& lookahead() const { return lookahead_; }
+
+  // Two-level partition: `groups` must partition 0..num_domains()-1
+  // (each domain in exactly one group). Supersteps execute at group
+  // granularity; members of one group run their inner window loop on
+  // one worker, with intra-group mail merged at worker-local inner
+  // barriers. Unset (or all-singleton) groups reproduce the flat
+  // algorithm exactly. Call before run().
+  void set_groups(std::vector<std::vector<int>> groups);
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  const std::vector<int>& group(int g) const {
+    return groups_.at(static_cast<std::size_t>(g)).members;
+  }
 
   // Cross-domain schedule into `dst` at absolute time `t`. Inside a
   // window the event travels through the (current domain, dst) mailbox
@@ -145,32 +178,81 @@ class ParallelEngine {
     std::uint64_t n = 0;
   };
 
+  // One group of the two-level partition. Scratch and counters are
+  // written only by the worker running the group's superstep (inner
+  // rounds are worker-local); the coordinator reads them after the
+  // outer barrier.
+  struct alignas(64) GroupState {
+    std::vector<int> members;      // domain ids, ascending
+    LookaheadMatrix intra{0};      // closed bound matrix over members
+    // True when no member can reach an earlier member (the intra
+    // closure is strictly upper-triangular): the members form a DAG in
+    // ascending order and a superstep is a single forward sweep instead
+    // of an iterated horizon/bound loop (see run_superstep).
+    bool forward_only = false;
+    std::vector<SimTime> h;        // member horizons (superstep scratch)
+    std::vector<SimTime> b;        // member bounds (superstep scratch)
+    std::uint64_t inner_windows = 0;
+    std::uint64_t inner_equal_time = 0;
+    std::uint64_t intra_routed = 0;  // posts between members this run
+    std::uint64_t intra_seen = 0;    // inner-drain watermark
+  };
+
   SpscMailbox& mailbox(int src, int dst) {
     return *mailboxes_[static_cast<std::size_t>(src) * engines_.size() +
                        static_cast<std::size_t>(dst)];
   }
   // Drains every mailbox into its target engine, in fixed
-  // (destination, source, FIFO) order. Runs at barriers only.
+  // (destination, source, FIFO) order. Runs at outer barriers only.
   void drain_mailboxes();
+  // Drains the mailboxes between members of group `g`, in the same
+  // fixed (destination, source, FIFO) order restricted to the group.
+  // Runs at inner barriers, on the worker executing the superstep.
+  void drain_group(GroupState& gs);
   void run_window(int d, SimTime bound, bool equal_time);
+  // Inner window loop of one group: runs member windows bounded by the
+  // intra-group closure capped at `outer_bound`, merging intra-group
+  // mail between rounds, until no member has work below `outer_bound`.
+  void run_superstep(int g, SimTime outer_bound);
+  void default_groups();
 
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::unique_ptr<SpscMailbox>> mailboxes_;  // src-major [src][dst]
   LookaheadMatrix lookahead_;
-  EventHorizon horizon_;
   std::uint64_t total_executed() const;
   std::uint64_t total_routed() const;
+  std::uint64_t total_cross_routed() const;
+  std::uint64_t total_inner_rounds() const;
 
   std::vector<DomainCounter> executed_;      // per-domain, written inside windows
   std::vector<DomainCounter> routed_posts_;  // per-source, written inside windows
+  std::vector<DomainCounter> cross_routed_;  // per-source, cross-group only
   Stats stats_;
   bool running_ = false;
   std::vector<WindowRecord>* window_log_ = nullptr;
 
+  // Two-level structure (singleton groups unless set_groups is called).
+  std::vector<GroupState> groups_;
+  std::vector<int> group_of_;  // domain -> group index
+
   // Scratch, reused across windows (no steady-state allocation).
   std::vector<SimTime> bounds_;
   std::vector<SimTime> prev_horizons_;  // last published values (skip detection)
-  std::vector<int> active_;
+  std::vector<char> dirty_;  // domain ran / received mail since last peek
+  // Bit `src` of entry `dst` is set when (src, dst) has undrained mail,
+  // set by post() right after the push so the outer drain touches only
+  // non-empty pairs instead of probing all n^2 mailboxes every round.
+  // Sized only for partitions of at most 64 domains; larger ones fall
+  // back to the full scan. Stale bits (a pair the inner drains already
+  // emptied) cost one empty pop probe — never a missed event.
+  struct alignas(64) PendingFrom {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::vector<PendingFrom> pending_from_;
+  std::vector<SimTime> group_horizons_;
+  std::vector<SimTime> group_bounds_;
+  std::vector<int> active_;         // active domains (equal-time rounds)
+  std::vector<int> active_groups_;  // active groups (superstep rounds)
 };
 
 }  // namespace liger::sim

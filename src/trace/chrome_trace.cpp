@@ -108,6 +108,7 @@ void ChromeTraceSink::write_json(std::ostream& out) const {
     w.begin_object();
     w.kv("domains", rec.active_domains);
     w.kv("events", static_cast<double>(rec.events));
+    if (rec.inner_rounds > 0) w.kv("inner_rounds", static_cast<double>(rec.inner_rounds));
     w.end_object();
     w.end_object();
   }

@@ -19,8 +19,9 @@ namespace liger::trace {
 struct EngineWindowRecord {
   sim::SimTime start = 0;
   sim::SimTime end = 0;  // == start for an equal-time round
-  int active_domains = 0;
+  int active_domains = 0;  // active groups for superstep rounds
   std::uint64_t events = 0;
+  std::uint64_t inner_rounds = 0;  // device sub-windows inside the supersteps
   bool equal_time = false;
 };
 

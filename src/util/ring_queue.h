@@ -1,0 +1,63 @@
+// FIFO queue over a recycled circular buffer.
+//
+// std::deque frees its chunks as elements pop, so a steady-state
+// producer/consumer pair reallocates forever — for large elements
+// (device command queues hold ~150-byte ops) that put a chunk malloc
+// on the per-command hot path. This ring keeps its high-water-mark
+// capacity for the queue's lifetime: after warm-up, push/pop never
+// touch the allocator.
+//
+// Only the operations the simulator needs: push_back, front,
+// pop_front, size/empty. Elements must be default-constructible and
+// movable; pop_front destroys the popped element's resources
+// immediately (like deque) by overwriting the slot with a fresh T.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace liger::util {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    std::size_t tail = head_ + size_;
+    if (tail >= buf_.size()) tail -= buf_.size();
+    buf_[tail] = std::move(v);
+    ++size_;
+  }
+
+  void pop_front() {
+    buf_[head_] = T();  // release the element's resources now
+    ++head_;
+    if (head_ == buf_.size()) head_ = 0;
+    --size_;
+  }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::size_t at = head_ + i;
+      if (at >= buf_.size()) at -= buf_.size();
+      bigger[i] = std::move(buf_[at]);
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace liger::util

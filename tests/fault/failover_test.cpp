@@ -214,13 +214,19 @@ TEST(FailoverTest, RetryBackoffDoublesUpToTheCap) {
   EXPECT_EQ(rep.retries, 4u);
   EXPECT_EQ(rep.lost, 0u);
   EXPECT_EQ(server.abandoned(), 0u);
-  // Gaps between attempts: drop delay + min(1ms * 2^(k-1), 4ms), no jitter.
+  // Gaps between attempts: drop delay + the dispatch cost of routing
+  // the drop hook to the frontend + min(1ms * 2^(k-1), 4ms), no jitter.
+  const sim::SimTime hook = core::kCompletionDispatchLatency;
   ASSERT_EQ(flaky.submit_times.size(), 5u);
-  EXPECT_EQ(flaky.submit_times[1] - flaky.submit_times[0], drop_delay + sim::milliseconds(1));
-  EXPECT_EQ(flaky.submit_times[2] - flaky.submit_times[1], drop_delay + sim::milliseconds(2));
-  EXPECT_EQ(flaky.submit_times[3] - flaky.submit_times[2], drop_delay + sim::milliseconds(4));
+  EXPECT_EQ(flaky.submit_times[1] - flaky.submit_times[0],
+            drop_delay + hook + sim::milliseconds(1));
+  EXPECT_EQ(flaky.submit_times[2] - flaky.submit_times[1],
+            drop_delay + hook + sim::milliseconds(2));
+  EXPECT_EQ(flaky.submit_times[3] - flaky.submit_times[2],
+            drop_delay + hook + sim::milliseconds(4));
   // 2^3 = 8ms would exceed the cap: clamped.
-  EXPECT_EQ(flaky.submit_times[4] - flaky.submit_times[3], drop_delay + sim::milliseconds(4));
+  EXPECT_EQ(flaky.submit_times[4] - flaky.submit_times[3],
+            drop_delay + hook + sim::milliseconds(4));
 }
 
 TEST(FailoverTest, RetryBudgetExhaustionAbandonsTheRequest) {

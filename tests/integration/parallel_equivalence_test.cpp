@@ -12,12 +12,12 @@
 //     total-order sort the partitioned path uses (the serial path emits
 //     records in engine order; the partitioned path in canonical order
 //     — the record *sets* must match exactly).
-// Between two partitioned runs with the same domain layout even the raw
-// JSON bytes must match: worker count only changes which OS thread runs
-// a window. Domain fusion picks the layout from the thread count
-// (min(num_nodes, engine_threads) node domains), so the raw comparison
-// runs at 4 vs 8 threads — every figure config's layout is saturated by
-// 4 — while report/canonical-trace identity is asserted across layouts.
+// Between two partitioned runs even the raw JSON bytes must match:
+// the domain layout (including the per-node device-group cells of the
+// two-level partition) is a pure function of the experiment config,
+// never of engine_threads, and worker count only changes which OS
+// thread runs a window — so every partitioned thread count shares one
+// layout and the raw comparison holds across all of them.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -105,17 +105,21 @@ void expect_equivalent_across_threads(const ExperimentConfig& cfg,
   EXPECT_EQ(serial.trace_canonical, four.trace_canonical)
       << label << ": trace diverged, serial vs 4 threads";
   EXPECT_EQ(two.report, four.report);
-  // Two partitioned runs with the same domain layout differ only in
-  // worker count: identical windows, identical merge order,
-  // byte-identical raw output (including the engine-windows trace row).
+  // Partitioned runs differ only in worker count — the layout comes
+  // from the config, not the thread count — so identical windows,
+  // identical merge order, byte-identical raw output (including the
+  // engine-windows trace row) at every partitioned width.
   const RunOutput eight = run_traced(cfg, 8);
+  EXPECT_EQ(two.trace_raw, four.trace_raw)
+      << label << ": partitioned runs must emit byte-identical traces";
   EXPECT_EQ(four.trace_raw, eight.trace_raw)
-      << label << ": same-layout partitioned runs must emit byte-identical traces";
+      << label << ": partitioned runs must emit byte-identical traces";
   EXPECT_EQ(four.report, eight.report);
 
-  // CI hook: the scheduled tier-2 TSan job re-runs the suite at the
-  // machine's full width (LIGER_EQUIVALENCE_EXTRA_THREADS=$(nproc)),
-  // exercising worker schedules a fixed thread list cannot.
+  // CI hook: the scheduled tier-2 TSan job re-runs the suite across
+  // its engine_threads matrix (LIGER_EQUIVALENCE_EXTRA_THREADS at 8
+  // and at $(nproc)), exercising worker schedules a fixed thread list
+  // cannot.
   if (const char* extra_env = std::getenv("LIGER_EQUIVALENCE_EXTRA_THREADS")) {
     const int extra = std::atoi(extra_env);
     if (extra > 1) {
@@ -197,6 +201,31 @@ TEST(ParallelEquivalenceTest, Fig15HybridFourNodes) {
   // domain, so 4 nodes exercises 5 domains with real cross-node
   // lookahead windows.
   expect_equivalent_across_threads(fig15_config(7, 4), "fig15/4n seed 7");
+}
+
+TEST(ParallelEquivalenceTest, Fig15HybridTwoLevelCells) {
+  // The two-level shape: 8-GPU nodes at TP=4 split every node into two
+  // stage-slice cells, each with its own engine domain, grouped per
+  // node — node supersteps with NVLink-lookahead device sub-windows,
+  // and pipeline hand-offs hopping cell-to-cell inside a node. The
+  // whole hierarchy must stay bit-identical to the serial run.
+  for (const auto seed : kSeeds) {
+    ExperimentConfig cfg;
+    cfg.node = gpu::NodeSpec::v100_nvlink(8);
+    cfg.model = model::ModelZoo::opt_30b().with_layers(8);
+    cfg.method = Method::kHybrid;
+    cfg.num_nodes = 2;
+    cfg.hybrid_tp = 4;  // 8 devices / TP=4 -> 2 cells per node
+    cfg.hybrid_pp = 4;
+    cfg.fabric = interconnect::FabricSpec::ib_hdr();
+    cfg.rate = 60.0;
+    cfg.poisson = true;
+    cfg.workload.num_requests = 10;
+    cfg.workload.batch_size = 2;
+    cfg.workload.seed = seed;
+    expect_equivalent_across_threads(cfg,
+                                     "fig15/cells seed " + std::to_string(seed));
+  }
 }
 
 // --- fig11: generative (autoregressive) serving --------------------------

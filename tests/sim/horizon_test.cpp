@@ -183,5 +183,153 @@ TEST(EventHorizonClosure, ClosedMatrixDiagonalIsMinRoundTrip) {
   EXPECT_EQ(closed.get(1, 0), 900);
 }
 
+// --- Two-level (hierarchical) closure -------------------------------------
+//
+// The grouped run loop collapses the domain-level lookahead matrix to
+// group granularity (pairwise entry = min over member pairs), closes
+// *that*, and bounds each member by
+//   min( intra-group closed bound over member horizons,
+//        outer group bound ).
+// These tests pin the two identities that make the collapse safe.
+
+// Collapse safety: for every member d of group g, the two-level bound
+// never exceeds the flat closed bound — group horizon <= every member
+// horizon and collapsed entry <= every member-pair lookahead, so each
+// collapsed term lower-bounds the member terms it replaced. Running a
+// member up to the two-level bound is therefore at least as
+// conservative as the flat algorithm, for any horizon assignment.
+TEST(TwoLevelClosure, CollapsedGroupBoundIsAtMostTheFlatBound) {
+  constexpr int n = 4;
+  // Domains {0,1} form group 0 (device domains of one node), {2,3}
+  // group 1. Asymmetric on purpose: fast NVLink hops inside a group,
+  // slow fabric edges between groups, one zero edge.
+  LookaheadMatrix la(n);
+  la.set(0, 1, 10);
+  la.set(1, 0, 25);
+  la.set(2, 3, 40);
+  la.set(3, 2, 40);
+  la.set(0, 2, 5000);
+  la.set(2, 0, 5000);
+  la.set(1, 3, 1200);
+  la.set(3, 1, 0);
+  la.set(0, 3, 7000);
+  la.set(3, 0, 7000);
+  la.set(1, 2, 6000);
+  la.set(2, 1, 6000);
+  const std::vector<std::vector<int>> groups = {{0, 1}, {2, 3}};
+  const int ng = static_cast<int>(groups.size());
+
+  // Group-level collapse, exactly as the run loop builds it.
+  LookaheadMatrix group_la(ng);
+  for (int a = 0; a < ng; ++a) {
+    for (int b = 0; b < ng; ++b) {
+      if (a == b) continue;
+      SimTime best = kInf;
+      for (const int s : groups[static_cast<std::size_t>(a)]) {
+        for (const int d : groups[static_cast<std::size_t>(b)]) {
+          best = std::min(best, la.get(s, d));
+        }
+      }
+      group_la.set(a, b, best);
+    }
+  }
+  const LookaheadMatrix group_closed = group_la.closed_bound_matrix();
+  const LookaheadMatrix flat_closed = la.closed_bound_matrix();
+
+  // Intra-group closures over the restricted matrices.
+  std::vector<LookaheadMatrix> intra;
+  for (const auto& members : groups) {
+    const int m = static_cast<int>(members.size());
+    LookaheadMatrix local(m);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i != j) {
+          local.set(i, j,
+                    la.get(members[static_cast<std::size_t>(i)],
+                           members[static_cast<std::size_t>(j)]));
+        }
+      }
+    }
+    intra.push_back(local.closed_bound_matrix());
+  }
+
+  const SimTime samples[] = {0, 50, 4000, 123456, kInf};
+  int case_index = 0;
+  for (const SimTime h0 : samples) {
+    for (const SimTime h1 : samples) {
+      for (const SimTime h2 : samples) {
+        const SimTime h3 = samples[static_cast<std::size_t>(case_index++ % 5)];
+        const SimTime h[n] = {h0, h1, h2, h3};
+
+        // Flat reference bound per domain.
+        SimTime flat_bound[n];
+        for (int d = 0; d < n; ++d) {
+          flat_bound[d] = kInf;
+          for (int s = 0; s < n; ++s) {
+            flat_bound[d] = std::min(
+                flat_bound[d],
+                EventHorizon::saturating_add(h[s], flat_closed.get(s, d)));
+          }
+        }
+
+        // Two-level bound: outer group bound, then per-member
+        // min(intra closure, outer).
+        for (int g = 0; g < ng; ++g) {
+          SimTime outer = kInf;
+          for (int a = 0; a < ng; ++a) {
+            SimTime gh = kInf;
+            for (const int s : groups[static_cast<std::size_t>(a)]) gh = std::min(gh, h[s]);
+            outer = std::min(outer,
+                             EventHorizon::saturating_add(gh, group_closed.get(a, g)));
+          }
+          const auto& members = groups[static_cast<std::size_t>(g)];
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            SimTime in = kInf;
+            for (std::size_t s = 0; s < members.size(); ++s) {
+              in = std::min(in, EventHorizon::saturating_add(
+                                    h[members[s]],
+                                    intra[static_cast<std::size_t>(g)].get(
+                                        static_cast<int>(s), static_cast<int>(i))));
+            }
+            const SimTime two_level = std::min(in, outer);
+            EXPECT_LE(two_level, flat_bound[members[i]])
+                << "member " << members[i] << " horizons " << h0 << "," << h1 << ","
+                << h2 << "," << h3;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Singleton collapse is the identity: with one domain per group the
+// group-level matrix *is* the domain-level matrix, so its closure (and
+// every bound derived from it) matches the flat closure entry for
+// entry — the degenerate case the engine relies on for bit-identical
+// default behaviour.
+TEST(TwoLevelClosure, SingletonGroupsCollapseToTheFlatClosure) {
+  LookaheadMatrix la(3);
+  la.set(0, 1, 1200);
+  la.set(1, 0, 0);
+  la.set(1, 2, 500);
+  la.set(2, 1, 700);
+  la.set(0, 2, 9000);
+  la.set(2, 0, 1200);
+  const LookaheadMatrix flat_closed = la.closed_bound_matrix();
+
+  LookaheadMatrix group_la(3);  // groups {{0},{1},{2}}: copy of la
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a != b) group_la.set(a, b, la.get(a, b));
+    }
+  }
+  const LookaheadMatrix group_closed = group_la.closed_bound_matrix();
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_EQ(group_closed.get(a, b), flat_closed.get(a, b)) << a << "," << b;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace liger::sim

@@ -75,7 +75,9 @@ struct RingResult {
   Trace trace;
   SimTime final_now = 0;
   std::uint64_t events = 0;
+  std::uint64_t windows = 0;
   std::uint64_t equal_time_rounds = 0;
+  std::uint64_t inner_windows = 0;
   std::uint64_t posts_routed = 0;
 };
 
@@ -83,10 +85,12 @@ struct RingResult {
 // `hops` events spaced `step` apart; every event forwards a token to
 // the next domain `lookahead` later (a legal claim by construction).
 // Deterministic by design; the token payload encodes its full path.
+// Non-empty `groups` installs a two-level partition before the run.
 RingResult run_ring(int domains, unsigned threads, SimTime lookahead, int hops,
-                    SimTime step) {
+                    SimTime step, std::vector<std::vector<int>> groups = {}) {
   ParallelEngine pe(domains);
   pe.lookahead().set_cross(lookahead);
+  if (!groups.empty()) pe.set_groups(std::move(groups));
 
   std::vector<Trace> logs(static_cast<std::size_t>(domains));
   struct Hop {
@@ -126,7 +130,9 @@ RingResult run_ring(int domains, unsigned threads, SimTime lookahead, int hops,
   RingResult r;
   r.events = pe.run(threads);
   r.final_now = pe.now();
+  r.windows = pe.stats().windows;
   r.equal_time_rounds = pe.stats().equal_time_rounds;
+  r.inner_windows = pe.stats().inner_windows;
   r.posts_routed = pe.stats().posts_routed;
   for (auto& log : logs) {
     r.trace.insert(r.trace.end(), log.begin(), log.end());
@@ -251,6 +257,125 @@ TEST(ParallelEngine, SpillPathKeepsDeterminism) {
   EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel));
   EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel));
   EXPECT_GT(std::get<2>(parallel), 0u) << "test meant to exercise the spill path";
+}
+
+// --- Two-level (grouped) execution ---------------------------------------
+
+TEST(ParallelEngineGroups, ExplicitSingletonsMatchTheDefaultExactly) {
+  // Singleton groups are documented to degenerate to the flat
+  // algorithm bit-for-bit: not just the same trace, the same window
+  // structure and the same mailbox traffic.
+  const RingResult flat = run_ring(4, 1, sim::microseconds(5), 6, sim::microseconds(3));
+  const RingResult singleton =
+      run_ring(4, 1, sim::microseconds(5), 6, sim::microseconds(3), {{0}, {1}, {2}, {3}});
+  EXPECT_EQ(flat.trace, singleton.trace);
+  EXPECT_EQ(flat.final_now, singleton.final_now);
+  EXPECT_EQ(flat.events, singleton.events);
+  EXPECT_EQ(flat.windows, singleton.windows);
+  EXPECT_EQ(flat.equal_time_rounds, singleton.equal_time_rounds);
+  EXPECT_EQ(flat.posts_routed, singleton.posts_routed);
+  EXPECT_EQ(singleton.inner_windows, 0u);  // no multi-member supersteps
+}
+
+TEST(ParallelEngineGroups, GroupedRingIsBitIdenticalToFlat) {
+  // A two-level partition changes how windows are *scheduled* (node
+  // supersteps containing device sub-windows), never what any domain
+  // observes: same trace, same final time, same event count, at every
+  // thread count.
+  for (SimTime lookahead : {SimTime{0}, sim::microseconds(5)}) {
+    const RingResult flat = run_ring(4, 1, lookahead, 6, sim::microseconds(3));
+    for (unsigned threads : {1u, 2u}) {
+      const RingResult grouped =
+          run_ring(4, threads, lookahead, 6, sim::microseconds(3), {{0, 1}, {2, 3}});
+      EXPECT_EQ(flat.trace, grouped.trace) << "lookahead=" << lookahead;
+      EXPECT_EQ(flat.final_now, grouped.final_now);
+      EXPECT_EQ(flat.events, grouped.events);
+      EXPECT_EQ(flat.posts_routed, grouped.posts_routed);
+    }
+  }
+}
+
+TEST(ParallelEngineGroups, IntraGroupMailNeverTouchesTheCoordinator) {
+  // Two groups; all traffic is a ping-pong between the members of
+  // group 0 (device-to-device inside one node). The cross-group
+  // lookahead is huge, so the whole chain fits in one outer superstep:
+  // every hop must merge at the worker-local inner barriers, and the
+  // outer (coordinator) drain must be skipped on every round.
+  ParallelEngine pe(4);
+  pe.lookahead().set_cross(sim::milliseconds(1));  // node <-> node: far apart
+  pe.lookahead().set(0, 1, 10);                    // device <-> device hops
+  pe.lookahead().set(1, 0, 10);
+  pe.set_groups({{0, 1}, {2, 3}});
+
+  constexpr int kHops = 50;
+  std::vector<SimTime> d0_times, d1_times;
+  struct Ctx {
+    ParallelEngine* pe;
+    std::vector<SimTime>* t0;
+    std::vector<SimTime>* t1;
+  } ctx{&pe, &d0_times, &d1_times};
+  struct PingPong {
+    static void hop(Ctx* ctx, int domain, int remaining) {
+      Engine& e = ctx->pe->domain(domain);
+      (domain == 0 ? *ctx->t0 : *ctx->t1).push_back(e.now());
+      if (remaining == 0) return;
+      const int next = 1 - domain;
+      ctx->pe->domain(next).schedule_cross(
+          e.now() + 10, [ctx, next, remaining] { hop(ctx, next, remaining - 1); });
+    }
+  };
+  pe.domain(0).schedule_at(0, [&ctx] { PingPong::hop(&ctx, 0, kHops); });
+
+  EXPECT_EQ(pe.run(2), static_cast<std::uint64_t>(kHops) + 1);
+  // The chain ran at 10ns intervals, alternating domains.
+  ASSERT_EQ(d0_times.size() + d1_times.size(), static_cast<std::size_t>(kHops) + 1);
+  for (std::size_t i = 0; i < d0_times.size(); ++i) {
+    EXPECT_EQ(d0_times[i], static_cast<SimTime>(20 * i));
+  }
+  for (std::size_t i = 0; i < d1_times.size(); ++i) {
+    EXPECT_EQ(d1_times[i], static_cast<SimTime>(10 + 20 * i));
+  }
+  const auto& st = pe.stats();
+  // Every hop routed through a mailbox, merged by inner rounds...
+  EXPECT_EQ(st.posts_routed, static_cast<std::uint64_t>(kHops));
+  EXPECT_GT(st.inner_windows, 0u);
+  // ...and the coordinator never ran a drain pass: every outer round
+  // skipped (inner barriers fully absorbed the intra-group traffic).
+  EXPECT_EQ(st.drain_skips, st.windows + st.equal_time_rounds);
+  // The huge cross-group lookahead admits the whole chain in one outer
+  // window — the superstep is where the work happened.
+  EXPECT_EQ(st.windows, 1u);
+  EXPECT_EQ(st.equal_time_rounds, 0u);
+}
+
+TEST(ParallelEngineGroups, SuperstepHonoursTheOuterBound) {
+  // Two busy groups exchanging cross-group tokens: inner windows must
+  // stop at the outer bound so cross-group mail can merge, or events
+  // would execute out of order. Bit-identity against the flat run is
+  // the observable guarantee.
+  const RingResult flat = run_ring(6, 1, sim::microseconds(2), 8, sim::microseconds(1));
+  const RingResult grouped =
+      run_ring(6, 2, sim::microseconds(2), 8, sim::microseconds(1), {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_EQ(flat.trace, grouped.trace);
+  EXPECT_EQ(flat.final_now, grouped.final_now);
+  EXPECT_EQ(flat.events, grouped.events);
+  EXPECT_GT(grouped.inner_windows, 0u);
+}
+
+TEST(ParallelEngineGroupsDeathTest, GroupsMustPartitionTheDomains) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ParallelEngine pe(3);
+        pe.set_groups({{0, 1}});  // domain 2 missing
+      },
+      "missing from the group partition");
+  EXPECT_DEATH(
+      {
+        ParallelEngine pe(3);
+        pe.set_groups({{0, 1}, {1, 2}});  // domain 1 twice
+      },
+      "assigned to two groups");
 }
 
 }  // namespace

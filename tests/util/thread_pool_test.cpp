@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace liger::util {
@@ -110,6 +111,73 @@ TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
 TEST(ThreadPoolTest, DefaultSizeAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ReserveSpareGrantsAtMostWantAndSpare) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.try_reserve_spare(0), 0u);
+  EXPECT_EQ(pool.idle_workers(), 4u);
+  EXPECT_EQ(pool.try_reserve_spare(2), 2u);
+  EXPECT_EQ(pool.idle_workers(), 2u);
+  // Asking for more than the remaining spare clips to the spare.
+  EXPECT_EQ(pool.try_reserve_spare(8), 2u);
+  EXPECT_EQ(pool.idle_workers(), 0u);
+  // A saturated pool grants nothing.
+  EXPECT_EQ(pool.try_reserve_spare(1), 0u);
+  pool.release_spare(2);
+  EXPECT_EQ(pool.idle_workers(), 2u);
+  pool.release_spare(2);
+  EXPECT_EQ(pool.idle_workers(), 4u);
+}
+
+TEST(ThreadPoolTest, ReserveSpareCountsBusyWorkers) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  auto f = pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the worker is visibly inside the job.
+  while (pool.idle_workers() != 1) std::this_thread::yield();
+  EXPECT_EQ(pool.try_reserve_spare(2), 1u);
+  EXPECT_EQ(pool.try_reserve_spare(1), 0u);
+  pool.release_spare(1);
+  release.store(true);
+  f.get();
+}
+
+TEST(ThreadPoolTest, ConcurrentReserveReleaseNeverOversubscribes) {
+  // With no jobs running, busy_ stays 0 and the reserve accounting is
+  // exact (the CAS loop re-reads the budget), so the sum of outstanding
+  // grants across racing threads must never exceed the pool size — not
+  // even transiently. `outstanding` tracks the grants the test threads
+  // currently hold; a breach would mean two reservations double-spent
+  // the same idle worker.
+  constexpr unsigned kSize = 4;
+  ThreadPool pool(kSize);
+  std::atomic<unsigned> outstanding{0};
+  std::atomic<int> breaches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const unsigned want = 1u + static_cast<unsigned>((t + i) % 3);
+        const unsigned got = pool.try_reserve_spare(want);
+        if (got == 0) continue;
+        if (got > want) breaches.fetch_add(1);
+        const unsigned held = outstanding.fetch_add(got) + got;
+        if (held > kSize) breaches.fetch_add(1);
+        std::this_thread::yield();
+        outstanding.fetch_sub(got);
+        pool.release_spare(got);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(breaches.load(), 0);
+  // Every grant was paired with a release: the full budget is back.
+  EXPECT_EQ(pool.idle_workers(), kSize);
+  EXPECT_EQ(pool.try_reserve_spare(kSize), kSize);
+  pool.release_spare(kSize);
 }
 
 TEST(ThreadPoolTest, ManyTasksSumCorrectly) {
