@@ -16,6 +16,14 @@
 //                            (OPT-30B, 4xV100-NVLink, batch 2, Liger)
 //   * fig11_generative     — end-to-end multi-conversation generative
 //                            serving (prefill + chained decodes)
+//   * serving_overload     — rounds vs continuous batching under an
+//                            arrival rate above capacity: both modes
+//                            serve the identical generative workload
+//                            against a deadline calibrated between their
+//                            worst-case latencies, and the JSON records
+//                            goodput + SLO-violation rate for each. A
+//                            continuous mode that fails to beat rounds
+//                            prints a warning without failing the run.
 //   * fig15_multinode      — end-to-end 4-node hybrid serving (8-GPU
 //                            nodes, two pipeline stages per node), swept
 //                            over engine_threads {1, 2, 4, 8, hw}; every
@@ -286,6 +294,60 @@ void fold_fig15_rep(Fig15Result& into, const Fig15Result& rep, int rep_index) {
   into.wall_ms = std::min(into.wall_ms, rep.wall_ms);
 }
 
+// Overload scenario (arrival rate far above capacity) comparing the
+// static-rounds baseline against iteration-level continuous batching on
+// the identical workload. Deterministic: same seed, same RNG discipline
+// in both modes.
+serving::ExperimentConfig overload_config(serving::BatchingMode mode,
+                                          sim::SimTime deadline) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.model = model::ModelZoo::tiny_test();
+  cfg.method = serving::Method::kLiger;
+  cfg.profile_contention = false;
+  cfg.rate = 5000.0;
+  cfg.workload.num_requests = 48;
+  cfg.workload.batch_size = 2;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 48;
+  cfg.workload.decode_tokens_min = 2;
+  cfg.workload.decode_tokens_max = 32;
+  cfg.workload.deadline = deadline;
+  cfg.batching = mode;
+  return cfg;
+}
+
+struct OverloadResult {
+  serving::Report report;
+  double wall_ms = 0.0;
+  double deadline_ms = 0.0;
+};
+
+// Runs both modes once without a deadline to find their mean latencies,
+// pins the SLO midway between them, and measures both modes against it
+// (the deadline only classifies completions, it never alters scheduling
+// — the calibrated runs replay the same simulations).
+void serving_overload(OverloadResult& rounds, OverloadResult& continuous) {
+  const auto base_rounds =
+      serving::run_experiment(overload_config(serving::BatchingMode::kRounds, 0));
+  const auto base_cont =
+      serving::run_experiment(overload_config(serving::BatchingMode::kContinuous, 0));
+  const double deadline_ms =
+      (base_rounds.avg_latency_ms + base_cont.avg_latency_ms) / 2.0;
+  const sim::SimTime deadline = sim::from_us(deadline_ms * 1e3);
+
+  auto timed = [deadline, deadline_ms](serving::BatchingMode mode) {
+    OverloadResult r;
+    r.deadline_ms = deadline_ms;
+    const auto start = Clock::now();
+    r.report = serving::run_experiment(overload_config(mode, deadline));
+    r.wall_ms = seconds_since(start) * 1e3;
+    return r;
+  };
+  rounds = timed(serving::BatchingMode::kRounds);
+  continuous = timed(serving::BatchingMode::kContinuous);
+}
+
 double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
   serving::ExperimentConfig cfg;
   cfg.node = gpu::NodeSpec::v100_nvlink(4);
@@ -363,12 +425,29 @@ int main(int argc, char** argv) {
 
   const bool run_fig10 = want("fig10_panel_a/end_to_end");
   const bool run_fig11 = want("fig11_generative/end_to_end");
+  const bool run_overload = want("serving_overload");
   const bool run_fig15 = want("fig15_multinode/end_to_end");
 
   sim::SimTime makespan = 0;
   const double fig10_ms = run_fig10 ? fig10_panel_a_wall_ms(requests, makespan) : 0.0;
   const auto generative = run_fig11 ? generative_steady(/*conversations=*/4, /*tokens=*/48)
                                     : GenerativeSteadyResult{};
+
+  OverloadResult overload_rounds;
+  OverloadResult overload_cont;
+  if (run_overload) {
+    serving_overload(overload_rounds, overload_cont);
+    if (overload_cont.report.goodput_rps <= overload_rounds.report.goodput_rps ||
+        overload_cont.report.slo_violation_rate >=
+            overload_rounds.report.slo_violation_rate) {
+      std::fprintf(stderr,
+                   "WARNING: continuous batching did not beat rounds under overload "
+                   "(goodput %.1f vs %.1f req/s, SLO violations %.1f%% vs %.1f%%)\n",
+                   overload_cont.report.goodput_rps, overload_rounds.report.goodput_rps,
+                   overload_cont.report.slo_violation_rate * 100.0,
+                   overload_rounds.report.slo_violation_rate * 100.0);
+    }
+  }
 
   // fig15 hybrid serving: engine_threads sweep {1, 2, 4, 8, hw}, deduped
   // and sorted (hw floor of 2 so the worker path is exercised even on
@@ -450,6 +529,18 @@ int main(int argc, char** argv) {
                 sim::to_ms(generative.makespan), (unsigned long long)generative.tokens,
                 (unsigned long long)generative.rounds);
   }
+  if (run_overload) {
+    for (const auto* o : {&overload_rounds, &overload_cont}) {
+      const bool cont = o == &overload_cont;
+      std::printf(
+          "%-28s %12s %11.1f ms (goodput %.1f req/s, SLO violations %.1f%%, "
+          "deadline %.2f sim-ms%s)\n",
+          cont ? "serving_overload/continuous" : "serving_overload/rounds", "1",
+          o->wall_ms, o->report.goodput_rps, o->report.slo_violation_rate * 100.0,
+          o->deadline_ms,
+          cont ? "" : ", baseline");
+    }
+  }
   for (const auto& r : fig15) {
     if (r.engine_threads == 1) {
       std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests, 1 thread)\n",
@@ -512,6 +603,30 @@ int main(int argc, char** argv) {
       json.kv("sim_makespan_ms", sim::to_ms(generative.makespan));
       json.kv("sim_tokens_per_second", generative.tokens_per_second);
       json.end_object();
+    }
+    if (run_overload) {
+      for (const auto* o : {&overload_rounds, &overload_cont}) {
+        json.begin_object();
+        json.kv("name", o == &overload_cont ? "serving_overload/continuous"
+                                            : "serving_overload/rounds");
+        json.kv("wall_ms", o->wall_ms);
+        json.kv("deadline_ms", o->deadline_ms);
+        json.kv("completed", static_cast<std::int64_t>(o->report.completed));
+        json.kv("goodput_rps", o->report.goodput_rps);
+        json.kv("slo_violation_rate", o->report.slo_violation_rate);
+        json.kv("sim_makespan_ms", sim::to_ms(o->report.makespan));
+        json.kv("tokens_per_second", o->report.generative.tokens_per_second);
+        json.kv("padding_tokens",
+                static_cast<std::int64_t>(o->report.generative.padding_tokens));
+        json.kv("preemptions",
+                static_cast<std::int64_t>(o->report.generative.preemptions));
+        json.kv("kv_peak_used_blocks", o->report.generative.kv_peak_used_blocks);
+        json.kv("plan_cache_peak_size",
+                static_cast<std::int64_t>(o->report.plan_cache.peak_size));
+        json.kv("plan_cache_evictions",
+                static_cast<std::int64_t>(o->report.plan_cache.evictions));
+        json.end_object();
+      }
     }
     for (const auto& r : fig15) {
       json.begin_object();

@@ -69,6 +69,25 @@ int main(int argc, char** argv) {
       w.kv("throughput_bps", r.throughput_bps);
       w.kv("throughput_rps", r.throughput_rps);
       w.kv("saturated", r.saturated());
+      if (r.generative.enabled) {
+        w.kv("tokens_per_second", r.generative.tokens_per_second);
+        w.kv("ttft_ms_avg", r.generative.ttft_ms_avg);
+        w.kv("ttft_ms_p99", r.generative.ttft_ms_p99);
+        w.kv("tpot_ms_avg", r.generative.tpot_ms_avg);
+        w.kv("tpot_ms_p99", r.generative.tpot_ms_p99);
+        w.kv("decode_batch_avg", r.generative.decode_batch_avg);
+        w.kv("padding_tokens", static_cast<std::int64_t>(r.generative.padding_tokens));
+        w.kv("preemptions", static_cast<std::int64_t>(r.generative.preemptions));
+        w.kv("swap_outs", static_cast<std::int64_t>(r.generative.swap_outs));
+        w.kv("kv_peak_used_blocks", r.generative.kv_peak_used_blocks);
+        w.kv("kv_total_blocks", r.generative.kv_total_blocks);
+        w.kv("goodput_rps", r.goodput_rps);
+        w.kv("slo_violation_rate", r.slo_violation_rate);
+      }
+      if (r.plan_cache.enabled) {
+        w.kv("plan_cache_peak_size", static_cast<std::int64_t>(r.plan_cache.peak_size));
+        w.kv("plan_cache_evictions", static_cast<std::int64_t>(r.plan_cache.evictions));
+      }
       w.end_object();
     }
     w.end_array();
@@ -83,6 +102,19 @@ int main(int argc, char** argv) {
       std::printf("%10.3f %10zu %12.2f %12.2f %12.3f %10s\n", r.offered_rate, r.completed,
                   r.avg_latency_ms, r.p99_latency_ms, r.throughput_bps,
                   r.saturated() ? "yes" : "no");
+      if (r.generative.enabled) {
+        std::printf("           %.0f tok/s | TTFT %.2f ms (p99 %.2f) | TPOT %.3f ms "
+                    "(p99 %.3f) | decode batch %.1f\n",
+                    r.generative.tokens_per_second, r.generative.ttft_ms_avg,
+                    r.generative.ttft_ms_p99, r.generative.tpot_ms_avg,
+                    r.generative.tpot_ms_p99, r.generative.decode_batch_avg);
+        std::printf("           KV peak %d/%d blocks | padding %llu tok | "
+                    "preempt %zu (recompute %zu, swap %zu) | goodput %.1f req/s\n",
+                    r.generative.kv_peak_used_blocks, r.generative.kv_total_blocks,
+                    static_cast<unsigned long long>(r.generative.padding_tokens),
+                    r.generative.preemptions, r.generative.recomputes,
+                    r.generative.swap_outs, r.goodput_rps);
+      }
     }
   }
   return 0;

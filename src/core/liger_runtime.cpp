@@ -28,6 +28,7 @@ LigerRuntime::LigerRuntime(gpu::DeviceGroup group, model::ModelSpec model,
     shared_cache->rebind(builder_, table_);
     cache_ = shared_cache;
   }
+  cache_->set_capacity(options_.plan_cache_capacity);
   const int n = group_.size();
   stream0_.reserve(static_cast<std::size_t>(n));
   stream1_.reserve(static_cast<std::size_t>(n));
@@ -68,6 +69,8 @@ void LigerRuntime::submit_local(model::BatchRequest request) {
   std::shared_ptr<const CompiledPlan> compiled = cache_->get(cfg);
   stats_.plan_cache_hits = cache_->hits();
   stats_.plan_cache_misses = cache_->misses();
+  stats_.plan_cache_evictions = cache_->evictions();
+  stats_.plan_cache_peak_size = cache_->peak_size();
   inflight_.emplace(request.id, request);
   completion_remaining_.emplace(request.id, group_.size());
   activation_bytes_.emplace(request.id, compiled->activation_bytes);

@@ -56,6 +56,10 @@ struct LigerOptions {
   // Megatron-SP sequence parallelism (extension): 2x finer comm ops for
   // the interleaver to place.
   bool sequence_parallel = false;
+  // LRU bound on the PlanCache (0 = unbounded). Continuous batching
+  // sets this to O(ranks): per-iteration (batch, seq) churn would
+  // otherwise retain one plan per shape ever seen.
+  std::size_t plan_cache_capacity = 0;
 };
 
 struct LigerStats {
@@ -70,6 +74,10 @@ struct LigerStats {
   // Plan-cache effectiveness: steady-state submits should hit.
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  // LRU pressure under iteration-level key churn: plans evicted, and
+  // the most entries ever resident (stays O(capacity) when bounded).
+  std::uint64_t plan_cache_evictions = 0;
+  std::uint64_t plan_cache_peak_size = 0;
   // High-water mark of simultaneously retained round plans; bounded by
   // rank skew (O(ranks)), not by run length.
   std::uint64_t peak_retained_plans = 0;

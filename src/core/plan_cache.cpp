@@ -8,18 +8,40 @@ std::shared_ptr<const CompiledPlan> PlanCache::get(const model::ExecConfig& cfg)
   assert(builder_ != nullptr && table_ != nullptr && "PlanCache used before rebind()");
   const Key key{cfg.batch, cfg.seq, cfg.tp, static_cast<int>(cfg.phase),
                 cfg.sequence_parallel ? 1 : 0};
+  ++tick_;
   auto it = plans_.find(key);
   if (it != plans_.end()) {
     ++hits_;
-    return it->second;
+    it->second.last_used = tick_;
+    return it->second.plan;
   }
   ++misses_;
   auto plan = std::make_shared<CompiledPlan>();
   plan->ops = builder_->model_ops(cfg);
   table_->annotate(plan->ops);
   plan->activation_bytes = builder_->activation_bytes(cfg);
-  plans_.emplace(key, plan);
+  if (capacity_ > 0 && plans_.size() >= capacity_) evict_lru();
+  plans_.emplace(key, Entry{plan, tick_});
+  peak_size_ = std::max(peak_size_, plans_.size());
   return plan;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0) return;
+  while (plans_.size() > capacity_) evict_lru();
+}
+
+void PlanCache::evict_lru() {
+  assert(!plans_.empty());
+  auto victim = plans_.begin();
+  for (auto it = std::next(plans_.begin()); it != plans_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  // The shared_ptr keeps any in-flight consumers of the evicted plan
+  // alive; the cache just forgets it.
+  plans_.erase(victim);
+  ++evictions_;
 }
 
 }  // namespace liger::core

@@ -14,6 +14,16 @@
 // ProfileTable pair whose model, cost model, and communicator are fixed
 // for the runtime's lifetime — any input that could change the plan is
 // part of the key by construction.
+//
+// Continuous batching churns the key space: the running batch's
+// (batch, seq) changes every decode iteration, so an unbounded cache
+// would retain one plan per distinct shape ever seen. set_capacity()
+// turns the cache into an LRU of that many entries — evicting the
+// least-recently-used plan keeps retained plans O(capacity) while the
+// handful of live shapes (the scheduler interns seq to block-size
+// multiples precisely so shapes recur) stay resident. Capacity 0 (the
+// default) means unbounded — the legacy paths keep their exact
+// behaviour.
 #pragma once
 
 #include <cstdint>
@@ -70,21 +80,40 @@ class PlanCache {
     return std::shared_ptr<const model::OpList>(plan, &plan->ops);
   }
 
+  // Bounds the cache to `capacity` entries with LRU eviction; 0 means
+  // unbounded. Shrinking below the current size evicts immediately.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::size_t size() const { return plans_.size(); }
+  // Largest entry count ever resident (across epochs).
+  std::size_t peak_size() const { return peak_size_; }
 
  private:
   // Everything the builder's output depends on. phase/sequence_parallel
   // are widened to int so the tuple stays trivially comparable.
   using Key = std::tuple<int, int, int, int, int>;  // batch, seq, tp, phase, sp
 
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;
+    std::uint64_t last_used = 0;  // tick of the most recent get()
+  };
+
+  void evict_lru();
+
   const model::LayerBuilder* builder_ = nullptr;
   const profile::ProfileTable* table_ = nullptr;
-  std::map<Key, std::shared_ptr<const CompiledPlan>> plans_;
+  std::map<Key, Entry> plans_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t tick_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace liger::core

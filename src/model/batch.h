@@ -3,12 +3,66 @@
 // The paper's serving frontend packs incoming requests into a batch and
 // sends it to Liger (§3, Fig 5); the runtime chooses the partitioning
 // (tp degree / pipeline stages) itself.
+//
+// Iteration-level (continuous) batching extends this with a *ragged*
+// composition: the scheduler re-forms the batch between decode
+// iterations from whatever sequences are currently running, so member
+// sequences sit at different context lengths. The runtime still
+// executes the padded rectangular shape (batch_size x seq) — exactly
+// what a paged-attention kernel does over whole KV blocks — while the
+// ragged view records what the padding covers, so allocator accounting
+// and fragmentation metrics work on real token counts.
 #pragma once
+
+#include <vector>
 
 #include "model/model_spec.h"
 #include "sim/time.h"
 
 namespace liger::model {
+
+// Per-sequence-group composition of one iteration-level batch. Each
+// entry is one scheduled request (a group of `seqs` sequences moving in
+// lockstep) contributing `context` tokens of KV state per sequence.
+// Empty for fixed-shape batches (the legacy paths never fill it).
+struct RaggedBatch {
+  struct Member {
+    int request_id = 0;  // the originating serving request
+    int seqs = 1;        // sequences in the group
+    int context = 0;     // KV tokens per sequence at this iteration
+  };
+  std::vector<Member> members;
+
+  bool empty() const { return members.empty(); }
+  int total_seqs() const {
+    int n = 0;
+    for (const auto& m : members) n += m.seqs;
+    return n;
+  }
+  int max_context() const {
+    int c = 0;
+    for (const auto& m : members) c = m.context > c ? m.context : c;
+    return c;
+  }
+  // Real KV tokens across all member sequences (no padding).
+  long long total_tokens() const {
+    long long t = 0;
+    for (const auto& m : members) {
+      t += static_cast<long long>(m.seqs) * static_cast<long long>(m.context);
+    }
+    return t;
+  }
+  // Tokens the padded rectangular execution covers: every sequence
+  // padded up to max_context rounded to a whole number of `block`-token
+  // KV blocks. The gap to total_tokens() is the iteration's padding
+  // waste (the fragmentation the paged allocator measures).
+  long long padded_tokens(int block) const {
+    const int ctx = max_context();
+    const int padded =
+        block > 1 ? ((ctx + block - 1) / block) * block : ctx;
+    return static_cast<long long>(total_seqs()) * static_cast<long long>(padded);
+  }
+};
 
 struct BatchRequest {
   int id = 0;
@@ -16,6 +70,10 @@ struct BatchRequest {
   int seq = 64;               // prompt length (prefill) / context (decode)
   Phase phase = Phase::kPrefill;
   sim::SimTime arrival = 0;
+  // Iteration-level batching only: the per-request composition behind
+  // (batch_size, seq). Runtimes ignore it (they execute the padded
+  // shape); schedulers and metrics consume it.
+  RaggedBatch ragged;
 };
 
 }  // namespace liger::model

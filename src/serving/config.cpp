@@ -127,6 +127,47 @@ ExperimentConfig config_from_json(const util::JsonValue& doc) {
         w->number_or("retry_backoff_cap_ms", sim::to_ms(cfg.workload.retry_backoff_cap)) *
         1e3);
     cfg.workload.retry_jitter = w->number_or("retry_jitter", cfg.workload.retry_jitter);
+    cfg.workload.decode_tokens_min =
+        static_cast<int>(w->int_or("decode_tokens_min", cfg.workload.decode_tokens_min));
+    cfg.workload.decode_tokens_max =
+        static_cast<int>(w->int_or("decode_tokens_max", cfg.workload.decode_tokens_max));
+    if (cfg.workload.decode_tokens_max > 0 && cfg.workload.decode_tokens_min < 1) {
+      cfg.workload.decode_tokens_min = 1;
+    }
+  }
+
+  if (const auto* b = doc.find("batching")) {
+    const std::string mode = lower(b->string_or("mode", "rounds"));
+    if (mode == "rounds") {
+      cfg.batching = BatchingMode::kRounds;
+    } else if (mode == "continuous") {
+      cfg.batching = BatchingMode::kContinuous;
+    } else {
+      throw std::invalid_argument("unknown batching mode: " + mode);
+    }
+    cfg.continuous.block_tokens =
+        static_cast<int>(b->int_or("block_tokens", cfg.continuous.block_tokens));
+    cfg.continuous.kv_pool_bytes = static_cast<std::uint64_t>(
+        b->number_or("kv_gb", static_cast<double>(cfg.continuous.kv_pool_bytes) /
+                                  static_cast<double>(1ull << 30)) *
+        static_cast<double>(1ull << 30));
+    cfg.continuous.kv_pool_fraction =
+        b->number_or("kv_pool_fraction", cfg.continuous.kv_pool_fraction);
+    cfg.continuous.token_budget =
+        static_cast<int>(b->int_or("token_budget", cfg.continuous.token_budget));
+    cfg.continuous.max_running =
+        static_cast<int>(b->int_or("max_running", cfg.continuous.max_running));
+    cfg.continuous.admit_reserve =
+        b->number_or("admit_reserve", cfg.continuous.admit_reserve);
+    const std::string pre = lower(b->string_or("preemption", "recompute"));
+    if (pre == "recompute") {
+      cfg.continuous.preemption = PreemptionPolicy::kRecompute;
+    } else if (pre == "swap") {
+      cfg.continuous.preemption = PreemptionPolicy::kSwap;
+    } else {
+      throw std::invalid_argument("unknown preemption policy: " + pre);
+    }
+    cfg.continuous.pcie_gbps = b->number_or("pcie_gbps", cfg.continuous.pcie_gbps);
   }
 
   if (const auto* f = doc.find("faults")) {

@@ -24,7 +24,13 @@
 //                 "seed": 7,
 //                 "deadline_ms": 0.0, "max_retries": 0,
 //                 "retry_backoff_ms": 2.0, "retry_backoff_cap_ms": 64.0,
-//                 "retry_jitter": 0.25 },
+//                 "retry_jitter": 0.25,
+//                 "decode_tokens_min": 8, "decode_tokens_max": 64 },
+//   "batching": { "mode": "rounds"|"continuous", "block_tokens": 16,
+//                 "kv_gb": 2.0, "kv_pool_fraction": 0.4,
+//                 "token_budget": 2048, "max_running": 64,
+//                 "admit_reserve": 0.05,
+//                 "preemption": "recompute"|"swap", "pcie_gbps": 16.0 },
 //   "faults": { "enabled": true,
 //               "plan": [ {"kind": "fail_stop"|"straggler"|"link_degrade"|
 //                                  "link_flap"|"host_stall",

@@ -1,0 +1,488 @@
+#include "serving/continuous.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liger::serving {
+
+namespace {
+
+// Interns an iteration's seq to the shape a paged-attention kernel
+// executes: whole KV blocks. Plan keys then recur across iterations
+// until the context crosses a block boundary.
+int pad_to_block(int tokens, int block) {
+  if (block <= 1) return tokens;
+  return ((tokens + block - 1) / block) * block;
+}
+
+}  // namespace
+
+ContinuousScheduler::ContinuousScheduler(sim::Engine& engine, core::InferenceRuntime& runtime,
+                                         model::ModelSpec model, int tp,
+                                         WorkloadConfig workload, ContinuousConfig config)
+    : engine_(engine),
+      runtime_(runtime),
+      model_(std::move(model)),
+      tp_(tp),
+      workload_(workload),
+      config_(config),
+      allocator_(model_, config.block_tokens, tp,
+                 [&] {
+                   // Floor the pool at one max-context request group so
+                   // head-of-line admission can never deadlock.
+                   const int max_ctx = workload.seq_max + workload.decode_tokens_max;
+                   const int blocks_per_seq =
+                       (max_ctx + config.block_tokens - 1) / config.block_tokens;
+                   const std::uint64_t floor_bytes =
+                       static_cast<std::uint64_t>(workload.batch_size) * blocks_per_seq *
+                       PagedKvAllocator::block_bytes(model_, config.block_tokens, tp);
+                   return std::max(config.kv_pool_bytes, floor_bytes);
+                 }()),
+      rng_(workload.seed) {
+  assert(workload_.num_requests >= 1);
+  assert(workload_.seq_min >= 1 && workload_.seq_min <= workload_.seq_max);
+  assert(workload_.decode_tokens_min >= 1 &&
+         workload_.decode_tokens_min <= workload_.decode_tokens_max &&
+         "generative workloads must generate at least one token");
+  assert(config_.block_tokens >= 1);
+  assert(config_.token_budget >= 1 && config_.max_running >= 1);
+  assert(config_.admit_reserve >= 0.0 && config_.admit_reserve < 1.0);
+  requests_.reserve(static_cast<std::size_t>(workload_.num_requests));
+}
+
+int ContinuousScheduler::reserve_blocks() const {
+  // Ceil so any nonzero reserve keeps at least one block free even on
+  // tiny pools — that block is what lets running groups keep growing
+  // while re-admissions land.
+  return static_cast<int>(std::ceil(config_.admit_reserve *
+                                    static_cast<double>(allocator_.total_blocks())));
+}
+
+sim::SimTime ContinuousScheduler::pcie_transfer(std::uint64_t bytes_per_device) {
+  // One serialized host link per node: back-to-back swaps queue behind
+  // each other (each device moves its shard concurrently, so the
+  // per-device byte count is the transfer size).
+  const auto dur = static_cast<sim::SimTime>(
+      std::ceil(static_cast<double>(bytes_per_device) / config_.pcie_gbps));
+  const sim::SimTime start = std::max(engine_.now(), pcie_busy_until_);
+  pcie_busy_until_ = start + dur;
+  return pcie_busy_until_;
+}
+
+sim::Task ContinuousScheduler::generator(ArrivalProcess& arrivals) {
+  for (int i = 0; i < workload_.num_requests; ++i) {
+    GenRequest r;
+    r.id = i;
+    r.arrival = engine_.now();
+    r.batch_size = workload_.batch_size;
+    r.prompt_len =
+        static_cast<int>(rng_.uniform_int(workload_.seq_min, workload_.seq_max));
+    r.target_tokens = static_cast<int>(
+        rng_.uniform_int(workload_.decode_tokens_min, workload_.decode_tokens_max));
+    if (workload_.deadline > 0) r.deadline = r.arrival + workload_.deadline;
+    on_arrival(std::move(r));
+    if (i + 1 < workload_.num_requests) {
+      co_await sim::delay(engine_, arrivals.next_gap(rng_));
+    }
+  }
+}
+
+void ContinuousScheduler::on_arrival(GenRequest request) {
+  const int id = request.id;
+  assert(static_cast<int>(requests_.size()) == id && "arrivals are dense in id order");
+  requests_.push_back(std::move(request));
+  timed_out_.push_back(false);
+  prev_token_.push_back(-1);
+  deadline_events_.emplace_back();
+
+  model::BatchRequest arr;
+  arr.id = id;
+  arr.batch_size = requests_[static_cast<std::size_t>(id)].batch_size;
+  arr.seq = requests_[static_cast<std::size_t>(id)].prompt_len;
+  arr.arrival = requests_[static_cast<std::size_t>(id)].arrival;
+  metrics_.on_arrival(arr);
+
+  if (workload_.deadline > 0) {
+    deadline_events_[static_cast<std::size_t>(id)] = engine_.schedule_at(
+        requests_[static_cast<std::size_t>(id)].arrival + workload_.deadline, [this, id] {
+          if (requests_[static_cast<std::size_t>(id)].stage == RequestStage::kFinished) return;
+          timed_out_[static_cast<std::size_t>(id)] = true;
+          metrics_.on_timeout(engine_.now());
+        });
+  }
+  waiting_.push_back(id);
+  maybe_start_iteration();
+}
+
+void ContinuousScheduler::admit_continuous() {
+  // Prompt tokens already committed to the next prefill iteration:
+  // admitted-but-not-yet-prefilled groups count against the budget.
+  int prefill_tokens = 0;
+  for (int id : running_) {
+    const auto& r = requests_[static_cast<std::size_t>(id)];
+    if (r.stage == RequestStage::kPrefilling) prefill_tokens += r.context();
+  }
+  while (!waiting_.empty()) {
+    const int id = waiting_.front();
+    auto& r = requests_[static_cast<std::size_t>(id)];
+    if (static_cast<int>(running_.size()) >= config_.max_running) break;
+    const int ctx = r.context();
+    const bool swap_in = r.stage == RequestStage::kSwappedOut;
+    // Token budget caps the prefill iteration's width; the first
+    // admission always passes so an over-budget prompt still progresses.
+    if (!swap_in && prefill_tokens > 0 && prefill_tokens + ctx > config_.token_budget) break;
+    // Memory-pressure gate: keep decode headroom free, except when the
+    // running set is idle and nothing is draining — then admitting is
+    // the only way to make progress.
+    const int need = allocator_.blocks_for_group(r.batch_size, ctx);
+    const int headroom =
+        (running_.empty() && swaps_in_flight_ == 0) ? 0 : reserve_blocks();
+    if (need + headroom > allocator_.free_blocks()) break;
+
+    waiting_.pop_front();
+    const bool ok = allocator_.allocate(id, r.batch_size, ctx);
+    assert(ok);
+    (void)ok;
+    r.admitted_at = engine_.now();
+    if (swap_in) {
+      start_swap_in(id);
+    } else {
+      if (r.stage == RequestStage::kPreempted) {
+        ++gen_.recomputes;
+        ++r.recomputes;
+      }
+      r.stage = RequestStage::kPrefilling;
+      running_.push_back(id);
+      prefill_tokens += ctx;
+    }
+  }
+}
+
+void ContinuousScheduler::admit_rounds() {
+  // Static batching: a new round forms only once the previous one fully
+  // drained, and it reserves KV for every member's *final* context up
+  // front so the round never preempts.
+  if (!running_.empty() || waiting_.empty()) return;
+  round_width_ = 0;
+  int reserved = 0;
+  int prefill_tokens = 0;
+  while (!waiting_.empty()) {
+    const int id = waiting_.front();
+    auto& r = requests_[static_cast<std::size_t>(id)];
+    const int final_ctx = r.prompt_len + r.target_tokens;
+    const int need = allocator_.blocks_for_group(r.batch_size, final_ctx);
+    if (round_width_ > 0) {
+      if (static_cast<int>(running_.size()) >= config_.max_running) break;
+      if (prefill_tokens + r.context() > config_.token_budget) break;
+      if (reserved + need > allocator_.total_blocks()) break;
+    }
+    waiting_.pop_front();
+    const bool ok = allocator_.allocate(id, r.batch_size, r.context());
+    assert(ok);
+    (void)ok;
+    r.admitted_at = engine_.now();
+    r.stage = RequestStage::kPrefilling;
+    running_.push_back(id);
+    round_width_ += r.batch_size;
+    reserved += need;
+    prefill_tokens += r.context();
+  }
+}
+
+void ContinuousScheduler::preempt(int id) {
+  auto& r = requests_[static_cast<std::size_t>(id)];
+  assert(r.stage == RequestStage::kRunning);
+  assert(config_.mode == BatchingMode::kContinuous &&
+         "rounds mode reserves final contexts and never preempts");
+  ++gen_.preemptions;
+  ++r.preemptions;
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  if (config_.preemption == PreemptionPolicy::kRecompute) {
+    // Drop the KV now; re-admission replays a prefill over the full
+    // context (prompt + generated so far).
+    allocator_.release(id);
+    r.stage = RequestStage::kPreempted;
+    waiting_.push_front(id);
+  } else {
+    start_swap_out(id);
+  }
+}
+
+void ContinuousScheduler::start_swap_out(int id) {
+  auto& r = requests_[static_cast<std::size_t>(id)];
+  r.stage = RequestStage::kSwappingOut;
+  ++gen_.swap_outs;
+  ++r.swap_outs;
+  const std::uint64_t bytes = allocator_.held_bytes(id);
+  gen_.swap_bytes += bytes;
+  ++swaps_in_flight_;
+  // The blocks free only when the transfer finishes — until then the
+  // pool stays under pressure and the scheduler may stall.
+  engine_.schedule_at(pcie_transfer(bytes), [this, id] {
+    allocator_.release(id);
+    requests_[static_cast<std::size_t>(id)].stage = RequestStage::kSwappedOut;
+    waiting_.push_front(id);
+    --swaps_in_flight_;
+    maybe_start_iteration();
+  });
+}
+
+void ContinuousScheduler::start_swap_in(int id) {
+  auto& r = requests_[static_cast<std::size_t>(id)];
+  r.stage = RequestStage::kSwappingIn;
+  ++gen_.swap_ins;
+  ++r.swap_ins;
+  const std::uint64_t bytes = allocator_.held_bytes(id);
+  gen_.swap_bytes += bytes;
+  running_.push_back(id);
+  ++swaps_in_flight_;
+  engine_.schedule_at(pcie_transfer(bytes), [this, id] {
+    // KV restored: the group rejoins decode with no recompute pass.
+    requests_[static_cast<std::size_t>(id)].stage = RequestStage::kRunning;
+    --swaps_in_flight_;
+    maybe_start_iteration();
+  });
+}
+
+bool ContinuousScheduler::grow_kv(std::vector<int>& members) {
+  while (true) {
+    int need = 0;
+    for (int id : members) {
+      const auto& r = requests_[static_cast<std::size_t>(id)];
+      need += (allocator_.blocks_for(r.context() + 1) - allocator_.blocks_for(r.context())) *
+              r.batch_size;
+    }
+    if (need <= allocator_.free_blocks()) break;
+    assert(config_.mode == BatchingMode::kContinuous &&
+           "rounds-mode appends are pre-reserved and cannot fail");
+    // Victim: the most recently admitted decodable group (LIFO keeps
+    // the head of the FIFO making progress).
+    int victim = -1;
+    for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+      if (requests_[static_cast<std::size_t>(*it)].stage == RequestStage::kRunning) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == -1 || (members.size() == 1 && swaps_in_flight_ > 0)) {
+      // Everything else is draining. Preempting the last decodable
+      // group here would only trade it against an in-flight swap-in and
+      // ping-pong forever; stall instead — a swap completion re-enters
+      // the scheduler. (With no swaps in flight a lone group always
+      // fits: the pool is floored at one max-context group.)
+      assert(swaps_in_flight_ > 0);
+      return false;
+    }
+    preempt(victim);
+    members.erase(std::remove(members.begin(), members.end(), victim), members.end());
+    if (members.empty()) {
+      // The whole batch got evicted; the caller's second admission pass
+      // (recompute) or a swap drain will restart the pipeline.
+      return true;
+    }
+  }
+  for (int id : members) {
+    const bool ok = allocator_.append(id);
+    assert(ok);
+    (void)ok;
+  }
+  return true;
+}
+
+void ContinuousScheduler::maybe_start_iteration() {
+  if (inflight_) return;
+  // Two passes: recompute-preemption inside the first pass moves
+  // still-unfinished groups back to waiting with their blocks freed, so
+  // a second admission pass can immediately re-form a prefill batch.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (config_.mode == BatchingMode::kContinuous) {
+      admit_continuous();
+    } else {
+      admit_rounds();
+    }
+    std::vector<int> prefill;
+    std::vector<int> decode;
+    for (int id : running_) {
+      switch (requests_[static_cast<std::size_t>(id)].stage) {
+        case RequestStage::kPrefilling: prefill.push_back(id); break;
+        case RequestStage::kRunning: decode.push_back(id); break;
+        default: break;  // swapping in/out: not schedulable this iteration
+      }
+    }
+    if (!prefill.empty()) {
+      submit_iteration(model::Phase::kPrefill, prefill);
+      return;
+    }
+    if (decode.empty()) return;  // idle (all draining or queue empty)
+    if (!grow_kv(decode)) return;  // stalled on an in-flight swap-out
+    if (!decode.empty()) {
+      submit_iteration(model::Phase::kDecode, decode);
+      return;
+    }
+  }
+}
+
+void ContinuousScheduler::submit_iteration(model::Phase phase, const std::vector<int>& members) {
+  model::BatchRequest req;
+  req.id = next_iteration_id_++;
+  req.phase = phase;
+  req.arrival = engine_.now();
+
+  int width = 0;
+  int max_ctx = 0;
+  req.ragged.members.reserve(members.size());
+  for (int id : members) {
+    const auto& r = requests_[static_cast<std::size_t>(id)];
+    width += r.batch_size;
+    max_ctx = std::max(max_ctx, r.context());
+    req.ragged.members.push_back({r.id, r.batch_size, r.context()});
+  }
+  // Rounds mode keeps the round's initial width: finished members ride
+  // along as padding until the whole round drains.
+  if (config_.mode == BatchingMode::kRounds && phase == model::Phase::kDecode) {
+    width = std::max(width, round_width_);
+  }
+  req.batch_size = width;
+  req.seq = pad_to_block(max_ctx, config_.block_tokens);
+
+  const auto padded =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(req.seq);
+  gen_.padding_tokens += padded - static_cast<std::uint64_t>(req.ragged.total_tokens());
+  ++gen_.iterations;
+  if (phase == model::Phase::kDecode) {
+    decode_seq_sum_ += req.ragged.total_seqs();
+    ++decode_iterations_;
+  }
+
+  inflight_ = Iteration{req.id, phase, members};
+  runtime_.submit(std::move(req));
+}
+
+void ContinuousScheduler::finish(GenRequest& r, sim::SimTime t) {
+  allocator_.release(r.id);
+  r.stage = RequestStage::kFinished;
+  r.finished_at = t;
+  running_.erase(std::find(running_.begin(), running_.end(), r.id));
+  engine_.cancel(deadline_events_[static_cast<std::size_t>(r.id)]);
+
+  model::BatchRequest done;
+  done.id = r.id;
+  done.batch_size = r.batch_size;
+  done.seq = r.context();
+  done.arrival = r.arrival;
+  metrics_.on_complete(done, t, !timed_out_[static_cast<std::size_t>(r.id)]);
+}
+
+void ContinuousScheduler::on_iteration_complete(const model::BatchRequest& req, sim::SimTime t) {
+  assert(inflight_ && inflight_->id == req.id);
+  (void)req;
+  const auto members = std::move(inflight_->members);
+  const model::Phase phase = inflight_->phase;
+  inflight_.reset();
+
+  if (phase == model::Phase::kPrefill) {
+    for (int id : members) {
+      auto& r = requests_[static_cast<std::size_t>(id)];
+      assert(r.stage == RequestStage::kPrefilling);
+      r.stage = RequestStage::kRunning;
+      if (r.first_token < 0) {
+        r.first_token = t;
+        ttft_ms_.add(sim::to_ms(t - r.arrival));
+      }
+      prev_token_[static_cast<std::size_t>(id)] = t;
+      if (r.done()) finish(r, t);  // degenerate zero-decode request
+    }
+  } else {
+    for (int id : members) {
+      auto& r = requests_[static_cast<std::size_t>(id)];
+      assert(r.stage == RequestStage::kRunning);
+      ++r.generated;
+      ++gen_.tokens;
+      tpot_ms_.add(sim::to_ms(t - prev_token_[static_cast<std::size_t>(id)]));
+      prev_token_[static_cast<std::size_t>(id)] = t;
+      r.last_token = t;
+      if (r.done()) finish(r, t);
+    }
+  }
+  take_sample(t);
+  maybe_start_iteration();
+}
+
+void ContinuousScheduler::take_sample(sim::SimTime t) {
+  const PagedKvStats kv = allocator_.stats();
+  Sample s;
+  s.t = t;
+  s.kv_used_blocks = kv.used_blocks;
+  s.kv_total_blocks = kv.total_blocks;
+  s.running = static_cast<int>(running_.size());
+  s.waiting = static_cast<int>(waiting_.size());
+  if (cache_probe_ != nullptr) {
+    s.cache_size = cache_probe_->size();
+    s.cache_hits = cache_probe_->hits();
+    s.cache_misses = cache_probe_->misses();
+    s.cache_evictions = cache_probe_->evictions();
+  }
+  samples_.push_back(s);
+  if (kv.used_blocks >= kv.peak_used_blocks) {
+    gen_.kv_peak_utilization = kv.utilization();
+  }
+}
+
+Report ContinuousScheduler::run(ArrivalProcess& arrivals) {
+  assert(!used_ && "ContinuousScheduler::run is single-shot");
+  used_ = true;
+  // Same dispatch discipline as Server::install_hooks: the runtime
+  // completes on its node domain; bookkeeping runs on this host domain
+  // a completion-dispatch hop later, identically in serial and
+  // partitioned runs.
+  runtime_.set_completion_hook([this](const model::BatchRequest& req, sim::SimTime t) {
+    engine_.invoke_after(core::kCompletionDispatchLatency,
+                         [this, req, t] { on_iteration_complete(req, t); });
+  });
+  generator(arrivals);
+  if (drive_) {
+    drive_();
+  } else {
+    engine_.run();
+  }
+  assert(metrics_.completions() == static_cast<std::size_t>(workload_.num_requests) &&
+         "every generative request must run to completion");
+
+  Report rep = metrics_.report(arrivals.rate());
+  gen_.enabled = true;
+  if (!ttft_ms_.empty()) {
+    gen_.ttft_ms_avg = ttft_ms_.mean();
+    gen_.ttft_ms_p99 = ttft_ms_.quantile(0.99);
+  }
+  if (!tpot_ms_.empty()) {
+    gen_.tpot_ms_avg = tpot_ms_.mean();
+    gen_.tpot_ms_p99 = tpot_ms_.quantile(0.99);
+  }
+  if (decode_iterations_ > 0) {
+    gen_.decode_batch_avg =
+        static_cast<double>(decode_seq_sum_) / static_cast<double>(decode_iterations_);
+  }
+  if (rep.makespan > 0) {
+    gen_.tokens_per_second =
+        static_cast<double>(gen_.tokens) / sim::to_seconds(rep.makespan);
+  }
+  const PagedKvStats kv = allocator_.stats();
+  gen_.kv_block_tokens = kv.block_capacity_tokens;
+  gen_.kv_total_blocks = kv.total_blocks;
+  gen_.kv_peak_used_blocks = kv.peak_used_blocks;
+  gen_.kv_block_bytes = kv.block_bytes;
+  gen_.kv_failed_allocs = kv.failed_allocs;
+  rep.generative = gen_;
+  if (cache_probe_ != nullptr) {
+    rep.plan_cache.enabled = true;
+    rep.plan_cache.hits = cache_probe_->hits();
+    rep.plan_cache.misses = cache_probe_->misses();
+    rep.plan_cache.evictions = cache_probe_->evictions();
+    rep.plan_cache.peak_size = cache_probe_->peak_size();
+    rep.plan_cache.capacity = cache_probe_->capacity();
+  }
+  return rep;
+}
+
+}  // namespace liger::serving

@@ -137,6 +137,22 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
 
   const bool faults = config.faults.enabled;
 
+  // Generative (iteration-level) serving: the scheduler drives one
+  // model iteration at a time over a tensor-parallel group.
+  const bool generative = config.workload.decode_tokens_max > 0;
+  if (generative) {
+    if (faults) {
+      throw std::invalid_argument(
+          "fault injection is not supported with generative batching");
+    }
+    if (config.method != Method::kLiger && config.method != Method::kLigerCpuSync &&
+        config.method != Method::kIntraOp) {
+      throw std::invalid_argument(
+          "generative batching requires a tensor-parallel runtime "
+          "(liger, liger-cpusync, or intra-op)");
+    }
+  }
+
   // Partitioned (parallel-engine) execution. Every experiment shape can
   // run partitioned; the partition planner picks the domain layout as a
   // pure function of the *configuration* — engine_threads only caps the
@@ -316,6 +332,15 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   if (config.method == Method::kLigerCpuSync) {
     liger_opts.sync = core::SyncMode::kCpuGpuOnly;
   }
+  if (generative && liger_opts.plan_cache_capacity == 0) {
+    // Iteration-level key churn would retain one compiled plan per
+    // (batch, seq) shape ever seen; bound the cache at O(ranks) —
+    // comfortably above the live shape count (one decode shape, a few
+    // prefill shapes) at any group size.
+    const int ranks =
+        clustered ? config.num_nodes * config.node.num_devices : config.node.num_devices;
+    liger_opts.plan_cache_capacity = static_cast<std::size_t>(4 * ranks + 8);
+  }
 
   if (faults && config.faults.plan.has_fail_stop() && config.method != Method::kLiger &&
       config.method != Method::kLigerCpuSync && config.method != Method::kHybrid) {
@@ -470,14 +495,11 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   }
   core::InferenceRuntime& serving_runtime = faults ? *failover : *runtime;
 
-  Server server(engine, serving_runtime, config.workload);
   std::vector<sim::ParallelEngine::WindowRecord> window_log;
-  if (pe) {
-    server.set_driver([pe_ptr = pe.get(), threads = engine_threads] {
-      return pe_ptr->run(static_cast<unsigned>(threads));
-    });
-    if (config.trace_sink != nullptr) pe->set_window_log(&window_log);
-  }
+  if (pe && config.trace_sink != nullptr) pe->set_window_log(&window_log);
+  auto driver = [pe_ptr = pe.get(), threads = engine_threads] {
+    return pe_ptr->run(static_cast<unsigned>(threads));
+  };
   std::unique_ptr<ArrivalProcess> arrivals;
   if (config.poisson) {
     arrivals = std::make_unique<PoissonArrivals>(config.rate);
@@ -485,8 +507,49 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     arrivals = std::make_unique<ConstantArrivals>(config.rate);
   }
   ExperimentOutputs out;
-  out.report = server.run(*arrivals);
+  std::unique_ptr<ContinuousScheduler> scheduler;  // outlives run: trace samples
+  if (generative) {
+    ContinuousConfig cc = config.continuous;
+    cc.mode = config.batching;
+    const int ranks = clustered ? cluster->total_devices() : node->num_devices();
+    if (cc.kv_pool_bytes == 0) {
+      // Per-device pool: a fraction of what the weight shard leaves
+      // free (the scheduler floors it at one max-context group).
+      const std::uint64_t shard = config.model.shard_bytes(ranks);
+      const std::uint64_t mem = config.node.gpu.mem_bytes;
+      const std::uint64_t avail = mem > shard ? mem - shard : 0;
+      cc.kv_pool_bytes =
+          static_cast<std::uint64_t>(cc.kv_pool_fraction * static_cast<double>(avail));
+    }
+    scheduler = std::make_unique<ContinuousScheduler>(engine, serving_runtime, config.model,
+                                                      ranks, config.workload, cc);
+    if (pe) scheduler->set_driver(driver);
+    if (auto* liger = dynamic_cast<core::LigerRuntime*>(runtime.get())) {
+      scheduler->set_plan_cache_probe(&liger->plan_cache());
+    }
+    out.report = scheduler->run(*arrivals);
+  } else {
+    Server server(engine, serving_runtime, config.workload);
+    if (pe) server.set_driver(driver);
+    out.report = server.run(*arrivals);
+    out.completion_times = server.metrics().completion_times();
+  }
   if (trace_mux) trace_mux->flush(*config.trace_sink);
+  if (scheduler != nullptr) {
+    if (auto* chrome = dynamic_cast<trace::ChromeTraceSink*>(config.trace_sink)) {
+      for (const auto& s : scheduler->samples()) {
+        trace::SchedulerSampleRecord rec;
+        rec.t = s.t;
+        rec.kv_used_blocks = s.kv_used_blocks;
+        rec.kv_total_blocks = s.kv_total_blocks;
+        rec.running = s.running;
+        rec.waiting = s.waiting;
+        rec.cache_size = s.cache_size;
+        rec.cache_evictions = s.cache_evictions;
+        chrome->add_scheduler_sample(rec);
+      }
+    }
+  }
   if (pe) {
     const auto& es = pe->stats();
     out.report.engine.partitioned = true;
@@ -520,9 +583,16 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   core::InferenceRuntime* backend = faults ? &failover->backend() : runtime.get();
   if (auto* liger = dynamic_cast<core::LigerRuntime*>(backend)) {
     out.liger = liger->stats();
+    // Plan-cache behaviour surfaces in every report with a Liger
+    // backend, so key-churn claims are measurable, not asserted.
+    out.report.plan_cache.enabled = true;
+    out.report.plan_cache.hits = liger->plan_cache().hits();
+    out.report.plan_cache.misses = liger->plan_cache().misses();
+    out.report.plan_cache.evictions = liger->plan_cache().evictions();
+    out.report.plan_cache.peak_size = liger->plan_cache().peak_size();
+    out.report.plan_cache.capacity = liger->plan_cache().capacity();
   }
   if (faults) out.failover = failover->failover_stats();
-  out.completion_times = server.metrics().completion_times();
   // Global virtual time: in a partitioned run the furthest domain (the
   // serial engine's now() for the same workload).
   const double span = static_cast<double>(pe ? pe->now() : engine.now());

@@ -12,6 +12,7 @@
 #include "gpu/cluster.h"
 #include "gpu/node.h"
 #include "model/model_spec.h"
+#include "serving/continuous.h"
 #include "serving/server.h"
 
 namespace liger::serving {
@@ -39,6 +40,17 @@ struct ExperimentConfig {
   // Derive the contention factor by offline profiling (§3.5) instead of
   // using liger.contention_factor.
   bool profile_contention = true;
+
+  // Generative serving. Engaged when workload.decode_tokens_max > 0:
+  // the experiment runs the iteration-level scheduler in this batching
+  // mode instead of the one-shot Server path (kRounds = static-batching
+  // baseline, kContinuous = iteration-level admission + paged KV +
+  // preemption). One-shot workloads (decode_tokens_max == 0, the
+  // default) take the legacy Server path bit-identically regardless of
+  // this setting. Supported for tensor-parallel methods (kLiger,
+  // kLigerCpuSync, kIntraOp) without fault injection.
+  BatchingMode batching = BatchingMode::kRounds;
+  ContinuousConfig continuous;
 
   // Cluster extension: with num_nodes > 1 (or method == kHybrid) the
   // experiment builds a Cluster of identical `node`s joined by `fabric`

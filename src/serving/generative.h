@@ -7,6 +7,11 @@
 // (the data dependency of autoregressive sampling). Multiple
 // conversations run concurrently — under Liger their compute and
 // communication interleave.
+//
+// This driver runs a *fixed* conversation set to completion (the fig11
+// microbenchmark shape); arrival-driven serving with iteration-level
+// admission, paged KV allocation, and preemption lives in
+// serving/continuous.h (ContinuousScheduler, batching=continuous).
 #pragma once
 
 #include <cstdint>
@@ -37,7 +42,9 @@ struct GenerativeResult {
 };
 
 // Per-device KV-cache bytes for one sequence batch at context length
-// `ctx`: K and V, fp16, heads sharded tp ways.
+// `ctx`: K and V, fp16, heads sharded tp ways (ceil division when tp
+// doesn't divide heads — sized for the widest shard). Non-positive
+// batch or ctx holds nothing and returns 0.
 std::uint64_t kv_cache_bytes(const model::ModelSpec& spec, int batch_size, int ctx, int tp);
 
 class GenerativeDriver {

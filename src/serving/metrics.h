@@ -47,6 +47,51 @@ struct Report {
     return goodput_bps < offered_rate * tolerance;
   }
 
+  // --- Generative serving (iteration-level batching) -------------------
+  // Filled by the generative schedulers (ContinuousScheduler in either
+  // batching mode); all-zero for plain one-shot serving runs.
+  struct GenerativeStats {
+    bool enabled = false;
+    std::uint64_t iterations = 0;        // model forward passes
+    std::uint64_t tokens = 0;            // decode steps completed (per group)
+    double tokens_per_second = 0.0;
+    double ttft_ms_avg = 0.0;            // time to first token
+    double ttft_ms_p99 = 0.0;
+    double tpot_ms_avg = 0.0;            // time per output token
+    double tpot_ms_p99 = 0.0;
+    // Mean sequences per decode iteration (batch occupancy).
+    double decode_batch_avg = 0.0;
+    // Tokens the padded rectangular iterations executed beyond the real
+    // ragged content — the static-batching waste continuous mode recovers.
+    std::uint64_t padding_tokens = 0;
+    // Disruption under memory pressure.
+    std::size_t preemptions = 0;
+    std::size_t recomputes = 0;
+    std::size_t swap_outs = 0;
+    std::size_t swap_ins = 0;
+    std::uint64_t swap_bytes = 0;        // per-device PCIe traffic
+    // Paged KV pool (per device).
+    int kv_block_tokens = 0;
+    int kv_total_blocks = 0;
+    int kv_peak_used_blocks = 0;
+    std::uint64_t kv_block_bytes = 0;
+    double kv_peak_utilization = 0.0;    // at peak usage: real tokens / capacity
+    std::uint64_t kv_failed_allocs = 0;
+  };
+  GenerativeStats generative;
+
+  // --- Plan-cache behaviour under iteration-level key churn ------------
+  // Filled whenever the backing runtime exposes a PlanCache.
+  struct PlanCacheStats {
+    bool enabled = false;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t peak_size = 0;   // most plans ever retained
+    std::uint64_t capacity = 0;    // LRU bound; 0 = unbounded
+  };
+  PlanCacheStats plan_cache;
+
   // --- Parallel-engine execution (observability only) ------------------
   // Filled when the experiment ran under a partitioned engine; all-zero
   // on serial runs. Pure execution-machinery stats: every field is a

@@ -1,0 +1,130 @@
+#include "serving/paged_kv.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "serving/generative.h"
+
+namespace liger::serving {
+
+std::uint64_t PagedKvAllocator::block_bytes(const model::ModelSpec& spec, int block_tokens,
+                                            int tp) {
+  return kv_cache_bytes(spec, /*batch_size=*/1, /*ctx=*/block_tokens, tp);
+}
+
+PagedKvAllocator::PagedKvAllocator(const model::ModelSpec& spec, int block_tokens, int tp,
+                                   std::uint64_t pool_bytes_per_device)
+    : block_tokens_(block_tokens > 0 ? block_tokens : 1),
+      block_bytes_(block_bytes(spec, block_tokens_, tp)) {
+  assert(block_bytes_ > 0);
+  total_blocks_ =
+      std::max<int>(1, static_cast<int>(pool_bytes_per_device / block_bytes_));
+  free_list_.reserve(static_cast<std::size_t>(total_blocks_));
+  // Push in descending order so the LIFO hands out block 0 first.
+  for (int id = total_blocks_ - 1; id >= 0; --id) free_list_.push_back(id);
+  stats_.total_blocks = total_blocks_;
+  stats_.block_bytes = block_bytes_;
+  stats_.block_capacity_tokens = block_tokens_;
+}
+
+int PagedKvAllocator::blocks_for(int tokens) const {
+  if (tokens <= 0) return 0;
+  return (tokens + block_tokens_ - 1) / block_tokens_;
+}
+
+int PagedKvAllocator::blocks_for_group(int seqs, int tokens) const {
+  return std::max(seqs, 0) * blocks_for(tokens);
+}
+
+int PagedKvAllocator::take_block() {
+  assert(!free_list_.empty());
+  const int id = free_list_.back();
+  free_list_.pop_back();
+  return id;
+}
+
+void PagedKvAllocator::put_block(int id) { free_list_.push_back(id); }
+
+void PagedKvAllocator::note_usage() {
+  stats_.used_blocks = used_blocks();
+  stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, stats_.used_blocks);
+}
+
+bool PagedKvAllocator::allocate(int request_id, int seqs, int tokens) {
+  assert(held_.count(request_id) == 0);
+  ++stats_.alloc_calls;
+  const int need = blocks_for_group(seqs, tokens);
+  if (need > free_blocks()) {
+    ++stats_.failed_allocs;
+    return false;
+  }
+  Held held;
+  held.seqs = seqs;
+  held.tokens = tokens;
+  held.block_ids.reserve(static_cast<std::size_t>(need));
+  for (int i = 0; i < need; ++i) held.block_ids.push_back(take_block());
+  allocated_tokens_ += static_cast<long long>(seqs) * tokens;
+  held_.emplace(request_id, std::move(held));
+  note_usage();
+  return true;
+}
+
+bool PagedKvAllocator::can_append(int request_id) const {
+  auto it = held_.find(request_id);
+  if (it == held_.end()) return false;
+  const Held& held = it->second;
+  const int extra =
+      (blocks_for(held.tokens + 1) - blocks_for(held.tokens)) * held.seqs;
+  return extra <= free_blocks();
+}
+
+bool PagedKvAllocator::append(int request_id) {
+  auto it = held_.find(request_id);
+  assert(it != held_.end());
+  Held& held = it->second;
+  ++stats_.append_calls;
+  const int extra =
+      (blocks_for(held.tokens + 1) - blocks_for(held.tokens)) * held.seqs;
+  if (extra > free_blocks()) {
+    ++stats_.failed_allocs;
+    return false;
+  }
+  for (int i = 0; i < extra; ++i) held.block_ids.push_back(take_block());
+  ++held.tokens;
+  allocated_tokens_ += held.seqs;
+  note_usage();
+  return true;
+}
+
+void PagedKvAllocator::release(int request_id) {
+  auto it = held_.find(request_id);
+  if (it == held_.end()) return;
+  ++stats_.release_calls;
+  // Return in reverse take order so a release+reallocate round-trip
+  // reproduces the same block ids (determinism, and cache-friendly).
+  const Held& held = it->second;
+  for (auto rit = held.block_ids.rbegin(); rit != held.block_ids.rend(); ++rit) {
+    put_block(*rit);
+  }
+  allocated_tokens_ -= static_cast<long long>(held.seqs) * held.tokens;
+  held_.erase(it);
+  note_usage();
+}
+
+int PagedKvAllocator::held_blocks(int request_id) const {
+  auto it = held_.find(request_id);
+  return it == held_.end() ? 0 : static_cast<int>(it->second.block_ids.size());
+}
+
+std::uint64_t PagedKvAllocator::held_bytes(int request_id) const {
+  return static_cast<std::uint64_t>(held_blocks(request_id)) * block_bytes_;
+}
+
+PagedKvStats PagedKvAllocator::stats() const {
+  PagedKvStats s = stats_;
+  s.used_blocks = used_blocks();
+  s.allocated_tokens = allocated_tokens_;
+  return s;
+}
+
+}  // namespace liger::serving

@@ -35,6 +35,13 @@ struct WorkloadConfig {
   model::Phase phase = model::Phase::kPrefill;
   std::uint64_t seed = 7;
 
+  // --- Generative serving (ContinuousScheduler; Server ignores these) --
+  // Decode steps per request, drawn uniformly. 0 = one-shot serving:
+  // each request is a single batch, handled by Server. When
+  // decode_tokens_max > 0, seq_min/max become the prompt-length range.
+  int decode_tokens_min = 0;
+  int decode_tokens_max = 0;
+
   // --- Availability knobs (0 = disabled) -------------------------------
   sim::SimTime deadline = 0;       // per-request SLO, from arrival
   int max_retries = 0;             // resubmissions after a drop

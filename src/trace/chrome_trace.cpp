@@ -112,6 +112,55 @@ void ChromeTraceSink::write_json(std::ostream& out) const {
     w.end_object();
     w.end_object();
   }
+  // Iteration-level scheduler counters: KV pool pressure ("kv-pressure"
+  // row: used/free blocks plus the running/waiting queue depths) and
+  // plan-cache occupancy ("plan-cache" row: resident plans and
+  // cumulative evictions), sampled at iteration boundaries. Counter
+  // (ph "C") events render as stacked area charts in Perfetto.
+  constexpr int kKvPressurePid = -4;
+  constexpr int kPlanCachePid = -5;
+  if (!samples_.empty()) pids.emplace(kKvPressurePid, "kv-pressure");
+  const bool cache_sampled =
+      std::any_of(samples_.begin(), samples_.end(),
+                  [](const SchedulerSampleRecord& s) { return s.cache_size > 0; });
+  if (cache_sampled) pids.emplace(kPlanCachePid, "plan-cache");
+  for (const auto& rec : samples_) {
+    w.begin_object();
+    w.kv("name", "kv-blocks");
+    w.kv("ph", "C");
+    w.kv("ts", static_cast<double>(rec.t) / 1e3);
+    w.kv("pid", kKvPressurePid);
+    w.key("args");
+    w.begin_object();
+    w.kv("used", rec.kv_used_blocks);
+    w.kv("free", rec.kv_total_blocks - rec.kv_used_blocks);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "requests");
+    w.kv("ph", "C");
+    w.kv("ts", static_cast<double>(rec.t) / 1e3);
+    w.kv("pid", kKvPressurePid);
+    w.key("args");
+    w.begin_object();
+    w.kv("running", rec.running);
+    w.kv("waiting", rec.waiting);
+    w.end_object();
+    w.end_object();
+    if (cache_sampled) {
+      w.begin_object();
+      w.kv("name", "plans");
+      w.kv("ph", "C");
+      w.kv("ts", static_cast<double>(rec.t) / 1e3);
+      w.kv("pid", kPlanCachePid);
+      w.key("args");
+      w.begin_object();
+      w.kv("resident", static_cast<double>(rec.cache_size));
+      w.kv("evictions", static_cast<double>(rec.cache_evictions));
+      w.end_object();
+      w.end_object();
+    }
+  }
   // Name the process rows so multi-node timelines read as
   // "node0.gpu0 ... node1.gpu3, fabric" in Perfetto.
   for (const auto& [pid, label] : pids) {

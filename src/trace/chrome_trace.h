@@ -25,19 +25,36 @@ struct EngineWindowRecord {
   bool equal_time = false;
 };
 
+// One iteration-level scheduler sample: paged-KV pool pressure and
+// plan-cache occupancy at an iteration boundary. Rendered as Chrome
+// counter rows ("kv-pressure", "plan-cache") so memory pressure and
+// plan churn read directly against the kernel timeline.
+struct SchedulerSampleRecord {
+  sim::SimTime t = 0;
+  int kv_used_blocks = 0;
+  int kv_total_blocks = 0;
+  int running = 0;  // scheduled request groups
+  int waiting = 0;
+  std::uint64_t cache_size = 0;
+  std::uint64_t cache_evictions = 0;
+};
+
 class ChromeTraceSink : public gpu::TraceSink {
  public:
   void on_kernel(const gpu::KernelTraceRecord& rec) override { records_.push_back(rec); }
   void on_fault(const gpu::FaultTraceRecord& rec) override { faults_.push_back(rec); }
   void add_engine_window(const EngineWindowRecord& rec) { windows_.push_back(rec); }
+  void add_scheduler_sample(const SchedulerSampleRecord& rec) { samples_.push_back(rec); }
 
   const std::vector<gpu::KernelTraceRecord>& records() const { return records_; }
   const std::vector<gpu::FaultTraceRecord>& fault_records() const { return faults_; }
   const std::vector<EngineWindowRecord>& engine_windows() const { return windows_; }
+  const std::vector<SchedulerSampleRecord>& scheduler_samples() const { return samples_; }
   void clear() {
     records_.clear();
     faults_.clear();
     windows_.clear();
+    samples_.clear();
   }
 
   // Writes the Trace Event Format JSON ("traceEvents" array of complete
@@ -60,6 +77,7 @@ class ChromeTraceSink : public gpu::TraceSink {
   std::vector<gpu::KernelTraceRecord> records_;
   std::vector<gpu::FaultTraceRecord> faults_;
   std::vector<EngineWindowRecord> windows_;
+  std::vector<SchedulerSampleRecord> samples_;
 };
 
 }  // namespace liger::trace

@@ -81,6 +81,54 @@ TEST_F(PlanCacheTest, PlansMatchFreshBuildAndAreAnnotated) {
   EXPECT_EQ(plan->activation_bytes, builder.activation_bytes(cfg));
 }
 
+TEST_F(PlanCacheTest, UnboundedByDefaultAndNeverEvicts) {
+  for (int ctx = 16; ctx < 48; ++ctx) cache.get(decode_cfg(32, ctx));
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.peak_size(), 32u);
+}
+
+TEST_F(PlanCacheTest, LruCapacityBoundsResidencyUnderKeyChurn) {
+  // The continuous-batching access pattern: a fresh (batch, seq) shape
+  // almost every iteration. The LRU bound must hold regardless.
+  cache.set_capacity(4);
+  for (int ctx = 16; ctx < 48; ++ctx) {
+    cache.get(decode_cfg(32, ctx));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.evictions(), 32u - 4u);
+  EXPECT_EQ(cache.peak_size(), 4u);
+}
+
+TEST_F(PlanCacheTest, LruEvictsTheLeastRecentlyUsedPlan) {
+  cache.set_capacity(2);
+  const auto a = cache.get(decode_cfg(32, 16));
+  cache.get(decode_cfg(32, 17));
+  cache.get(decode_cfg(32, 16));  // refresh a: 17 is now the LRU entry
+  cache.get(decode_cfg(32, 18));  // evicts 17
+  EXPECT_EQ(cache.get(decode_cfg(32, 16)).get(), a.get()) << "refreshed entry survived";
+  const auto hits_before = cache.hits();
+  cache.get(decode_cfg(32, 17));
+  EXPECT_EQ(cache.hits(), hits_before) << "evicted entry must miss and recompile";
+}
+
+TEST_F(PlanCacheTest, ShrinkingCapacityEvictsImmediately) {
+  for (int ctx = 16; ctx < 24; ++ctx) cache.get(decode_cfg(32, ctx));
+  ASSERT_EQ(cache.size(), 8u);
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 5u);
+  EXPECT_EQ(cache.peak_size(), 8u) << "peak survives shrinking";
+}
+
+TEST_F(PlanCacheTest, EvictedPlanStaysAliveForInflightConsumers) {
+  cache.set_capacity(1);
+  const auto held = cache.get(decode_cfg(32, 16));
+  cache.get(decode_cfg(32, 17));  // evicts the held plan from the cache
+  EXPECT_FALSE(held->ops.empty()) << "shared_ptr keeps the evicted plan usable";
+}
+
 TEST_F(PlanCacheTest, OpsViewKeepsPlanAlive) {
   std::shared_ptr<const model::OpList> view;
   {

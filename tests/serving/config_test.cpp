@@ -90,6 +90,42 @@ TEST(ConfigTest, AvailabilityKnobsAndFaultsBlock) {
   EXPECT_TRUE(plain.faults.plan.empty());
 }
 
+TEST(ConfigTest, GenerativeWorkloadAndBatchingBlock) {
+  const auto cfg = config_from_json(util::parse_json(R"({
+    "workload": { "requests": 20, "decode_tokens_min": 8, "decode_tokens_max": 64 },
+    "batching": { "mode": "continuous", "block_tokens": 32, "kv_gb": 2.0,
+                  "token_budget": 4096, "max_running": 16,
+                  "admit_reserve": 0.1, "preemption": "swap", "pcie_gbps": 24.0 }
+  })"));
+  EXPECT_EQ(cfg.workload.decode_tokens_min, 8);
+  EXPECT_EQ(cfg.workload.decode_tokens_max, 64);
+  EXPECT_EQ(cfg.batching, BatchingMode::kContinuous);
+  EXPECT_EQ(cfg.continuous.block_tokens, 32);
+  EXPECT_EQ(cfg.continuous.kv_pool_bytes, 2ull << 30);
+  EXPECT_EQ(cfg.continuous.token_budget, 4096);
+  EXPECT_EQ(cfg.continuous.max_running, 16);
+  EXPECT_DOUBLE_EQ(cfg.continuous.admit_reserve, 0.1);
+  EXPECT_EQ(cfg.continuous.preemption, PreemptionPolicy::kSwap);
+  EXPECT_DOUBLE_EQ(cfg.continuous.pcie_gbps, 24.0);
+
+  // Defaults: rounds mode, recompute preemption, no decode tokens.
+  const auto plain = config_from_json(util::parse_json("{}"));
+  EXPECT_EQ(plain.batching, BatchingMode::kRounds);
+  EXPECT_EQ(plain.continuous.preemption, PreemptionPolicy::kRecompute);
+  EXPECT_EQ(plain.workload.decode_tokens_max, 0);
+
+  // A generative workload clamps decode_tokens_min up to one token.
+  const auto clamped = config_from_json(
+      util::parse_json(R"({"workload": {"decode_tokens_max": 4}})"));
+  EXPECT_EQ(clamped.workload.decode_tokens_min, 1);
+
+  EXPECT_THROW(config_from_json(util::parse_json(R"({"batching":{"mode":"magic"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      config_from_json(util::parse_json(R"({"batching":{"preemption":"pray"}})")),
+      std::invalid_argument);
+}
+
 TEST(ConfigTest, ParseMethodSpellings) {
   EXPECT_EQ(parse_method("Liger"), Method::kLiger);
   EXPECT_EQ(parse_method("intra-op"), Method::kIntraOp);
@@ -192,6 +228,27 @@ TEST(ConfigTest, BundledFaultConfigParsesAndRuns) {
       cfg.model = cfg.model.with_layers(4);
       const auto rep = run_experiment(cfg);
       EXPECT_EQ(rep.completed + rep.lost, 8u);
+      return;
+    } catch (const std::runtime_error&) {
+      continue;  // wrong relative path; try the next candidate
+    }
+  }
+  GTEST_SKIP() << "configs/ not reachable from test cwd";
+}
+
+TEST(ConfigTest, BundledContinuousBatchingConfigParsesAndRuns) {
+  for (const char* path :
+       {"../configs/continuous_batching.json", "configs/continuous_batching.json",
+        "../../configs/continuous_batching.json"}) {
+    try {
+      auto cfg = config_from_file(path);
+      EXPECT_EQ(cfg.batching, BatchingMode::kContinuous);
+      EXPECT_GT(cfg.workload.decode_tokens_max, 0);
+      cfg.workload.num_requests = 6;  // keep the test fast
+      cfg.model = cfg.model.with_layers(4);
+      const auto rep = run_experiment(cfg);
+      EXPECT_EQ(rep.completed, 6u);
+      EXPECT_TRUE(rep.generative.enabled);
       return;
     } catch (const std::runtime_error&) {
       continue;  // wrong relative path; try the next candidate

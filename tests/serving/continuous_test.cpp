@@ -1,0 +1,172 @@
+// Iteration-level batching: end-to-end scheduler behaviour through
+// run_experiment — completion, rounds-vs-continuous overload wins,
+// preemption under KV pressure, plan-cache bounds, and bit-identity
+// across engine thread counts.
+#include "serving/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "serving/experiment.h"
+#include "support/fixtures.h"
+
+namespace liger::serving {
+namespace {
+
+ExperimentConfig gen_config(BatchingMode mode, double rate, int requests,
+                            std::uint64_t seed = 7) {
+  ExperimentConfig cfg = liger::testing::tiny_experiment_config(Method::kLiger, rate, requests);
+  cfg.profile_contention = false;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 48;
+  cfg.workload.decode_tokens_min = 2;
+  cfg.workload.decode_tokens_max = 8;
+  cfg.workload.seed = seed;
+  cfg.batching = mode;
+  return cfg;
+}
+
+// The comparable scalar footprint of a generative run; two runs with
+// equal fingerprints took the same decisions at the same times.
+auto fingerprint(const Report& r) {
+  return std::make_tuple(r.completed, r.makespan, r.avg_latency_ms, r.p99_latency_ms,
+                         r.generative.iterations, r.generative.tokens,
+                         r.generative.ttft_ms_avg, r.generative.tpot_ms_avg,
+                         r.generative.padding_tokens, r.generative.preemptions,
+                         r.generative.kv_peak_used_blocks,
+                         r.generative.kv_peak_utilization, r.plan_cache.hits,
+                         r.plan_cache.misses, r.plan_cache.evictions);
+}
+
+TEST(ContinuousBatchingTest, ContinuousModeCompletesEveryRequest) {
+  const auto r = run_experiment(gen_config(BatchingMode::kContinuous, 200.0, 8));
+  EXPECT_EQ(r.completed, 8u);
+  ASSERT_TRUE(r.generative.enabled);
+  EXPECT_GT(r.generative.iterations, 0u);
+  EXPECT_GT(r.generative.tokens, 0u);
+  EXPECT_GT(r.generative.tokens_per_second, 0.0);
+  EXPECT_GT(r.generative.ttft_ms_avg, 0.0);
+  EXPECT_GT(r.generative.tpot_ms_avg, 0.0);
+  EXPECT_GT(r.generative.decode_batch_avg, 0.0);
+  EXPECT_GT(r.generative.kv_total_blocks, 0);
+  EXPECT_GT(r.generative.kv_peak_used_blocks, 0);
+}
+
+TEST(ContinuousBatchingTest, RoundsModeCompletesAndPadsMore) {
+  // Arrivals fast enough to overlap: rounds then carry early finishers
+  // as padding while continuous retires them between iterations.
+  const auto rounds = run_experiment(gen_config(BatchingMode::kRounds, 5000.0, 8));
+  const auto cont = run_experiment(gen_config(BatchingMode::kContinuous, 5000.0, 8));
+  EXPECT_EQ(rounds.completed, 8u);
+  ASSERT_TRUE(rounds.generative.enabled);
+  // Same seed, same RNG discipline: both modes serve the same total
+  // decode work ...
+  EXPECT_EQ(rounds.generative.tokens, cont.generative.tokens);
+  // ... but static rounds carry finished sequences as padding while the
+  // stragglers of each round drain.
+  EXPECT_GT(rounds.generative.padding_tokens, cont.generative.padding_tokens);
+  EXPECT_EQ(rounds.generative.preemptions, 0u)
+      << "rounds reserve final contexts up front and never preempt";
+}
+
+TEST(ContinuousBatchingTest, OneShotWorkloadsTakeTheLegacyServerPath) {
+  ExperimentConfig cfg = liger::testing::tiny_experiment_config(Method::kLiger, 200.0, 10);
+  cfg.profile_contention = false;
+  cfg.batching = BatchingMode::kContinuous;  // ignored: no decode tokens
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.completed, 10u);
+  EXPECT_FALSE(r.generative.enabled);
+}
+
+TEST(ContinuousBatchingTest, ContinuousBeatsRoundsUnderOverload) {
+  // Arrivals far above capacity with highly variable generation lengths
+  // — the regime continuous batching targets: early finishers ride a
+  // static round as padding while the backlog grows. Calibrate a
+  // deadline between the two modes' worst-case latencies, then compare
+  // goodput and SLO violations on identical workloads.
+  auto overload = [](BatchingMode mode) {
+    ExperimentConfig cfg = gen_config(mode, 5000.0, 12);
+    cfg.workload.decode_tokens_min = 2;
+    cfg.workload.decode_tokens_max = 32;
+    return cfg;
+  };
+  const auto base_rounds = run_experiment(overload(BatchingMode::kRounds));
+  const auto base_cont = run_experiment(overload(BatchingMode::kContinuous));
+  ASSERT_LT(base_cont.max_latency_ms, base_rounds.max_latency_ms)
+      << "iteration-level admission must shorten the overload tail";
+
+  const double deadline_ms =
+      (base_cont.max_latency_ms + base_rounds.max_latency_ms) / 2.0;
+  auto rounds_cfg = overload(BatchingMode::kRounds);
+  auto cont_cfg = overload(BatchingMode::kContinuous);
+  rounds_cfg.workload.deadline = sim::from_us(deadline_ms * 1e3);
+  cont_cfg.workload.deadline = sim::from_us(deadline_ms * 1e3);
+
+  const auto rounds = run_experiment(rounds_cfg);
+  const auto cont = run_experiment(cont_cfg);
+  EXPECT_GT(cont.goodput_bps, rounds.goodput_bps);
+  EXPECT_LT(cont.slo_violation_rate, rounds.slo_violation_rate);
+  EXPECT_GT(rounds.slo_violation_rate, 0.0);
+}
+
+ExperimentConfig pressure_config(PreemptionPolicy policy) {
+  // One-sequence groups with long generations against a pool floored at
+  // a single max-context group: early admissions thrash as contexts
+  // grow, exercising the preemption machinery heavily.
+  ExperimentConfig cfg = gen_config(BatchingMode::kContinuous, 2000.0, 4);
+  cfg.workload.batch_size = 1;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 16;
+  cfg.workload.decode_tokens_min = 40;
+  cfg.workload.decode_tokens_max = 40;
+  cfg.continuous.kv_pool_bytes = 1;  // floored to one max-context group
+  cfg.continuous.preemption = policy;
+  return cfg;
+}
+
+TEST(ContinuousBatchingTest, RecomputePreemptionMakesProgressUnderPressure) {
+  const auto r = run_experiment(pressure_config(PreemptionPolicy::kRecompute));
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_GT(r.generative.preemptions, 0u);
+  EXPECT_GT(r.generative.recomputes, 0u);
+  EXPECT_EQ(r.generative.swap_outs, 0u);
+}
+
+TEST(ContinuousBatchingTest, SwapPreemptionMovesKvOverPcieAndBack) {
+  const auto r = run_experiment(pressure_config(PreemptionPolicy::kSwap));
+  EXPECT_EQ(r.completed, 4u);
+  EXPECT_GT(r.generative.preemptions, 0u);
+  EXPECT_GT(r.generative.swap_outs, 0u);
+  EXPECT_GT(r.generative.swap_ins, 0u);
+  EXPECT_GT(r.generative.swap_bytes, 0u);
+  EXPECT_EQ(r.generative.recomputes, 0u)
+      << "swap preemption restores KV instead of replaying prefills";
+}
+
+TEST(ContinuousBatchingTest, PlanCacheStaysBoundedUnderIterationChurn) {
+  const auto r = run_experiment(gen_config(BatchingMode::kContinuous, 500.0, 12));
+  ASSERT_TRUE(r.plan_cache.enabled);
+  // Generative runs default the LRU bound to 4 * ranks + 8 (2 devices).
+  EXPECT_EQ(r.plan_cache.capacity, 4u * 2u + 8u);
+  EXPECT_LE(r.plan_cache.peak_size, r.plan_cache.capacity);
+  EXPECT_GT(r.plan_cache.hits, 0u)
+      << "seq interning to block multiples must make iteration shapes recur";
+}
+
+TEST(ContinuousBatchingTest, BitIdenticalAcrossEngineThreadsAndSeeds) {
+  for (const std::uint64_t seed : {3ull, 7ull, 11ull}) {
+    auto cfg = gen_config(BatchingMode::kContinuous, 500.0, 6, seed);
+    const auto serial = run_experiment(cfg);
+    for (const int threads : {2, 4}) {
+      cfg.engine_threads = threads;
+      const auto partitioned = run_experiment(cfg);
+      EXPECT_EQ(fingerprint(partitioned), fingerprint(serial))
+          << "seed " << seed << ", engine_threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace liger::serving

@@ -1,0 +1,109 @@
+#include "serving/paged_kv.h"
+
+#include <gtest/gtest.h>
+
+#include "serving/generative.h"
+
+namespace liger::serving {
+namespace {
+
+// Tiny spec keeps the block arithmetic hand-checkable:
+// one block (16 tokens, tp=1) = 2 * 4 layers * 8 heads * 64 dim * 16 * 2B.
+model::ModelSpec tiny() { return model::ModelSpec{"tiny", 4, 8, 64}; }
+
+TEST(PagedKvAllocatorTest, BlockBytesMatchesKvCacheBytesForOneBlock) {
+  EXPECT_EQ(PagedKvAllocator::block_bytes(tiny(), 16, 1),
+            kv_cache_bytes(tiny(), 1, 16, 1));
+  EXPECT_EQ(PagedKvAllocator::block_bytes(tiny(), 16, 3),
+            kv_cache_bytes(tiny(), 1, 16, 3));
+}
+
+TEST(PagedKvAllocatorTest, PoolRoundsDownToWholeBlocksWithAFloorOfOne) {
+  const auto bb = PagedKvAllocator::block_bytes(tiny(), 16, 1);
+  EXPECT_EQ(PagedKvAllocator(tiny(), 16, 1, 10 * bb + bb / 2).total_blocks(), 10);
+  EXPECT_EQ(PagedKvAllocator(tiny(), 16, 1, 0).total_blocks(), 1)
+      << "a zero-block pool could never admit anything";
+}
+
+TEST(PagedKvAllocatorTest, BlocksForIsCeilOverBlockTokens) {
+  PagedKvAllocator a(tiny(), 16, 1, 64 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  EXPECT_EQ(a.blocks_for(0), 0);
+  EXPECT_EQ(a.blocks_for(1), 1);
+  EXPECT_EQ(a.blocks_for(16), 1);
+  EXPECT_EQ(a.blocks_for(17), 2);
+  EXPECT_EQ(a.blocks_for_group(3, 17), 6);
+}
+
+TEST(PagedKvAllocatorTest, AllocateAppendReleaseRoundTrip) {
+  PagedKvAllocator a(tiny(), 16, 1, 8 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  ASSERT_TRUE(a.allocate(7, /*seqs=*/2, /*tokens=*/16));
+  EXPECT_EQ(a.used_blocks(), 2);
+  EXPECT_EQ(a.held_blocks(7), 2);
+
+  // Appends within the block are free; crossing the boundary takes one
+  // new block per sequence.
+  ASSERT_TRUE(a.append(7));  // 16 -> 17 crosses
+  EXPECT_EQ(a.used_blocks(), 4);
+  ASSERT_TRUE(a.append(7));  // 17 -> 18 stays inside
+  EXPECT_EQ(a.used_blocks(), 4);
+
+  a.release(7);
+  EXPECT_EQ(a.used_blocks(), 0);
+  EXPECT_FALSE(a.holds(7));
+  a.release(7);  // double release is a no-op (post-preemption path)
+  EXPECT_EQ(a.free_blocks(), 8);
+}
+
+TEST(PagedKvAllocatorTest, RefusesWithoutSideEffectsWhenPoolExhausted) {
+  PagedKvAllocator a(tiny(), 16, 1, 5 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  ASSERT_TRUE(a.allocate(0, 1, 48));  // 3 blocks
+  EXPECT_FALSE(a.can_allocate(1, 48));
+  EXPECT_FALSE(a.allocate(1, 1, 48));
+  EXPECT_EQ(a.used_blocks(), 3) << "failed allocate must not leak blocks";
+  EXPECT_FALSE(a.holds(1));
+
+  ASSERT_TRUE(a.allocate(1, 1, 16));
+  ASSERT_TRUE(a.append(0));        // 48 -> 49 crosses, takes the last block
+  EXPECT_EQ(a.used_blocks(), 5);
+  EXPECT_TRUE(a.can_append(0));    // 49 -> 50 stays inside the block
+  EXPECT_FALSE(a.can_append(1));   // 16 -> 17 needs a block; none left
+  EXPECT_FALSE(a.append(1));
+  EXPECT_EQ(a.held_blocks(1), 1) << "failed append must leave the group intact";
+  EXPECT_EQ(a.stats().failed_allocs, 2u);
+}
+
+TEST(PagedKvAllocatorTest, LifoFreeListReproducesBlockIdsAfterRelease) {
+  PagedKvAllocator a(tiny(), 16, 1, 8 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  ASSERT_TRUE(a.allocate(0, 1, 32));
+  ASSERT_TRUE(a.allocate(1, 1, 32));
+  const auto used_before = a.used_blocks();
+  a.release(0);
+  a.release(1);
+  ASSERT_TRUE(a.allocate(0, 1, 32));
+  ASSERT_TRUE(a.allocate(1, 1, 32));
+  EXPECT_EQ(a.used_blocks(), used_before)
+      << "release + reallocate in the same order reproduces the layout";
+}
+
+TEST(PagedKvAllocatorTest, StatsTrackPeakTokensAndFragmentation) {
+  PagedKvAllocator a(tiny(), 16, 1, 8 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  ASSERT_TRUE(a.allocate(0, 1, 24));  // 2 blocks, 24 of 32 token-slots used
+  auto s = a.stats();
+  EXPECT_EQ(s.total_blocks, 8);
+  EXPECT_EQ(s.used_blocks, 2);
+  EXPECT_EQ(s.allocated_tokens, 24);
+  EXPECT_DOUBLE_EQ(s.utilization(), 24.0 / 32.0);
+  EXPECT_DOUBLE_EQ(s.fragmentation(), 1.0 - 24.0 / 32.0);
+
+  ASSERT_TRUE(a.allocate(1, 1, 64));  // peak: 6 blocks
+  a.release(1);
+  s = a.stats();
+  EXPECT_EQ(s.used_blocks, 2);
+  EXPECT_EQ(s.peak_used_blocks, 6);
+  EXPECT_EQ(a.peak_bytes_per_device(), 6 * s.block_bytes);
+  EXPECT_EQ(s.alloc_calls, 2u);
+  EXPECT_EQ(s.release_calls, 1u);
+}
+
+}  // namespace
+}  // namespace liger::serving
