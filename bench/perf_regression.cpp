@@ -24,6 +24,18 @@
 //                            goodput + SLO-violation rate for each. A
 //                            continuous mode that fails to beat rounds
 //                            prints a warning without failing the run.
+//   * serving_availability — fail-stop mid-run under continuous
+//                            batching: a healthy run calibrates the
+//                            goodput baseline, then the same workload
+//                            replays with a device fail-stop at the
+//                            midpoint. The JSON records the goodput dip
+//                            against the healthy run, detection and
+//                            recovery timestamps, and the latency from
+//                            detection to the first post-recovery
+//                            completion. A run that loses requests,
+//                            serves nothing after the fault, or never
+//                            completes anything post-recovery prints a
+//                            warning without failing the harness.
 //   * fig15_multinode      — end-to-end 4-node hybrid serving (8-GPU
 //                            nodes, two pipeline stages per node), swept
 //                            over engine_threads {1, 2, 4, 8, hw}; every
@@ -348,6 +360,101 @@ void serving_overload(OverloadResult& rounds, OverloadResult& continuous) {
   continuous = timed(serving::BatchingMode::kContinuous);
 }
 
+// Availability scenario: fail-stop mid-run under continuous batching on
+// the 4-device test node. 12 heads divide both the full (4) and
+// survivor (3) TP widths, so degraded-mode replanning stays legal in
+// assert builds too.
+serving::ExperimentConfig availability_config(int requests) {
+  serving::ExperimentConfig cfg;
+  cfg.node = gpu::NodeSpec::test_node(4);
+  model::ModelSpec m;
+  m.name = "tiny-fault";
+  m.layers = 2;
+  m.heads = 12;
+  m.hidden = 96;
+  cfg.model = m;
+  cfg.method = serving::Method::kLiger;
+  cfg.profile_contention = false;
+  cfg.batching = serving::BatchingMode::kContinuous;
+  cfg.workload.num_requests = requests;
+  cfg.workload.batch_size = 2;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 48;
+  cfg.workload.decode_tokens_min = 2;
+  cfg.workload.decode_tokens_max = 8;
+  cfg.workload.max_retries = 5;
+  // Twice the isolated prefill service rate: the fault lands on a busy
+  // scheduler with a backlog behind it.
+  const sim::SimTime unit = serving::isolated_intra_batch_time(
+      cfg.node, cfg.model, cfg.workload.batch_size, 32, model::Phase::kPrefill);
+  cfg.rate = 2.0 / sim::to_seconds(unit);
+  return cfg;
+}
+
+struct AvailabilityResult {
+  int requests = 0;
+  double wall_ms = 0.0;
+  serving::Report report;
+  fault::FailoverRuntime::Stats failover;
+  double healthy_goodput_rps = 0.0;
+  double goodput_dip_frac = 0.0;  // 1 - degraded/healthy goodput
+  // Detection -> first completion served by the rebuilt generation;
+  // negative when nothing completed after recovery (warned about).
+  double recovery_to_first_completion_ms = -1.0;
+};
+
+AvailabilityResult serving_availability(int requests) {
+  AvailabilityResult r;
+  r.requests = requests;
+  auto cfg = availability_config(requests);
+  const auto healthy = serving::run_experiment(cfg);
+
+  cfg.faults.enabled = true;
+  fault::FaultEvent ev;
+  ev.kind = fault::FaultKind::kDeviceFailStop;
+  ev.time = healthy.makespan / 2;
+  ev.device = 2;
+  cfg.faults.plan.events.push_back(ev);
+  cfg.faults.detection.heartbeat_interval = sim::microseconds(100);
+  cfg.faults.detection.miss_threshold = 3;
+  cfg.faults.replan_latency = sim::milliseconds(1);
+
+  const auto start = Clock::now();
+  const auto out = serving::run_experiment_detailed(cfg);
+  r.wall_ms = seconds_since(start) * 1e3;
+  r.report = out.report;
+  r.failover = out.failover;
+  r.healthy_goodput_rps = healthy.goodput_rps;
+  r.goodput_dip_frac = healthy.goodput_rps > 0.0
+                           ? 1.0 - out.report.goodput_rps / healthy.goodput_rps
+                           : 0.0;
+  for (const sim::SimTime t : out.completion_times) {
+    if (t >= out.failover.last_recovered) {
+      r.recovery_to_first_completion_ms = sim::to_ms(t - out.failover.last_fault_detected);
+      break;
+    }
+  }
+
+  if (out.report.completed + out.report.shed != static_cast<std::size_t>(requests)) {
+    std::fprintf(stderr,
+                 "WARNING: serving_availability lost requests (%zu completed + %zu "
+                 "shed of %d)\n",
+                 out.report.completed, out.report.shed, requests);
+  }
+  if (out.report.goodput_rps <= 0.0) {
+    std::fprintf(stderr,
+                 "WARNING: serving_availability goodput collapsed to zero after the "
+                 "fail-stop\n");
+  }
+  if (r.recovery_to_first_completion_ms < 0.0) {
+    std::fprintf(stderr,
+                 "WARNING: serving_availability served nothing after recovery "
+                 "(failovers=%d)\n",
+                 r.failover.failovers);
+  }
+  return r;
+}
+
 double fig10_panel_a_wall_ms(int requests, sim::SimTime& makespan_out) {
   serving::ExperimentConfig cfg;
   cfg.node = gpu::NodeSpec::v100_nvlink(4);
@@ -426,6 +533,7 @@ int main(int argc, char** argv) {
   const bool run_fig10 = want("fig10_panel_a/end_to_end");
   const bool run_fig11 = want("fig11_generative/end_to_end");
   const bool run_overload = want("serving_overload");
+  const bool run_availability = want("serving_availability");
   const bool run_fig15 = want("fig15_multinode/end_to_end");
 
   sim::SimTime makespan = 0;
@@ -447,6 +555,12 @@ int main(int argc, char** argv) {
                    overload_cont.report.slo_violation_rate * 100.0,
                    overload_rounds.report.slo_violation_rate * 100.0);
     }
+  }
+
+  AvailabilityResult availability;
+  if (run_availability) {
+    availability = serving_availability(
+        static_cast<int>(flags.get_int("availability_requests", 24)));
   }
 
   // fig15 hybrid serving: engine_threads sweep {1, 2, 4, 8, hw}, deduped
@@ -541,6 +655,16 @@ int main(int argc, char** argv) {
           cont ? "" : ", baseline");
     }
   }
+  if (run_availability) {
+    std::printf(
+        "%-28s %12s %11.1f ms (goodput %.1f req/s vs %.1f healthy, dip %.1f%%, "
+        "detect %.2f sim-ms, recovery-to-token %.2f sim-ms, %zu shed)\n",
+        "serving_availability/failstop", "1", availability.wall_ms,
+        availability.report.goodput_rps, availability.healthy_goodput_rps,
+        availability.goodput_dip_frac * 100.0,
+        sim::to_ms(availability.failover.last_fault_detected),
+        availability.recovery_to_first_completion_ms, availability.report.shed);
+  }
   for (const auto& r : fig15) {
     if (r.engine_threads == 1) {
       std::printf("%-28s %12s %11.1f ms (makespan %.2f sim-ms, %d requests, 1 thread)\n",
@@ -627,6 +751,25 @@ int main(int argc, char** argv) {
                 static_cast<std::int64_t>(o->report.plan_cache.evictions));
         json.end_object();
       }
+    }
+    if (run_availability) {
+      json.begin_object();
+      json.kv("name", "serving_availability/failstop");
+      json.kv("requests", availability.requests);
+      json.kv("wall_ms", availability.wall_ms);
+      json.kv("completed", static_cast<std::int64_t>(availability.report.completed));
+      json.kv("shed", static_cast<std::int64_t>(availability.report.shed));
+      json.kv("fault_requeues",
+              static_cast<std::int64_t>(availability.report.generative.fault_requeues));
+      json.kv("goodput_rps", availability.report.goodput_rps);
+      json.kv("healthy_goodput_rps", availability.healthy_goodput_rps);
+      json.kv("goodput_dip_frac", availability.goodput_dip_frac);
+      json.kv("detect_ms", sim::to_ms(availability.failover.last_fault_detected));
+      json.kv("recovered_ms", sim::to_ms(availability.failover.last_recovered));
+      json.kv("recovery_to_first_completion_ms",
+              availability.recovery_to_first_completion_ms);
+      json.kv("sim_makespan_ms", sim::to_ms(availability.report.makespan));
+      json.end_object();
     }
     for (const auto& r : fig15) {
       json.begin_object();

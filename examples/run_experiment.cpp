@@ -83,6 +83,9 @@ int main(int argc, char** argv) {
         w.kv("kv_total_blocks", r.generative.kv_total_blocks);
         w.kv("goodput_rps", r.goodput_rps);
         w.kv("slo_violation_rate", r.slo_violation_rate);
+        w.kv("fault_requeues", static_cast<std::int64_t>(r.generative.fault_requeues));
+        w.kv("shed", static_cast<std::int64_t>(r.shed));
+        w.kv("lost", static_cast<std::int64_t>(r.lost));
       }
       if (r.plan_cache.enabled) {
         w.kv("plan_cache_peak_size", static_cast<std::int64_t>(r.plan_cache.peak_size));
@@ -114,6 +117,12 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.generative.padding_tokens),
                     r.generative.preemptions, r.generative.recomputes,
                     r.generative.swap_outs, r.goodput_rps);
+        if (r.generative.fault_requeues > 0 || r.shed > 0 || r.lost > 0) {
+          std::printf("           fault requeues %zu | shed %zu | lost %zu "
+                      "(completed + shed = %zu of %zu arrivals)\n",
+                      r.generative.fault_requeues, r.shed, r.lost,
+                      r.completed + r.shed, r.completed + r.lost);
+        }
       }
     }
   }

@@ -74,6 +74,23 @@ void FailoverRuntime::abort() {
   monitor_.disarm();
 }
 
+void FailoverRuntime::retract(int request_id) {
+  targets_.engine->invoke([this, request_id] {
+    bool found = inflight_.erase(request_id) > 0;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->id == request_id) {
+        pending_.erase(it);
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      ++stats_.requests_retracted;
+      maybe_disarm();
+    }
+  });
+}
+
 void FailoverRuntime::on_device_failure(int node, int local, sim::SimTime t) {
   stats_.last_fault_detected = t;
 
@@ -83,6 +100,7 @@ void FailoverRuntime::on_device_failure(int node, int local, sim::SimTime t) {
   rec.start = rec.end = t;
   rec.node = node;
   rec.device = local;
+  rec.inflight = static_cast<int>(inflight_.size());
   targets_.emit(rec);
 
   alive_[static_cast<std::size_t>(targets_.global_index(node, local))] = false;
@@ -112,6 +130,9 @@ void FailoverRuntime::on_device_failure(int node, int local, sim::SimTime t) {
   inflight_.clear();
   stats_.requests_dropped += lost.size();
   for (const auto& req : lost) notify_dropped(req);
+  // After the drops: a listener that routes both through the same
+  // dispatch hop sees every drop before the failure notification.
+  if (failure_hook_) failure_hook_(t);
 
   // Degraded-mode replanning: the survivor topology comes up after the
   // modelled rebuild latency. A second failure inside the window just

@@ -51,6 +51,7 @@ class FailoverRuntime : public core::InferenceRuntime {
     int failovers = 0;                    // completed recoveries
     std::uint64_t requests_dropped = 0;   // in-flight at a failure
     std::uint64_t requests_deferred = 0;  // arrived during an outage
+    std::uint64_t requests_retracted = 0; // withdrawn by the frontend
     sim::SimTime last_fault_detected = -1;
     sim::SimTime last_recovered = -1;
     // Detection-to-live recovery latency of the last failover.
@@ -64,6 +65,21 @@ class FailoverRuntime : public core::InferenceRuntime {
   void submit(model::BatchRequest request) override;
   std::string name() const override { return "failover(" + backend_->name() + ")"; }
   void abort() override;
+
+  // Withdraws a submitted batch: erased from the deferred queue if the
+  // outage caught it there, and from the in-flight map so a completion
+  // that raced the failure is swallowed. Self-routes like submit().
+  // The iteration-level scheduler uses this when a fault invalidates
+  // the iteration it had in flight — the members are re-queued as
+  // individual requests, so the old iteration must not resurface.
+  void retract(int request_id);
+
+  // Runs after a device failure is detected and every in-flight batch
+  // has been reported to the drop hook (FIFO order: by the time a
+  // cross-domain listener sees this, it has seen all the drops).
+  void set_failure_hook(std::function<void(sim::SimTime)> hook) {
+    failure_hook_ = std::move(hook);
+  }
 
   core::InferenceRuntime& backend() { return *backend_; }
   const core::InferenceRuntime& backend() const { return *backend_; }
@@ -96,6 +112,7 @@ class FailoverRuntime : public core::InferenceRuntime {
 
   std::unordered_map<int, model::BatchRequest> inflight_;
   std::deque<model::BatchRequest> pending_;  // deferred during recovery
+  std::function<void(sim::SimTime)> failure_hook_;
   Stats stats_;
 };
 

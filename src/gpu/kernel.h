@@ -133,6 +133,9 @@ struct FaultTraceRecord {
   sim::SimTime end = 0;
   int node = -1;          // -1: not device-scoped (e.g. fabric link)
   int device = -1;
+  // Batches in flight when the fault was detected (-1: not applicable).
+  // Tells a trace reader how much work the outage put back in the queue.
+  int inflight = -1;
 };
 
 // Receives kernel completion records (e.g. the Chrome-trace exporter).

@@ -39,7 +39,9 @@ ContinuousScheduler::ContinuousScheduler(sim::Engine& engine, core::InferenceRun
                        PagedKvAllocator::block_bytes(model_, config.block_tokens, tp);
                    return std::max(config.kv_pool_bytes, floor_bytes);
                  }()),
-      rng_(workload.seed) {
+      rng_(workload.seed),
+      initial_tp_(tp),
+      token_budget_(config.token_budget) {
   assert(workload_.num_requests >= 1);
   assert(workload_.seq_min >= 1 && workload_.seq_min <= workload_.seq_max);
   assert(workload_.decode_tokens_min >= 1 &&
@@ -49,6 +51,24 @@ ContinuousScheduler::ContinuousScheduler(sim::Engine& engine, core::InferenceRun
   assert(config_.token_budget >= 1 && config_.max_running >= 1);
   assert(config_.admit_reserve >= 0.0 && config_.admit_reserve < 1.0);
   requests_.reserve(static_cast<std::size_t>(workload_.num_requests));
+}
+
+void ContinuousScheduler::attach_failover(
+    fault::FailoverRuntime& failover,
+    std::function<std::uint64_t(int survivors)> pool_bytes_per_device) {
+  failover_ = &failover;
+  degraded_pool_bytes_ = std::move(pool_bytes_per_device);
+  // The hook runs on the fault domain right after every in-flight drop
+  // was reported; survivor counting happens there (the alive mask is
+  // fault-domain state), then the purge is routed to this host domain
+  // through the same dispatch hop the drop took — FIFO order guarantees
+  // on_iteration_dropped lands first.
+  failover.set_failure_hook([this, &failover](sim::SimTime) {
+    int survivors = 0;
+    for (const bool a : failover.alive()) survivors += a ? 1 : 0;
+    engine_.invoke_after(core::kCompletionDispatchLatency,
+                         [this, survivors] { on_fault_detected(survivors); });
+  });
 }
 
 int ContinuousScheduler::reserve_blocks() const {
@@ -126,12 +146,21 @@ void ContinuousScheduler::admit_continuous() {
   while (!waiting_.empty()) {
     const int id = waiting_.front();
     auto& r = requests_[static_cast<std::size_t>(id)];
+    // Deadline-aware shedding under degraded capacity: a fault-requeued
+    // request that already blew its SLO would spend survivor cycles on
+    // a recompute prefill nobody counts — drop it instead of admitting.
+    if (failover_ != nullptr && r.fault_drops > 0 &&
+        timed_out_[static_cast<std::size_t>(id)]) {
+      waiting_.pop_front();
+      shed_request(id, engine_.now());
+      continue;
+    }
     if (static_cast<int>(running_.size()) >= config_.max_running) break;
     const int ctx = r.context();
     const bool swap_in = r.stage == RequestStage::kSwappedOut;
     // Token budget caps the prefill iteration's width; the first
     // admission always passes so an over-budget prompt still progresses.
-    if (!swap_in && prefill_tokens > 0 && prefill_tokens + ctx > config_.token_budget) break;
+    if (!swap_in && prefill_tokens > 0 && prefill_tokens + ctx > token_budget_) break;
     // Memory-pressure gate: keep decode headroom free, except when the
     // running set is idle and nothing is draining — then admitting is
     // the only way to make progress.
@@ -170,11 +199,17 @@ void ContinuousScheduler::admit_rounds() {
   while (!waiting_.empty()) {
     const int id = waiting_.front();
     auto& r = requests_[static_cast<std::size_t>(id)];
+    if (failover_ != nullptr && r.fault_drops > 0 &&
+        timed_out_[static_cast<std::size_t>(id)]) {
+      waiting_.pop_front();
+      shed_request(id, engine_.now());
+      continue;
+    }
     const int final_ctx = r.prompt_len + r.target_tokens;
     const int need = allocator_.blocks_for_group(r.batch_size, final_ctx);
     if (round_width_ > 0) {
       if (static_cast<int>(running_.size()) >= config_.max_running) break;
-      if (prefill_tokens + r.context() > config_.token_budget) break;
+      if (prefill_tokens + r.context() > token_budget_) break;
       if (reserved + need > allocator_.total_blocks()) break;
     }
     waiting_.pop_front();
@@ -218,8 +253,11 @@ void ContinuousScheduler::start_swap_out(int id) {
   gen_.swap_bytes += bytes;
   ++swaps_in_flight_;
   // The blocks free only when the transfer finishes — until then the
-  // pool stays under pressure and the scheduler may stall.
-  engine_.schedule_at(pcie_transfer(bytes), [this, id] {
+  // pool stays under pressure and the scheduler may stall. A fault in
+  // the window purges the blocks and re-queues the group itself; the
+  // stale transfer must then do nothing.
+  engine_.schedule_at(pcie_transfer(bytes), [this, id, epoch = fault_epoch_] {
+    if (epoch != fault_epoch_) return;
     allocator_.release(id);
     requests_[static_cast<std::size_t>(id)].stage = RequestStage::kSwappedOut;
     waiting_.push_front(id);
@@ -237,7 +275,8 @@ void ContinuousScheduler::start_swap_in(int id) {
   gen_.swap_bytes += bytes;
   running_.push_back(id);
   ++swaps_in_flight_;
-  engine_.schedule_at(pcie_transfer(bytes), [this, id] {
+  engine_.schedule_at(pcie_transfer(bytes), [this, id, epoch = fault_epoch_] {
+    if (epoch != fault_epoch_) return;
     // KV restored: the group rejoins decode with no recompute pass.
     requests_[static_cast<std::size_t>(id)].stage = RequestStage::kRunning;
     --swaps_in_flight_;
@@ -265,13 +304,18 @@ bool ContinuousScheduler::grow_kv(std::vector<int>& members) {
         break;
       }
     }
-    if (victim == -1 || (members.size() == 1 && swaps_in_flight_ > 0)) {
+    if (victim == -1 ||
+        (members.size() == 1 && (swaps_in_flight_ > 0 || fault_pending_))) {
       // Everything else is draining. Preempting the last decodable
       // group here would only trade it against an in-flight swap-in and
       // ping-pong forever; stall instead — a swap completion re-enters
-      // the scheduler. (With no swaps in flight a lone group always
-      // fits: the pool is floored at one max-context group.)
-      assert(swaps_in_flight_ > 0);
+      // the scheduler. Same when a failed device's blocks are pending
+      // purge: the apparent pressure is dead-generation KV that
+      // on_fault_detected is about to release, so self-preempting the
+      // lone survivor would be pure loss. (With no swaps in flight and
+      // no fault pending a lone group always fits: the pool is floored
+      // at one max-context group.)
+      assert(swaps_in_flight_ > 0 || fault_pending_);
       return false;
     }
     preempt(victim);
@@ -291,7 +335,10 @@ bool ContinuousScheduler::grow_kv(std::vector<int>& members) {
 }
 
 void ContinuousScheduler::maybe_start_iteration() {
-  if (inflight_) return;
+  // While a fault's purge is pending (drop seen, detection notice one
+  // hop behind), the books still show dead-generation KV as held —
+  // don't schedule against them.
+  if (inflight_ || fault_pending_) return;
   // Two passes: recompute-preemption inside the first pass moves
   // still-unfinished groups back to waiting with their blocks freed, so
   // a second admission pass can immediately re-form a prefill batch.
@@ -374,7 +421,119 @@ void ContinuousScheduler::finish(GenRequest& r, sim::SimTime t) {
   metrics_.on_complete(done, t, !timed_out_[static_cast<std::size_t>(r.id)]);
 }
 
+void ContinuousScheduler::on_iteration_dropped(const model::BatchRequest& req) {
+  // Iterations are only dropped by the failover decorator (a device
+  // died with the iteration in flight). The members' KV is gone but the
+  // books don't know yet; the failure notification is one dispatch hop
+  // behind this one and does the purge.
+  assert(failover_ != nullptr);
+  if (inflight_ && inflight_->id == req.id) inflight_.reset();
+  fault_pending_ = true;
+}
+
+void ContinuousScheduler::shed_request(int id, sim::SimTime t) {
+  auto& r = requests_[static_cast<std::size_t>(id)];
+  engine_.cancel(deadline_events_[static_cast<std::size_t>(id)]);
+  r.stage = RequestStage::kShed;
+  r.finished_at = t;
+  metrics_.on_shed(t);
+}
+
+void ContinuousScheduler::on_fault_detected(int survivors) {
+  assert(failover_ != nullptr);
+  fault_pending_ = false;
+  ++fault_epoch_;        // silences swap transfers scheduled pre-fault
+  swaps_in_flight_ = 0;  // their completions are now epoch-guarded no-ops
+
+  // An iteration can still be marked in flight here: its completion
+  // raced the failure (already dispatched when the device died) and the
+  // scheduler submitted a successor that the recovering failover
+  // deferred — or a second failure hit during recovery. Either way its
+  // members are about to be purged and re-queued individually, so the
+  // stale iteration must not resurface from the deferred queue.
+  if (inflight_) {
+    const int stale = inflight_->id;
+    inflight_.reset();
+    failover_->retract(stale);
+  }
+
+  const sim::SimTime now = engine_.now();
+
+  // Every device held a head shard of every block, so one dead device
+  // invalidates all paged KV: groups in the running set (decoding,
+  // prefilling, or mid-swap-in), groups mid-swap-out (in neither list —
+  // scanned from the request table in id order for determinism), and
+  // host-parked swapped-out groups (their host copy uses the dead
+  // layout and cannot be restored onto the survivor shard).
+  std::vector<int> cohort = running_;
+  running_.clear();
+  for (const auto& r : requests_) {
+    if (r.stage == RequestStage::kSwappingOut) cohort.push_back(r.id);
+  }
+
+  // Re-queue order: the damaged cohort goes to the front (admission
+  // order preserved) ahead of the untouched backlog — they were
+  // admitted first and their deadlines are the tightest.
+  std::deque<int> rebuilt;
+  auto requeue_or_shed = [&](int id) {
+    auto& r = requests_[static_cast<std::size_t>(id)];
+    r.stage = RequestStage::kPreempted;  // re-admission replays a prefill
+    ++r.fault_drops;
+    if (timed_out_[static_cast<std::size_t>(id)] ||
+        r.fault_drops > workload_.max_retries) {
+      shed_request(id, now);
+    } else {
+      ++gen_.fault_requeues;
+      rebuilt.push_back(id);
+    }
+  };
+  for (int id : cohort) {
+    allocator_.release(id);
+    requeue_or_shed(id);
+  }
+  for (int id : waiting_) {
+    auto& r = requests_[static_cast<std::size_t>(id)];
+    if (r.stage == RequestStage::kSwappedOut) {
+      requeue_or_shed(id);  // holds no device blocks; host copy is dead
+    } else {
+      rebuilt.push_back(id);  // untouched: kWaiting / plain kPreempted
+    }
+  }
+  waiting_ = std::move(rebuilt);
+
+  // Survivor-capacity pool: the per-device head shard grows when tp
+  // shrinks, so blocks get bigger and the pool holds fewer of them.
+  // The admission gates re-derive from the degraded capacity; the
+  // one-max-context-group floor keeps head-of-line admission live.
+  assert(survivors >= 1);
+  tp_ = survivors;
+  const std::uint64_t pool =
+      degraded_pool_bytes_ ? degraded_pool_bytes_(survivors) : config_.kv_pool_bytes;
+  const int max_ctx = workload_.seq_max + workload_.decode_tokens_max;
+  const int blocks_per_seq =
+      (max_ctx + config_.block_tokens - 1) / config_.block_tokens;
+  const std::uint64_t floor_bytes =
+      static_cast<std::uint64_t>(workload_.batch_size) * blocks_per_seq *
+      PagedKvAllocator::block_bytes(model_, config_.block_tokens, survivors);
+  allocator_.rebuild(model_, survivors, std::max(pool, floor_bytes));
+  token_budget_ = std::max(
+      1, static_cast<int>(static_cast<long long>(config_.token_budget) *
+                          survivors / initial_tp_));
+#ifndef NDEBUG
+  assert(allocator_.audit());
+#endif
+
+  // Resume: submissions made while the failover is still rebuilding are
+  // deferred on its side and flushed when the survivor backend is live.
+  maybe_start_iteration();
+}
+
 void ContinuousScheduler::on_iteration_complete(const model::BatchRequest& req, sim::SimTime t) {
+  if (failover_ != nullptr && (!inflight_ || inflight_->id != req.id)) {
+    // A completion that raced a failure: the iteration was dropped and
+    // its members re-queued before this notification crossed domains.
+    return;
+  }
   assert(inflight_ && inflight_->id == req.id);
   (void)req;
   const auto members = std::move(inflight_->members);
@@ -410,6 +569,12 @@ void ContinuousScheduler::on_iteration_complete(const model::BatchRequest& req, 
 }
 
 void ContinuousScheduler::take_sample(sim::SimTime t) {
+#ifndef NDEBUG
+  // Debug invariant after every iteration: allocated + free == pool,
+  // with every block owned exactly once (catches leaks from the swap
+  // paths and the purge-on-failure path).
+  assert(allocator_.audit());
+#endif
   const PagedKvStats kv = allocator_.stats();
   Sample s;
   s.t = t;
@@ -440,14 +605,25 @@ Report ContinuousScheduler::run(ArrivalProcess& arrivals) {
     engine_.invoke_after(core::kCompletionDispatchLatency,
                          [this, req, t] { on_iteration_complete(req, t); });
   });
+  // Same routing for drops. Only the failover decorator ever drops an
+  // iteration; on fault-free runs the hook is installed but never fires
+  // (no extra events, bit-identical schedules).
+  runtime_.set_drop_hook([this](const model::BatchRequest& req) {
+    engine_.invoke_after(core::kCompletionDispatchLatency,
+                         [this, req] { on_iteration_dropped(req); });
+  });
   generator(arrivals);
   if (drive_) {
     drive_();
   } else {
     engine_.run();
   }
-  assert(metrics_.completions() == static_cast<std::size_t>(workload_.num_requests) &&
-         "every generative request must run to completion");
+  assert(metrics_.completions() + metrics_.shed() ==
+             static_cast<std::size_t>(workload_.num_requests) &&
+         "every generative request must complete or be explicitly shed");
+#ifndef NDEBUG
+  assert(allocator_.audit() && "paged KV accounting must balance at end of run");
+#endif
 
   Report rep = metrics_.report(arrivals.rate());
   gen_.enabled = true;

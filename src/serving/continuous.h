@@ -46,6 +46,7 @@
 
 #include "core/plan_cache.h"
 #include "core/runtime.h"
+#include "fault/failover.h"
 #include "model/model_spec.h"
 #include "serving/arrival.h"
 #include "serving/metrics.h"
@@ -115,6 +116,26 @@ class ContinuousScheduler {
   // Report::PlanCacheStats).
   void set_plan_cache_probe(const core::PlanCache* cache) { cache_probe_ = cache; }
 
+  // Fault-tolerant serving: `runtime` must be (or forward to) this
+  // failover decorator. On a detected device failure the scheduler
+  //  1. withdraws the iteration it had in flight (the drop hook usually
+  //     beats it; retract() covers a completion racing the failure),
+  //  2. releases every KV block the dead generation held — running
+  //     groups, mid-swap-out groups, and host-parked swapped-out groups
+  //     (their host copy uses the dead head-shard layout) — and
+  //     re-queues the survivors at the front of the waiting queue for a
+  //     recompute prefill, shedding any whose deadline already passed
+  //     or whose fault-retry budget (workload.max_retries) is spent,
+  //  3. rebuilds the paged pool at survivor capacity
+  //     (`pool_bytes_per_device(survivors)`, floored at one max-context
+  //     group) and re-derives the admission gates from it.
+  // `pool_bytes_per_device` is called on the serving host domain.
+  void attach_failover(fault::FailoverRuntime& failover,
+                       std::function<std::uint64_t(int survivors)> pool_bytes_per_device);
+
+  // Completion timestamps etc. for availability benches.
+  const MetricsCollector& metrics() const { return metrics_; }
+
   // Per-iteration observability sample (KV pressure + plan-cache
   // counters), appended at every iteration completion.
   struct Sample {
@@ -149,6 +170,11 @@ class ContinuousScheduler {
   void start_swap_in(int id);
   void submit_iteration(model::Phase phase, const std::vector<int>& members);
   void on_iteration_complete(const model::BatchRequest& req, sim::SimTime t);
+  void on_iteration_dropped(const model::BatchRequest& req);
+  // Runs one completion-dispatch hop after the failover's failure hook
+  // (so after the drop above): purge, re-queue/shed, pool rebuild.
+  void on_fault_detected(int survivors);
+  void shed_request(int id, sim::SimTime t);
   void finish(GenRequest& r, sim::SimTime t);
   void take_sample(sim::SimTime t);
   sim::SimTime pcie_transfer(std::uint64_t bytes_per_device);
@@ -165,6 +191,20 @@ class ContinuousScheduler {
   MetricsCollector metrics_;
   std::function<std::uint64_t()> drive_;
   const core::PlanCache* cache_probe_ = nullptr;
+
+  // --- Fault tolerance (null / inert on fault-free runs) ---------------
+  fault::FailoverRuntime* failover_ = nullptr;
+  std::function<std::uint64_t(int)> degraded_pool_bytes_;
+  const int initial_tp_;   // tp_ shrinks to the survivor count per fault
+  int token_budget_;       // re-derived from degraded capacity per fault
+  // Bumped per fault; swap-transfer callbacks scheduled before the
+  // fault carry the old epoch and turn into no-ops (their blocks were
+  // purged).
+  int fault_epoch_ = 0;
+  // Set when the in-flight iteration was dropped by a failure, cleared
+  // by on_fault_detected one hop later: scheduling is suppressed in the
+  // window where the dead device's blocks are pending purge.
+  bool fault_pending_ = false;
 
   std::vector<GenRequest> requests_;          // by id
   std::vector<sim::Engine::EventId> deadline_events_;  // by id

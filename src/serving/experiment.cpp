@@ -141,15 +141,23 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
   // model iteration at a time over a tensor-parallel group.
   const bool generative = config.workload.decode_tokens_max > 0;
   if (generative) {
-    if (faults) {
-      throw std::invalid_argument(
-          "fault injection is not supported with generative batching");
-    }
     if (config.method != Method::kLiger && config.method != Method::kLigerCpuSync &&
         config.method != Method::kIntraOp) {
       throw std::invalid_argument(
           "generative batching requires a tensor-parallel runtime "
           "(liger, liger-cpusync, or intra-op)");
+    }
+    // Per-fault-kind validation: stragglers, link faults, and host
+    // stalls only slow iterations down and are supported under every
+    // generative method; fail-stop needs the failover decorator to
+    // rebuild a degraded topology, which only the liger runtimes
+    // support (the serving-level cluster restriction is checked with
+    // the non-generative paths below).
+    if (faults && config.faults.plan.has_fail_stop() &&
+        config.method != Method::kLiger && config.method != Method::kLigerCpuSync) {
+      throw std::invalid_argument(
+          "fail-stop under generative batching requires a liger runtime "
+          "(intra-op cannot rebuild a degraded tensor-parallel topology)");
     }
   }
 
@@ -524,10 +532,32 @@ ExperimentOutputs run_experiment_detailed(const ExperimentConfig& config) {
     scheduler = std::make_unique<ContinuousScheduler>(engine, serving_runtime, config.model,
                                                       ranks, config.workload, cc);
     if (pe) scheduler->set_driver(driver);
-    if (auto* liger = dynamic_cast<core::LigerRuntime*>(runtime.get())) {
+    if (faults) {
+      // On fail-stop the scheduler purges and re-queues; the pool it
+      // rebuilds re-derives from the survivor count the same way the
+      // initial pool derived from the full group (an explicitly
+      // configured pool size is honored as-is — the operator sized it).
+      scheduler->attach_failover(
+          *failover,
+          [model = config.model, mem = config.node.gpu.mem_bytes,
+           frac = cc.kv_pool_fraction,
+           explicit_bytes = config.continuous.kv_pool_bytes](
+              int survivors) -> std::uint64_t {
+            if (explicit_bytes != 0) return explicit_bytes;
+            const std::uint64_t shard = model.shard_bytes(survivors);
+            const std::uint64_t avail = mem > shard ? mem - shard : 0;
+            return static_cast<std::uint64_t>(frac * static_cast<double>(avail));
+          });
+      if (config.method == Method::kLiger || config.method == Method::kLigerCpuSync) {
+        // The shared cache survives generations (failover rebinds it),
+        // so its counters cover the whole chaos run.
+        scheduler->set_plan_cache_probe(shared_cache.get());
+      }
+    } else if (auto* liger = dynamic_cast<core::LigerRuntime*>(runtime.get())) {
       scheduler->set_plan_cache_probe(&liger->plan_cache());
     }
     out.report = scheduler->run(*arrivals);
+    out.completion_times = scheduler->metrics().completion_times();
   } else {
     Server server(engine, serving_runtime, config.workload);
     if (pe) server.set_driver(driver);

@@ -48,7 +48,12 @@ struct ExperimentConfig {
   // preemption). One-shot workloads (decode_tokens_max == 0, the
   // default) take the legacy Server path bit-identically regardless of
   // this setting. Supported for tensor-parallel methods (kLiger,
-  // kLigerCpuSync, kIntraOp) without fault injection.
+  // kLigerCpuSync, kIntraOp). Faults compose with generative batching:
+  // a fail-stop purges the dead shard's paged KV, rebuilds the pool at
+  // survivor capacity and re-queues the damaged requests for a
+  // drop-and-recompute prefill (fail-stop needs a liger runtime on a
+  // single node's TP group; straggler/link/host faults work under any
+  // tensor-parallel method).
   BatchingMode batching = BatchingMode::kRounds;
   ContinuousConfig continuous;
 

@@ -84,6 +84,22 @@ GenerativeResult GenerativeDriver::run() {
       [this](const model::BatchRequest& req, sim::SimTime t) {
         engine_.invoke([this, req, t] { on_complete(req, t); });
       });
+  // A failover decorator drops the in-flight iteration when a device
+  // dies mid-run. The conversation's KV state rode the dead generation,
+  // so the retry is a fresh prefill over the current context; without
+  // this hook the conversation chain would simply stop and the run hang
+  // with tokens unaccounted. Inert (never fires) on fault-free runs.
+  runtime_.set_drop_hook([this](const model::BatchRequest& req) {
+    engine_.invoke([this, req] {
+      const int conv_index = req.id / 1'000'000 - 1;
+      assert(conv_index >= 0 &&
+             conv_index < static_cast<int>(conversations_.size()));
+      auto& conv = conversations_[static_cast<std::size_t>(conv_index)];
+      if (conv.remaining <= 0) return;
+      ++resubmits_;
+      submit_next(conv, model::Phase::kPrefill);
+    });
+  });
   for (auto& conv : conversations_) {
     submit_next(conv, model::Phase::kPrefill);
   }
@@ -105,6 +121,7 @@ GenerativeResult GenerativeDriver::run() {
         static_cast<double>(total_tokens_done_) / sim::to_seconds(result.makespan);
   }
   result.peak_kv_bytes_per_device = peak_kv_;
+  result.resubmits = resubmits_;
   return result;
 }
 

@@ -39,6 +39,9 @@ struct GenerativeResult {
   sim::SimTime makespan = 0;
   // Peak KV-cache bytes per device across all live conversations.
   std::uint64_t peak_kv_bytes_per_device = 0;
+  // Iterations re-submitted (as a recompute prefill) after a failover
+  // drop; 0 on fault-free runs.
+  int resubmits = 0;
 };
 
 // Per-device KV-cache bytes for one sequence batch at context length
@@ -86,6 +89,7 @@ class GenerativeDriver {
   std::uint64_t live_kv_ = 0;  // KV bytes of all live conversations
   std::uint64_t peak_kv_ = 0;
   int total_tokens_done_ = 0;
+  int resubmits_ = 0;  // failover drops re-driven as recompute prefills
 };
 
 }  // namespace liger::serving

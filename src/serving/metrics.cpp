@@ -29,6 +29,11 @@ void MetricsCollector::on_timeout(sim::SimTime now) {
   if (now > last_completion_) last_completion_ = now;
 }
 
+void MetricsCollector::on_shed(sim::SimTime now) {
+  ++shed_;
+  if (now > last_completion_) last_completion_ = now;
+}
+
 Report MetricsCollector::report(double offered_rate) const {
   Report rep;
   rep.completed = latencies_ns_.count();
@@ -36,6 +41,7 @@ Report MetricsCollector::report(double offered_rate) const {
   rep.timed_out = timeouts_;
   rep.retries = retries_;
   rep.lost = arrivals_ - rep.completed;
+  rep.shed = shed_;
   if (arrivals_ > 0) {
     rep.slo_violation_rate =
         static_cast<double>(timeouts_) / static_cast<double>(arrivals_);

@@ -33,6 +33,10 @@ struct Report {
   std::size_t timed_out = 0;   // requests that blew their deadline
   std::size_t retries = 0;     // resubmissions after a drop
   std::size_t lost = 0;        // never completed (gave up / unrecoverable)
+  // Deliberately dropped by load shedding after a fault (deadline
+  // already blown or retry budget exhausted at requeue). A subset of
+  // `lost` — shed requests are accounted, not leaked.
+  std::size_t shed = 0;
   // Throughput over requests that completed within their deadline only.
   // Equals throughput when no deadline is configured.
   double goodput_bps = 0.0;
@@ -69,6 +73,9 @@ struct Report {
     std::size_t recomputes = 0;
     std::size_t swap_outs = 0;
     std::size_t swap_ins = 0;
+    // Requests re-queued for a recompute prefill because a device
+    // failure invalidated their KV state.
+    std::size_t fault_requeues = 0;
     std::uint64_t swap_bytes = 0;        // per-device PCIe traffic
     // Paged KV pool (per device).
     int kv_block_tokens = 0;
@@ -121,11 +128,15 @@ class MetricsCollector {
                    bool within_slo = true);
   void on_timeout(sim::SimTime now);
   void note_retry() { ++retries_; }
+  // A shed request ends the run without completing; it still extends
+  // the makespan (the decision is an availability event).
+  void on_shed(sim::SimTime now);
 
   std::size_t arrivals() const { return arrivals_; }
   std::size_t completions() const { return latencies_ns_.count(); }
   std::size_t timeouts() const { return timeouts_; }
   std::size_t retries() const { return retries_; }
+  std::size_t shed() const { return shed_; }
 
   // Completion timestamps in arrival order of completion — the fault
   // benches bucket these to plot goodput over time around an outage.
@@ -143,6 +154,7 @@ class MetricsCollector {
   std::uint64_t slo_ok_batch_sum_ = 0;
   std::size_t timeouts_ = 0;
   std::size_t retries_ = 0;
+  std::size_t shed_ = 0;
   std::vector<sim::SimTime> completion_times_;
 };
 

@@ -96,6 +96,78 @@ bool PagedKvAllocator::append(int request_id) {
   return true;
 }
 
+void PagedKvAllocator::rebuild(const model::ModelSpec& spec, int tp,
+                               std::uint64_t pool_bytes_per_device) {
+  assert(held_.empty());  // purge everything before re-sizing the pool
+  block_bytes_ = block_bytes(spec, block_tokens_, tp);
+  assert(block_bytes_ > 0);
+  total_blocks_ =
+      std::max<int>(1, static_cast<int>(pool_bytes_per_device / block_bytes_));
+  free_list_.clear();
+  free_list_.reserve(static_cast<std::size_t>(total_blocks_));
+  for (int id = total_blocks_ - 1; id >= 0; --id) free_list_.push_back(id);
+  allocated_tokens_ = 0;
+  stats_.total_blocks = total_blocks_;
+  stats_.block_bytes = block_bytes_;
+  // The old pool's peak is meaningless against the new block size.
+  stats_.used_blocks = 0;
+  stats_.peak_used_blocks = 0;
+  ++stats_.rebuilds;
+}
+
+bool PagedKvAllocator::audit(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  // -2 = unseen, -1 = free list, >= 0 = owning request id.
+  std::vector<int> owner(static_cast<std::size_t>(total_blocks_), -2);
+  auto claim = [&](int id, int who, const char* where) {
+    if (id < 0 || id >= total_blocks_) {
+      return fail(std::string(where) + ": block id " + std::to_string(id) +
+                  " outside pool of " + std::to_string(total_blocks_));
+    }
+    auto& slot = owner[static_cast<std::size_t>(id)];
+    if (slot != -2) {
+      return fail(std::string(where) + ": block " + std::to_string(id) +
+                  " already owned by " +
+                  (slot == -1 ? std::string("free list")
+                              : "request " + std::to_string(slot)));
+    }
+    slot = who;
+    return true;
+  };
+  for (int id : free_list_) {
+    if (!claim(id, -1, "free list")) return false;
+  }
+  long long tokens = 0;
+  for (const auto& [req, held] : held_) {
+    const std::size_t want =
+        static_cast<std::size_t>(blocks_for_group(held.seqs, held.tokens));
+    if (held.block_ids.size() != want) {
+      return fail("request " + std::to_string(req) + " holds " +
+                  std::to_string(held.block_ids.size()) + " blocks, needs " +
+                  std::to_string(want) + " for " + std::to_string(held.seqs) +
+                  "x" + std::to_string(held.tokens) + " tokens");
+    }
+    for (int id : held.block_ids) {
+      if (!claim(id, req, "held group")) return false;
+    }
+    tokens += static_cast<long long>(held.seqs) * held.tokens;
+  }
+  for (int id = 0; id < total_blocks_; ++id) {
+    if (owner[static_cast<std::size_t>(id)] == -2) {
+      return fail("block " + std::to_string(id) +
+                  " leaked: neither free nor held");
+    }
+  }
+  if (tokens != allocated_tokens_) {
+    return fail("token ledger " + std::to_string(allocated_tokens_) +
+                " != held sum " + std::to_string(tokens));
+  }
+  return true;
+}
+
 void PagedKvAllocator::release(int request_id) {
   auto it = held_.find(request_id);
   if (it == held_.end()) return;

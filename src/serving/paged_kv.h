@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,7 @@ struct PagedKvStats {
   std::uint64_t append_calls = 0;
   std::uint64_t release_calls = 0;
   std::uint64_t failed_allocs = 0;  // allocate/append refused for lack of blocks
+  std::uint64_t rebuilds = 0;       // pool re-sized after a topology change
 
   // Fraction of held block capacity that holds real tokens; the
   // remainder is internal fragmentation (tail-of-block waste).
@@ -92,6 +94,19 @@ class PagedKvAllocator {
   // Returns all blocks of the group to the free list. Unknown ids are
   // a no-op (releasing after a drop-preemption already freed them).
   void release(int request_id);
+
+  // Re-sizes the pool for a new TP width (a device failed: every block
+  // was head-sharded across the group, so the survivor shard grows and
+  // the per-device pool holds fewer blocks). The caller must have
+  // released every group first — rebuilding under live holds would
+  // silently remap their blocks.
+  void rebuild(const model::ModelSpec& spec, int tp, std::uint64_t pool_bytes_per_device);
+
+  // Debug invariant: every block id lives in exactly one place (free
+  // list or one held group), each group holds exactly
+  // seqs * blocks_for(tokens) blocks, and the token ledger matches.
+  // Returns false and fills `error` (when given) on the first breach.
+  bool audit(std::string* error = nullptr) const;
 
   bool holds(int request_id) const { return held_.count(request_id) > 0; }
   int held_blocks(int request_id) const;

@@ -40,6 +40,7 @@ enum class RequestStage {
   kSwappedOut,   // KV parked on host; needs swap-in on re-admission
   kSwappingIn,   // KV blocks filling back from host
   kFinished,
+  kShed,         // dropped by deadline-aware load shedding after a fault
 };
 
 const char* stage_name(RequestStage stage);
@@ -71,6 +72,7 @@ struct GenRequest {
   int recomputes = 0;    // re-admissions that had to replay a prefill
   int swap_outs = 0;
   int swap_ins = 0;
+  int fault_drops = 0;   // KV lost to a device failure (charged to retries)
 };
 
 inline const char* stage_name(RequestStage stage) {
@@ -83,6 +85,7 @@ inline const char* stage_name(RequestStage stage) {
     case RequestStage::kSwappedOut: return "swapped-out";
     case RequestStage::kSwappingIn: return "swapping-in";
     case RequestStage::kFinished: return "finished";
+    case RequestStage::kShed: return "shed";
   }
   return "?";
 }

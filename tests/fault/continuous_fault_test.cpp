@@ -1,0 +1,372 @@
+// Fault-tolerant iteration-level serving: fail-stop recovery under
+// continuous batching (KV purge + pool rebuild at survivor capacity,
+// drop-and-recompute re-queueing, deadline/budget-aware shedding), the
+// per-fault-kind validation matrix, the lone-group livelock guard, and
+// the chaos bit-identity suite (fault kinds x seeds x engine threads).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "fault/fault_plan.h"
+#include "serving/experiment.h"
+#include "support/fixtures.h"
+
+namespace liger::fault {
+namespace {
+
+// Head count divisible by every survivor TP width that a single
+// fail-stop can produce on the 2- and 4-device test nodes (4 -> 3,
+// 2 -> 1), so degraded-mode replanning stays legal in assert builds.
+model::ModelSpec chaos_model() {
+  model::ModelSpec spec;
+  spec.name = "tiny-fault";
+  spec.layers = 2;
+  spec.heads = 12;
+  spec.hidden = 96;
+  return spec;
+}
+
+FaultPlan fail_stop_at(sim::SimTime t, int device, int node = 0) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kDeviceFailStop;
+  ev.time = t;
+  ev.node = node;
+  ev.device = device;
+  FaultPlan plan;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+FaultPlan straggler_at(sim::SimTime t, int device, double factor,
+                       sim::SimTime duration) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kStraggler;
+  ev.time = t;
+  ev.device = device;
+  ev.factor = factor;
+  ev.duration = duration;
+  FaultPlan plan;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+FaultPlan link_flap_at(sim::SimTime t, int node, double factor,
+                       sim::SimTime duration, sim::SimTime period) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkFlap;
+  ev.time = t;
+  ev.node = node;
+  ev.factor = factor;
+  ev.duration = duration;
+  ev.period = period;
+  FaultPlan plan;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+// A generative workload busy enough that a mid-run fault always lands
+// on a non-empty running set: arrivals at twice the isolated prefill
+// service rate keep a backlog until the tail of the run.
+serving::ExperimentConfig chaos_config(
+    int requests, std::uint64_t seed,
+    serving::BatchingMode mode = serving::BatchingMode::kContinuous) {
+  auto cfg = liger::testing::tiny_experiment_config(serving::Method::kLiger, 0.0,
+                                                    requests);
+  cfg.node = gpu::NodeSpec::test_node(4);
+  cfg.model = chaos_model();
+  cfg.profile_contention = false;
+  cfg.batching = mode;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 48;
+  cfg.workload.decode_tokens_min = 2;
+  cfg.workload.decode_tokens_max = 8;
+  cfg.workload.seed = seed;
+  cfg.workload.max_retries = 5;
+  const sim::SimTime unit = serving::isolated_intra_batch_time(
+      cfg.node, cfg.model, cfg.workload.batch_size, 32, model::Phase::kPrefill);
+  cfg.rate = 2.0 / sim::to_seconds(unit);
+  return cfg;
+}
+
+// Makespan of the same workload without faults — used to aim the fault
+// at the middle of the run.
+sim::SimTime healthy_midpoint(const serving::ExperimentConfig& cfg) {
+  auto healthy = cfg;
+  healthy.faults = fault::FaultConfig{};
+  const auto rep = serving::run_experiment(healthy);
+  return rep.makespan / 2;
+}
+
+void arm_fault(serving::ExperimentConfig& cfg, FaultPlan plan) {
+  cfg.faults.enabled = true;
+  cfg.faults.plan = std::move(plan);
+  cfg.faults.detection.heartbeat_interval = sim::microseconds(100);
+  cfg.faults.detection.miss_threshold = 3;
+  cfg.faults.replan_latency = sim::milliseconds(1);
+}
+
+// Every Report field a scheduling decision can move, at full precision.
+// Two runs with equal footprints took the same decisions at the same
+// times; any drift (admission order, purge order, shed policy) shows.
+auto footprint(const serving::Report& r) {
+  return std::make_tuple(
+      r.completed, r.timed_out, r.retries, r.lost, r.shed, r.makespan,
+      r.avg_latency_ms, r.p50_latency_ms, r.p95_latency_ms, r.p99_latency_ms,
+      r.max_latency_ms, r.throughput_bps, r.goodput_bps, r.slo_violation_rate,
+      r.generative.iterations, r.generative.tokens, r.generative.tokens_per_second,
+      r.generative.ttft_ms_avg, r.generative.ttft_ms_p99, r.generative.tpot_ms_avg,
+      r.generative.tpot_ms_p99, r.generative.decode_batch_avg,
+      r.generative.padding_tokens, r.generative.preemptions, r.generative.recomputes,
+      r.generative.swap_outs, r.generative.swap_ins, r.generative.fault_requeues,
+      r.generative.swap_bytes, r.generative.kv_total_blocks,
+      r.generative.kv_peak_used_blocks, r.generative.kv_block_bytes,
+      r.generative.kv_peak_utilization, r.generative.kv_failed_allocs,
+      r.plan_cache.hits, r.plan_cache.misses, r.plan_cache.evictions);
+}
+
+// --- Tentpole: fail-stop mid-decode under continuous batching ------------
+
+TEST(ContinuousChaosTest, FailStopMidDecodeRecoversAndAccountsEveryRequest) {
+  const int kRequests = 16;
+  auto cfg = chaos_config(kRequests, /*seed=*/7);
+  const auto healthy = serving::run_experiment(cfg);
+  ASSERT_EQ(healthy.completed, static_cast<std::size_t>(kRequests));
+  arm_fault(cfg, fail_stop_at(healthy.makespan / 2, /*device=*/2));
+
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.failover.failovers, 1);
+  // None lost: every request either completed or was explicitly shed.
+  EXPECT_EQ(out.report.completed + out.report.shed,
+            static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(out.report.lost, out.report.shed);
+  EXPECT_GT(out.report.completed, 0u);
+  EXPECT_GT(out.report.goodput_bps, 0.0);
+  // The fault landed on a busy scheduler: someone's KV was purged.
+  EXPECT_GT(out.report.generative.fault_requeues + out.report.shed, 0u);
+  EXPECT_GE(out.failover.requests_dropped, 0u);
+  // The pool was rebuilt for the survivor shard: 12 heads over 3
+  // devices hold more per block than over 4.
+  EXPECT_GT(out.report.generative.kv_block_bytes,
+            healthy.generative.kv_block_bytes);
+  // The outage can only cost time against the healthy run.
+  EXPECT_GE(out.report.makespan, healthy.makespan);
+  EXPECT_EQ(out.completion_times.size(), out.report.completed);
+}
+
+TEST(ContinuousChaosTest, ExhaustedRetryBudgetShedsTheDamagedCohort) {
+  const int kRequests = 12;
+  auto cfg = chaos_config(kRequests, /*seed=*/7);
+  cfg.workload.max_retries = 0;  // first fault drop already exceeds it
+  // Late in the run: part of the workload has already completed, the
+  // rest is mid-decode when the device dies.
+  arm_fault(cfg, fail_stop_at(3 * healthy_midpoint(cfg) / 2, /*device=*/1));
+
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.failover.failovers, 1);
+  EXPECT_EQ(out.report.completed + out.report.shed,
+            static_cast<std::size_t>(kRequests));
+  // The whole damaged cohort was shed rather than re-queued...
+  EXPECT_GT(out.report.shed, 0u);
+  EXPECT_EQ(out.report.generative.fault_requeues, 0u);
+  // ...while the work that beat the fault kept its completions.
+  EXPECT_GT(out.report.completed, 0u);
+}
+
+TEST(ContinuousChaosTest, RoundsModeFailStopRecoversToo) {
+  const int kRequests = 12;
+  auto cfg = chaos_config(kRequests, /*seed=*/7, serving::BatchingMode::kRounds);
+  arm_fault(cfg, fail_stop_at(healthy_midpoint(cfg), /*device=*/3));
+
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.failover.failovers, 1);
+  EXPECT_EQ(out.report.completed + out.report.shed,
+            static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(out.report.lost, out.report.shed);
+  EXPECT_GT(out.report.goodput_bps, 0.0);
+}
+
+// --- Satellite: lone-group livelock guard under the purge window ----------
+
+TEST(ContinuousChaosTest, LoneGroupDoesNotSelfPreemptWhilePurgePends) {
+  // One-sequence groups with long generations against a pool floored at
+  // a single max-context group, swap preemption, and a fail-stop on the
+  // 2-device node (survivor TP = 1). Between the iteration drop and the
+  // purge the books still show dead-generation KV as held; a regression
+  // in the guard makes the lone decodable group preempt itself forever
+  // and this test hangs instead of completing.
+  const int kRequests = 4;
+  auto cfg = chaos_config(kRequests, /*seed=*/7);
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.workload.batch_size = 1;
+  cfg.workload.seq_min = 16;
+  cfg.workload.seq_max = 16;
+  cfg.workload.decode_tokens_min = 40;
+  cfg.workload.decode_tokens_max = 40;
+  cfg.continuous.kv_pool_bytes = 1;  // floored to one max-context group
+  cfg.continuous.preemption = serving::PreemptionPolicy::kSwap;
+  cfg.rate = 2000.0;
+  const auto healthy = serving::run_experiment(cfg);
+  ASSERT_GT(healthy.generative.preemptions, 0u) << "pressure config lost its bite";
+  arm_fault(cfg, fail_stop_at(healthy.makespan / 2, /*device=*/1));
+
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.failover.failovers, 1);
+  EXPECT_EQ(out.report.completed + out.report.shed,
+            static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(out.report.lost, out.report.shed);
+}
+
+// --- Satellite: chaos replay bit-identity ---------------------------------
+
+TEST(ContinuousChaosTest, FailStopReplaysBitIdenticalAcrossSeedsAndThreads) {
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{7}, std::uint64_t{11}}) {
+    auto cfg = chaos_config(12, seed);
+    arm_fault(cfg, fail_stop_at(healthy_midpoint(cfg), /*device=*/2));
+    const auto serial = serving::run_experiment_detailed(cfg);
+    EXPECT_EQ(serial.failover.failovers, 1) << "seed " << seed;
+    for (const int threads : {2, 4}) {
+      auto par_cfg = cfg;
+      par_cfg.engine_threads = threads;
+      const auto par = serving::run_experiment_detailed(par_cfg);
+      EXPECT_EQ(footprint(serial.report), footprint(par.report))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.completion_times, par.completion_times)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.failover.last_fault_detected, par.failover.last_fault_detected);
+      EXPECT_EQ(serial.failover.last_recovered, par.failover.last_recovered);
+      EXPECT_EQ(serial.failover.requests_dropped, par.failover.requests_dropped);
+      EXPECT_EQ(serial.failover.requests_retracted, par.failover.requests_retracted);
+    }
+  }
+}
+
+TEST(ContinuousChaosTest, StragglerReplaysBitIdenticalAcrossSeedsAndThreads) {
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{7}, std::uint64_t{11}}) {
+    auto cfg = chaos_config(12, seed);
+    const sim::SimTime mid = healthy_midpoint(cfg);
+    arm_fault(cfg, straggler_at(mid, /*device=*/1, /*factor=*/0.4,
+                                /*duration=*/mid));
+    const auto serial = serving::run_experiment_detailed(cfg);
+    EXPECT_EQ(serial.report.completed, 12u) << "seed " << seed;
+    for (const int threads : {2, 4}) {
+      auto par_cfg = cfg;
+      par_cfg.engine_threads = threads;
+      const auto par = serving::run_experiment_detailed(par_cfg);
+      EXPECT_EQ(footprint(serial.report), footprint(par.report))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.completion_times, par.completion_times)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ContinuousChaosTest, LinkFlapReplaysBitIdenticalAcrossSeedsAndThreads) {
+  // Link faults need a cluster fabric: 2 nodes x 2 devices, cluster-wide
+  // TP over 4 ranks (12 heads divide evenly), flap on node 1's links.
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{7}, std::uint64_t{11}}) {
+    auto cfg = chaos_config(10, seed);
+    cfg.node = gpu::NodeSpec::test_node(2);
+    cfg.num_nodes = 2;
+    const sim::SimTime mid = healthy_midpoint(cfg);
+    const sim::SimTime period = std::max<sim::SimTime>(mid / 4, 2);
+    arm_fault(cfg, link_flap_at(mid, /*node=*/1, /*factor=*/0.1,
+                                /*duration=*/4 * period, period));
+    const auto serial = serving::run_experiment_detailed(cfg);
+    EXPECT_EQ(serial.report.completed, 10u) << "seed " << seed;
+    for (const int threads : {2, 4}) {
+      auto par_cfg = cfg;
+      par_cfg.engine_threads = threads;
+      const auto par = serving::run_experiment_detailed(par_cfg);
+      EXPECT_EQ(footprint(serial.report), footprint(par.report))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(serial.completion_times, par.completion_times)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ContinuousChaosTest, SameFaultPlanReplaysBitIdentical) {
+  auto cfg = chaos_config(12, /*seed=*/7);
+  arm_fault(cfg, fail_stop_at(healthy_midpoint(cfg), /*device=*/2));
+  const auto a = serving::run_experiment_detailed(cfg);
+  const auto b = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(footprint(a.report), footprint(b.report));
+  EXPECT_EQ(a.completion_times, b.completion_times);
+  EXPECT_EQ(a.failover.last_fault_detected, b.failover.last_fault_detected);
+  EXPECT_EQ(a.failover.requests_dropped, b.failover.requests_dropped);
+}
+
+TEST(ContinuousChaosTest, EmptyPlanIsBitIdenticalToFaultsDisabled) {
+  // faults.enabled with an empty plan wires the full fault path (the
+  // failover decorator, the scheduler's drop/failure hooks) but injects
+  // nothing: the acceptance bar is a bit-identical Report against the
+  // undecorated continuous path.
+  const auto cfg = chaos_config(12, /*seed=*/7);
+  auto wrapped_cfg = cfg;
+  wrapped_cfg.faults.enabled = true;
+
+  const auto plain = serving::run_experiment_detailed(cfg);
+  const auto wrapped = serving::run_experiment_detailed(wrapped_cfg);
+  EXPECT_EQ(wrapped.failover.failovers, 0);
+  EXPECT_EQ(wrapped.report.shed, 0u);
+  EXPECT_EQ(footprint(plain.report), footprint(wrapped.report));
+  EXPECT_EQ(plain.completion_times, wrapped.completion_times);
+}
+
+// --- Satellite: per-fault-kind validation matrix ---------------------------
+
+std::string rejection_message(const serving::ExperimentConfig& cfg) {
+  try {
+    serving::run_experiment(cfg);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(GenerativeFaultValidationTest, NonTensorParallelMethodIsRejected) {
+  auto cfg = chaos_config(4, 7);
+  cfg.method = serving::Method::kInterOp;
+  EXPECT_EQ(rejection_message(cfg),
+            "generative batching requires a tensor-parallel runtime "
+            "(liger, liger-cpusync, or intra-op)");
+}
+
+TEST(GenerativeFaultValidationTest, FailStopUnderIntraOpIsRejectedPerKind) {
+  auto cfg = chaos_config(4, 7);
+  cfg.method = serving::Method::kIntraOp;
+  arm_fault(cfg, fail_stop_at(sim::milliseconds(1), /*device=*/1));
+  EXPECT_EQ(rejection_message(cfg),
+            "fail-stop under generative batching requires a liger runtime "
+            "(intra-op cannot rebuild a degraded tensor-parallel topology)");
+}
+
+TEST(GenerativeFaultValidationTest, FailStopOnClusterWideTpIsRejected) {
+  auto cfg = chaos_config(4, 7);
+  cfg.node = gpu::NodeSpec::test_node(2);
+  cfg.num_nodes = 2;
+  arm_fault(cfg, fail_stop_at(sim::milliseconds(1), /*device=*/1));
+  EXPECT_EQ(rejection_message(cfg),
+            "fail-stop recovery for cluster-wide TP groups is not supported; "
+            "use hybrid (stage re-placement) or a single node");
+}
+
+TEST(GenerativeFaultValidationTest, StragglerUnderIntraOpIsAllowed) {
+  // The per-kind split: only fail-stop needs topology rebuild support.
+  // A straggler just slows iterations down and must pass validation
+  // under every generative-capable method.
+  auto cfg = chaos_config(6, 7);
+  cfg.method = serving::Method::kIntraOp;
+  const sim::SimTime mid = healthy_midpoint(cfg);
+  arm_fault(cfg, straggler_at(mid, /*device=*/1, /*factor=*/0.5, mid));
+  const auto out = serving::run_experiment_detailed(cfg);
+  EXPECT_EQ(out.report.completed, 6u);
+  EXPECT_EQ(out.failover.failovers, 0);
+}
+
+}  // namespace
+}  // namespace liger::fault

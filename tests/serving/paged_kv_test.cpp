@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "serving/generative.h"
 
 namespace liger::serving {
@@ -10,6 +12,14 @@ namespace {
 // Tiny spec keeps the block arithmetic hand-checkable:
 // one block (16 tokens, tp=1) = 2 * 4 layers * 8 heads * 64 dim * 16 * 2B.
 model::ModelSpec tiny() { return model::ModelSpec{"tiny", 4, 8, 64}; }
+
+// Accounting invariant, asserted after every test's mutations: every
+// block is either free or held exactly once, and the token ledger
+// matches the held groups.
+void expect_clean(const PagedKvAllocator& a) {
+  std::string err;
+  EXPECT_TRUE(a.audit(&err)) << err;
+}
 
 TEST(PagedKvAllocatorTest, BlockBytesMatchesKvCacheBytesForOneBlock) {
   EXPECT_EQ(PagedKvAllocator::block_bytes(tiny(), 16, 1),
@@ -52,6 +62,7 @@ TEST(PagedKvAllocatorTest, AllocateAppendReleaseRoundTrip) {
   EXPECT_FALSE(a.holds(7));
   a.release(7);  // double release is a no-op (post-preemption path)
   EXPECT_EQ(a.free_blocks(), 8);
+  expect_clean(a);
 }
 
 TEST(PagedKvAllocatorTest, RefusesWithoutSideEffectsWhenPoolExhausted) {
@@ -70,6 +81,7 @@ TEST(PagedKvAllocatorTest, RefusesWithoutSideEffectsWhenPoolExhausted) {
   EXPECT_FALSE(a.append(1));
   EXPECT_EQ(a.held_blocks(1), 1) << "failed append must leave the group intact";
   EXPECT_EQ(a.stats().failed_allocs, 2u);
+  expect_clean(a);
 }
 
 TEST(PagedKvAllocatorTest, LifoFreeListReproducesBlockIdsAfterRelease) {
@@ -83,6 +95,7 @@ TEST(PagedKvAllocatorTest, LifoFreeListReproducesBlockIdsAfterRelease) {
   ASSERT_TRUE(a.allocate(1, 1, 32));
   EXPECT_EQ(a.used_blocks(), used_before)
       << "release + reallocate in the same order reproduces the layout";
+  expect_clean(a);
 }
 
 TEST(PagedKvAllocatorTest, StatsTrackPeakTokensAndFragmentation) {
@@ -103,6 +116,57 @@ TEST(PagedKvAllocatorTest, StatsTrackPeakTokensAndFragmentation) {
   EXPECT_EQ(a.peak_bytes_per_device(), 6 * s.block_bytes);
   EXPECT_EQ(s.alloc_calls, 2u);
   EXPECT_EQ(s.release_calls, 1u);
+  expect_clean(a);
+}
+
+TEST(PagedKvAllocatorTest, AuditHoldsThroughMixedTraffic) {
+  PagedKvAllocator a(tiny(), 16, 1, 12 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  expect_clean(a);  // pristine pool: everything on the free list
+  ASSERT_TRUE(a.allocate(0, 2, 16));
+  expect_clean(a);
+  ASSERT_TRUE(a.allocate(1, 1, 48));
+  ASSERT_TRUE(a.append(0));  // crosses a block boundary for both seqs
+  expect_clean(a);
+  a.release(0);
+  expect_clean(a);
+  ASSERT_TRUE(a.allocate(2, 1, 64));
+  EXPECT_FALSE(a.allocate(3, 2, 64));  // refused: must not disturb the books
+  expect_clean(a);
+  a.release(1);
+  a.release(2);
+  expect_clean(a);
+  EXPECT_EQ(a.free_blocks(), 12);
+}
+
+TEST(PagedKvAllocatorTest, RebuildResizesThePoolForTheSurvivorShard) {
+  // tp 4 -> 3 after a fail-stop: each survivor holds more heads, so
+  // blocks grow and the same pool bytes yield fewer of them.
+  const std::uint64_t pool = 12 * PagedKvAllocator::block_bytes(tiny(), 16, 4);
+  PagedKvAllocator a(tiny(), 16, 4, pool);
+  ASSERT_TRUE(a.allocate(0, 1, 32));
+  a.release(0);  // rebuild requires an empty pool (purge precedes it)
+  a.rebuild(tiny(), 3, pool);
+
+  EXPECT_EQ(a.stats().block_bytes, PagedKvAllocator::block_bytes(tiny(), 16, 3));
+  EXPECT_EQ(a.total_blocks(),
+            static_cast<int>(pool / PagedKvAllocator::block_bytes(tiny(), 16, 3)));
+  EXPECT_LT(a.total_blocks(), 12);
+  EXPECT_EQ(a.free_blocks(), a.total_blocks());
+  EXPECT_EQ(a.stats().rebuilds, 1u);
+  EXPECT_EQ(a.stats().peak_used_blocks, 0) << "peak resets with the new geometry";
+  expect_clean(a);
+
+  // The rebuilt free list hands out block 0 first, like a fresh pool.
+  ASSERT_TRUE(a.allocate(1, 1, 16));
+  EXPECT_EQ(a.held_blocks(1), 1);
+  expect_clean(a);
+}
+
+TEST(PagedKvAllocatorTest, RebuildFloorsDegeneratePoolsAtOneBlock) {
+  PagedKvAllocator a(tiny(), 16, 1, 4 * PagedKvAllocator::block_bytes(tiny(), 16, 1));
+  a.rebuild(tiny(), 1, /*pool_bytes_per_device=*/1);
+  EXPECT_EQ(a.total_blocks(), 1);
+  expect_clean(a);
 }
 
 }  // namespace
