@@ -109,6 +109,10 @@ ExperimentConfig config_from_json(const util::JsonValue& doc) {
   if (cfg.engine_threads < 1) {
     throw std::invalid_argument("engine_threads must be >= 1");
   }
+  const long long spec =
+      doc.int_or("speculation", static_cast<long long>(cfg.speculation));
+  if (spec < 0) throw std::invalid_argument("speculation must be >= 0");
+  cfg.speculation = static_cast<std::uint64_t>(spec);
 
   if (const auto* w = doc.find("workload")) {
     cfg.workload.num_requests =

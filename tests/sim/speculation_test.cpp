@@ -1,0 +1,356 @@
+// Rollback correctness for optimistic (speculative) execution.
+//
+// The engine-level suite drives the speculation primitives directly:
+// an episode either commits — producing the event stream a plain run
+// would have produced, bit-for-bit — or rolls back, after which the
+// engine (clock, counters, pending queue, model state) is
+// indistinguishable from one that never speculated.
+//
+// The ParallelEngine suite forces the interesting schedules: a domain
+// that speculates far past its conservative bound and then receives a
+// cross post below its speculated frontier (the straggler) must roll
+// back, discard its staged posts, and re-execute — and the complete
+// multi-domain trace must match the speculation=off run event for
+// event.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/parallel_engine.h"
+#include "sim/time.h"
+
+namespace liger::sim {
+namespace {
+
+using EventTrace = std::vector<std::pair<SimTime, int>>;
+
+// --- Engine-level primitives ---------------------------------------------
+
+TEST(EngineSpeculation, IneligibleWithoutCheckpointHooks) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  EXPECT_FALSE(e.checkpointable());
+  EXPECT_EQ(e.run_speculative(64), 0u);
+  EXPECT_EQ(e.spec_open(), 0u);
+  EXPECT_EQ(e.now(), 0);  // nothing executed
+}
+
+TEST(EngineSpeculation, CommittedEpisodeMatchesPlainRun) {
+  // Reference: plain execution, including a same-episode spawn chain.
+  auto load = [](Engine& e, EventTrace& trace) {
+    for (int i = 0; i < 8; ++i) {
+      const SimTime t = 10 * (i + 1);
+      e.schedule_at(t, [&e, &trace, t, i] {
+        trace.push_back({e.now(), i});
+        if (i % 3 == 0) {
+          e.schedule_after(5, [&e, &trace, i] { trace.push_back({e.now(), 100 + i}); });
+        }
+      });
+    }
+  };
+  Engine ref;
+  EventTrace ref_trace;
+  load(ref, ref_trace);
+  const std::uint64_t ref_events = ref.run();
+
+  Engine spec;
+  EventTrace spec_trace;
+  spec.set_checkpoint_hooks([] {}, [] {});
+  load(spec, spec_trace);
+  const std::uint64_t speculated = spec.run_speculative(1000);
+  EXPECT_EQ(speculated, ref_events);
+  EXPECT_EQ(spec.spec_open(), speculated);
+  EXPECT_EQ(spec.spec_commit_all(), speculated);
+  EXPECT_EQ(spec_trace, ref_trace);
+  EXPECT_EQ(spec.now(), ref.now());
+  EXPECT_TRUE(spec.empty());
+}
+
+TEST(EngineSpeculation, BudgetBoundsTheEpisode) {
+  Engine e;
+  e.set_checkpoint_hooks([] {}, [] {});
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_at(i, [&fired] { ++fired; });
+  }
+  EXPECT_EQ(e.run_speculative(10), 10u);
+  EXPECT_EQ(e.spec_open(), 10u);
+  EXPECT_EQ(fired, 10);
+  // A second call extends the same episode up to the (larger) budget.
+  EXPECT_EQ(e.run_speculative(25), 15u);
+  EXPECT_EQ(e.spec_open(), 25u);
+  EXPECT_EQ(e.spec_floor(), 0);
+  EXPECT_EQ(e.spec_tail(), 24);
+}
+
+TEST(EngineSpeculation, RollbackRestoresEngineAndModelState) {
+  Engine e;
+  // Toy model state: everything the events mutate lives here, so the
+  // hooks are a complete checkpoint.
+  struct Model {
+    EventTrace trace;
+    long acc = 0;
+  } model, snapshot;
+  e.set_checkpoint_hooks([&] { snapshot = model; }, [&] { model = snapshot; });
+  for (int i = 0; i < 12; ++i) {
+    const SimTime t = 10 * (i + 1);
+    e.schedule_at(t, [&e, &model, i] {
+      model.trace.push_back({e.now(), i});
+      model.acc += i;
+      if (i == 2) {
+        e.schedule_after(3, [&e, &model] { model.trace.push_back({e.now(), 999}); });
+      }
+    });
+  }
+  const SimTime base_now = e.now();
+  const std::size_t base_pending = e.pending();
+
+  const std::uint64_t speculated = e.run_speculative(1000);
+  EXPECT_GT(speculated, 0u);
+  EXPECT_GT(model.acc, 0);
+  EXPECT_EQ(e.spec_rollback(), speculated);
+
+  // Engine state is back at the episode base...
+  EXPECT_EQ(e.now(), base_now);
+  EXPECT_EQ(e.pending(), base_pending);  // spawns undone, events re-queued
+  EXPECT_EQ(e.spec_open(), 0u);
+  // ...and so is the model.
+  EXPECT_EQ(model.acc, 0);
+  EXPECT_TRUE(model.trace.empty());
+
+  // Re-execution from the restored state reproduces the reference run.
+  Engine ref;
+  EventTrace ref_trace;
+  for (int i = 0; i < 12; ++i) {
+    const SimTime t = 10 * (i + 1);
+    ref.schedule_at(t, [&ref, &ref_trace, i] {
+      ref_trace.push_back({ref.now(), i});
+      if (i == 2) {
+        ref.schedule_after(3, [&ref, &ref_trace] { ref_trace.push_back({ref.now(), 999}); });
+      }
+    });
+  }
+  ref.run();
+  e.run();
+  EXPECT_EQ(model.trace, ref_trace);
+  EXPECT_EQ(e.now(), ref.now());
+}
+
+TEST(EngineSpeculation, RollbackKeepsPreEpisodeEventIdsCancellable) {
+  Engine e;
+  e.set_checkpoint_hooks([] {}, [] {});
+  int fired = 0;
+  const auto id = e.schedule_at(500, [&fired] { fired += 100; });
+  for (int i = 0; i < 4; ++i) {
+    e.schedule_at(10 * (i + 1), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(e.run_speculative(4), 4u);
+  EXPECT_EQ(e.spec_rollback(), 4u);
+  // The untouched event's id survived the episode: cancel still works.
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_EQ(fired, 4 + 4);  // speculative firings were undone, then redone
+}
+
+TEST(EngineSpeculation, DeferredCancelFinalizesOnCommit) {
+  Engine e;
+  e.set_checkpoint_hooks([] {}, [] {});
+  int fired = 0;
+  const auto victim = e.schedule_at(500, [&fired] { fired += 100; });
+  e.schedule_at(10, [&e, &fired, victim] {
+    ++fired;
+    EXPECT_TRUE(e.cancel(victim));   // deferred: suppression, not release
+    EXPECT_FALSE(e.cancel(victim));  // already suppressed
+  });
+  EXPECT_EQ(e.run_speculative(64), 1u);  // stops at the suppressed front
+  EXPECT_EQ(e.spec_commit_all(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 1);  // the cancel really happened
+}
+
+TEST(EngineSpeculation, DeferredCancelIsForgottenOnRollback) {
+  Engine e;
+  e.set_checkpoint_hooks([] {}, [] {});
+  int fired = 0;
+  const auto victim = e.schedule_at(500, [&fired] { fired += 100; });
+  bool cancel_this_pass = true;
+  e.schedule_at(10, [&e, &fired, &cancel_this_pass, victim] {
+    ++fired;
+    if (cancel_this_pass) EXPECT_TRUE(e.cancel(victim));
+  });
+  EXPECT_EQ(e.run_speculative(64), 1u);
+  EXPECT_EQ(e.spec_rollback(), 1u);
+  // The speculative cancel never happened; the event is live again and
+  // the model decides afresh on re-execution. `fired` is deliberately
+  // outside the (empty) checkpoint hooks, so it keeps the speculative
+  // increment and gains another on re-execution — state a model wants
+  // restored must live inside its snapshot.
+  cancel_this_pass = false;
+  e.run();
+  EXPECT_EQ(fired, 2 + 100);
+}
+
+// --- Forced stragglers under the ParallelEngine --------------------------
+
+// Two domains. Domain 1 is checkpointable (all of its state in Model)
+// and runs a long local chain, posting every third record back to
+// domain 0; domain 0 runs two late events that post into domain 1.
+// Under a speculation budget, domain 1 races ahead of domain 0's
+// horizon, and each of domain 0's posts lands below domain 1's
+// speculated frontier — a straggler forcing rollback, staged-post
+// discard, and re-execution. When domain 0 drains, the final episode
+// commits instead.
+struct TwoDomainResult {
+  EventTrace d0;      // domain 0's record stream (never speculative)
+  EventTrace d1;      // domain 1's record stream (checkpointed state)
+  SimTime final_now = 0;
+  std::uint64_t events = 0;
+  ParallelEngine::Stats stats;
+  std::vector<ParallelEngine::WindowRecord> windows;
+};
+
+TwoDomainResult run_two_domains(std::uint64_t speculation_budget) {
+  ParallelEngine::Options opts;
+  opts.speculation_budget = speculation_budget;
+  ParallelEngine pe(2, opts);
+  pe.lookahead().set(0, 1, 5);
+  pe.lookahead().set(1, 0, 5);
+
+  TwoDomainResult r;
+  pe.set_window_log(&r.windows);
+  struct Model {
+    EventTrace trace;
+  } model, snapshot;
+  pe.domain(1).set_checkpoint_hooks([&] { snapshot = model; },
+                                    [&] { model = snapshot; });
+
+  // Domain 1: local chain at t = 20, 40, ..., 400; every third event
+  // posts its payload back to domain 0 (staged while speculating).
+  for (int i = 0; i < 20; ++i) {
+    const SimTime t = 20 * (i + 1);
+    pe.domain(1).schedule_at(t, [&pe, &model, &r, i] {
+      Engine& e = pe.domain(1);
+      model.trace.push_back({e.now(), i});
+      if (i % 3 == 0) {
+        pe.domain(0).schedule_cross(e.now() + 5, [&pe, &r, i] {
+          r.d0.push_back({pe.domain(0).now(), 500 + i});
+        });
+      }
+    });
+  }
+  // Domain 0: late events whose posts land inside domain 1's
+  // speculated range (their times are far below t = 400).
+  for (const SimTime t : {SimTime{150}, SimTime{300}}) {
+    pe.domain(0).schedule_at(t, [&pe, &model, &r, t] {
+      r.d0.push_back({pe.domain(0).now(), static_cast<int>(t)});
+      pe.domain(1).schedule_cross(pe.domain(0).now() + 5, [&pe, &model, t] {
+        model.trace.push_back({pe.domain(1).now(), 1000 + static_cast<int>(t)});
+      });
+    });
+  }
+
+  r.events = pe.run(1);
+  r.final_now = pe.now();
+  r.stats = pe.stats();
+  r.d1 = model.trace;
+  pe.set_window_log(nullptr);
+  EXPECT_TRUE(pe.empty());
+  return r;
+}
+
+TEST(ParallelEngineSpeculation, ForcedStragglerRollsBackAndMatchesConservative) {
+  const TwoDomainResult off = run_two_domains(0);
+  EXPECT_EQ(off.stats.speculated, 0u);
+  EXPECT_EQ(off.stats.rolled_back, 0u);
+  EXPECT_EQ(off.stats.staged_posts, 0u);
+
+  for (const std::uint64_t budget : {std::uint64_t{64}, std::uint64_t{1024}}) {
+    const TwoDomainResult on = run_two_domains(budget);
+    // The observable simulation is byte-identical...
+    EXPECT_EQ(on.d0, off.d0) << "budget=" << budget;
+    EXPECT_EQ(on.d1, off.d1) << "budget=" << budget;
+    EXPECT_EQ(on.final_now, off.final_now) << "budget=" << budget;
+    EXPECT_EQ(on.events, off.events) << "budget=" << budget;
+    // ...while the machinery speculated, staged, rolled back at least
+    // one straggler, and committed the final episode.
+    EXPECT_GT(on.stats.speculated, 0u) << "budget=" << budget;
+    EXPECT_GT(on.stats.staged_posts, 0u) << "budget=" << budget;
+    EXPECT_GT(on.stats.rolled_back, 0u) << "budget=" << budget;
+    EXPECT_GT(on.stats.committed, 0u) << "budget=" << budget;
+    EXPECT_EQ(on.stats.speculated, on.stats.committed + on.stats.rolled_back)
+        << "budget=" << budget;
+    // `events` counts committed work only: it matches the off run above.
+    // Window records carry the per-round speculation deltas.
+    std::uint64_t window_spec = 0, window_rolled = 0;
+    for (const auto& w : on.windows) {
+      window_spec += w.speculated;
+      window_rolled += w.rolled_back;
+    }
+    EXPECT_EQ(window_spec, on.stats.speculated) << "budget=" << budget;
+    EXPECT_EQ(window_rolled, on.stats.rolled_back) << "budget=" << budget;
+  }
+}
+
+TEST(ParallelEngineSpeculation, CommitOnlyWhenNoStragglerArrives) {
+  // Domain 0 bounds domain 1's first window with an early event, then
+  // jumps far past domain 1's whole chain: the speculated episode is
+  // touched by a bound advance that clears its tail, so it can only
+  // commit — nothing ever arrives below the frontier.
+  auto run_once = [](std::uint64_t budget) {
+    ParallelEngine::Options opts;
+    opts.speculation_budget = budget;
+    ParallelEngine pe(2, opts);
+    pe.lookahead().set(0, 1, 5);
+    pe.lookahead().set(1, 0, 5);
+    struct Model {
+      EventTrace trace;
+    } model, snapshot;
+    pe.domain(1).set_checkpoint_hooks([&] { snapshot = model; },
+                                      [&] { model = snapshot; });
+    for (int i = 0; i < 10; ++i) {
+      pe.domain(1).schedule_at(20 * (i + 1), [&pe, &model, i] {
+        model.trace.push_back({pe.domain(1).now(), i});
+      });
+    }
+    int d0_fired = 0;
+    pe.domain(0).schedule_at(10, [&d0_fired] { ++d0_fired; });
+    pe.domain(0).schedule_at(1000, [&d0_fired] { ++d0_fired; });
+    auto stats_events = std::make_tuple(pe.run(1), pe.stats());
+    EXPECT_EQ(d0_fired, 2);
+    EXPECT_TRUE(pe.empty());
+    return std::make_tuple(model.trace, std::get<0>(stats_events),
+                           std::get<1>(stats_events));
+  };
+  const auto off = run_once(0);
+  const auto on = run_once(64);
+  EXPECT_EQ(std::get<0>(on), std::get<0>(off));
+  EXPECT_EQ(std::get<1>(on), std::get<1>(off));
+  const auto& stats = std::get<2>(on);
+  EXPECT_GT(stats.speculated, 0u);
+  EXPECT_EQ(stats.rolled_back, 0u);
+  EXPECT_EQ(stats.committed, stats.speculated);
+}
+
+TEST(ParallelEngineSpeculation, UncheckpointableDomainsNeverSpeculate) {
+  // No checkpoint hooks anywhere: a nonzero budget must be a no-op.
+  ParallelEngine::Options opts;
+  opts.speculation_budget = 256;
+  ParallelEngine pe(2, opts);
+  pe.lookahead().set_cross(5);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    pe.domain(i % 2).schedule_at(10 * (i + 1), [&fired] { ++fired; });
+  }
+  pe.run(1);
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(pe.stats().speculated, 0u);
+  EXPECT_EQ(pe.stats().staged_posts, 0u);
+}
+
+}  // namespace
+}  // namespace liger::sim
